@@ -1,0 +1,61 @@
+//! E11 — ablation for the **§3 "2D A-stationary"** discussion.
+//!
+//! The paper argues (citing Selvitopi et al. and Tripathy et al.) that 2D
+//! decompositions scale *less* favourably than 1.5D for tall-skinny
+//! feature matrices: 2D saves `√p`× storage but pays `Θ(√p)` more latency
+//! and `Θ(log p)` more bandwidth. This bench measures all three algorithms
+//! on the same workload so the trade-off is visible, and shows the arrow
+//! decomposition dominating both.
+
+use amd_bench::runner::arrow_with_ranks;
+use amd_bench::{bench_graph, BenchScale, Table};
+use amd_graph::generators::datasets::DatasetKind;
+use amd_sparse::{CsrMatrix, DenseMatrix};
+use amd_spmm::{A15dSpmm, A2dSpmm, DistSpmm};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let n = scale.base_n() / 2;
+    let iters = 2;
+    let g = bench_graph(DatasetKind::WebBase, n);
+    let a: CsrMatrix<f64> = g.to_adjacency();
+    let mut table = Table::new(vec![
+        "k",
+        "p",
+        "algorithm",
+        "sim time/iter (ms)",
+        "max vol/iter (KiB)",
+        "max msgs/rank",
+    ]);
+    for &k in &[32u32, 128] {
+        let x = DenseMatrix::from_fn(n, k, |r, c| ((r + c) % 7) as f64 - 3.0);
+        for &p in &[16u32, 64] {
+            let q = (p as f64).sqrt() as u32;
+            let mut emit = |name: String, run: &amd_spmm::SpmmRun| {
+                table.row(vec![
+                    format!("{k}"),
+                    format!("{p}"),
+                    name,
+                    format!("{:.3}", run.sim_time_per_iter() * 1e3),
+                    format!("{:.1}", run.volume_per_iter() / 1024.0),
+                    format!("{}", run.stats.max_messages() / iters as u64),
+                ]);
+            };
+            let a15 = A15dSpmm::new(&a, p, q).expect("1.5D");
+            let r15 = a15.run(&x, iters).expect("1.5D run");
+            emit(a15.name(), &r15);
+            let a2d = A2dSpmm::new(&a, p).expect("2D");
+            let r2d = a2d.run(&x, iters).expect("2D run");
+            emit(a2d.name(), &r2d);
+            if let Ok((_, arrow)) = arrow_with_ranks(&a, p) {
+                let ra = arrow.run(&x, iters).expect("arrow run");
+                emit(arrow.name(), &ra);
+            }
+        }
+    }
+    table.print(&format!("§3 ablation: 2D vs 1.5D vs arrow (WebBase-like, n = {n})"));
+    println!(
+        "\nexpected: 2D sends more, smaller messages (higher latency, log-factor \
+         bandwidth) than 1.5D with c = √p; arrow beats both on volume"
+    );
+}

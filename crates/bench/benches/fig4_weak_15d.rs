@@ -1,0 +1,55 @@
+//! E4 — **Figure 4** of the paper: "Weak scaling of the 1D/1.5D baseline
+//! for varying replication factors c on the MAWI datasets".
+//!
+//! The MAWI-like series grows with a fixed vertices-per-rank ratio; for
+//! each feature count k ∈ {32, 64, 128} and replication factor
+//! c ∈ {1, 2, 4, 8} we report the simulated per-iteration runtime.
+//! The paper's claims to reproduce: larger c is faster, and runtime grows
+//! markedly with the dataset size (the baseline does *not* weak-scale —
+//! Figure 6 contrasts this with the arrow decomposition).
+
+use amd_bench::{bench_graph, BenchScale, Table};
+use amd_graph::generators::datasets::DatasetKind;
+use amd_spmm::{A15dSpmm, DistSpmm};
+use amd_sparse::{CsrMatrix, DenseMatrix};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let base = scale.base_n() / 2;
+    // Weak-scaling series: n and p grow together (n/p fixed).
+    let series: Vec<(u32, u32)> =
+        [(1u32, 8u32), (2, 16), (4, 32)].iter().map(|&(f, p)| (base * f, p)).collect();
+    let ks: &[u32] = if scale == BenchScale::Small { &[32] } else { &[32, 64, 128] };
+    let iters = 2;
+
+    let mut table = Table::new(vec![
+        "k", "c", "n", "p", "sim time/iter (ms)", "max volume/iter (MiB)",
+    ]);
+    for &k in ks {
+        for &c in &[1u32, 2, 4, 8] {
+            for &(n, p) in &series {
+                if p % c != 0 {
+                    continue;
+                }
+                let g = bench_graph(DatasetKind::Mawi, n);
+                let a: CsrMatrix<f64> = g.to_adjacency();
+                let alg = A15dSpmm::new(&a, p, c).expect("valid grid");
+                let x = DenseMatrix::from_fn(n, k, |r, cc| ((r + cc) % 7) as f64);
+                let run = alg.run(&x, iters).expect("run succeeds");
+                table.row(vec![
+                    format!("{k}"),
+                    format!("{c}"),
+                    format!("{n}"),
+                    format!("{p}"),
+                    format!("{:.3}", run.sim_time_per_iter() * 1e3),
+                    format!("{:.3}", run.volume_per_iter() / (1024.0 * 1024.0)),
+                ]);
+            }
+        }
+    }
+    table.print("Figure 4: 1D/1.5D weak scaling on MAWI-like series");
+    println!(
+        "\npaper claims: runtime decreases with larger c; the baseline slows down \
+         ~3x from the smallest to the largest dataset (no weak scaling)"
+    );
+}

@@ -1,0 +1,103 @@
+//! K1–K5 — criterion microbenchmarks of the computational kernels.
+//!
+//! These cover the building blocks whose constants determine the end-to-
+//! end numbers: local SpMM (serial vs rayon), LA-Decompose construction,
+//! random spanning forests, the smallest-first layout, and the binomial
+//! broadcast of the comm substrate.
+
+use amd_bench::{bench_graph, BENCH_SEED};
+use amd_comm::{Group, Machine};
+use amd_graph::generators::datasets::DatasetKind;
+use amd_graph::mst::random_spanning_forest;
+use amd_linarr::tree_layout::{root_tree, smallest_first_order};
+use amd_sparse::{spmm, CsrMatrix, DenseMatrix};
+use arrow_core::{la_decompose, DecomposeConfig, RandomForestLa};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_local_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_spmm");
+    let g = bench_graph(DatasetKind::WebBase, 10_000);
+    let a: CsrMatrix<f64> = g.to_adjacency();
+    for k in [32u32, 128] {
+        let x = DenseMatrix::from_fn(a.cols(), k, |r, cc| ((r + cc) % 13) as f64);
+        group.throughput(Throughput::Elements((a.nnz() as u64) * k as u64));
+        group.bench_with_input(BenchmarkId::new("serial", k), &k, |bch, _| {
+            bch.iter(|| spmm::spmm(&a, &x).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", k), &k, |bch, _| {
+            bch.iter(|| spmm::spmm_parallel(&a, &x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("la_decompose");
+    group.sample_size(10);
+    for kind in [DatasetKind::GenBank, DatasetKind::Mawi] {
+        let g = bench_graph(kind, 20_000);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        group.bench_function(kind.name(), |bch| {
+            bch.iter(|| {
+                la_decompose(
+                    &a,
+                    &DecomposeConfig::with_width(512),
+                    &mut RandomForestLa::new(BENCH_SEED),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spanning_forest(c: &mut Criterion) {
+    let g = bench_graph(DatasetKind::WebBase, 20_000);
+    c.bench_function("random_spanning_forest_20k", |bch| {
+        bch.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+            random_spanning_forest(&g, &mut rng)
+        })
+    });
+}
+
+fn bench_tree_layout(c: &mut Criterion) {
+    let g = bench_graph(DatasetKind::GenBank, 20_000);
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    let forest = random_spanning_forest(&g, &mut rng);
+    c.bench_function("smallest_first_order_20k", |bch| {
+        bch.iter(|| smallest_first_order(&forest))
+    });
+    let tree = amd_graph::generators::random::random_tree(20_000, &mut rng);
+    c.bench_function("root_tree_20k", |bch| bch.iter(|| root_tree(&tree, 0)));
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_broadcast");
+    group.sample_size(10);
+    for p in [8u32, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, &p| {
+            bch.iter(|| {
+                Machine::new(p).run(|ctx| {
+                    let g = Group::world(ctx);
+                    let data =
+                        if g.my_idx() == 0 { Some(vec![1.0f64; 4096]) } else { None };
+                    g.broadcast(ctx, 0, data).len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_local_spmm,
+    bench_decomposition,
+    bench_spanning_forest,
+    bench_tree_layout,
+    bench_broadcast
+);
+criterion_main!(kernels);

@@ -1,0 +1,131 @@
+//! E1 — **Table 1** of the paper: "Bounds on the cost of a linear
+//! arrangement".
+//!
+//! For each graph family in the table we build instances, run the
+//! arrangement algorithm the paper's bound refers to (Separator-LA for
+//! the separator families, smallest-first for trees), and report the
+//! measured cost `λ_π(G)` next to the asymptotic bound evaluated with
+//! unit constant. The measured/bound ratio staying ≤ O(1) across sizes
+//! is the reproduction of the table.
+
+use amd_bench::{BenchScale, Table, BENCH_SEED};
+use amd_graph::generators::{basic, random, structured};
+use amd_graph::separator::BfsLevelSeparator;
+use amd_graph::Graph;
+use amd_linarr::tree_layout::{root_tree, smallest_first_order};
+use amd_linarr::{la_cost, separator_la};
+use amd_sparse::Permutation;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct FamilyRow {
+    family: &'static str,
+    bound_label: &'static str,
+    graph: Graph,
+    /// Evaluates the paper's bound with unit constant.
+    bound: Box<dyn Fn(&Graph) -> f64>,
+    /// Computes the arrangement the bound refers to.
+    arrange: Box<dyn Fn(&Graph) -> Permutation>,
+}
+
+fn tree_arrangement(g: &Graph) -> Permutation {
+    Permutation::from_order(smallest_first_order(&root_tree(g, 0)))
+        .expect("tree layout covers every vertex")
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let n = (scale.base_n() / 4).max(1024);
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+
+    let log2 = |x: f64| x.log2().max(1.0);
+    let rows: Vec<FamilyRow> = vec![
+        FamilyRow {
+            family: "Tree (random)",
+            bound_label: "n*Delta",
+            graph: random::random_tree(n, &mut rng),
+            bound: Box::new(|g| g.n() as f64 * g.max_degree() as f64),
+            arrange: Box::new(tree_arrangement),
+        },
+        FamilyRow {
+            family: "Tree (binary)",
+            bound_label: "n*Delta",
+            graph: basic::complete_ary_tree(2, n),
+            bound: Box::new(|g| g.n() as f64 * g.max_degree() as f64),
+            arrange: Box::new(tree_arrangement),
+        },
+        FamilyRow {
+            family: "Caterpillar",
+            bound_label: "n*Delta",
+            graph: structured::caterpillar(n / 4, 3),
+            bound: Box::new(|g| g.n() as f64 * g.max_degree() as f64),
+            arrange: Box::new(tree_arrangement),
+        },
+        FamilyRow {
+            // Paper's Table 1 states O(n log n) via the specialised
+            // algorithm of Eikel et al.; our Separator-LA realises the
+            // Lemma 2 guarantee O(n·Δ·s·log n) with s ≤ 3 for SP graphs.
+            family: "Series-parallel",
+            bound_label: "n*Delta*log n (Lemma 2)",
+            graph: structured::series_parallel(n, &mut rng),
+            bound: Box::new(move |g| {
+                g.n() as f64 * g.max_degree() as f64 * log2(g.n() as f64)
+            }),
+            arrange: Box::new(|g| separator_la(g, &BfsLevelSeparator)),
+        },
+        FamilyRow {
+            // Same note: the Δ-free O(n·τ·log n) needs tree-decomposition
+            // separators; Lemma 2 with s = τ+1 is what Separator-LA gives.
+            family: "Treewidth 3 (3-tree)",
+            bound_label: "n*Delta*(tau+1)*log n (Lemma 2)",
+            graph: structured::k_tree(n, 3, &mut rng),
+            bound: Box::new(move |g| {
+                g.n() as f64 * g.max_degree() as f64 * 4.0 * log2(g.n() as f64)
+            }),
+            arrange: Box::new(|g| separator_la(g, &BfsLevelSeparator)),
+        },
+        FamilyRow {
+            family: "Planar (grid)",
+            bound_label: "n*Delta*sqrt(n)",
+            graph: {
+                let side = (n as f64).sqrt() as u32;
+                basic::grid_2d(side, side)
+            },
+            bound: Box::new(|g| {
+                g.n() as f64 * g.max_degree() as f64 * (g.n() as f64).sqrt()
+            }),
+            arrange: Box::new(|g| separator_la(g, &BfsLevelSeparator)),
+        },
+    ];
+
+    let mut table = Table::new(vec![
+        "family [bound]",
+        "n",
+        "m",
+        "Delta",
+        "measured cost",
+        "bound",
+        "ratio",
+    ]);
+    for row in &rows {
+        let pi = (row.arrange)(&row.graph);
+        let cost = la_cost(&row.graph, &pi);
+        let bound = (row.bound)(&row.graph);
+        table.row(vec![
+            format!("{} [{}]", row.family, row.bound_label),
+            format!("{}", row.graph.n()),
+            format!("{}", row.graph.m()),
+            format!("{}", row.graph.max_degree()),
+            format!("{cost}"),
+            format!("{bound:.0}"),
+            format!("{:.3}", cost as f64 / bound),
+        ]);
+    }
+    table.print("Table 1: linear arrangement cost vs paper bound (unit constants)");
+    println!(
+        "\nreproduction criterion: ratio stays O(1) (bounds hold up to constants). \
+         For series-parallel and bounded-treewidth graphs the paper cites Δ-free \
+         bounds via specialised MLA algorithms [Eikel et al., Böttcher et al.]; \
+         Separator-LA realises the Lemma 2 form shown here."
+    );
+}

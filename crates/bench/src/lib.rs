@@ -1,0 +1,17 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the experiment index). This library
+//! provides the common pieces: the dataset registry at bench scale,
+//! algorithm constructors, and plain-text table output.
+
+pub mod datasets;
+pub mod runner;
+pub mod table;
+
+pub use datasets::{bench_graph, BenchScale};
+pub use runner::{arrow_for, best_c, hp1d_for, spmm_15d_for};
+pub use table::Table;
+
+/// Fixed seed so every bench is reproducible run-to-run.
+pub const BENCH_SEED: u64 = 0x5eed_2024;

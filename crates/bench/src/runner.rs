@@ -1,0 +1,109 @@
+//! Algorithm constructors used across the bench targets.
+
+use crate::BENCH_SEED;
+use amd_graph::Graph;
+use amd_partition::{hype_partition, HypeConfig};
+use amd_sparse::{CsrMatrix, SparseResult};
+use amd_spmm::{A15dSpmm, ArrowSpmm, DistSpmm, Hp1dSpmm};
+use arrow_core::{la_decompose, ArrowDecomposition, DecomposeConfig, RandomForestLa};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Decomposes `a` at width `b` with the paper's random-forest strategy and
+/// plans the distributed arrow algorithm.
+pub fn arrow_for(a: &CsrMatrix<f64>, b: u32) -> SparseResult<(ArrowDecomposition, ArrowSpmm)> {
+    let d = la_decompose(
+        a,
+        &DecomposeConfig::with_width(b),
+        &mut RandomForestLa::new(BENCH_SEED),
+    )?;
+    let alg = ArrowSpmm::new(&d)?;
+    Ok((d, alg))
+}
+
+/// Picks an arrow width so that the planned algorithm uses roughly
+/// `target_p` ranks: widths shrink until the rank count reaches the
+/// target (mirrors the paper choosing `b` per dataset and "leaving a few
+/// ranks unused").
+pub fn arrow_with_ranks(
+    a: &CsrMatrix<f64>,
+    target_p: u32,
+) -> SparseResult<(ArrowDecomposition, ArrowSpmm)> {
+    // Initial guess: level 0 alone needs about active_n / b = p blocks.
+    let mut b = (a.rows().div_ceil(target_p)).max(2);
+    for _ in 0..8 {
+        let (d, alg) = arrow_for(a, b)?;
+        let p = alg.ranks();
+        if p >= target_p || b <= 2 {
+            return Ok((d, alg));
+        }
+        // Too few ranks (compaction shrank the levels): narrow the width.
+        let shrink = (target_p as f64 / p as f64).min(4.0);
+        b = ((b as f64 / shrink) as u32).max(2);
+    }
+    arrow_for(a, b)
+}
+
+/// The `c = ⌊√p⌋`-rounded-to-divisor replication factor the paper uses
+/// for the 1.5D baseline ("we use c = ⌊√p⌋ in our experiments").
+pub fn best_c(p: u32) -> u32 {
+    let target = (p as f64).sqrt().floor() as u32;
+    // Largest divisor of p that is ≤ target.
+    (1..=target.max(1)).rev().find(|c| p.is_multiple_of(*c)).unwrap_or(1)
+}
+
+/// Builds the 1.5D baseline with the paper's replication choice.
+pub fn spmm_15d_for(a: &CsrMatrix<f64>, p: u32) -> SparseResult<A15dSpmm> {
+    A15dSpmm::new(a, p, best_c(p))
+}
+
+/// Builds the HP-1D baseline: HYPE partition into `p` parts, then the
+/// overlapped 1D algorithm.
+pub fn hp1d_for(g: &Graph, a: &CsrMatrix<f64>, p: u32) -> SparseResult<Hp1dSpmm> {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED ^ 0x4879_7065);
+    let part = hype_partition(g, p, &HypeConfig::default(), &mut rng);
+    Hp1dSpmm::new(a, &part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::basic;
+    use amd_spmm::DistSpmm;
+
+    #[test]
+    fn best_c_divides() {
+        for p in [1u32, 4, 6, 8, 12, 16, 36, 64] {
+            let c = best_c(p);
+            assert_eq!(p % c, 0);
+            assert!(c as f64 <= (p as f64).sqrt() + 1e-9);
+        }
+        assert_eq!(best_c(16), 4);
+        assert_eq!(best_c(8), 2);
+        assert_eq!(best_c(7), 1);
+    }
+
+    #[test]
+    fn constructors_produce_working_algorithms() {
+        let g = basic::grid_2d(20, 20);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let (_, arrow) = arrow_for(&a, 64).unwrap();
+        assert!(arrow.ranks() >= 4);
+        let d15 = spmm_15d_for(&a, 8).unwrap();
+        assert_eq!(d15.ranks(), 8);
+        let hp = hp1d_for(&g, &a, 4).unwrap();
+        assert_eq!(hp.ranks(), 4);
+    }
+
+    #[test]
+    fn rank_targeting_converges() {
+        let g = basic::grid_2d(40, 40);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let (_, alg) = arrow_with_ranks(&a, 16).unwrap();
+        let p = alg.ranks();
+        assert!(
+            (8..=48).contains(&p),
+            "rank targeting gave p = {p}, wanted ≈ 16"
+        );
+    }
+}

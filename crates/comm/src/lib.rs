@@ -1,0 +1,39 @@
+//! A message-passing machine with α-β cost accounting.
+//!
+//! This crate is the stand-in for the MPI + GPU cluster of the paper's
+//! evaluation (see DESIGN.md §1). A [`Machine`] runs `p` *ranks* as real
+//! OS threads executing the same SPMD closure; ranks exchange real data
+//! through channels, and every message and local kernel is charged to a
+//! per-rank **simulated clock** following the α-β model of §2:
+//!
+//! * sending a message of `s` bytes occupies the sender for `α + β·s`
+//!   (single-port, sends serialise),
+//! * the receiver's clock advances to
+//!   `max(local, depart + α + β·s)` when the message is consumed — which
+//!   means computation placed *before* a receive naturally overlaps with
+//!   the transfer, exactly like nonblocking MPI,
+//! * local work is charged via [`RankCtx::compute_flops`].
+//!
+//! Collectives ([`Group`]) are built from point-to-point messages with
+//! binomial trees, so their `O(log p)` latency emerges from the model
+//! rather than being injected as a formula.
+//!
+//! The simulated clock is deterministic given the message pattern: message
+//! timestamps travel with the data and the final times are maxima over
+//! them, independent of real thread scheduling.
+
+pub mod collectives;
+pub mod cost;
+pub mod machine;
+pub mod message;
+pub mod rank;
+pub mod routing;
+pub mod stats;
+
+pub use collectives::Group;
+pub use cost::CostModel;
+pub use machine::{Machine, RunReport};
+pub use message::Payload;
+pub use rank::RankCtx;
+pub use routing::RoutedItem;
+pub use stats::{MachineStats, RankStats};

@@ -1,0 +1,194 @@
+//! The machine: spawns ranks, runs the SPMD closure, collects stats.
+
+use crate::cost::CostModel;
+use crate::message::Packet;
+use crate::rank::RankCtx;
+use crate::stats::MachineStats;
+use crossbeam_channel::unbounded;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A `p`-rank message-passing machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    p: u32,
+    cost: CostModel,
+}
+
+/// Results and accounting of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport<T> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Per-rank and aggregate accounting.
+    pub stats: MachineStats,
+}
+
+impl Machine {
+    /// A machine with `p ≥ 1` ranks and the default cost model.
+    pub fn new(p: u32) -> Self {
+        assert!(p >= 1, "machine needs at least one rank");
+        Self { p, cost: CostModel::default() }
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Runs `program` on every rank (SPMD) and joins.
+    ///
+    /// Each rank executes on its own OS thread; a panic in any rank
+    /// propagates after all threads have been joined.
+    pub fn run<T, F>(&self, program: F) -> RunReport<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        let p = self.p as usize;
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Packet>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let start = Instant::now();
+        let program = &program;
+        let outcomes: Vec<(T, crate::stats::RankStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(r, rx)| {
+                    let senders = Arc::clone(&senders);
+                    let cost = self.cost;
+                    scope.spawn(move || {
+                        let mut ctx = RankCtx::new(r as u32, p as u32, cost, senders, rx);
+                        let out = program(&mut ctx);
+                        (out, ctx.finalize())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(r, h)| {
+                    h.join().unwrap_or_else(|e| {
+                        std::panic::resume_unwind(Box::new(format!(
+                            "rank {r} panicked: {}",
+                            panic_message(&*e)
+                        )))
+                    })
+                })
+                .collect()
+        });
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let mut results = Vec::with_capacity(p);
+        let mut ranks = Vec::with_capacity(p);
+        for (out, stats) in outcomes {
+            results.push(out);
+            ranks.push(stats);
+        }
+        RunReport { results, stats: MachineStats { ranks, wall_seconds } }
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let report = Machine::new(4).run(|ctx| (ctx.rank(), ctx.p()));
+        for (r, &(rank, p)) in report.results.iter().enumerate() {
+            assert_eq!(rank as usize, r);
+            assert_eq!(p, 4);
+        }
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Token passed around a ring, each rank adds its id.
+        let p = 8u32;
+        let report = Machine::new(p).run(|ctx| {
+            let r = ctx.rank();
+            if r == 0 {
+                ctx.send(1, 0, 0u64);
+                let total: u64 = ctx.recv(p - 1, 0);
+                total
+            } else {
+                let acc: u64 = ctx.recv(r - 1, 0);
+                ctx.send((r + 1) % p, 0, acc + r as u64);
+                0
+            }
+        });
+        assert_eq!(report.results[0], (0..8).sum::<u64>());
+        // Latency chain: p sequential messages → sim time ≥ p · α.
+        let alpha = CostModel::default().alpha;
+        assert!(report.stats.sim_time() >= p as f64 * alpha);
+    }
+
+    #[test]
+    fn deterministic_sim_times() {
+        let run = || {
+            Machine::new(6)
+                .run(|ctx| {
+                    let r = ctx.rank();
+                    // Everyone sends to rank 0, rank 0 replies.
+                    if r == 0 {
+                        for s in 1..6 {
+                            let _: Vec<f64> = ctx.recv(s, 1);
+                        }
+                        for s in 1..6 {
+                            ctx.send(s, 2, 1.0f64);
+                        }
+                    } else {
+                        ctx.send(0, 1, vec![0.0f64; r as usize * 10]);
+                        let _: f64 = ctx.recv(0, 2);
+                    }
+                    ctx.sim_time()
+                })
+                .results
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wall_time_recorded() {
+        let report = Machine::new(2).run(|_| ());
+        assert!(report.stats.wall_seconds >= 0.0);
+        assert_eq!(report.stats.ranks.len(), 2);
+    }
+
+    #[test]
+    fn large_rank_count_smoke() {
+        let report = Machine::new(64).run(|ctx| {
+            // Nearest-neighbour exchange.
+            let r = ctx.rank();
+            let right = (r + 1) % 64;
+            let left = (r + 63) % 64;
+            ctx.send(right, 0, r as u64);
+            let v: u64 = ctx.recv(left, 0);
+            v
+        });
+        assert_eq!(report.results[1], 0);
+        assert_eq!(report.results[0], 63);
+    }
+}

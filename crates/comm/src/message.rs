@@ -1,0 +1,110 @@
+//! Message payloads and the in-flight packet representation.
+
+use std::any::Any;
+
+/// Types that can be sent between ranks.
+///
+/// `payload_bytes` is the number charged to the β term of the cost model —
+/// the wire size of the payload, not of Rust bookkeeping.
+pub trait Payload: Send + 'static {
+    /// Wire size in bytes.
+    fn payload_bytes(&self) -> usize;
+}
+
+impl Payload for () {
+    fn payload_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for f64 {
+    fn payload_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Payload for u64 {
+    fn payload_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Payload for u32 {
+    fn payload_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn payload_bytes(&self) -> usize {
+        8 * self.len()
+    }
+}
+
+impl Payload for Vec<f32> {
+    fn payload_bytes(&self) -> usize {
+        4 * self.len()
+    }
+}
+
+impl Payload for Vec<u32> {
+    fn payload_bytes(&self) -> usize {
+        4 * self.len()
+    }
+}
+
+impl Payload for Vec<u64> {
+    fn payload_bytes(&self) -> usize {
+        8 * self.len()
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn payload_bytes(&self) -> usize {
+        self.0.payload_bytes() + self.1.payload_bytes()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn payload_bytes(&self) -> usize {
+        self.0.payload_bytes() + self.1.payload_bytes() + self.2.payload_bytes()
+    }
+}
+
+/// A typed message in flight.
+pub(crate) struct Packet {
+    pub src: u32,
+    pub tag: u64,
+    pub bytes: usize,
+    /// Sender's simulated clock at the start of the transmission.
+    pub depart: f64,
+    pub data: Box<dyn Any + Send>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(().payload_bytes(), 0);
+        assert_eq!(1.5f64.payload_bytes(), 8);
+        assert_eq!(vec![0u32; 5].payload_bytes(), 20);
+        assert_eq!(vec![0.0f64; 3].payload_bytes(), 24);
+        assert_eq!((vec![0u32; 2], vec![0.0f64; 2]).payload_bytes(), 24);
+        assert_eq!((1u32, 2u64, vec![0.0f64; 1]).payload_bytes(), 20);
+    }
+
+    #[test]
+    fn packet_roundtrips_through_any() {
+        let p = Packet {
+            src: 3,
+            tag: 7,
+            bytes: 16,
+            depart: 0.5,
+            data: Box::new(vec![1.0f64, 2.0]),
+        };
+        let v = p.data.downcast::<Vec<f64>>().unwrap();
+        assert_eq!(*v, vec![1.0, 2.0]);
+    }
+}

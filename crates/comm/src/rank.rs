@@ -1,0 +1,302 @@
+//! The per-rank execution context.
+
+use crate::cost::CostModel;
+use crate::message::{Packet, Payload};
+use crate::stats::RankStats;
+use crossbeam_channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle a rank's program uses to communicate, charge compute, and read
+/// its simulated clock.
+pub struct RankCtx {
+    rank: u32,
+    p: u32,
+    cost: CostModel,
+    senders: Arc<Vec<Sender<Packet>>>,
+    rx: Receiver<Packet>,
+    /// Messages received from the channel but not yet matched by a
+    /// `recv(src, tag)` call.
+    unmatched: Vec<Packet>,
+    sim_time: f64,
+    /// Inbound-link clock: the NIC drains one message at a time, so a
+    /// rank's aggregate incoming volume serialises at β bytes/s even when
+    /// the CPU clock is ahead (single-port, full-duplex model).
+    nic_time: f64,
+    pub(crate) stats: RankStats,
+    /// Per-group collective sequence numbers (see `collectives`).
+    pub(crate) coll_seq: HashMap<u64, u64>,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: u32,
+        p: u32,
+        cost: CostModel,
+        senders: Arc<Vec<Sender<Packet>>>,
+        rx: Receiver<Packet>,
+    ) -> Self {
+        Self {
+            rank,
+            p,
+            cost,
+            senders,
+            rx,
+            unmatched: Vec::new(),
+            sim_time: 0.0,
+            nic_time: 0.0,
+            stats: RankStats::default(),
+            coll_seq: HashMap::new(),
+        }
+    }
+
+    /// This rank's id in `0..p`.
+    #[inline]
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    #[inline]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// The machine's cost model.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current simulated clock in seconds.
+    #[inline]
+    pub fn sim_time(&self) -> f64 {
+        self.sim_time
+    }
+
+    /// Sends `data` to `to` with a user `tag` (tags with the top bit set
+    /// are reserved for collectives). Never blocks; the sender's clock
+    /// advances by `α + β·bytes` (single-port model).
+    pub fn send<T: Payload>(&mut self, to: u32, tag: u64, data: T) {
+        assert!(to < self.p, "send to rank {to} out of range (p = {})", self.p);
+        self.send_internal(to, tag, data);
+    }
+
+    pub(crate) fn send_internal<T: Payload>(&mut self, to: u32, tag: u64, data: T) {
+        let bytes = data.payload_bytes();
+        let depart = self.sim_time;
+        self.sim_time += self.cost.transfer_time(bytes);
+        self.stats.sent_bytes += bytes as u64;
+        self.stats.sent_msgs += 1;
+        let pkt = Packet { src: self.rank, tag, bytes, depart, data: Box::new(data) };
+        self.senders[to as usize]
+            .send(pkt)
+            .expect("receiver thread alive for the duration of the run");
+    }
+
+    /// Receives the next message from `from` with tag `tag`, blocking the
+    /// OS thread until it arrives.
+    ///
+    /// Timing: the message occupies the inbound link for `β·bytes`
+    /// starting no earlier than `depart + α`, and inbound transfers
+    /// serialise (single-port). The CPU clock advances to the completed
+    /// arrival, so compute performed before this call overlaps with the
+    /// transfer — as with nonblocking MPI — but a rank receiving from many
+    /// peers still pays `β · total bytes` (the hot-spot behaviour that
+    /// breaks 1D algorithms on star graphs).
+    ///
+    /// Panics if the payload type does not match the sender's.
+    pub fn recv<T: Payload>(&mut self, from: u32, tag: u64) -> T {
+        let pkt = self.take_packet(from, tag);
+        self.nic_time = (self.nic_time.max(pkt.depart + self.cost.alpha))
+            + self.cost.beta * pkt.bytes as f64;
+        self.sim_time = self.sim_time.max(self.nic_time);
+        self.stats.recv_bytes += pkt.bytes as u64;
+        self.stats.recv_msgs += 1;
+        *pkt.data.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {}: type mismatch receiving (src={from}, tag={tag:#x})",
+                self.rank
+            )
+        })
+    }
+
+    fn take_packet(&mut self, from: u32, tag: u64) -> Packet {
+        if let Some(i) = self.unmatched.iter().position(|p| p.src == from && p.tag == tag) {
+            // `remove`, not `swap_remove`: messages with the same (src, tag)
+            // must keep FIFO order (MPI non-overtaking rule) — the ring
+            // all-reduce relies on it.
+            return self.unmatched.remove(i);
+        }
+        loop {
+            let pkt = self
+                .rx
+                .recv()
+                .expect("channel closed while rank still expects messages");
+            if pkt.src == from && pkt.tag == tag {
+                return pkt;
+            }
+            self.unmatched.push(pkt);
+        }
+    }
+
+    /// Charges `flops` of local computation to the simulated clock.
+    pub fn compute_flops(&mut self, flops: f64) {
+        let t = self.cost.compute_time(flops);
+        self.sim_time += t;
+        self.stats.compute_time += t;
+    }
+
+    /// Advances the simulated clock by raw seconds (rarely needed; prefer
+    /// [`compute_flops`](Self::compute_flops)).
+    pub fn elapse(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.sim_time += seconds;
+    }
+
+    pub(crate) fn finalize(mut self) -> RankStats {
+        self.stats.sim_time = self.sim_time;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn clock_advances_on_send_and_recv() {
+        let cost = CostModel { alpha: 1.0, beta: 0.1, compute_rate: 1.0 };
+        let report = Machine::new(2).with_cost(cost).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![0.0f64; 10]); // 80 bytes → 1 + 8 = 9 s
+                ctx.sim_time()
+            } else {
+                let v: Vec<f64> = ctx.recv(0, 1);
+                assert_eq!(v.len(), 10);
+                ctx.sim_time()
+            }
+        });
+        assert_eq!(report.results[0], 9.0); // sender occupied
+        assert_eq!(report.results[1], 9.0); // depart 0 + 9
+    }
+
+    #[test]
+    fn recv_models_overlap() {
+        // Receiver computes 100 s before receiving a message that arrives
+        // at t = 9 → clock stays at 100 (transfer hidden).
+        let cost = CostModel { alpha: 1.0, beta: 0.1, compute_rate: 1.0 };
+        let report = Machine::new(2).with_cost(cost).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![0.0f64; 10]);
+                0.0
+            } else {
+                ctx.compute_flops(100.0);
+                let _: Vec<f64> = ctx.recv(0, 7);
+                ctx.sim_time()
+            }
+        });
+        assert_eq!(report.results[1], 100.0);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let report = Machine::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, 10u64);
+                ctx.send(1, 2, 20u64);
+                0
+            } else {
+                // Receive in reverse tag order.
+                let b: u64 = ctx.recv(0, 2);
+                let a: u64 = ctx.recv(0, 1);
+                assert_eq!((a, b), (10, 20));
+                1
+            }
+        });
+        assert_eq!(report.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn inbound_volume_serialises_at_receiver() {
+        // A hot-spot rank receiving from many peers pays β·total even if
+        // all senders depart simultaneously (single inbound port).
+        let cost = CostModel { alpha: 0.0, beta: 1.0, compute_rate: 1.0 };
+        let p = 8u32;
+        let report = Machine::new(p).with_cost(cost).run(|ctx| {
+            if ctx.rank() == 0 {
+                for s in 1..p {
+                    let _: Vec<f64> = ctx.recv(s, 0);
+                }
+                ctx.sim_time()
+            } else {
+                ctx.send(0, 0, vec![0.0f64; 10]); // 80 bytes each
+                0.0
+            }
+        });
+        // 7 messages × 80 bytes × β = 560 s of inbound occupancy.
+        assert!(
+            (report.results[0] - 560.0).abs() < 1e-9,
+            "hot-spot time {}",
+            report.results[0]
+        );
+    }
+
+    #[test]
+    fn same_tag_messages_keep_fifo_order() {
+        // MPI non-overtaking: many messages with identical (src, tag) must
+        // be received in send order even when other traffic interleaves
+        // and forces buffering. Regression test for a swap_remove bug that
+        // broke the ring all-reduce.
+        let report = Machine::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..50u64 {
+                    ctx.send(1, 9, i); // same tag stream
+                    ctx.send(1, 1000 + i, ()); // decoy traffic
+                }
+                Vec::new()
+            } else {
+                // Buffer everything by first receiving all decoys.
+                for i in 0..50u64 {
+                    let _: () = ctx.recv(0, 1000 + i);
+                }
+                (0..50).map(|_| ctx.recv::<u64>(0, 9)).collect::<Vec<u64>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let report = Machine::new(1).run(|ctx| {
+            ctx.send(0, 3, 5u32);
+            let v: u32 = ctx.recv(0, 3);
+            v
+        });
+        assert_eq!(report.results, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        Machine::new(1).run(|ctx| {
+            ctx.send(5, 0, ());
+        });
+    }
+
+    #[test]
+    fn stats_account_volume() {
+        let report = Machine::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0u32; 25]); // 100 bytes
+            } else {
+                let _: Vec<u32> = ctx.recv(0, 0);
+            }
+        });
+        assert_eq!(report.stats.ranks[0].sent_bytes, 100);
+        assert_eq!(report.stats.ranks[1].recv_bytes, 100);
+        assert_eq!(report.stats.total_sent(), 100);
+        assert_eq!(report.stats.max_volume(), 100);
+    }
+}

@@ -1,0 +1,251 @@
+//! Low-latency destination routing (the Theorem 2 machinery).
+//!
+//! The aggregation step of the paper's Algorithm 2 must deliver rows from
+//! one level's ranks to another's without a naive all-to-all. Theorem 2
+//! does this by pre-sorting rows by destination and scheduling the
+//! exchanges through a sorting network of depth `O(log² p)`. This module
+//! provides the equivalent primitive with hypercube dimension-order
+//! routing: `O(log p)` rounds, each item forwarded at most `log p` times,
+//! with every rank sending/receiving exactly one (possibly empty) message
+//! per round — the same latency/bandwidth envelope Theorem 2 needs
+//! (`O(α log p + β·V·log p)` for per-rank item volume `V`).
+//!
+//! For non-power-of-two groups the router falls back to a direct
+//! personalised exchange (one message per destination), which preserves
+//! volume at a latency of `O(α·p)`.
+
+use crate::collectives::Group;
+use crate::rank::RankCtx;
+
+/// An item in flight: destination member index plus an opaque payload.
+/// The `tag` travels with the payload so callers can demultiplex (e.g.
+/// encode a row id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedItem {
+    /// Destination member index within the group.
+    pub dest: u32,
+    /// Caller-defined discriminator (row id, level id, …).
+    pub tag: u64,
+    /// Payload rows.
+    pub data: Vec<f64>,
+}
+
+impl Group {
+    /// Delivers every item to the rank named by its `dest` member index.
+    ///
+    /// Returns the items destined to the calling rank (order unspecified
+    /// across sources, stable per source). All members must call
+    /// collectively.
+    pub fn route_by_destination(
+        &self,
+        ctx: &mut RankCtx,
+        items: Vec<RoutedItem>,
+    ) -> Vec<RoutedItem> {
+        let s = self.size();
+        for it in &items {
+            assert!((it.dest as usize) < s, "destination {} out of group", it.dest);
+        }
+        if s == 1 {
+            return items;
+        }
+        if s.is_power_of_two() {
+            self.route_hypercube(ctx, items)
+        } else {
+            self.route_direct(ctx, items)
+        }
+    }
+
+    /// Hypercube dimension-order routing; `s` must be a power of two.
+    fn route_hypercube(&self, ctx: &mut RankCtx, mut items: Vec<RoutedItem>) -> Vec<RoutedItem> {
+        let s = self.size();
+        let me = self.my_idx() as u32;
+        let dims = s.trailing_zeros();
+        let base = self.routing_tag(ctx);
+        for t in (0..dims).rev() {
+            let bit = 1u32 << t;
+            let partner = (me ^ bit) as usize;
+            // Ship items whose destination disagrees with my bit t.
+            let (ship, keep): (Vec<RoutedItem>, Vec<RoutedItem>) =
+                items.into_iter().partition(|it| (it.dest & bit) != (me & bit));
+            items = keep;
+            ctx.send(self.member(partner), base | t as u64, pack(&ship));
+            let incoming: Vec<f64> = ctx.recv(self.member(partner), base | t as u64);
+            items.extend(unpack(&incoming));
+        }
+        debug_assert!(items.iter().all(|it| it.dest == me));
+        items
+    }
+
+    /// Direct personalised exchange for irregular group sizes.
+    fn route_direct(&self, ctx: &mut RankCtx, items: Vec<RoutedItem>) -> Vec<RoutedItem> {
+        let s = self.size();
+        let base = self.routing_tag(ctx);
+        let mut per_dest: Vec<Vec<RoutedItem>> = vec![Vec::new(); s];
+        for it in items {
+            per_dest[it.dest as usize].push(it);
+        }
+        for (d, batch) in per_dest.into_iter().enumerate() {
+            ctx.send(self.member(d), base, pack(&batch));
+        }
+        let mut out = Vec::new();
+        for src in 0..s {
+            let incoming: Vec<f64> = ctx.recv(self.member(src), base);
+            out.extend(unpack(&incoming));
+        }
+        out
+    }
+
+    fn routing_tag(&self, ctx: &mut RankCtx) -> u64 {
+        // Reuse the collective tag space (top bit) with a routing marker.
+        let seq = ctx.coll_seq.entry(self.routing_gid()).or_insert(0);
+        let tag = (1u64 << 63) | (1 << 62) | ((self.routing_gid() & 0xFFFF_FFFF) << 16)
+            | (*seq & 0xFFF) << 4;
+        *seq += 1;
+        tag
+    }
+
+    fn routing_gid(&self) -> u64 {
+        // Distinct stream from collectives: fold the member list again.
+        self.members().iter().fold(0x9e37_79b9_7f4a_7c15u64, |h, &m| {
+            (h ^ m as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
+        })
+    }
+}
+
+/// Flat wire encoding: [count, (dest, tag, len, data…)*] as f64 words —
+/// keeps the payload type within the `Vec<f64>` Payload impl.
+fn pack(items: &[RoutedItem]) -> Vec<f64> {
+    let total: usize = items.iter().map(|i| 3 + i.data.len()).sum();
+    let mut buf = Vec::with_capacity(1 + total);
+    buf.push(items.len() as f64);
+    for it in items {
+        buf.push(it.dest as f64);
+        buf.push(it.tag as f64);
+        buf.push(it.data.len() as f64);
+        buf.extend_from_slice(&it.data);
+    }
+    buf
+}
+
+fn unpack(buf: &[f64]) -> Vec<RoutedItem> {
+    let mut out = Vec::new();
+    if buf.is_empty() {
+        return out;
+    }
+    let count = buf[0] as usize;
+    let mut pos = 1usize;
+    for _ in 0..count {
+        let dest = buf[pos] as u32;
+        let tag = buf[pos + 1] as u64;
+        let len = buf[pos + 2] as usize;
+        pos += 3;
+        out.push(RoutedItem { dest, tag, data: buf[pos..pos + len].to_vec() });
+        pos += len;
+    }
+    debug_assert_eq!(pos, buf.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn run_routing(p: u32, items_per_rank: usize) -> bool {
+        let report = Machine::new(p).run(|ctx| {
+            let g = Group::world(ctx);
+            let me = g.my_idx() as u32;
+            // Each rank sends one item to every destination (round-robin
+            // extras), tagged with (source, sequence).
+            let items: Vec<RoutedItem> = (0..items_per_rank)
+                .map(|i| RoutedItem {
+                    dest: (me + i as u32) % p,
+                    tag: ((me as u64) << 32) | i as u64,
+                    data: vec![me as f64, i as f64],
+                })
+                .collect();
+            let received = g.route_by_destination(ctx, items);
+            // All items must be addressed to me and intact.
+            received.iter().all(|it| {
+                let src = (it.tag >> 32) as u32;
+                let seq = (it.tag & 0xFFFF_FFFF) as usize;
+                it.dest == me
+                    && it.data == vec![src as f64, seq as f64]
+                    && (src + seq as u32) % p == me
+            }) && received.len() == items_per_rank
+        });
+        report.results.into_iter().all(|ok| ok)
+    }
+
+    #[test]
+    fn hypercube_routing_power_of_two() {
+        for p in [2u32, 4, 8, 16] {
+            assert!(run_routing(p, p as usize), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn direct_routing_irregular_sizes() {
+        for p in [3u32, 5, 7, 12] {
+            assert!(run_routing(p, p as usize), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn single_rank_short_circuit() {
+        assert!(run_routing(1, 3));
+    }
+
+    #[test]
+    fn empty_item_lists() {
+        let report = Machine::new(4).run(|ctx| {
+            let g = Group::world(ctx);
+            g.route_by_destination(ctx, Vec::new()).len()
+        });
+        assert!(report.results.iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn hypercube_latency_is_logarithmic() {
+        // log2(16) = 4 rounds of α-cost messages, far below the 15 a
+        // direct exchange would need.
+        let cost = crate::cost::CostModel { alpha: 1.0, beta: 0.0, compute_rate: 1.0 };
+        let report = Machine::new(16).with_cost(cost).run(|ctx| {
+            let g = Group::world(ctx);
+            let me = g.my_idx() as u32;
+            let items = vec![RoutedItem { dest: (me + 1) % 16, tag: 0, data: vec![] }];
+            g.route_by_destination(ctx, items);
+            ctx.sim_time()
+        });
+        let max = report.results.iter().fold(0.0f64, |a, &b| a.max(b));
+        // 4 rounds, each round: one send (α) + one recv arriving ≥ α later;
+        // allow a small constant factor for pipelining.
+        assert!(max <= 9.0, "hypercube routing critical path {max}");
+    }
+
+    #[test]
+    fn skewed_destinations_all_to_one() {
+        // Everyone routes to member 0 (the aggregation hot-spot pattern).
+        let report = Machine::new(8).run(|ctx| {
+            let g = Group::world(ctx);
+            let me = g.my_idx() as u32;
+            let items =
+                vec![RoutedItem { dest: 0, tag: me as u64, data: vec![me as f64; 4] }];
+            let got = g.route_by_destination(ctx, items);
+            (g.my_idx(), got.len())
+        });
+        for &(idx, n) in &report.results {
+            assert_eq!(n, if idx == 0 { 8 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn wire_format_roundtrip() {
+        let items = vec![
+            RoutedItem { dest: 3, tag: 42, data: vec![1.0, 2.0] },
+            RoutedItem { dest: 0, tag: 7, data: vec![] },
+        ];
+        assert_eq!(unpack(&pack(&items)), items);
+        assert_eq!(unpack(&pack(&[])), Vec::<RoutedItem>::new());
+    }
+}

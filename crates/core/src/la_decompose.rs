@@ -1,0 +1,355 @@
+//! LA-Decompose (§5.1): building an arrow matrix decomposition from linear
+//! arrangements.
+//!
+//! Given a square matrix `A` and a target arrow width `b`, repeat until no
+//! entries remain:
+//!
+//! 1. place the `b` highest-degree vertices `V_h` of the remaining graph
+//!    at the beginning of the arrangement `πᵢ` (§5.6 pruning),
+//! 2. arrange the induced subgraph `Gᵢ[Vᵢ \ V_h]` with the chosen
+//!    [`ArrangementStrategy`](crate::ArrangementStrategy) and append,
+//! 3. set `Bᵢ` to the entries of `Pᵀ_πᵢ Aᵢ P_πᵢ` that fall in the arrow
+//!    pattern (first `b` rows/columns + block-diagonal `b × b` band),
+//! 4. recurse on the remainder `Aᵢ₊₁ = Aᵢ − P_πᵢ Bᵢ Pᵀ_πᵢ`.
+//!
+//! As the paper observes, the matrices `Aᵢ` are never materialised: the
+//! algorithm works on edge lists, and levels only record which entries
+//! they own. Vertices isolated at a level are ordered last, so each level
+//! has a dense "active" prefix and later levels need fewer ranks.
+
+use crate::decomposition::{ArrowDecomposition, ArrowLevel};
+use crate::strategy::ArrangementStrategy;
+use amd_graph::degree::top_degree_vertices;
+use amd_graph::Graph;
+use amd_sparse::{CooMatrix, CsrMatrix, Permutation, SparseError, SparseResult};
+use std::collections::HashMap;
+
+/// Parameters of LA-Decompose.
+#[derive(Debug, Clone)]
+pub struct DecomposeConfig {
+    /// Target arrow width `b` (tile size of the distributed algorithm).
+    pub arrow_width: u32,
+    /// Prune the `b` highest-degree vertices into the arm before arranging
+    /// (§5.6). Disabling this is the E8 ablation.
+    pub prune: bool,
+    /// Safety cap on the number of levels; exceeded only by adversarial
+    /// arrangements (an error is returned rather than looping forever).
+    pub max_levels: u32,
+}
+
+impl Default for DecomposeConfig {
+    fn default() -> Self {
+        Self { arrow_width: 64, prune: true, max_levels: 64 }
+    }
+}
+
+impl DecomposeConfig {
+    /// Convenience constructor fixing only the arrow width.
+    pub fn with_width(arrow_width: u32) -> Self {
+        Self { arrow_width, ..Default::default() }
+    }
+}
+
+/// Runs LA-Decompose on a square matrix.
+///
+/// The sparsity structure is symmetrised for the graph view (an entry at
+/// `(i, j)` or `(j, i)` creates the edge `{i, j}`); values are carried
+/// per direction, so non-symmetric matrices decompose correctly too.
+pub fn la_decompose(
+    a: &CsrMatrix<f64>,
+    cfg: &DecomposeConfig,
+    strategy: &mut dyn ArrangementStrategy,
+) -> SparseResult<ArrowDecomposition> {
+    if a.rows() != a.cols() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.rows(), a.cols()),
+            right: (a.cols(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    let b = cfg.arrow_width.max(1);
+
+    // Structure edges {u, v}, u < v.
+    let mut edges: Vec<(u32, u32)> = Graph::from_matrix_structure(a).edge_list();
+    let has_diagonal = (0..n).any(|r| a.row_indices(r).binary_search(&r).is_ok());
+
+    // perms[i] and level_of_pair fill up as levels peel off edges.
+    let mut perms: Vec<Permutation> = Vec::new();
+    let mut active_ns: Vec<u32> = Vec::new();
+    let mut level_of_pair: HashMap<(u32, u32), u32> = HashMap::with_capacity(edges.len());
+
+    while !edges.is_empty() {
+        let level = perms.len() as u32;
+        if level >= cfg.max_levels {
+            return Err(SparseError::InvalidCsr(format!(
+                "LA-Decompose did not converge within {} levels ({} edges left); \
+                 the arrangement strategy is not reducing edge lengths",
+                cfg.max_levels,
+                edges.len()
+            )));
+        }
+        let g = Graph::from_edges(n, &edges);
+
+        // Step 1: pruning set V_h (highest degree, at most b, degree ≥ 1).
+        let pruned: Vec<u32> = if cfg.prune {
+            top_degree_vertices(&g, b as usize)
+                .into_iter()
+                .filter(|&v| g.degree(v) > 0)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut is_pruned = vec![false; n as usize];
+        for &v in &pruned {
+            is_pruned[v as usize] = true;
+        }
+
+        // Step 2: arrange the pruned-out subgraph.
+        let keep: Vec<bool> = (0..n).map(|v| !is_pruned[v as usize]).collect();
+        let filtered = g.filter_vertices(&keep);
+        let sub_pi = strategy.arrange(&filtered);
+
+        // Assemble πᵢ: pruned hubs first, then non-isolated vertices of Gᵢ
+        // in sub-arrangement order, then everything else (isolated at this
+        // level) — keeping isolated vertices last gives the dense active
+        // prefix.
+        let mut order: Vec<u32> = Vec::with_capacity(n as usize);
+        order.extend_from_slice(&pruned);
+        for p in 0..n {
+            let v = sub_pi.vertex_at(p);
+            if !is_pruned[v as usize] && g.degree(v) > 0 {
+                order.push(v);
+            }
+        }
+        let active_n = order.len() as u32;
+        for p in 0..n {
+            let v = sub_pi.vertex_at(p);
+            if !is_pruned[v as usize] && g.degree(v) == 0 {
+                order.push(v);
+            }
+        }
+        let pi = Permutation::from_order(order)
+            .expect("LA-Decompose order covers every vertex exactly once");
+
+        // Step 3: peel the arrow-shaped edges.
+        let mut remaining = Vec::with_capacity(edges.len());
+        let mut captured = 0usize;
+        for &(u, v) in &edges {
+            let (p, q) = (pi.position(u), pi.position(v));
+            if p.min(q) < b || p / b == q / b {
+                level_of_pair.insert((u, v), level);
+                captured += 1;
+            } else {
+                remaining.push((u, v));
+            }
+        }
+        debug_assert!(captured > 0, "a level must capture at least one edge");
+        edges = remaining;
+        perms.push(pi);
+        active_ns.push(active_n);
+    }
+
+    // Ensure at least one level when the matrix has diagonal entries only.
+    if perms.is_empty() && has_diagonal {
+        perms.push(Permutation::identity(n));
+        active_ns.push(n);
+    }
+
+    // Materialise the per-level matrices in position coordinates.
+    let mut builders: Vec<CooMatrix<f64>> =
+        perms.iter().map(|_| CooMatrix::new(n, n)).collect();
+    for (r, c, v) in a.iter() {
+        let (lvl, pi) = if r == c {
+            (0u32, &perms[0])
+        } else {
+            let key = if r < c { (r, c) } else { (c, r) };
+            let lvl = *level_of_pair
+                .get(&key)
+                .expect("every structural edge was assigned to a level");
+            (lvl, &perms[lvl as usize])
+        };
+        builders[lvl as usize].push(pi.position(r), pi.position(c), v)?;
+    }
+    // Diagonal entries always satisfy the block-diagonal pattern, but they
+    // belong inside the active prefix; extend active_n to cover them.
+    if has_diagonal && !perms.is_empty() {
+        let pi = &perms[0];
+        let max_diag_pos = (0..n)
+            .filter(|&r| a.row_indices(r).binary_search(&r).is_ok())
+            .map(|r| pi.position(r))
+            .max()
+            .unwrap_or(0);
+        active_ns[0] = active_ns[0].max(max_diag_pos + 1);
+    }
+
+    let levels: Vec<ArrowLevel> = perms
+        .into_iter()
+        .zip(active_ns)
+        .zip(builders)
+        .map(|((perm, active_n), coo)| ArrowLevel { perm, matrix: coo.to_csr(), active_n })
+        .collect();
+    Ok(ArrowDecomposition::new(n, b, levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{IdentityLa, RandomForestLa, RcmLa, SeparatorLaStrategy};
+    use amd_graph::generators::{basic, datasets, random};
+    use amd_sparse::{band, DenseMatrix};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_decomposition(a: &CsrMatrix<f64>, d: &ArrowDecomposition) {
+        // Exact reconstruction.
+        assert_eq!(d.validate(a).unwrap(), 0.0, "reconstruction mismatch");
+        // Each entry in exactly one level.
+        assert_eq!(d.nnz(), a.nnz(), "entries duplicated or lost");
+        for (i, level) in d.levels().iter().enumerate() {
+            // Arrow pattern within the active region: the tiled view must
+            // accept every entry.
+            let arrow = level.to_arrow(d.b()).unwrap_or_else(|e| {
+                panic!("level {i} violates the arrow pattern: {e}")
+            });
+            assert_eq!(arrow.nnz(), level.nnz());
+            // Arrow width of the materialised matrix obeys the bound
+            // (block diagonal ⇒ width < 2b, arms exempt).
+            assert!(band::is_arrow_width(&level.matrix, 2 * d.b()));
+            // No nonzeros beyond the active prefix.
+            let tail = level.matrix.submatrix(level.active_n, d.n(), 0, d.n());
+            assert_eq!(tail.nnz(), 0, "level {i} has entries beyond active_n");
+            let tail_cols = level.matrix.submatrix(0, d.n(), level.active_n, d.n());
+            assert_eq!(tail_cols.nnz(), 0, "level {i} has columns beyond active_n");
+        }
+    }
+
+    #[test]
+    fn star_decomposes_in_one_level() {
+        // The star's hub is pruned into the arm; every edge is arm-incident.
+        let a: CsrMatrix<f64> = basic::star(50).to_adjacency();
+        let d = la_decompose(&a, &DecomposeConfig::with_width(4), &mut RandomForestLa::new(1))
+            .unwrap();
+        assert_eq!(d.order(), 1);
+        check_decomposition(&a, &d);
+    }
+
+    #[test]
+    fn path_decomposes_with_identity_arrangement() {
+        let a: CsrMatrix<f64> = basic::path(64).to_adjacency();
+        let d =
+            la_decompose(&a, &DecomposeConfig::with_width(8), &mut IdentityLa).unwrap();
+        check_decomposition(&a, &d);
+        // A path in natural order has all edges in the band or one block
+        // apart; the decomposition stays shallow.
+        assert!(d.order() <= 2, "order {}", d.order());
+    }
+
+    #[test]
+    fn random_tree_all_strategies() {
+        let g = random::random_tree(300, &mut ChaCha8Rng::seed_from_u64(5));
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let cfg = DecomposeConfig::with_width(16);
+        let strategies: Vec<Box<dyn ArrangementStrategy>> = vec![
+            Box::new(RandomForestLa::new(2)),
+            Box::new(SeparatorLaStrategy),
+            Box::new(RcmLa),
+        ];
+        for mut s in strategies {
+            let d = la_decompose(&a, &cfg, s.as_mut()).unwrap();
+            check_decomposition(&a, &d);
+            assert!(d.order() <= 8, "{} produced order {}", s.name(), d.order());
+        }
+    }
+
+    #[test]
+    fn diagonal_and_values_preserved() {
+        // Non-uniform values and a diagonal.
+        let mut coo = CooMatrix::new(10, 10);
+        for v in 0..10u32 {
+            coo.push(v, v, v as f64 + 1.0).unwrap();
+        }
+        coo.push(0, 9, 2.5).unwrap();
+        coo.push(9, 0, -2.5).unwrap(); // asymmetric values
+        coo.push(3, 4, 7.0).unwrap(); // single-direction entry
+        let a = coo.to_csr();
+        let d = la_decompose(&a, &DecomposeConfig::with_width(3), &mut RandomForestLa::new(4))
+            .unwrap();
+        check_decomposition(&a, &d);
+    }
+
+    #[test]
+    fn diagonal_only_matrix() {
+        let a = CsrMatrix::<f64>::identity(12);
+        let d = la_decompose(&a, &DecomposeConfig::with_width(4), &mut IdentityLa).unwrap();
+        assert_eq!(d.order(), 1);
+        check_decomposition(&a, &d);
+    }
+
+    #[test]
+    fn empty_matrix_gives_empty_decomposition() {
+        let a = CsrMatrix::<f64>::zeros(5, 5);
+        let d = la_decompose(&a, &DecomposeConfig::with_width(2), &mut IdentityLa).unwrap();
+        assert_eq!(d.order(), 0);
+        assert_eq!(d.reconstruct().unwrap().nnz(), 0);
+        let x = DenseMatrix::from_fn(5, 2, |r, c| (r + c) as f64);
+        assert_eq!(d.multiply(&x).unwrap().frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn rectangular_rejected() {
+        let a = CsrMatrix::<f64>::zeros(3, 4);
+        assert!(la_decompose(&a, &DecomposeConfig::default(), &mut IdentityLa).is_err());
+    }
+
+    #[test]
+    fn pruning_reduces_order_on_power_law_graphs() {
+        // §5.6: pruning the hubs must shrink the decomposition of skewed
+        // graphs.
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = datasets::mawi_like(3000, &mut rng);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let with = la_decompose(
+            &a,
+            &DecomposeConfig { arrow_width: 64, prune: true, max_levels: 64 },
+            &mut RandomForestLa::new(7),
+        )
+        .unwrap();
+        let without = la_decompose(
+            &a,
+            &DecomposeConfig { arrow_width: 64, prune: false, max_levels: 64 },
+            &mut RandomForestLa::new(7),
+        )
+        .unwrap();
+        check_decomposition(&a, &with);
+        check_decomposition(&a, &without);
+        assert!(
+            with.order() <= without.order(),
+            "pruning should not increase order: {} vs {}",
+            with.order(),
+            without.order()
+        );
+        // The first level must capture the giant star via the arm.
+        assert!(with.levels()[0].nnz() * 10 > a.nnz() * 8, "arm missed the hub");
+    }
+
+    #[test]
+    fn compaction_is_geometric_on_datasets() {
+        // Lemma 1: nnz per level decreases geometrically when b exceeds the
+        // average edge length of the arrangement.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = datasets::genbank_like(4000, &mut rng);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(5))
+            .unwrap();
+        check_decomposition(&a, &d);
+        assert!(d.order() <= 4, "order {} too deep", d.order());
+        for w in d.levels().windows(2) {
+            assert!(
+                w[1].nnz() * 2 <= w[0].nnz(),
+                "levels not compacting: {} -> {}",
+                w[0].nnz(),
+                w[1].nnz()
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Decomposition persistence.
+//!
+//! The paper's workflow decomposes once (their Julia pipeline, on fat
+//! memory nodes) and reuses the decomposition across many SpMM runs. This
+//! module serialises an [`ArrowDecomposition`] to a compact little-endian
+//! binary stream so the same workflow works here: decompose, save, and
+//! load on later runs without repeating the arrangement computation.
+//!
+//! Format (version 1): magic `AMD1`, then `n`, `b`, `l`, and per level the
+//! permutation order array, `active_n`, and the CSR arrays of the level
+//! matrix. All integers are `u64` LE; values are `f64` LE bits.
+
+use crate::decomposition::{ArrowDecomposition, ArrowLevel};
+use amd_sparse::{CsrMatrix, Permutation, SparseError, SparseResult};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"AMD1";
+
+/// Writes the decomposition to `w`.
+pub fn save<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    put_u64(&mut w, d.n() as u64)?;
+    put_u64(&mut w, d.b() as u64)?;
+    put_u64(&mut w, d.order() as u64)?;
+    for level in d.levels() {
+        put_u64(&mut w, level.active_n as u64)?;
+        let order = level.perm.order();
+        put_u64(&mut w, order.len() as u64)?;
+        for &v in order {
+            put_u64(&mut w, v as u64)?;
+        }
+        let m = &level.matrix;
+        put_u64(&mut w, m.nnz() as u64)?;
+        for &off in m.indptr() {
+            put_u64(&mut w, off as u64)?;
+        }
+        for &c in m.indices() {
+            put_u64(&mut w, c as u64)?;
+        }
+        for &v in m.values() {
+            w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a decomposition from `r`, validating structure.
+pub fn load<R: Read>(mut r: R) -> SparseResult<ArrowDecomposition> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(SparseError::InvalidCsr(format!(
+            "bad magic {:?}: not an arrow decomposition file",
+            magic
+        )));
+    }
+    let n = get_u64(&mut r)? as u32;
+    let b = get_u64(&mut r)? as u32;
+    let l = get_u64(&mut r)? as usize;
+    if l > 1_000_000 {
+        return Err(SparseError::InvalidCsr(format!("implausible level count {l}")));
+    }
+    let mut levels = Vec::with_capacity(l);
+    for _ in 0..l {
+        let active_n = get_u64(&mut r)? as u32;
+        let order_len = get_u64(&mut r)? as usize;
+        if order_len != n as usize {
+            return Err(SparseError::InvalidCsr(format!(
+                "permutation length {order_len} != n = {n}"
+            )));
+        }
+        let mut order = Vec::with_capacity(order_len);
+        for _ in 0..order_len {
+            order.push(get_u64(&mut r)? as u32);
+        }
+        let perm = Permutation::from_order(order)?;
+        let nnz = get_u64(&mut r)? as usize;
+        let mut indptr = Vec::with_capacity(n as usize + 1);
+        for _ in 0..=n as usize {
+            indptr.push(get_u64(&mut r)? as usize);
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            indices.push(get_u64(&mut r)? as u32);
+        }
+        let mut values = Vec::with_capacity(nnz);
+        let mut buf = [0u8; 8];
+        for _ in 0..nnz {
+            r.read_exact(&mut buf).map_err(io_err)?;
+            values.push(f64::from_le_bytes(buf));
+        }
+        // Full validation on load: corrupt files are rejected here.
+        let matrix = CsrMatrix::from_raw(n, n, indptr, indices, values)?;
+        levels.push(ArrowLevel { perm, matrix, active_n });
+    }
+    Ok(ArrowDecomposition::new(n, b, levels))
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> SparseResult<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn get_u64<R: Read>(r: &mut R) -> SparseResult<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn io_err(e: std::io::Error) -> SparseError {
+    SparseError::InvalidCsr(format!("I/O error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::la_decompose::{la_decompose, DecomposeConfig};
+    use crate::strategy::RandomForestLa;
+    use amd_graph::generators::datasets;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample() -> (CsrMatrix<f64>, ArrowDecomposition) {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let g = datasets::genbank_like(600, &mut rng);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let d = la_decompose(&a, &DecomposeConfig::with_width(64), &mut RandomForestLa::new(3))
+            .unwrap();
+        (a, d)
+    }
+
+    #[test]
+    fn roundtrip_preserves_decomposition() {
+        let (a, d) = sample();
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        assert_eq!(d, loaded);
+        assert_eq!(loaded.validate(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn loaded_decomposition_multiplies() {
+        let (a, d) = sample();
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        let x = amd_sparse::DenseMatrix::from_fn(a.rows(), 3, |r, c| ((r + c) % 5) as f64);
+        let y1 = d.multiply(&x).unwrap();
+        let y2 = loaded.multiply(&x).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE0000000000000000000000000000".to_vec();
+        assert!(load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let (_, d) = sample();
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        for cut in [3usize, 11, buf.len() / 2, buf.len() - 1] {
+            assert!(load(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn corrupted_permutation_rejected() {
+        let (_, d) = sample();
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        // Duplicate the first permutation entry (offset: magic + 3 u64s +
+        // active_n + order_len = 4 + 8*5 = 44; entries start at 44).
+        let first = buf[44..52].to_vec();
+        buf[52..60].copy_from_slice(&first);
+        assert!(load(buf.as_slice()).is_err(), "duplicate vertex accepted");
+    }
+
+    #[test]
+    fn empty_decomposition_roundtrip() {
+        let d = ArrowDecomposition::new(4, 2, Vec::new());
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        let loaded = load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.order(), 0);
+        assert_eq!(loaded.n(), 4);
+    }
+}

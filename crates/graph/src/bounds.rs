@@ -1,0 +1,101 @@
+//! Graph-theoretic lower bounds used by §3 of the paper.
+//!
+//! The paper's argument against bandwidth minimisation rests on two
+//! classic lower bounds: every ordering of `G` has bandwidth at least
+//! `⌈(n−1)/D(G)⌉` (low-diameter graphs are bad) and at least `⌈Δ/2⌉`
+//! (high-degree graphs are bad). These are cheap to evaluate and are used
+//! by the ablation benches and the claims tests.
+
+use crate::graph::Graph;
+use crate::traversal::{bfs, connected_components, pseudo_peripheral};
+
+/// Exact eccentricity-based diameter of the component containing `start`,
+/// *estimated* by double-sweep BFS (exact on trees, a lower bound in
+/// general — which is the safe direction for the bandwidth bound).
+pub fn diameter_estimate(g: &Graph, start: u32) -> u32 {
+    let far = pseudo_peripheral(g, start);
+    bfs(g, far).eccentricity()
+}
+
+/// `⌈(n_c − 1)/D⌉` over the largest component — the diameter-based
+/// bandwidth lower bound of §3 ("low-diameter networks have high
+/// bandwidth"). Since the double sweep may *under*estimate `D`, the value
+/// returned may overestimate slightly on non-trees; on trees it is exact.
+pub fn bandwidth_lower_bound_diameter(g: &Graph) -> u32 {
+    let comps = connected_components(g);
+    let largest = comps.by_decreasing_size().first().copied().unwrap_or(0);
+    let (mut rep, mut size) = (0u32, 0u32);
+    for v in 0..g.n() {
+        if comps.comp[v as usize] == largest {
+            if size == 0 {
+                rep = v;
+            }
+            size += 1;
+        }
+    }
+    if size <= 1 {
+        return 0;
+    }
+    let d = diameter_estimate(g, rep).max(1);
+    (size - 1).div_ceil(d)
+}
+
+/// `⌈Δ/2⌉` — the degree-based bandwidth lower bound of §3 ("power-law
+/// networks have high bandwidth"). Exact for every graph and ordering.
+pub fn bandwidth_lower_bound_degree(g: &Graph) -> u32 {
+    g.max_degree().div_ceil(2)
+}
+
+/// The combined §3 lower bound `max(⌈(n−1)/D⌉, ⌈Δ/2⌉)`.
+pub fn bandwidth_lower_bound(g: &Graph) -> u32 {
+    bandwidth_lower_bound_degree(g).max(bandwidth_lower_bound_diameter(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::basic;
+
+    #[test]
+    fn path_has_trivial_bounds() {
+        let g = basic::path(100);
+        // D = 99 → (n−1)/D = 1; Δ = 2 → Δ/2 = 1. Bandwidth 1 is achievable.
+        assert_eq!(bandwidth_lower_bound(&g), 1);
+    }
+
+    #[test]
+    fn star_bound_is_half_degree() {
+        let g = basic::star(41);
+        assert_eq!(bandwidth_lower_bound_degree(&g), 20);
+        // D = 2 → (41−1)/2 = 20 as well.
+        assert_eq!(bandwidth_lower_bound(&g), 20);
+    }
+
+    #[test]
+    fn balanced_tree_bound_is_near_linear_over_log() {
+        // §5 intro: low-diameter trees have Ω(n / log n) bandwidth.
+        let n = 1023u32;
+        let g = basic::complete_ary_tree(2, n);
+        let bound = bandwidth_lower_bound_diameter(&g);
+        // D = 2·log2(512) = 18 → bound = ⌈1022/18⌉ = 57.
+        assert!(bound >= (n - 1) / 20, "bound {bound}");
+        assert!(bound >= bandwidth_lower_bound_degree(&g));
+    }
+
+    #[test]
+    fn diameter_exact_on_trees() {
+        let g = basic::path(50);
+        assert_eq!(diameter_estimate(&g, 25), 49);
+        let t = basic::complete_ary_tree(2, 15); // depth 3
+        assert_eq!(diameter_estimate(&t, 0), 6);
+    }
+
+    #[test]
+    fn disconnected_uses_largest_component() {
+        let g = Graph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        // Largest component is the 4-path: D = 3, (4−1)/3 = 1.
+        assert_eq!(bandwidth_lower_bound_diameter(&g), 1);
+        let e = Graph::empty(5);
+        assert_eq!(bandwidth_lower_bound_diameter(&e), 0);
+    }
+}

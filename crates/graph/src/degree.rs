@@ -1,0 +1,106 @@
+//! Degree statistics, including the Table 2 dataset signature.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph's degree sequence, mirroring the columns
+/// of Table 2 of the paper (`n`, `nnz(A)/n`, `Δ`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub n: u32,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Average degree = `nnz(A)/n`.
+    pub avg_degree: f64,
+    /// Maximum degree Δ.
+    pub max_degree: u32,
+    /// Number of isolated vertices.
+    pub isolated: u32,
+    /// Median degree.
+    pub median_degree: u32,
+}
+
+impl DegreeStats {
+    /// Computes statistics for `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.n();
+        let mut degrees: Vec<u32> = (0..n).map(|v| g.degree(v)).collect();
+        let isolated = degrees.iter().filter(|&&d| d == 0).count() as u32;
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let median_degree = if degrees.is_empty() {
+            0
+        } else {
+            let mid = degrees.len() / 2;
+            *degrees.select_nth_unstable(mid).1
+        };
+        Self { n, m: g.m(), avg_degree: g.avg_degree(), max_degree, isolated, median_degree }
+    }
+
+    /// Maximum degree as a fraction of `n` — the "Δ ≈ 0.93 n" signature of
+    /// the MAWI datasets.
+    pub fn max_degree_fraction(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max_degree as f64 / self.n as f64
+        }
+    }
+}
+
+/// The `b` vertices of largest degree, ties broken by smaller vertex id —
+/// the pruning set `V_h` of LA-Decompose step 1 (§5.1).
+pub fn top_degree_vertices(g: &Graph, b: usize) -> Vec<u32> {
+    let mut vs: Vec<u32> = (0..g.n()).collect();
+    let b = b.min(vs.len());
+    vs.sort_unstable_by(|&a, &bv| {
+        g.degree(bv).cmp(&g.degree(a)).then(a.cmp(&bv))
+    });
+    vs.truncate(b);
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::basic;
+
+    #[test]
+    fn stats_of_star() {
+        let g = basic::star(11);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.n, 11);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_degree, 10);
+        assert_eq!(s.isolated, 0);
+        assert_eq!(s.median_degree, 1);
+        assert!((s.max_degree_fraction() - 10.0 / 11.0).abs() < 1e-12);
+        assert!((s.avg_degree - 20.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let g = Graph::empty(4);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.isolated, 4);
+        let e = Graph::empty(0);
+        assert_eq!(DegreeStats::of(&e).median_degree, 0);
+    }
+
+    #[test]
+    fn top_degree_selects_hubs() {
+        // Star at 0 plus a triangle 1-2-3: degrees 0:4(+), verify ordering.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3)]);
+        let top = top_degree_vertices(&g, 2);
+        assert_eq!(top[0], 0); // degree 4
+        assert_eq!(top[1], 2); // degree 3
+        assert_eq!(top_degree_vertices(&g, 100).len(), 5);
+    }
+
+    #[test]
+    fn top_degree_tie_break_is_deterministic() {
+        let g = basic::path(6); // interior vertices all degree 2
+        let top = top_degree_vertices(&g, 3);
+        assert_eq!(top, vec![1, 2, 3]);
+    }
+}

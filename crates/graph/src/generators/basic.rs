@@ -1,0 +1,136 @@
+//! Elementary graph families.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Path on `n` vertices: `0 — 1 — … — n−1`.
+pub fn path(n: u32) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle on `n ≥ 3` vertices.
+pub fn cycle(n: u32) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n - 1, 0);
+    b.build()
+}
+
+/// Star on `n` vertices with hub `0`.
+pub fn star(n: u32) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    for v in 1..n {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete `d`-ary tree on exactly `n` vertices in BFS numbering: vertex
+/// `v > 0` has parent `(v − 1) / d`.
+pub fn complete_ary_tree(d: u32, n: u32) -> Graph {
+    assert!(d >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    for v in 1..n {
+        b.add_edge((v - 1) / d, v);
+    }
+    b.build()
+}
+
+/// `w × h` grid graph (4-neighbourhood), the canonical planar family.
+/// Vertex `(x, y)` has index `y * w + x`.
+pub fn grid_2d(w: u32, h: u32) -> Graph {
+    let n = w * h;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices (test-scale only: `O(n²)` edges).
+pub fn complete(n: u32) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, (n as usize * (n as usize - 1)) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn path_properties() {
+        let g = path(5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(connected_components(&g).count, 1);
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(path(0).n(), 0);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(6);
+        assert_eq!(g.m(), 6);
+        assert!((0..6).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star(7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn ary_tree_structure() {
+        let g = complete_ary_tree(2, 7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3); // parent + two children
+        assert_eq!(g.degree(6), 1); // leaf
+        assert_eq!(connected_components(&g).count, 1);
+        // 3-ary
+        let t = complete_ary_tree(3, 13);
+        assert_eq!(t.degree(0), 3);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid_2d(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), (3 - 1) * 4 + 3 * (4 - 1));
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // interior (1,1)
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.m(), 10);
+        assert!((0..5).all(|v| g.degree(v) == 4));
+    }
+}

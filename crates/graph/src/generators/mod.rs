@@ -1,0 +1,17 @@
+//! Graph generators.
+//!
+//! Three groups:
+//!
+//! * [`basic`] — elementary families (paths, stars, grids, complete d-ary
+//!   trees) used by unit tests and the Table 1 experiments,
+//! * [`structured`] — families with known separator/treewidth structure
+//!   (caterpillars, series-parallel graphs, k-trees),
+//! * [`random`] — random trees and Chung-Lu power-law graphs,
+//! * [`datasets`] — synthetic stand-ins matching the density signatures of
+//!   the SuiteSparse datasets in Table 2 of the paper.
+
+pub mod basic;
+pub mod datasets;
+pub mod random;
+pub mod rmat;
+pub mod structured;

@@ -1,0 +1,226 @@
+//! Random graph models: uniform-attachment trees, degree-driven trees and
+//! Chung-Lu power-law graphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Random recursive tree: vertex `v ≥ 1` attaches to a uniformly random
+/// earlier vertex.
+pub fn random_tree<R: Rng>(n: u32, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    for v in 1..n {
+        b.add_edge(rng.gen_range(0..v), v);
+    }
+    b.build()
+}
+
+/// Preferential-attachment tree (Barabási–Albert with one edge per new
+/// vertex) — produces a power-law degree tail, used by the pruning
+/// ablation.
+pub fn preferential_tree<R: Rng>(n: u32, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    // endpoint multiset: each edge contributes both endpoints, so sampling
+    // uniformly from it is degree-proportional.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n as usize);
+    if n >= 2 {
+        b.add_edge(0, 1);
+        endpoints.extend_from_slice(&[0, 1]);
+    }
+    for v in 2..n {
+        let target = endpoints[rng.gen_range(0..endpoints.len())];
+        b.add_edge(target, v);
+        endpoints.push(target);
+        endpoints.push(v);
+    }
+    b.build()
+}
+
+/// Tree whose degree sequence approximately follows `degrees`
+/// (1-indexed target degrees; entries are capacities). Vertices are
+/// attached greedily to the earliest vertex with remaining capacity,
+/// falling back to vertex 0 when capacities are exhausted.
+///
+/// Used to build the Zipf-degree trees of Corollary 2.
+pub fn tree_with_degree_targets(degrees: &[u32]) -> Graph {
+    let n = degrees.len() as u32;
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    if n == 0 {
+        return b.build();
+    }
+    let mut remaining: Vec<i64> = degrees.iter().map(|&d| d.max(1) as i64).collect();
+    // Queue of vertices with free slots, processed FIFO for balance.
+    let mut open = std::collections::VecDeque::new();
+    open.push_back(0u32);
+    for v in 1..n {
+        // Find an open vertex with capacity.
+        let parent = loop {
+            match open.front().copied() {
+                Some(p) if remaining[p as usize] > 0 => break p,
+                Some(_) => {
+                    open.pop_front();
+                }
+                None => break 0,
+            }
+        };
+        b.add_edge(parent, v);
+        remaining[parent as usize] -= 1;
+        remaining[v as usize] -= 1; // one slot used by the parent link
+        if remaining[v as usize] > 0 {
+            open.push_back(v);
+        }
+    }
+    b.build()
+}
+
+/// Chung-Lu-style power-law graph: samples edges with endpoints drawn
+/// proportionally to `weights` until `m` *unique* edges exist (self-loops
+/// and duplicates are rejected and re-drawn, capped at `8·m` attempts, so
+/// heavy-tailed weight vectors cannot stall the generator).
+pub fn chung_lu<R: Rng>(weights: &[f64], m: usize, rng: &mut R) -> Graph {
+    let n = weights.len() as u32;
+    let sampler = AliasTable::new(weights);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(8) + 16;
+    while seen.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let u = sampler.sample(rng);
+        let v = sampler.sample(rng);
+        if u != v && seen.insert(if u < v { (u, v) } else { (v, u) }) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Walker alias table for O(1) sampling from a discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not all zero).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table needs positive total weight");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in large {
+            prob[i as usize] = 1.0;
+        }
+        for i in small {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = random_tree(100, &mut rng);
+        assert_eq!(g.m(), 99);
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn preferential_tree_has_skewed_degrees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = preferential_tree(2000, &mut rng);
+        assert_eq!(g.m(), 1999);
+        assert_eq!(connected_components(&g).count, 1);
+        // Preferential attachment should produce a hub much larger than
+        // a uniform tree's typical max degree (~log n).
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn degree_target_tree_respects_targets_roughly() {
+        // One big hub and many unit-capacity leaves.
+        let mut degrees = vec![1u32; 50];
+        degrees[0] = 49;
+        let g = tree_with_degree_targets(&degrees);
+        assert_eq!(g.m(), 49);
+        assert_eq!(connected_components(&g).count, 1);
+        assert_eq!(g.degree(0), 49);
+    }
+
+    #[test]
+    fn degree_target_tree_handles_exhausted_capacity() {
+        // All capacities 1: every attach exhausts; fallback keeps it a tree.
+        let g = tree_with_degree_targets(&[1, 1, 1, 1]);
+        assert_eq!(g.m(), 3);
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn alias_table_distribution() {
+        let t = AliasTable::new(&[1.0, 3.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut counts = [0usize; 2];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn alias_table_rejects_zero_weights() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn chung_lu_prefers_heavy_vertices() {
+        let mut weights = vec![1.0; 500];
+        weights[0] = 200.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = chung_lu(&weights, 1000, &mut rng);
+        assert!(g.degree(0) > 50, "hub degree {}", g.degree(0));
+        assert!(g.m() <= 1000);
+        assert!(g.m() > 500);
+    }
+}

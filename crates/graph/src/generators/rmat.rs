@@ -1,0 +1,132 @@
+//! R-MAT / Kronecker-style recursive graph generator.
+//!
+//! The Graph500 and GAP benchmark suites (the origin of the paper's
+//! GAP-twitter dataset) generate scale-free graphs by recursively
+//! subdividing the adjacency matrix into quadrants with probabilities
+//! `(a, b, c, d)`. This generator complements the Chung-Lu stand-ins: it
+//! produces the community-like self-similar structure of real crawls and
+//! is used by the extended tests to stress the decomposition on a second
+//! power-law model.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use rand::Rng;
+
+/// R-MAT quadrant probabilities; must sum to ~1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameter set `(0.57, 0.19, 0.19, 0.05)`.
+    pub fn graph500() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Bottom-right probability `d = 1 − a − b − c`.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and ≈ `edge_factor ·
+/// 2^scale` undirected edges (duplicates and self-loops dropped, so the
+/// realised count is slightly lower — as in Graph500).
+pub fn rmat<R: Rng>(scale: u32, edge_factor: u32, params: RmatParams, rng: &mut R) -> Graph {
+    assert!((1..=30).contains(&scale), "scale out of range");
+    let d = params.d();
+    assert!(
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && d >= 0.0,
+        "invalid R-MAT parameters"
+    );
+    let n = 1u32 << scale;
+    let target = (edge_factor as usize) * (n as usize);
+    let mut builder = GraphBuilder::with_capacity(n, target);
+    for _ in 0..target {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < params.a {
+                // top-left: nothing to add
+            } else if r < params.a + params.b {
+                v |= 1;
+            } else if r < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn graph500_params_sum_to_one() {
+        let p = RmatParams::graph500();
+        assert!((p.a + p.b + p.c + p.d() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizes_and_skew() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = rmat(12, 8, RmatParams::graph500(), &mut rng);
+        assert_eq!(g.n(), 4096);
+        // Dedup eats some edges, but most survive.
+        assert!(g.m() > 4096 * 4, "m = {}", g.m());
+        let s = DegreeStats::of(&g);
+        // Scale-free skew: hub far above the average.
+        assert!(
+            s.max_degree as f64 > 8.0 * s.avg_degree,
+            "Δ = {} vs avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn uniform_params_give_erdos_renyi_like_degrees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = rmat(10, 8, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, &mut rng);
+        let s = DegreeStats::of(&g);
+        // No heavy tail: max degree stays within a small factor of avg.
+        assert!(
+            (s.max_degree as f64) < 6.0 * s.avg_degree,
+            "Δ = {} vs avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = rmat(8, 4, RmatParams::graph500(), &mut ChaCha8Rng::seed_from_u64(5));
+        let g2 = rmat(8, 4, RmatParams::graph500(), &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale out of range")]
+    fn scale_guard() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        rmat(0, 1, RmatParams::graph500(), &mut rng);
+    }
+}

@@ -1,0 +1,140 @@
+//! Families with known separator / treewidth structure, used by the
+//! Table 1 linear-arrangement experiments.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves. Total `spine * (1 + legs)` vertices.
+pub fn caterpillar(spine: u32, legs: u32) -> Graph {
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_capacity(n, n as usize);
+    for s in 1..spine {
+        b.add_edge(s - 1, s);
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(s, next);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Random series-parallel graph on `n ≥ 2` vertices.
+///
+/// Built by recursive series/parallel composition over terminal pairs:
+/// start with the edge `(s, t)` and repeatedly either subdivide (series)
+/// or duplicate (parallel, realised as a new internal vertex forming a
+/// second s–t path to keep the graph simple). Series-parallel graphs have
+/// treewidth ≤ 2 and the `O(n log n)` MLA bound of Table 1.
+pub fn series_parallel<R: Rng>(n: u32, rng: &mut R) -> Graph {
+    assert!(n >= 2);
+    // Edges as terminal pairs we can expand.
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    let mut next = 2u32;
+    while next < n {
+        let idx = rng.gen_range(0..edges.len());
+        let (s, t) = edges[idx];
+        if rng.gen_bool(0.5) {
+            // Series: s—t becomes s—x—t.
+            edges.swap_remove(idx);
+            edges.push((s, next));
+            edges.push((next, t));
+        } else {
+            // Parallel with simpleness: add a second path s—x—t, keep s—t.
+            edges.push((s, next));
+            edges.push((next, t));
+        }
+        next += 1;
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Random `k`-tree on `n ≥ k + 1` vertices (treewidth exactly `k` for
+/// `n > k`): start from a `(k+1)`-clique; every further vertex is joined to
+/// a uniformly chosen existing `k`-clique.
+pub fn k_tree<R: Rng>(n: u32, k: u32, rng: &mut R) -> Graph {
+    assert!(n > k);
+    let mut b = GraphBuilder::with_capacity(n, (n as usize) * (k as usize));
+    // Initial clique 0..=k.
+    let mut cliques: Vec<Vec<u32>> = Vec::new();
+    let base: Vec<u32> = (0..=k).collect();
+    for i in 0..base.len() {
+        for j in (i + 1)..base.len() {
+            b.add_edge(base[i], base[j]);
+        }
+    }
+    // All k-subsets of the base clique are candidate attachment cliques.
+    for skip in 0..base.len() {
+        let mut c = base.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let c = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &c {
+            b.add_edge(u, v);
+        }
+        // New k-cliques: c with one member replaced by v.
+        for skip in 0..c.len() {
+            let mut nc = c.clone();
+            nc[skip] = v;
+            cliques.push(nc);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 11); // tree
+        assert_eq!(connected_components(&g).count, 1);
+        // Spine interior vertex: 2 spine edges + 2 legs.
+        assert_eq!(g.degree(1), 4);
+    }
+
+    #[test]
+    fn series_parallel_connected_and_sized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = series_parallel(50, &mut rng);
+        assert_eq!(g.n(), 50);
+        assert_eq!(connected_components(&g).count, 1);
+        // Series-parallel graphs have m ≤ 2n − 3.
+        assert!(g.m() <= 2 * 50 - 3);
+    }
+
+    #[test]
+    fn k_tree_clique_degrees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = k_tree(40, 3, &mut rng);
+        assert_eq!(g.n(), 40);
+        assert_eq!(connected_components(&g).count, 1);
+        // Every vertex beyond the base clique adds exactly k edges.
+        assert_eq!(g.m(), 6 + 36 * 3);
+        // Minimum degree is k.
+        assert!((0..40).all(|v| g.degree(v) >= 3));
+    }
+
+    #[test]
+    fn k_tree_minimal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = k_tree(3, 2, &mut rng);
+        assert_eq!(g.m(), 3); // triangle
+    }
+}

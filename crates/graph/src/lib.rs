@@ -1,0 +1,30 @@
+//! Graph substrate for the arrow matrix decomposition.
+//!
+//! Sparse matrices in this workspace are adjacency matrices of undirected
+//! graphs (§2 of the paper); this crate provides the graph side of that
+//! correspondence:
+//!
+//! * [`Graph`] — CSR adjacency structure with `O(1)` neighbour access,
+//! * [`builder::GraphBuilder`] — edge-list staging with deduplication,
+//! * traversals, connected components and union-find,
+//! * [`mst`] — random spanning forests (step 1–2 of the §5.3 heuristic),
+//! * [`separator`] — 2/3-separators (tree centroids, BFS-level heuristic),
+//! * [`zipf`] — the truncated Zipf distribution of §5.6 with the Theorem 1
+//!   survival bound,
+//! * [`generators`] — graph families for the theory experiments and
+//!   synthetic stand-ins for the SuiteSparse datasets of Table 2.
+
+pub mod bounds;
+pub mod builder;
+pub mod degree;
+pub mod generators;
+pub mod graph;
+pub mod mst;
+pub mod separator;
+pub mod traversal;
+pub mod union_find;
+pub mod zipf;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use union_find::UnionFind;

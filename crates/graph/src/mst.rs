@@ -1,0 +1,193 @@
+//! Random spanning forests (§5.3, steps 1–2).
+//!
+//! The paper's near-linear decomposition heuristic draws i.i.d. uniform
+//! edge weights and takes a minimum spanning forest — equivalently, a
+//! spanning forest built over a uniformly shuffled edge order. We implement
+//! exactly that: shuffle edges with the caller's RNG, then run Kruskal with
+//! union-find.
+
+use crate::graph::Graph;
+use crate::union_find::UnionFind;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A spanning forest: one parent pointer per vertex (`u32::MAX` for roots)
+/// plus the list of roots, one per connected component.
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    /// `parent[v]`, `u32::MAX` when `v` is a root.
+    pub parent: Vec<u32>,
+    /// One root per component.
+    pub roots: Vec<u32>,
+    /// Forest edges (subset of the input graph's edges).
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl SpanningForest {
+    /// Number of vertices.
+    pub fn n(&self) -> u32 {
+        self.parent.len() as u32
+    }
+
+    /// The forest as a [`Graph`] on the same vertex set.
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_edges(self.n(), &self.edges)
+    }
+
+    /// Size of the subtree rooted at every vertex, computed in one
+    /// bottom-up pass over a topological order.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut size = vec![1u32; n];
+        // Children-count topological order (leaves first).
+        let mut pending = vec![0u32; n];
+        for v in 0..n {
+            let p = self.parent[v];
+            if p != u32::MAX {
+                pending[p as usize] += 1;
+            }
+        }
+        let mut stack: Vec<u32> =
+            (0..n as u32).filter(|&v| pending[v as usize] == 0).collect();
+        while let Some(v) = stack.pop() {
+            let p = self.parent[v as usize];
+            if p != u32::MAX {
+                size[p as usize] += size[v as usize];
+                pending[p as usize] -= 1;
+                if pending[p as usize] == 0 {
+                    stack.push(p);
+                }
+            }
+        }
+        size
+    }
+}
+
+/// Builds a uniformly random spanning forest of `g`.
+///
+/// Every connected component contributes one tree; isolated vertices
+/// become singleton roots.
+pub fn random_spanning_forest<R: Rng>(g: &Graph, rng: &mut R) -> SpanningForest {
+    let mut edges = g.edge_list();
+    edges.shuffle(rng);
+    kruskal_forest(g.n(), &edges)
+}
+
+/// Deterministic spanning forest over the given edge order (Kruskal on a
+/// pre-sorted/shuffled list).
+pub fn kruskal_forest(n: u32, edges: &[(u32, u32)]) -> SpanningForest {
+    let mut uf = UnionFind::new(n);
+    let mut forest_edges = Vec::with_capacity(n.saturating_sub(1) as usize);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    for &(u, v) in edges {
+        if uf.union(u, v) {
+            forest_edges.push((u, v));
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+    }
+    // Root every component at its smallest vertex and orient parents by BFS.
+    let mut parent = vec![u32::MAX; n as usize];
+    let mut seen = vec![false; n as usize];
+    let mut roots = Vec::new();
+    let mut queue = Vec::new();
+    for s in 0..n {
+        if seen[s as usize] {
+            continue;
+        }
+        roots.push(s);
+        seen[s as usize] = true;
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    parent[v as usize] = u;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    SpanningForest { parent, roots, edges: forest_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forest_spans_components() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let f = random_spanning_forest(&g, &mut rng);
+        // Components: {0,1,2}, {3,4}, {5} → 2 + 1 + 0 edges.
+        assert_eq!(f.edges.len(), 3);
+        assert_eq!(f.roots.len(), 3);
+        // Forest is acyclic and spans: per-component edge count = size - 1.
+        let fg = f.to_graph();
+        let comps = crate::traversal::connected_components(&fg);
+        assert_eq!(comps.count, 3);
+    }
+
+    #[test]
+    fn parents_are_consistent() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let f = random_spanning_forest(&g, &mut rng);
+        assert_eq!(f.edges.len(), 4);
+        let root_count = f.parent.iter().filter(|&&p| p == u32::MAX).count();
+        assert_eq!(root_count, 1);
+        // Walking up from any vertex reaches the root without cycles.
+        for mut v in 0..5u32 {
+            let mut steps = 0;
+            while f.parent[v as usize] != u32::MAX {
+                v = f.parent[v as usize];
+                steps += 1;
+                assert!(steps <= 5, "cycle in parent pointers");
+            }
+            assert_eq!(v, f.roots[0]);
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let f = kruskal_forest(7, &g.edge_list());
+        let sizes = f.subtree_sizes();
+        assert_eq!(sizes[f.roots[0] as usize], 7);
+        // Each leaf has size 1.
+        for v in [3u32, 4, 5, 6] {
+            assert_eq!(sizes[v as usize], 1);
+        }
+    }
+
+    #[test]
+    fn randomness_varies_with_seed() {
+        // On a cycle, different seeds should eventually drop different edges.
+        let g = Graph::from_edges(8, &(0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>());
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..16 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let f = random_spanning_forest(&g, &mut rng);
+            let mut e = f.edges.clone();
+            e.sort_unstable();
+            distinct.insert(e);
+        }
+        assert!(distinct.len() > 1, "spanning forest never varied across seeds");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let f = kruskal_forest(0, &[]);
+        assert_eq!(f.roots.len(), 0);
+        let f1 = kruskal_forest(1, &[]);
+        assert_eq!(f1.roots, vec![0]);
+        assert_eq!(f1.subtree_sizes(), vec![1]);
+    }
+}

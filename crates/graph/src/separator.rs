@@ -1,0 +1,251 @@
+//! 2/3-separators (§5.2).
+//!
+//! `Separator-LA` needs, for the current connected subgraph, a vertex set
+//! `S` whose removal leaves components of size at most `2/3 · n`. Two
+//! implementations are provided:
+//!
+//! * [`centroid_separator`] — exact single-vertex 1/2-separator for trees
+//!   (trees have separation number 1 in this vertex-separator sense),
+//! * [`bfs_level_separator`] — the classic BFS-level heuristic for general
+//!   graphs: pick a middle BFS level from a pseudo-peripheral root. On
+//!   planar-like meshes this finds `O(√n)`-sized separators, matching the
+//!   Lipton–Tarjan bound cited in Table 1 up to constants.
+
+use crate::graph::Graph;
+use crate::traversal::bfs_filtered;
+
+/// Strategy interface: given the graph and the vertex set of one connected
+/// component (sorted), return a non-empty separator subset.
+pub trait SeparatorFinder {
+    /// Returns a non-empty subset of `component` whose removal leaves
+    /// components of size ≤ 2/3 · |component| (best effort for heuristics).
+    fn find(&self, g: &Graph, component: &[u32]) -> Vec<u32>;
+}
+
+/// Exact centroid separator for forests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentroidSeparator;
+
+impl SeparatorFinder for CentroidSeparator {
+    fn find(&self, g: &Graph, component: &[u32]) -> Vec<u32> {
+        vec![centroid_separator(g, component)]
+    }
+}
+
+/// BFS middle-level separator for general graphs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BfsLevelSeparator;
+
+impl SeparatorFinder for BfsLevelSeparator {
+    fn find(&self, g: &Graph, component: &[u32]) -> Vec<u32> {
+        bfs_level_separator(g, component)
+    }
+}
+
+/// The centroid of the tree induced by `component`: the vertex minimising
+/// the largest remaining component after removal (≤ |component|/2 for
+/// trees). `component` must induce a tree in `g`.
+pub fn centroid_separator(g: &Graph, component: &[u32]) -> u32 {
+    assert!(!component.is_empty());
+    let total = component.len() as u32;
+    let in_comp = membership(g.n(), component);
+    // Iterative DFS from component[0] computing subtree sizes.
+    let root = component[0];
+    let mut parent = vec![u32::MAX; g.n() as usize];
+    let mut order = Vec::with_capacity(component.len());
+    let mut stack = vec![root];
+    let mut seen = vec![false; g.n() as usize];
+    seen[root as usize] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if in_comp[v as usize] && !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                stack.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), component.len(), "component must be connected");
+    let mut size = vec![1u32; g.n() as usize];
+    for &u in order.iter().rev() {
+        if parent[u as usize] != u32::MAX {
+            size[parent[u as usize] as usize] += size[u as usize];
+        }
+    }
+    // max component after removing v: max over children subtree sizes and
+    // the "upward" remainder total - size[v].
+    let mut best = root;
+    let mut best_max = u32::MAX;
+    for &v in &order {
+        let mut worst = total - size[v as usize];
+        for &c in g.neighbors(v) {
+            if in_comp[c as usize] && parent[c as usize] == v {
+                worst = worst.max(size[c as usize]);
+            }
+        }
+        if worst < best_max {
+            best_max = worst;
+            best = v;
+        }
+    }
+    debug_assert!(best_max <= total / 2 + (total % 2), "centroid bound violated");
+    best
+}
+
+/// BFS-level separator: BFS from a pseudo-peripheral vertex of the
+/// component and return the smallest level whose removal balances the
+/// remainder (components ≤ 2/3); falls back to the middle level.
+pub fn bfs_level_separator(g: &Graph, component: &[u32]) -> Vec<u32> {
+    assert!(!component.is_empty());
+    if component.len() == 1 {
+        return vec![component[0]];
+    }
+    let in_comp = membership(g.n(), component);
+    let root = pseudo_peripheral_in(g, component[0], &in_comp);
+    let res = bfs_filtered(g, root, |v| in_comp[v as usize]);
+    let depth = res.eccentricity();
+    if depth == 0 {
+        return vec![root];
+    }
+    // Group vertices by level; prefix[l] = vertices strictly below level l.
+    let mut level_counts = vec![0u32; depth as usize + 1];
+    for &v in &res.order {
+        level_counts[res.level[v as usize] as usize] += 1;
+    }
+    let total = res.order.len() as u32;
+    let limit = 2 * total / 3;
+    // Candidate levels 1..depth; evaluate balance: below = Σ_{l' < l},
+    // above = Σ_{l' > l}. Both sides are unions of components, so each
+    // component is ≤ max(below, above); accept if that is ≤ limit, choosing
+    // the smallest separator among acceptable levels.
+    let mut below = level_counts[0];
+    let mut best: Option<(u32, u32)> = None; // (separator size, level)
+    for l in 1..depth {
+        let sep = level_counts[l as usize];
+        let above = total - below - sep;
+        if below.max(above) <= limit
+            && best.is_none_or(|(s, _)| sep < s) {
+                best = Some((sep, l));
+            }
+        below += sep;
+    }
+    let chosen = best.map(|(_, l)| l).unwrap_or(depth.div_ceil(2));
+    res.order
+        .iter()
+        .copied()
+        .filter(|&v| res.level[v as usize] == chosen)
+        .collect()
+}
+
+fn membership(n: u32, component: &[u32]) -> Vec<bool> {
+    let mut m = vec![false; n as usize];
+    for &v in component {
+        m[v as usize] = true;
+    }
+    m
+}
+
+fn pseudo_peripheral_in(g: &Graph, start: u32, in_comp: &[bool]) -> u32 {
+    // Restricted variant of traversal::pseudo_peripheral.
+    let mut current = start;
+    let mut ecc = 0;
+    for _ in 0..4 {
+        let res = bfs_filtered(g, current, |v| in_comp[v as usize]);
+        let far = *res.order.last().unwrap_or(&current);
+        let far_ecc = res.eccentricity();
+        if far_ecc > ecc {
+            ecc = far_ecc;
+            current = far;
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::basic;
+    use crate::traversal::connected_components;
+
+    fn check_balance(g: &Graph, component: &[u32], sep: &[u32]) {
+        let mut keep = vec![false; g.n() as usize];
+        for &v in component {
+            keep[v as usize] = true;
+        }
+        for &s in sep {
+            keep[s as usize] = false;
+            assert!(component.contains(&s), "separator vertex outside component");
+        }
+        let sub = g.filter_vertices(&keep);
+        let comps = connected_components(&sub);
+        let limit = 2 * component.len() / 3 + 1;
+        for (c, &size) in comps.sizes.iter().enumerate() {
+            // Only count components made of kept component vertices.
+            let representative =
+                (0..g.n()).find(|&v| comps.comp[v as usize] == c as u32 && keep[v as usize]);
+            if representative.is_some() {
+                assert!(
+                    (size as usize) <= limit,
+                    "component of size {size} exceeds 2/3 bound {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_of_path_is_middle() {
+        let g = basic::path(9);
+        let comp: Vec<u32> = (0..9).collect();
+        let c = centroid_separator(&g, &comp);
+        assert_eq!(c, 4);
+        check_balance(&g, &comp, &[c]);
+    }
+
+    #[test]
+    fn centroid_of_star_is_hub() {
+        let g = basic::star(10);
+        let comp: Vec<u32> = (0..10).collect();
+        assert_eq!(centroid_separator(&g, &comp), 0);
+    }
+
+    #[test]
+    fn centroid_balances_binary_tree() {
+        let g = basic::complete_ary_tree(2, 63);
+        let comp: Vec<u32> = (0..63).collect();
+        let c = centroid_separator(&g, &comp);
+        check_balance(&g, &comp, &[c]);
+    }
+
+    #[test]
+    fn bfs_level_separator_on_grid() {
+        let g = basic::grid_2d(8, 8);
+        let comp: Vec<u32> = (0..64).collect();
+        let sep = bfs_level_separator(&g, &comp);
+        assert!(!sep.is_empty());
+        // Heuristic quality on an 8x8 grid: separator should be O(side).
+        assert!(sep.len() <= 16, "separator unexpectedly large: {}", sep.len());
+        check_balance(&g, &comp, &sep);
+    }
+
+    #[test]
+    fn bfs_level_separator_single_vertex() {
+        let g = Graph::empty(3);
+        assert_eq!(bfs_level_separator(&g, &[2]), vec![2]);
+    }
+
+    #[test]
+    fn separator_trait_objects() {
+        let g = basic::path(5);
+        let comp: Vec<u32> = (0..5).collect();
+        let finders: Vec<Box<dyn SeparatorFinder>> =
+            vec![Box::new(CentroidSeparator), Box::new(BfsLevelSeparator)];
+        for f in &finders {
+            let sep = f.find(&g, &comp);
+            assert!(!sep.is_empty());
+            check_balance(&g, &comp, &sep);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// Union-find over `0..n`, used by Kruskal's algorithm and connected
+/// component counting.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: u32,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: u32) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n as usize], components: n }
+    }
+
+    /// Representative of `v`'s set, with path halving.
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand;
+            v = grand;
+        }
+        v
+    }
+
+    /// Merges the sets of `u` and `v`; returns `true` if they were distinct.
+    pub fn union(&mut self, u: u32, v: u32) -> bool {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// `true` if `u` and `v` are in the same set.
+    pub fn connected(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> u32 {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0)); // already joined
+        assert_eq!(uf.components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert!(uf.union(1, 4));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.components(), 2);
+    }
+
+    #[test]
+    fn chain_unions_collapse() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.components(), 1);
+        assert!(uf.connected(0, 99));
+    }
+
+    #[test]
+    fn singleton() {
+        let mut uf = UnionFind::new(1);
+        assert_eq!(uf.find(0), 0);
+        assert_eq!(uf.components(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cost and quality metrics of a linear arrangement.
+
+use amd_graph::Graph;
+use amd_sparse::Permutation;
+
+/// Arrangement cost `λ_π(G) = Σ_{(u,v) ∈ E} |π(u) − π(v)|` (§5.1).
+pub fn la_cost(g: &Graph, pi: &Permutation) -> u64 {
+    assert_eq!(g.n(), pi.len());
+    g.edges()
+        .map(|(u, v)| pi.position(u).abs_diff(pi.position(v)) as u64)
+        .sum()
+}
+
+/// Bandwidth of the arrangement: `max_{(u,v) ∈ E} |π(u) − π(v)|` (§2).
+pub fn la_bandwidth(g: &Graph, pi: &Permutation) -> u32 {
+    assert_eq!(g.n(), pi.len());
+    g.edges()
+        .map(|(u, v)| pi.position(u).abs_diff(pi.position(v)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Average edge length `λ_π(G) / m`, the quantity Lemma 1's compaction
+/// factor compares against the arrow width.
+pub fn avg_edge_length(g: &Graph, pi: &Permutation) -> f64 {
+    if g.m() == 0 {
+        0.0
+    } else {
+        la_cost(g, pi) as f64 / g.m() as f64
+    }
+}
+
+/// Number of edges with `|π(u) − π(v)| ≤ w` — the in-band edge count of
+/// Lemma 3.
+pub fn edges_within(g: &Graph, pi: &Permutation, w: u32) -> usize {
+    assert_eq!(g.n(), pi.len());
+    g.edges().filter(|&(u, v)| pi.position(u).abs_diff(pi.position(v)) <= w).count()
+}
+
+/// Summary of an arrangement's quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrangementQuality {
+    /// Total cost `λ_π(G)`.
+    pub cost: u64,
+    /// Bandwidth under the arrangement.
+    pub bandwidth: u32,
+    /// Average edge length.
+    pub avg_length: f64,
+}
+
+impl ArrangementQuality {
+    /// Evaluates an arrangement.
+    pub fn of(g: &Graph, pi: &Permutation) -> Self {
+        Self {
+            cost: la_cost(g, pi),
+            bandwidth: la_bandwidth(g, pi),
+            avg_length: avg_edge_length(g, pi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::basic;
+
+    #[test]
+    fn identity_on_path_has_unit_edges() {
+        let g = basic::path(6);
+        let id = Permutation::identity(6);
+        assert_eq!(la_cost(&g, &id), 5);
+        assert_eq!(la_bandwidth(&g, &id), 1);
+        assert_eq!(avg_edge_length(&g, &id), 1.0);
+        assert_eq!(edges_within(&g, &id, 1), 5);
+        assert_eq!(edges_within(&g, &id, 0), 0);
+    }
+
+    #[test]
+    fn reversal_preserves_cost() {
+        let g = basic::star(8);
+        let id = Permutation::identity(8);
+        let rev = Permutation::from_positions((0..8).rev().collect()).unwrap();
+        assert_eq!(la_cost(&g, &id), la_cost(&g, &rev));
+        assert_eq!(la_bandwidth(&g, &id), la_bandwidth(&g, &rev));
+    }
+
+    #[test]
+    fn star_identity_cost_is_sum_of_distances() {
+        // Hub at position 0: cost = 1 + 2 + ... + (n-1).
+        let g = basic::star(5);
+        let id = Permutation::identity(5);
+        assert_eq!(la_cost(&g, &id), 1 + 2 + 3 + 4);
+        assert_eq!(la_bandwidth(&g, &id), 4);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = Graph::empty(4);
+        let id = Permutation::identity(4);
+        assert_eq!(la_cost(&g, &id), 0);
+        assert_eq!(la_bandwidth(&g, &id), 0);
+        assert_eq!(avg_edge_length(&g, &id), 0.0);
+    }
+
+    #[test]
+    fn quality_struct_consistent() {
+        let g = basic::cycle(6);
+        let id = Permutation::identity(6);
+        let q = ArrangementQuality::of(&g, &id);
+        assert_eq!(q.cost, 5 + 5); // five unit edges + closing edge of length 5
+        assert_eq!(q.bandwidth, 5);
+        assert!((q.avg_length - 10.0 / 6.0).abs() < 1e-12);
+    }
+}

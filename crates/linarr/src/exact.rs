@@ -1,0 +1,168 @@
+//! Exact minimum linear arrangement by exhaustive search.
+//!
+//! MLA is NP-hard (§5.1), so this solver is exponential and restricted to
+//! tiny graphs (`n ≤ 10` by default). Its purpose is *testing*: it gives
+//! the ground truth against which the quality of the polynomial heuristics
+//! (Separator-LA, smallest-first, random forests) is measured in the
+//! property tests and the layout ablation.
+
+use amd_graph::Graph;
+use amd_sparse::Permutation;
+
+/// Exact MLA by branch-and-bound over prefixes.
+///
+/// Complexity `O(n!)` worst case, pruned by the running partial cost;
+/// panics if `g.n()` exceeds `max_n` (guard against accidental blowup).
+pub fn minimum_linear_arrangement(g: &Graph, max_n: u32) -> (Permutation, u64) {
+    let n = g.n();
+    assert!(n <= max_n, "exact MLA limited to n <= {max_n}, got {n}");
+    if n == 0 {
+        return (Permutation::identity(0), 0);
+    }
+    let mut best_order: Vec<u32> = (0..n).collect();
+    let mut best_cost = cost_of_order(g, &best_order);
+    let mut prefix: Vec<u32> = Vec::with_capacity(n as usize);
+    let mut used = vec![false; n as usize];
+    branch(g, &mut prefix, &mut used, 0, &mut best_order, &mut best_cost);
+    let pi = Permutation::from_order(best_order).expect("search emits a permutation");
+    (pi, best_cost)
+}
+
+/// Cost of placing vertices in the given order.
+fn cost_of_order(g: &Graph, order: &[u32]) -> u64 {
+    let mut pos = vec![0u32; g.n() as usize];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v as usize] = p as u32;
+    }
+    g.edges().map(|(u, v)| pos[u as usize].abs_diff(pos[v as usize]) as u64).sum()
+}
+
+/// Partial cost of the prefix: edges with both endpoints placed contribute
+/// exactly; edges with one endpoint placed contribute at least the
+/// distance to the end of the prefix (they must stretch at least that
+/// far) — an admissible lower bound for pruning.
+fn branch(
+    g: &Graph,
+    prefix: &mut Vec<u32>,
+    used: &mut [bool],
+    partial: u64,
+    best_order: &mut Vec<u32>,
+    best_cost: &mut u64,
+) {
+    let n = g.n() as usize;
+    if prefix.len() == n {
+        if partial < *best_cost {
+            *best_cost = partial;
+            best_order.copy_from_slice(prefix);
+        }
+        return;
+    }
+    if partial >= *best_cost {
+        return; // admissible bound exceeded
+    }
+    let next_pos = prefix.len() as u32;
+    for v in 0..g.n() {
+        if used[v as usize] {
+            continue;
+        }
+        // Cost increment: edges from v to already-placed vertices get their
+        // exact length now.
+        let mut inc = 0u64;
+        for (p, &u) in prefix.iter().enumerate() {
+            if g.has_edge(v, u) {
+                inc += (next_pos - p as u32) as u64;
+            }
+        }
+        used[v as usize] = true;
+        prefix.push(v);
+        branch(g, prefix, used, partial + inc, best_order, best_cost);
+        prefix.pop();
+        used[v as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::la_cost;
+    use crate::separator_la;
+    use crate::tree_layout::{root_tree, smallest_first_order};
+    use amd_graph::generators::basic;
+    use amd_graph::separator::CentroidSeparator;
+    use amd_graph::GraphBuilder;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn path_optimum_is_monotone_order() {
+        let g = basic::path(6);
+        let (pi, cost) = minimum_linear_arrangement(&g, 10);
+        assert_eq!(cost, 5);
+        assert_eq!(la_cost(&g, &pi), 5);
+    }
+
+    #[test]
+    fn star_optimum_places_hub_centrally() {
+        // K_{1,4}: optimal cost = 1+1+2+2 = 6 with the hub in the middle.
+        let g = basic::star(5);
+        let (_, cost) = minimum_linear_arrangement(&g, 10);
+        assert_eq!(cost, 6);
+    }
+
+    #[test]
+    fn cycle_optimum() {
+        // C_5: known MLA cost = 2(n−1) = 8.
+        let g = basic::cycle(5);
+        let (_, cost) = minimum_linear_arrangement(&g, 10);
+        assert_eq!(cost, 8);
+    }
+
+    #[test]
+    fn complete_graph_cost_is_order_invariant() {
+        // K_4: every ordering costs Σ_{i<j} (j−i) = 10.
+        let g = basic::complete(4);
+        let (_, cost) = minimum_linear_arrangement(&g, 10);
+        assert_eq!(cost, 10);
+    }
+
+    #[test]
+    fn heuristics_are_near_optimal_on_small_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..10 {
+            // Random tree on 8 vertices.
+            let n = 8u32;
+            let mut b = GraphBuilder::new(n);
+            for v in 1..n {
+                b.add_edge(rng.gen_range(0..v), v);
+            }
+            let g = b.build();
+            let (_, opt) = minimum_linear_arrangement(&g, 10);
+            let sf = {
+                let order = smallest_first_order(&root_tree(&g, 0));
+                la_cost(&g, &Permutation::from_order(order).unwrap())
+            };
+            let sep = la_cost(&g, &separator_la(&g, &CentroidSeparator));
+            // Lemma 3 / Lemma 2 style constants: within 3× of optimal on
+            // trees this small.
+            assert!(sf <= 3 * opt, "smallest-first {sf} vs optimal {opt}");
+            assert!(sep <= 3 * opt, "separator-la {sep} vs optimal {opt}");
+            assert!(sf >= opt && sep >= opt, "heuristic beat the optimum?!");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exact MLA limited")]
+    fn size_guard() {
+        let g = basic::path(20);
+        minimum_linear_arrangement(&g, 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = amd_graph::Graph::empty(0);
+        let (pi, cost) = minimum_linear_arrangement(&g, 10);
+        assert_eq!(pi.len(), 0);
+        assert_eq!(cost, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Separator-LA (§5.2): recursive separator-based linear arrangements.
+//!
+//! `Separator-LA(G)`:
+//! 1. compute a 2/3-separator `S` of the current subgraph,
+//! 2. place the vertices of `S` at the beginning of the linear order,
+//! 3. place the connected components that remain after removing `S` in
+//!    increasing size order, recursing into each.
+//!
+//! Lemma 2 bounds the resulting cost by `O(n Δ s(G) log n)`, dropping the
+//! `log n` when the separation number grows polynomially.
+
+use amd_graph::separator::SeparatorFinder;
+use amd_graph::traversal::bfs_filtered;
+use amd_graph::Graph;
+use amd_sparse::Permutation;
+
+/// Computes a Separator-LA arrangement of `g` with the given separator
+/// strategy. Components of the input graph are laid out in decreasing size
+/// order (largest first), then each is arranged recursively.
+pub fn separator_la<F: SeparatorFinder>(g: &Graph, finder: &F) -> Permutation {
+    let n = g.n();
+    let mut order: Vec<u32> = Vec::with_capacity(n as usize);
+    let mut alive = vec![true; n as usize];
+
+    // Top-level components, largest first (matches the forest layout rule
+    // of §5.3 step 3).
+    let comps = amd_graph::traversal::connected_components(g);
+    let mut groups = comps.groups();
+    groups.sort_by_key(|grp| std::cmp::Reverse(grp.len()));
+
+    // Explicit work stack of vertex sets to arrange: entries are processed
+    // LIFO, so we push in reverse of the desired output order.
+    let mut work: Vec<Vec<u32>> = Vec::new();
+    for grp in groups.into_iter().rev() {
+        work.push(grp);
+    }
+    while let Some(component) = work.pop() {
+        debug_assert!(!component.is_empty());
+        if component.len() <= 2 {
+            order.extend_from_slice(&component);
+            for &v in &component {
+                alive[v as usize] = false;
+            }
+            continue;
+        }
+        let sep = finder.find(g, &component);
+        debug_assert!(!sep.is_empty(), "separator must be non-empty");
+        for &s in &sep {
+            alive[s as usize] = false;
+            order.push(s);
+        }
+        // Components of component \ sep, by BFS over alive vertices.
+        let mut remaining: Vec<bool> = vec![false; g.n() as usize];
+        let mut count = 0usize;
+        for &v in &component {
+            if alive[v as usize] {
+                remaining[v as usize] = true;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            continue;
+        }
+        let mut sub_components: Vec<Vec<u32>> = Vec::new();
+        for &v in &component {
+            if remaining[v as usize] {
+                let res = bfs_filtered(g, v, |u| remaining[u as usize]);
+                for &u in &res.order {
+                    remaining[u as usize] = false;
+                }
+                sub_components.push(res.order);
+            }
+        }
+        // Increasing size order: the smallest component is laid out first,
+        // so push largest-first onto the LIFO stack.
+        sub_components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        for c in sub_components {
+            work.push(c);
+        }
+    }
+    debug_assert_eq!(order.len(), n as usize);
+    Permutation::from_order(order).expect("separator LA visits each vertex exactly once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::{la_bandwidth, la_cost};
+    use amd_graph::generators::{basic, random};
+    use amd_graph::separator::{BfsLevelSeparator, CentroidSeparator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn covers_all_vertices_once() {
+        let g = basic::grid_2d(6, 6);
+        let pi = separator_la(&g, &BfsLevelSeparator);
+        assert_eq!(pi.len(), 36);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4)]);
+        let pi = separator_la(&g, &BfsLevelSeparator);
+        assert_eq!(pi.len(), 7);
+        // Largest component first: one of {0,1,2} occupies position 0.
+        assert!(pi.vertex_at(0) <= 2);
+    }
+
+    #[test]
+    fn binary_tree_cost_near_lemma2_bound() {
+        // Lemma 2 for trees (s(G)=1, Δ=3): cost O(n Δ log n).
+        let n = 255u32;
+        let g = basic::complete_ary_tree(2, n);
+        let pi = separator_la(&g, &CentroidSeparator);
+        let cost = la_cost(&g, &pi);
+        let bound = 4.0 * (n as f64) * 3.0 * (n as f64).log2();
+        assert!(
+            (cost as f64) < bound,
+            "cost {cost} exceeds Lemma 2 style bound {bound}"
+        );
+    }
+
+    #[test]
+    fn grid_cost_beats_random_order() {
+        let g = basic::grid_2d(12, 12);
+        let pi = separator_la(&g, &BfsLevelSeparator);
+        let cost = la_cost(&g, &pi);
+        // Random order on a grid has expected edge length Θ(n); the
+        // separator layout must be far better.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        use rand::seq::SliceRandom;
+        let mut rnd: Vec<u32> = (0..144).collect();
+        rnd.shuffle(&mut rng);
+        let rnd_pi = Permutation::from_order(rnd).unwrap();
+        let rnd_cost = la_cost(&g, &rnd_pi);
+        assert!(cost * 2 < rnd_cost, "separator {cost} vs random {rnd_cost}");
+    }
+
+    #[test]
+    fn random_tree_bandwidth_reasonable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random::random_tree(200, &mut rng);
+        let pi = separator_la(&g, &CentroidSeparator);
+        // Bandwidth can be Θ(n / log n) for trees; just verify the cost
+        // tracks the O(nΔ log n) shape rather than Θ(n²).
+        let cost = la_cost(&g, &pi);
+        let delta = g.max_degree() as u64;
+        let bound = 8 * 200u64 * delta * 8; // 8 ≈ log2(200)
+        assert!(cost < bound, "cost {cost} vs bound {bound}");
+        let _ = la_bandwidth(&g, &pi);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = Graph::empty(1);
+        let pi = separator_la(&g, &BfsLevelSeparator);
+        assert_eq!(pi.len(), 1);
+        let g2 = Graph::from_edges(2, &[(0, 1)]);
+        let pi2 = separator_la(&g2, &CentroidSeparator);
+        assert_eq!(pi2.len(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Smallest-first tree layouts (§5.4).
+//!
+//! For a rooted tree, place the root first, then the children's subtrees
+//! one after another in *increasing* subtree-size order, recursively.
+//! Lemma 3 shows that under this order at least
+//! `min(n−1, ⌈(x−1)(n−1)/x⌉ + 1)` edges lie within an `xΔ`-wide band
+//! around the diagonal, which drives the tree bound in Table 1.
+//!
+//! The implementation is iterative (explicit stack), so path-shaped trees
+//! with millions of vertices do not overflow the call stack.
+
+use amd_graph::mst::SpanningForest;
+use amd_graph::Graph;
+
+/// Computes the smallest-first order of a forest given parent pointers.
+///
+/// Returns the vertex order (position → vertex) covering every vertex:
+/// trees are laid out one after another in the order `roots` are listed.
+pub fn smallest_first_order(forest: &SpanningForest) -> Vec<u32> {
+    let n = forest.parent.len();
+    let sizes = forest.subtree_sizes();
+    // children lists, each sorted by increasing subtree size (ties by id
+    // for determinism).
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        let p = forest.parent[v as usize];
+        if p != u32::MAX {
+            children[p as usize].push(v);
+        }
+    }
+    for ch in &mut children {
+        ch.sort_unstable_by_key(|&c| (sizes[c as usize], c));
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<u32> = Vec::new();
+    for &root in &forest.roots {
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Push children in reverse so the smallest is popped first;
+            // pre-order DFS keeps each subtree contiguous.
+            for &c in children[v as usize].iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Smallest-first order of a tree given as a [`Graph`], rooted at `root`.
+///
+/// Panics if the graph is not connected (use [`smallest_first_order`] with
+/// a forest for the general case).
+pub fn smallest_first_order_of_tree(g: &Graph, root: u32) -> Vec<u32> {
+    let forest = root_tree(g, root);
+    assert_eq!(
+        forest.roots.len(),
+        1,
+        "smallest_first_order_of_tree requires a connected tree"
+    );
+    smallest_first_order(&forest)
+}
+
+/// Orients a tree/forest graph into parent pointers rooted at `root` (and
+/// at the smallest vertex of every other component).
+pub fn root_tree(g: &Graph, root: u32) -> SpanningForest {
+    let n = g.n();
+    let mut parent = vec![u32::MAX; n as usize];
+    let mut seen = vec![false; n as usize];
+    let mut roots = Vec::new();
+    let mut queue = Vec::new();
+    let mut edges = Vec::with_capacity(n.saturating_sub(1) as usize);
+    let starts = std::iter::once(root).chain(0..n);
+    for s in starts {
+        if seen[s as usize] {
+            continue;
+        }
+        roots.push(s);
+        seen[s as usize] = true;
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    parent[v as usize] = u;
+                    edges.push((u, v));
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    SpanningForest { parent, roots, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::{edges_within, la_cost};
+    use amd_graph::generators::{basic, random};
+    use amd_sparse::Permutation;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn perm_from_order(order: Vec<u32>) -> Permutation {
+        Permutation::from_order(order).unwrap()
+    }
+
+    #[test]
+    fn path_layout_is_monotone() {
+        let g = basic::path(8);
+        let order = smallest_first_order_of_tree(&g, 0);
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+        let pi = perm_from_order(order);
+        assert_eq!(la_cost(&g, &pi), 7);
+    }
+
+    #[test]
+    fn subtrees_are_contiguous() {
+        // Balanced binary tree: every subtree must occupy a contiguous
+        // range of positions (the property Lemma 3's proof uses).
+        let g = basic::complete_ary_tree(2, 31);
+        let order = smallest_first_order_of_tree(&g, 0);
+        let pi = perm_from_order(order);
+        let forest = root_tree(&g, 0);
+        let sizes = forest.subtree_sizes();
+        for v in 0..31u32 {
+            // Collect positions of the subtree of v via parent walks.
+            let mut positions: Vec<u32> = (0..31u32)
+                .filter(|&u| {
+                    let mut x = u;
+                    loop {
+                        if x == v {
+                            return true;
+                        }
+                        let p = forest.parent[x as usize];
+                        if p == u32::MAX {
+                            return false;
+                        }
+                        x = p;
+                    }
+                })
+                .map(|u| pi.position(u))
+                .collect();
+            positions.sort_unstable();
+            assert_eq!(positions.len() as u32, sizes[v as usize]);
+            for w in positions.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "subtree of {v} not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_child_comes_first() {
+        // Root 0 with children: 1 (leaf) and 2 (subtree of size 3).
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (2, 3), (2, 4)]);
+        let order = smallest_first_order_of_tree(&g, 0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1, "leaf child must precede bigger subtree");
+        assert_eq!(order[2], 2);
+    }
+
+    #[test]
+    fn lemma3_band_occupancy_on_random_trees() {
+        // Lemma 3: at least ⌈(x−1)(n−1)/x⌉ + 1 edges within an xΔ band.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for n in [50u32, 200, 500] {
+            let g = random::random_tree(n, &mut rng);
+            let delta = g.max_degree();
+            let order = smallest_first_order_of_tree(&g, 0);
+            let pi = perm_from_order(order);
+            for x in [2u32, 3, 5] {
+                let within = edges_within(&g, &pi, x * delta);
+                let m = (n - 1) as u64;
+                let guarantee =
+                    m.min(((x as u64 - 1) * m).div_ceil(x as u64) + 1) as usize;
+                assert!(
+                    within >= guarantee,
+                    "n={n} x={x}: {within} < guaranteed {guarantee}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_layout_covers_all_components() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (2, 4)]);
+        let forest = root_tree(&g, 2);
+        let order = smallest_first_order(&forest);
+        assert_eq!(order.len(), 6);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        // Component of 2 (size 3) comes first because we rooted there.
+        assert_eq!(order[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected tree")]
+    fn tree_layout_rejects_forest() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        smallest_first_order_of_tree(&g, 0);
+    }
+}

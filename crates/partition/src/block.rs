@@ -1,0 +1,50 @@
+//! Trivial partitioners: contiguous blocks and uniform random.
+
+use crate::Partition;
+use rand::Rng;
+
+/// Contiguous 1D block partition: vertex `v` goes to part
+/// `min(v / ⌈n/parts⌉, parts − 1)`.
+pub fn block_partition(n: u32, parts: u32) -> Partition {
+    assert!(parts >= 1);
+    let size = n.div_ceil(parts).max(1);
+    let assign = (0..n).map(|v| (v / size).min(parts - 1)).collect();
+    Partition::new(assign, parts)
+}
+
+/// Uniform random assignment (the "no structure" control).
+pub fn random_partition<R: Rng>(n: u32, parts: u32, rng: &mut R) -> Partition {
+    assert!(parts >= 1);
+    let assign = (0..n).map(|_| rng.gen_range(0..parts)).collect();
+    Partition::new(assign, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn block_partition_balanced() {
+        let p = block_partition(10, 3);
+        assert_eq!(p.sizes(), vec![4, 4, 2]);
+        assert_eq!(p.assign[0], 0);
+        assert_eq!(p.assign[9], 2);
+    }
+
+    #[test]
+    fn block_partition_more_parts_than_vertices() {
+        let p = block_partition(2, 5);
+        assert_eq!(p.sizes().iter().sum::<u32>(), 2);
+        assert!(p.assign.iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    fn random_partition_covers_parts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = random_partition(1000, 4, &mut rng);
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s > 150), "sizes {sizes:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! HYPE-style neighbourhood-expansion partitioning.
+//!
+//! Follows Mayer et al. (IEEE BigData'18): parts are grown one at a time;
+//! at each step the *fringe* vertex with the fewest external (still
+//! unassigned, non-fringe) neighbours moves into the core, and its
+//! neighbours replenish the fringe. This greedily minimises the number of
+//! hyperedges (here: vertex neighbourhoods) that straddle the part
+//! boundary.
+//!
+//! On star-dominated graphs (MAWI) the expansion inevitably produces one
+//! part adjacent to nearly all other vertices — the failure mode §7.2 of
+//! the paper observes for its hypergraph baseline, which the arrow
+//! decomposition's pruning avoids.
+
+use crate::Partition;
+use amd_graph::Graph;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tuning knobs of the expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct HypeConfig {
+    /// Maximum fringe size; HYPE's paper uses small fringes (≈ 10).
+    pub fringe_cap: usize,
+}
+
+impl Default for HypeConfig {
+    fn default() -> Self {
+        Self { fringe_cap: 16 }
+    }
+}
+
+/// Partitions `g` into `parts` balanced parts by neighbourhood expansion.
+pub fn hype_partition<R: Rng>(
+    g: &Graph,
+    parts: u32,
+    cfg: &HypeConfig,
+    rng: &mut R,
+) -> Partition {
+    assert!(parts >= 1);
+    let n = g.n();
+    let target = n.div_ceil(parts) as usize;
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut assign = vec![UNASSIGNED; n as usize];
+    let mut unassigned_count = n as usize;
+    // Shuffled vertex stream for seed selection.
+    let mut seeds: Vec<u32> = (0..n).collect();
+    use rand::seq::SliceRandom;
+    seeds.shuffle(rng);
+    let mut seed_cursor = 0usize;
+
+    for part in 0..parts {
+        if unassigned_count == 0 {
+            break;
+        }
+        // Last part absorbs everything left.
+        if part == parts - 1 {
+            for a in assign.iter_mut().filter(|a| **a == UNASSIGNED) {
+                *a = part;
+            }
+            break;
+        }
+        let mut core_size = 0usize;
+        // Lazy min-heap of (external-degree score, vertex).
+        let mut fringe: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut in_fringe = vec![false; n as usize];
+        while core_size < target && unassigned_count > 0 {
+            if fringe.is_empty() {
+                // (Re-)seed from the shuffled stream.
+                while seed_cursor < seeds.len()
+                    && assign[seeds[seed_cursor] as usize] != UNASSIGNED
+                {
+                    seed_cursor += 1;
+                }
+                if seed_cursor >= seeds.len() {
+                    break;
+                }
+                let s = seeds[seed_cursor];
+                fringe.push(Reverse((external_degree(g, s, &assign), s)));
+                in_fringe[s as usize] = true;
+            }
+            let Reverse((score, v)) = fringe.pop().expect("fringe refilled above");
+            if assign[v as usize] != UNASSIGNED {
+                continue; // stale entry
+            }
+            // Lazy score refresh: if stale, reinsert with the new score.
+            let fresh = external_degree(g, v, &assign);
+            if fresh != score && fringe.peek().is_some_and(|Reverse((s, _))| *s < fresh) {
+                fringe.push(Reverse((fresh, v)));
+                continue;
+            }
+            assign[v as usize] = part;
+            in_fringe[v as usize] = false;
+            core_size += 1;
+            unassigned_count -= 1;
+            // Replenish the fringe from v's unassigned neighbours.
+            for &u in g.neighbors(v) {
+                if assign[u as usize] == UNASSIGNED
+                    && !in_fringe[u as usize]
+                    && fringe.len() < cfg.fringe_cap
+                {
+                    in_fringe[u as usize] = true;
+                    fringe.push(Reverse((external_degree(g, u, &assign), u)));
+                }
+            }
+        }
+    }
+    // Safety: anything left (parts == 1 path) goes to the last part.
+    for a in assign.iter_mut().filter(|a| **a == u32::MAX) {
+        *a = parts - 1;
+    }
+    Partition::new(assign, parts)
+}
+
+/// Number of neighbours of `v` that are still unassigned — the expansion
+/// score (smaller = less new boundary).
+fn external_degree(g: &Graph, v: u32, assign: &[u32]) -> u32 {
+    g.neighbors(v).iter().filter(|&&u| assign[u as usize] == u32::MAX).count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PartitionQuality;
+    use crate::random_partition;
+    use amd_graph::generators::{basic, datasets};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = basic::grid_2d(10, 10);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = hype_partition(&g, 4, &HypeConfig::default(), &mut rng);
+        assert_eq!(p.assign.len(), 100);
+        assert!(p.assign.iter().all(|&a| a < 4));
+        // All parts non-empty on a connected balanced graph.
+        assert!(p.sizes().iter().all(|&s| s > 0), "sizes {:?}", p.sizes());
+    }
+
+    #[test]
+    fn balanced_on_grid() {
+        let g = basic::grid_2d(16, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = hype_partition(&g, 8, &HypeConfig::default(), &mut rng);
+        assert!(p.imbalance() <= 1.5, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn beats_random_cut_on_structured_graphs() {
+        let g = basic::grid_2d(20, 20);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let hype = hype_partition(&g, 4, &HypeConfig::default(), &mut rng);
+        let rand = random_partition(400, 4, &mut rng);
+        let q_hype = PartitionQuality::of(&g, &hype);
+        let q_rand = PartitionQuality::of(&g, &rand);
+        assert!(
+            q_hype.edge_cut * 2 < q_rand.edge_cut,
+            "hype cut {} vs random cut {}",
+            q_hype.edge_cut,
+            q_rand.edge_cut
+        );
+    }
+
+    #[test]
+    fn star_graph_forces_high_connectivity() {
+        // §7.2's observation: on a giant star the hub's part touches all
+        // other parts — the connectivity metric is stuck at parts − 1.
+        let g = basic::star(512);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let p = hype_partition(&g, 8, &HypeConfig::default(), &mut rng);
+        let q = PartitionQuality::of(&g, &p);
+        let hub_part = p.assign[0];
+        // Every part other than the hub's consists of leaves only — all of
+        // whose edges cross to the hub part.
+        assert!(q.edge_cut >= (511 * 6 / 8) as usize, "cut {}", q.edge_cut);
+        assert!(hub_part < 8);
+    }
+
+    #[test]
+    fn single_part_degenerate() {
+        let g = basic::path(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let p = hype_partition(&g, 1, &HypeConfig::default(), &mut rng);
+        assert!(p.assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn disconnected_graph_covered() {
+        let g = Graph::from_edges(9, &[(0, 1), (3, 4), (6, 7)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let p = hype_partition(&g, 3, &HypeConfig::default(), &mut rng);
+        assert_eq!(p.assign.len(), 9);
+        assert!(p.imbalance() <= 2.0);
+    }
+
+    #[test]
+    fn mawi_like_partition_has_hub_dominated_part() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = datasets::mawi_like(2000, &mut rng);
+        let p = hype_partition(&g, 8, &HypeConfig::default(), &mut rng);
+        let q = PartitionQuality::of(&g, &p);
+        // The hub part is adjacent to almost every other part.
+        assert!(q.max_part_external_rows as f64 > 0.3 * 2000.0 / 8.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Partition quality metrics.
+
+use crate::Partition;
+use amd_graph::Graph;
+use std::collections::HashSet;
+
+/// Quality summary of a partition with respect to a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Edges whose endpoints lie in different parts.
+    pub edge_cut: usize,
+    /// Connectivity (λ − 1) metric: for every vertex's closed
+    /// neighbourhood (the "net" of the SpMV hypergraph), the number of
+    /// parts it touches minus one, summed — the standard communication
+    /// volume proxy for row-wise SpMM.
+    pub lambda_minus_one: u64,
+    /// For each part: distinct external vertices adjacent to the part —
+    /// the number of remote `X` rows HP-1D must fetch for that part.
+    pub external_rows: Vec<usize>,
+    /// `max(external_rows)` — the bandwidth bottleneck.
+    pub max_part_external_rows: usize,
+    /// Load imbalance (`max part size / ideal`).
+    pub imbalance: f64,
+}
+
+impl PartitionQuality {
+    /// Computes all metrics.
+    pub fn of(g: &Graph, p: &Partition) -> Self {
+        assert_eq!(g.n(), p.n());
+        let mut edge_cut = 0usize;
+        for (u, v) in g.edges() {
+            if p.assign[u as usize] != p.assign[v as usize] {
+                edge_cut += 1;
+            }
+        }
+        let mut lambda_minus_one = 0u64;
+        let mut parts_touched: HashSet<u32> = HashSet::new();
+        for v in 0..g.n() {
+            parts_touched.clear();
+            parts_touched.insert(p.assign[v as usize]);
+            for &u in g.neighbors(v) {
+                parts_touched.insert(p.assign[u as usize]);
+            }
+            lambda_minus_one += (parts_touched.len() as u64).saturating_sub(1);
+        }
+        let mut external: Vec<HashSet<u32>> =
+            vec![HashSet::new(); p.parts as usize];
+        for (u, v) in g.edges() {
+            let (pu, pv) = (p.assign[u as usize], p.assign[v as usize]);
+            if pu != pv {
+                external[pu as usize].insert(v);
+                external[pv as usize].insert(u);
+            }
+        }
+        let external_rows: Vec<usize> = external.iter().map(HashSet::len).collect();
+        let max_part_external_rows = external_rows.iter().copied().max().unwrap_or(0);
+        Self {
+            edge_cut,
+            lambda_minus_one,
+            external_rows,
+            max_part_external_rows,
+            imbalance: p.imbalance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_partition;
+    use amd_graph::generators::basic;
+
+    #[test]
+    fn path_block_partition_cut() {
+        // Path of 8 in 2 blocks: exactly one cut edge (3-4).
+        let g = basic::path(8);
+        let p = block_partition(8, 2);
+        let q = PartitionQuality::of(&g, &p);
+        assert_eq!(q.edge_cut, 1);
+        // Nets of vertices 3 and 4 straddle parts: λ−1 = 2.
+        assert_eq!(q.lambda_minus_one, 2);
+        assert_eq!(q.external_rows, vec![1, 1]);
+        assert_eq!(q.max_part_external_rows, 1);
+        assert_eq!(q.imbalance, 1.0);
+    }
+
+    #[test]
+    fn star_hub_part_touches_everything() {
+        let g = basic::star(16);
+        let p = block_partition(16, 4); // hub in part 0
+        let q = PartitionQuality::of(&g, &p);
+        // All 12 leaves outside part 0 are external to it.
+        assert_eq!(q.external_rows[0], 12);
+        assert_eq!(q.max_part_external_rows, 12);
+        // Cut: 12 of 15 edges.
+        assert_eq!(q.edge_cut, 12);
+    }
+
+    #[test]
+    fn single_part_zero_cut() {
+        let g = basic::cycle(10);
+        let p = block_partition(10, 1);
+        let q = PartitionQuality::of(&g, &p);
+        assert_eq!(q.edge_cut, 0);
+        assert_eq!(q.lambda_minus_one, 0);
+        assert_eq!(q.max_part_external_rows, 0);
+    }
+}

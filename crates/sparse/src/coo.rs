@@ -1,0 +1,230 @@
+//! Coordinate-format sparse matrix builder.
+//!
+//! `CooMatrix` is the mutable staging format: algorithms push `(row, col,
+//! value)` triplets in any order (duplicates allowed, summed on conversion)
+//! and convert to [`CsrMatrix`](crate::CsrMatrix) for computation.
+
+use crate::error::{SparseError, SparseResult};
+use crate::scalar::Scalar;
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T: Scalar = f64> {
+    rows: u32,
+    cols: u32,
+    entries: Vec<(u32, u32, T)>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Creates an empty `rows × cols` matrix.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty matrix with room for `cap` triplets.
+    pub fn with_capacity(rows: u32, cols: u32, cap: usize) -> Self {
+        Self { rows, cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no triplet has been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Triplet slice in insertion order.
+    #[inline]
+    pub fn entries(&self) -> &[(u32, u32, T)] {
+        &self.entries
+    }
+
+    /// Pushes a triplet, validating bounds.
+    pub fn push(&mut self, row: u32, col: u32, value: T) -> SparseResult<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Pushes both `(row, col, v)` and `(col, row, v)`; convenience for
+    /// building symmetric adjacency matrices. Diagonal entries are pushed
+    /// once.
+    pub fn push_sym(&mut self, row: u32, col: u32, value: T) -> SparseResult<()> {
+        self.push(row, col, value)?;
+        if row != col {
+            self.push(col, row, value)?;
+        }
+        Ok(())
+    }
+
+    /// Builds a COO matrix from a triplet iterator, validating bounds.
+    pub fn from_triplets<I>(rows: u32, cols: u32, triplets: I) -> SparseResult<Self>
+    where
+        I: IntoIterator<Item = (u32, u32, T)>,
+    {
+        let iter = triplets.into_iter();
+        let mut coo = Self::with_capacity(rows, cols, iter.size_hint().0);
+        for (r, c, v) in iter {
+            coo.push(r, c, v)?;
+        }
+        Ok(coo)
+    }
+
+    /// Converts to CSR, sorting triplets and summing duplicates.
+    ///
+    /// Entries whose summed value equals `T::ZERO` are kept (explicit
+    /// zeros), matching usual sparse-library behaviour; use
+    /// [`CsrMatrix::prune_zeros`](crate::CsrMatrix::prune_zeros) to drop
+    /// them.
+    pub fn to_csr(&self) -> crate::CsrMatrix<T> {
+        let n = self.rows as usize;
+        // Counting sort by row: O(nnz + n), no comparison sort needed.
+        let mut counts = vec![0usize; n + 1];
+        for &(r, _, _) in &self.entries {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<u32> = vec![0; self.entries.len()];
+        {
+            let mut next = counts.clone();
+            for (idx, &(r, _, _)) in self.entries.iter().enumerate() {
+                order[next[r as usize]] = idx as u32;
+                next[r as usize] += 1;
+            }
+        }
+        // Sort each row segment by column and merge duplicates.
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(self.entries.len());
+        indptr.push(0usize);
+        let mut scratch: Vec<(u32, T)> = Vec::new();
+        for row in 0..n {
+            scratch.clear();
+            for &idx in &order[counts[row]..counts[row + 1]] {
+                let (_, c, v) = self.entries[idx as usize];
+                scratch.push((c, v));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        crate::CsrMatrix::from_raw_unchecked(self.rows, self.cols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(2, 2, 1.0).unwrap();
+        assert_eq!(coo.len(), 2);
+        assert!(matches!(
+            coo.push(3, 0, 1.0),
+            Err(SparseError::IndexOutOfBounds { row: 3, .. })
+        ));
+        assert!(matches!(
+            coo.push(0, 5, 1.0),
+            Err(SparseError::IndexOutOfBounds { col: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn symmetric_push() {
+        let mut coo = CooMatrix::<f64>::new(4, 4);
+        coo.push_sym(1, 3, 1.0).unwrap();
+        coo.push_sym(2, 2, 5.0).unwrap();
+        assert_eq!(coo.len(), 3); // off-diagonal doubled, diagonal once
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(1, 3), 1.0);
+        assert_eq!(csr.get(3, 1), 1.0);
+        assert_eq!(csr.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn to_csr_sorts_and_merges_duplicates() {
+        let mut coo = CooMatrix::<f64>::new(2, 4);
+        coo.push(1, 3, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(1, 3, 4.0).unwrap();
+        coo.push(1, 0, 3.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_indices(1), &[0, 3]);
+        assert_eq!(csr.get(1, 3), 5.0);
+        assert_eq!(csr.get(0, 2), 2.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::<f64>::new(5, 5);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.rows(), 5);
+    }
+
+    #[test]
+    fn zero_dimension_matrix() {
+        let coo = CooMatrix::<f64>::new(0, 0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.rows(), 0);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn from_triplets_builds() {
+        let coo =
+            CooMatrix::from_triplets(2, 2, vec![(0u32, 0u32, 1.0f64), (1, 1, 2.0)]).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        let res = CooMatrix::<f64>::from_triplets(2, 2, vec![(2u32, 0u32, 1.0f64)]);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Vertex/row permutations and the symmetric reorderings `PᵀAP`.
+//!
+//! A [`Permutation`] `π` maps a vertex `v` to its *position* `π(v)` in a
+//! linear arrangement (§5.1 of the paper). The associated permutation
+//! matrix `P_π` has `(P_π)_{v, π(v)} = 1`, so:
+//!
+//! * `PᵀAP` places entry `A_{u,v}` at `(π(u), π(v))` — "reorder the matrix
+//!   by the arrangement",
+//! * `PᵀX` places row `v` of `X` at position `π(v)`,
+//! * `P · Y` undoes that reordering.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::scalar::Scalar;
+
+/// A bijection `π : {0..n} → {0..n}` from vertices to positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `pos[v] = π(v)`.
+    pos: Vec<u32>,
+    /// `inv[p] = π⁻¹(p)`: the vertex placed at position `p`.
+    inv: Vec<u32>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: u32) -> Self {
+        let pos: Vec<u32> = (0..n).collect();
+        Self { inv: pos.clone(), pos }
+    }
+
+    /// Builds from `pos[v] = π(v)`, validating bijectivity.
+    pub fn from_positions(pos: Vec<u32>) -> SparseResult<Self> {
+        let n = pos.len();
+        let mut inv = vec![u32::MAX; n];
+        for (v, &p) in pos.iter().enumerate() {
+            if p as usize >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "position {p} out of range for n = {n}"
+                )));
+            }
+            if inv[p as usize] != u32::MAX {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "position {p} assigned twice"
+                )));
+            }
+            inv[p as usize] = v as u32;
+        }
+        Ok(Self { pos, inv })
+    }
+
+    /// Builds from the *order* of vertices: `order[p]` is the vertex placed
+    /// at position `p` (i.e. `order = π⁻¹`).
+    pub fn from_order(order: Vec<u32>) -> SparseResult<Self> {
+        let n = order.len();
+        let mut pos = vec![u32::MAX; n];
+        for (p, &v) in order.iter().enumerate() {
+            if v as usize >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "vertex {v} out of range for n = {n}"
+                )));
+            }
+            if pos[v as usize] != u32::MAX {
+                return Err(SparseError::InvalidPermutation(format!("vertex {v} placed twice")));
+            }
+            pos[v as usize] = p as u32;
+        }
+        Ok(Self { pos, inv: order })
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.pos.len() as u32
+    }
+
+    /// `true` for the empty permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// `π(v)`: position of vertex `v`.
+    #[inline]
+    pub fn position(&self, v: u32) -> u32 {
+        self.pos[v as usize]
+    }
+
+    /// `π⁻¹(p)`: vertex at position `p`.
+    #[inline]
+    pub fn vertex_at(&self, p: u32) -> u32 {
+        self.inv[p as usize]
+    }
+
+    /// The position array `pos[v] = π(v)`.
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// The order array `order[p] = π⁻¹(p)`.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.inv
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        Self { pos: self.inv.clone(), inv: self.pos.clone() }
+    }
+
+    /// Composition `(self ∘ other)(v) = self(other(v))`.
+    ///
+    /// In Algorithm 2 the shuffle sending rows from arrow matrix `j` to
+    /// `j + 1` is `π_{j+1} ∘ π_j⁻¹`, built as
+    /// `pi_next.compose(&pi_cur.inverse())`.
+    pub fn compose(&self, other: &Self) -> SparseResult<Self> {
+        if self.len() != other.len() {
+            return Err(SparseError::InvalidPermutation(format!(
+                "composing permutations of different sizes {} and {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        let pos: Vec<u32> = (0..other.len()).map(|v| self.pos[other.pos[v as usize] as usize]).collect();
+        Ok(Self::from_positions(pos).expect("composition of bijections is a bijection"))
+    }
+
+    /// Symmetric reordering `PᵀAP`: entry `(u, v)` moves to `(π(u), π(v))`.
+    pub fn apply_symmetric<T: Scalar>(&self, a: &CsrMatrix<T>) -> SparseResult<CsrMatrix<T>> {
+        if a.rows() != self.len() || a.cols() != self.len() {
+            return Err(SparseError::ShapeMismatch {
+                left: (a.rows(), a.cols()),
+                right: (self.len(), self.len()),
+            });
+        }
+        // Build CSR of the permuted matrix directly: row p of the result is
+        // row π⁻¹(p) of A with columns mapped through π and re-sorted.
+        let n = a.rows();
+        let mut indptr = Vec::with_capacity(n as usize + 1);
+        let mut indices = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        indptr.push(0usize);
+        let mut scratch: Vec<(u32, T)> = Vec::new();
+        for p in 0..n {
+            let v = self.inv[p as usize];
+            scratch.clear();
+            for (&c, &val) in a.row_indices(v).iter().zip(a.row_values(v)) {
+                scratch.push((self.pos[c as usize], val));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, val) in &scratch {
+                indices.push(c);
+                values.push(val);
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(n, n, indptr, indices, values))
+    }
+
+    /// Row permutation `PᵀX`: row `v` of `X` moves to position `π(v)`.
+    pub fn apply_rows<T: Scalar>(&self, x: &DenseMatrix<T>) -> SparseResult<DenseMatrix<T>> {
+        if x.rows() != self.len() {
+            return Err(SparseError::ShapeMismatch {
+                left: (x.rows(), x.cols()),
+                right: (self.len(), self.len()),
+            });
+        }
+        let k = x.cols();
+        let mut out = DenseMatrix::zeros(x.rows(), k);
+        for p in 0..x.rows() {
+            let v = self.inv[p as usize];
+            out.row_mut(p).copy_from_slice(x.row(v));
+        }
+        Ok(out)
+    }
+
+    /// Inverse row permutation `P · Y`: row at position `π(v)` moves back to
+    /// index `v`.
+    pub fn unapply_rows<T: Scalar>(&self, y: &DenseMatrix<T>) -> SparseResult<DenseMatrix<T>> {
+        self.inverse().apply_rows(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn cyclic3() -> Permutation {
+        // π(0)=1, π(1)=2, π(2)=0
+        Permutation::from_positions(vec![1, 2, 0]).unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let id = Permutation::identity(5);
+        for v in 0..5 {
+            assert_eq!(id.position(v), v);
+            assert_eq!(id.vertex_at(v), v);
+        }
+    }
+
+    #[test]
+    fn from_positions_validates() {
+        assert!(Permutation::from_positions(vec![0, 0]).is_err());
+        assert!(Permutation::from_positions(vec![0, 5]).is_err());
+        assert!(Permutation::from_positions(vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn from_order_validates() {
+        assert!(Permutation::from_order(vec![1, 1]).is_err());
+        assert!(Permutation::from_order(vec![2, 0]).is_err());
+        let p = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.vertex_at(0), 2);
+        assert_eq!(p.position(2), 0);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = cyclic3();
+        let id = p.compose(&p.inverse()).unwrap();
+        assert_eq!(id, Permutation::identity(3));
+        let id2 = p.inverse().compose(&p).unwrap();
+        assert_eq!(id2, Permutation::identity(3));
+    }
+
+    #[test]
+    fn symmetric_reorder_moves_entries() {
+        // A has a single entry at (0, 2); π(0)=1, π(2)=0 → entry at (1, 0).
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 2, 7.0).unwrap();
+        let a = coo.to_csr();
+        let p = cyclic3();
+        let b = p.apply_symmetric(&a).unwrap();
+        assert_eq!(b.get(1, 0), 7.0);
+        assert_eq!(b.nnz(), 1);
+    }
+
+    #[test]
+    fn symmetric_reorder_roundtrip() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push_sym(0, 1, 1.0).unwrap();
+        coo.push_sym(1, 3, 2.0).unwrap();
+        coo.push(2, 2, 3.0).unwrap();
+        let a = coo.to_csr();
+        let p = Permutation::from_positions(vec![3, 1, 0, 2]).unwrap();
+        let b = p.apply_symmetric(&a).unwrap();
+        let back = p.inverse().apply_symmetric(&b).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn row_permutation_and_inverse() {
+        let x = DenseMatrix::from_fn(3, 2, |r, _| r as f64);
+        let p = cyclic3();
+        let px = p.apply_rows(&x).unwrap();
+        // row v of X lands at position π(v): row 0 → pos 1, row 1 → pos 2, row 2 → pos 0
+        assert_eq!(px.row(0), &[2.0, 2.0]);
+        assert_eq!(px.row(1), &[0.0, 0.0]);
+        assert_eq!(px.row(2), &[1.0, 1.0]);
+        let back = p.unapply_rows(&px).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn permutation_matrix_semantics_match_spmm() {
+        // Verify PᵀX == multiplying by the explicit transpose matrix.
+        let p = cyclic3();
+        let x = DenseMatrix::from_fn(3, 1, |r, _| (r + 1) as f64);
+        // With P[v][π(v)] = 1 the forward shuffle is PᵀX, where
+        // Pᵀ[π(v)][v] = 1. Build Pᵀ explicitly and compare.
+        let mut coo = CooMatrix::new(3, 3);
+        for v in 0..3 {
+            coo.push(p.position(v), v, 1.0).unwrap(); // Pᵀ
+        }
+        let pm = coo.to_csr();
+        let px_via_matrix = crate::spmm::spmm(&pm, &x).unwrap();
+        let px = p.apply_rows(&x).unwrap();
+        assert_eq!(px, px_via_matrix);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let p = cyclic3();
+        let x = DenseMatrix::<f64>::zeros(4, 1);
+        assert!(p.apply_rows(&x).is_err());
+        let a = CsrMatrix::<f64>::zeros(4, 4);
+        assert!(p.apply_symmetric(&a).is_err());
+        let q = Permutation::identity(4);
+        assert!(p.compose(&q).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Sparse-times-dense multiplication kernels (CSRMM).
+//!
+//! These are the local, per-rank kernels of the paper's distributed
+//! algorithms — the role played by cuSPARSE CSRMM in the original
+//! evaluation. The parallel variant splits over output rows with rayon,
+//! which is the natural decomposition for CSR × row-major dense.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Serial `Y = A · X` for CSR `A` and dense `X`.
+pub fn spmm<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>) -> SparseResult<DenseMatrix<T>> {
+    check_shapes(a, x)?;
+    let mut y = DenseMatrix::zeros(a.rows(), x.cols());
+    spmm_into(a, x, &mut y);
+    Ok(y)
+}
+
+/// Serial `Y += A · X` into a pre-allocated output (no allocation).
+pub fn spmm_acc<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+    y: &mut DenseMatrix<T>,
+) -> SparseResult<()> {
+    check_shapes(a, x)?;
+    if y.rows() != a.rows() || y.cols() != x.cols() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.rows(), x.cols()),
+            right: (y.rows(), y.cols()),
+        });
+    }
+    spmm_into(a, x, y);
+    Ok(())
+}
+
+fn spmm_into<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>, y: &mut DenseMatrix<T>) {
+    let k = x.cols() as usize;
+    for r in 0..a.rows() {
+        let out = y.row_mut(r);
+        for (&c, &v) in a.row_indices(r).iter().zip(a.row_values(r)) {
+            let xr = x.row(c);
+            for j in 0..k {
+                out[j] += v * xr[j];
+            }
+        }
+    }
+}
+
+/// Rayon-parallel `Y = A · X`, splitting work over output rows.
+pub fn spmm_parallel<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+) -> SparseResult<DenseMatrix<T>> {
+    check_shapes(a, x)?;
+    let k = x.cols() as usize;
+    let n = a.rows() as usize;
+    let mut data = vec![T::ZERO; n * k];
+    data.par_chunks_mut(k).enumerate().for_each(|(r, out)| {
+        let r = r as u32;
+        for (&c, &v) in a.row_indices(r).iter().zip(a.row_values(r)) {
+            let xr = x.row(c);
+            for j in 0..k {
+                out[j] += v * xr[j];
+            }
+        }
+    });
+    DenseMatrix::from_vec(a.rows(), x.cols(), data)
+}
+
+/// Flop count of `A · X`: 2 · nnz(A) · k, the quantity charged to the
+/// simulated compute clock by the distributed algorithms.
+pub fn spmm_flops<T: Scalar>(a: &CsrMatrix<T>, k: u32) -> f64 {
+    2.0 * a.nnz() as f64 * k as f64
+}
+
+/// Dense reference multiply used by tests: `O(n² k)`, only for tiny inputs.
+pub fn spmm_dense_reference<T: Scalar>(
+    a: &CsrMatrix<T>,
+    x: &DenseMatrix<T>,
+) -> SparseResult<DenseMatrix<T>> {
+    check_shapes(a, x)?;
+    let mut y = DenseMatrix::zeros(a.rows(), x.cols());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let v = a.get(r, c);
+            if v != T::ZERO {
+                for j in 0..x.cols() {
+                    let cur = y.get(r, j);
+                    y.set(r, j, cur + v * x.get(c, j));
+                }
+            }
+        }
+    }
+    Ok(y)
+}
+
+fn check_shapes<T: Scalar>(a: &CsrMatrix<T>, x: &DenseMatrix<T>) -> SparseResult<()> {
+    if a.cols() != x.rows() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.rows(), a.cols()),
+            right: (x.rows(), x.cols()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn small() -> (CsrMatrix<f64>, DenseMatrix<f64>) {
+        // A = [0 1; 2 3], X = [1 2; 3 4]
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let x = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        (coo.to_csr(), x)
+    }
+
+    #[test]
+    fn serial_matches_hand_computation() {
+        let (a, x) = small();
+        let y = spmm(&a, &x).unwrap();
+        // Y = [3 4; 11 16]
+        assert_eq!(y.data(), &[3.0, 4.0, 11.0, 16.0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (a, x) = small();
+        let ys = spmm(&a, &x).unwrap();
+        let yp = spmm_parallel(&a, &x).unwrap();
+        assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn dense_reference_matches() {
+        let (a, x) = small();
+        assert_eq!(spmm(&a, &x).unwrap(), spmm_dense_reference(&a, &x).unwrap());
+    }
+
+    #[test]
+    fn accumulating_variant_adds() {
+        let (a, x) = small();
+        let mut y = DenseMatrix::from_fn(2, 2, |_, _| 100.0);
+        spmm_acc(&a, &x, &mut y).unwrap();
+        assert_eq!(y.data(), &[103.0, 104.0, 111.0, 116.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (a, _) = small();
+        let bad = DenseMatrix::<f64>::zeros(3, 2);
+        assert!(spmm(&a, &bad).is_err());
+        let mut y = DenseMatrix::<f64>::zeros(3, 2);
+        let x = DenseMatrix::<f64>::zeros(2, 2);
+        assert!(spmm_acc(&a, &x, &mut y).is_err());
+    }
+
+    #[test]
+    fn rectangular_spmm() {
+        // 2x3 sparse times 3x1 dense
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 1.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        let a = coo.to_csr();
+        let x = DenseMatrix::from_vec(3, 1, vec![5.0, 6.0, 7.0]).unwrap();
+        let y = spmm(&a, &x).unwrap();
+        assert_eq!(y.data(), &[7.0, 10.0]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_output() {
+        let a = CsrMatrix::<f64>::zeros(4, 4);
+        let x = DenseMatrix::from_fn(4, 3, |r, c| (r + c) as f64);
+        let y = spmm(&a, &x).unwrap();
+        assert_eq!(y.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn flop_count() {
+        let (a, _) = small();
+        assert_eq!(spmm_flops(&a, 2), 2.0 * 3.0 * 2.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the sparse substrate.
+
+use amd_sparse::{ops, spmm, CooMatrix, CsrMatrix, DenseMatrix, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a random sparse matrix of shape up to 24×24 with up to 64
+/// (possibly duplicated) triplets.
+fn coo_strategy() -> impl Strategy<Value = CooMatrix<f64>> {
+    (1u32..24, 1u32..24).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows, 0..cols, -4.0f64..4.0),
+            0..64,
+        )
+        .prop_map(move |trips| {
+            CooMatrix::from_triplets(rows, cols, trips).expect("in-bounds by construction")
+        })
+    })
+}
+
+/// Strategy: a random permutation of size n (as a shuffled order vector).
+fn perm_strategy(n: u32) -> impl Strategy<Value = Permutation> {
+    Just(n).prop_perturb(move |n, mut rng| {
+        let mut order: Vec<u32> = (0..n).collect();
+        // Fisher-Yates with proptest's rng for shrinkable determinism.
+        for i in (1..order.len()).rev() {
+            let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Permutation::from_order(order).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_csr_roundtrip_preserves_sums(coo in coo_strategy()) {
+        // Sum of all values must survive the conversion (duplicates merged).
+        let direct: f64 = coo.entries().iter().map(|&(_, _, v)| v).sum();
+        let csr = coo.to_csr();
+        let via_csr: f64 = csr.values().iter().sum();
+        prop_assert!((direct - via_csr).abs() < 1e-9);
+        // CSR must satisfy its own invariants.
+        let rebuilt = CsrMatrix::from_raw(
+            csr.rows(), csr.cols(),
+            csr.indptr().to_vec(), csr.indices().to_vec(), csr.values().to_vec(),
+        );
+        prop_assert!(rebuilt.is_ok());
+    }
+
+    #[test]
+    fn add_sub_inverse(coo in coo_strategy()) {
+        let a = coo.to_csr();
+        let sum = ops::add(&a, &a).unwrap();
+        let back = ops::sub(&sum, &a).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_involution(coo in coo_strategy()) {
+        let a = coo.to_csr();
+        prop_assert_eq!(ops::transpose(&ops::transpose(&a)), a);
+    }
+
+    #[test]
+    fn symmetrize_is_symmetric(coo in coo_strategy()) {
+        let a = coo.to_csr();
+        if a.rows() == a.cols() {
+            let s = ops::symmetrize(&a).unwrap();
+            prop_assert!(ops::is_symmetric(&s));
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference(coo in coo_strategy(), k in 1u32..5) {
+        let a = coo.to_csr();
+        let x = DenseMatrix::from_fn(a.cols(), k, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let fast = spmm::spmm(&a, &x).unwrap();
+        let slow = spmm::spmm_dense_reference(&a, &x).unwrap();
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-9);
+        let par = spmm::spmm_parallel(&a, &x).unwrap();
+        prop_assert!(par.max_abs_diff(&slow).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn permutation_roundtrips(n in 1u32..32) {
+        let strat = perm_strategy(n);
+        // materialise one permutation per case via a nested runner-free path:
+        // use the strategy's value through prop_flat_map instead.
+        let _ = strat; // covered by the dedicated test below
+        prop_assert!(n >= 1);
+    }
+}
+
+proptest! {
+    #[test]
+    fn matrix_market_roundtrip(coo in coo_strategy()) {
+        use amd_sparse::io::{read_matrix_market, write_matrix_market};
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let back = read_matrix_market(std::io::BufReader::new(buf.as_slice()))
+            .unwrap()
+            .to_csr();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn permutation_algebra(
+        (n, seed) in (2u32..32).prop_flat_map(|n| (Just(n), any::<u64>()))
+    ) {
+        use rand::prelude::*;
+        use rand::seq::SliceRandom;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let p = Permutation::from_order(order).unwrap();
+
+        // P ∘ P⁻¹ = id
+        let id = p.compose(&p.inverse()).unwrap();
+        prop_assert_eq!(id, Permutation::identity(n));
+
+        // Symmetric reorder roundtrip on a random symmetric matrix.
+        let mut coo = CooMatrix::new(n, n);
+        for _ in 0..(2 * n) {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            coo.push_sym(u, v, rng.gen_range(-1.0..1.0)).unwrap();
+        }
+        let a = coo.to_csr();
+        let b = p.apply_symmetric(&a).unwrap();
+        prop_assert_eq!(a.nnz(), b.nnz());
+        let back = p.inverse().apply_symmetric(&b).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-12);
+
+        // Row permutation roundtrip.
+        let x = DenseMatrix::from_fn(n, 3, |r, c| (r as f64) * 10.0 + c as f64);
+        let px = p.apply_rows(&x).unwrap();
+        let back = p.unapply_rows(&px).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn permuted_spmm_identity(
+        (n, seed) in (2u32..24).prop_flat_map(|n| (Just(n), any::<u64>()))
+    ) {
+        // (Pᵀ A P)(Pᵀ X) == Pᵀ (A X): the identity Algorithm 2 relies on.
+        use rand::prelude::*;
+        use rand::seq::SliceRandom;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let p = Permutation::from_order(order).unwrap();
+        let mut coo = CooMatrix::new(n, n);
+        for _ in 0..(3 * n) {
+            coo.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0))
+                .unwrap();
+        }
+        let a = coo.to_csr();
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + c) % 7) as f64);
+
+        let pap = p.apply_symmetric(&a).unwrap();
+        let px = p.apply_rows(&x).unwrap();
+        let lhs = spmm::spmm(&pap, &px).unwrap();
+        let rhs = p.apply_rows(&spmm::spmm(&a, &x).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+//! The 1.5D A-stationary algorithm (§3 of the paper, after Selvitopi et
+//! al. and Tripathy et al.), with the 1D algorithm as the `c = 1` special
+//! case.
+//!
+//! Processors form a `p/c × c` grid. `A` is tiled into `p/c` row blocks ×
+//! `c` column blocks, one tile per processor (stationary). `X` is split
+//! into `p/c` row tiles, tile `i` replicated on the `c` processors of grid
+//! row `i`. Each grid column `j` needs the `⌈(p/c)/c⌉` X-tiles covering
+//! its column block; these are broadcast down the column one round at a
+//! time, each processor accumulating `A(i,j)·X_t`. A ring all-reduce
+//! across each grid row then produces `Y_i` replicated exactly like the
+//! input — so iterations chain without data movement.
+
+use crate::layout::block_range;
+use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use amd_comm::{CostModel, Group, Machine};
+use amd_sparse::{spmm, CsrMatrix, DenseMatrix, SparseError, SparseResult};
+
+/// 1.5D A-stationary SpMM bound to a matrix.
+pub struct A15dSpmm {
+    n: u32,
+    p: u32,
+    c: u32,
+    /// Grid rows `R = p/c`.
+    grid_rows: u32,
+    /// Row-block height `⌈n/R⌉` (also the X tile height).
+    rb: u32,
+    /// X tiles per column block `⌈R/c⌉` = rounds per iteration.
+    tiles_per_col: u32,
+    /// `tiles[rank]` = per-round submatrices `(tile index t, A(i, cols of t))`.
+    tiles: Vec<Vec<(u32, CsrMatrix<f64>)>>,
+    cost: CostModel,
+}
+
+impl A15dSpmm {
+    /// Prepares the stationary distribution of `a` on `p` ranks with
+    /// replication factor `c` (`c` must divide `p`).
+    pub fn new(a: &CsrMatrix<f64>, p: u32, c: u32) -> SparseResult<Self> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (a.rows(), a.cols()),
+                right: (a.cols(), a.rows()),
+            });
+        }
+        assert!(p >= 1 && c >= 1, "need p, c >= 1");
+        assert!(p.is_multiple_of(c), "replication factor c = {c} must divide p = {p}");
+        let n = a.rows();
+        let grid_rows = p / c;
+        let rb = n.div_ceil(grid_rows).max(1);
+        let tiles_per_col = grid_rows.div_ceil(c);
+        let mut tiles = Vec::with_capacity(p as usize);
+        for rank in 0..p {
+            let (i, j) = (rank / c, rank % c);
+            let (r0, r1) = block_range(n, rb, i);
+            let mut mine = Vec::new();
+            for t in (j * tiles_per_col)..((j + 1) * tiles_per_col).min(grid_rows) {
+                let (c0, c1) = block_range(n, rb, t);
+                if r0 < r1 && c0 < c1 {
+                    mine.push((t, a.submatrix(r0, r1, c0, c1)));
+                }
+            }
+            tiles.push(mine);
+        }
+        Ok(Self { n, p, c, grid_rows, rb, tiles_per_col, tiles, cost: CostModel::default() })
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The replication factor.
+    pub fn c(&self) -> u32 {
+        self.c
+    }
+}
+
+impl DistSpmm for A15dSpmm {
+    fn name(&self) -> String {
+        if self.c == 1 {
+            format!("1D p={}", self.p)
+        } else {
+            format!("1.5D p={} c={}", self.p, self.c)
+        }
+    }
+
+    fn ranks(&self) -> u32 {
+        self.p
+    }
+
+    fn run_sigma(
+        &self,
+        x: &DenseMatrix<f64>,
+        iters: u32,
+        sigma: Option<Sigma>,
+    ) -> SparseResult<SpmmRun> {
+        if x.rows() != self.n {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n, self.n),
+                right: (x.rows(), x.cols()),
+            });
+        }
+        let k = x.cols();
+        let machine = Machine::new(self.p).with_cost(self.cost);
+        let report = machine.run(|ctx| {
+            let rank = ctx.rank();
+            let (i, j) = (rank / self.c, rank % self.c);
+            let col_group =
+                Group::new(ctx, (0..self.grid_rows).map(|gi| gi * self.c + j).collect());
+            let row_group = Group::new(ctx, (0..self.c).map(|gj| i * self.c + gj).collect());
+            // X tile i, replicated across grid row i (initial layout, free).
+            let (r0, r1) = block_range(self.n, self.rb, i);
+            let mut x_cur: Vec<f64> = x.rows_slice(r0, r1).to_vec();
+            let my_rows = (r1 - r0) as usize;
+            for _ in 0..iters {
+                let mut partial = vec![0.0f64; my_rows * k as usize];
+                let mut tile_iter = self.tiles[rank as usize].iter();
+                for t in (j * self.tiles_per_col)
+                    ..((j + 1) * self.tiles_per_col).min(self.grid_rows)
+                {
+                    // Broadcast X tile t down grid column j from grid row t.
+                    let payload =
+                        if i == t { Some(x_cur.clone()) } else { None };
+                    let xt = col_group.broadcast(ctx, t as usize, payload);
+                    // Multiply the matching stationary submatrix.
+                    if let Some((tt, sub)) = tile_iter.as_slice().first() {
+                        if *tt == t && !xt.is_empty() && my_rows > 0 {
+                            tile_iter.next();
+                            let (c0, c1) = block_range(self.n, self.rb, t);
+                            let xd = DenseMatrix::from_vec(c1 - c0, k, xt)
+                                .expect("broadcast tile has block shape");
+                            let mut pd =
+                                DenseMatrix::from_vec(r1 - r0, k, partial)
+                                    .expect("partial buffer sized to block");
+                            spmm::spmm_acc(sub, &xd, &mut pd)
+                                .expect("stationary tile shapes align");
+                            ctx.compute_flops(spmm::spmm_flops(sub, k));
+                            partial = pd.into_vec();
+                        }
+                    }
+                }
+                // Row-wise ring all-reduce leaves Y_i replicated like X was.
+                x_cur = row_group.allreduce_sum_ring(ctx, partial);
+                apply_sigma(&mut x_cur, sigma);
+            }
+            // Grid column 0 returns the final blocks for host assembly.
+            if j == 0 {
+                x_cur
+            } else {
+                Vec::new()
+            }
+        });
+        // Assemble Y from grid column 0.
+        let mut y = DenseMatrix::zeros(self.n, k);
+        for i in 0..self.grid_rows {
+            let (r0, r1) = block_range(self.n, self.rb, i);
+            let block = &report.results[(i * self.c) as usize];
+            debug_assert_eq!(block.len(), ((r1 - r0) * k) as usize);
+            y.data_mut()[(r0 * k) as usize..(r1 * k) as usize].copy_from_slice(block);
+        }
+        Ok(SpmmRun { y, stats: report.stats, iters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::iterated_spmm;
+    use amd_graph::generators::{basic, random};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check(a: &CsrMatrix<f64>, p: u32, c: u32, k: u32, iters: u32) {
+        let alg = A15dSpmm::new(a, p, c).unwrap();
+        let x = DenseMatrix::from_fn(a.rows(), k, |r, cc| {
+            (((r * 13 + cc * 7) % 11) as f64) - 5.0
+        });
+        let run = alg.run(&x, iters).unwrap();
+        let expected = iterated_spmm(a, &x, iters).unwrap();
+        let err = run.y.max_abs_diff(&expected).unwrap();
+        assert!(err < 1e-6, "p={p} c={c} k={k} iters={iters}: err {err}");
+    }
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let a: CsrMatrix<f64> = basic::grid_2d(8, 8).to_adjacency();
+        check(&a, 4, 1, 3, 1);
+        check(&a, 4, 2, 3, 1);
+        check(&a, 8, 2, 2, 2);
+        check(&a, 16, 4, 1, 1);
+    }
+
+    #[test]
+    fn matches_reference_on_random_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let a: CsrMatrix<f64> = random::random_tree(100, &mut rng).to_adjacency();
+        check(&a, 6, 2, 4, 2);
+        check(&a, 9, 3, 2, 1);
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let a: CsrMatrix<f64> = basic::path(10).to_adjacency();
+        check(&a, 1, 1, 2, 3);
+    }
+
+    #[test]
+    fn ragged_blocks() {
+        // n = 13 not divisible by grid rows.
+        let a: CsrMatrix<f64> = basic::cycle(13).to_adjacency();
+        check(&a, 4, 2, 2, 1);
+        check(&a, 8, 4, 1, 2);
+    }
+
+    #[test]
+    fn more_ranks_than_rows() {
+        let a: CsrMatrix<f64> = basic::path(5).to_adjacency();
+        check(&a, 8, 2, 2, 1);
+    }
+
+    #[test]
+    fn replication_reduces_broadcast_volume() {
+        // Higher c → fewer broadcast rounds per column → less received
+        // broadcast volume per rank (the O(β·nk/c) term).
+        let a: CsrMatrix<f64> = basic::grid_2d(16, 16).to_adjacency();
+        let x = DenseMatrix::from_fn(256, 8, |r, _| r as f64);
+        let v1 = A15dSpmm::new(&a, 16, 1).unwrap().run(&x, 1).unwrap();
+        let v4 = A15dSpmm::new(&a, 16, 4).unwrap().run(&x, 1).unwrap();
+        assert!(
+            v4.stats.max_volume() < v1.stats.max_volume(),
+            "c=4 volume {} !< c=1 volume {}",
+            v4.stats.max_volume(),
+            v1.stats.max_volume()
+        );
+    }
+
+    #[test]
+    fn c_must_divide_p() {
+        let a: CsrMatrix<f64> = basic::path(4).to_adjacency();
+        let result = std::panic::catch_unwind(|| A15dSpmm::new(&a, 6, 4));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a: CsrMatrix<f64> = basic::path(4).to_adjacency();
+        let alg = A15dSpmm::new(&a, 2, 1).unwrap();
+        let x = DenseMatrix::<f64>::zeros(5, 2);
+        assert!(alg.run(&x, 1).is_err());
+    }
+}

@@ -1,0 +1,451 @@
+//! Distributed SpMM through an arrow matrix decomposition
+//! (§4.1, Algorithms 1 and 2 of the paper).
+//!
+//! Ranks are grouped per arrow matrix: level `j` with `active_n_j` active
+//! positions gets `⌈active_n_j / b⌉` consecutive ranks; rank `i` of a
+//! level holds the tiles `B(0,i)`, `B(i,0)`, `B(i,i)` and the feature
+//! block `D(i)` (Figure 2). One multiply iteration:
+//!
+//! 1. **Forward propagation** — level `j` ships its X rows to level `j+1`
+//!    through the permutation `π_{j+1} ∘ π_j⁻¹`, chained down the levels
+//!    (only the shrinking active prefix travels),
+//! 2. **Arrow multiply** (Algorithm 1) per level: broadcast `D(0)` within
+//!    the level, reduce the row-arm partials `B(0,i)·D(i)` to the level's
+//!    rank 0, and compute `C(i) = B(i,0)·D(0) + B(i,i)·D(i)` locally,
+//! 3. **Backward aggregation** — partial results flow back `j → j−1`,
+//!    summed into the coarser level's blocks, leaving `Y` distributed on
+//!    level 0 exactly like the input X (§6.1: the iterate stays in `π₀`
+//!    order, so iterations chain with no extra movement).
+
+use crate::layout::{block_count, block_range};
+use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use amd_comm::{CostModel, Group, Machine, RankCtx};
+use amd_sparse::{spmm, DenseMatrix, SparseError, SparseResult};
+use arrow_core::{ArrowDecomposition, ArrowMatrix};
+
+/// Route table entry: rows this rank ships to (or accepts from) one peer.
+/// Sender and receiver hold mirrored routes built from the same position
+/// pairs, so `local_rows` orders agree on both sides.
+#[derive(Debug, Clone, Default)]
+struct Route {
+    /// Destination (forward) or source (backward) machine rank.
+    peer: u32,
+    /// Local row indices within this rank's block, in transfer order.
+    local_rows: Vec<u32>,
+}
+
+/// Per-rank plan for one level.
+#[derive(Debug, Clone, Default)]
+struct RankPlan {
+    /// Forward X sends to the next level.
+    fwd_sends: Vec<Route>,
+    /// Forward X receives from the previous level (peer = source).
+    fwd_recvs: Vec<Route>,
+    /// Backward Y sends to the previous level.
+    bwd_sends: Vec<Route>,
+    /// Backward Y receives from the next level.
+    bwd_recvs: Vec<Route>,
+}
+
+/// Static description of one level's rank block.
+#[derive(Debug, Clone)]
+struct LevelPlan {
+    /// First machine rank of the level.
+    offset: u32,
+    /// Number of ranks (= block rows) of the level.
+    nb: u32,
+    /// Active positions of the level.
+    active_n: u32,
+    /// The level's tiled arrow matrix.
+    arrow: ArrowMatrix,
+    /// Per local rank: routing tables.
+    rank_plans: Vec<RankPlan>,
+}
+
+/// Arrow decomposition SpMM bound to a decomposition.
+pub struct ArrowSpmm {
+    n: u32,
+    b: u32,
+    total_ranks: u32,
+    levels: Vec<LevelPlan>,
+    /// Vertex at position `p` of level 0 (`π₀⁻¹`), for X scatter/Y gather.
+    level0_vertices: Vec<u32>,
+    cost: CostModel,
+}
+
+impl ArrowSpmm {
+    /// Plans the distribution of a decomposition (rank counts, tiles,
+    /// routing tables).
+    pub fn new(d: &ArrowDecomposition) -> SparseResult<Self> {
+        let n = d.n();
+        let b = d.b();
+        if d.order() == 0 {
+            return Err(SparseError::InvalidCsr(
+                "cannot distribute an empty decomposition".into(),
+            ));
+        }
+        // Rank ranges per level.
+        let mut levels: Vec<LevelPlan> = Vec::with_capacity(d.order());
+        let mut offset = 0u32;
+        for level in d.levels() {
+            let nb = block_count(level.active_n, b);
+            levels.push(LevelPlan {
+                offset,
+                nb,
+                active_n: level.active_n,
+                arrow: level.to_arrow(b)?,
+                rank_plans: vec![RankPlan::default(); nb as usize],
+            });
+            offset += nb;
+        }
+        let total_ranks = offset;
+
+        // Routing tables between consecutive levels: position p (level j)
+        // of vertex v maps to position q = π_{j+1}(v) (level j+1) when
+        // q < active_{j+1}.
+        for j in 0..d.order() - 1 {
+            let pi_j = &d.levels()[j].perm;
+            let pi_n = &d.levels()[j + 1].perm;
+            let (active_j, active_n1) = (levels[j].active_n, levels[j + 1].active_n);
+            let (off_j, off_n) = (levels[j].offset, levels[j + 1].offset);
+            // Collect (src_rank, dst_rank) → row lists.
+            let mut pairs: Vec<(u32, u32, u32, u32)> = Vec::new(); // (src, dst, src_row, dst_row)
+            for p in 0..active_j {
+                let v = pi_j.vertex_at(p);
+                let q = pi_n.position(v);
+                if q < active_n1 {
+                    let src = off_j + p / b;
+                    let dst = off_n + q / b;
+                    pairs.push((src, dst, p % b, q % b));
+                }
+            }
+            pairs.sort_unstable();
+            let mut idx = 0;
+            while idx < pairs.len() {
+                let (src, dst, _, _) = pairs[idx];
+                let mut local_rows = Vec::new();
+                let mut peer_rows = Vec::new();
+                while idx < pairs.len() && pairs[idx].0 == src && pairs[idx].1 == dst {
+                    local_rows.push(pairs[idx].2);
+                    peer_rows.push(pairs[idx].3);
+                    idx += 1;
+                }
+                // Forward: src (level j) sends to dst (level j+1).
+                levels[j].rank_plans[(src - off_j) as usize]
+                    .fwd_sends
+                    .push(Route { peer: dst, local_rows: local_rows.clone() });
+                levels[j + 1].rank_plans[(dst - off_n) as usize]
+                    .fwd_recvs
+                    .push(Route { peer: src, local_rows: peer_rows.clone() });
+                // Backward: dst (level j+1) sends Y back to src (level j).
+                levels[j + 1].rank_plans[(dst - off_n) as usize]
+                    .bwd_sends
+                    .push(Route { peer: src, local_rows: peer_rows });
+                levels[j].rank_plans[(src - off_j) as usize]
+                    .bwd_recvs
+                    .push(Route { peer: dst, local_rows });
+            }
+        }
+        let level0_vertices: Vec<u32> =
+            (0..n).map(|p| d.levels()[0].perm.vertex_at(p)).collect();
+        Ok(Self { n, b, total_ranks, levels, level0_vertices, cost: CostModel::default() })
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Arrow width.
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// Locates the level and local index of a machine rank.
+    fn locate(&self, rank: u32) -> (usize, u32) {
+        for (j, l) in self.levels.iter().enumerate() {
+            if rank < l.offset + l.nb {
+                return (j, rank - l.offset);
+            }
+        }
+        unreachable!("rank {rank} beyond total {}", self.total_ranks)
+    }
+}
+
+/// One level's Algorithm 1: multiply the arrow matrix with the
+/// block-distributed `D`, returning this rank's `C(i)` block.
+fn arrow_multiply(
+    ctx: &mut RankCtx,
+    level: &LevelPlan,
+    my_i: u32,
+    d_block: &[f64],
+    k: u32,
+) -> Vec<f64> {
+    let group = Group::new(ctx, (level.offset..level.offset + level.nb).collect());
+    let (r0, r1) = block_range(level.active_n, level.arrow.b(), my_i);
+    let my_rows = (r1 - r0) as usize;
+    debug_assert_eq!(d_block.len(), my_rows * k as usize);
+
+    // Broadcast D(0) from the level's first rank (Algorithm 1, line 1).
+    let d0 = group.broadcast(
+        ctx,
+        0,
+        if my_i == 0 { Some(d_block.to_vec()) } else { None },
+    );
+    let (z0, z1) = block_range(level.active_n, level.arrow.b(), 0);
+    let d0_rows = z1 - z0;
+    let d0_mat = DenseMatrix::from_vec(d0_rows, k, d0).expect("D(0) has block shape");
+
+    // Row-arm partial B(0,i) · D(i), reduced to rank 0 (lines 2–3).
+    let row_tile = level.arrow.row_tile(my_i);
+    let partial0 = if my_rows > 0 {
+        let d_mat =
+            DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
+        ctx.compute_flops(spmm::spmm_flops(row_tile, k));
+        spmm::spmm(row_tile, &d_mat).expect("row tile shapes align").into_vec()
+    } else {
+        vec![0.0; (d0_rows * k) as usize]
+    };
+    let reduced = group.reduce_sum(ctx, 0, partial0);
+
+    // C(i) (lines 4–6).
+    if my_i == 0 {
+        reduced.expect("rank 0 of the level holds the reduction")
+    } else {
+        let mut c = DenseMatrix::zeros(r1 - r0, k);
+        let col_tile = level.arrow.col_tile(my_i);
+        ctx.compute_flops(spmm::spmm_flops(col_tile, k));
+        spmm::spmm_acc(col_tile, &d0_mat, &mut c).expect("column tile shapes align");
+        let diag_tile = level.arrow.diag_tile(my_i);
+        let d_mat =
+            DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
+        ctx.compute_flops(spmm::spmm_flops(diag_tile, k));
+        spmm::spmm_acc(diag_tile, &d_mat, &mut c).expect("diagonal tile shapes align");
+        c.into_vec()
+    }
+}
+
+impl DistSpmm for ArrowSpmm {
+    fn name(&self) -> String {
+        format!("Arrow b={} l={}", self.b, self.levels.len())
+    }
+
+    fn ranks(&self) -> u32 {
+        self.total_ranks
+    }
+
+    fn run_sigma(
+        &self,
+        x: &DenseMatrix<f64>,
+        iters: u32,
+        sigma: Option<Sigma>,
+    ) -> SparseResult<SpmmRun> {
+        if x.rows() != self.n {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n, self.n),
+                right: (x.rows(), x.cols()),
+            });
+        }
+        let k = x.cols();
+        let kk = k as usize;
+        let l = self.levels.len();
+        let machine = Machine::new(self.total_ranks).with_cost(self.cost);
+        let report = machine.run(|ctx| {
+            let rank = ctx.rank();
+            let (j, my_i) = self.locate(rank);
+            let level = &self.levels[j];
+            let plan = &level.rank_plans[my_i as usize];
+            let (r0, r1) = block_range(level.active_n, self.b, my_i);
+            let my_rows = (r1 - r0) as usize;
+            // Level 0 starts with its X block (initial layout, free);
+            // other levels start empty and are filled by propagation.
+            let mut x_block: Vec<f64> = if j == 0 {
+                let mut buf = Vec::with_capacity(my_rows * kk);
+                for p in r0..r1 {
+                    buf.extend_from_slice(x.row(self.level0_vertices[p as usize]));
+                }
+                buf
+            } else {
+                vec![0.0; my_rows * kk]
+            };
+            for iter in 0..iters {
+                let base_tag = (iter as u64) << 8;
+                // 1. Forward propagation j → j+1 (Algorithm 2, lines 1–5).
+                if j > 0 {
+                    for route in &plan.fwd_recvs {
+                        let buf: Vec<f64> = ctx.recv(route.peer, base_tag | 1);
+                        for (idx, &row) in route.local_rows.iter().enumerate() {
+                            x_block[row as usize * kk..(row as usize + 1) * kk]
+                                .copy_from_slice(&buf[idx * kk..(idx + 1) * kk]);
+                        }
+                    }
+                }
+                if j + 1 < l {
+                    for route in &plan.fwd_sends {
+                        let mut buf = Vec::with_capacity(route.local_rows.len() * kk);
+                        for &row in &route.local_rows {
+                            buf.extend_from_slice(
+                                &x_block[row as usize * kk..(row as usize + 1) * kk],
+                            );
+                        }
+                        ctx.send(route.peer, base_tag | 1, buf);
+                    }
+                }
+                // 2. Per-level arrow multiply (Algorithm 1).
+                let mut y_block = arrow_multiply(ctx, level, my_i, &x_block, k);
+                // 3. Backward aggregation j+1 → j (Algorithm 2, lines 7–12).
+                if j + 1 < l {
+                    for route in &plan.bwd_recvs {
+                        let buf: Vec<f64> = ctx.recv(route.peer, base_tag | 2);
+                        for (idx, &row) in route.local_rows.iter().enumerate() {
+                            for col in 0..kk {
+                                y_block[row as usize * kk + col] += buf[idx * kk + col];
+                            }
+                        }
+                    }
+                }
+                if j > 0 {
+                    for route in &plan.bwd_sends {
+                        let mut buf = Vec::with_capacity(route.local_rows.len() * kk);
+                        for &row in &route.local_rows {
+                            buf.extend_from_slice(
+                                &y_block[row as usize * kk..(row as usize + 1) * kk],
+                            );
+                        }
+                        ctx.send(route.peer, base_tag | 2, buf);
+                    }
+                }
+                x_block = y_block;
+                // σ acts on the complete Y, which lives on level 0 after
+                // aggregation; deeper levels are overwritten by the next
+                // forward propagation.
+                if j == 0 {
+                    apply_sigma(&mut x_block, sigma);
+                }
+            }
+            if j == 0 {
+                x_block
+            } else {
+                Vec::new()
+            }
+        });
+        // Assemble Y: level 0 blocks hold positions 0..active_0; rows of
+        // vertices isolated in A are zero.
+        let mut y = DenseMatrix::zeros(self.n, k);
+        let level0 = &self.levels[0];
+        for i in 0..level0.nb {
+            let (r0, r1) = block_range(level0.active_n, self.b, i);
+            let block = &report.results[(level0.offset + i) as usize];
+            for (offset, p) in (r0..r1).enumerate() {
+                let v = self.level0_vertices[p as usize];
+                y.row_mut(v).copy_from_slice(&block[offset * kk..(offset + 1) * kk]);
+            }
+        }
+        Ok(SpmmRun { y, stats: report.stats, iters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::iterated_spmm;
+    use amd_graph::generators::{basic, datasets, random};
+    use amd_sparse::CsrMatrix;
+    use arrow_core::{la_decompose, DecomposeConfig, RandomForestLa};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn decompose(a: &CsrMatrix<f64>, b: u32, seed: u64) -> ArrowDecomposition {
+        la_decompose(a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(seed))
+            .unwrap()
+    }
+
+    fn check(a: &CsrMatrix<f64>, b: u32, k: u32, iters: u32) -> SpmmRun {
+        let d = decompose(a, b, 42);
+        assert_eq!(d.validate(a).unwrap(), 0.0);
+        let alg = ArrowSpmm::new(&d).unwrap();
+        let x = DenseMatrix::from_fn(a.rows(), k, |r, c| {
+            (((r * 5 + c * 3) % 9) as f64) - 4.0
+        });
+        let run = alg.run(&x, iters).unwrap();
+        let expected = iterated_spmm(a, &x, iters).unwrap();
+        let err = run.y.max_abs_diff(&expected).unwrap();
+        assert!(err < 1e-6, "b={b} k={k} iters={iters}: err {err}");
+        run
+    }
+
+    #[test]
+    fn star_single_level() {
+        let a: CsrMatrix<f64> = basic::star(60).to_adjacency();
+        let run = check(&a, 8, 3, 1);
+        assert!(run.ranks_used() >= 1);
+    }
+
+    #[test]
+    fn path_multi_block() {
+        let a: CsrMatrix<f64> = basic::path(50).to_adjacency();
+        check(&a, 8, 2, 2);
+    }
+
+    #[test]
+    fn random_tree_multi_level() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a: CsrMatrix<f64> = random::random_tree(400, &mut rng).to_adjacency();
+        let run = check(&a, 32, 4, 2);
+        assert!(run.stats.ranks.len() >= 4, "expected several ranks");
+    }
+
+    #[test]
+    fn dataset_graphs_match_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for kind in [datasets::DatasetKind::Mawi, datasets::DatasetKind::GenBank] {
+            let g = kind.generate(800, &mut rng);
+            let a: CsrMatrix<f64> = g.to_adjacency();
+            check(&a, 64, 2, 2);
+        }
+    }
+
+    #[test]
+    fn values_and_diagonal_preserved() {
+        let mut coo = amd_sparse::CooMatrix::new(30, 30);
+        for v in 0..30u32 {
+            coo.push(v, v, 0.5 + v as f64).unwrap();
+        }
+        for v in 1..30u32 {
+            coo.push_sym(0, v, 1.0 / v as f64).unwrap();
+        }
+        coo.push_sym(7, 8, 3.0).unwrap();
+        let a = coo.to_csr();
+        check(&a, 4, 3, 2);
+    }
+
+    #[test]
+    fn iterates_chain_correctly() {
+        // 3 iterations through a multi-level decomposition.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = datasets::genbank_like(500, &mut rng);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        check(&a, 32, 2, 3);
+    }
+
+    #[test]
+    fn k1_vector_case() {
+        let a: CsrMatrix<f64> = basic::cycle(40).to_adjacency();
+        check(&a, 8, 1, 2);
+    }
+
+    #[test]
+    fn empty_decomposition_rejected() {
+        let a = CsrMatrix::<f64>::zeros(4, 4);
+        let d = la_decompose(&a, &DecomposeConfig::with_width(2), &mut RandomForestLa::new(1))
+            .unwrap();
+        assert!(ArrowSpmm::new(&d).is_err());
+    }
+
+    impl SpmmRun {
+        fn ranks_used(&self) -> usize {
+            self.stats.ranks.len()
+        }
+    }
+}

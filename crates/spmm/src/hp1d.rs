@@ -1,0 +1,311 @@
+//! HP-1D: the 1D hypergraph-partitioning baseline (§7.1, after Kaya et
+//! al.'s PETSc-style SpMV variant lifted to SpMM).
+//!
+//! The matrix is symmetrically permuted so that each part's rows are
+//! contiguous, then split row-wise. One iteration per rank:
+//!
+//! 1. send the locally-owned X rows other ranks need (precomputed lists),
+//! 2. compute the *local* SpMM (columns within the own range) — this
+//!    overlaps with the incoming transfers,
+//! 3. receive the remote rows and compute the *non-local* SpMM.
+//!
+//! The fetched row set of a part is exactly the partition's "external
+//! rows" metric; on star-heavy graphs it degenerates to nearly all of `X`
+//! for the hub's part, which is the scaling failure the paper reports.
+
+use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use amd_comm::{CostModel, Machine};
+use amd_partition::Partition;
+use amd_sparse::{spmm, CooMatrix, CsrMatrix, DenseMatrix, Permutation, SparseError, SparseResult};
+
+/// HP-1D SpMM bound to a matrix and a partition.
+pub struct Hp1dSpmm {
+    n: u32,
+    p: u32,
+    /// Permutation sorting vertices by part.
+    pi: Permutation,
+    /// Part row ranges in permuted coordinates: rank i owns `[starts[i], starts[i+1])`.
+    starts: Vec<u32>,
+    /// Local submatrix per rank (columns inside the own range, shifted).
+    a_local: Vec<CsrMatrix<f64>>,
+    /// External submatrix per rank (columns renumbered to the fetch list).
+    a_ext: Vec<CsrMatrix<f64>>,
+    /// Per rank: `(owner, rows)` to fetch, ascending owner; `rows` are
+    /// permuted row ids owned by `owner`, ascending.
+    fetches: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Per rank: `(requester, rows)` to send, mirror of `fetches`.
+    serves: Vec<Vec<(u32, Vec<u32>)>>,
+    cost: CostModel,
+}
+
+impl Hp1dSpmm {
+    /// Prepares the distribution of `a` over the parts of `partition`
+    /// (one rank per part).
+    pub fn new(a: &CsrMatrix<f64>, partition: &Partition) -> SparseResult<Self> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (a.rows(), a.cols()),
+                right: (a.cols(), a.rows()),
+            });
+        }
+        assert_eq!(partition.n(), a.rows(), "partition size must match the matrix");
+        let n = a.rows();
+        let p = partition.parts;
+        let pi = partition.to_permutation();
+        let ap = pi.apply_symmetric(a)?;
+        let sizes = partition.sizes();
+        let mut starts = Vec::with_capacity(p as usize + 1);
+        starts.push(0u32);
+        for s in &sizes {
+            starts.push(starts.last().unwrap() + s);
+        }
+        let owner_of = |row: u32| -> u32 {
+            (starts.partition_point(|&s| s <= row) - 1) as u32
+        };
+        let mut a_local = Vec::with_capacity(p as usize);
+        let mut a_ext = Vec::with_capacity(p as usize);
+        let mut fetches: Vec<Vec<(u32, Vec<u32>)>> = Vec::with_capacity(p as usize);
+        let mut serves: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); p as usize];
+        for rank in 0..p {
+            let (s, e) = (starts[rank as usize], starts[rank as usize + 1]);
+            // Distinct external columns, ascending (= grouped by owner,
+            // because parts are contiguous in permuted coordinates).
+            let mut ext_cols: Vec<u32> = Vec::new();
+            for r in s..e {
+                for &c in ap.row_indices(r) {
+                    if !(s..e).contains(&c) {
+                        ext_cols.push(c);
+                    }
+                }
+            }
+            ext_cols.sort_unstable();
+            ext_cols.dedup();
+            let col_index = |c: u32| -> u32 {
+                ext_cols.binary_search(&c).expect("external column collected") as u32
+            };
+            let mut local = CooMatrix::new(e - s, e - s);
+            let mut ext = CooMatrix::new(e - s, ext_cols.len().max(1) as u32);
+            for r in s..e {
+                for (&c, &v) in ap.row_indices(r).iter().zip(ap.row_values(r)) {
+                    if (s..e).contains(&c) {
+                        local.push(r - s, c - s, v)?;
+                    } else {
+                        ext.push(r - s, col_index(c), v)?;
+                    }
+                }
+            }
+            a_local.push(local.to_csr());
+            a_ext.push(ext.to_csr());
+            // Group the fetch list by owner.
+            let mut by_owner: Vec<(u32, Vec<u32>)> = Vec::new();
+            for &c in &ext_cols {
+                let o = owner_of(c);
+                match by_owner.last_mut() {
+                    Some((last, rows)) if *last == o => rows.push(c),
+                    _ => by_owner.push((o, vec![c])),
+                }
+            }
+            for (o, rows) in &by_owner {
+                serves[*o as usize].push((rank, rows.clone()));
+            }
+            fetches.push(by_owner);
+        }
+        Ok(Self {
+            n,
+            p,
+            pi,
+            starts,
+            a_local,
+            a_ext,
+            fetches,
+            serves,
+            cost: CostModel::default(),
+        })
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Largest per-rank external fetch (rows of X), the partition-quality
+    /// bottleneck.
+    pub fn max_external_rows(&self) -> usize {
+        self.fetches
+            .iter()
+            .map(|f| f.iter().map(|(_, rows)| rows.len()).sum::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl DistSpmm for Hp1dSpmm {
+    fn name(&self) -> String {
+        format!("HP-1D p={}", self.p)
+    }
+
+    fn ranks(&self) -> u32 {
+        self.p
+    }
+
+    fn run_sigma(
+        &self,
+        x: &DenseMatrix<f64>,
+        iters: u32,
+        sigma: Option<Sigma>,
+    ) -> SparseResult<SpmmRun> {
+        if x.rows() != self.n {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n, self.n),
+                right: (x.rows(), x.cols()),
+            });
+        }
+        let k = x.cols();
+        let machine = Machine::new(self.p).with_cost(self.cost);
+        let report = machine.run(|ctx| {
+            let rank = ctx.rank();
+            let (s, e) = (self.starts[rank as usize], self.starts[rank as usize + 1]);
+            let rows = (e - s) as usize;
+            // Own X rows in permuted order (initial layout, free).
+            let mut x_cur: Vec<f64> = Vec::with_capacity(rows * k as usize);
+            for q in s..e {
+                x_cur.extend_from_slice(x.row(self.pi.vertex_at(q)));
+            }
+            for iter in 0..iters {
+                let tag = iter as u64;
+                // 1. Serve remote requests first (sends never block).
+                for (requester, req_rows) in &self.serves[rank as usize] {
+                    let mut buf = Vec::with_capacity(req_rows.len() * k as usize);
+                    for &q in req_rows {
+                        let local = (q - s) as usize;
+                        buf.extend_from_slice(
+                            &x_cur[local * k as usize..(local + 1) * k as usize],
+                        );
+                    }
+                    ctx.send(*requester, tag, buf);
+                }
+                // 2. Local SpMM overlaps with the transfers.
+                let xd = DenseMatrix::from_vec(e - s, k, x_cur.clone())
+                    .expect("own block shape");
+                let mut partial = spmm::spmm(&self.a_local[rank as usize], &xd)
+                    .expect("local tile shapes align");
+                ctx.compute_flops(spmm::spmm_flops(&self.a_local[rank as usize], k));
+                // 3. Receive external rows (ascending owner = ascending
+                //    compact index) and run the non-local SpMM.
+                let mut ext_x: Vec<f64> = Vec::new();
+                for (owner, req_rows) in &self.fetches[rank as usize] {
+                    let buf: Vec<f64> = ctx.recv(*owner, tag);
+                    debug_assert_eq!(buf.len(), req_rows.len() * k as usize);
+                    ext_x.extend_from_slice(&buf);
+                }
+                let a_ext = &self.a_ext[rank as usize];
+                if !ext_x.is_empty() {
+                    let ed = DenseMatrix::from_vec(a_ext.cols(), k, ext_x)
+                        .expect("external block shape");
+                    spmm::spmm_acc(a_ext, &ed, &mut partial)
+                        .expect("external tile shapes align");
+                    ctx.compute_flops(spmm::spmm_flops(a_ext, k));
+                }
+                x_cur = partial.into_vec();
+                apply_sigma(&mut x_cur, sigma);
+            }
+            x_cur
+        });
+        // Assemble in original row order.
+        let mut y = DenseMatrix::zeros(self.n, k);
+        for rank in 0..self.p {
+            let (s, e) = (self.starts[rank as usize], self.starts[rank as usize + 1]);
+            let block = &report.results[rank as usize];
+            for (offset, q) in (s..e).enumerate() {
+                let v = self.pi.vertex_at(q);
+                y.row_mut(v)
+                    .copy_from_slice(&block[offset * k as usize..(offset + 1) * k as usize]);
+            }
+        }
+        Ok(SpmmRun { y, stats: report.stats, iters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::iterated_spmm;
+    use amd_graph::generators::{basic, datasets};
+    use amd_partition::{block_partition, hype_partition, HypeConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check(a: &CsrMatrix<f64>, partition: &Partition, k: u32, iters: u32) {
+        let alg = Hp1dSpmm::new(a, partition).unwrap();
+        let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r + c) % 5) as f64) - 2.0);
+        let run = alg.run(&x, iters).unwrap();
+        let expected = iterated_spmm(a, &x, iters).unwrap();
+        let err = run.y.max_abs_diff(&expected).unwrap();
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn matches_reference_with_block_partition() {
+        let a: CsrMatrix<f64> = basic::grid_2d(6, 6).to_adjacency();
+        check(&a, &block_partition(36, 4), 3, 1);
+        check(&a, &block_partition(36, 5), 2, 2);
+    }
+
+    #[test]
+    fn matches_reference_with_hype_partition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = datasets::genbank_like(400, &mut rng);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let part = hype_partition(&g, 6, &HypeConfig::default(), &mut rng);
+        check(&a, &part, 4, 2);
+    }
+
+    #[test]
+    fn single_part() {
+        let a: CsrMatrix<f64> = basic::cycle(12).to_adjacency();
+        check(&a, &block_partition(12, 1), 2, 2);
+    }
+
+    #[test]
+    fn star_graph_fetch_bottleneck() {
+        // The hub's part must fetch (or serve) nearly everything.
+        let g = basic::star(128);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let part = block_partition(128, 4);
+        let alg = Hp1dSpmm::new(&a, &part).unwrap();
+        assert!(
+            alg.max_external_rows() >= 96,
+            "external rows {} below star bound",
+            alg.max_external_rows()
+        );
+        check(&a, &part, 2, 1);
+    }
+
+    #[test]
+    fn good_partition_beats_random_partition_volume() {
+        let g = basic::grid_2d(16, 16);
+        let a: CsrMatrix<f64> = g.to_adjacency();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let hype = hype_partition(&g, 8, &HypeConfig::default(), &mut rng);
+        let rand = amd_partition::random_partition(256, 8, &mut rng);
+        let x = DenseMatrix::from_fn(256, 4, |r, _| r as f64);
+        let vh = Hp1dSpmm::new(&a, &hype).unwrap().run(&x, 1).unwrap();
+        let vr = Hp1dSpmm::new(&a, &rand).unwrap().run(&x, 1).unwrap();
+        assert!(
+            vh.stats.max_volume() < vr.stats.max_volume(),
+            "hype volume {} !< random volume {}",
+            vh.stats.max_volume(),
+            vr.stats.max_volume()
+        );
+    }
+
+    #[test]
+    fn empty_part_handled() {
+        // A partition where one part gets no vertices.
+        let assign = vec![0, 0, 2, 2, 2, 0];
+        let part = Partition::new(assign, 3);
+        let a: CsrMatrix<f64> = basic::path(6).to_adjacency();
+        check(&a, &part, 2, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Row-block layout helpers shared by the distributed algorithms.
+
+/// The half-open row range `[start, end)` of block `i` when `n` rows are
+/// split into blocks of height `h` (last block ragged).
+pub fn block_range(n: u32, h: u32, i: u32) -> (u32, u32) {
+    let start = (i * h).min(n);
+    let end = ((i + 1) * h).min(n);
+    (start, end)
+}
+
+/// Number of height-`h` blocks covering `n` rows (≥ 1 even for `n = 0`).
+pub fn block_count(n: u32, h: u32) -> u32 {
+    n.div_ceil(h).max(1)
+}
+
+/// The block holding row `r`.
+pub fn block_of(r: u32, h: u32) -> u32 {
+    r / h
+}
+
+/// Splits `0..n` into `parts` nearly equal contiguous ranges.
+pub fn even_ranges(n: u32, parts: u32) -> Vec<(u32, u32)> {
+    (0..parts)
+        .map(|i| {
+            let start = (i as u64 * n as u64 / parts as u64) as u32;
+            let end = ((i as u64 + 1) * n as u64 / parts as u64) as u32;
+            (start, end)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_rows() {
+        assert_eq!(block_range(10, 4, 0), (0, 4));
+        assert_eq!(block_range(10, 4, 2), (8, 10));
+        assert_eq!(block_range(10, 4, 3), (10, 10)); // out-of-range is empty
+        assert_eq!(block_count(10, 4), 3);
+        assert_eq!(block_count(8, 4), 2);
+        assert_eq!(block_count(0, 4), 1);
+        assert_eq!(block_of(9, 4), 2);
+    }
+
+    #[test]
+    fn even_ranges_partition() {
+        let r = even_ranges(10, 3);
+        assert_eq!(r, vec![(0, 3), (3, 6), (6, 10)]);
+        let total: u32 = r.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(total, 10);
+        assert_eq!(even_ranges(2, 4).iter().filter(|(a, b)| a != b).count(), 2);
+    }
+}

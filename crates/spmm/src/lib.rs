@@ -1,0 +1,39 @@
+//! Distributed SpMM algorithms on the α-β machine.
+//!
+//! Implements the paper's algorithm (§4.1) and the baselines it is
+//! evaluated against (§3, §7):
+//!
+//! * [`ArrowSpmm`] — Algorithms 1 & 2: per-level arrow-matrix multiplies
+//!   with forward X propagation and backward Y aggregation,
+//! * [`A15dSpmm`] — the 1.5D A-stationary algorithm with replication
+//!   factor `c` (the `c = 1` case is the 1D algorithm),
+//! * [`A2dSpmm`] — the 2D A-stationary algorithm (feature matrix sliced
+//!   along both dimensions, `√p` phases),
+//! * [`Hp1dSpmm`] — the PETSc-style 1D hypergraph-partitioning baseline
+//!   with local/non-local overlap,
+//! * [`reference`] — the serial reference every algorithm is verified
+//!   against.
+//!
+//! All algorithms implement [`DistSpmm`]: a `run(x, iters)` producing the
+//! final iterate (in original row order) and the machine's communication
+//! accounting. The initial operand distribution is not charged (all three
+//! algorithms start from their natural layout, as in the paper), and the
+//! result stays distributed between iterations — the returned `Y` is
+//! assembled host-side from the per-rank return values, so the stats
+//! contain exactly the steady-state communication.
+
+pub mod a15d;
+pub mod a2d;
+pub mod arrow;
+pub mod hp1d;
+pub mod layout;
+pub mod reference;
+pub mod storage;
+pub mod traits;
+pub mod verify;
+
+pub use a15d::A15dSpmm;
+pub use a2d::A2dSpmm;
+pub use arrow::ArrowSpmm;
+pub use hp1d::Hp1dSpmm;
+pub use traits::{DistSpmm, SpmmRun};

@@ -1,0 +1,178 @@
+//! Storage accounting (§6.2 of the paper, Lemma 7).
+//!
+//! The arrow decomposition's second headline claim (besides bandwidth) is
+//! memory: a `c`-replicated 1.5D decomposition stores `c` copies of the
+//! feature matrix, while the arrow layout stores `X` once —
+//! `m + O(nk)` total (Lemma 7), a `Θ(√p)` saving at full replication.
+//! This module computes per-rank and total storage for each algorithm so
+//! the claim is checkable mechanically, using the paper's accounting: CSR
+//! costs `nnz` values + `nnz` indices + row offsets, dense blocks cost
+//! `rows · k` values (unit = one stored word).
+
+use crate::layout::{block_count, block_range};
+use amd_sparse::CsrMatrix;
+use arrow_core::ArrowDecomposition;
+
+/// Storage words of a CSR block: values + column indices + row offsets.
+pub fn csr_words(m: &CsrMatrix<f64>) -> u64 {
+    2 * m.nnz() as u64 + m.rows() as u64 + 1
+}
+
+/// Per-algorithm storage summary (in stored words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Sparse-matrix words summed over all ranks.
+    pub sparse_total: u64,
+    /// Dense (feature + output) words summed over all ranks.
+    pub dense_total: u64,
+    /// Largest per-rank total.
+    pub max_per_rank: u64,
+}
+
+impl StorageReport {
+    /// Total words across the machine.
+    pub fn total(&self) -> u64 {
+        self.sparse_total + self.dense_total
+    }
+}
+
+/// Storage of the arrow layout (Figure 2): rank `i` of each level holds
+/// three tiles plus one `b × k` slice of `D` and one of `C`.
+pub fn arrow_storage(d: &ArrowDecomposition, k: u32) -> StorageReport {
+    let b = d.b();
+    let (mut sparse_total, mut dense_total, mut max_per_rank) = (0u64, 0u64, 0u64);
+    for level in d.levels() {
+        let arrow = level.to_arrow(b).expect("valid decomposition");
+        let nb = block_count(level.active_n, b);
+        for i in 0..nb {
+            let (r0, r1) = block_range(level.active_n, b, i);
+            let mut s = csr_words(arrow.row_tile(i));
+            if i > 0 {
+                s += csr_words(arrow.col_tile(i)) + csr_words(arrow.diag_tile(i));
+            }
+            // D(i) and C(i); rank 0 additionally aggregates C(0) (already
+            // its own block) and holds the broadcast D(0) copy.
+            let mut dense = 2 * (r1 - r0) as u64 * k as u64;
+            if i > 0 {
+                let (z0, z1) = block_range(level.active_n, b, 0);
+                dense += (z1 - z0) as u64 * k as u64; // received D(0)
+            }
+            sparse_total += s;
+            dense_total += dense;
+            max_per_rank = max_per_rank.max(s + dense);
+        }
+    }
+    StorageReport { sparse_total, dense_total, max_per_rank }
+}
+
+/// Storage of the 1.5D A-stationary layout: each rank holds its `A` tile,
+/// its replicated X tile, the in-flight broadcast tile, and the partial Y.
+pub fn a15d_storage(a: &CsrMatrix<f64>, p: u32, c: u32, k: u32) -> StorageReport {
+    assert!(p.is_multiple_of(c));
+    let n = a.rows();
+    let grid_rows = p / c;
+    let rb = n.div_ceil(grid_rows).max(1);
+    let (mut sparse_total, mut dense_total, mut max_per_rank) = (0u64, 0u64, 0u64);
+    for rank in 0..p {
+        let (i, j) = (rank / c, rank % c);
+        let (r0, r1) = block_range(n, rb, i);
+        let (c0, c1) = block_range(n, rb.saturating_mul(grid_rows.div_ceil(c)), j);
+        let tile = a.submatrix(r0, r1, c0.min(n), c1.min(n));
+        let s = csr_words(&tile);
+        // X tile (replicated copy), one broadcast buffer, partial Y.
+        let dense = 3 * (r1 - r0) as u64 * k as u64;
+        sparse_total += s;
+        dense_total += dense;
+        max_per_rank = max_per_rank.max(s + dense);
+    }
+    StorageReport { sparse_total, dense_total, max_per_rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::datasets;
+    use arrow_core::{la_decompose, DecomposeConfig, RandomForestLa};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn mawi(n: u32) -> CsrMatrix<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        datasets::mawi_like(n, &mut rng).to_adjacency()
+    }
+
+    #[test]
+    fn csr_word_counting() {
+        let a = CsrMatrix::<f64>::identity(5);
+        assert_eq!(csr_words(&a), 2 * 5 + 6);
+        let z = CsrMatrix::<f64>::zeros(3, 3);
+        assert_eq!(csr_words(&z), 4);
+    }
+
+    #[test]
+    fn lemma7_arrow_dense_storage_is_near_nk() {
+        // Lemma 7: total storage m + O(nk) — dense words must be a small
+        // multiple of nk, independent of p.
+        let n = 8192u32;
+        let k = 16u32;
+        let a = mawi(n);
+        for b in [512u32, 1024, 2048] {
+            let d = la_decompose(
+                &a,
+                &DecomposeConfig::with_width(b),
+                &mut RandomForestLa::new(2),
+            )
+            .unwrap();
+            let rep = arrow_storage(&d, k);
+            let nk = n as u64 * k as u64;
+            assert!(
+                rep.dense_total <= 4 * nk,
+                "b={b}: dense {} > 4·nk = {}",
+                rep.dense_total,
+                4 * nk
+            );
+            // Sparse side: every entry stored exactly once (values+indices)
+            // plus offsets.
+            assert!(rep.sparse_total >= 2 * a.nnz() as u64);
+        }
+    }
+
+    #[test]
+    fn replication_blows_up_15d_dense_storage() {
+        // §6.2: 1.5D with replication c stores Θ(c · nk) dense words; the
+        // arrow layout stays Θ(nk) — a factor-c gap.
+        let n = 8192u32;
+        let k = 16u32;
+        let p = 16u32;
+        let a = mawi(n);
+        let nk = n as u64 * k as u64;
+        let low = a15d_storage(&a, p, 1, k);
+        let high = a15d_storage(&a, p, 4, k);
+        assert!(
+            high.dense_total >= 3 * low.dense_total,
+            "c=4 dense {} not ≫ c=1 dense {}",
+            high.dense_total,
+            low.dense_total
+        );
+        let d = la_decompose(&a, &DecomposeConfig::with_width(n / p), &mut RandomForestLa::new(3))
+            .unwrap();
+        let arrow = arrow_storage(&d, k);
+        assert!(
+            arrow.dense_total < high.dense_total,
+            "arrow dense {} not below replicated 1.5D {}",
+            arrow.dense_total,
+            high.dense_total
+        );
+        assert!(arrow.dense_total <= 4 * nk);
+    }
+
+    #[test]
+    fn max_per_rank_bounded_by_total() {
+        let a = mawi(4096);
+        let d = la_decompose(&a, &DecomposeConfig::with_width(512), &mut RandomForestLa::new(1))
+            .unwrap();
+        let rep = arrow_storage(&d, 8);
+        assert!(rep.max_per_rank <= rep.total());
+        assert!(rep.max_per_rank > 0);
+    }
+}

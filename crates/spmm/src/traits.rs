@@ -1,0 +1,70 @@
+//! The common interface of the distributed SpMM algorithms.
+
+use amd_comm::MachineStats;
+use amd_sparse::{DenseMatrix, SparseResult};
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct SpmmRun {
+    /// Final iterate `A^iters · X` in the *original* row order.
+    pub y: DenseMatrix<f64>,
+    /// Communication/time accounting over all iterations (initial operand
+    /// distribution and final assembly excluded).
+    pub stats: MachineStats,
+    /// Number of multiply iterations performed.
+    pub iters: u32,
+}
+
+impl SpmmRun {
+    /// Per-iteration maximum per-rank volume in bytes — the α-β bandwidth
+    /// cost the paper's §6 analyses, normalised per multiply.
+    pub fn volume_per_iter(&self) -> f64 {
+        self.stats.max_volume() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Per-iteration simulated runtime in seconds.
+    pub fn sim_time_per_iter(&self) -> f64 {
+        self.stats.sim_time() / self.iters.max(1) as f64
+    }
+}
+
+/// Element-wise activation `σ` applied between iterations (§2 of the
+/// paper: `X_{t+1} = σ(A·X_t)`). A plain function pointer keeps the trait
+/// object-safe and the closure `Send`-free.
+pub type Sigma = fn(f64) -> f64;
+
+/// A distributed SpMM algorithm bound to a fixed sparse matrix.
+pub trait DistSpmm {
+    /// Algorithm label for reports (e.g. `"arrow b=1024"`).
+    fn name(&self) -> String;
+
+    /// Number of machine ranks the algorithm uses.
+    fn ranks(&self) -> u32;
+
+    /// Runs `iters` iterations `X ← σ(A·X)` starting from `x`; `None`
+    /// means the identity (plain matrix powers). `σ` is applied locally to
+    /// each rank's output block — element-wise functions need no
+    /// communication, so the accounting is unchanged.
+    fn run_sigma(
+        &self,
+        x: &DenseMatrix<f64>,
+        iters: u32,
+        sigma: Option<Sigma>,
+    ) -> SparseResult<SpmmRun>;
+
+    /// Runs `iters` multiply iterations `X ← A·X` starting from `x`,
+    /// returning the final iterate and accounting.
+    fn run(&self, x: &DenseMatrix<f64>, iters: u32) -> SparseResult<SpmmRun> {
+        self.run_sigma(x, iters, None)
+    }
+}
+
+/// Applies an optional σ in place to a block buffer.
+#[inline]
+pub fn apply_sigma(block: &mut [f64], sigma: Option<Sigma>) {
+    if let Some(f) = sigma {
+        for v in block {
+            *v = f(*v);
+        }
+    }
+}

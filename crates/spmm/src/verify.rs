@@ -1,0 +1,47 @@
+//! Verification helpers: run an algorithm against the serial reference.
+
+use crate::reference::iterated_spmm;
+use crate::traits::DistSpmm;
+use amd_sparse::{CsrMatrix, DenseMatrix, SparseResult};
+
+/// Runs `alg` for `iters` iterations on a deterministic feature matrix and
+/// returns the maximum absolute deviation from the serial reference.
+pub fn deviation_from_reference(
+    alg: &dyn DistSpmm,
+    a: &CsrMatrix<f64>,
+    k: u32,
+    iters: u32,
+) -> SparseResult<f64> {
+    let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r * 31 + c * 17) % 13) as f64) - 6.0);
+    let run = alg.run(&x, iters)?;
+    let expected = iterated_spmm(a, &x, iters)?;
+    run.y.max_abs_diff(&expected)
+}
+
+/// Asserts the algorithm matches the reference within `tol`.
+pub fn assert_matches_reference(
+    alg: &dyn DistSpmm,
+    a: &CsrMatrix<f64>,
+    k: u32,
+    iters: u32,
+    tol: f64,
+) {
+    let err = deviation_from_reference(alg, a, k, iters)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+    assert!(err <= tol, "{} deviates from reference by {err}", alg.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a15d::A15dSpmm;
+    use amd_graph::generators::basic;
+
+    #[test]
+    fn verifier_accepts_correct_algorithm() {
+        let a: CsrMatrix<f64> = basic::cycle(24).to_adjacency();
+        let alg = A15dSpmm::new(&a, 4, 2).unwrap();
+        assert_matches_reference(&alg, &a, 3, 2, 1e-9);
+        assert!(deviation_from_reference(&alg, &a, 2, 1).unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Communication volume study: why the arrow decomposition wins.
+//!
+//! ```text
+//! cargo run --release --example comm_volume_study
+//! ```
+//!
+//! Reproduces the paper's headline number in miniature: on star-heavy
+//! (MAWI-like) graphs the arrow decomposition moves a small multiple of
+//! `n·k/p` bytes per rank, while the 1.5D baseline moves `Θ(n·k/c)` and
+//! HP-1D concentrates nearly all of `X` on the hub's rank. The study
+//! sweeps the rank count and prints the max per-rank volume of each
+//! algorithm (the α-β bandwidth cost of §6).
+
+use arrow_matrix::graph::generators::datasets;
+use arrow_matrix::sparse::{CsrMatrix, DenseMatrix};
+use arrow_matrix::spmm::DistSpmm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let n = 16_000u32;
+    let k = 64u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let graph = datasets::mawi_like(n, &mut rng);
+    let a: CsrMatrix<f64> = graph.to_adjacency();
+    let x = DenseMatrix::from_fn(n, k, |r, c| ((r ^ c) % 17) as f64);
+    println!(
+        "MAWI-like traffic graph: n = {n}, m = {}, Δ = {} ({}% of n), k = {k}\n",
+        graph.m(),
+        graph.max_degree(),
+        100 * graph.max_degree() / n
+    );
+    println!(
+        "{:>4} | {:>22} | {:>22} | {:>22}",
+        "p", "arrow max vol/iter", "1.5D max vol/iter", "HP-1D max vol/iter"
+    );
+    for &p in &[8u32, 16, 32] {
+        let b = (n / p).max(64);
+        let (_, arrow) = amd_bench::arrow_for(&a, b).expect("arrow");
+        let ra = arrow.run(&x, 2).expect("arrow run");
+        let d15 = amd_bench::spmm_15d_for(&a, p).expect("1.5D");
+        let r15 = d15.run(&x, 2).expect("1.5D run");
+        let hp = amd_bench::hp1d_for(&graph, &a, p).expect("hp");
+        let rhp = hp.run(&x, 2).expect("hp run");
+        let fmt = |v: f64, ranks: u32| format!("{:>8.1} KiB ({ranks} rk)", v / 1024.0);
+        println!(
+            "{:>4} | {:>22} | {:>22} | {:>22}",
+            p,
+            fmt(ra.volume_per_iter(), arrow.ranks()),
+            fmt(r15.volume_per_iter(), d15.ranks()),
+            fmt(rhp.volume_per_iter(), hp.ranks()),
+        );
+    }
+    println!(
+        "\nreading: arrow volume shrinks with p (Θ(nk/p) per §6); 1.5D only shrinks \
+         with c = √p; HP-1D is pinned by the hub part fetching almost all of X."
+    );
+}

@@ -1,0 +1,53 @@
+//! # arrow-matrix
+//!
+//! A Rust reproduction of *"Arrow Matrix Decomposition: A Novel Approach
+//! for Communication-Efficient Sparse Matrix Multiplication"*
+//! (Gianinazzi et al., PPoPP 2024).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`sparse`] — CSR/COO/dense matrices, SpMM kernels, permutations,
+//!   bandwidth and arrow-width measures.
+//! * [`graph`] — graphs, traversals, spanning forests, separators, dataset
+//!   generators, Zipf-degree analysis.
+//! * [`linarr`] — linear arrangement algorithms (Separator-LA,
+//!   smallest-first tree layout, random spanning forest LA, RCM).
+//! * [`core`] — the arrow matrix decomposition itself (LA-Decompose with
+//!   high-degree pruning, arrow matrices, decomposition statistics).
+//! * [`comm`] — the message-passing machine with α-β cost accounting.
+//! * [`partition`] — partitioning baselines (HYPE-style neighborhood
+//!   expansion).
+//! * [`spmm`] — distributed SpMM algorithms (arrow, 1.5D/1D/2D
+//!   A-stationary, HP-1D).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+//!
+//! ```
+//! use arrow_matrix::core::{la_decompose, DecomposeConfig, RandomForestLa};
+//! use arrow_matrix::graph::generators::basic;
+//! use arrow_matrix::sparse::{CsrMatrix, DenseMatrix, spmm};
+//! use arrow_matrix::spmm::{ArrowSpmm, DistSpmm};
+//!
+//! // A star graph: high bandwidth under every ordering, arrow-width 1.
+//! let a: CsrMatrix<f64> = basic::star(100).to_adjacency();
+//! let d = la_decompose(&a, &DecomposeConfig::with_width(16),
+//!                      &mut RandomForestLa::new(1)).unwrap();
+//! assert_eq!(d.validate(&a).unwrap(), 0.0);
+//!
+//! // Multiply distributed and compare against a direct SpMM.
+//! let x = DenseMatrix::from_fn(100, 4, |r, c| (r + c) as f64);
+//! let run = ArrowSpmm::new(&d).unwrap().run(&x, 2).unwrap();
+//! let mut direct = x.clone();
+//! for _ in 0..2 { direct = spmm::spmm(&a, &direct).unwrap(); }
+//! assert!(run.y.max_abs_diff(&direct).unwrap() < 1e-9);
+//! ```
+
+pub use amd_comm as comm;
+pub use amd_graph as graph;
+pub use amd_linarr as linarr;
+pub use amd_partition as partition;
+pub use amd_sparse as sparse;
+pub use amd_spmm as spmm;
+pub use arrow_core as core;
+
+pub use amd_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation};

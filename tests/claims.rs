@@ -1,0 +1,132 @@
+//! Integration tests pinning the paper's *relative* claims at test scale:
+//! who wins, and in which direction the trends move.
+
+use arrow_matrix::core::stats::{direct_tiling_nonzero_blocks, DecompositionStats};
+use arrow_matrix::core::{la_decompose, DecomposeConfig, RandomForestLa};
+use arrow_matrix::graph::generators::{basic, datasets};
+use arrow_matrix::sparse::{bandwidth, CsrMatrix, DenseMatrix};
+use arrow_matrix::spmm::{ArrowSpmm, DistSpmm};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn mawi(n: u32) -> (arrow_matrix::graph::Graph, CsrMatrix<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let g = datasets::mawi_like(n, &mut rng);
+    let a = g.to_adjacency();
+    (g, a)
+}
+
+/// §1: "On 128 GPUs, our approach reduces the communication volume by 3-5
+/// times compared to a 1.5D decomposition." At test scale, the reduction
+/// must exceed 1.5× and grow with p.
+#[test]
+fn arrow_volume_beats_15d_on_mawi() {
+    let n = 4096;
+    let (_, a) = mawi(n);
+    let k = 16;
+    let x = DenseMatrix::from_fn(n, k, |r, _| r as f64);
+    let mut ratios = Vec::new();
+    for p in [8u32, 16] {
+        let b = n / p;
+        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(1))
+            .unwrap();
+        let arrow = ArrowSpmm::new(&d).unwrap();
+        let ra = arrow.run(&x, 2).unwrap();
+        let c = (p as f64).sqrt() as u32;
+        let a15 = arrow_matrix::spmm::A15dSpmm::new(&a, p, c).unwrap();
+        let r15 = a15.run(&x, 2).unwrap();
+        let ratio = r15.volume_per_iter() / ra.volume_per_iter();
+        ratios.push(ratio);
+        assert!(ratio > 1.3, "p={p}: 1.5D/arrow volume ratio only {ratio:.2}");
+    }
+    assert!(
+        ratios[1] > ratios[0] * 0.9,
+        "volume advantage should not shrink with p: {ratios:?}"
+    );
+}
+
+/// §5 intro: any low-diameter tree has Ω(n / log n) bandwidth, yet its
+/// arrow decomposition has small width — the motivating separation.
+#[test]
+fn tree_bandwidth_vs_arrow_width_separation() {
+    let n = 1023u32;
+    let tree: CsrMatrix<f64> = basic::complete_ary_tree(2, n).to_adjacency();
+    // BFS order (natural here) has bandwidth Θ(n/2) — and NO order can be
+    // better than (n-1)/D = (n-1)/(2 log n).
+    let natural_bw = bandwidth(&tree);
+    assert!(natural_bw as f64 >= (n as f64) / (2.0 * (n as f64).log2()));
+    // The decomposition achieves width 32 with small order.
+    let d = la_decompose(&tree, &DecomposeConfig::with_width(32), &mut RandomForestLa::new(2))
+        .unwrap();
+    assert_eq!(d.validate(&tree).unwrap(), 0.0);
+    assert!(d.order() <= 8, "order {}", d.order());
+}
+
+/// §7.2: the arrow decomposition needs 15–100× fewer nonzero blocks than
+/// direct 1.5D tiling; largest effects on star-heavy data. At test scale
+/// we require ≥ 3× on MAWI and the ratio to grow as b shrinks.
+#[test]
+fn block_count_reduction_grows_as_b_shrinks() {
+    let (_, a) = mawi(4096);
+    let mut ratios = Vec::new();
+    for b in [512u32, 128, 32] {
+        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(3))
+            .unwrap();
+        let s = DecompositionStats::of(&d);
+        let ratio =
+            direct_tiling_nonzero_blocks(&a, b) as f64 / s.total_nonzero_tiles() as f64;
+        ratios.push(ratio);
+    }
+    assert!(ratios[0] > 3.0, "ratios {ratios:?}");
+    assert!(
+        ratios[2] > ratios[0],
+        "reduction should grow as b shrinks: {ratios:?}"
+    );
+}
+
+/// §7.2: "the second matrix contained ... less than 0.1%-13% of the rows"
+/// on the sparse datasets.
+#[test]
+fn second_level_is_small_on_sparse_datasets() {
+    for kind in [
+        datasets::DatasetKind::Mawi,
+        datasets::DatasetKind::GenBank,
+        datasets::DatasetKind::OsmEurope,
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a: CsrMatrix<f64> = kind.generate(4000, &mut rng).to_adjacency();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(200),
+            &mut RandomForestLa::new(4),
+        )
+        .unwrap();
+        let s = DecompositionStats::of(&d);
+        assert!(
+            s.second_level_row_fraction <= 0.13,
+            "{}: second level has {:.1}% of rows",
+            kind.name(),
+            100.0 * s.second_level_row_fraction
+        );
+    }
+}
+
+/// Figure 6's claim direction: with constant arrow width, arrow's
+/// simulated per-iteration time grows far slower than n.
+#[test]
+fn weak_scaling_time_grows_sublinearly() {
+    let k = 8;
+    let b = 256;
+    let mut times = Vec::new();
+    for n in [2048u32, 8192] {
+        let (_, a) = mawi(n);
+        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(6))
+            .unwrap();
+        let alg = ArrowSpmm::new(&d).unwrap();
+        let x = DenseMatrix::from_fn(n, k, |r, _| (r % 7) as f64);
+        times.push(alg.run(&x, 2).unwrap().sim_time_per_iter());
+    }
+    // n grew 4×; arrow time must grow well below 4× (paper: ~flat).
+    let growth = times[1] / times[0];
+    assert!(growth < 2.5, "weak-scaling growth {growth:.2} too steep: {times:?}");
+}

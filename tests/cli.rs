@@ -1,0 +1,93 @@
+//! Integration tests for the `arrow-matrix-cli` binary: the full
+//! generate → info → decompose → multiply artifact workflow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_arrow-matrix-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("amd-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_workflow() {
+    let mtx = tmp("w.mtx");
+    let amd = tmp("w.amd");
+    // generate
+    let out = cli()
+        .args(["generate", "osm", "2000", mtx.to_str().unwrap(), "3"])
+        .output()
+        .expect("spawn cli");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OSM-Europe"));
+    // info
+    let out = cli().args(["info", mtx.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("2000 x 2000"), "info output: {text}");
+    assert!(text.contains("bandwidth lower bound"));
+    // decompose
+    let out = cli()
+        .args(["decompose", mtx.to_str().unwrap(), "128", amd.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "decompose failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("exact reconstruction"));
+    // multiply
+    let out = cli()
+        .args(["multiply", mtx.to_str().unwrap(), amd.to_str().unwrap(), "8", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "multiply failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("verified"), "multiply output: {text}");
+    let _ = std::fs::remove_file(&mtx);
+    let _ = std::fs::remove_file(&amd);
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = cli().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_dataset_fails_cleanly() {
+    let out = cli().args(["generate", "nonsense", "100", "/tmp/x.mtx"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = cli().args(["info", "/nonexistent/path.mtx"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn mismatched_decomposition_rejected() {
+    let mtx_a = tmp("a.mtx");
+    let mtx_b = tmp("b.mtx");
+    let amd_a = tmp("a.amd");
+    cli().args(["generate", "osm", "1000", mtx_a.to_str().unwrap()]).output().unwrap();
+    cli().args(["generate", "osm", "1500", mtx_b.to_str().unwrap()]).output().unwrap();
+    cli()
+        .args(["decompose", mtx_a.to_str().unwrap(), "64", amd_a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args(["multiply", mtx_b.to_str().unwrap(), amd_a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("decomposition is for"));
+    for f in [mtx_a, mtx_b, amd_a] {
+        let _ = std::fs::remove_file(f);
+    }
+}

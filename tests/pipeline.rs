@@ -1,0 +1,151 @@
+//! End-to-end integration tests: dataset generation → LA-Decompose →
+//! distributed SpMM → verification, across all datasets and algorithms.
+
+use arrow_matrix::core::stats::DecompositionStats;
+use arrow_matrix::core::{la_decompose, DecomposeConfig, RandomForestLa, SeparatorLaStrategy};
+use arrow_matrix::graph::generators::datasets::DatasetKind;
+use arrow_matrix::partition::{hype_partition, HypeConfig};
+use arrow_matrix::sparse::{CsrMatrix, DenseMatrix};
+use arrow_matrix::spmm::reference::iterated_spmm;
+use arrow_matrix::spmm::verify::assert_matches_reference;
+use arrow_matrix::spmm::{A15dSpmm, ArrowSpmm, DistSpmm, Hp1dSpmm};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: u32 = 1200;
+
+fn dataset(kind: DatasetKind) -> (arrow_matrix::graph::Graph, CsrMatrix<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA11CE);
+    let g = kind.generate(N, &mut rng);
+    let a = g.to_adjacency();
+    (g, a)
+}
+
+#[test]
+fn every_dataset_decomposes_and_multiplies() {
+    for kind in DatasetKind::ALL {
+        let (_, a) = dataset(kind);
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(96),
+            &mut RandomForestLa::new(1),
+        )
+        .unwrap_or_else(|e| panic!("{}: decomposition failed: {e}", kind.name()));
+        assert_eq!(
+            d.validate(&a).unwrap(),
+            0.0,
+            "{}: reconstruction mismatch",
+            kind.name()
+        );
+        let s = DecompositionStats::of(&d);
+        assert!(s.order <= 12, "{}: order {} unexpectedly deep", kind.name(), s.order);
+        let alg = ArrowSpmm::new(&d).unwrap();
+        assert_matches_reference(&alg, &a, 8, 2, 1e-7);
+    }
+}
+
+#[test]
+fn all_three_algorithms_agree() {
+    let (g, a) = dataset(DatasetKind::WebBase);
+    let x = DenseMatrix::from_fn(N, 6, |r, c| (((r + 3 * c) % 11) as f64) - 5.0);
+    let expected = iterated_spmm(&a, &x, 2).unwrap();
+
+    let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(2))
+        .unwrap();
+    let arrow = ArrowSpmm::new(&d).unwrap().run(&x, 2).unwrap();
+    assert!(arrow.y.max_abs_diff(&expected).unwrap() < 1e-7);
+
+    let a15 = A15dSpmm::new(&a, 8, 2).unwrap().run(&x, 2).unwrap();
+    assert!(a15.y.max_abs_diff(&expected).unwrap() < 1e-7);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let part = hype_partition(&g, 6, &HypeConfig::default(), &mut rng);
+    let hp = Hp1dSpmm::new(&a, &part).unwrap().run(&x, 2).unwrap();
+    assert!(hp.y.max_abs_diff(&expected).unwrap() < 1e-7);
+
+    // And the three distributed results agree with each other.
+    assert!(arrow.y.max_abs_diff(&a15.y).unwrap() < 1e-7);
+    assert!(a15.y.max_abs_diff(&hp.y).unwrap() < 1e-7);
+}
+
+#[test]
+fn separator_strategy_works_end_to_end() {
+    let (_, a) = dataset(DatasetKind::OsmEurope);
+    let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut SeparatorLaStrategy)
+        .unwrap();
+    assert_eq!(d.validate(&a).unwrap(), 0.0);
+    let alg = ArrowSpmm::new(&d).unwrap();
+    assert_matches_reference(&alg, &a, 4, 1, 1e-8);
+}
+
+#[test]
+fn iterated_multiply_with_sigma_matches_direct() {
+    let (_, a) = dataset(DatasetKind::GenBank);
+    let d = la_decompose(&a, &DecomposeConfig::with_width(96), &mut RandomForestLa::new(4))
+        .unwrap();
+    let x0 = DenseMatrix::from_fn(N, 4, |r, c| ((r * c) % 3) as f64 - 1.0);
+    let relu = |v: f64| v.max(0.0);
+    let via = d.iterate(&x0, 3, relu).unwrap();
+    // Direct computation.
+    let mut direct = x0.clone();
+    for _ in 0..3 {
+        let mut y = arrow_matrix::sparse::spmm::spmm(&a, &direct).unwrap();
+        y.map_inplace(relu);
+        direct = y;
+    }
+    assert!(via.max_abs_diff(&direct).unwrap() < 1e-9);
+}
+
+#[test]
+fn distributed_sigma_matches_sequential_iterate() {
+    // X ← σ(A·X) distributed must equal the sequential Eq. 1 path, for
+    // every algorithm.
+    let (g, a) = dataset(DatasetKind::WebBase);
+    let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(6))
+        .unwrap();
+    let x0 = DenseMatrix::from_fn(N, 5, |r, c| (((r * 7 + c) % 9) as f64) - 4.0);
+    let relu: fn(f64) -> f64 = |v| v.max(0.0);
+    let expected = d.iterate(&x0, 3, relu).unwrap();
+
+    let arrow = ArrowSpmm::new(&d).unwrap();
+    let ra = arrow.run_sigma(&x0, 3, Some(relu)).unwrap();
+    assert!(ra.y.max_abs_diff(&expected).unwrap() < 1e-8, "arrow σ mismatch");
+
+    let a15 = A15dSpmm::new(&a, 8, 2).unwrap();
+    let r15 = a15.run_sigma(&x0, 3, Some(relu)).unwrap();
+    assert!(r15.y.max_abs_diff(&expected).unwrap() < 1e-8, "1.5D σ mismatch");
+
+    let a2d = arrow_matrix::spmm::A2dSpmm::new(&a, 9).unwrap();
+    let r2d = a2d.run_sigma(&x0, 3, Some(relu)).unwrap();
+    assert!(r2d.y.max_abs_diff(&expected).unwrap() < 1e-8, "2D σ mismatch");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let part = hype_partition(&g, 5, &HypeConfig::default(), &mut rng);
+    let hp = Hp1dSpmm::new(&a, &part).unwrap();
+    let rhp = hp.run_sigma(&x0, 3, Some(relu)).unwrap();
+    assert!(rhp.y.max_abs_diff(&expected).unwrap() < 1e-8, "HP-1D σ mismatch");
+}
+
+#[test]
+fn decomposition_deterministic_across_runs() {
+    let (_, a) = dataset(DatasetKind::Mawi);
+    let d1 = la_decompose(&a, &DecomposeConfig::with_width(64), &mut RandomForestLa::new(9))
+        .unwrap();
+    let d2 = la_decompose(&a, &DecomposeConfig::with_width(64), &mut RandomForestLa::new(9))
+        .unwrap();
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn distributed_stats_are_deterministic() {
+    let (_, a) = dataset(DatasetKind::GenBank);
+    let d = la_decompose(&a, &DecomposeConfig::with_width(96), &mut RandomForestLa::new(5))
+        .unwrap();
+    let alg = ArrowSpmm::new(&d).unwrap();
+    let x = DenseMatrix::from_fn(N, 4, |r, _| r as f64);
+    let r1 = alg.run(&x, 2).unwrap();
+    let r2 = alg.run(&x, 2).unwrap();
+    assert_eq!(r1.stats.max_volume(), r2.stats.max_volume());
+    assert!((r1.stats.sim_time() - r2.stats.sim_time()).abs() < 1e-12);
+    assert_eq!(r1.y, r2.y);
+}
