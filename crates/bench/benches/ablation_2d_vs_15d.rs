@@ -53,7 +53,9 @@ fn main() {
             }
         }
     }
-    table.print(&format!("§3 ablation: 2D vs 1.5D vs arrow (WebBase-like, n = {n})"));
+    table.print(&format!(
+        "§3 ablation: 2D vs 1.5D vs arrow (WebBase-like, n = {n})"
+    ));
     println!(
         "\nexpected: 2D sends more, smaller messages (higher latency, log-factor \
          bandwidth) than 1.5D with c = √p; arrow beats both on volume"

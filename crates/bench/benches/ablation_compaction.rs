@@ -23,7 +23,11 @@ fn main() {
         "compaction x",
         "x-compacting (x=2)",
     ]);
-    for kind in [DatasetKind::GenBank, DatasetKind::OsmEurope, DatasetKind::WebBase] {
+    for kind in [
+        DatasetKind::GenBank,
+        DatasetKind::OsmEurope,
+        DatasetKind::WebBase,
+    ] {
         let g = bench_graph(kind, n);
         let a: CsrMatrix<f64> = g.to_adjacency();
         for shift in [7u32, 6, 5, 4, 3] {
@@ -35,8 +39,7 @@ fn main() {
             )
             .expect("decomposition succeeds");
             let s = DecompositionStats::of(&d);
-            let level_nnz: Vec<String> =
-                s.levels.iter().map(|l| format!("{}", l.nnz)).collect();
+            let level_nnz: Vec<String> = s.levels.iter().map(|l| format!("{}", l.nnz)).collect();
             table.row(vec![
                 kind.name().to_string(),
                 format!("{b}"),

@@ -22,7 +22,11 @@ use rand_chacha::ChaCha8Rng;
 fn decompose_stats(a: &CsrMatrix<f64>, b: u32, prune: bool) -> DecompositionStats {
     let d = la_decompose(
         a,
-        &DecomposeConfig { arrow_width: b, prune, max_levels: 64 },
+        &DecomposeConfig {
+            arrow_width: b,
+            prune,
+            max_levels: 64,
+        },
         &mut RandomForestLa::new(BENCH_SEED),
     )
     .expect("decomposition succeeds");
@@ -34,7 +38,12 @@ fn main() {
     let n = scale.base_n();
 
     // Part 1: Theorem 1's bound against empirical Zipf tails.
-    let mut t1 = Table::new(vec!["alpha", "threshold x", "empirical n*S(x)", "Thm1 bound"]);
+    let mut t1 = Table::new(vec![
+        "alpha",
+        "threshold x",
+        "empirical n*S(x)",
+        "Thm1 bound",
+    ]);
     let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
     for &alpha in &[1.5f64, 2.0, 2.5] {
         let z = TruncatedZipf::new(n as u64, alpha);
@@ -81,7 +90,11 @@ fn main() {
         ]);
     }
     // Part 3: the skewed dataset stand-ins.
-    for kind in [DatasetKind::Mawi, DatasetKind::GapTwitter, DatasetKind::Sk2005] {
+    for kind in [
+        DatasetKind::Mawi,
+        DatasetKind::GapTwitter,
+        DatasetKind::Sk2005,
+    ] {
         let g: Graph = bench_graph(kind, n / 2);
         let a: CsrMatrix<f64> = g.to_adjacency();
         let b = (n / 40).max(64);

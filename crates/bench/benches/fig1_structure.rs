@@ -53,8 +53,7 @@ fn main() {
         )
         .expect("decomposition succeeds at bench scale");
         let p = StructureProfile::of_first_level(&d).expect("order >= 1");
-        let arm_total: usize =
-            p.row_arm.iter().sum::<usize>() + p.col_arm.iter().sum::<usize>();
+        let arm_total: usize = p.row_arm.iter().sum::<usize>() + p.col_arm.iter().sum::<usize>();
         let band_total: usize = p.diagonal.iter().sum();
         println!("\n--- {} (n={n}, order={}) ---", kind.name(), d.order());
         println!("row arm  B(0,j): [{}]", strip(&p.row_arm));

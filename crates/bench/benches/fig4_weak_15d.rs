@@ -10,20 +10,31 @@
 
 use amd_bench::{bench_graph, BenchScale, Table};
 use amd_graph::generators::datasets::DatasetKind;
-use amd_spmm::{A15dSpmm, DistSpmm};
 use amd_sparse::{CsrMatrix, DenseMatrix};
+use amd_spmm::{A15dSpmm, DistSpmm};
 
 fn main() {
     let scale = BenchScale::from_env();
     let base = scale.base_n() / 2;
     // Weak-scaling series: n and p grow together (n/p fixed).
-    let series: Vec<(u32, u32)> =
-        [(1u32, 8u32), (2, 16), (4, 32)].iter().map(|&(f, p)| (base * f, p)).collect();
-    let ks: &[u32] = if scale == BenchScale::Small { &[32] } else { &[32, 64, 128] };
+    let series: Vec<(u32, u32)> = [(1u32, 8u32), (2, 16), (4, 32)]
+        .iter()
+        .map(|&(f, p)| (base * f, p))
+        .collect();
+    let ks: &[u32] = if scale == BenchScale::Small {
+        &[32]
+    } else {
+        &[32, 64, 128]
+    };
     let iters = 2;
 
     let mut table = Table::new(vec![
-        "k", "c", "n", "p", "sim time/iter (ms)", "max volume/iter (MiB)",
+        "k",
+        "c",
+        "n",
+        "p",
+        "sim time/iter (ms)",
+        "max volume/iter (MiB)",
     ]);
     for &k in ks {
         for &c in &[1u32, 2, 4, 8] {

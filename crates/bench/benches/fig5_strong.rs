@@ -22,8 +22,16 @@ use amd_spmm::DistSpmm;
 fn main() {
     let scale = BenchScale::from_env();
     let n = scale.base_n();
-    let ps: &[u32] = if scale == BenchScale::Small { &[8, 16] } else { &[8, 16, 32] };
-    let ks: &[u32] = if scale == BenchScale::Small { &[32] } else { &[32, 128] };
+    let ps: &[u32] = if scale == BenchScale::Small {
+        &[8, 16]
+    } else {
+        &[8, 16, 32]
+    };
+    let ks: &[u32] = if scale == BenchScale::Small {
+        &[32]
+    } else {
+        &[32, 128]
+    };
     let iters = 2;
 
     let mut table = Table::new(vec![
@@ -51,10 +59,7 @@ fn main() {
                 };
                 let arrow_run = arrow.run(&x, iters).expect("arrow run");
                 let arrow_time = arrow_run.sim_time_per_iter();
-                let mut emit = |name: String,
-                                ranks: u32,
-                                time: f64,
-                                vol: f64| {
+                let mut emit = |name: String, ranks: u32, time: f64, vol: f64| {
                     table.row(vec![
                         kind.name().to_string(),
                         format!("{k}"),
@@ -74,10 +79,20 @@ fn main() {
                 );
                 let d15 = spmm_15d_for(&a, p).expect("1.5D setup");
                 let r15 = d15.run(&x, iters).expect("1.5D run");
-                emit(d15.name(), d15.ranks(), r15.sim_time_per_iter(), r15.volume_per_iter());
+                emit(
+                    d15.name(),
+                    d15.ranks(),
+                    r15.sim_time_per_iter(),
+                    r15.volume_per_iter(),
+                );
                 let hp = hp1d_for(&g, &a, p).expect("HP-1D setup");
                 let rhp = hp.run(&x, iters).expect("HP-1D run");
-                emit(hp.name(), hp.ranks(), rhp.sim_time_per_iter(), rhp.volume_per_iter());
+                emit(
+                    hp.name(),
+                    hp.ranks(),
+                    rhp.sim_time_per_iter(),
+                    rhp.volume_per_iter(),
+                );
             }
         }
     }

@@ -18,9 +18,15 @@ use amd_spmm::DistSpmm;
 fn main() {
     let scale = BenchScale::from_env();
     let base = scale.base_n() / 2;
-    let series: Vec<(u32, u32)> =
-        [(1u32, 8u32), (2, 16), (4, 32)].iter().map(|&(f, p)| (base * f, p)).collect();
-    let ks: &[u32] = if scale == BenchScale::Small { &[32] } else { &[32, 64, 128] };
+    let series: Vec<(u32, u32)> = [(1u32, 8u32), (2, 16), (4, 32)]
+        .iter()
+        .map(|&(f, p)| (base * f, p))
+        .collect();
+    let ks: &[u32] = if scale == BenchScale::Small {
+        &[32]
+    } else {
+        &[32, 64, 128]
+    };
     // Constant arrow width across the series = constant per-rank load.
     let b = (base / 8).max(64);
     let iters = 2;
@@ -72,7 +78,9 @@ fn main() {
             }
         }
     }
-    table.print(&format!("Figure 6: weak scaling on MAWI-like series (b = {b})"));
+    table.print(&format!(
+        "Figure 6: weak scaling on MAWI-like series (b = {b})"
+    ));
     println!(
         "\npaper shapes: Arrow grows only 2.4-6.2% across the series; 1.5D slows ~3x; \
          HP-1D grows near-linearly with n"

@@ -82,8 +82,11 @@ fn bench_broadcast(c: &mut Criterion) {
             bch.iter(|| {
                 Machine::new(p).run(|ctx| {
                     let g = Group::world(ctx);
-                    let data =
-                        if g.my_idx() == 0 { Some(vec![1.0f64; 4096]) } else { None };
+                    let data = if g.my_idx() == 0 {
+                        Some(vec![1.0f64; 4096])
+                    } else {
+                        None
+                    };
                     g.broadcast(ctx, 0, data).len()
                 })
             })

@@ -68,9 +68,7 @@ fn main() {
             family: "Series-parallel",
             bound_label: "n*Delta*log n (Lemma 2)",
             graph: structured::series_parallel(n, &mut rng),
-            bound: Box::new(move |g| {
-                g.n() as f64 * g.max_degree() as f64 * log2(g.n() as f64)
-            }),
+            bound: Box::new(move |g| g.n() as f64 * g.max_degree() as f64 * log2(g.n() as f64)),
             arrange: Box::new(|g| separator_la(g, &BfsLevelSeparator)),
         },
         FamilyRow {
@@ -91,9 +89,7 @@ fn main() {
                 let side = (n as f64).sqrt() as u32;
                 basic::grid_2d(side, side)
             },
-            bound: Box::new(|g| {
-                g.n() as f64 * g.max_degree() as f64 * (g.n() as f64).sqrt()
-            }),
+            bound: Box::new(|g| g.n() as f64 * g.max_degree() as f64 * (g.n() as f64).sqrt()),
             arrange: Box::new(|g| separator_la(g, &BfsLevelSeparator)),
         },
     ];

@@ -42,7 +42,9 @@ fn main() {
             format!("{}", s.isolated),
         ]);
     }
-    table.print(&format!("Table 2: dataset density properties (scale n = {n})"));
+    table.print(&format!(
+        "Table 2: dataset density properties (scale n = {n})"
+    ));
     println!(
         "\npaper reference: MAWI nnz/n=2.1 Δ≈0.93n; GenBank nnz/n=2.1 Δ≤35; \
          WebBase nnz/n=8.63 Δ≈0.7%n; OSM nnz/n=2.12 Δ≤13; \

@@ -44,13 +44,7 @@ pub fn arrow_with_ranks(
     arrow_for(a, b)
 }
 
-/// The `c = ⌊√p⌋`-rounded-to-divisor replication factor the paper uses
-/// for the 1.5D baseline ("we use c = ⌊√p⌋ in our experiments").
-pub fn best_c(p: u32) -> u32 {
-    let target = (p as f64).sqrt().floor() as u32;
-    // Largest divisor of p that is ≤ target.
-    (1..=target.max(1)).rev().find(|c| p.is_multiple_of(*c)).unwrap_or(1)
-}
+pub use amd_spmm::best_c;
 
 /// Builds the 1.5D baseline with the paper's replication choice.
 pub fn spmm_15d_for(a: &CsrMatrix<f64>, p: u32) -> SparseResult<A15dSpmm> {

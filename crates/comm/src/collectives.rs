@@ -13,6 +13,31 @@ use crate::rank::RankCtx;
 /// Top bit marks collective traffic; user tags must keep it clear.
 const COLL_BIT: u64 = 1 << 63;
 
+/// Number of copies the member with virtual (root-relative) rank `vr`
+/// sends in [`Group::broadcast`]'s binomial tree over `s` members — and,
+/// by symmetry, the number of partials it receives in
+/// [`Group::reduce_sum`]. Mirrors the mask walk of the implementation
+/// below and lives beside it so the two cannot drift; `predict_volume`
+/// cost estimates in `amd_spmm` are built on it.
+pub fn binomial_children(vr: usize, s: usize) -> usize {
+    let mut mask = 1usize;
+    while mask < s {
+        if vr & mask != 0 {
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    let mut children = 0;
+    while mask > 0 {
+        if vr & (mask - 1) == 0 && vr & mask == 0 && vr + mask < s {
+            children += 1;
+        }
+        mask >>= 1;
+    }
+    children
+}
+
 /// A communicator: an ordered list of machine ranks.
 ///
 /// Cheap to clone; identified by a hash of its member list, which the
@@ -34,7 +59,11 @@ impl Group {
             .position(|&m| m == ctx.rank())
             .unwrap_or_else(|| panic!("rank {} not in group {members:?}", ctx.rank()));
         let gid = fnv1a(&members);
-        Self { members, my_idx, gid }
+        Self {
+            members,
+            my_idx,
+            gid,
+        }
     }
 
     /// The whole machine as one group.
@@ -101,7 +130,10 @@ impl Group {
                 ctx.send(
                     dst,
                     tag,
-                    value.as_ref().expect("binomial order guarantees data").clone(),
+                    value
+                        .as_ref()
+                        .expect("binomial order guarantees data")
+                        .clone(),
                 );
             }
             mask >>= 1;
@@ -153,15 +185,42 @@ impl Group {
     /// per-member volume `2·s·(g−1)/g` bytes for a payload of `s` bytes,
     /// at `2(g−1)` messages of latency. This is the variant the 1.5D
     /// algorithm's `O(β·nkc/p)` term assumes.
-    pub fn allreduce_sum_ring(&self, ctx: &mut RankCtx, mut data: Vec<f64>) -> Vec<f64> {
+    pub fn allreduce_sum_ring(&self, ctx: &mut RankCtx, data: Vec<f64>) -> Vec<f64> {
+        self.allreduce_sum_ring_aligned(ctx, data, 1)
+    }
+
+    /// [`allreduce_sum_ring`](Group::allreduce_sum_ring) with chunk
+    /// boundaries rounded to multiples of `stride` (`data.len()` must be
+    /// a multiple of `stride`).
+    ///
+    /// For a row-major `rows × stride` buffer this pins every row to one
+    /// chunk, which makes the per-element summation order independent of
+    /// `stride` — the property the serving engine relies on for
+    /// multi-RHS batches to bit-match single-column runs.
+    ///
+    /// Empty payloads return immediately with no messages; as with the
+    /// equal-length requirement, emptiness must agree across members.
+    pub fn allreduce_sum_ring_aligned(
+        &self,
+        ctx: &mut RankCtx,
+        mut data: Vec<f64>,
+        stride: usize,
+    ) -> Vec<f64> {
         let g = self.size();
-        if g == 1 {
+        if g == 1 || data.is_empty() {
             return data;
         }
-        let tag = self.next_tag(ctx);
+        assert!(stride >= 1, "stride must be positive");
         let len = data.len();
-        // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
-        let bounds: Vec<usize> = (0..=g).map(|c| c * len / g).collect();
+        assert!(
+            len.is_multiple_of(stride),
+            "payload length {len} is not a multiple of the stride {stride}"
+        );
+        let tag = self.next_tag(ctx);
+        // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]),
+        // aligned to whole rows of `stride` elements.
+        let rows = len / stride;
+        let bounds: Vec<usize> = (0..=g).map(|c| (c * rows / g) * stride).collect();
         let me = self.my_idx;
         let right = self.members[(me + 1) % g];
         let left = self.members[(me + g - 1) % g];
@@ -209,7 +268,11 @@ impl Group {
                     out[idx] = Some(ctx.recv::<T>(self.members[idx], tag));
                 }
             }
-            Some(out.into_iter().map(|o| o.expect("gathered every member")).collect())
+            Some(
+                out.into_iter()
+                    .map(|o| o.expect("gathered every member"))
+                    .collect(),
+            )
         } else {
             ctx.send(self.members[root_idx], tag, data);
             None
@@ -254,7 +317,9 @@ impl Group {
         for (idx, item) in outgoing.into_iter().enumerate() {
             ctx.send(self.members[idx], tag, item);
         }
-        (0..self.size()).map(|idx| ctx.recv::<T>(self.members[idx], tag)).collect()
+        (0..self.size())
+            .map(|idx| ctx.recv::<T>(self.members[idx], tag))
+            .collect()
     }
 
     /// Barrier: gather + broadcast of unit payloads.
@@ -291,8 +356,11 @@ mod tests {
         for p in [1u32, 2, 3, 5, 8, 13] {
             let report = Machine::new(p).run(|ctx| {
                 let g = Group::world(ctx);
-                let data =
-                    if g.my_idx() == 0 { Some(vec![1.0f64, 2.0, 3.0]) } else { None };
+                let data = if g.my_idx() == 0 {
+                    Some(vec![1.0f64, 2.0, 3.0])
+                } else {
+                    None
+                };
                 g.broadcast(ctx, 0, data)
             });
             for r in report.results {
@@ -315,7 +383,11 @@ mod tests {
     fn broadcast_latency_is_logarithmic() {
         // One broadcast of a unit payload on p ranks: critical path must be
         // ⌈log2 p⌉ · α, not p · α.
-        let cost = CostModel { alpha: 1.0, beta: 0.0, compute_rate: 1.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            compute_rate: 1.0,
+        };
         let report = Machine::new(16).with_cost(cost).run(|ctx| {
             let g = Group::world(ctx);
             let data = if g.my_idx() == 0 { Some(()) } else { None };
@@ -325,6 +397,30 @@ mod tests {
         let max = report.results.iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(max <= 4.0 + 1e-9, "critical path {max} > log2(16) = 4");
         assert!(max >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn binomial_children_matches_actual_broadcast_sends() {
+        // Lockstep guard: the closed-form count must equal the number of
+        // messages each rank really sends in a broadcast, for every tree
+        // size and root. If the tree shape ever changes, this fails.
+        for p in [1u32, 2, 3, 5, 8, 13, 16] {
+            for root in [0usize, (p as usize - 1) / 2] {
+                let report = Machine::new(p).run(move |ctx| {
+                    let g = Group::world(ctx);
+                    let data = if g.my_idx() == root { Some(0u64) } else { None };
+                    g.broadcast(ctx, root, data);
+                });
+                for (rank, stats) in report.stats.ranks.iter().enumerate() {
+                    let vr = (rank + p as usize - root) % p as usize;
+                    assert_eq!(
+                        stats.sent_msgs as usize,
+                        binomial_children(vr, p as usize),
+                        "p={p} root={root} rank={rank}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -347,8 +443,7 @@ mod tests {
         for p in [1u32, 2, 3, 4, 7, 8] {
             let report = Machine::new(p).run(|ctx| {
                 let g = Group::world(ctx);
-                let data: Vec<f64> =
-                    (0..10).map(|i| (ctx.rank() as f64) + i as f64).collect();
+                let data: Vec<f64> = (0..10).map(|i| (ctx.rank() as f64) + i as f64).collect();
                 let ring = g.allreduce_sum_ring(ctx, data.clone());
                 let tree = g.allreduce_sum(ctx, data);
                 (ring, tree)
@@ -432,8 +527,9 @@ mod tests {
     fn alltoall_personalised() {
         let report = Machine::new(3).run(|ctx| {
             let g = Group::world(ctx);
-            let outgoing: Vec<u64> =
-                (0..3).map(|d| (ctx.rank() as u64) * 10 + d as u64).collect();
+            let outgoing: Vec<u64> = (0..3)
+                .map(|d| (ctx.rank() as u64) * 10 + d as u64)
+                .collect();
             g.alltoall(ctx, outgoing)
         });
         // Member r receives [0r, 1r, 2r].
@@ -447,8 +543,7 @@ mod tests {
         // Two disjoint groups run different collectives concurrently.
         let report = Machine::new(6).run(|ctx| {
             let r = ctx.rank();
-            let members: Vec<u32> =
-                if r < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
+            let members: Vec<u32> = if r < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
             let g = Group::new(ctx, members);
             let base = if r < 3 { 100.0 } else { 200.0 };
             let total = g.allreduce_sum(ctx, vec![base]);

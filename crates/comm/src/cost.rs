@@ -19,7 +19,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { alpha: 1e-6, beta: 1e-10, compute_rate: 5e9 }
+        Self {
+            alpha: 1e-6,
+            beta: 1e-10,
+            compute_rate: 5e9,
+        }
     }
 }
 
@@ -39,7 +43,11 @@ impl CostModel {
     /// A model with zero communication cost (isolates compute effects in
     /// ablations).
     pub fn free_communication() -> Self {
-        Self { alpha: 0.0, beta: 0.0, ..Default::default() }
+        Self {
+            alpha: 0.0,
+            beta: 0.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -49,14 +57,22 @@ mod tests {
 
     #[test]
     fn transfer_time_is_affine() {
-        let c = CostModel { alpha: 2.0, beta: 0.5, compute_rate: 1.0 };
+        let c = CostModel {
+            alpha: 2.0,
+            beta: 0.5,
+            compute_rate: 1.0,
+        };
         assert_eq!(c.transfer_time(0), 2.0);
         assert_eq!(c.transfer_time(10), 7.0);
     }
 
     #[test]
     fn compute_time_scales() {
-        let c = CostModel { alpha: 0.0, beta: 0.0, compute_rate: 100.0 };
+        let c = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            compute_rate: 100.0,
+        };
         assert_eq!(c.compute_time(500.0), 5.0);
     }
 

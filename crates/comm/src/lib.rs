@@ -30,7 +30,7 @@ pub mod rank;
 pub mod routing;
 pub mod stats;
 
-pub use collectives::Group;
+pub use collectives::{binomial_children, Group};
 pub use cost::CostModel;
 pub use machine::{Machine, RunReport};
 pub use message::Payload;

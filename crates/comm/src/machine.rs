@@ -28,7 +28,10 @@ impl Machine {
     /// A machine with `p ≥ 1` ranks and the default cost model.
     pub fn new(p: u32) -> Self {
         assert!(p >= 1, "machine needs at least one rank");
-        Self { p, cost: CostModel::default() }
+        Self {
+            p,
+            cost: CostModel::default(),
+        }
     }
 
     /// Overrides the cost model.
@@ -96,7 +99,13 @@ impl Machine {
             results.push(out);
             ranks.push(stats);
         }
-        RunReport { results, stats: MachineStats { ranks, wall_seconds } }
+        RunReport {
+            results,
+            stats: MachineStats {
+                ranks,
+                wall_seconds,
+            },
+        }
     }
 }
 

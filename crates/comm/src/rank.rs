@@ -78,7 +78,11 @@ impl RankCtx {
     /// are reserved for collectives). Never blocks; the sender's clock
     /// advances by `α + β·bytes` (single-port model).
     pub fn send<T: Payload>(&mut self, to: u32, tag: u64, data: T) {
-        assert!(to < self.p, "send to rank {to} out of range (p = {})", self.p);
+        assert!(
+            to < self.p,
+            "send to rank {to} out of range (p = {})",
+            self.p
+        );
         self.send_internal(to, tag, data);
     }
 
@@ -88,7 +92,13 @@ impl RankCtx {
         self.sim_time += self.cost.transfer_time(bytes);
         self.stats.sent_bytes += bytes as u64;
         self.stats.sent_msgs += 1;
-        let pkt = Packet { src: self.rank, tag, bytes, depart, data: Box::new(data) };
+        let pkt = Packet {
+            src: self.rank,
+            tag,
+            bytes,
+            depart,
+            data: Box::new(data),
+        };
         self.senders[to as usize]
             .send(pkt)
             .expect("receiver thread alive for the duration of the run");
@@ -108,8 +118,8 @@ impl RankCtx {
     /// Panics if the payload type does not match the sender's.
     pub fn recv<T: Payload>(&mut self, from: u32, tag: u64) -> T {
         let pkt = self.take_packet(from, tag);
-        self.nic_time = (self.nic_time.max(pkt.depart + self.cost.alpha))
-            + self.cost.beta * pkt.bytes as f64;
+        self.nic_time =
+            (self.nic_time.max(pkt.depart + self.cost.alpha)) + self.cost.beta * pkt.bytes as f64;
         self.sim_time = self.sim_time.max(self.nic_time);
         self.stats.recv_bytes += pkt.bytes as u64;
         self.stats.recv_msgs += 1;
@@ -122,7 +132,11 @@ impl RankCtx {
     }
 
     fn take_packet(&mut self, from: u32, tag: u64) -> Packet {
-        if let Some(i) = self.unmatched.iter().position(|p| p.src == from && p.tag == tag) {
+        if let Some(i) = self
+            .unmatched
+            .iter()
+            .position(|p| p.src == from && p.tag == tag)
+        {
             // `remove`, not `swap_remove`: messages with the same (src, tag)
             // must keep FIFO order (MPI non-overtaking rule) — the ring
             // all-reduce relies on it.
@@ -167,7 +181,11 @@ mod tests {
 
     #[test]
     fn clock_advances_on_send_and_recv() {
-        let cost = CostModel { alpha: 1.0, beta: 0.1, compute_rate: 1.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.1,
+            compute_rate: 1.0,
+        };
         let report = Machine::new(2).with_cost(cost).run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 1, vec![0.0f64; 10]); // 80 bytes → 1 + 8 = 9 s
@@ -186,7 +204,11 @@ mod tests {
     fn recv_models_overlap() {
         // Receiver computes 100 s before receiving a message that arrives
         // at t = 9 → clock stays at 100 (transfer hidden).
-        let cost = CostModel { alpha: 1.0, beta: 0.1, compute_rate: 1.0 };
+        let cost = CostModel {
+            alpha: 1.0,
+            beta: 0.1,
+            compute_rate: 1.0,
+        };
         let report = Machine::new(2).with_cost(cost).run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 7, vec![0.0f64; 10]);
@@ -222,7 +244,11 @@ mod tests {
     fn inbound_volume_serialises_at_receiver() {
         // A hot-spot rank receiving from many peers pays β·total even if
         // all senders depart simultaneously (single inbound port).
-        let cost = CostModel { alpha: 0.0, beta: 1.0, compute_rate: 1.0 };
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            compute_rate: 1.0,
+        };
         let p = 8u32;
         let report = Machine::new(p).with_cost(cost).run(|ctx| {
             if ctx.rank() == 0 {

@@ -43,7 +43,11 @@ impl Group {
     ) -> Vec<RoutedItem> {
         let s = self.size();
         for it in &items {
-            assert!((it.dest as usize) < s, "destination {} out of group", it.dest);
+            assert!(
+                (it.dest as usize) < s,
+                "destination {} out of group",
+                it.dest
+            );
         }
         if s == 1 {
             return items;
@@ -65,8 +69,9 @@ impl Group {
             let bit = 1u32 << t;
             let partner = (me ^ bit) as usize;
             // Ship items whose destination disagrees with my bit t.
-            let (ship, keep): (Vec<RoutedItem>, Vec<RoutedItem>) =
-                items.into_iter().partition(|it| (it.dest & bit) != (me & bit));
+            let (ship, keep): (Vec<RoutedItem>, Vec<RoutedItem>) = items
+                .into_iter()
+                .partition(|it| (it.dest & bit) != (me & bit));
             items = keep;
             ctx.send(self.member(partner), base | t as u64, pack(&ship));
             let incoming: Vec<f64> = ctx.recv(self.member(partner), base | t as u64);
@@ -98,7 +103,9 @@ impl Group {
     fn routing_tag(&self, ctx: &mut RankCtx) -> u64 {
         // Reuse the collective tag space (top bit) with a routing marker.
         let seq = ctx.coll_seq.entry(self.routing_gid()).or_insert(0);
-        let tag = (1u64 << 63) | (1 << 62) | ((self.routing_gid() & 0xFFFF_FFFF) << 16)
+        let tag = (1u64 << 63)
+            | (1 << 62)
+            | ((self.routing_gid() & 0xFFFF_FFFF) << 16)
             | (*seq & 0xFFF) << 4;
         *seq += 1;
         tag
@@ -106,9 +113,11 @@ impl Group {
 
     fn routing_gid(&self) -> u64 {
         // Distinct stream from collectives: fold the member list again.
-        self.members().iter().fold(0x9e37_79b9_7f4a_7c15u64, |h, &m| {
-            (h ^ m as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
-        })
+        self.members()
+            .iter()
+            .fold(0x9e37_79b9_7f4a_7c15u64, |h, &m| {
+                (h ^ m as u64).wrapping_mul(0xff51_afd7_ed55_8ccd)
+            })
     }
 }
 
@@ -139,7 +148,11 @@ fn unpack(buf: &[f64]) -> Vec<RoutedItem> {
         let tag = buf[pos + 1] as u64;
         let len = buf[pos + 2] as usize;
         pos += 3;
-        out.push(RoutedItem { dest, tag, data: buf[pos..pos + len].to_vec() });
+        out.push(RoutedItem {
+            dest,
+            tag,
+            data: buf[pos..pos + len].to_vec(),
+        });
         pos += len;
     }
     debug_assert_eq!(pos, buf.len());
@@ -209,11 +222,19 @@ mod tests {
     fn hypercube_latency_is_logarithmic() {
         // log2(16) = 4 rounds of α-cost messages, far below the 15 a
         // direct exchange would need.
-        let cost = crate::cost::CostModel { alpha: 1.0, beta: 0.0, compute_rate: 1.0 };
+        let cost = crate::cost::CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            compute_rate: 1.0,
+        };
         let report = Machine::new(16).with_cost(cost).run(|ctx| {
             let g = Group::world(ctx);
             let me = g.my_idx() as u32;
-            let items = vec![RoutedItem { dest: (me + 1) % 16, tag: 0, data: vec![] }];
+            let items = vec![RoutedItem {
+                dest: (me + 1) % 16,
+                tag: 0,
+                data: vec![],
+            }];
             g.route_by_destination(ctx, items);
             ctx.sim_time()
         });
@@ -229,8 +250,11 @@ mod tests {
         let report = Machine::new(8).run(|ctx| {
             let g = Group::world(ctx);
             let me = g.my_idx() as u32;
-            let items =
-                vec![RoutedItem { dest: 0, tag: me as u64, data: vec![me as f64; 4] }];
+            let items = vec![RoutedItem {
+                dest: 0,
+                tag: me as u64,
+                data: vec![me as f64; 4],
+            }];
             let got = g.route_by_destination(ctx, items);
             (g.my_idx(), got.len())
         });
@@ -242,8 +266,16 @@ mod tests {
     #[test]
     fn wire_format_roundtrip() {
         let items = vec![
-            RoutedItem { dest: 3, tag: 42, data: vec![1.0, 2.0] },
-            RoutedItem { dest: 0, tag: 7, data: vec![] },
+            RoutedItem {
+                dest: 3,
+                tag: 42,
+                data: vec![1.0, 2.0],
+            },
+            RoutedItem {
+                dest: 0,
+                tag: 7,
+                data: vec![],
+            },
         ];
         assert_eq!(unpack(&pack(&items)), items);
         assert_eq!(unpack(&pack(&[])), Vec::<RoutedItem>::new());

@@ -52,7 +52,11 @@ impl MachineStats {
 
     /// Largest per-rank message count.
     pub fn max_messages(&self) -> u64 {
-        self.ranks.iter().map(|r| r.sent_msgs + r.recv_msgs).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.sent_msgs + r.recv_msgs)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Compute imbalance: max compute time / mean compute time (1.0 =
@@ -62,7 +66,11 @@ impl MachineStats {
         if self.ranks.is_empty() {
             return 1.0;
         }
-        let max = self.ranks.iter().map(|r| r.compute_time).fold(0.0, f64::max);
+        let max = self
+            .ranks
+            .iter()
+            .map(|r| r.compute_time)
+            .fold(0.0, f64::max);
         let mean: f64 =
             self.ranks.iter().map(|r| r.compute_time).sum::<f64>() / self.ranks.len() as f64;
         if mean == 0.0 {

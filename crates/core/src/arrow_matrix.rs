@@ -43,8 +43,7 @@ impl ArrowMatrix {
         assert!(b >= 1, "arrow width must be at least 1");
         let n = a.rows();
         let nb = block_count(n, b);
-        let tile =
-            |i: u32| -> (u32, u32) { (i * b, ((i + 1) * b).min(n)) };
+        let tile = |i: u32| -> (u32, u32) { (i * b, ((i + 1) * b).min(n)) };
         let mut row_builders: Vec<CooMatrix<f64>> = (0..nb)
             .map(|j| {
                 let (lo, hi) = tile(j);
@@ -142,7 +141,8 @@ impl ArrowMatrix {
         let mut coo = CooMatrix::with_capacity(self.n, self.n, self.nnz());
         for (j, t) in self.row_tiles.iter().enumerate() {
             for (r, c, v) in t.iter() {
-                coo.push(r, c + j as u32 * b, v).expect("tile entry in range");
+                coo.push(r, c + j as u32 * b, v)
+                    .expect("tile entry in range");
             }
         }
         for (idx, t) in self.col_tiles.iter().enumerate() {
@@ -155,7 +155,8 @@ impl ArrowMatrix {
         for (idx, t) in self.diag_tiles.iter().enumerate() {
             let i = idx as u32 + 1;
             for (r, c, v) in t.iter() {
-                coo.push(r + i * b, c + i * b, v).expect("tile entry in range");
+                coo.push(r + i * b, c + i * b, v)
+                    .expect("tile entry in range");
             }
         }
         coo.to_csr()
@@ -214,7 +215,7 @@ mod tests {
         let arrow = ArrowMatrix::from_csr(&a, 4).unwrap();
         // Arrow width of the reassembled matrix is ≤ b by construction.
         assert!(arrow_width(&arrow.to_csr()) <= 4 + 3); // block diag ⇒ |i−j| < b
-        // Tile accessors.
+                                                        // Tile accessors.
         assert!(arrow.row_tile(0).nnz() > 0);
         assert!(arrow.col_tile(1).nnz() > 0);
         let _ = arrow.diag_tile(1);

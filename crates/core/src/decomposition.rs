@@ -137,7 +137,10 @@ mod tests {
         let a: CsrMatrix<f64> = basic::star(n).to_adjacency();
         let d = la_decompose(
             &a,
-            &DecomposeConfig { arrow_width: b, ..Default::default() },
+            &DecomposeConfig {
+                arrow_width: b,
+                ..Default::default()
+            },
             &mut RandomForestLa::new(3),
         )
         .unwrap();

@@ -39,14 +39,21 @@ pub struct DecomposeConfig {
 
 impl Default for DecomposeConfig {
     fn default() -> Self {
-        Self { arrow_width: 64, prune: true, max_levels: 64 }
+        Self {
+            arrow_width: 64,
+            prune: true,
+            max_levels: 64,
+        }
     }
 }
 
 impl DecomposeConfig {
     /// Convenience constructor fixing only the arrow width.
     pub fn with_width(arrow_width: u32) -> Self {
-        Self { arrow_width, ..Default::default() }
+        Self {
+            arrow_width,
+            ..Default::default()
+        }
     }
 }
 
@@ -156,8 +163,7 @@ pub fn la_decompose(
     }
 
     // Materialise the per-level matrices in position coordinates.
-    let mut builders: Vec<CooMatrix<f64>> =
-        perms.iter().map(|_| CooMatrix::new(n, n)).collect();
+    let mut builders: Vec<CooMatrix<f64>> = perms.iter().map(|_| CooMatrix::new(n, n)).collect();
     for (r, c, v) in a.iter() {
         let (lvl, pi) = if r == c {
             (0u32, &perms[0])
@@ -186,7 +192,11 @@ pub fn la_decompose(
         .into_iter()
         .zip(active_ns)
         .zip(builders)
-        .map(|((perm, active_n), coo)| ArrowLevel { perm, matrix: coo.to_csr(), active_n })
+        .map(|((perm, active_n), coo)| ArrowLevel {
+            perm,
+            matrix: coo.to_csr(),
+            active_n,
+        })
         .collect();
     Ok(ArrowDecomposition::new(n, b, levels))
 }
@@ -208,9 +218,9 @@ mod tests {
         for (i, level) in d.levels().iter().enumerate() {
             // Arrow pattern within the active region: the tiled view must
             // accept every entry.
-            let arrow = level.to_arrow(d.b()).unwrap_or_else(|e| {
-                panic!("level {i} violates the arrow pattern: {e}")
-            });
+            let arrow = level
+                .to_arrow(d.b())
+                .unwrap_or_else(|e| panic!("level {i} violates the arrow pattern: {e}"));
             assert_eq!(arrow.nnz(), level.nnz());
             // Arrow width of the materialised matrix obeys the bound
             // (block diagonal ⇒ width < 2b, arms exempt).
@@ -227,8 +237,12 @@ mod tests {
     fn star_decomposes_in_one_level() {
         // The star's hub is pruned into the arm; every edge is arm-incident.
         let a: CsrMatrix<f64> = basic::star(50).to_adjacency();
-        let d = la_decompose(&a, &DecomposeConfig::with_width(4), &mut RandomForestLa::new(1))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(4),
+            &mut RandomForestLa::new(1),
+        )
+        .unwrap();
         assert_eq!(d.order(), 1);
         check_decomposition(&a, &d);
     }
@@ -236,8 +250,7 @@ mod tests {
     #[test]
     fn path_decomposes_with_identity_arrangement() {
         let a: CsrMatrix<f64> = basic::path(64).to_adjacency();
-        let d =
-            la_decompose(&a, &DecomposeConfig::with_width(8), &mut IdentityLa).unwrap();
+        let d = la_decompose(&a, &DecomposeConfig::with_width(8), &mut IdentityLa).unwrap();
         check_decomposition(&a, &d);
         // A path in natural order has all edges in the band or one block
         // apart; the decomposition stays shallow.
@@ -272,8 +285,12 @@ mod tests {
         coo.push(9, 0, -2.5).unwrap(); // asymmetric values
         coo.push(3, 4, 7.0).unwrap(); // single-direction entry
         let a = coo.to_csr();
-        let d = la_decompose(&a, &DecomposeConfig::with_width(3), &mut RandomForestLa::new(4))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(3),
+            &mut RandomForestLa::new(4),
+        )
+        .unwrap();
         check_decomposition(&a, &d);
     }
 
@@ -310,13 +327,21 @@ mod tests {
         let a: CsrMatrix<f64> = g.to_adjacency();
         let with = la_decompose(
             &a,
-            &DecomposeConfig { arrow_width: 64, prune: true, max_levels: 64 },
+            &DecomposeConfig {
+                arrow_width: 64,
+                prune: true,
+                max_levels: 64,
+            },
             &mut RandomForestLa::new(7),
         )
         .unwrap();
         let without = la_decompose(
             &a,
-            &DecomposeConfig { arrow_width: 64, prune: false, max_levels: 64 },
+            &DecomposeConfig {
+                arrow_width: 64,
+                prune: false,
+                max_levels: 64,
+            },
             &mut RandomForestLa::new(7),
         )
         .unwrap();
@@ -329,7 +354,10 @@ mod tests {
             without.order()
         );
         // The first level must capture the giant star via the arm.
-        assert!(with.levels()[0].nnz() * 10 > a.nnz() * 8, "arm missed the hub");
+        assert!(
+            with.levels()[0].nnz() * 10 > a.nnz() * 8,
+            "arm missed the hub"
+        );
     }
 
     #[test]
@@ -339,8 +367,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = datasets::genbank_like(4000, &mut rng);
         let a: CsrMatrix<f64> = g.to_adjacency();
-        let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(5))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(128),
+            &mut RandomForestLa::new(5),
+        )
+        .unwrap();
         check_decomposition(&a, &d);
         assert!(d.order() <= 4, "order {} too deep", d.order());
         for w in d.levels().windows(2) {

@@ -58,7 +58,9 @@ pub fn load<R: Read>(mut r: R) -> SparseResult<ArrowDecomposition> {
     let b = get_u64(&mut r)? as u32;
     let l = get_u64(&mut r)? as usize;
     if l > 1_000_000 {
-        return Err(SparseError::InvalidCsr(format!("implausible level count {l}")));
+        return Err(SparseError::InvalidCsr(format!(
+            "implausible level count {l}"
+        )));
     }
     let mut levels = Vec::with_capacity(l);
     for _ in 0..l {
@@ -91,7 +93,11 @@ pub fn load<R: Read>(mut r: R) -> SparseResult<ArrowDecomposition> {
         }
         // Full validation on load: corrupt files are rejected here.
         let matrix = CsrMatrix::from_raw(n, n, indptr, indices, values)?;
-        levels.push(ArrowLevel { perm, matrix, active_n });
+        levels.push(ArrowLevel {
+            perm,
+            matrix,
+            active_n,
+        });
     }
     Ok(ArrowDecomposition::new(n, b, levels))
 }
@@ -123,8 +129,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let g = datasets::genbank_like(600, &mut rng);
         let a: CsrMatrix<f64> = g.to_adjacency();
-        let d = la_decompose(&a, &DecomposeConfig::with_width(64), &mut RandomForestLa::new(3))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(64),
+            &mut RandomForestLa::new(3),
+        )
+        .unwrap();
         (a, d)
     }
 

@@ -88,8 +88,7 @@ mod tests {
         let alpha = 2.0;
         let z = amd_graph::zipf::TruncatedZipf::new(n, alpha);
         let mut rng = ChaCha8Rng::seed_from_u64(99);
-        let degrees: Vec<u32> =
-            (0..n).map(|_| z.sample(&mut rng) as u32).collect();
+        let degrees: Vec<u32> = (0..n).map(|_| z.sample(&mut rng) as u32).collect();
         for delta0 in [10u32, 50, 200] {
             let expected = n as f64 * z.survival(delta0 as u64);
             let actual = count_above(&degrees, delta0) as f64;

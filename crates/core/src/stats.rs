@@ -50,10 +50,7 @@ impl DecompositionStats {
                 nnz: l.nnz(),
                 nonzero_rows: l.matrix.nonzero_row_count(),
                 active_n: l.active_n,
-                nonzero_tiles: l
-                    .to_arrow(d.b())
-                    .map(|a| a.nonzero_tiles())
-                    .unwrap_or(0),
+                nonzero_tiles: l.to_arrow(d.b()).map(|a| a.nonzero_tiles()).unwrap_or(0),
             })
             .collect();
         let compaction_factor = levels
@@ -150,8 +147,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let g = datasets::genbank_like(3000, &mut rng);
         let a: CsrMatrix<f64> = g.to_adjacency();
-        let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(2))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(128),
+            &mut RandomForestLa::new(2),
+        )
+        .unwrap();
         (a, d)
     }
 
@@ -175,8 +176,12 @@ mod tests {
         let g = datasets::mawi_like(4000, &mut rng);
         let a: CsrMatrix<f64> = g.to_adjacency();
         let b = 64u32;
-        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(9))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(b),
+            &mut RandomForestLa::new(9),
+        )
+        .unwrap();
         let s = DecompositionStats::of(&d);
         let direct = direct_tiling_nonzero_blocks(&a, b);
         let arrow = s.total_nonzero_tiles();
@@ -210,8 +215,12 @@ mod tests {
     #[test]
     fn single_level_stats_edge_cases() {
         let a: CsrMatrix<f64> = basic::star(20).to_adjacency();
-        let d = la_decompose(&a, &DecomposeConfig::with_width(4), &mut RandomForestLa::new(1))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(4),
+            &mut RandomForestLa::new(1),
+        )
+        .unwrap();
         let s = DecompositionStats::of(&d);
         assert_eq!(s.order, 1);
         assert_eq!(s.compaction_factor, f64::INFINITY);

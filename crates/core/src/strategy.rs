@@ -36,7 +36,9 @@ pub struct RandomForestLa {
 impl RandomForestLa {
     /// Creates the strategy with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 

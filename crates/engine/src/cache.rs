@@ -1,0 +1,375 @@
+//! The decomposition cache: an LRU over content fingerprints with
+//! write-through disk persistence.
+//!
+//! LA-Decompose is the expensive, once-per-matrix step of the paper's
+//! workflow (§5); everything after it is cheap per-iteration SpMM. The
+//! cache makes that amortization explicit in a serving setting:
+//!
+//! * **memory hits** return the resident [`ArrowDecomposition`] without
+//!   touching the arrangement pipeline,
+//! * **disk hits** (after a restart, or after an LRU eviction) reload a
+//!   previously persisted decomposition via [`arrow_core::persist`] —
+//!   still no LA-Decompose,
+//! * only true misses pay for a decomposition, and with a spill
+//!   directory configured the result is written through immediately, so
+//!   a warm restart never repeats the work.
+//!
+//! [`CacheStats::decompositions`] is the probe tests use to assert the
+//! warm path performs zero LA-Decompose calls.
+
+use amd_sparse::{CsrMatrix, SparseError, SparseResult};
+use arrow_core::{la_decompose, persist, ArrowDecomposition, DecomposeConfig, RandomForestLa};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Counters exposed by the cache (monotonic over its lifetime).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from memory.
+    pub hits: u64,
+    /// Requests not answered from memory (disk loads included).
+    pub misses: u64,
+    /// Requests answered by reloading a persisted decomposition.
+    pub disk_loads: u64,
+    /// Spill files that failed to load (corrupt/truncated/mismatched);
+    /// each falls back to a fresh decomposition that overwrites the file.
+    pub load_failures: u64,
+    /// LA-Decompose invocations (the expensive path).
+    pub decompositions: u64,
+    /// Decompositions written through to the spill directory.
+    pub spills: u64,
+    /// Write-through attempts that failed (disk full, directory gone);
+    /// the decomposition stays usable in memory.
+    pub spill_failures: u64,
+    /// Entries dropped from memory by the LRU policy.
+    pub evictions: u64,
+}
+
+struct Entry {
+    d: Arc<ArrowDecomposition>,
+    last_used: u64,
+}
+
+/// LRU cache of arrow decompositions keyed by
+/// [`cache_key`](Self::cache_key) — the [`CsrMatrix::fingerprint`]
+/// folded with the decompose configuration and seed — with optional
+/// disk spill.
+pub struct DecompositionCache {
+    capacity: usize,
+    spill_dir: Option<PathBuf>,
+    entries: HashMap<u128, Entry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl DecompositionCache {
+    /// A cache holding at most `capacity` decompositions in memory.
+    /// With `spill_dir` set, every decomposition is also persisted there
+    /// (write-through), and lookups fall back to disk before
+    /// decomposing; pass `None` for a memory-only cache.
+    pub fn new(capacity: usize, spill_dir: Option<PathBuf>) -> SparseResult<Self> {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        if let Some(dir) = &spill_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                SparseError::InvalidCsr(format!("create spill dir {}: {e}", dir.display()))
+            })?;
+        }
+        Ok(Self {
+            capacity,
+            spill_dir,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of decompositions resident in memory.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` if the given [`cache_key`](Self::cache_key) is resident in
+    /// memory (does not touch recency or counters).
+    pub fn contains(&self, key: u128) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    fn spill_path(dir: &Path, key: u128) -> PathBuf {
+        dir.join(format!("arrow-{key:032x}.amd"))
+    }
+
+    /// The cache identity of a request: the matrix content fingerprint
+    /// folded with every input that shapes the decomposition — arrow
+    /// width, pruning flag, level cap, and the arrangement seed. Two
+    /// requests share an entry (or a spill file) only when they would
+    /// produce the same decomposition.
+    pub fn cache_key(fingerprint: u128, config: &DecomposeConfig, seed: u64) -> u128 {
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        let mut h = fingerprint;
+        for byte in config
+            .arrow_width
+            .to_le_bytes()
+            .into_iter()
+            .chain([config.prune as u8])
+            .chain(config.max_levels.to_le_bytes())
+            .chain(seed.to_le_bytes())
+        {
+            h ^= byte as u128;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// The decomposition for `a`, from memory, disk, or (last resort) a
+    /// fresh LA-Decompose with `config` and the random-forest strategy
+    /// seeded by `seed`.
+    pub fn get_or_decompose(
+        &mut self,
+        a: &CsrMatrix<f64>,
+        config: &DecomposeConfig,
+        seed: u64,
+    ) -> SparseResult<Arc<ArrowDecomposition>> {
+        self.get_or_decompose_keyed(a, a.fingerprint(), config, seed)
+    }
+
+    /// [`get_or_decompose`](Self::get_or_decompose) with the content
+    /// fingerprint supplied by the caller (who typically already
+    /// computed it for its own bookkeeping — hashing is `O(nnz)`, worth
+    /// doing once).
+    pub fn get_or_decompose_keyed(
+        &mut self,
+        a: &CsrMatrix<f64>,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+    ) -> SparseResult<Arc<ArrowDecomposition>> {
+        let key = Self::cache_key(fingerprint, config, seed);
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.stats.hits += 1;
+            return Ok(entry.d.clone());
+        }
+        self.stats.misses += 1;
+        // Disk fallback: a previous run (or an evicted entry) may have
+        // persisted this decomposition already. A file that fails to
+        // load — corrupt, truncated, or holding the wrong matrix — must
+        // never take registration down: it falls through to a fresh
+        // decomposition, which overwrites it.
+        if let Some(dir) = self.spill_dir.clone() {
+            let path = Self::spill_path(&dir, key);
+            if path.exists() {
+                match Self::try_load(&path, a.rows()) {
+                    Ok(d) => {
+                        self.stats.disk_loads += 1;
+                        self.insert(key, d.clone());
+                        return Ok(d);
+                    }
+                    Err(_) => self.stats.load_failures += 1,
+                }
+            }
+        }
+        // True miss: decompose (the only expensive path) and write
+        // through so restarts stay warm. Persistence is best-effort: a
+        // full disk or vanished directory must not discard the freshly
+        // computed decomposition — the cache degrades to memory-only and
+        // counts the failure.
+        self.stats.decompositions += 1;
+        let d = Arc::new(la_decompose(a, config, &mut RandomForestLa::new(seed))?);
+        if let Some(dir) = self.spill_dir.clone() {
+            let path = Self::spill_path(&dir, key);
+            match Self::try_save(&path, &d) {
+                Ok(()) => self.stats.spills += 1,
+                Err(_) => {
+                    self.stats.spill_failures += 1;
+                    // Don't leave a partial file behind to poison reloads.
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        self.insert(key, d.clone());
+        Ok(d)
+    }
+
+    fn try_save(path: &Path, d: &ArrowDecomposition) -> SparseResult<()> {
+        let file = File::create(path)
+            .map_err(|e| SparseError::InvalidCsr(format!("create {}: {e}", path.display())))?;
+        persist::save(d, BufWriter::new(file))
+    }
+
+    fn try_load(path: &Path, n: u32) -> SparseResult<Arc<ArrowDecomposition>> {
+        let file = File::open(path)
+            .map_err(|e| SparseError::InvalidCsr(format!("open {}: {e}", path.display())))?;
+        let d = Arc::new(persist::load(BufReader::new(file))?);
+        if d.n() != n {
+            return Err(SparseError::InvalidCsr(format!(
+                "spill file {} holds n = {}, matrix has n = {n}",
+                path.display(),
+                d.n()
+            )));
+        }
+        Ok(d)
+    }
+
+    fn insert(&mut self, key: u128, d: Arc<ArrowDecomposition>) {
+        while self.entries.len() >= self.capacity {
+            // Evict the least recently used entry. Decompositions are
+            // write-through, so eviction never loses work when a spill
+            // directory is configured.
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&fp, _)| fp)
+                .expect("entries non-empty while over capacity");
+            self.entries.remove(&lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                d,
+                last_used: self.clock,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::basic;
+
+    fn matrix(n: u32) -> CsrMatrix<f64> {
+        basic::cycle(n).to_adjacency()
+    }
+
+    fn cfg() -> DecomposeConfig {
+        DecomposeConfig::with_width(8)
+    }
+
+    #[test]
+    fn second_request_is_a_memory_hit() {
+        let mut cache = DecompositionCache::new(2, None).unwrap();
+        let a = matrix(40);
+        let d1 = cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        let d2 = cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(cache.stats().decompositions, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_capacity_holds() {
+        let mut cache = DecompositionCache::new(2, None).unwrap();
+        let (a, b, c) = (matrix(30), matrix(40), matrix(50));
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        cache.get_or_decompose(&b, &cfg(), 1).unwrap();
+        // Touch a so b becomes the LRU victim.
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        cache.get_or_decompose(&c, &cfg(), 1).unwrap();
+        assert_eq!(cache.len(), 2);
+        let key = |m: &CsrMatrix<f64>| DecompositionCache::cache_key(m.fingerprint(), &cfg(), 1);
+        assert!(cache.contains(key(&a)));
+        assert!(!cache.contains(key(&b)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn different_configs_get_distinct_entries() {
+        // Same matrix at two widths must produce two decompositions —
+        // the cache identity covers the config, not just the content.
+        let mut cache = DecompositionCache::new(4, None).unwrap();
+        let a = matrix(40);
+        let d8 = cache
+            .get_or_decompose(&a, &DecomposeConfig::with_width(8), 1)
+            .unwrap();
+        let d16 = cache
+            .get_or_decompose(&a, &DecomposeConfig::with_width(16), 1)
+            .unwrap();
+        assert_eq!(cache.stats().decompositions, 2);
+        assert_eq!(d8.b(), 8);
+        assert_eq!(d16.b(), 16);
+        // A different seed is likewise its own entry.
+        cache
+            .get_or_decompose(&a, &DecomposeConfig::with_width(8), 2)
+            .unwrap();
+        assert_eq!(cache.stats().decompositions, 3);
+    }
+
+    #[test]
+    fn disk_reload_skips_decompose() {
+        let dir = std::env::temp_dir().join(format!("amd-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = matrix(60);
+        {
+            let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
+            cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+            assert_eq!(cache.stats().decompositions, 1);
+            assert_eq!(cache.stats().spills, 1);
+        }
+        // Fresh cache, same directory: warm restart, zero LA-Decompose.
+        let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
+        let d = cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        assert_eq!(cache.stats().decompositions, 0);
+        assert_eq!(cache.stats().disk_loads, 1);
+        assert_eq!(d.validate(&a).unwrap(), 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_file_falls_back_to_decompose() {
+        let dir = std::env::temp_dir().join(format!("amd-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = matrix(50);
+        {
+            let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
+            cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        }
+        // Truncate the spill file: the warm path must survive it.
+        let spill = DecompositionCache::spill_path(
+            &dir,
+            DecompositionCache::cache_key(a.fingerprint(), &cfg(), 1),
+        );
+        let bytes = std::fs::read(&spill).unwrap();
+        std::fs::write(&spill, &bytes[..20]).unwrap();
+        let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
+        let d = cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        assert_eq!(cache.stats().load_failures, 1);
+        assert_eq!(cache.stats().decompositions, 1, "fell back to decompose");
+        assert_eq!(d.validate(&a).unwrap(), 0.0);
+        // The bad file was overwritten: a third cache loads it cleanly.
+        let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        assert_eq!(cache.stats().decompositions, 0);
+        assert_eq!(cache.stats().disk_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_then_rerequest_reloads_from_disk() {
+        let dir = std::env::temp_dir().join(format!("amd-cache-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = DecompositionCache::new(1, Some(dir.clone())).unwrap();
+        let (a, b) = (matrix(30), matrix(44));
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        cache.get_or_decompose(&b, &cfg(), 1).unwrap(); // evicts a
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap(); // disk, not decompose
+        assert_eq!(cache.stats().decompositions, 2);
+        assert_eq!(cache.stats().disk_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,475 @@
+//! The serving engine: registration, query batching, and execution.
+//!
+//! A matrix is **registered** once: fingerprinted, decomposed through
+//! the [`DecompositionCache`](crate::cache::DecompositionCache), planned
+//! by the [`planner`](crate::planner), and bound to the winning
+//! algorithm. **Queries** — single-column multiply requests against a
+//! registered matrix — are then submitted to a queue; [`Engine::flush`]
+//! coalesces all compatible pending queries (same matrix, iteration
+//! count, and σ) into one multi-RHS [`DenseMatrix`] run.
+//!
+//! Batching is exact, not approximate: every distributed algorithm here
+//! computes output columns independently (the per-column accumulation
+//! order does not depend on the operand width), so a batched answer is
+//! bit-identical to the per-query answer while paying the per-run fixed
+//! costs — rank spin-up, per-message latency α, tile traversals — once
+//! per batch instead of once per query.
+
+use crate::cache::{CacheStats, DecompositionCache};
+use crate::planner::{plan, Plan, PlannerConfig, Prediction};
+use amd_comm::CostModel;
+use amd_sparse::{CsrMatrix, DenseMatrix, SparseError, SparseResult};
+use amd_spmm::traits::Sigma;
+use amd_spmm::DistSpmm;
+use arrow_core::DecomposeConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Handle to a registered matrix (its content fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixId(pub u128);
+
+/// Handle to a submitted query; responses carry it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(pub u64);
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Arrow width used when decomposing registered matrices.
+    pub arrow_width: u32,
+    /// Seed for the decomposition's random-forest arrangement.
+    pub decompose_seed: u64,
+    /// Decompositions held in memory (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Write-through spill directory; `None` disables persistence.
+    pub spill_dir: Option<PathBuf>,
+    /// Cost model for the planner.
+    pub cost: CostModel,
+    /// Rank budget for baseline candidates.
+    pub target_ranks: u32,
+    /// Largest number of queries coalesced into one run.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            arrow_width: 64,
+            decompose_seed: 42,
+            cache_capacity: 8,
+            spill_dir: None,
+            cost: CostModel::default(),
+            target_ranks: 16,
+            max_batch: 64,
+        }
+    }
+}
+
+/// A single multiply request: `y = σ(A·…σ(A·x))`, `iters` times.
+#[derive(Debug, Clone)]
+pub struct MultiplyQuery {
+    /// Which registered matrix to multiply by.
+    pub matrix: MatrixId,
+    /// The operand column (`n` entries).
+    pub x: Vec<f64>,
+    /// Number of multiply iterations.
+    pub iters: u32,
+    /// Optional element-wise activation between iterations.
+    pub sigma: Option<Sigma>,
+}
+
+/// The answer to one query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The query this answers.
+    pub id: QueryId,
+    /// Result column (`n` entries).
+    pub y: Vec<f64>,
+    /// How many queries shared the run that produced this answer.
+    pub batch_size: usize,
+}
+
+/// Serving counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Distributed runs launched.
+    pub runs: u64,
+    /// Largest batch coalesced so far.
+    pub largest_batch: usize,
+}
+
+struct BoundMatrix {
+    n: u32,
+    algo: Box<dyn DistSpmm + Send + Sync>,
+    chosen: String,
+    predictions: Vec<Prediction>,
+}
+
+struct Pending {
+    id: QueryId,
+    query: MultiplyQuery,
+}
+
+/// A batched SpMM serving engine with a decomposition cache and a
+/// cost-model planner. See the [module docs](self).
+pub struct Engine {
+    config: EngineConfig,
+    cache: DecompositionCache,
+    bound: HashMap<u128, BoundMatrix>,
+    pending: Vec<Pending>,
+    next_query: u64,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Builds an engine; creates the spill directory if configured.
+    pub fn new(config: EngineConfig) -> SparseResult<Self> {
+        let cache = DecompositionCache::new(config.cache_capacity, config.spill_dir.clone())?;
+        Ok(Self {
+            config,
+            cache,
+            bound: HashMap::new(),
+            pending: Vec::new(),
+            next_query: 0,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Registers `a`: fingerprint, decompose (through the cache), plan,
+    /// and bind the cheapest algorithm. Registering the same content
+    /// twice is a no-op returning the same id.
+    pub fn register(&mut self, a: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
+        let fingerprint = a.fingerprint();
+        if self.bound.contains_key(&fingerprint) {
+            return Ok(MatrixId(fingerprint));
+        }
+        if a.rows() != a.cols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (a.rows(), a.cols()),
+                right: (a.cols(), a.rows()),
+            });
+        }
+        let d = self.cache.get_or_decompose_keyed(
+            a,
+            fingerprint,
+            &DecomposeConfig::with_width(self.config.arrow_width),
+            self.config.decompose_seed,
+        )?;
+        let planner_config = PlannerConfig {
+            cost: self.config.cost,
+            target_ranks: self.config.target_ranks,
+            k_hint: (self.config.max_batch as u32).clamp(1, 64),
+            ..PlannerConfig::default()
+        };
+        let Plan {
+            algo,
+            chosen,
+            predictions,
+        } = plan(a, &d, &planner_config)?;
+        self.bound.insert(
+            fingerprint,
+            BoundMatrix {
+                n: a.rows(),
+                algo,
+                chosen,
+                predictions,
+            },
+        );
+        Ok(MatrixId(fingerprint))
+    }
+
+    /// The algorithm the planner bound for `id`.
+    pub fn chosen_algorithm(&self, id: MatrixId) -> Option<&str> {
+        self.bound.get(&id.0).map(|b| b.chosen.as_str())
+    }
+
+    /// The planner's full ranking for `id` (cheapest first).
+    pub fn plan_report(&self, id: MatrixId) -> Option<&[Prediction]> {
+        self.bound.get(&id.0).map(|b| b.predictions.as_slice())
+    }
+
+    /// Cache counters (the decompose-count probe lives here).
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serving counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Queries waiting for the next [`flush`](Engine::flush).
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues a query; answers arrive from [`flush`](Engine::flush).
+    pub fn submit(&mut self, query: MultiplyQuery) -> SparseResult<QueryId> {
+        let bound = self.bound.get(&query.matrix.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!("matrix {:032x} is not registered", query.matrix.0))
+        })?;
+        if query.x.len() != bound.n as usize {
+            return Err(SparseError::ShapeMismatch {
+                left: (bound.n, 1),
+                right: (query.x.len() as u32, 1),
+            });
+        }
+        let id = QueryId(self.next_query);
+        self.next_query += 1;
+        self.pending.push(Pending { id, query });
+        Ok(id)
+    }
+
+    /// Answers every pending query. Compatible queries — same matrix,
+    /// same `iters`, same σ — are coalesced into multi-RHS runs of up to
+    /// `max_batch` columns; responses are returned in submission order.
+    pub fn flush(&mut self) -> SparseResult<Vec<QueryResponse>> {
+        let pending = std::mem::take(&mut self.pending);
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group by (matrix, iters, σ identity), preserving arrival order
+        // within each group.
+        let mut groups: Vec<((u128, u32, usize), Vec<Pending>)> = Vec::new();
+        for p in pending {
+            let key = (
+                p.query.matrix.0,
+                p.query.iters,
+                p.query.sigma.map(|f| f as usize).unwrap_or(0),
+            );
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(p),
+                None => groups.push((key, vec![p])),
+            }
+        }
+        let mut responses = Vec::new();
+        for (_, members) in groups {
+            for chunk in members.chunks(self.config.max_batch.max(1)) {
+                responses.extend(self.run_batch(chunk)?);
+            }
+        }
+        responses.sort_by_key(|r| r.id.0);
+        Ok(responses)
+    }
+
+    fn run_batch(&mut self, chunk: &[Pending]) -> SparseResult<Vec<QueryResponse>> {
+        let first = &chunk[0].query;
+        let bound = self
+            .bound
+            .get(&first.matrix.0)
+            .expect("submit validated registration");
+        let n = bound.n;
+        let k = chunk.len() as u32;
+        // Columns side by side: query j is column j.
+        let x = DenseMatrix::from_fn(n, k, |r, c| chunk[c as usize].query.x[r as usize]);
+        let run = bound.algo.run_sigma(&x, first.iters, first.sigma)?;
+        self.stats.runs += 1;
+        self.stats.queries += chunk.len() as u64;
+        self.stats.largest_batch = self.stats.largest_batch.max(chunk.len());
+        Ok(chunk
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let y = (0..n).map(|r| run.y.get(r, j as u32)).collect();
+                QueryResponse {
+                    id: p.id,
+                    y,
+                    batch_size: chunk.len(),
+                }
+            })
+            .collect())
+    }
+
+    /// Runs one query immediately, bypassing the batcher (the unbatched
+    /// baseline the serving example compares against).
+    pub fn run_single(&mut self, query: MultiplyQuery) -> SparseResult<QueryResponse> {
+        self.submit(query)?;
+        let pending = self.pending.pop().expect("just submitted");
+        let mut responses = self.run_batch(&[pending])?;
+        Ok(responses.pop().expect("one response per query"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::basic;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            target_ranks: 4,
+            ..EngineConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn ring(n: u32) -> CsrMatrix<f64> {
+        basic::cycle(n).to_adjacency()
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut e = engine();
+        let a = ring(64);
+        let id1 = e.register(&a).unwrap();
+        let id2 = e.register(&a).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(e.cache_stats().decompositions, 1);
+        assert!(e.chosen_algorithm(id1).is_some());
+        assert_eq!(e.plan_report(id1).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unregistered_matrix_rejected() {
+        let mut e = engine();
+        let q = MultiplyQuery {
+            matrix: MatrixId(7),
+            x: vec![0.0; 4],
+            iters: 1,
+            sigma: None,
+        };
+        assert!(e.submit(q).is_err());
+    }
+
+    #[test]
+    fn wrong_operand_length_rejected() {
+        let mut e = engine();
+        let id = e.register(&ring(32)).unwrap();
+        let q = MultiplyQuery {
+            matrix: id,
+            x: vec![0.0; 31],
+            iters: 1,
+            sigma: None,
+        };
+        assert!(e.submit(q).is_err());
+    }
+
+    #[test]
+    fn batched_answers_match_reference() {
+        let mut e = engine();
+        let a = ring(48);
+        let id = e.register(&a).unwrap();
+        let queries: Vec<Vec<f64>> = (0..6)
+            .map(|q| (0..48).map(|r| ((q * 7 + r) % 5) as f64 - 2.0).collect())
+            .collect();
+        for x in &queries {
+            e.submit(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters: 2,
+                sigma: None,
+            })
+            .unwrap();
+        }
+        let responses = e.flush().unwrap();
+        assert_eq!(responses.len(), 6);
+        assert_eq!(e.stats().runs, 1, "compatible queries must share one run");
+        for (q, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.batch_size, 6);
+            let x = DenseMatrix::from_vec(48, 1, queries[q].clone()).unwrap();
+            let want = amd_spmm::reference::iterated_spmm(&a, &x, 2).unwrap();
+            assert_eq!(resp.y, want.data(), "query {q} mismatch");
+        }
+    }
+
+    #[test]
+    fn incompatible_queries_split_runs() {
+        let mut e = engine();
+        let id = e.register(&ring(32)).unwrap();
+        let x = vec![1.0; 32];
+        e.submit(MultiplyQuery {
+            matrix: id,
+            x: x.clone(),
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        e.submit(MultiplyQuery {
+            matrix: id,
+            x: x.clone(),
+            iters: 2,
+            sigma: None,
+        })
+        .unwrap();
+        e.submit(MultiplyQuery {
+            matrix: id,
+            x,
+            iters: 1,
+            sigma: Some(relu),
+        })
+        .unwrap();
+        let responses = e.flush().unwrap();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(e.stats().runs, 3);
+    }
+
+    #[test]
+    fn max_batch_caps_run_width() {
+        let mut e = Engine::new(EngineConfig {
+            target_ranks: 4,
+            max_batch: 2,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let id = e.register(&ring(32)).unwrap();
+        for _ in 0..5 {
+            e.submit(MultiplyQuery {
+                matrix: id,
+                x: vec![1.0; 32],
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        }
+        let responses = e.flush().unwrap();
+        assert_eq!(responses.len(), 5);
+        assert_eq!(e.stats().runs, 3); // 2 + 2 + 1
+        assert_eq!(e.stats().largest_batch, 2);
+    }
+
+    fn relu(v: f64) -> f64 {
+        v.max(0.0)
+    }
+
+    #[test]
+    fn sigma_batches_match_single_runs() {
+        let mut e = engine();
+        let a = ring(40);
+        let id = e.register(&a).unwrap();
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|q| (0..40).map(|r| ((q + r) % 7) as f64 - 3.0).collect())
+            .collect();
+        let singles: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                e.run_single(MultiplyQuery {
+                    matrix: id,
+                    x: x.clone(),
+                    iters: 3,
+                    sigma: Some(relu),
+                })
+                .unwrap()
+                .y
+            })
+            .collect();
+        for x in &xs {
+            e.submit(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters: 3,
+                sigma: Some(relu),
+            })
+            .unwrap();
+        }
+        let batched = e.flush().unwrap();
+        for (single, resp) in singles.iter().zip(&batched) {
+            assert_eq!(
+                single, &resp.y,
+                "batched σ run must bit-match the single run"
+            );
+        }
+    }
+}

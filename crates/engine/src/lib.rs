@@ -1,0 +1,46 @@
+//! # amd-engine — a batched SpMM serving engine
+//!
+//! The paper's workflow (§5, §7) decomposes a matrix **once** and
+//! amortizes that cost over many SpMM iterations. This crate turns that
+//! shape into a serving subsystem:
+//!
+//! * [`DecompositionCache`] — an LRU keyed by
+//!   [`CsrMatrix::fingerprint`](amd_sparse::CsrMatrix::fingerprint),
+//!   write-through persisted via `arrow_core::persist` so warm restarts
+//!   skip LA-Decompose entirely,
+//! * [`planner`] — predicts per-iteration cost for every distributed
+//!   algorithm from its planned distribution
+//!   ([`DistSpmm::predict_volume`](amd_spmm::DistSpmm::predict_volume))
+//!   under the α-β [`CostModel`](amd_comm::CostModel), and binds the
+//!   winner per matrix,
+//! * [`Engine`] — registration plus a request batcher that coalesces
+//!   compatible multiply queries into one multi-RHS run; batching is
+//!   exact (bit-identical to per-query runs) because every algorithm
+//!   computes output columns independently.
+//!
+//! ```
+//! use amd_engine::{Engine, EngineConfig, MultiplyQuery};
+//! use amd_graph::generators::basic;
+//! use amd_sparse::CsrMatrix;
+//!
+//! let a: CsrMatrix<f64> = basic::star(64).to_adjacency();
+//! let mut engine = Engine::new(EngineConfig::default()).unwrap();
+//! let id = engine.register(&a).unwrap();          // decompose + plan once
+//! for q in 0..8 {
+//!     let x = (0..64).map(|r| ((q + r) % 5) as f64).collect();
+//!     engine.submit(MultiplyQuery { matrix: id, x, iters: 2, sigma: None }).unwrap();
+//! }
+//! let answers = engine.flush().unwrap();          // one 8-column run
+//! assert_eq!(answers.len(), 8);
+//! assert_eq!(engine.stats().runs, 1);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod planner;
+
+pub use cache::{CacheStats, DecompositionCache};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, MatrixId, MultiplyQuery, QueryId, QueryResponse,
+};
+pub use planner::{plan, Plan, PlannerConfig, Prediction};

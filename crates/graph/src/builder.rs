@@ -16,12 +16,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` vertices.
     pub fn new(n: u32) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// A builder with pre-allocated edge capacity.
     pub fn with_capacity(n: u32, m: usize) -> Self {
-        Self { n, edges: Vec::with_capacity(m) }
+        Self {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices.
@@ -38,7 +44,11 @@ impl GraphBuilder {
     /// dropped; duplicates are removed at build time. Panics on
     /// out-of-range endpoints.
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
         if u == v {
             return;
         }

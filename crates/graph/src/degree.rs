@@ -33,7 +33,14 @@ impl DegreeStats {
             let mid = degrees.len() / 2;
             *degrees.select_nth_unstable(mid).1
         };
-        Self { n, m: g.m(), avg_degree: g.avg_degree(), max_degree, isolated, median_degree }
+        Self {
+            n,
+            m: g.m(),
+            avg_degree: g.avg_degree(),
+            max_degree,
+            isolated,
+            median_degree,
+        }
     }
 
     /// Maximum degree as a fraction of `n` — the "Δ ≈ 0.93 n" signature of
@@ -52,9 +59,7 @@ impl DegreeStats {
 pub fn top_degree_vertices(g: &Graph, b: usize) -> Vec<u32> {
     let mut vs: Vec<u32> = (0..g.n()).collect();
     let b = b.min(vs.len());
-    vs.sort_unstable_by(|&a, &bv| {
-        g.degree(bv).cmp(&g.degree(a)).then(a.cmp(&bv))
-    });
+    vs.sort_unstable_by(|&a, &bv| g.degree(bv).cmp(&g.degree(a)).then(a.cmp(&bv)));
     vs.truncate(b);
     vs
 }

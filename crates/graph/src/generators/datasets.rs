@@ -190,8 +190,7 @@ fn power_law_like<R: Rng>(
     assert!(n >= 64);
     let zipf = TruncatedZipf::new(n as u64, alpha);
     let cap = (max_frac * n as f64).max(8.0);
-    let mut weights: Vec<f64> =
-        (0..n).map(|_| (zipf.sample(rng) as f64).min(cap)).collect();
+    let mut weights: Vec<f64> = (0..n).map(|_| (zipf.sample(rng) as f64).min(cap)).collect();
     // Give vertex 0 the cap weight so Δ lands near the target.
     weights[0] = cap;
     let m = (avg_degree * n as f64 / 2.0) as usize;
@@ -288,7 +287,11 @@ mod tests {
     fn mawi_signature() {
         let g = mawi_like(20_000, &mut rng());
         let s = DegreeStats::of(&g);
-        assert!(s.max_degree_fraction() > 0.85, "Δ/n = {}", s.max_degree_fraction());
+        assert!(
+            s.max_degree_fraction() > 0.85,
+            "Δ/n = {}",
+            s.max_degree_fraction()
+        );
         assert!((1.7..2.6).contains(&s.avg_degree), "avg = {}", s.avg_degree);
     }
 
@@ -305,7 +308,11 @@ mod tests {
     fn webbase_signature() {
         let g = webbase_like(20_000, &mut rng());
         let s = DegreeStats::of(&g);
-        assert!((6.0..11.0).contains(&s.avg_degree), "avg = {}", s.avg_degree);
+        assert!(
+            (6.0..11.0).contains(&s.avg_degree),
+            "avg = {}",
+            s.avg_degree
+        );
         let frac = s.max_degree_fraction();
         assert!((0.003..0.02).contains(&frac), "Δ/n = {frac}");
     }
@@ -323,16 +330,32 @@ mod tests {
     fn gap_twitter_signature() {
         let g = gap_twitter_like(10_000, &mut rng());
         let s = DegreeStats::of(&g);
-        assert!((15.0..30.0).contains(&s.avg_degree), "avg = {}", s.avg_degree);
-        assert!(s.max_degree_fraction() > 0.008, "Δ/n = {}", s.max_degree_fraction());
+        assert!(
+            (15.0..30.0).contains(&s.avg_degree),
+            "avg = {}",
+            s.avg_degree
+        );
+        assert!(
+            s.max_degree_fraction() > 0.008,
+            "Δ/n = {}",
+            s.max_degree_fraction()
+        );
     }
 
     #[test]
     fn sk2005_signature() {
         let g = sk2005_like(5_000, &mut rng());
         let s = DegreeStats::of(&g);
-        assert!((25.0..50.0).contains(&s.avg_degree), "avg = {}", s.avg_degree);
-        assert!(s.max_degree_fraction() > 0.10, "Δ/n = {}", s.max_degree_fraction());
+        assert!(
+            (25.0..50.0).contains(&s.avg_degree),
+            "avg = {}",
+            s.avg_degree
+        );
+        assert!(
+            s.max_degree_fraction() > 0.10,
+            "Δ/n = {}",
+            s.max_degree_fraction()
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct RmatParams {
 impl RmatParams {
     /// The Graph500 parameter set `(0.57, 0.19, 0.19, 0.05)`.
     pub fn graph500() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     /// Bottom-right probability `d = 1 − a − b − c`.
@@ -105,7 +109,16 @@ mod tests {
     #[test]
     fn uniform_params_give_erdos_renyi_like_degrees() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let g = rmat(10, 8, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, &mut rng);
+        let g = rmat(
+            10,
+            8,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+            },
+            &mut rng,
+        );
         let s = DegreeStats::of(&g);
         // No heavy tail: max degree stays within a small factor of avg.
         assert!(
@@ -118,8 +131,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g1 = rmat(8, 4, RmatParams::graph500(), &mut ChaCha8Rng::seed_from_u64(5));
-        let g2 = rmat(8, 4, RmatParams::graph500(), &mut ChaCha8Rng::seed_from_u64(5));
+        let g1 = rmat(
+            8,
+            4,
+            RmatParams::graph500(),
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        let g2 = rmat(
+            8,
+            4,
+            RmatParams::graph500(),
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
         assert_eq!(g1, g2);
     }
 

@@ -50,7 +50,10 @@ impl Graph {
 
     /// An edgeless graph on `n` vertices.
     pub fn empty(n: u32) -> Self {
-        Self { offsets: vec![0; n as usize + 1], neighbors: Vec::new() }
+        Self {
+            offsets: vec![0; n as usize + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -99,7 +102,11 @@ impl Graph {
     /// Iterates over each undirected edge once, with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.n()).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -116,7 +123,8 @@ impl Graph {
         let mut coo = CooMatrix::with_capacity(n, n, self.neighbors.len());
         for u in 0..n {
             for &v in self.neighbors(u) {
-                coo.push(u, v, T::ONE).expect("neighbour indices are in bounds");
+                coo.push(u, v, T::ONE)
+                    .expect("neighbour indices are in bounds");
             }
         }
         coo.to_csr()
@@ -126,7 +134,11 @@ impl Graph {
     /// matrix (symmetrised: an entry at `(i, j)` or `(j, i)` yields the
     /// edge `{i, j}`).
     pub fn from_matrix_structure<T: Scalar>(a: &CsrMatrix<T>) -> Self {
-        assert_eq!(a.rows(), a.cols(), "adjacency structure requires a square matrix");
+        assert_eq!(
+            a.rows(),
+            a.cols(),
+            "adjacency structure requires a square matrix"
+        );
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(a.nnz());
         for r in 0..a.rows() {
             for &c in a.row_indices(r) {

@@ -47,8 +47,9 @@ impl SpanningForest {
                 pending[p as usize] += 1;
             }
         }
-        let mut stack: Vec<u32> =
-            (0..n as u32).filter(|&v| pending[v as usize] == 0).collect();
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&v| pending[v as usize] == 0)
+            .collect();
         while let Some(v) = stack.pop() {
             let p = self.parent[v as usize];
             if p != u32::MAX {
@@ -112,7 +113,11 @@ pub fn kruskal_forest(n: u32, edges: &[(u32, u32)]) -> SpanningForest {
             }
         }
     }
-    SpanningForest { parent, roots, edges: forest_edges }
+    SpanningForest {
+        parent,
+        roots,
+        edges: forest_edges,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +184,10 @@ mod tests {
             e.sort_unstable();
             distinct.insert(e);
         }
-        assert!(distinct.len() > 1, "spanning forest never varied across seeds");
+        assert!(
+            distinct.len() > 1,
+            "spanning forest never varied across seeds"
+        );
     }
 
     #[test]

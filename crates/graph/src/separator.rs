@@ -89,7 +89,10 @@ pub fn centroid_separator(g: &Graph, component: &[u32]) -> u32 {
             best = v;
         }
     }
-    debug_assert!(best_max <= total / 2 + (total % 2), "centroid bound violated");
+    debug_assert!(
+        best_max <= total / 2 + (total % 2),
+        "centroid bound violated"
+    );
     best
 }
 
@@ -124,10 +127,9 @@ pub fn bfs_level_separator(g: &Graph, component: &[u32]) -> Vec<u32> {
     for l in 1..depth {
         let sep = level_counts[l as usize];
         let above = total - below - sep;
-        if below.max(above) <= limit
-            && best.is_none_or(|(s, _)| sep < s) {
-                best = Some((sep, l));
-            }
+        if below.max(above) <= limit && best.is_none_or(|(s, _)| sep < s) {
+            best = Some((sep, l));
+        }
         below += sep;
     }
     let chosen = best.map(|(_, l)| l).unwrap_or(depth.div_ceil(2));
@@ -226,7 +228,11 @@ mod tests {
         let sep = bfs_level_separator(&g, &comp);
         assert!(!sep.is_empty());
         // Heuristic quality on an 8x8 grid: separator should be O(side).
-        assert!(sep.len() <= 16, "separator unexpectedly large: {}", sep.len());
+        assert!(
+            sep.len() <= 16,
+            "separator unexpectedly large: {}",
+            sep.len()
+        );
         check_balance(&g, &comp, &sep);
     }
 

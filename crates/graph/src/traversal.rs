@@ -16,7 +16,11 @@ impl BfsResult {
     /// The largest finite level (eccentricity of the source within its
     /// component).
     pub fn eccentricity(&self) -> u32 {
-        self.order.iter().map(|&v| self.level[v as usize]).max().unwrap_or(0)
+        self.order
+            .iter()
+            .map(|&v| self.level[v as usize])
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -89,8 +93,11 @@ impl Components {
     /// The vertices of each component, grouped: `groups[c]` lists the
     /// vertices of component `c` in increasing order.
     pub fn groups(&self) -> Vec<Vec<u32>> {
-        let mut groups: Vec<Vec<u32>> =
-            self.sizes.iter().map(|&s| Vec::with_capacity(s as usize)).collect();
+        let mut groups: Vec<Vec<u32>> = self
+            .sizes
+            .iter()
+            .map(|&s| Vec::with_capacity(s as usize))
+            .collect();
         for (v, &c) in self.comp.iter().enumerate() {
             groups[c as usize].push(v as u32);
         }
@@ -124,7 +131,11 @@ pub fn connected_components(g: &Graph) -> Components {
         }
         sizes.push(size);
     }
-    Components { comp, count: sizes.len() as u32, sizes }
+    Components {
+        comp,
+        count: sizes.len() as u32,
+        sizes,
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: u32) -> Self {
-        Self { parent: (0..n).collect(), rank: vec![0; n as usize], components: n }
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n as usize],
+            components: n,
+        }
     }
 
     /// Representative of `v`'s set, with path halving.

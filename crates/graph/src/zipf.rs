@@ -79,7 +79,11 @@ impl TruncatedZipf {
     /// Probability mass `p(x)` for `x ∈ 1..=n`.
     pub fn pmf(&self, x: u64) -> f64 {
         assert!((1..=self.n).contains(&x));
-        let prev = if x == 1 { 0.0 } else { self.cdf[x as usize - 2] };
+        let prev = if x == 1 {
+            0.0
+        } else {
+            self.cdf[x as usize - 2]
+        };
         self.cdf[x as usize - 1] - prev
     }
 
@@ -176,7 +180,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let samples = z.sample_many(&mut rng, 20_000);
         let ones = samples.iter().filter(|&&s| s == 1).count() as f64 / 20_000.0;
-        assert!((ones - z.pmf(1)).abs() < 0.02, "empirical {ones} vs pmf {}", z.pmf(1));
+        assert!(
+            (ones - z.pmf(1)).abs() < 0.02,
+            "empirical {ones} vs pmf {}",
+            z.pmf(1)
+        );
         assert!(samples.iter().all(|&s| (1..=50).contains(&s)));
     }
 

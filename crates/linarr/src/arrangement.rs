@@ -34,7 +34,9 @@ pub fn avg_edge_length(g: &Graph, pi: &Permutation) -> f64 {
 /// Lemma 3.
 pub fn edges_within(g: &Graph, pi: &Permutation, w: u32) -> usize {
     assert_eq!(g.n(), pi.len());
-    g.edges().filter(|&(u, v)| pi.position(u).abs_diff(pi.position(v)) <= w).count()
+    g.edges()
+        .filter(|&(u, v)| pi.position(u).abs_diff(pi.position(v)) <= w)
+        .count()
 }
 
 /// Summary of an arrangement's quality.

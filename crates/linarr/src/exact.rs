@@ -23,7 +23,14 @@ pub fn minimum_linear_arrangement(g: &Graph, max_n: u32) -> (Permutation, u64) {
     let mut best_cost = cost_of_order(g, &best_order);
     let mut prefix: Vec<u32> = Vec::with_capacity(n as usize);
     let mut used = vec![false; n as usize];
-    branch(g, &mut prefix, &mut used, 0, &mut best_order, &mut best_cost);
+    branch(
+        g,
+        &mut prefix,
+        &mut used,
+        0,
+        &mut best_order,
+        &mut best_cost,
+    );
     let pi = Permutation::from_order(best_order).expect("search emits a permutation");
     (pi, best_cost)
 }
@@ -34,7 +41,9 @@ fn cost_of_order(g: &Graph, order: &[u32]) -> u64 {
     for (p, &v) in order.iter().enumerate() {
         pos[v as usize] = p as u32;
     }
-    g.edges().map(|(u, v)| pos[u as usize].abs_diff(pos[v as usize]) as u64).sum()
+    g.edges()
+        .map(|(u, v)| pos[u as usize].abs_diff(pos[v as usize]) as u64)
+        .sum()
 }
 
 /// Partial cost of the prefix: edges with both endpoints placed contribute

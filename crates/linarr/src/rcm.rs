@@ -27,7 +27,11 @@ pub fn reverse_cuthill_mckee(g: &Graph) -> Permutation {
         if visited[seed as usize] {
             continue;
         }
-        let start = if g.degree(seed) == 0 { seed } else { pseudo_peripheral(g, seed) };
+        let start = if g.degree(seed) == 0 {
+            seed
+        } else {
+            pseudo_peripheral(g, seed)
+        };
         let mut queue = std::collections::VecDeque::new();
         visited[start as usize] = true;
         queue.push_back(start);
@@ -35,7 +39,10 @@ pub fn reverse_cuthill_mckee(g: &Graph) -> Permutation {
             order.push(u);
             neighbour_buf.clear();
             neighbour_buf.extend(
-                g.neighbors(u).iter().copied().filter(|&v| !visited[v as usize]),
+                g.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !visited[v as usize]),
             );
             neighbour_buf.sort_unstable_by_key(|&v| (g.degree(v), v));
             for &v in &neighbour_buf {

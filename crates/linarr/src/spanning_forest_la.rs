@@ -95,6 +95,9 @@ mod tests {
         let mut r1 = ChaCha8Rng::seed_from_u64(7);
         let mut r2 = ChaCha8Rng::seed_from_u64(7);
         let g = random::random_tree(500, &mut ChaCha8Rng::seed_from_u64(1));
-        assert_eq!(spanning_forest_la(&g, &mut r1), spanning_forest_la(&g, &mut r2));
+        assert_eq!(
+            spanning_forest_la(&g, &mut r1),
+            spanning_forest_la(&g, &mut r2)
+        );
     }
 }

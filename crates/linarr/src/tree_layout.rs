@@ -94,7 +94,11 @@ pub fn root_tree(g: &Graph, root: u32) -> SpanningForest {
             }
         }
     }
-    SpanningForest { parent, roots, edges }
+    SpanningForest {
+        parent,
+        roots,
+        edges,
+    }
 }
 
 #[cfg(test)]
@@ -176,8 +180,7 @@ mod tests {
             for x in [2u32, 3, 5] {
                 let within = edges_within(&g, &pi, x * delta);
                 let m = (n - 1) as u64;
-                let guarantee =
-                    m.min(((x as u64 - 1) * m).div_ceil(x as u64) + 1) as usize;
+                let guarantee = m.min(((x as u64 - 1) * m).div_ceil(x as u64) + 1) as usize;
                 assert!(
                     within >= guarantee,
                     "n={n} x={x}: {within} < guaranteed {guarantee}"

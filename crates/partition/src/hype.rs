@@ -32,12 +32,7 @@ impl Default for HypeConfig {
 }
 
 /// Partitions `g` into `parts` balanced parts by neighbourhood expansion.
-pub fn hype_partition<R: Rng>(
-    g: &Graph,
-    parts: u32,
-    cfg: &HypeConfig,
-    rng: &mut R,
-) -> Partition {
+pub fn hype_partition<R: Rng>(g: &Graph, parts: u32, cfg: &HypeConfig, rng: &mut R) -> Partition {
     assert!(parts >= 1);
     let n = g.n();
     let target = n.div_ceil(parts) as usize;
@@ -68,8 +63,7 @@ pub fn hype_partition<R: Rng>(
         while core_size < target && unassigned_count > 0 {
             if fringe.is_empty() {
                 // (Re-)seed from the shuffled stream.
-                while seed_cursor < seeds.len()
-                    && assign[seeds[seed_cursor] as usize] != UNASSIGNED
+                while seed_cursor < seeds.len() && assign[seeds[seed_cursor] as usize] != UNASSIGNED
                 {
                     seed_cursor += 1;
                 }
@@ -116,7 +110,10 @@ pub fn hype_partition<R: Rng>(
 /// Number of neighbours of `v` that are still unassigned — the expansion
 /// score (smaller = less new boundary).
 fn external_degree(g: &Graph, v: u32, assign: &[u32]) -> u32 {
-    g.neighbors(v).iter().filter(|&&u| assign[u as usize] == u32::MAX).count() as u32
+    g.neighbors(v)
+        .iter()
+        .filter(|&&u| assign[u as usize] == u32::MAX)
+        .count() as u32
 }
 
 #[cfg(test)]

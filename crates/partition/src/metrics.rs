@@ -43,8 +43,7 @@ impl PartitionQuality {
             }
             lambda_minus_one += (parts_touched.len() as u64).saturating_sub(1);
         }
-        let mut external: Vec<HashSet<u32>> =
-            vec![HashSet::new(); p.parts as usize];
+        let mut external: Vec<HashSet<u32>> = vec![HashSet::new(); p.parts as usize];
         for (u, v) in g.edges() {
             let (pu, pv) = (p.assign[u as usize], p.assign[v as usize]);
             if pu != pv {

@@ -112,8 +112,7 @@ mod tests {
     fn star_has_high_bandwidth_low_arrow_width() {
         // Star centred at vertex 0 in natural order: entries (0, j), (j, 0).
         let n = 64;
-        let entries: Vec<(u32, u32)> =
-            (1..n).flat_map(|j| [(0u32, j), (j, 0u32)]).collect();
+        let entries: Vec<(u32, u32)> = (1..n).flat_map(|j| [(0u32, j), (j, 0u32)]).collect();
         let m = from_entries(n, &entries);
         assert_eq!(bandwidth(&m), n - 1);
         assert_eq!(arrow_width(&m), 1);

@@ -18,12 +18,20 @@ pub struct CooMatrix<T: Scalar = f64> {
 impl<T: Scalar> CooMatrix<T> {
     /// Creates an empty `rows × cols` matrix.
     pub fn new(rows: u32, cols: u32) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix with room for `cap` triplets.
     pub fn with_capacity(rows: u32, cols: u32, cap: usize) -> Self {
-        Self { rows, cols, entries: Vec::with_capacity(cap) }
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows.
@@ -215,8 +223,7 @@ mod tests {
 
     #[test]
     fn from_triplets_builds() {
-        let coo =
-            CooMatrix::from_triplets(2, 2, vec![(0u32, 0u32, 1.0f64), (1, 1, 2.0)]).unwrap();
+        let coo = CooMatrix::from_triplets(2, 2, vec![(0u32, 0u32, 1.0f64), (1, 1, 2.0)]).unwrap();
         let csr = coo.to_csr();
         assert_eq!(csr.get(0, 0), 1.0);
         assert_eq!(csr.get(1, 1), 2.0);

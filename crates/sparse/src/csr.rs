@@ -71,7 +71,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 }
             }
         }
-        Ok(Self { rows, cols, indptr, indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Builds from raw parts without validation.
@@ -87,7 +93,13 @@ impl<T: Scalar> CsrMatrix<T> {
     ) -> Self {
         debug_assert_eq!(indptr.len(), rows as usize + 1);
         debug_assert_eq!(indices.len(), values.len());
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An empty `rows × cols` matrix (all zeros).
@@ -241,6 +253,42 @@ impl<T: Scalar> CsrMatrix<T> {
         Self::from_raw_unchecked(r1 - r0, c1 - c0, indptr, indices, values)
     }
 
+    /// Content fingerprint: a 128-bit FNV-1a hash over the shape and the
+    /// exact CSR arrays (column structure and value bit patterns).
+    ///
+    /// Bit-identical content hashes equal; any structural or numeric
+    /// change — a permutation, a perturbed value, an added entry — changes
+    /// the fingerprint (up to the 2⁻¹²⁸ collision probability of the
+    /// hash). Values are compared by bit pattern, which is *stricter*
+    /// than `==`: `-0.0` and `+0.0` fingerprint differently, and NaN
+    /// payloads are distinguished. For the serving engine's cache that
+    /// strictness errs on the safe side — the worst case is a spurious
+    /// re-decomposition, never a wrong cache hit.
+    pub fn fingerprint(&self) -> u128 {
+        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        #[inline]
+        fn eat(h: &mut u128, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u128;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        eat(&mut h, &self.rows.to_le_bytes());
+        eat(&mut h, &self.cols.to_le_bytes());
+        for &off in &self.indptr {
+            eat(&mut h, &(off as u64).to_le_bytes());
+        }
+        for &c in &self.indices {
+            eat(&mut h, &c.to_le_bytes());
+        }
+        for v in &self.values {
+            eat(&mut h, &v.to_f64().to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Maximum absolute difference to `other` over all positions.
     ///
     /// Both matrices must have the same shape; complexity `O(nnz)`.
@@ -335,13 +383,9 @@ mod tests {
             CsrMatrix::<f64>::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
         );
         // unsorted columns
-        assert!(
-            CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // duplicate columns
-        assert!(
-            CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::<f64>::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
         // column out of range
         assert!(CsrMatrix::<f64>::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // valid
@@ -368,8 +412,7 @@ mod tests {
 
     #[test]
     fn prune_zeros_drops_explicit_zeros() {
-        let m =
-            CsrMatrix::from_raw(1, 3, vec![0, 3], vec![0, 1, 2], vec![1.0, 0.0, 2.0]).unwrap();
+        let m = CsrMatrix::from_raw(1, 3, vec![0, 3], vec![0, 1, 2], vec![1.0, 0.0, 2.0]).unwrap();
         let p = m.prune_zeros();
         assert_eq!(p.nnz(), 2);
         assert_eq!(p.get(0, 1), 0.0);

@@ -19,7 +19,11 @@ pub struct DenseMatrix<T: Scalar = f64> {
 impl<T: Scalar> DenseMatrix<T> {
     /// Zero-filled `rows × cols` matrix.
     pub fn zeros(rows: u32, cols: u32) -> Self {
-        Self { rows, cols, data: vec![T::ZERO; rows as usize * cols as usize] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows as usize * cols as usize],
+        }
     }
 
     /// Builds from a row-major data vector.
@@ -110,7 +114,11 @@ impl<T: Scalar> DenseMatrix<T> {
     /// Copies rows `r0..r1` into a new matrix.
     pub fn row_block(&self, r0: u32, r1: u32) -> Self {
         assert!(r0 <= r1 && r1 <= self.rows);
-        Self { rows: r1 - r0, cols: self.cols, data: self.rows_slice(r0, r1).to_vec() }
+        Self {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.rows_slice(r0, r1).to_vec(),
+        }
     }
 
     /// In-place `self += other`.
@@ -136,7 +144,11 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Frobenius norm (as `f64`).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum absolute element-wise difference to `other`.

@@ -33,7 +33,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) outside matrix of shape {rows}x{cols}"
             ),
@@ -59,7 +64,12 @@ mod tests {
 
     #[test]
     fn display_mentions_offending_indices() {
-        let err = SparseError::IndexOutOfBounds { row: 7, col: 9, rows: 4, cols: 4 };
+        let err = SparseError::IndexOutOfBounds {
+            row: 7,
+            col: 9,
+            rows: 4,
+            cols: 4,
+        };
         let s = err.to_string();
         assert!(s.contains("(7, 9)"));
         assert!(s.contains("4x4"));
@@ -67,7 +77,10 @@ mod tests {
 
     #[test]
     fn display_shape_mismatch() {
-        let err = SparseError::ShapeMismatch { left: (2, 3), right: (4, 5) };
+        let err = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert_eq!(err.to_string(), "shape mismatch: 2x3 vs 4x5");
     }
 

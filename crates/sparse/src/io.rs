@@ -30,13 +30,18 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> SparseResult<CooMatrix<f64>>
     }
     let pattern = h[3] == "pattern";
     if !(pattern || h[3] == "real" || h[3] == "integer") {
-        return Err(SparseError::InvalidCsr(format!("unsupported field type {}", h[3])));
+        return Err(SparseError::InvalidCsr(format!(
+            "unsupported field type {}",
+            h[3]
+        )));
     }
     let symmetric = match h[4].as_str() {
         "general" => false,
         "symmetric" => true,
         other => {
-            return Err(SparseError::InvalidCsr(format!("unsupported symmetry {other}")))
+            return Err(SparseError::InvalidCsr(format!(
+                "unsupported symmetry {other}"
+            )))
         }
     };
     // Skip comments, read the size line.
@@ -50,11 +55,12 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> SparseResult<CooMatrix<f64>>
         size_line = Some(t.to_string());
         break;
     }
-    let size_line =
-        size_line.ok_or_else(|| SparseError::InvalidCsr("missing size line".into()))?;
+    let size_line = size_line.ok_or_else(|| SparseError::InvalidCsr("missing size line".into()))?;
     let dims: Vec<&str> = size_line.split_whitespace().collect();
     if dims.len() != 3 {
-        return Err(SparseError::InvalidCsr(format!("bad size line: {size_line}")));
+        return Err(SparseError::InvalidCsr(format!(
+            "bad size line: {size_line}"
+        )));
     }
     let rows: u32 = parse(dims[0])?;
     let cols: u32 = parse(dims[1])?;
@@ -115,7 +121,8 @@ fn parse<T: std::str::FromStr>(s: &str) -> SparseResult<T>
 where
     T::Err: std::fmt::Display,
 {
-    s.parse::<T>().map_err(|e| SparseError::InvalidCsr(format!("cannot parse '{s}': {e}")))
+    s.parse::<T>()
+        .map_err(|e| SparseError::InvalidCsr(format!("cannot parse '{s}': {e}")))
 }
 
 fn io_err(e: std::io::Error) -> SparseError {
@@ -140,7 +147,9 @@ mod tests {
         let a = coo.to_csr();
         let mut buf = Vec::new();
         write_matrix_market(&a, &mut buf).unwrap();
-        let back = read_matrix_market(BufReader::new(buf.as_slice())).unwrap().to_csr();
+        let back = read_matrix_market(BufReader::new(buf.as_slice()))
+            .unwrap()
+            .to_csr();
         assert_eq!(a, back);
     }
 
@@ -179,23 +188,19 @@ mod tests {
         assert!(parse_str("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
         assert!(parse_str("%%MatrixMarket matrix coordinate real general\n2 2\n").is_err());
         assert!(
-            parse_str("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n")
-                .is_err(),
+            parse_str("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err(),
             "zero-based index must be rejected"
         );
         assert!(
-            parse_str("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
-                .is_err(),
+            parse_str("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n").is_err(),
             "count mismatch must be rejected"
         );
         assert!(
-            parse_str("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
-                .is_err(),
+            parse_str("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n").is_err(),
             "out-of-range index must be rejected"
         );
         assert!(
-            parse_str("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n")
-                .is_err()
+            parse_str("%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1.0\n").is_err()
         );
     }
 

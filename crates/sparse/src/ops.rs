@@ -55,7 +55,13 @@ fn merge<T: Scalar>(
         }
         indptr.push(indices.len());
     }
-    Ok(CsrMatrix::from_raw_unchecked(a.rows(), a.cols(), indptr, indices, values))
+    Ok(CsrMatrix::from_raw_unchecked(
+        a.rows(),
+        a.cols(),
+        indptr,
+        indices,
+        values,
+    ))
 }
 
 /// `Aᵀ` as a new CSR matrix, `O(nnz + n)`.

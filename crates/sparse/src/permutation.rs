@@ -27,7 +27,10 @@ impl Permutation {
     /// Identity permutation on `n` elements.
     pub fn identity(n: u32) -> Self {
         let pos: Vec<u32> = (0..n).collect();
-        Self { inv: pos.clone(), pos }
+        Self {
+            inv: pos.clone(),
+            pos,
+        }
     }
 
     /// Builds from `pos[v] = π(v)`, validating bijectivity.
@@ -62,7 +65,9 @@ impl Permutation {
                 )));
             }
             if pos[v as usize] != u32::MAX {
-                return Err(SparseError::InvalidPermutation(format!("vertex {v} placed twice")));
+                return Err(SparseError::InvalidPermutation(format!(
+                    "vertex {v} placed twice"
+                )));
             }
             pos[v as usize] = p as u32;
         }
@@ -107,7 +112,10 @@ impl Permutation {
 
     /// The inverse permutation.
     pub fn inverse(&self) -> Self {
-        Self { pos: self.inv.clone(), inv: self.pos.clone() }
+        Self {
+            pos: self.inv.clone(),
+            inv: self.pos.clone(),
+        }
     }
 
     /// Composition `(self ∘ other)(v) = self(other(v))`.
@@ -123,7 +131,9 @@ impl Permutation {
                 other.len()
             )));
         }
-        let pos: Vec<u32> = (0..other.len()).map(|v| self.pos[other.pos[v as usize] as usize]).collect();
+        let pos: Vec<u32> = (0..other.len())
+            .map(|v| self.pos[other.pos[v as usize] as usize])
+            .collect();
         Ok(Self::from_positions(pos).expect("composition of bijections is a bijection"))
     }
 

@@ -7,11 +7,7 @@ use proptest::prelude::*;
 /// (possibly duplicated) triplets.
 fn coo_strategy() -> impl Strategy<Value = CooMatrix<f64>> {
     (1u32..24, 1u32..24).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(
-            (0..rows, 0..cols, -4.0f64..4.0),
-            0..64,
-        )
-        .prop_map(move |trips| {
+        proptest::collection::vec((0..rows, 0..cols, -4.0f64..4.0), 0..64).prop_map(move |trips| {
             CooMatrix::from_triplets(rows, cols, trips).expect("in-bounds by construction")
         })
     })
@@ -162,5 +158,74 @@ proptest! {
         let lhs = spmm::spmm(&pap, &px).unwrap();
         let rhs = p.apply_rows(&spmm::spmm(&a, &x).unwrap()).unwrap();
         prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_equal_for_equal_matrices(coo in coo_strategy()) {
+        // The same content reached through different construction paths
+        // (COO → CSR, CSR → COO → CSR, raw arrays) hashes identically.
+        let a = coo.to_csr();
+        let via_coo = a.to_coo().to_csr();
+        prop_assert_eq!(a.fingerprint(), via_coo.fingerprint());
+        let rebuilt = CsrMatrix::from_raw(
+            a.rows(), a.cols(),
+            a.indptr().to_vec(), a.indices().to_vec(), a.values().to_vec(),
+        ).unwrap();
+        prop_assert_eq!(a.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_changes_on_perturbation(
+        (coo, seed) in coo_strategy().prop_flat_map(|c| (Just(c), any::<u64>()))
+    ) {
+        use rand::prelude::*;
+        let a = coo.to_csr();
+        if a.nnz() == 0 {
+            return Ok(());
+        }
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        // Perturb one stored value: the fingerprint must move.
+        let mut values = a.values().to_vec();
+        let idx = rng.gen_range(0..values.len());
+        values[idx] += 1.0;
+        let perturbed = CsrMatrix::from_raw(
+            a.rows(), a.cols(),
+            a.indptr().to_vec(), a.indices().to_vec(), values,
+        ).unwrap();
+        prop_assert_ne!(a.fingerprint(), perturbed.fingerprint());
+        // Shape changes move it too, even with identical arrays.
+        let widened = CsrMatrix::from_raw(
+            a.rows(), a.cols() + 1,
+            a.indptr().to_vec(), a.indices().to_vec(), a.values().to_vec(),
+        ).unwrap();
+        prop_assert_ne!(a.fingerprint(), widened.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_changes_under_permutation(
+        (n, seed) in (3u32..24).prop_flat_map(|n| (Just(n), any::<u64>()))
+    ) {
+        use rand::prelude::*;
+        use rand::seq::SliceRandom;
+        // A matrix whose rows are pairwise distinct: any non-identity
+        // symmetric permutation changes the content, so it must change
+        // the fingerprint.
+        let a = {
+            let mut coo = CooMatrix::new(n, n);
+            for v in 0..n {
+                coo.push(v, v, v as f64 + 1.0).unwrap();
+            }
+            coo.push(0, n - 1, 7.5).unwrap();
+            coo.to_csr()
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let p = Permutation::from_order(order).unwrap();
+        let permuted = p.apply_symmetric(&a).unwrap();
+        if permuted == a {
+            return Ok(()); // drew the identity (or a symmetry of A)
+        }
+        prop_assert_ne!(a.fingerprint(), permuted.fingerprint());
     }
 }

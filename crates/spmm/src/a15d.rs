@@ -12,9 +12,21 @@
 //! input — so iterations chain without data movement.
 
 use crate::layout::block_range;
-use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Group, Machine};
 use amd_sparse::{spmm, CsrMatrix, DenseMatrix, SparseError, SparseResult};
+
+/// The paper's replication choice for the 1.5D baseline: the largest
+/// divisor of `p` that is at most `⌊√p⌋` ("we use c = ⌊√p⌋ in our
+/// experiments", rounded to a divisor). Shared by the bench harness and
+/// the serving planner so benchmarked and served configurations match.
+pub fn best_c(p: u32) -> u32 {
+    let target = (p as f64).sqrt().floor() as u32;
+    (1..=target.max(1))
+        .rev()
+        .find(|c| p.is_multiple_of(*c))
+        .unwrap_or(1)
+}
 
 /// 1.5D A-stationary SpMM bound to a matrix.
 pub struct A15dSpmm {
@@ -43,7 +55,10 @@ impl A15dSpmm {
             });
         }
         assert!(p >= 1 && c >= 1, "need p, c >= 1");
-        assert!(p.is_multiple_of(c), "replication factor c = {c} must divide p = {p}");
+        assert!(
+            p.is_multiple_of(c),
+            "replication factor c = {c} must divide p = {p}"
+        );
         let n = a.rows();
         let grid_rows = p / c;
         let rb = n.div_ceil(grid_rows).max(1);
@@ -61,7 +76,16 @@ impl A15dSpmm {
             }
             tiles.push(mine);
         }
-        Ok(Self { n, p, c, grid_rows, rb, tiles_per_col, tiles, cost: CostModel::default() })
+        Ok(Self {
+            n,
+            p,
+            c,
+            grid_rows,
+            rb,
+            tiles_per_col,
+            tiles,
+            cost: CostModel::default(),
+        })
     }
 
     /// Overrides the cost model.
@@ -116,12 +140,11 @@ impl DistSpmm for A15dSpmm {
             for _ in 0..iters {
                 let mut partial = vec![0.0f64; my_rows * k as usize];
                 let mut tile_iter = self.tiles[rank as usize].iter();
-                for t in (j * self.tiles_per_col)
-                    ..((j + 1) * self.tiles_per_col).min(self.grid_rows)
+                for t in
+                    (j * self.tiles_per_col)..((j + 1) * self.tiles_per_col).min(self.grid_rows)
                 {
                     // Broadcast X tile t down grid column j from grid row t.
-                    let payload =
-                        if i == t { Some(x_cur.clone()) } else { None };
+                    let payload = if i == t { Some(x_cur.clone()) } else { None };
                     let xt = col_group.broadcast(ctx, t as usize, payload);
                     // Multiply the matching stationary submatrix.
                     if let Some((tt, sub)) = tile_iter.as_slice().first() {
@@ -130,9 +153,8 @@ impl DistSpmm for A15dSpmm {
                             let (c0, c1) = block_range(self.n, self.rb, t);
                             let xd = DenseMatrix::from_vec(c1 - c0, k, xt)
                                 .expect("broadcast tile has block shape");
-                            let mut pd =
-                                DenseMatrix::from_vec(r1 - r0, k, partial)
-                                    .expect("partial buffer sized to block");
+                            let mut pd = DenseMatrix::from_vec(r1 - r0, k, partial)
+                                .expect("partial buffer sized to block");
                             spmm::spmm_acc(sub, &xd, &mut pd)
                                 .expect("stationary tile shapes align");
                             ctx.compute_flops(spmm::spmm_flops(sub, k));
@@ -140,8 +162,11 @@ impl DistSpmm for A15dSpmm {
                         }
                     }
                 }
-                // Row-wise ring all-reduce leaves Y_i replicated like X was.
-                x_cur = row_group.allreduce_sum_ring(ctx, partial);
+                // Row-wise ring all-reduce leaves Y_i replicated like X
+                // was. Row-aligned chunks keep the reduction order
+                // independent of k, so batched multi-RHS runs bit-match
+                // single-column runs.
+                x_cur = row_group.allreduce_sum_ring_aligned(ctx, partial, k as usize);
                 apply_sigma(&mut x_cur, sigma);
             }
             // Grid column 0 returns the final blocks for host assembly.
@@ -159,7 +184,52 @@ impl DistSpmm for A15dSpmm {
             debug_assert_eq!(block.len(), ((r1 - r0) * k) as usize);
             y.data_mut()[(r0 * k) as usize..(r1 * k) as usize].copy_from_slice(block);
         }
-        Ok(SpmmRun { y, stats: report.stats, iters })
+        Ok(SpmmRun {
+            y,
+            stats: report.stats,
+            iters,
+        })
+    }
+
+    fn predict_volume(&self, k: u32) -> CommEstimate {
+        let kb = 8.0 * k as f64;
+        let g = self.grid_rows as usize;
+        let mut est = CommEstimate::default();
+        for rank in 0..self.p {
+            let (i, j) = (rank / self.c, rank % self.c);
+            let (r0, r1) = block_range(self.n, self.rb, i);
+            let my_bytes = (r1 - r0) as f64 * kb;
+            let mut bytes = 0.0;
+            let mut msgs = 0.0;
+            // Per-round broadcast of X tile t down grid column j from grid
+            // row t (binomial over the grid_rows members).
+            for t in (j * self.tiles_per_col)..((j + 1) * self.tiles_per_col).min(self.grid_rows) {
+                let (t0, t1) = block_range(self.n, self.rb, t);
+                let tile_bytes = (t1 - t0) as f64 * kb;
+                let vr = ((i + self.grid_rows - t) % self.grid_rows) as usize;
+                let children = binomial_children(vr, g) as f64;
+                bytes += children * tile_bytes;
+                msgs += children;
+                if vr != 0 {
+                    bytes += tile_bytes;
+                    msgs += 1.0;
+                }
+            }
+            // Ring all-reduce across the c-member grid row: each member
+            // sends and receives 2·(c−1)/c of the payload in 2·(c−1)
+            // messages each way.
+            if self.c > 1 {
+                let frac = 2.0 * (self.c - 1) as f64 / self.c as f64;
+                bytes += 2.0 * frac * my_bytes;
+                msgs += 4.0 * (self.c - 1) as f64;
+            }
+            let flops: f64 = self.tiles[rank as usize]
+                .iter()
+                .map(|(_, sub)| spmm::spmm_flops(sub, k))
+                .sum();
+            est.envelope(bytes, msgs, flops);
+        }
+        est
     }
 }
 
@@ -173,9 +243,7 @@ mod tests {
 
     fn check(a: &CsrMatrix<f64>, p: u32, c: u32, k: u32, iters: u32) {
         let alg = A15dSpmm::new(a, p, c).unwrap();
-        let x = DenseMatrix::from_fn(a.rows(), k, |r, cc| {
-            (((r * 13 + cc * 7) % 11) as f64) - 5.0
-        });
+        let x = DenseMatrix::from_fn(a.rows(), k, |r, cc| (((r * 13 + cc * 7) % 11) as f64) - 5.0);
         let run = alg.run(&x, iters).unwrap();
         let expected = iterated_spmm(a, &x, iters).unwrap();
         let err = run.y.max_abs_diff(&expected).unwrap();
@@ -197,6 +265,17 @@ mod tests {
         let a: CsrMatrix<f64> = random::random_tree(100, &mut rng).to_adjacency();
         check(&a, 6, 2, 4, 2);
         check(&a, 9, 3, 2, 1);
+    }
+
+    #[test]
+    fn zero_column_operand_returns_empty_result() {
+        // k = 0 means empty ring payloads on every rank; the run must
+        // return an empty Y, not panic in the aligned all-reduce.
+        let a: CsrMatrix<f64> = basic::grid_2d(6, 6).to_adjacency();
+        let alg = A15dSpmm::new(&a, 4, 2).unwrap();
+        let run = alg.run(&DenseMatrix::zeros(36, 0), 1).unwrap();
+        assert_eq!(run.y.rows(), 36);
+        assert_eq!(run.y.cols(), 0);
     }
 
     #[test]

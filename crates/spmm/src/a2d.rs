@@ -21,7 +21,7 @@
 //! implementation makes measurable.
 
 use crate::layout::{block_range, even_ranges};
-use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Group, Machine};
 use amd_sparse::{spmm, CsrMatrix, DenseMatrix, SparseError, SparseResult};
 
@@ -49,7 +49,10 @@ impl A2dSpmm {
             });
         }
         let q = (p as f64).sqrt().round() as u32;
-        assert!(q * q == p, "2D A-stationary needs a square rank count, got {p}");
+        assert!(
+            q * q == p,
+            "2D A-stationary needs a square rank count, got {p}"
+        );
         let n = a.rows();
         let rb = n.div_ceil(q).max(1);
         let mut tiles = Vec::with_capacity(p as usize);
@@ -59,7 +62,14 @@ impl A2dSpmm {
             let (c0, c1) = block_range(n, rb, c);
             tiles.push(a.submatrix(r0, r1, c0, c1));
         }
-        Ok(Self { n, p, q, rb, tiles, cost: CostModel::default() })
+        Ok(Self {
+            n,
+            p,
+            q,
+            rb,
+            tiles,
+            cost: CostModel::default(),
+        })
     }
 
     /// Overrides the cost model.
@@ -142,7 +152,9 @@ impl DistSpmm for A2dSpmm {
                         let xd = DenseMatrix::from_vec(ac1 - ac0, fk, xt)
                             .expect("broadcast tile has block shape");
                         ctx.compute_flops(spmm::spmm_flops(a_tile, fk));
-                        spmm::spmm(a_tile, &xd).expect("2D tile shapes align").into_vec()
+                        spmm::spmm(a_tile, &xd)
+                            .expect("2D tile shapes align")
+                            .into_vec()
                     } else {
                         vec![0.0; my_rows * fk as usize]
                     };
@@ -171,7 +183,64 @@ impl DistSpmm for A2dSpmm {
                     .copy_from_slice(&block[i * w..(i + 1) * w]);
             }
         }
-        Ok(SpmmRun { y, stats: report.stats, iters })
+        Ok(SpmmRun {
+            y,
+            stats: report.stats,
+            iters,
+        })
+    }
+
+    fn predict_volume(&self, k: u32) -> CommEstimate {
+        let q = self.q;
+        let qs = q as usize;
+        let col_ranges = even_ranges(k, q);
+        let mut est = CommEstimate::default();
+        for rank in 0..self.p {
+            let (r, c) = (rank / q, rank % q);
+            let (r0, r1) = block_range(self.n, self.rb, r);
+            let my_rows = (r1 - r0) as f64;
+            let (ac0, ac1) = block_range(self.n, self.rb, c);
+            let bcast_rows = (ac1 - ac0) as f64;
+            let mut bytes = 0.0;
+            let mut msgs = 0.0;
+            let mut flops = 0.0;
+            for f in 0..q {
+                let (f0, f1) = col_ranges[f as usize];
+                let fkb = 8.0 * (f1 - f0) as f64;
+                // 1. Route X(r, f) to the diagonal of grid column r.
+                if c == f && r != c {
+                    bytes += my_rows * fkb;
+                    msgs += 1.0;
+                }
+                if r == c && c != f {
+                    bytes += my_rows * fkb;
+                    msgs += 1.0;
+                }
+                // 2. Broadcast X(c, f) down grid column c from the
+                //    diagonal member (group index c).
+                let vr = ((r + q - c) % q) as usize;
+                let children = binomial_children(vr, qs) as f64;
+                bytes += children * bcast_rows * fkb;
+                msgs += children;
+                if vr != 0 {
+                    bytes += bcast_rows * fkb;
+                    msgs += 1.0;
+                }
+                // 3. Partial product A(r, c) · X(c, f).
+                flops += spmm::spmm_flops(&self.tiles[rank as usize], f1 - f0);
+                // 4. Reduce across the grid row onto member f.
+                let rvr = ((c + q - f) % q) as usize;
+                let rchildren = binomial_children(rvr, qs) as f64;
+                bytes += rchildren * my_rows * fkb;
+                msgs += rchildren;
+                if rvr != 0 {
+                    bytes += my_rows * fkb;
+                    msgs += 1.0;
+                }
+            }
+            est.envelope(bytes, msgs, flops);
+        }
+        est
     }
 }
 
@@ -185,8 +254,7 @@ mod tests {
 
     fn check(a: &CsrMatrix<f64>, p: u32, k: u32, iters: u32) {
         let alg = A2dSpmm::new(a, p).unwrap();
-        let x =
-            DenseMatrix::from_fn(a.rows(), k, |r, c| (((r * 11 + c * 3) % 13) as f64) - 6.0);
+        let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r * 11 + c * 3) % 13) as f64) - 6.0);
         let run = alg.run(&x, iters).unwrap();
         let expected = iterated_spmm(a, &x, iters).unwrap();
         let err = run.y.max_abs_diff(&expected).unwrap();

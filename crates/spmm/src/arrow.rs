@@ -18,7 +18,7 @@
 //!    order, so iterations chain with no extra movement).
 
 use crate::layout::{block_count, block_range};
-use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Group, Machine, RankCtx};
 use amd_sparse::{spmm, DenseMatrix, SparseError, SparseResult};
 use arrow_core::{ArrowDecomposition, ArrowMatrix};
@@ -133,22 +133,40 @@ impl ArrowSpmm {
                 // Forward: src (level j) sends to dst (level j+1).
                 levels[j].rank_plans[(src - off_j) as usize]
                     .fwd_sends
-                    .push(Route { peer: dst, local_rows: local_rows.clone() });
+                    .push(Route {
+                        peer: dst,
+                        local_rows: local_rows.clone(),
+                    });
                 levels[j + 1].rank_plans[(dst - off_n) as usize]
                     .fwd_recvs
-                    .push(Route { peer: src, local_rows: peer_rows.clone() });
+                    .push(Route {
+                        peer: src,
+                        local_rows: peer_rows.clone(),
+                    });
                 // Backward: dst (level j+1) sends Y back to src (level j).
                 levels[j + 1].rank_plans[(dst - off_n) as usize]
                     .bwd_sends
-                    .push(Route { peer: src, local_rows: peer_rows });
+                    .push(Route {
+                        peer: src,
+                        local_rows: peer_rows,
+                    });
                 levels[j].rank_plans[(src - off_j) as usize]
                     .bwd_recvs
-                    .push(Route { peer: dst, local_rows });
+                    .push(Route {
+                        peer: dst,
+                        local_rows,
+                    });
             }
         }
-        let level0_vertices: Vec<u32> =
-            (0..n).map(|p| d.levels()[0].perm.vertex_at(p)).collect();
-        Ok(Self { n, b, total_ranks, levels, level0_vertices, cost: CostModel::default() })
+        let level0_vertices: Vec<u32> = (0..n).map(|p| d.levels()[0].perm.vertex_at(p)).collect();
+        Ok(Self {
+            n,
+            b,
+            total_ranks,
+            levels,
+            level0_vertices,
+            cost: CostModel::default(),
+        })
     }
 
     /// Overrides the cost model.
@@ -191,7 +209,11 @@ fn arrow_multiply(
     let d0 = group.broadcast(
         ctx,
         0,
-        if my_i == 0 { Some(d_block.to_vec()) } else { None },
+        if my_i == 0 {
+            Some(d_block.to_vec())
+        } else {
+            None
+        },
     );
     let (z0, z1) = block_range(level.active_n, level.arrow.b(), 0);
     let d0_rows = z1 - z0;
@@ -200,10 +222,11 @@ fn arrow_multiply(
     // Row-arm partial B(0,i) · D(i), reduced to rank 0 (lines 2–3).
     let row_tile = level.arrow.row_tile(my_i);
     let partial0 = if my_rows > 0 {
-        let d_mat =
-            DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
+        let d_mat = DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
         ctx.compute_flops(spmm::spmm_flops(row_tile, k));
-        spmm::spmm(row_tile, &d_mat).expect("row tile shapes align").into_vec()
+        spmm::spmm(row_tile, &d_mat)
+            .expect("row tile shapes align")
+            .into_vec()
     } else {
         vec![0.0; (d0_rows * k) as usize]
     };
@@ -218,8 +241,7 @@ fn arrow_multiply(
         ctx.compute_flops(spmm::spmm_flops(col_tile, k));
         spmm::spmm_acc(col_tile, &d0_mat, &mut c).expect("column tile shapes align");
         let diag_tile = level.arrow.diag_tile(my_i);
-        let d_mat =
-            DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
+        let d_mat = DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
         ctx.compute_flops(spmm::spmm_flops(diag_tile, k));
         spmm::spmm_acc(diag_tile, &d_mat, &mut c).expect("diagonal tile shapes align");
         c.into_vec()
@@ -339,10 +361,67 @@ impl DistSpmm for ArrowSpmm {
             let block = &report.results[(level0.offset + i) as usize];
             for (offset, p) in (r0..r1).enumerate() {
                 let v = self.level0_vertices[p as usize];
-                y.row_mut(v).copy_from_slice(&block[offset * kk..(offset + 1) * kk]);
+                y.row_mut(v)
+                    .copy_from_slice(&block[offset * kk..(offset + 1) * kk]);
             }
         }
-        Ok(SpmmRun { y, stats: report.stats, iters })
+        Ok(SpmmRun {
+            y,
+            stats: report.stats,
+            iters,
+        })
+    }
+
+    fn predict_volume(&self, k: u32) -> CommEstimate {
+        let kb = 8.0 * k as f64;
+        let mut est = CommEstimate::default();
+        for level in &self.levels {
+            let nb = level.nb as usize;
+            // D(0) block height: the payload of the level's broadcast and
+            // reduction (Algorithm 1).
+            let (z0, z1) = block_range(level.active_n, self.b, 0);
+            let d0_bytes = (z1 - z0) as f64 * kb;
+            for (i, plan) in level.rank_plans.iter().enumerate() {
+                let mut bytes = 0.0;
+                let mut msgs = 0.0;
+                // Point-to-point propagation/aggregation routes: exact.
+                for route in plan
+                    .fwd_sends
+                    .iter()
+                    .chain(&plan.fwd_recvs)
+                    .chain(&plan.bwd_sends)
+                    .chain(&plan.bwd_recvs)
+                {
+                    bytes += route.local_rows.len() as f64 * kb;
+                    msgs += 1.0;
+                }
+                // Broadcast of D(0): member i relays `children` copies and
+                // receives one (none for the root).
+                let children = binomial_children(i, nb) as f64;
+                bytes += children * d0_bytes;
+                msgs += children;
+                if i > 0 {
+                    bytes += d0_bytes;
+                    msgs += 1.0;
+                }
+                // Reduction of the row-arm partials to the level root:
+                // mirrored tree — receive `children` partials, send one.
+                bytes += children * d0_bytes;
+                msgs += children;
+                if i > 0 {
+                    bytes += d0_bytes;
+                    msgs += 1.0;
+                }
+                // Local tile multiplies (Algorithm 1, lines 2–6).
+                let mut flops = spmm::spmm_flops(level.arrow.row_tile(i as u32), k);
+                if i > 0 {
+                    flops += spmm::spmm_flops(level.arrow.col_tile(i as u32), k);
+                    flops += spmm::spmm_flops(level.arrow.diag_tile(i as u32), k);
+                }
+                est.envelope(bytes, msgs, flops);
+            }
+        }
+        est
     }
 }
 
@@ -357,17 +436,19 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn decompose(a: &CsrMatrix<f64>, b: u32, seed: u64) -> ArrowDecomposition {
-        la_decompose(a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(seed))
-            .unwrap()
+        la_decompose(
+            a,
+            &DecomposeConfig::with_width(b),
+            &mut RandomForestLa::new(seed),
+        )
+        .unwrap()
     }
 
     fn check(a: &CsrMatrix<f64>, b: u32, k: u32, iters: u32) -> SpmmRun {
         let d = decompose(a, b, 42);
         assert_eq!(d.validate(a).unwrap(), 0.0);
         let alg = ArrowSpmm::new(&d).unwrap();
-        let x = DenseMatrix::from_fn(a.rows(), k, |r, c| {
-            (((r * 5 + c * 3) % 9) as f64) - 4.0
-        });
+        let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r * 5 + c * 3) % 9) as f64) - 4.0);
         let run = alg.run(&x, iters).unwrap();
         let expected = iterated_spmm(a, &x, iters).unwrap();
         let err = run.y.max_abs_diff(&expected).unwrap();
@@ -438,8 +519,12 @@ mod tests {
     #[test]
     fn empty_decomposition_rejected() {
         let a = CsrMatrix::<f64>::zeros(4, 4);
-        let d = la_decompose(&a, &DecomposeConfig::with_width(2), &mut RandomForestLa::new(1))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(2),
+            &mut RandomForestLa::new(1),
+        )
+        .unwrap();
         assert!(ArrowSpmm::new(&d).is_err());
     }
 

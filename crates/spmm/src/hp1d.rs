@@ -13,7 +13,7 @@
 //! rows" metric; on star-heavy graphs it degenerates to nearly all of `X`
 //! for the hub's part, which is the scaling failure the paper reports.
 
-use crate::traits::{apply_sigma, DistSpmm, Sigma, SpmmRun};
+use crate::traits::{apply_sigma, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Machine};
 use amd_partition::Partition;
 use amd_sparse::{spmm, CooMatrix, CsrMatrix, DenseMatrix, Permutation, SparseError, SparseResult};
@@ -48,7 +48,11 @@ impl Hp1dSpmm {
                 right: (a.cols(), a.rows()),
             });
         }
-        assert_eq!(partition.n(), a.rows(), "partition size must match the matrix");
+        assert_eq!(
+            partition.n(),
+            a.rows(),
+            "partition size must match the matrix"
+        );
         let n = a.rows();
         let p = partition.parts;
         let pi = partition.to_permutation();
@@ -59,9 +63,7 @@ impl Hp1dSpmm {
         for s in &sizes {
             starts.push(starts.last().unwrap() + s);
         }
-        let owner_of = |row: u32| -> u32 {
-            (starts.partition_point(|&s| s <= row) - 1) as u32
-        };
+        let owner_of = |row: u32| -> u32 { (starts.partition_point(|&s| s <= row) - 1) as u32 };
         let mut a_local = Vec::with_capacity(p as usize);
         let mut a_ext = Vec::with_capacity(p as usize);
         let mut fetches: Vec<Vec<(u32, Vec<u32>)>> = Vec::with_capacity(p as usize);
@@ -81,7 +83,9 @@ impl Hp1dSpmm {
             ext_cols.sort_unstable();
             ext_cols.dedup();
             let col_index = |c: u32| -> u32 {
-                ext_cols.binary_search(&c).expect("external column collected") as u32
+                ext_cols
+                    .binary_search(&c)
+                    .expect("external column collected") as u32
             };
             let mut local = CooMatrix::new(e - s, e - s);
             let mut ext = CooMatrix::new(e - s, ext_cols.len().max(1) as u32);
@@ -179,17 +183,14 @@ impl DistSpmm for Hp1dSpmm {
                     let mut buf = Vec::with_capacity(req_rows.len() * k as usize);
                     for &q in req_rows {
                         let local = (q - s) as usize;
-                        buf.extend_from_slice(
-                            &x_cur[local * k as usize..(local + 1) * k as usize],
-                        );
+                        buf.extend_from_slice(&x_cur[local * k as usize..(local + 1) * k as usize]);
                     }
                     ctx.send(*requester, tag, buf);
                 }
                 // 2. Local SpMM overlaps with the transfers.
-                let xd = DenseMatrix::from_vec(e - s, k, x_cur.clone())
-                    .expect("own block shape");
-                let mut partial = spmm::spmm(&self.a_local[rank as usize], &xd)
-                    .expect("local tile shapes align");
+                let xd = DenseMatrix::from_vec(e - s, k, x_cur.clone()).expect("own block shape");
+                let mut partial =
+                    spmm::spmm(&self.a_local[rank as usize], &xd).expect("local tile shapes align");
                 ctx.compute_flops(spmm::spmm_flops(&self.a_local[rank as usize], k));
                 // 3. Receive external rows (ascending owner = ascending
                 //    compact index) and run the non-local SpMM.
@@ -203,8 +204,7 @@ impl DistSpmm for Hp1dSpmm {
                 if !ext_x.is_empty() {
                     let ed = DenseMatrix::from_vec(a_ext.cols(), k, ext_x)
                         .expect("external block shape");
-                    spmm::spmm_acc(a_ext, &ed, &mut partial)
-                        .expect("external tile shapes align");
+                    spmm::spmm_acc(a_ext, &ed, &mut partial).expect("external tile shapes align");
                     ctx.compute_flops(spmm::spmm_flops(a_ext, k));
                 }
                 x_cur = partial.into_vec();
@@ -223,7 +223,34 @@ impl DistSpmm for Hp1dSpmm {
                     .copy_from_slice(&block[offset * k as usize..(offset + 1) * k as usize]);
             }
         }
-        Ok(SpmmRun { y, stats: report.stats, iters })
+        Ok(SpmmRun {
+            y,
+            stats: report.stats,
+            iters,
+        })
+    }
+
+    fn predict_volume(&self, k: u32) -> CommEstimate {
+        let kb = 8.0 * k as f64;
+        let mut est = CommEstimate::default();
+        for rank in 0..self.p as usize {
+            // Point-to-point fetch/serve lists: exact byte and message
+            // counts straight from the plan.
+            let mut bytes = 0.0;
+            let mut msgs = 0.0;
+            for (_, rows) in &self.serves[rank] {
+                bytes += rows.len() as f64 * kb;
+                msgs += 1.0;
+            }
+            for (_, rows) in &self.fetches[rank] {
+                bytes += rows.len() as f64 * kb;
+                msgs += 1.0;
+            }
+            let flops =
+                spmm::spmm_flops(&self.a_local[rank], k) + spmm::spmm_flops(&self.a_ext[rank], k);
+            est.envelope(bytes, msgs, flops);
+        }
+        est
     }
 }
 

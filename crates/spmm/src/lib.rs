@@ -32,8 +32,8 @@ pub mod storage;
 pub mod traits;
 pub mod verify;
 
-pub use a15d::A15dSpmm;
+pub use a15d::{best_c, A15dSpmm};
 pub use a2d::A2dSpmm;
 pub use arrow::ArrowSpmm;
 pub use hp1d::Hp1dSpmm;
-pub use traits::{DistSpmm, SpmmRun};
+pub use traits::{CommEstimate, DistSpmm, SpmmRun};

@@ -62,7 +62,11 @@ pub fn arrow_storage(d: &ArrowDecomposition, k: u32) -> StorageReport {
             max_per_rank = max_per_rank.max(s + dense);
         }
     }
-    StorageReport { sparse_total, dense_total, max_per_rank }
+    StorageReport {
+        sparse_total,
+        dense_total,
+        max_per_rank,
+    }
 }
 
 /// Storage of the 1.5D A-stationary layout: each rank holds its `A` tile,
@@ -85,7 +89,11 @@ pub fn a15d_storage(a: &CsrMatrix<f64>, p: u32, c: u32, k: u32) -> StorageReport
         dense_total += dense;
         max_per_rank = max_per_rank.max(s + dense);
     }
-    StorageReport { sparse_total, dense_total, max_per_rank }
+    StorageReport {
+        sparse_total,
+        dense_total,
+        max_per_rank,
+    }
 }
 
 #[cfg(test)]
@@ -154,8 +162,12 @@ mod tests {
             high.dense_total,
             low.dense_total
         );
-        let d = la_decompose(&a, &DecomposeConfig::with_width(n / p), &mut RandomForestLa::new(3))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(n / p),
+            &mut RandomForestLa::new(3),
+        )
+        .unwrap();
         let arrow = arrow_storage(&d, k);
         assert!(
             arrow.dense_total < high.dense_total,
@@ -169,8 +181,12 @@ mod tests {
     #[test]
     fn max_per_rank_bounded_by_total() {
         let a = mawi(4096);
-        let d = la_decompose(&a, &DecomposeConfig::with_width(512), &mut RandomForestLa::new(1))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(512),
+            &mut RandomForestLa::new(1),
+        )
+        .unwrap();
         let rep = arrow_storage(&d, 8);
         assert!(rep.max_per_rank <= rep.total());
         assert!(rep.max_per_rank > 0);

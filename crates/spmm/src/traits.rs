@@ -1,6 +1,6 @@
 //! The common interface of the distributed SpMM algorithms.
 
-use amd_comm::MachineStats;
+use amd_comm::{CostModel, MachineStats};
 use amd_sparse::{DenseMatrix, SparseResult};
 
 /// Result of a distributed run.
@@ -33,6 +33,43 @@ impl SpmmRun {
 /// object-safe and the closure `Send`-free.
 pub type Sigma = fn(f64) -> f64;
 
+/// Predicted per-iteration cost of one multiply iteration, derived from
+/// an algorithm's *planned* distribution without running it.
+///
+/// Components are per-rank envelopes: each field is the maximum over
+/// ranks, taken independently (so the triple is an upper envelope — the
+/// byte maximum and the message maximum may be attained by different
+/// ranks). The serving engine's planner ranks algorithms by
+/// [`predicted_seconds`](CommEstimate::predicted_seconds) under a
+/// [`CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommEstimate {
+    /// Largest per-rank communication volume (sent + received bytes).
+    pub max_rank_bytes: f64,
+    /// Largest per-rank message count (sent + received).
+    pub max_rank_messages: f64,
+    /// Largest per-rank floating-point work.
+    pub max_rank_flops: f64,
+}
+
+impl CommEstimate {
+    /// α-β-γ prediction: `α·messages + β·bytes + flops/rate`.
+    pub fn predicted_seconds(&self, cost: &CostModel) -> f64 {
+        cost.alpha * self.max_rank_messages
+            + cost.beta * self.max_rank_bytes
+            + cost.compute_time(self.max_rank_flops)
+    }
+
+    /// Accumulates another rank's totals into the envelope.
+    pub fn envelope(&mut self, bytes: f64, messages: f64, flops: f64) {
+        self.max_rank_bytes = self.max_rank_bytes.max(bytes);
+        self.max_rank_messages = self.max_rank_messages.max(messages);
+        self.max_rank_flops = self.max_rank_flops.max(flops);
+    }
+}
+
+pub use amd_comm::binomial_children;
+
 /// A distributed SpMM algorithm bound to a fixed sparse matrix.
 pub trait DistSpmm {
     /// Algorithm label for reports (e.g. `"arrow b=1024"`).
@@ -57,6 +94,13 @@ pub trait DistSpmm {
     fn run(&self, x: &DenseMatrix<f64>, iters: u32) -> SparseResult<SpmmRun> {
         self.run_sigma(x, iters, None)
     }
+
+    /// Predicts the per-iteration communication and compute of `run` with
+    /// a `k`-column operand, from the planned distribution alone (no
+    /// machine is spun up). Point-to-point routes are counted exactly;
+    /// collective traffic follows the binomial-tree / ring shapes of
+    /// `amd_comm::Group`.
+    fn predict_volume(&self, k: u32) -> CommEstimate;
 }
 
 /// Applies an optional σ in place to a block buffer.

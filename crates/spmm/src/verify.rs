@@ -28,7 +28,11 @@ pub fn assert_matches_reference(
 ) {
     let err = deviation_from_reference(alg, a, k, iters)
         .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
-    assert!(err <= tol, "{} deviates from reference by {err}", alg.name());
+    assert!(
+        err <= tol,
+        "{} deviates from reference by {err}",
+        alg.name()
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! Calibration tests: `predict_volume` must track the simulator's
+//! measured per-rank volumes within a small constant factor — the
+//! property the serving engine's planner relies on to rank algorithms.
+
+use amd_graph::generators::{basic, datasets};
+use amd_partition::{hype_partition, HypeConfig};
+use amd_sparse::{CsrMatrix, DenseMatrix};
+use amd_spmm::{A15dSpmm, A2dSpmm, ArrowSpmm, DistSpmm, Hp1dSpmm};
+use arrow_core::{la_decompose, DecomposeConfig, RandomForestLa};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Measured max per-rank volume per iteration vs the prediction.
+fn check(alg: &dyn DistSpmm, a: &CsrMatrix<f64>, k: u32, lo: f64, hi: f64) {
+    let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r + c) % 7) as f64) - 3.0);
+    let iters = 2;
+    let run = alg.run(&x, iters).unwrap();
+    let measured = run.volume_per_iter();
+    let predicted = alg.predict_volume(k).max_rank_bytes;
+    if measured == 0.0 {
+        assert_eq!(
+            predicted,
+            0.0,
+            "{}: predicted traffic on a silent run",
+            alg.name()
+        );
+        return;
+    }
+    let ratio = predicted / measured;
+    assert!(
+        (lo..hi).contains(&ratio),
+        "{}: predicted {predicted:.0} B vs measured {measured:.0} B (ratio {ratio:.2})",
+        alg.name()
+    );
+}
+
+fn dataset(n: u32) -> CsrMatrix<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    datasets::DatasetKind::GenBank
+        .generate(n, &mut rng)
+        .to_adjacency()
+}
+
+#[test]
+fn arrow_prediction_tracks_measurement() {
+    let a = dataset(900);
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(64),
+        &mut RandomForestLa::new(5),
+    )
+    .unwrap();
+    let alg = ArrowSpmm::new(&d).unwrap();
+    check(&alg, &a, 8, 0.5, 4.0);
+}
+
+#[test]
+fn a15d_prediction_tracks_measurement() {
+    let a = dataset(800);
+    for (p, c) in [(8u32, 2u32), (16, 4), (6, 1)] {
+        let alg = A15dSpmm::new(&a, p, c).unwrap();
+        check(&alg, &a, 8, 0.5, 4.0);
+    }
+}
+
+#[test]
+fn a2d_prediction_tracks_measurement() {
+    let a = dataset(800);
+    for p in [4u32, 16] {
+        let alg = A2dSpmm::new(&a, p).unwrap();
+        check(&alg, &a, 8, 0.5, 4.0);
+    }
+}
+
+#[test]
+fn hp1d_prediction_is_exact() {
+    let g = basic::grid_2d(25, 25);
+    let a: CsrMatrix<f64> = g.to_adjacency();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let part = hype_partition(&g, 4, &HypeConfig::default(), &mut rng);
+    let alg = Hp1dSpmm::new(&a, &part).unwrap();
+    // Pure point-to-point: the plan-derived count is exact.
+    check(&alg, &a, 8, 0.999, 1.001);
+}

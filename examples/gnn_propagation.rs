@@ -61,9 +61,8 @@ fn main() {
     let arrow = ArrowSpmm::new(&d).expect("arrow plan");
     let arrow_run = arrow.run_sigma(&x0, layers, Some(relu)).expect("arrow run");
     let p = arrow.ranks();
-    let baseline = A15dSpmm::new(&a_hat, p - (p % 4), 4.min(p)).or_else(|_| {
-        A15dSpmm::new(&a_hat, p, 1)
-    });
+    let baseline =
+        A15dSpmm::new(&a_hat, p - (p % 4), 4.min(p)).or_else(|_| A15dSpmm::new(&a_hat, p, 1));
     println!("\nper-layer communication bills ({p} ranks):");
     println!(
         "  arrow : {:.3} ms simulated, {:.1} KiB max volume",
@@ -85,5 +84,8 @@ fn main() {
         "\ndistributed σ-chain check vs sequential Eq. 1: max |Δ| = {:.2e}",
         arrow_run.y.max_abs_diff(&truth).unwrap()
     );
-    println!("final feature Frobenius norm = {:.4}", truth.frobenius_norm());
+    println!(
+        "final feature Frobenius norm = {:.4}",
+        truth.frobenius_norm()
+    );
 }

@@ -45,7 +45,10 @@ fn main() {
         &mut RandomForestLa::new(3),
     )
     .expect("decompose");
-    println!("decomposition order = {} (computed once, reused every iteration)", d.order());
+    println!(
+        "decomposition order = {} (computed once, reused every iteration)",
+        d.order()
+    );
 
     // Block power iteration with 4 probe vectors.
     let k = 4;

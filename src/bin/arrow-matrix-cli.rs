@@ -5,14 +5,20 @@
 //! arrow-matrix-cli info <matrix.mtx>
 //! arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]
 //! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]
+//! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]
 //! ```
 //!
 //! Mirrors the paper's artifact workflow: generate (or download) a
 //! SuiteSparse-format matrix, decompose it once, persist the
-//! decomposition, and run distributed multiplies against it.
+//! decomposition, and run distributed multiplies against it. `serve`
+//! goes one step further: it stands up the `amd-engine` serving engine —
+//! decomposition cache, cost-model planner, request batcher — drives a
+//! synthetic query stream through it, and reports batched vs unbatched
+//! throughput.
 
 use arrow_matrix::core::stats::DecompositionStats;
 use arrow_matrix::core::{la_decompose, persist, DecomposeConfig, RandomForestLa};
+use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
 use arrow_matrix::graph::degree::DegreeStats;
 use arrow_matrix::graph::generators::datasets::DatasetKind;
 use arrow_matrix::graph::Graph;
@@ -32,12 +38,14 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("decompose") => cmd_decompose(&args[1..]),
         Some("multiply") => cmd_multiply(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]\n  \
                  arrow-matrix-cli info <matrix.mtx>\n  \
                  arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]\n  \
-                 arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]\n\
+                 arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]\n  \
+                 arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]\n\
                  datasets: mawi genbank webbase osm gap-twitter sk-2005"
             );
             return ExitCode::from(2);
@@ -76,7 +84,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     };
     let kind = kind_by_name(kind)?;
     let n: u32 = n.parse().map_err(|e| format!("bad n: {e}"))?;
-    let seed: u64 = rest.first().map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let seed: u64 = rest
+        .first()
+        .map_or(Ok(42), |s| s.parse())
+        .map_err(|e| format!("bad seed: {e}"))?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let g = kind.generate(n, &mut rng);
     let a: CsrMatrix<f64> = g.to_adjacency();
@@ -126,10 +137,17 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     };
     let a = load_matrix(input)?;
     let b: u32 = b.parse().map_err(|e| format!("bad b: {e}"))?;
-    let seed: u64 = rest.first().map_or(Ok(42), |s| s.parse()).map_err(|e| format!("bad seed: {e}"))?;
+    let seed: u64 = rest
+        .first()
+        .map_or(Ok(42), |s| s.parse())
+        .map_err(|e| format!("bad seed: {e}"))?;
     let t0 = std::time::Instant::now();
-    let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(seed))
-        .map_err(|e| e.to_string())?;
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(b),
+        &mut RandomForestLa::new(seed),
+    )
+    .map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
     let err = d.validate(&a).map_err(|e| e.to_string())?;
     if err != 0.0 {
@@ -156,17 +174,30 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
     let file = File::open(damd).map_err(|e| format!("open {damd}: {e}"))?;
     let d = persist::load(BufReader::new(file)).map_err(|e| e.to_string())?;
     if d.n() != a.rows() {
-        return Err(format!("decomposition is for n = {}, matrix has n = {}", d.n(), a.rows()));
+        return Err(format!(
+            "decomposition is for n = {}, matrix has n = {}",
+            d.n(),
+            a.rows()
+        ));
     }
-    let k: u32 = rest.first().map_or(Ok(32), |s| s.parse()).map_err(|e| format!("bad k: {e}"))?;
-    let iters: u32 =
-        rest.get(1).map_or(Ok(5), |s| s.parse()).map_err(|e| format!("bad iters: {e}"))?;
+    let k: u32 = rest
+        .first()
+        .map_or(Ok(32), |s| s.parse())
+        .map_err(|e| format!("bad k: {e}"))?;
+    let iters: u32 = rest
+        .get(1)
+        .map_or(Ok(5), |s| s.parse())
+        .map_err(|e| format!("bad iters: {e}"))?;
     let alg = ArrowSpmm::new(&d).map_err(|e| e.to_string())?;
     let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r * 31 + c * 7) % 17) as f64) / 17.0);
-    println!("running {} on {} ranks, k = {k}, {iters} iterations…", alg.name(), alg.ranks());
+    println!(
+        "running {} on {} ranks, k = {k}, {iters} iterations…",
+        alg.name(),
+        alg.ranks()
+    );
     let run = alg.run(&x, iters).map_err(|e| e.to_string())?;
-    let reference = arrow_matrix::spmm::reference::iterated_spmm(&a, &x, iters)
-        .map_err(|e| e.to_string())?;
+    let reference =
+        arrow_matrix::spmm::reference::iterated_spmm(&a, &x, iters).map_err(|e| e.to_string())?;
     let err = run.y.max_abs_diff(&reference).map_err(|e| e.to_string())?;
     println!(
         "verified: max |Δ| vs serial reference = {err:.2e}\n\
@@ -175,6 +206,121 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
         run.sim_time_per_iter() * 1e3,
         run.volume_per_iter() / 1024.0,
         run.stats.wall_seconds * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let [input, b, rest @ ..] = args else {
+        return Err("serve needs <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]".into());
+    };
+    let a = load_matrix(input)?;
+    if a.rows() != a.cols() {
+        return Err(format!(
+            "serve needs a square matrix, got {}×{}",
+            a.rows(),
+            a.cols()
+        ));
+    }
+    let b: u32 = b.parse().map_err(|e| format!("bad b: {e}"))?;
+    let queries: usize = rest
+        .first()
+        .map_or(Ok(64), |s| s.parse())
+        .map_err(|e| format!("bad queries: {e}"))?;
+    let batch: usize = rest
+        .get(1)
+        .map_or(Ok(64), |s| s.parse())
+        .map_err(|e| format!("bad batch: {e}"))?;
+    let iters: u32 = rest
+        .get(2)
+        .map_or(Ok(2), |s| s.parse())
+        .map_err(|e| format!("bad iters: {e}"))?;
+    let spill_dir = rest.get(3).map(std::path::PathBuf::from);
+
+    let mut engine = Engine::new(EngineConfig {
+        arrow_width: b,
+        max_batch: batch.max(1),
+        spill_dir,
+        ..EngineConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+
+    let n = a.rows();
+    let t0 = std::time::Instant::now();
+    let id = engine.register(&a).map_err(|e| e.to_string())?;
+    println!(
+        "registered {input} in {:.2?} (n = {n}, nnz = {})",
+        t0.elapsed(),
+        a.nnz()
+    );
+    let cache = engine.cache_stats();
+    println!(
+        "cache   : decompositions = {}, disk loads = {}, spills = {}",
+        cache.decompositions, cache.disk_loads, cache.spills
+    );
+    println!(
+        "planner : bound {}",
+        engine.chosen_algorithm(id).expect("just registered")
+    );
+    for p in engine.plan_report(id).expect("just registered") {
+        println!(
+            "  {:<22} p = {:<5} predicted {:>9.3} µs/iter ({:.1} KiB, {:.0} msgs)",
+            p.name,
+            p.ranks,
+            p.seconds * 1e6,
+            p.estimate.max_rank_bytes / 1024.0,
+            p.estimate.max_rank_messages
+        );
+    }
+
+    // Synthetic query stream, deterministic per query index.
+    let stream: Vec<Vec<f64>> = (0..queries)
+        .map(|q| {
+            (0..n)
+                .map(|r| (((q as u32 + 3 * r) % 13) as f64) / 13.0 - 0.5)
+                .collect()
+        })
+        .collect();
+
+    // Unbatched baseline: every query pays a full run.
+    let t0 = std::time::Instant::now();
+    for x in &stream {
+        engine
+            .run_single(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters,
+                sigma: None,
+            })
+            .map_err(|e| e.to_string())?;
+    }
+    let single = t0.elapsed().as_secs_f64();
+
+    // Batched: the same stream through the coalescing queue.
+    let t0 = std::time::Instant::now();
+    for x in &stream {
+        engine
+            .submit(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters,
+                sigma: None,
+            })
+            .map_err(|e| e.to_string())?;
+    }
+    let responses = engine.flush().map_err(|e| e.to_string())?;
+    let batched = t0.elapsed().as_secs_f64();
+    assert_eq!(responses.len(), queries);
+
+    println!(
+        "serving : {queries} queries × {iters} iterations\n\
+         unbatched: {:>8.1} ms total, {:>8.1} queries/s\n\
+         batch={batch:<3}: {:>8.1} ms total, {:>8.1} queries/s ({:.1}× speedup)",
+        single * 1e3,
+        queries as f64 / single,
+        batched * 1e3,
+        queries as f64 / batched,
+        single / batched
     );
     Ok(())
 }

@@ -18,9 +18,19 @@
 //! * [`partition`] — partitioning baselines (HYPE-style neighborhood
 //!   expansion).
 //! * [`spmm`] — distributed SpMM algorithms (arrow, 1.5D/1D/2D
-//!   A-stationary, HP-1D).
+//!   A-stationary, HP-1D), each with a [`predict_volume`]
+//!   hook deriving per-iteration cost from the planned distribution.
+//! * [`engine`] — the batched SpMM **serving engine**: an LRU
+//!   decomposition cache keyed by content fingerprint (with disk spill
+//!   via `core::persist`, so warm restarts skip LA-Decompose), a request
+//!   batcher coalescing concurrent multiply queries into multi-RHS runs,
+//!   and a cost-model planner that binds the cheapest algorithm per
+//!   matrix. See `examples/serving.rs` for a throughput demonstration
+//!   and `arrow-matrix-cli serve` for the command-line front end.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
+//!
+//! [`predict_volume`]: spmm::DistSpmm::predict_volume
 //!
 //! ```
 //! use arrow_matrix::core::{la_decompose, DecomposeConfig, RandomForestLa};
@@ -43,6 +53,7 @@
 //! ```
 
 pub use amd_comm as comm;
+pub use amd_engine as engine;
 pub use amd_graph as graph;
 pub use amd_linarr as linarr;
 pub use amd_partition as partition;

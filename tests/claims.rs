@@ -28,8 +28,12 @@ fn arrow_volume_beats_15d_on_mawi() {
     let mut ratios = Vec::new();
     for p in [8u32, 16] {
         let b = n / p;
-        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(1))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(b),
+            &mut RandomForestLa::new(1),
+        )
+        .unwrap();
         let arrow = ArrowSpmm::new(&d).unwrap();
         let ra = arrow.run(&x, 2).unwrap();
         let c = (p as f64).sqrt() as u32;
@@ -37,7 +41,10 @@ fn arrow_volume_beats_15d_on_mawi() {
         let r15 = a15.run(&x, 2).unwrap();
         let ratio = r15.volume_per_iter() / ra.volume_per_iter();
         ratios.push(ratio);
-        assert!(ratio > 1.3, "p={p}: 1.5D/arrow volume ratio only {ratio:.2}");
+        assert!(
+            ratio > 1.3,
+            "p={p}: 1.5D/arrow volume ratio only {ratio:.2}"
+        );
     }
     assert!(
         ratios[1] > ratios[0] * 0.9,
@@ -56,8 +63,12 @@ fn tree_bandwidth_vs_arrow_width_separation() {
     let natural_bw = bandwidth(&tree);
     assert!(natural_bw as f64 >= (n as f64) / (2.0 * (n as f64).log2()));
     // The decomposition achieves width 32 with small order.
-    let d = la_decompose(&tree, &DecomposeConfig::with_width(32), &mut RandomForestLa::new(2))
-        .unwrap();
+    let d = la_decompose(
+        &tree,
+        &DecomposeConfig::with_width(32),
+        &mut RandomForestLa::new(2),
+    )
+    .unwrap();
     assert_eq!(d.validate(&tree).unwrap(), 0.0);
     assert!(d.order() <= 8, "order {}", d.order());
 }
@@ -70,11 +81,14 @@ fn block_count_reduction_grows_as_b_shrinks() {
     let (_, a) = mawi(4096);
     let mut ratios = Vec::new();
     for b in [512u32, 128, 32] {
-        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(3))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(b),
+            &mut RandomForestLa::new(3),
+        )
+        .unwrap();
         let s = DecompositionStats::of(&d);
-        let ratio =
-            direct_tiling_nonzero_blocks(&a, b) as f64 / s.total_nonzero_tiles() as f64;
+        let ratio = direct_tiling_nonzero_blocks(&a, b) as f64 / s.total_nonzero_tiles() as f64;
         ratios.push(ratio);
     }
     assert!(ratios[0] > 3.0, "ratios {ratios:?}");
@@ -120,13 +134,20 @@ fn weak_scaling_time_grows_sublinearly() {
     let mut times = Vec::new();
     for n in [2048u32, 8192] {
         let (_, a) = mawi(n);
-        let d = la_decompose(&a, &DecomposeConfig::with_width(b), &mut RandomForestLa::new(6))
-            .unwrap();
+        let d = la_decompose(
+            &a,
+            &DecomposeConfig::with_width(b),
+            &mut RandomForestLa::new(6),
+        )
+        .unwrap();
         let alg = ArrowSpmm::new(&d).unwrap();
         let x = DenseMatrix::from_fn(n, k, |r, _| (r % 7) as f64);
         times.push(alg.run(&x, 2).unwrap().sim_time_per_iter());
     }
     // n grew 4×; arrow time must grow well below 4× (paper: ~flat).
     let growth = times[1] / times[0];
-    assert!(growth < 2.5, "weak-scaling growth {growth:.2} too steep: {times:?}");
+    assert!(
+        growth < 2.5,
+        "weak-scaling growth {growth:.2} too steep: {times:?}"
+    );
 }

@@ -23,27 +23,53 @@ fn full_workflow() {
         .args(["generate", "osm", "2000", mtx.to_str().unwrap(), "3"])
         .output()
         .expect("spawn cli");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OSM-Europe"));
     // info
-    let out = cli().args(["info", mtx.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["info", mtx.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("2000 x 2000"), "info output: {text}");
     assert!(text.contains("bandwidth lower bound"));
     // decompose
     let out = cli()
-        .args(["decompose", mtx.to_str().unwrap(), "128", amd.to_str().unwrap()])
+        .args([
+            "decompose",
+            mtx.to_str().unwrap(),
+            "128",
+            amd.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "decompose failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "decompose failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("exact reconstruction"));
     // multiply
     let out = cli()
-        .args(["multiply", mtx.to_str().unwrap(), amd.to_str().unwrap(), "8", "2"])
+        .args([
+            "multiply",
+            mtx.to_str().unwrap(),
+            amd.to_str().unwrap(),
+            "8",
+            "2",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "multiply failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "multiply failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("verified"), "multiply output: {text}");
     let _ = std::fs::remove_file(&mtx);
@@ -59,14 +85,20 @@ fn usage_on_no_args() {
 
 #[test]
 fn unknown_dataset_fails_cleanly() {
-    let out = cli().args(["generate", "nonsense", "100", "/tmp/x.mtx"]).output().unwrap();
+    let out = cli()
+        .args(["generate", "nonsense", "100", "/tmp/x.mtx"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
 }
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = cli().args(["info", "/nonexistent/path.mtx"]).output().unwrap();
+    let out = cli()
+        .args(["info", "/nonexistent/path.mtx"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
 }
 
@@ -75,10 +107,21 @@ fn mismatched_decomposition_rejected() {
     let mtx_a = tmp("a.mtx");
     let mtx_b = tmp("b.mtx");
     let amd_a = tmp("a.amd");
-    cli().args(["generate", "osm", "1000", mtx_a.to_str().unwrap()]).output().unwrap();
-    cli().args(["generate", "osm", "1500", mtx_b.to_str().unwrap()]).output().unwrap();
     cli()
-        .args(["decompose", mtx_a.to_str().unwrap(), "64", amd_a.to_str().unwrap()])
+        .args(["generate", "osm", "1000", mtx_a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    cli()
+        .args(["generate", "osm", "1500", mtx_b.to_str().unwrap()])
+        .output()
+        .unwrap();
+    cli()
+        .args([
+            "decompose",
+            mtx_a.to_str().unwrap(),
+            "64",
+            amd_a.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     let out = cli()

@@ -38,7 +38,12 @@ fn every_dataset_decomposes_and_multiplies() {
             kind.name()
         );
         let s = DecompositionStats::of(&d);
-        assert!(s.order <= 12, "{}: order {} unexpectedly deep", kind.name(), s.order);
+        assert!(
+            s.order <= 12,
+            "{}: order {} unexpectedly deep",
+            kind.name(),
+            s.order
+        );
         let alg = ArrowSpmm::new(&d).unwrap();
         assert_matches_reference(&alg, &a, 8, 2, 1e-7);
     }
@@ -50,8 +55,12 @@ fn all_three_algorithms_agree() {
     let x = DenseMatrix::from_fn(N, 6, |r, c| (((r + 3 * c) % 11) as f64) - 5.0);
     let expected = iterated_spmm(&a, &x, 2).unwrap();
 
-    let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(2))
-        .unwrap();
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(128),
+        &mut RandomForestLa::new(2),
+    )
+    .unwrap();
     let arrow = ArrowSpmm::new(&d).unwrap().run(&x, 2).unwrap();
     assert!(arrow.y.max_abs_diff(&expected).unwrap() < 1e-7);
 
@@ -71,8 +80,12 @@ fn all_three_algorithms_agree() {
 #[test]
 fn separator_strategy_works_end_to_end() {
     let (_, a) = dataset(DatasetKind::OsmEurope);
-    let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut SeparatorLaStrategy)
-        .unwrap();
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(128),
+        &mut SeparatorLaStrategy,
+    )
+    .unwrap();
     assert_eq!(d.validate(&a).unwrap(), 0.0);
     let alg = ArrowSpmm::new(&d).unwrap();
     assert_matches_reference(&alg, &a, 4, 1, 1e-8);
@@ -81,8 +94,12 @@ fn separator_strategy_works_end_to_end() {
 #[test]
 fn iterated_multiply_with_sigma_matches_direct() {
     let (_, a) = dataset(DatasetKind::GenBank);
-    let d = la_decompose(&a, &DecomposeConfig::with_width(96), &mut RandomForestLa::new(4))
-        .unwrap();
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(96),
+        &mut RandomForestLa::new(4),
+    )
+    .unwrap();
     let x0 = DenseMatrix::from_fn(N, 4, |r, c| ((r * c) % 3) as f64 - 1.0);
     let relu = |v: f64| v.max(0.0);
     let via = d.iterate(&x0, 3, relu).unwrap();
@@ -101,46 +118,210 @@ fn distributed_sigma_matches_sequential_iterate() {
     // X ← σ(A·X) distributed must equal the sequential Eq. 1 path, for
     // every algorithm.
     let (g, a) = dataset(DatasetKind::WebBase);
-    let d = la_decompose(&a, &DecomposeConfig::with_width(128), &mut RandomForestLa::new(6))
-        .unwrap();
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(128),
+        &mut RandomForestLa::new(6),
+    )
+    .unwrap();
     let x0 = DenseMatrix::from_fn(N, 5, |r, c| (((r * 7 + c) % 9) as f64) - 4.0);
     let relu: fn(f64) -> f64 = |v| v.max(0.0);
     let expected = d.iterate(&x0, 3, relu).unwrap();
 
     let arrow = ArrowSpmm::new(&d).unwrap();
     let ra = arrow.run_sigma(&x0, 3, Some(relu)).unwrap();
-    assert!(ra.y.max_abs_diff(&expected).unwrap() < 1e-8, "arrow σ mismatch");
+    assert!(
+        ra.y.max_abs_diff(&expected).unwrap() < 1e-8,
+        "arrow σ mismatch"
+    );
 
     let a15 = A15dSpmm::new(&a, 8, 2).unwrap();
     let r15 = a15.run_sigma(&x0, 3, Some(relu)).unwrap();
-    assert!(r15.y.max_abs_diff(&expected).unwrap() < 1e-8, "1.5D σ mismatch");
+    assert!(
+        r15.y.max_abs_diff(&expected).unwrap() < 1e-8,
+        "1.5D σ mismatch"
+    );
 
     let a2d = arrow_matrix::spmm::A2dSpmm::new(&a, 9).unwrap();
     let r2d = a2d.run_sigma(&x0, 3, Some(relu)).unwrap();
-    assert!(r2d.y.max_abs_diff(&expected).unwrap() < 1e-8, "2D σ mismatch");
+    assert!(
+        r2d.y.max_abs_diff(&expected).unwrap() < 1e-8,
+        "2D σ mismatch"
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(8);
     let part = hype_partition(&g, 5, &HypeConfig::default(), &mut rng);
     let hp = Hp1dSpmm::new(&a, &part).unwrap();
     let rhp = hp.run_sigma(&x0, 3, Some(relu)).unwrap();
-    assert!(rhp.y.max_abs_diff(&expected).unwrap() < 1e-8, "HP-1D σ mismatch");
+    assert!(
+        rhp.y.max_abs_diff(&expected).unwrap() < 1e-8,
+        "HP-1D σ mismatch"
+    );
 }
 
 #[test]
 fn decomposition_deterministic_across_runs() {
     let (_, a) = dataset(DatasetKind::Mawi);
-    let d1 = la_decompose(&a, &DecomposeConfig::with_width(64), &mut RandomForestLa::new(9))
-        .unwrap();
-    let d2 = la_decompose(&a, &DecomposeConfig::with_width(64), &mut RandomForestLa::new(9))
-        .unwrap();
+    let d1 = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(64),
+        &mut RandomForestLa::new(9),
+    )
+    .unwrap();
+    let d2 = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(64),
+        &mut RandomForestLa::new(9),
+    )
+    .unwrap();
     assert_eq!(d1, d2);
+}
+
+#[test]
+fn engine_batched_queries_bit_match_per_query_runs() {
+    // The serving engine coalesces compatible queries into one multi-RHS
+    // run; answers must bit-match individual DistSpmm runs of the bound
+    // algorithm on each single column.
+    use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
+    let (_, a) = dataset(DatasetKind::WebBase);
+    let mut engine = Engine::new(EngineConfig {
+        arrow_width: 96,
+        target_ranks: 8,
+        ..EngineConfig::default()
+    })
+    .unwrap();
+    let id = engine.register(&a).unwrap();
+
+    let columns: Vec<Vec<f64>> = (0..5)
+        .map(|q| (0..N).map(|r| (((q * 13 + r) % 9) as f64) - 4.0).collect())
+        .collect();
+    // Per-query runs through the same bound algorithm.
+    let singles: Vec<Vec<f64>> = columns
+        .iter()
+        .map(|x| {
+            engine
+                .run_single(MultiplyQuery {
+                    matrix: id,
+                    x: x.clone(),
+                    iters: 2,
+                    sigma: None,
+                })
+                .unwrap()
+                .y
+        })
+        .collect();
+    // One batched flush.
+    for x in &columns {
+        engine
+            .submit(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters: 2,
+                sigma: None,
+            })
+            .unwrap();
+    }
+    let runs_before = engine.stats().runs;
+    let responses = engine.flush().unwrap();
+    assert_eq!(
+        engine.stats().runs,
+        runs_before + 1,
+        "one run for the whole batch"
+    );
+    for (single, resp) in singles.iter().zip(&responses) {
+        assert_eq!(
+            single, &resp.y,
+            "batched answer must bit-match the per-query run"
+        );
+        assert_eq!(resp.batch_size, columns.len());
+    }
+    // And both match the serial reference (within tolerance — different
+    // algorithms round differently).
+    for (x, resp) in columns.iter().zip(&responses) {
+        let x = DenseMatrix::from_vec(N, 1, x.clone()).unwrap();
+        let want = iterated_spmm(&a, &x, 2).unwrap();
+        let got = DenseMatrix::from_vec(N, 1, resp.y.clone()).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-7);
+    }
+}
+
+#[test]
+fn engine_cache_hit_skips_redecomposition() {
+    use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
+    let (_, a) = dataset(DatasetKind::GenBank);
+    let spill = std::env::temp_dir().join(format!("amd-pipeline-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    let config = EngineConfig {
+        arrow_width: 96,
+        target_ranks: 8,
+        spill_dir: Some(spill.clone()),
+        ..EngineConfig::default()
+    };
+
+    // Cold engine: exactly one LA-Decompose.
+    let mut engine = Engine::new(config.clone()).unwrap();
+    let id = engine.register(&a).unwrap();
+    assert_eq!(engine.cache_stats().decompositions, 1);
+    let x: Vec<f64> = (0..N).map(|r| (r % 5) as f64).collect();
+    let first = engine
+        .run_single(MultiplyQuery {
+            matrix: id,
+            x: x.clone(),
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+    // Second query against the same matrix: zero further decompositions.
+    engine
+        .run_single(MultiplyQuery {
+            matrix: id,
+            x: x.clone(),
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+    assert_eq!(
+        engine.cache_stats().decompositions,
+        1,
+        "warm query must not decompose"
+    );
+    drop(engine);
+
+    // Warm restart from the spill directory: zero decompositions, the
+    // decomposition comes back from disk, and answers are identical.
+    let mut engine = Engine::new(config).unwrap();
+    let id2 = engine.register(&a).unwrap();
+    assert_eq!(id2, id, "content fingerprint is stable across restarts");
+    assert_eq!(
+        engine.cache_stats().decompositions,
+        0,
+        "restart must reload, not decompose"
+    );
+    assert_eq!(engine.cache_stats().disk_loads, 1);
+    let again = engine
+        .run_single(MultiplyQuery {
+            matrix: id2,
+            x,
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+    assert_eq!(
+        first.y, again.y,
+        "reloaded decomposition must serve identical answers"
+    );
+    let _ = std::fs::remove_dir_all(&spill);
 }
 
 #[test]
 fn distributed_stats_are_deterministic() {
     let (_, a) = dataset(DatasetKind::GenBank);
-    let d = la_decompose(&a, &DecomposeConfig::with_width(96), &mut RandomForestLa::new(5))
-        .unwrap();
+    let d = la_decompose(
+        &a,
+        &DecomposeConfig::with_width(96),
+        &mut RandomForestLa::new(5),
+    )
+    .unwrap();
     let alg = ArrowSpmm::new(&d).unwrap();
     let x = DenseMatrix::from_fn(N, 4, |r, _| r as f64);
     let r1 = alg.run(&x, 2).unwrap();

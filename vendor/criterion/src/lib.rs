@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`: wall-clock micro-benchmarking with
+//! the `Criterion`/`BenchmarkGroup`/`Bencher` API shape. No statistics
+//! beyond warmup + mean-of-N; results print as plain text. Honors
+//! `AMD_BENCH_QUICK=1` to cut sample counts for smoke runs.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// `name/param` identifier.
+    pub fn new<P: fmt::Display>(name: impl Into<String>, param: P) -> Self {
+        Self {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Identifier with only a parameter (group provides the name).
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        Self {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.name.is_empty() {
+            self.param.clone()
+        } else {
+            format!("{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Throughput basis for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the mean over the configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call outside the timed region.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u32,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the throughput basis used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    fn record(&mut self, label: &str, bencher: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if bencher.mean_secs > 0.0 => {
+                format!("  {:>12.3e} elem/s", n as f64 / bencher.mean_secs)
+            }
+            Some(Throughput::Bytes(n)) if bencher.mean_secs > 0.0 => {
+                format!("  {:>12.3e} B/s", n as f64 / bencher.mean_secs)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12.3} µs/iter{}",
+            format!("{}/{}", self.name, label),
+            bencher.mean_secs * 1e6,
+            rate
+        );
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            mean_secs: 0.0,
+        };
+        f(&mut bencher, input);
+        let label = id.label();
+        self.record(&label, &bencher);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            mean_secs: 0.0,
+        };
+        f(&mut bencher);
+        let id = id.into();
+        let label = id.label();
+        self.record(&label, &bencher);
+        self
+    }
+
+    fn effective_samples(&self) -> u32 {
+        if std::env::var("AMD_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            2
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {
+        let _ = &self.parent;
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            param: String::new(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from_parameter("base"), f);
+        group.finish();
+        self
+    }
+}
+
+/// Groups benchmark functions for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,93 @@
+//! Test configuration and the deterministic test RNG.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Failure raised by `prop_assert*` macros: returned as an `Err` from
+/// the enclosing closure, like upstream proptest's `TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-block configuration for [`proptest!`](crate::proptest).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic RNG handed to strategies. Seeded from the test name so
+/// every test explores its own stream, stable across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes).
+    pub fn from_test_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in name.as_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(h),
+        }
+    }
+
+    /// An independent child RNG (for `prop_perturb`).
+    pub fn fork(&mut self) -> Self {
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(self.inner.next_u64()),
+        }
+    }
+
+    /// Draws a standard-distribution value (inherent so call sites don't
+    /// need the `rand::Rng` trait in scope, matching upstream ergonomics).
+    pub fn random<T: rand::Standard>(&mut self) -> T {
+        rand::Rng::random(self)
+    }
+
+    /// Draws uniformly from `range`.
+    pub fn random_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        rand::Rng::random_range(self, range)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}

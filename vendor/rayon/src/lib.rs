@@ -1,0 +1,126 @@
+//! Offline stand-in for `rayon`, covering the `par_chunks_mut(..)
+//! .enumerate().for_each(..)` pattern the SpMM kernels use. Work is
+//! genuinely parallel: chunks are distributed round-robin over
+//! `std::thread::scope` workers, one per available core, with a serial
+//! fast path for small inputs.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parallel iterator over enumerated mutable chunks.
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync + Send,
+    {
+        let threads = current_num_threads().min(self.chunks.len().max(1));
+        if threads <= 1 || self.chunks.len() <= 1 {
+            for item in self.chunks {
+                f(item);
+            }
+            return;
+        }
+        // Round-robin deal so neighbouring (similar-cost) chunks spread
+        // across workers.
+        let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in self.chunks.into_iter().enumerate() {
+            buckets[i % threads].push(item);
+        }
+        let fref = &f;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for item in bucket {
+                        fref(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            chunks: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+pub mod prelude {
+    //! Parallel slice extension traits.
+    use super::ParChunksMut;
+
+    /// Mirror of `rayon::prelude::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into mutable chunks of `size` elements for parallel
+        /// processing (last chunk may be shorter).
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be positive");
+            ParChunksMut {
+                chunks: self.chunks_mut(size).collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerated_chunks_cover_slice() {
+        let mut data = vec![0u64; 1000];
+        data.as_mut_slice()
+            .par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 7 + j) as u64;
+                }
+            });
+        let expect: Vec<u64> = (0..1000).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn single_chunk_serial_path() {
+        let mut data = vec![1u32; 5];
+        data.as_mut_slice().par_chunks_mut(100).for_each(|chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert_eq!(data, vec![2; 5]);
+    }
+}
