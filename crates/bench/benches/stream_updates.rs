@@ -1,0 +1,187 @@
+//! E-STREAM — streaming updates: update-apply latency and the corrected
+//! multiply's overhead as a function of delta density.
+//!
+//! Two questions the staleness budget needs answered empirically:
+//!
+//! 1. how fast do updates absorb (pure accumulation, no refresh)?
+//! 2. what does the corrected multiply pay per iteration relative to the
+//!    delta-free base path, as the pending delta grows?
+//!
+//! The second is the budget's trade-off curve: once the per-query
+//! correction overhead times the expected queries-per-refresh exceeds
+//! one LA-Decompose, compacting is cheaper than correcting.
+
+use amd_bench::{Table, BENCH_SEED};
+use amd_sparse::{CsrMatrix, DenseMatrix};
+use amd_stream::{DynamicConfig, DynamicMatrix, StalenessBudget, Update};
+use arrow_core::DecomposeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const K: u32 = 8;
+const ITERS: u32 = 2;
+/// Delta densities to sweep: nnz(ΔA) / nnz(A₀).
+const DENSITIES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+fn base_matrix() -> CsrMatrix<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    amd_graph::generators::rmat::rmat(
+        10,
+        8,
+        amd_graph::generators::rmat::RmatParams::graph500(),
+        &mut rng,
+    )
+    .to_adjacency()
+}
+
+fn dynamic(a: &CsrMatrix<f64>) -> DynamicMatrix {
+    DynamicMatrix::new(
+        a.clone(),
+        DynamicConfig {
+            decompose: DecomposeConfig::with_width(64),
+            budget: StalenessBudget::default(), // never refresh mid-bench
+            ..DynamicConfig::default()
+        },
+    )
+    .expect("base decomposes")
+}
+
+/// Structural updates until `nnz(ΔA)` reaches `target` distinct entries.
+fn fill_delta(dm: &mut DynamicMatrix, target: usize, rng: &mut ChaCha8Rng) {
+    let n = dm.n();
+    while dm.delta_nnz() < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        dm.apply(Update::Add {
+            row: u,
+            col: v,
+            delta: 1.0,
+        })
+        .expect("in bounds");
+    }
+}
+
+fn bench_update_apply(c: &mut Criterion) {
+    let a = base_matrix();
+    let n = a.rows();
+    let mut group = c.benchmark_group("stream_update_apply");
+    group.sample_size(10);
+
+    // Structural inserts: delta accumulation (the general path).
+    let mut dm = dynamic(&a);
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED ^ 1);
+    const BATCH: u64 = 1024;
+    group.throughput(Throughput::Elements(BATCH));
+    let mut structural_secs = f64::INFINITY;
+    group.bench_function("structural_insert", |b| {
+        b.iter(|| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..BATCH {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                dm.apply(Update::Add {
+                    row: u,
+                    col: v,
+                    delta: 1.0,
+                })
+                .expect("in bounds");
+            }
+            structural_secs = structural_secs.min(t0.elapsed().as_secs_f64());
+        })
+    });
+
+    // Value-only updates on existing edges: the in-place patch path.
+    let mut dm = dynamic(&a);
+    let edges: Vec<(u32, u32)> = a.iter().map(|(r, c, _)| (r, c)).collect();
+    let mut idx = 0usize;
+    let mut patch_secs = f64::INFINITY;
+    group.bench_function("in_place_patch", |b| {
+        b.iter(|| {
+            let t0 = std::time::Instant::now();
+            for _ in 0..BATCH {
+                let (r, c) = edges[idx % edges.len()];
+                idx += 1;
+                dm.apply(Update::Add {
+                    row: r,
+                    col: c,
+                    delta: 1.0,
+                })
+                .expect("in bounds");
+            }
+            patch_secs = patch_secs.min(t0.elapsed().as_secs_f64());
+        })
+    });
+    group.finish();
+
+    let mut table = Table::new(vec!["update kind", "updates/s", "delta growth"]);
+    table.row(vec![
+        "structural insert".to_string(),
+        format!("{:.0}", BATCH as f64 / structural_secs),
+        "joins ΔA".to_string(),
+    ]);
+    table.row(vec![
+        "in-place patch".to_string(),
+        format!("{:.0}", BATCH as f64 / patch_secs),
+        "none (decomposition patched)".to_string(),
+    ]);
+    table.print(&format!(
+        "E-STREAM — update-apply latency (R-MAT scale 10, n = {n}, batches of {BATCH})"
+    ));
+}
+
+fn bench_corrected_multiply(c: &mut Criterion) {
+    let a = base_matrix();
+    let n = a.rows();
+    let base_nnz = a.nnz();
+    let x = DenseMatrix::from_fn(n, K, |r, col| (((r * 7 + col * 3) % 11) as f64) - 5.0);
+
+    let mut group = c.benchmark_group("stream_corrected_multiply");
+    group.sample_size(10);
+    let mut rows = Vec::new();
+    for &density in &DENSITIES {
+        let target = (density * base_nnz as f64).round() as usize;
+        let mut dm = dynamic(&a);
+        let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED ^ 2);
+        fill_delta(&mut dm, target, &mut rng);
+        assert_eq!(dm.delta_nnz(), target);
+        let mut secs = f64::INFINITY;
+        group.bench_with_input(
+            BenchmarkId::new("density", format!("{density}")),
+            &density,
+            |b, _| {
+                b.iter(|| {
+                    let t0 = std::time::Instant::now();
+                    let y = dm.multiply(&x, ITERS, None).expect("multiply succeeds");
+                    secs = secs.min(t0.elapsed().as_secs_f64());
+                    y
+                })
+            },
+        );
+        rows.push((density, target, secs));
+    }
+    group.finish();
+
+    let mut table = Table::new(vec![
+        "delta density",
+        "delta nnz",
+        "ms/multiply",
+        "overhead vs delta-free",
+    ]);
+    let base_secs = rows[0].2;
+    for (density, nnz, secs) in rows {
+        table.row(vec![
+            format!("{:.0}%", density * 100.0),
+            nnz.to_string(),
+            format!("{:.3}", secs * 1e3),
+            format!("{:.2}x", secs / base_secs),
+        ]);
+    }
+    table.print(&format!(
+        "E-STREAM — corrected multiply overhead vs delta density \
+         (R-MAT scale 10, nnz(A₀) = {base_nnz}, k = {K}, {ITERS} iters)"
+    ));
+}
+
+criterion_group!(stream_updates, bench_update_apply, bench_corrected_multiply);
+criterion_main!(stream_updates);

@@ -7,7 +7,7 @@
 //! 1. place the `b` highest-degree vertices `V_h` of the remaining graph
 //!    at the beginning of the arrangement `πᵢ` (§5.6 pruning),
 //! 2. arrange the induced subgraph `Gᵢ[Vᵢ \ V_h]` with the chosen
-//!    [`ArrangementStrategy`](crate::ArrangementStrategy) and append,
+//!    [`ArrangementStrategy`] and append,
 //! 3. set `Bᵢ` to the entries of `Pᵀ_πᵢ Aᵢ P_πᵢ` that fall in the arrow
 //!    pattern (first `b` rows/columns + block-diagonal `b × b` band),
 //! 4. recurse on the remainder `Aᵢ₊₁ = Aᵢ − P_πᵢ Bᵢ Pᵀ_πᵢ`.

@@ -9,7 +9,7 @@
 //!   `B(i,i)`; Figure 2 of the paper),
 //! * [`ArrowDecomposition`] — `A = Σᵢ P_πᵢ Bᵢ Pᵀ_πᵢ` with validation,
 //!   reconstruction and sequential multiplication (Eq. 1),
-//! * [`la_decompose`] — the LA-Decompose framework (§5.1): prune the `b`
+//! * [`la_decompose()`] — the LA-Decompose framework (§5.1): prune the `b`
 //!   highest-degree vertices, lay out the remainder with a pluggable
 //!   [`ArrangementStrategy`], peel off the arrow-shaped part, recurse,
 //! * [`pruning`] — the power-law pruning analysis of §5.6 (Theorem 1,
@@ -39,4 +39,5 @@ pub mod strategy;
 pub use arrow_matrix::ArrowMatrix;
 pub use decomposition::{ArrowDecomposition, ArrowLevel};
 pub use la_decompose::{la_decompose, DecomposeConfig};
+pub use persist::PersistMeta;
 pub use strategy::{ArrangementStrategy, IdentityLa, RandomForestLa, RcmLa, SeparatorLaStrategy};

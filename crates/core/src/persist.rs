@@ -9,16 +9,52 @@
 //! Format (version 1): magic `AMD1`, then `n`, `b`, `l`, and per level the
 //! permutation order array, `active_n`, and the CSR arrays of the level
 //! matrix. All integers are `u64` LE; values are `f64` LE bits.
+//!
+//! Format (version 2): magic `AMD2`, then a [`PersistMeta`] header — the
+//! matrix **version** counter and the 128-bit content **fingerprint** of
+//! the matrix the decomposition was computed from — followed by the same
+//! payload as version 1. The streaming layer writes v2 on every refresh
+//! so a restart can tell *which* revision of a mutating matrix a spill
+//! file describes; [`load`] accepts both formats.
 
 use crate::decomposition::{ArrowDecomposition, ArrowLevel};
 use amd_sparse::{CsrMatrix, Permutation, SparseError, SparseResult};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"AMD1";
+const MAGIC_V2: &[u8; 4] = b"AMD2";
 
-/// Writes the decomposition to `w`.
+/// Provenance header of a version-2 persisted decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistMeta {
+    /// Monotonic revision counter of the source matrix (0 for the first
+    /// decomposition, bumped by every streaming refresh).
+    pub version: u64,
+    /// [`CsrMatrix::fingerprint`] of the exact matrix that was decomposed.
+    pub fingerprint: u128,
+}
+
+/// Writes the decomposition to `w` (version-1 stream, no provenance).
 pub fn save<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> {
     w.write_all(MAGIC).map_err(io_err)?;
+    save_payload(d, &mut w)
+}
+
+/// Writes a version-2 stream: [`PersistMeta`] provenance header followed
+/// by the decomposition payload.
+pub fn save_versioned<W: Write>(
+    d: &ArrowDecomposition,
+    meta: &PersistMeta,
+    mut w: W,
+) -> SparseResult<()> {
+    w.write_all(MAGIC_V2).map_err(io_err)?;
+    put_u64(&mut w, meta.version)?;
+    w.write_all(&meta.fingerprint.to_le_bytes())
+        .map_err(io_err)?;
+    save_payload(d, &mut w)
+}
+
+fn save_payload<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> {
     put_u64(&mut w, d.n() as u64)?;
     put_u64(&mut w, d.b() as u64)?;
     put_u64(&mut w, d.order() as u64)?;
@@ -44,16 +80,36 @@ pub fn save<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> {
     Ok(())
 }
 
-/// Reads a decomposition from `r`, validating structure.
-pub fn load<R: Read>(mut r: R) -> SparseResult<ArrowDecomposition> {
+/// Reads a decomposition from `r`, validating structure. Accepts both
+/// version-1 and version-2 streams, discarding the v2 provenance header;
+/// use [`load_versioned`] to keep it.
+pub fn load<R: Read>(r: R) -> SparseResult<ArrowDecomposition> {
+    load_versioned(r).map(|(d, _)| d)
+}
+
+/// Reads a decomposition plus its provenance. Version-1 streams (which
+/// predate the header) report the default meta: version 0, fingerprint 0.
+pub fn load_versioned<R: Read>(mut r: R) -> SparseResult<(ArrowDecomposition, PersistMeta)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic).map_err(io_err)?;
-    if &magic != MAGIC {
-        return Err(SparseError::InvalidCsr(format!(
-            "bad magic {:?}: not an arrow decomposition file",
-            magic
-        )));
-    }
+    let meta = match &magic {
+        m if m == MAGIC => PersistMeta::default(),
+        m if m == MAGIC_V2 => {
+            let version = get_u64(&mut r)?;
+            let mut fp = [0u8; 16];
+            r.read_exact(&mut fp).map_err(io_err)?;
+            PersistMeta {
+                version,
+                fingerprint: u128::from_le_bytes(fp),
+            }
+        }
+        _ => {
+            return Err(SparseError::InvalidCsr(format!(
+                "bad magic {:?}: not an arrow decomposition file",
+                magic
+            )))
+        }
+    };
     let n = get_u64(&mut r)? as u32;
     let b = get_u64(&mut r)? as u32;
     let l = get_u64(&mut r)? as usize;
@@ -99,7 +155,7 @@ pub fn load<R: Read>(mut r: R) -> SparseResult<ArrowDecomposition> {
             active_n,
         });
     }
-    Ok(ArrowDecomposition::new(n, b, levels))
+    Ok((ArrowDecomposition::new(n, b, levels), meta))
 }
 
 fn put_u64<W: Write>(w: &mut W, v: u64) -> SparseResult<()> {
@@ -186,6 +242,50 @@ mod tests {
         let first = buf[44..52].to_vec();
         buf[52..60].copy_from_slice(&first);
         assert!(load(buf.as_slice()).is_err(), "duplicate vertex accepted");
+    }
+
+    #[test]
+    fn versioned_roundtrip_preserves_meta() {
+        let (a, d) = sample();
+        let meta = PersistMeta {
+            version: 7,
+            fingerprint: a.fingerprint(),
+        };
+        let mut buf = Vec::new();
+        save_versioned(&d, &meta, &mut buf).unwrap();
+        let (loaded, got) = load_versioned(buf.as_slice()).unwrap();
+        assert_eq!(got, meta);
+        assert_eq!(loaded, d);
+        // The plain loader accepts v2 streams too.
+        assert_eq!(load(buf.as_slice()).unwrap(), d);
+    }
+
+    #[test]
+    fn v1_stream_reports_default_meta() {
+        let (_, d) = sample();
+        let mut buf = Vec::new();
+        save(&d, &mut buf).unwrap();
+        let (loaded, meta) = load_versioned(buf.as_slice()).unwrap();
+        assert_eq!(meta, PersistMeta::default());
+        assert_eq!(loaded, d);
+    }
+
+    #[test]
+    fn truncated_v2_header_rejected() {
+        let (a, d) = sample();
+        let mut buf = Vec::new();
+        save_versioned(
+            &d,
+            &PersistMeta {
+                version: 1,
+                fingerprint: a.fingerprint(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        for cut in [4usize, 10, 20, 27] {
+            assert!(load(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The serving engine: registration, query batching, and execution.
 //!
 //! A matrix is **registered** once: fingerprinted, decomposed through
-//! the [`DecompositionCache`](crate::cache::DecompositionCache), planned
+//! the [`DecompositionCache`], planned
 //! by the [`planner`](crate::planner), and bound to the winning
 //! algorithm. **Queries** — single-column multiply requests against a
 //! registered matrix — are then submitted to a queue; [`Engine::flush`]
@@ -20,7 +20,7 @@ use crate::planner::{plan, Plan, PlannerConfig, Prediction};
 use amd_comm::CostModel;
 use amd_sparse::{CsrMatrix, DenseMatrix, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
-use amd_spmm::DistSpmm;
+use amd_spmm::{DeltaSpmm, DistSpmm};
 use arrow_core::DecomposeConfig;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -99,6 +99,12 @@ pub struct EngineStats {
     pub runs: u64,
     /// Largest batch coalesced so far.
     pub largest_batch: usize,
+    /// Runs answered through the delta-corrected path (a non-empty
+    /// overlay was pending on the queried matrix).
+    pub corrected_runs: u64,
+    /// Streaming refreshes absorbed: an updated matrix replaced its
+    /// predecessor via [`Engine::refresh`].
+    pub refreshes: u64,
 }
 
 struct BoundMatrix {
@@ -106,6 +112,12 @@ struct BoundMatrix {
     algo: Box<dyn DistSpmm + Send + Sync>,
     chosen: String,
     predictions: Vec<Prediction>,
+    /// Streaming revision of this binding (0 at registration, carried
+    /// forward +1 by [`Engine::refresh`]).
+    version: u64,
+    /// Pending sparse correction `ΔA`; runs go through
+    /// [`DeltaSpmm`] while this is non-empty.
+    overlay: Option<CsrMatrix<f64>>,
 }
 
 struct Pending {
@@ -142,6 +154,10 @@ impl Engine {
     /// and bind the cheapest algorithm. Registering the same content
     /// twice is a no-op returning the same id.
     pub fn register(&mut self, a: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
+        self.register_versioned(a, 0)
+    }
+
+    fn register_versioned(&mut self, a: &CsrMatrix<f64>, version: u64) -> SparseResult<MatrixId> {
         let fingerprint = a.fingerprint();
         if self.bound.contains_key(&fingerprint) {
             return Ok(MatrixId(fingerprint));
@@ -176,9 +192,102 @@ impl Engine {
                 algo,
                 chosen,
                 predictions,
+                version,
+                overlay: None,
             },
         );
         Ok(MatrixId(fingerprint))
+    }
+
+    /// Replaces the binding of `old` with a re-decomposed, re-planned
+    /// binding of `merged` (the compacted `A₀ + ΔA`), carrying the
+    /// streaming version forward. This is the engine half of a staleness
+    /// refresh: the decomposition goes through the cache (write-through
+    /// under the merged matrix's new fingerprint), the planner re-ranks
+    /// all four algorithms against the merged structure, and any pending
+    /// overlay on the old binding is discarded along with it.
+    ///
+    /// Queries already queued against `old` are answered by the *new*
+    /// binding at the next flush — their [`MatrixId`] is remapped, which
+    /// is sound because a refresh changes the representation, not the
+    /// served operator (`A₀ + ΔA` before, merged `A₀` after).
+    pub fn refresh(&mut self, old: MatrixId, merged: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
+        let old_bound = self.bound.remove(&old.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!("matrix {:032x} is not registered", old.0))
+        })?;
+        if merged.rows() != old_bound.n || merged.cols() != old_bound.n {
+            let n = old_bound.n;
+            self.bound.insert(old.0, old_bound);
+            return Err(SparseError::ShapeMismatch {
+                left: (n, n),
+                right: (merged.rows(), merged.cols()),
+            });
+        }
+        let version = old_bound.version + 1;
+        let new_id = match self.register_versioned(merged, version) {
+            Ok(id) => id,
+            Err(e) => {
+                // Leave the engine serving the old binding on failure.
+                self.bound.insert(old.0, old_bound);
+                return Err(e);
+            }
+        };
+        // The merged content may already be bound (an update stream that
+        // returned the matrix to a previously served state): registration
+        // then reuses the existing binding, whose version must still move
+        // forward to cover this refresh's lineage.
+        if let Some(bound) = self.bound.get_mut(&new_id.0) {
+            bound.version = bound.version.max(version);
+        }
+        if new_id.0 != old.0 {
+            for p in self.pending.iter_mut() {
+                if p.query.matrix == old {
+                    p.query.matrix = new_id;
+                }
+            }
+        }
+        self.stats.refreshes += 1;
+        Ok(new_id)
+    }
+
+    /// Sets (or replaces) the sparse correction `ΔA` pending on `id`.
+    /// While the overlay is non-empty, every run against `id` goes
+    /// through the delta-corrected path, serving `A₀ + ΔA` without
+    /// re-decomposing. Pass an empty matrix to clear it (or use
+    /// [`clear_delta`](Self::clear_delta)).
+    pub fn set_delta(&mut self, id: MatrixId, delta: CsrMatrix<f64>) -> SparseResult<()> {
+        let bound = self.bound.get_mut(&id.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!("matrix {:032x} is not registered", id.0))
+        })?;
+        if delta.rows() != bound.n || delta.cols() != bound.n {
+            return Err(SparseError::ShapeMismatch {
+                left: (bound.n, bound.n),
+                right: (delta.rows(), delta.cols()),
+            });
+        }
+        bound.overlay = if delta.nnz() == 0 { None } else { Some(delta) };
+        Ok(())
+    }
+
+    /// Drops any pending correction on `id` (no-op if there is none).
+    pub fn clear_delta(&mut self, id: MatrixId) {
+        if let Some(bound) = self.bound.get_mut(&id.0) {
+            bound.overlay = None;
+        }
+    }
+
+    /// Stored entries of the correction pending on `id` (0 if none).
+    pub fn delta_nnz(&self, id: MatrixId) -> usize {
+        self.bound
+            .get(&id.0)
+            .and_then(|b| b.overlay.as_ref())
+            .map_or(0, CsrMatrix::nnz)
+    }
+
+    /// Streaming revision of `id`: 0 for a cold registration, incremented
+    /// by every [`refresh`](Self::refresh) in the binding's lineage.
+    pub fn matrix_version(&self, id: MatrixId) -> Option<u64> {
+        self.bound.get(&id.0).map(|b| b.version)
     }
 
     /// The algorithm the planner bound for `id`.
@@ -257,15 +366,26 @@ impl Engine {
 
     fn run_batch(&mut self, chunk: &[Pending]) -> SparseResult<Vec<QueryResponse>> {
         let first = &chunk[0].query;
-        let bound = self
-            .bound
-            .get(&first.matrix.0)
-            .expect("submit validated registration");
+        let bound = self.bound.get(&first.matrix.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!(
+                "matrix {:032x} was deregistered while queries were pending",
+                first.matrix.0
+            ))
+        })?;
         let n = bound.n;
         let k = chunk.len() as u32;
         // Columns side by side: query j is column j.
         let x = DenseMatrix::from_fn(n, k, |r, c| chunk[c as usize].query.x[r as usize]);
-        let run = bound.algo.run_sigma(&x, first.iters, first.sigma)?;
+        let run = match &bound.overlay {
+            // Pending updates: serve A₀ + ΔA through the corrected path.
+            Some(delta) => {
+                let corrected = DeltaSpmm::new(&*bound.algo, delta)?.with_cost(self.config.cost);
+                let run = corrected.run_sigma(&x, first.iters, first.sigma)?;
+                self.stats.corrected_runs += 1;
+                run
+            }
+            None => bound.algo.run_sigma(&x, first.iters, first.sigma)?,
+        };
         self.stats.runs += 1;
         self.stats.queries += chunk.len() as u64;
         self.stats.largest_batch = self.stats.largest_batch.max(chunk.len());
@@ -432,6 +552,172 @@ mod tests {
 
     fn relu(v: f64) -> f64 {
         v.max(0.0)
+    }
+
+    /// An integer-valued delta on the ring: adds two chords, drops an edge.
+    fn ring_delta(n: u32) -> CsrMatrix<f64> {
+        let mut coo = amd_sparse::CooMatrix::new(n, n);
+        coo.push_sym(0, n / 2, 1.0).unwrap();
+        coo.push_sym(3, n / 3, 2.0).unwrap();
+        coo.push_sym(0, 1, -1.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn overlay_serves_merged_matrix_exactly() {
+        let mut e = engine();
+        let n = 36;
+        let a = ring(n);
+        let id = e.register(&a).unwrap();
+        let delta = ring_delta(n);
+        e.set_delta(id, delta.clone()).unwrap();
+        assert_eq!(e.delta_nnz(id), delta.nnz());
+        let x: Vec<f64> = (0..n).map(|r| ((r % 7) as f64) - 3.0).collect();
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters: 2,
+                sigma: None,
+            })
+            .unwrap();
+        // Integer data: the corrected answer equals the rebuilt-matrix
+        // reference bit for bit.
+        let merged = amd_sparse::ops::apply_delta(&a, &delta).unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = amd_spmm::reference::iterated_spmm(&merged, &xm, 2).unwrap();
+        assert_eq!(resp.y, want.data());
+        assert_eq!(e.stats().corrected_runs, 1);
+        // Clearing the overlay restores the base path.
+        e.clear_delta(id);
+        assert_eq!(e.delta_nnz(id), 0);
+    }
+
+    #[test]
+    fn empty_overlay_is_a_no_op() {
+        let mut e = engine();
+        let n = 32;
+        let id = e.register(&ring(n)).unwrap();
+        e.set_delta(id, CsrMatrix::zeros(n, n)).unwrap();
+        assert_eq!(e.delta_nnz(id), 0);
+        e.run_single(MultiplyQuery {
+            matrix: id,
+            x: vec![1.0; n as usize],
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        assert_eq!(e.stats().corrected_runs, 0);
+    }
+
+    #[test]
+    fn overlay_shape_and_registration_validated() {
+        let mut e = engine();
+        let id = e.register(&ring(32)).unwrap();
+        assert!(e.set_delta(id, CsrMatrix::zeros(16, 16)).is_err());
+        assert!(e.set_delta(MatrixId(9), CsrMatrix::zeros(32, 32)).is_err());
+        assert_eq!(e.matrix_version(MatrixId(9)), None);
+    }
+
+    #[test]
+    fn refresh_rebinds_replans_and_bumps_version() {
+        let mut e = engine();
+        let n = 40;
+        let a = ring(n);
+        let id = e.register(&a).unwrap();
+        assert_eq!(e.matrix_version(id), Some(0));
+        let decomposes_before = e.cache_stats().decompositions;
+        let delta = ring_delta(n);
+        e.set_delta(id, delta.clone()).unwrap();
+        let merged = amd_sparse::ops::apply_delta(&a, &delta).unwrap();
+        let new_id = e.refresh(id, &merged).unwrap();
+        assert_ne!(new_id, id, "merged content has a new fingerprint");
+        assert_eq!(e.matrix_version(new_id), Some(1));
+        assert_eq!(e.matrix_version(id), None, "old binding dropped");
+        assert_eq!(e.stats().refreshes, 1);
+        assert_eq!(
+            e.cache_stats().decompositions,
+            decomposes_before + 1,
+            "refresh re-decomposes the merged matrix once"
+        );
+        // The new binding is freshly planned and serves without overlay.
+        assert!(e.chosen_algorithm(new_id).is_some());
+        assert_eq!(e.plan_report(new_id).unwrap().len(), 4);
+        let x: Vec<f64> = (0..n).map(|r| (r % 5) as f64).collect();
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: new_id,
+                x: x.clone(),
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = amd_spmm::reference::iterated_spmm(&merged, &xm, 1).unwrap();
+        assert_eq!(resp.y, want.data());
+        assert_eq!(e.stats().corrected_runs, 0, "no overlay after refresh");
+    }
+
+    #[test]
+    fn refresh_remaps_pending_queries() {
+        let mut e = engine();
+        let n = 32;
+        let a = ring(n);
+        let id = e.register(&a).unwrap();
+        e.submit(MultiplyQuery {
+            matrix: id,
+            x: vec![1.0; n as usize],
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        let delta = ring_delta(n);
+        let merged = amd_sparse::ops::apply_delta(&a, &delta).unwrap();
+        let new_id = e.refresh(id, &merged).unwrap();
+        let responses = e.flush().unwrap();
+        assert_eq!(responses.len(), 1);
+        let xm = DenseMatrix::from_vec(n, 1, vec![1.0; n as usize]).unwrap();
+        let want = amd_spmm::reference::iterated_spmm(&merged, &xm, 1).unwrap();
+        assert_eq!(responses[0].y, want.data());
+        assert_eq!(e.matrix_version(new_id), Some(1));
+    }
+
+    #[test]
+    fn refresh_onto_existing_content_still_bumps_version() {
+        // A stream that mutates B back into already-bound content A must
+        // land on A's binding with the version moved forward, not reset.
+        let mut e = engine();
+        let n = 32;
+        let a = ring(n);
+        let delta = ring_delta(n);
+        let b = amd_sparse::ops::apply_delta(&a, &delta).unwrap();
+        let id_a = e.register(&a).unwrap();
+        let id_b = e.register(&b).unwrap();
+        assert_ne!(id_a, id_b);
+        // Refreshing B with A's exact content collides with A's binding.
+        let new_id = e.refresh(id_b, &a).unwrap();
+        assert_eq!(new_id, id_a);
+        assert_eq!(
+            e.matrix_version(new_id),
+            Some(1),
+            "the refresh lineage must advance the shared binding"
+        );
+        assert_eq!(e.matrix_version(id_b), None, "B's binding is gone");
+        assert_eq!(e.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn refresh_validates_inputs() {
+        let mut e = engine();
+        let n = 32;
+        let a = ring(n);
+        let id = e.register(&a).unwrap();
+        // Unknown id.
+        assert!(e.refresh(MatrixId(5), &a).is_err());
+        // Shape change is rejected and the old binding survives.
+        assert!(e.refresh(id, &ring(16)).is_err());
+        assert_eq!(e.matrix_version(id), Some(0));
+        assert!(e.chosen_algorithm(id).is_some());
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //!   exact (bit-identical to per-query runs) because every algorithm
 //!   computes output columns independently.
 //!
+//! For **mutating** matrices the engine additionally supports a sparse
+//! delta overlay ([`Engine::set_delta`]) — runs are answered as
+//! `A₀ + ΔA` through [`amd_spmm::DeltaSpmm`] without re-decomposing —
+//! and a staleness [`Engine::refresh`] that rebinds a matrix to its
+//! compacted successor (new fingerprint, fresh decomposition through the
+//! cache, full planner re-ranking, version carried forward). The
+//! `amd-stream` crate drives both from a budgeted update stream.
+//!
 //! ```
 //! use amd_engine::{Engine, EngineConfig, MultiplyQuery};
 //! use amd_graph::generators::basic;

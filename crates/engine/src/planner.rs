@@ -3,7 +3,7 @@
 //!
 //! Candidates are the four distributed algorithms of `amd_spmm`. Each is
 //! *constructed* (planning its distribution — cheap relative to running)
-//! and asked for its [`CommEstimate`](amd_spmm::CommEstimate); the
+//! and asked for its [`CommEstimate`]; the
 //! planner converts estimates to seconds under a [`CostModel`] and picks
 //! the minimum. This mirrors the paper's §6 comparison — arrow wins
 //! precisely when the decomposition is narrow (low arrow width, strong

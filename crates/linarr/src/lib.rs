@@ -6,9 +6,9 @@
 //! decompositions, so this crate provides the arrangement constructions
 //! the paper analyses:
 //!
-//! * [`separator_la`] — recursive separator-based layout (§5.2, Lemma 2),
+//! * [`separator_la()`] — recursive separator-based layout (§5.2, Lemma 2),
 //! * [`tree_layout`] — the smallest-first order for trees (§5.4, Lemma 3),
-//! * [`spanning_forest_la`] — the near-linear random spanning forest
+//! * [`spanning_forest_la()`] — the near-linear random spanning forest
 //!   heuristic used in the paper's evaluation (§5.3),
 //! * [`rcm`] — reverse Cuthill-McKee, the classic bandwidth-reduction
 //!   baseline the paper contrasts against (§3, "Graph Reordering").

@@ -102,6 +102,26 @@ impl<T: Scalar> CooMatrix<T> {
         Ok(coo)
     }
 
+    /// Canonicalises the triplet list in place: sorts by `(row, col)`,
+    /// sums duplicates, and drops entries whose sum is exactly zero.
+    ///
+    /// Compaction is **idempotent** — a compacted matrix round-trips
+    /// unchanged — which is what lets the streaming layer fold a delta
+    /// into its base repeatedly without drift (each position ends up with
+    /// one triplet holding the total).
+    pub fn compact(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(u32, u32, T)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        out.retain(|&(_, _, v)| v != T::ZERO);
+        self.entries = out;
+    }
+
     /// Converts to CSR, sorting triplets and summing duplicates.
     ///
     /// Entries whose summed value equals `T::ZERO` are kept (explicit
@@ -233,5 +253,29 @@ mod tests {
     fn from_triplets_rejects_out_of_bounds() {
         let res = CooMatrix::<f64>::from_triplets(2, 2, vec![(2u32, 0u32, 1.0f64)]);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn compact_merges_sorts_and_drops_zero_sums() {
+        let mut coo = CooMatrix::<f64>::new(3, 3);
+        coo.push(2, 1, 1.0).unwrap();
+        coo.push(0, 2, 4.0).unwrap();
+        coo.push(2, 1, -1.0).unwrap(); // cancels to zero
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(0, 0, 3.0).unwrap();
+        coo.compact();
+        assert_eq!(coo.entries(), &[(0, 0, 5.0), (0, 2, 4.0)]);
+    }
+
+    #[test]
+    fn compact_is_idempotent() {
+        let mut coo = CooMatrix::<f64>::new(4, 4);
+        for (r, c, v) in [(3, 0, 1.5), (1, 1, -2.0), (3, 0, 0.5), (0, 3, 7.0)] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.compact();
+        let once = coo.clone();
+        coo.compact();
+        assert_eq!(coo, once);
     }
 }

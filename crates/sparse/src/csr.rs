@@ -187,6 +187,23 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// Mutable access to the stored value at `(r, c)`, or `None` if the
+    /// position is not stored (including out-of-range coordinates). Only
+    /// the value can change — the sparsity structure stays fixed — which
+    /// is exactly the contract of the streaming layer's in-place patch
+    /// path.
+    pub fn get_mut(&mut self, r: u32, c: u32) -> Option<&mut T> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        let start = self.indptr[r as usize];
+        let row = &self.indices[start..self.indptr[r as usize + 1]];
+        match row.binary_search(&c) {
+            Ok(pos) => Some(&mut self.values[start + pos]),
+            Err(_) => None,
+        }
+    }
+
     /// Iterates over `(row, col, value)` triplets in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
         (0..self.rows).flat_map(move |r| {
@@ -365,6 +382,20 @@ mod tests {
         for i in 0..4 {
             assert_eq!(id.get(i, i), 1.0);
         }
+    }
+
+    #[test]
+    fn get_mut_patches_stored_values_only() {
+        let mut m = sample();
+        *m.get_mut(2, 1).unwrap() += 1.5;
+        assert_eq!(m.get(2, 1), 5.5);
+        assert!(
+            m.get_mut(1, 1).is_none(),
+            "structural zero is not patchable"
+        );
+        assert!(m.get_mut(3, 0).is_none(), "out-of-range row is None");
+        assert!(m.get_mut(0, 3).is_none(), "out-of-range column is None");
+        assert_eq!(m.nnz(), 4, "patching must not change the structure");
     }
 
     #[test]

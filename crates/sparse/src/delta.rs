@@ -1,0 +1,213 @@
+//! Sparse update accumulation: the ΔA builder of the streaming layer.
+//!
+//! A [`DeltaBuilder`] collects additive updates to a fixed-shape sparse
+//! matrix. Unlike [`CooMatrix`] — the append-only
+//! staging format — the builder keys entries by position, so repeated
+//! updates to the same coordinate coalesce immediately and the builder's
+//! size reflects the number of *distinct* touched positions, which is the
+//! quantity staleness budgets reason about. The absolute mass `Σ |δ|` of
+//! the accumulated delta is maintained incrementally, so budget checks
+//! after every update are `O(1)`.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+use crate::scalar::Scalar;
+use std::collections::HashMap;
+
+/// An accumulator of additive sparse updates `ΔA`.
+///
+/// Entries that cancel back to exactly zero are dropped eagerly, so
+/// [`len`](Self::len) counts positions with a *nonzero* pending change.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBuilder<T: Scalar = f64> {
+    rows: u32,
+    cols: u32,
+    entries: HashMap<(u32, u32), T>,
+    mass: f64,
+}
+
+impl<T: Scalar> DeltaBuilder<T> {
+    /// An empty delta for a `rows × cols` operand.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: HashMap::new(),
+            mass: 0.0,
+        }
+    }
+
+    /// Number of rows of the operand the delta applies to.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns of the operand the delta applies to.
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of distinct positions with a nonzero pending change.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no nonzero change is pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Absolute mass `Σ |δ|` of the pending delta.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// The pending change at `(row, col)` (`T::ZERO` if untouched).
+    pub fn get(&self, row: u32, col: u32) -> T {
+        self.entries.get(&(row, col)).copied().unwrap_or(T::ZERO)
+    }
+
+    /// Accumulates `delta` at `(row, col)`, validating bounds. Updates to
+    /// the same position coalesce; a position whose accumulated change
+    /// returns to exactly zero is removed from the builder.
+    pub fn add(&mut self, row: u32, col: u32, delta: T) -> SparseResult<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if delta == T::ZERO {
+            return Ok(());
+        }
+        let slot = self.entries.entry((row, col)).or_insert(T::ZERO);
+        self.mass -= slot.to_f64().abs();
+        *slot += delta;
+        let now = *slot;
+        if now == T::ZERO {
+            self.entries.remove(&(row, col));
+        } else {
+            self.mass += now.to_f64().abs();
+        }
+        Ok(())
+    }
+
+    /// Accumulates at `(row, col)` and, for `row != col`, mirrors the same
+    /// change at `(col, row)` — the symmetric-adjacency convenience that
+    /// matches [`CooMatrix::push_sym`](crate::CooMatrix::push_sym).
+    pub fn add_sym(&mut self, row: u32, col: u32, delta: T) -> SparseResult<()> {
+        self.add(row, col, delta)?;
+        if row != col {
+            self.add(col, row, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Forgets every pending change.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.mass = 0.0;
+    }
+
+    /// Iterates over pending `(row, col, delta)` triplets in unspecified
+    /// order (the builder is hash-keyed; use [`to_csr`](Self::to_csr) for
+    /// a canonical view).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
+        self.entries.iter().map(|(&(r, c), &v)| (r, c, v))
+    }
+
+    /// The pending delta as a COO staging matrix.
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut coo = CooMatrix::with_capacity(self.rows, self.cols, self.len());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("builder entries are in bounds");
+        }
+        coo
+    }
+
+    /// The pending delta as a canonical CSR matrix (rows sorted, columns
+    /// strictly increasing). This is the `ΔA` the corrected multiply path
+    /// consumes; building it is `O(len + rows)`.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        self.to_coo().to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_coalesces() {
+        let mut d = DeltaBuilder::<f64>::new(4, 4);
+        d.add(1, 2, 2.0).unwrap();
+        d.add(1, 2, 3.0).unwrap();
+        d.add(0, 0, -1.0).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(1, 2), 5.0);
+        assert_eq!(d.mass(), 6.0);
+    }
+
+    #[test]
+    fn cancellation_removes_entries() {
+        let mut d = DeltaBuilder::<f64>::new(3, 3);
+        d.add(2, 1, 4.0).unwrap();
+        d.add(2, 1, -4.0).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.mass(), 0.0);
+        assert_eq!(d.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_updates_are_ignored() {
+        let mut d = DeltaBuilder::<f64>::new(3, 3);
+        d.add(0, 0, 0.0).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let mut d = DeltaBuilder::<f64>::new(2, 2);
+        assert!(d.add(2, 0, 1.0).is_err());
+        assert!(d.add(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn symmetric_add_mirrors() {
+        let mut d = DeltaBuilder::<f64>::new(4, 4);
+        d.add_sym(1, 3, 2.0).unwrap();
+        d.add_sym(2, 2, 5.0).unwrap();
+        assert_eq!(d.get(1, 3), 2.0);
+        assert_eq!(d.get(3, 1), 2.0);
+        assert_eq!(d.get(2, 2), 5.0);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn csr_view_is_canonical() {
+        let mut d = DeltaBuilder::<f64>::new(3, 3);
+        d.add(2, 2, 1.0).unwrap();
+        d.add(0, 1, -2.0).unwrap();
+        let csr = d.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), -2.0);
+        assert_eq!(csr.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn clear_resets_mass() {
+        let mut d = DeltaBuilder::<f64>::new(3, 3);
+        d.add(1, 1, 7.0).unwrap();
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.mass(), 0.0);
+    }
+}

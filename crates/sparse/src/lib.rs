@@ -10,6 +10,8 @@
 //!   matrices `X ∈ R^{n×k}` of the paper,
 //! * [`Permutation`] — vertex/row permutations `π` and the symmetric
 //!   reorderings `PᵀAP` used throughout the decomposition,
+//! * [`DeltaBuilder`] — the coalescing `ΔA` accumulator of the streaming
+//!   update layer, with [`ops::apply_delta`] folding a delta into a base,
 //! * bandwidth and arrow-width measures ([`band`]).
 //!
 //! Conventions follow the paper (Gianinazzi et al., PPoPP'24): matrices are
@@ -20,6 +22,7 @@
 pub mod band;
 pub mod coo;
 pub mod csr;
+pub mod delta;
 pub mod dense;
 pub mod error;
 pub mod io;
@@ -31,6 +34,7 @@ pub mod spmm;
 pub use band::{arrow_width, bandwidth};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
+pub use delta::DeltaBuilder;
 pub use dense::DenseMatrix;
 pub use error::{SparseError, SparseResult};
 pub use permutation::Permutation;

@@ -18,6 +18,22 @@ pub fn sub<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> SparseResult<CsrMat
     merge(a, b, |x, y| x - y)
 }
 
+/// Folds an additive delta into a base matrix: `A + ΔA`, with positions
+/// whose sum is exactly zero dropped from the result.
+///
+/// This is the compaction step of the streaming layer: merging is a
+/// row-wise two-pointer walk (each row's entries combine in ascending
+/// column order, one addition per shared position), so for a fixed pair
+/// of operands the result is deterministic — the "fixed reduction order"
+/// the corrected multiply path is verified against. Dropping exact zeros
+/// means a delta that removes an edge really shrinks the structure.
+pub fn apply_delta<T: Scalar>(
+    a: &CsrMatrix<T>,
+    delta: &CsrMatrix<T>,
+) -> SparseResult<CsrMatrix<T>> {
+    Ok(add(a, delta)?.prune_zeros())
+}
+
 fn merge<T: Scalar>(
     a: &CsrMatrix<T>,
     b: &CsrMatrix<T>,
@@ -171,6 +187,23 @@ mod tests {
         assert!(is_symmetric(&s));
         assert_eq!(s.get(0, 1), 1.0);
         assert_eq!(s.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn apply_delta_merges_and_prunes() {
+        let a = m(&[(0, 0, 1.0), (1, 2, 2.0)], (2, 3));
+        // Removes (1,2), perturbs (0,0), inserts (0,1).
+        let delta = m(&[(1, 2, -2.0), (0, 0, 0.5), (0, 1, 3.0)], (2, 3));
+        let merged = apply_delta(&a, &delta).unwrap();
+        assert_eq!(merged.nnz(), 2);
+        assert_eq!(merged.get(0, 0), 1.5);
+        assert_eq!(merged.get(0, 1), 3.0);
+        assert_eq!(merged.get(1, 2), 0.0);
+        // Empty delta is the identity.
+        let empty = CsrMatrix::<f64>::zeros(2, 3);
+        assert_eq!(apply_delta(&a, &empty).unwrap(), a);
+        // Shape mismatch is rejected.
+        assert!(apply_delta(&a, &CsrMatrix::<f64>::zeros(3, 3)).is_err());
     }
 
     #[test]

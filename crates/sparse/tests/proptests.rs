@@ -1,6 +1,6 @@
 //! Property-based tests for the sparse substrate.
 
-use amd_sparse::{ops, spmm, CooMatrix, CsrMatrix, DenseMatrix, Permutation};
+use amd_sparse::{ops, spmm, CooMatrix, CsrMatrix, DeltaBuilder, DenseMatrix, Permutation};
 use proptest::prelude::*;
 
 /// Strategy: a random sparse matrix of shape up to 24×24 with up to 64
@@ -63,6 +63,52 @@ proptest! {
             let s = ops::symmetrize(&a).unwrap();
             prop_assert!(ops::is_symmetric(&s));
         }
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_preserves_content(coo in coo_strategy()) {
+        let reference = coo.to_csr().prune_zeros();
+        let mut compacted = coo.clone();
+        compacted.compact();
+        // One compaction: same content (duplicates summed, zeros gone)…
+        prop_assert!(compacted.to_csr().max_abs_diff(&reference).unwrap() < 1e-9);
+        // …and a second compaction is a no-op bit for bit.
+        let once = compacted.clone();
+        compacted.compact();
+        prop_assert_eq!(compacted, once);
+    }
+
+    #[test]
+    fn delta_builder_matches_coo_accumulation(coo in coo_strategy()) {
+        // Pushing the same triplet stream through the hash-keyed builder
+        // and the append-only COO staging format must agree after
+        // canonicalisation.
+        let mut builder = DeltaBuilder::new(coo.rows(), coo.cols());
+        for &(r, c, v) in coo.entries() {
+            builder.add(r, c, v).unwrap();
+        }
+        let via_builder = builder.to_csr();
+        let via_coo = coo.to_csr().prune_zeros();
+        prop_assert!(via_builder.max_abs_diff(&via_coo).unwrap() < 1e-9);
+        // Mass is the l1 norm of the canonical delta.
+        let l1: f64 = via_builder.values().iter().map(|v| v.abs()).sum();
+        prop_assert!((builder.mass() - l1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_delta_then_subtract_roundtrips(
+        (a, d) in (coo_strategy(), coo_strategy())
+    ) {
+        // Restrict to matching shapes by reshaping the delta onto a.
+        let a = a.to_csr();
+        let mut delta = CooMatrix::new(a.rows(), a.cols());
+        for &(r, c, v) in d.entries() {
+            delta.push(r % a.rows(), c % a.cols(), v).unwrap();
+        }
+        let delta = delta.to_csr();
+        let merged = ops::apply_delta(&a, &delta).unwrap();
+        let back = ops::sub(&merged, &delta).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-9);
     }
 
     #[test]

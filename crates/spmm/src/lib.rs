@@ -11,7 +11,10 @@
 //!   along both dimensions, `√p` phases),
 //! * [`Hp1dSpmm`] — the PETSc-style 1D hypergraph-partitioning baseline
 //!   with local/non-local overlap,
-//! * [`reference`] — the serial reference every algorithm is verified
+//! * [`DeltaSpmm`] — the streaming layer's corrected path: any of the
+//!   above on a decomposed base `A₀` plus a per-iteration sparse-delta
+//!   correction, serving `A₀ + ΔA` without re-decomposing,
+//! * [`mod@reference`] — the serial reference every algorithm is verified
 //!   against.
 //!
 //! All algorithms implement [`DistSpmm`]: a `run(x, iters)` producing the
@@ -25,6 +28,7 @@
 pub mod a15d;
 pub mod a2d;
 pub mod arrow;
+pub mod corrected;
 pub mod hp1d;
 pub mod layout;
 pub mod reference;
@@ -35,5 +39,6 @@ pub mod verify;
 pub use a15d::{best_c, A15dSpmm};
 pub use a2d::A2dSpmm;
 pub use arrow::ArrowSpmm;
+pub use corrected::DeltaSpmm;
 pub use hp1d::Hp1dSpmm;
 pub use traits::{CommEstimate, DistSpmm, SpmmRun};

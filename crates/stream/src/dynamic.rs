@@ -1,0 +1,587 @@
+//! A self-contained dynamic matrix: decomposed base, pending delta, and
+//! the sequential corrected multiply.
+//!
+//! [`DynamicMatrix`] is the kernel-level object of the streaming
+//! subsystem (the serving-side counterpart is
+//! [`StreamingEngine`](crate::StreamingEngine)). It maintains
+//!
+//! ```text
+//! A  =  A₀ (decomposed once)  +  ΔA (coalescing sparse delta)
+//! ```
+//!
+//! and answers `σ(A · X)` iterations without re-decomposing. Updates take
+//! one of two routes:
+//!
+//! * **in-place patch** — a value change to an entry `A₀` already stores
+//!   folds directly into the owning decomposition level
+//!   ([`ArrowDecomposition::patch_values`]); the delta does not grow at
+//!   all, so pure weight-update streams (GNN weight drift, edge
+//!   re-weighting) never trip the staleness budget;
+//! * **delta accumulation** — structural changes (new entries) join `ΔA`
+//!   and are served through the corrected multiply until
+//!   [`refresh`](DynamicMatrix::refresh) compacts them into a fresh
+//!   base and decomposition.
+//!
+//! The corrected multiply uses the fixed reduction order of the
+//! subsystem: base contribution first (levels in peeling order), then the
+//! delta product in row-major ascending-column order, then σ — matching
+//! [`amd_spmm::DeltaSpmm`], and bit-equal to a rebuild for exactly
+//! representable data.
+
+use crate::budget::StalenessBudget;
+use crate::update::Update;
+use amd_sparse::{ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, SparseError, SparseResult};
+use arrow_core::{
+    la_decompose, persist, ArrowDecomposition, DecomposeConfig, PersistMeta, RandomForestLa,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+/// Configuration of a [`DynamicMatrix`].
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Decomposition parameters for the base (and every refresh).
+    pub decompose: DecomposeConfig,
+    /// Seed of the random-forest arrangement strategy.
+    pub seed: u64,
+    /// When the pending delta forces a refresh.
+    pub budget: StalenessBudget,
+    /// Value-only updates patch the decomposition in place instead of
+    /// growing the delta. Disable to force every update through the
+    /// delta (the E-STREAM ablation).
+    pub patch_in_place: bool,
+    /// Versioned persist write-through: the current decomposition is
+    /// saved here (magic `AMD2`, version + fingerprint header) at
+    /// construction and after every refresh, and reloaded on
+    /// construction when the header matches the matrix.
+    pub persist_path: Option<PathBuf>,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            decompose: DecomposeConfig::default(),
+            seed: 42,
+            budget: StalenessBudget::default(),
+            patch_in_place: true,
+            persist_path: None,
+        }
+    }
+}
+
+/// Streaming counters of a [`DynamicMatrix`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Updates accepted (including no-op updates).
+    pub updates: u64,
+    /// Updates folded into the decomposition in place.
+    pub patched_in_place: u64,
+    /// Updates accumulated into the delta.
+    pub deferred_to_delta: u64,
+    /// Compactions performed (LA-Decompose re-runs).
+    pub refreshes: u64,
+    /// Multiplies answered through the corrected path.
+    pub corrected_multiplies: u64,
+    /// Multiplies answered with an empty delta (pure base path).
+    pub exact_multiplies: u64,
+}
+
+/// A served matrix `A₀ + ΔA` with incremental decomposition maintenance.
+/// See the [module docs](self).
+pub struct DynamicMatrix {
+    base: CsrMatrix<f64>,
+    decomposition: ArrowDecomposition,
+    delta: DeltaBuilder<f64>,
+    /// Canonical CSR view of `delta`, rebuilt lazily after updates.
+    delta_csr: Option<CsrMatrix<f64>>,
+    version: u64,
+    /// The persisted file no longer reflects `base` (in-place patches).
+    persist_dirty: bool,
+    config: DynamicConfig,
+    stats: StreamStats,
+}
+
+impl DynamicMatrix {
+    /// Wraps `a`, decomposing it (or reloading a matching versioned
+    /// persist file — same fingerprint — when one is configured).
+    pub fn new(a: CsrMatrix<f64>, config: DynamicConfig) -> SparseResult<Self> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::ShapeMismatch {
+                left: (a.rows(), a.cols()),
+                right: (a.cols(), a.rows()),
+            });
+        }
+        let fingerprint = a.fingerprint();
+        let mut version = 0;
+        let mut loaded = None;
+        if let Some(path) = &config.persist_path {
+            if let Ok(file) = File::open(path) {
+                if let Ok((d, meta)) = persist::load_versioned(BufReader::new(file)) {
+                    // Adopt only a decomposition of this exact matrix at
+                    // this configuration's arrow width — a file written
+                    // under a different width must not silently override
+                    // the requested one. (Other config knobs — seed,
+                    // pruning — are not recorded in the header; use one
+                    // persist path per configuration.)
+                    if meta.fingerprint == fingerprint
+                        && d.n() == a.rows()
+                        && d.b() == config.decompose.arrow_width
+                    {
+                        version = meta.version;
+                        loaded = Some(d);
+                    }
+                }
+            }
+        }
+        let fresh = loaded.is_none();
+        let decomposition = match loaded {
+            Some(d) => d,
+            None => la_decompose(&a, &config.decompose, &mut RandomForestLa::new(config.seed))?,
+        };
+        let n = a.rows();
+        let mut dm = Self {
+            base: a,
+            decomposition,
+            delta: DeltaBuilder::new(n, n),
+            delta_csr: None,
+            version,
+            persist_dirty: fresh,
+            config,
+            stats: StreamStats::default(),
+        };
+        dm.persist_now()?;
+        Ok(dm)
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> u32 {
+        self.base.rows()
+    }
+
+    /// The current base `A₀` (excludes the pending delta).
+    pub fn base(&self) -> &CsrMatrix<f64> {
+        &self.base
+    }
+
+    /// The current decomposition of `A₀`.
+    pub fn decomposition(&self) -> &ArrowDecomposition {
+        &self.decomposition
+    }
+
+    /// Refresh generation: 0 at construction, +1 per compaction.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Content fingerprint of the current base (`O(nnz)` per call).
+    pub fn fingerprint(&self) -> u128 {
+        self.base.fingerprint()
+    }
+
+    /// Distinct positions pending in the delta.
+    pub fn delta_nnz(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Absolute mass `Σ |δ|` of the pending delta.
+    pub fn delta_mass(&self) -> f64 {
+        self.delta.mass()
+    }
+
+    /// Streaming counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// `true` once the pending delta exceeds the staleness budget (the
+    /// holder should [`refresh`](Self::refresh)).
+    pub fn needs_refresh(&self) -> bool {
+        self.config
+            .budget
+            .exceeded(self.delta.len(), self.delta.mass(), self.base.nnz())
+    }
+
+    /// The served matrix `A₀ + ΔA`, materialised (zero-sum positions
+    /// pruned). This is what a refresh compacts into the next base.
+    pub fn merged(&self) -> SparseResult<CsrMatrix<f64>> {
+        if self.delta.is_empty() {
+            return Ok(self.base.clone());
+        }
+        ops::apply_delta(&self.base, &self.delta.to_csr())
+    }
+
+    /// Applies one update; returns `true` when the staleness budget is
+    /// now exceeded. Value-only changes to stored base entries patch the
+    /// decomposition in place (if enabled); everything else joins the
+    /// delta.
+    pub fn apply(&mut self, update: Update) -> SparseResult<bool> {
+        let (row, col) = update.position();
+        if row >= self.n() || col >= self.n() {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.n(),
+                cols: self.n(),
+            });
+        }
+        let additive = update.additive(self.base.get(row, col) + self.delta.get(row, col));
+        self.stats.updates += 1;
+        if additive == 0.0 {
+            return Ok(self.needs_refresh());
+        }
+        let patchable = self.config.patch_in_place
+            && self.delta.get(row, col) == 0.0
+            && self.base.get_mut(row, col).is_some();
+        if patchable {
+            self.decomposition.patch_values(&[(row, col, additive)])?;
+            *self
+                .base
+                .get_mut(row, col)
+                .expect("patchable checked the entry exists") += additive;
+            self.persist_dirty = true;
+            self.stats.patched_in_place += 1;
+        } else {
+            self.delta.add(row, col, additive)?;
+            self.delta_csr = None;
+            self.stats.deferred_to_delta += 1;
+        }
+        Ok(self.needs_refresh())
+    }
+
+    fn delta_csr(&mut self) -> &CsrMatrix<f64> {
+        if self.delta_csr.is_none() {
+            self.delta_csr = Some(self.delta.to_csr());
+        }
+        self.delta_csr.as_ref().expect("just built")
+    }
+
+    /// Iterated corrected multiply `X ← σ((A₀ + ΔA) · X)`, `iters` times,
+    /// without re-decomposing. Fixed reduction order: base contribution
+    /// (levels in peeling order), then the delta product (row-major,
+    /// ascending columns), then σ — per iteration.
+    pub fn multiply(
+        &mut self,
+        x: &DenseMatrix<f64>,
+        iters: u32,
+        sigma: Option<fn(f64) -> f64>,
+    ) -> SparseResult<DenseMatrix<f64>> {
+        if x.rows() != self.n() {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n(), self.n()),
+                right: (x.rows(), x.cols()),
+            });
+        }
+        let corrected = !self.delta.is_empty();
+        if corrected {
+            self.stats.corrected_multiplies += 1;
+        } else {
+            self.stats.exact_multiplies += 1;
+        }
+        let mut cur = x.clone();
+        for _ in 0..iters {
+            let mut y = self.decomposition.multiply(&cur)?;
+            if corrected {
+                let dy = spmm::spmm(self.delta_csr(), &cur)?;
+                y.add_assign(&dy)?;
+            }
+            if let Some(f) = sigma {
+                y.map_inplace(f);
+            }
+            cur = y;
+        }
+        Ok(cur)
+    }
+
+    /// Compacts the pending delta into the base: materialises `A₀ + ΔA`,
+    /// re-runs LA-Decompose, bumps the version, and writes through to the
+    /// persist path. Returns `false` (and does **not** re-decompose) when
+    /// the delta is empty — compaction is idempotent.
+    pub fn refresh(&mut self) -> SparseResult<bool> {
+        if self.delta.is_empty() {
+            // Nothing to compact; still flush deferred in-place patches.
+            self.persist_now()?;
+            return Ok(false);
+        }
+        let merged = self.merged()?;
+        self.decomposition = la_decompose(
+            &merged,
+            &self.config.decompose,
+            &mut RandomForestLa::new(self.config.seed),
+        )?;
+        self.base = merged;
+        self.delta.clear();
+        self.delta_csr = None;
+        self.version += 1;
+        self.persist_dirty = true;
+        self.stats.refreshes += 1;
+        self.persist_now()?;
+        Ok(true)
+    }
+
+    /// Writes the current decomposition to the configured persist path
+    /// (versioned header: current version + base fingerprint). No-op
+    /// without a path or when the file is already up to date. In-place
+    /// patches mark the file stale; they are flushed here and at the
+    /// next [`refresh`](Self::refresh).
+    pub fn persist_now(&mut self) -> SparseResult<()> {
+        let Some(path) = self.config.persist_path.clone() else {
+            return Ok(());
+        };
+        if !self.persist_dirty {
+            return Ok(());
+        }
+        let meta = PersistMeta {
+            version: self.version,
+            fingerprint: self.base.fingerprint(),
+        };
+        let file = File::create(&path)
+            .map_err(|e| SparseError::InvalidCsr(format!("create {}: {e}", path.display())))?;
+        persist::save_versioned(&self.decomposition, &meta, BufWriter::new(file))?;
+        self.persist_dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::basic;
+    use amd_spmm::reference::iterated_spmm;
+
+    fn ring(n: u32) -> CsrMatrix<f64> {
+        basic::cycle(n).to_adjacency()
+    }
+
+    fn config(b: u32) -> DynamicConfig {
+        DynamicConfig {
+            decompose: DecomposeConfig::with_width(b),
+            budget: StalenessBudget::nnz_cap(6),
+            ..DynamicConfig::default()
+        }
+    }
+
+    #[test]
+    fn value_updates_patch_in_place() {
+        let n = 40;
+        let mut dm = DynamicMatrix::new(ring(n), config(8)).unwrap();
+        // Re-weight existing edges only: the delta must stay empty.
+        for i in 0..10u32 {
+            assert!(!dm
+                .apply(Update::Add {
+                    row: i,
+                    col: i + 1,
+                    delta: 2.0
+                })
+                .unwrap());
+        }
+        assert_eq!(dm.delta_nnz(), 0);
+        assert_eq!(dm.stats().patched_in_place, 10);
+        assert_eq!(dm.stats().refreshes, 0);
+        // The decomposition tracks the edits exactly.
+        let mut want = ring(n);
+        for i in 0..10u32 {
+            *want.get_mut(i, i + 1).unwrap() += 2.0;
+        }
+        assert_eq!(dm.decomposition().validate(&want).unwrap(), 0.0);
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + c) % 5) as f64 - 2.0);
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(&want, &x, 2).unwrap());
+        assert_eq!(dm.stats().exact_multiplies, 1);
+    }
+
+    #[test]
+    fn structural_updates_go_to_delta_and_correct() {
+        let n = 32;
+        let mut dm = DynamicMatrix::new(ring(n), config(8)).unwrap();
+        for [a, b] in [
+            Update::Add {
+                row: 0,
+                col: 16,
+                delta: 2.0,
+            }
+            .sym_pair(),
+            Update::Add {
+                row: 5,
+                col: 20,
+                delta: 1.0,
+            }
+            .sym_pair(),
+        ] {
+            dm.apply(a).unwrap();
+            dm.apply(b).unwrap();
+        }
+        assert_eq!(dm.delta_nnz(), 4);
+        assert_eq!(dm.stats().deferred_to_delta, 4);
+        let x = DenseMatrix::from_fn(n, 3, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let got = dm.multiply(&x, 3, None).unwrap();
+        let want = iterated_spmm(&dm.merged().unwrap(), &x, 3).unwrap();
+        assert_eq!(got, want, "integer data must match bit for bit");
+        assert_eq!(dm.stats().corrected_multiplies, 1);
+    }
+
+    #[test]
+    fn set_computes_additive_difference() {
+        let n = 24;
+        let mut dm = DynamicMatrix::new(ring(n), config(8)).unwrap();
+        // Set an existing edge to 5 (in-place), a new position to 3
+        // (delta), then set the new position again to 1 (delta update).
+        dm.apply(Update::Set {
+            row: 0,
+            col: 1,
+            value: 5.0,
+        })
+        .unwrap();
+        assert_eq!(dm.base().get(0, 1), 5.0);
+        dm.apply(Update::Set {
+            row: 0,
+            col: 12,
+            value: 3.0,
+        })
+        .unwrap();
+        dm.apply(Update::Set {
+            row: 0,
+            col: 12,
+            value: 1.0,
+        })
+        .unwrap();
+        assert_eq!(dm.merged().unwrap().get(0, 12), 1.0);
+        // Setting back to the current value is a no-op.
+        let before = dm.delta_nnz();
+        dm.apply(Update::Set {
+            row: 0,
+            col: 12,
+            value: 1.0,
+        })
+        .unwrap();
+        assert_eq!(dm.delta_nnz(), before);
+    }
+
+    #[test]
+    fn refresh_compacts_and_is_idempotent() {
+        let n = 30;
+        let mut dm = DynamicMatrix::new(ring(n), config(8)).unwrap();
+        dm.apply(Update::Add {
+            row: 2,
+            col: 17,
+            delta: 4.0,
+        })
+        .unwrap();
+        // Remove an existing edge entirely (in-place patch to 0 keeps the
+        // position; a Set through the delta is structural only for new
+        // positions — force a structural one too).
+        dm.apply(Update::Add {
+            row: 17,
+            col: 2,
+            delta: 4.0,
+        })
+        .unwrap();
+        let merged_before = dm.merged().unwrap();
+        assert!(dm.refresh().unwrap());
+        assert_eq!(dm.version(), 1);
+        assert_eq!(dm.delta_nnz(), 0);
+        assert_eq!(dm.base(), &merged_before);
+        assert_eq!(dm.decomposition().validate(dm.base()).unwrap(), 0.0);
+        // Idempotent: a second refresh with no pending delta is a no-op.
+        assert!(!dm.refresh().unwrap());
+        assert_eq!(dm.version(), 1);
+        assert_eq!(dm.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn budget_trips_after_enough_structural_updates() {
+        let n = 40;
+        let mut dm = DynamicMatrix::new(ring(n), config(8)).unwrap();
+        let mut tripped = false;
+        for i in 0..8u32 {
+            tripped = dm
+                .apply(Update::Add {
+                    row: i,
+                    col: i + 12,
+                    delta: 1.0,
+                })
+                .unwrap();
+            if tripped {
+                break;
+            }
+        }
+        assert!(tripped, "nnz cap of 6 must trip within 8 inserts");
+        assert!(dm.needs_refresh());
+        dm.refresh().unwrap();
+        assert!(!dm.needs_refresh());
+    }
+
+    #[test]
+    fn persist_roundtrip_skips_decompose_and_tracks_version() {
+        let dir = std::env::temp_dir().join(format!("amd-stream-dyn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dyn.amd");
+        let n = 36;
+        let mut cfg = config(8);
+        cfg.persist_path = Some(path.clone());
+        let mut dm = DynamicMatrix::new(ring(n), cfg.clone()).unwrap();
+        dm.apply(Update::Add {
+            row: 0,
+            col: 18,
+            delta: 1.0,
+        })
+        .unwrap();
+        dm.refresh().unwrap();
+        let merged = dm.base().clone();
+        assert_eq!(dm.version(), 1);
+        drop(dm);
+        // Reload under the merged matrix: fingerprint matches, so the
+        // persisted decomposition (version 1) is adopted as-is.
+        let dm2 = DynamicMatrix::new(merged.clone(), cfg.clone()).unwrap();
+        assert_eq!(dm2.version(), 1);
+        assert_eq!(dm2.decomposition().validate(&merged).unwrap(), 0.0);
+        // The same matrix at a *different* arrow width must not adopt the
+        // file either (it was written at width 8).
+        let mut narrow = cfg.clone();
+        narrow.decompose = DecomposeConfig::with_width(4);
+        let redone = DynamicMatrix::new(merged.clone(), narrow).unwrap();
+        assert_eq!(redone.version(), 0, "stale width must not be adopted");
+        assert_eq!(redone.decomposition().b(), 4);
+        // And a *different* matrix must not adopt the stale file.
+        let other = DynamicMatrix::new(ring(n), cfg).unwrap();
+        assert_eq!(other.version(), 0);
+        assert_eq!(other.decomposition().validate(&ring(n)).unwrap(), 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounds_and_shape_validated() {
+        let n = 16;
+        let mut dm = DynamicMatrix::new(ring(n), config(4)).unwrap();
+        assert!(dm
+            .apply(Update::Add {
+                row: n,
+                col: 0,
+                delta: 1.0
+            })
+            .is_err());
+        assert!(DynamicMatrix::new(CsrMatrix::zeros(3, 4), config(4)).is_err());
+        let bad_x = DenseMatrix::zeros(n + 1, 1);
+        assert!(dm.multiply(&bad_x, 1, None).is_err());
+    }
+
+    #[test]
+    fn patching_disabled_routes_everything_to_delta() {
+        let n = 24;
+        let mut cfg = config(8);
+        cfg.patch_in_place = false;
+        let mut dm = DynamicMatrix::new(ring(n), cfg).unwrap();
+        dm.apply(Update::Add {
+            row: 0,
+            col: 1,
+            delta: 2.0,
+        })
+        .unwrap();
+        assert_eq!(dm.stats().patched_in_place, 0);
+        assert_eq!(dm.delta_nnz(), 1);
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + 2 * c) % 5) as f64);
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(&dm.merged().unwrap(), &x, 2).unwrap());
+    }
+}

@@ -1,0 +1,63 @@
+//! # amd-stream — streaming updates for served arrow decompositions
+//!
+//! The paper's workload shape is decompose-once, multiply-many; the
+//! serving engine (`amd-engine`) hardcodes that assumption — any change
+//! to the matrix means a cold LA-Decompose. This crate absorbs
+//! edge/weight updates **between** queries without paying full
+//! re-decomposition on every change. A served matrix becomes
+//!
+//! ```text
+//! A  =  A₀ (decomposed base)  +  ΔA (sparse coalescing delta)
+//! ```
+//!
+//! * multiplies are answered as arrow-SpMM on `A₀` plus a per-iteration
+//!   delta correction (see [`amd_spmm::DeltaSpmm`]) — exact under the
+//!   subsystem's fixed reduction order,
+//! * value-only updates to stored entries can bypass the delta entirely
+//!   and patch the decomposition in place
+//!   ([`arrow_core::ArrowDecomposition::patch_values`]),
+//! * delta size/mass is tracked against a configurable
+//!   [`StalenessBudget`]; when it trips, a background-style **refresh**
+//!   compacts `ΔA` into `A₀`, re-runs LA-Decompose, bumps the version,
+//!   re-ranks the planner, and writes through to the persist layer.
+//!
+//! Two entry points:
+//!
+//! * [`DynamicMatrix`] — the self-contained kernel object (base +
+//!   decomposition + delta), sequential corrected multiply, versioned
+//!   persistence. Use it for library/batch workloads.
+//! * [`StreamingEngine`] — the serving wrapper around
+//!   [`amd_engine::Engine`]: batched queries, delta overlay on the bound
+//!   distributed algorithm, cache-aware refresh. Use it to serve traffic.
+//!
+//! ```
+//! use amd_graph::generators::basic;
+//! use amd_sparse::CsrMatrix;
+//! use amd_stream::{StalenessBudget, StreamingConfig, StreamingEngine, Update};
+//!
+//! let a: CsrMatrix<f64> = basic::cycle(64).to_adjacency();
+//! let mut s = StreamingEngine::new(
+//!     a,
+//!     StreamingConfig::with_budget(StalenessBudget::nnz_cap(8)),
+//! ).unwrap();
+//! // Mutate the graph between queries: add a chord.
+//! for u in (Update::Add { row: 0, col: 32, delta: 1.0 }).sym_pair() {
+//!     s.update(u).unwrap();
+//! }
+//! // Queries keep flowing — served as A₀ + ΔA, zero re-decompositions.
+//! s.submit(vec![1.0; 64], 2, None).unwrap();
+//! let answers = s.flush().unwrap();
+//! assert_eq!(answers.len(), 1);
+//! assert_eq!(s.cache_stats().decompositions, 1);
+//! assert_eq!(s.engine_stats().corrected_runs, 1);
+//! ```
+
+pub mod budget;
+pub mod dynamic;
+pub mod session;
+pub mod update;
+
+pub use budget::StalenessBudget;
+pub use dynamic::{DynamicConfig, DynamicMatrix, StreamStats};
+pub use session::{StreamingConfig, StreamingEngine};
+pub use update::Update;

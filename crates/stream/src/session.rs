@@ -1,0 +1,398 @@
+//! The serving side of the streaming subsystem: an
+//! [`Engine`] wrapper that absorbs a mutation stream.
+//!
+//! A [`StreamingEngine`] serves **one** matrix that changes between
+//! queries (multi-matrix tenancy is a roadmap item). Updates accumulate
+//! in a [`DeltaBuilder`]; before every flush the pending delta is synced
+//! to the engine as an overlay, so queries are answered as `A₀ + ΔA`
+//! through the corrected path — the warm decomposition keeps serving,
+//! and the decomposition cache sees **zero** LA-Decompose calls. Once
+//! the staleness budget trips, the wrapper triggers the
+//! background-style refresh: the delta is compacted into the base, the
+//! engine rebinds the merged matrix (new fingerprint, cache write-
+//! through, full planner re-ranking) and the stream continues against
+//! the fresh binding.
+//!
+//! Consistency model: the **flush is the consistency point**. A query is
+//! answered against the served operator as of the flush that answers it
+//! — i.e. including every update applied before that flush, whether the
+//! update arrived before or after the query was submitted.
+
+use crate::budget::StalenessBudget;
+use crate::update::Update;
+use amd_engine::{
+    CacheStats, Engine, EngineConfig, EngineStats, MatrixId, MultiplyQuery, QueryId, QueryResponse,
+};
+use amd_sparse::{ops, CsrMatrix, DeltaBuilder, SparseError, SparseResult};
+use amd_spmm::traits::Sigma;
+
+/// Configuration of a [`StreamingEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamingConfig {
+    /// The wrapped engine's configuration (cache, planner, batcher).
+    pub engine: EngineConfig,
+    /// When the pending delta forces a refresh.
+    pub budget: StalenessBudget,
+    /// Refresh immediately from [`update`](StreamingEngine::update) when
+    /// the budget trips (`true`, default), or leave refreshes to explicit
+    /// [`refresh`](StreamingEngine::refresh) calls (`false`).
+    pub auto_refresh: bool,
+}
+
+impl StreamingConfig {
+    /// Default engine, the given budget, auto-refresh on.
+    pub fn with_budget(budget: StalenessBudget) -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            budget,
+            auto_refresh: true,
+        }
+    }
+}
+
+/// A serving engine for one mutating matrix. See the [module docs](self).
+pub struct StreamingEngine {
+    engine: Engine,
+    budget: StalenessBudget,
+    auto_refresh: bool,
+    /// The registered base `A₀` (truth as of the last refresh).
+    base: CsrMatrix<f64>,
+    delta: DeltaBuilder<f64>,
+    /// The engine's overlay no longer matches `delta`.
+    overlay_dirty: bool,
+    id: MatrixId,
+}
+
+impl StreamingEngine {
+    /// Stands up an engine and registers `a` (one cold decompose, or a
+    /// disk load if the engine's spill directory already holds it).
+    pub fn new(a: CsrMatrix<f64>, config: StreamingConfig) -> SparseResult<Self> {
+        let mut engine = Engine::new(config.engine)?;
+        let id = engine.register(&a)?;
+        let n = a.rows();
+        Ok(Self {
+            engine,
+            budget: config.budget,
+            auto_refresh: config.auto_refresh,
+            base: a,
+            delta: DeltaBuilder::new(n, n),
+            overlay_dirty: false,
+            id,
+        })
+    }
+
+    /// Handle of the current binding (changes at every refresh — the
+    /// merged matrix has a new fingerprint).
+    pub fn id(&self) -> MatrixId {
+        self.id
+    }
+
+    /// Streaming revision of the binding (0 cold, +1 per refresh).
+    pub fn version(&self) -> u64 {
+        self.engine
+            .matrix_version(self.id)
+            .expect("the stream's matrix is always bound")
+    }
+
+    /// The registered base `A₀` (excludes the pending delta).
+    pub fn base(&self) -> &CsrMatrix<f64> {
+        &self.base
+    }
+
+    /// The pending delta accumulator `ΔA`.
+    pub fn delta(&self) -> &DeltaBuilder<f64> {
+        &self.delta
+    }
+
+    /// Distinct positions pending in the delta.
+    pub fn delta_nnz(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Absolute mass `Σ |δ|` of the pending delta.
+    pub fn delta_mass(&self) -> f64 {
+        self.delta.mass()
+    }
+
+    /// `true` once the pending delta exceeds the staleness budget.
+    pub fn needs_refresh(&self) -> bool {
+        self.budget
+            .exceeded(self.delta.len(), self.delta.mass(), self.base.nnz())
+    }
+
+    /// The wrapped engine's serving counters.
+    pub fn engine_stats(&self) -> &EngineStats {
+        self.engine.stats()
+    }
+
+    /// The wrapped engine's decomposition-cache counters (the
+    /// cold-decompose probe).
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// The algorithm bound for the current binding.
+    pub fn chosen_algorithm(&self) -> &str {
+        self.engine
+            .chosen_algorithm(self.id)
+            .expect("the stream's matrix is always bound")
+    }
+
+    /// The planner's current ranking (re-computed at every refresh).
+    pub fn plan_report(&self) -> &[amd_engine::Prediction] {
+        self.engine
+            .plan_report(self.id)
+            .expect("the stream's matrix is always bound")
+    }
+
+    /// Applies one update to the served matrix; returns `true` when the
+    /// update triggered (auto-refresh on) or requires (off) a refresh.
+    pub fn update(&mut self, update: Update) -> SparseResult<bool> {
+        let (row, col) = update.position();
+        let n = self.base.rows();
+        if row >= n || col >= n {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: n,
+                cols: n,
+            });
+        }
+        let additive = update.additive(self.base.get(row, col) + self.delta.get(row, col));
+        if additive != 0.0 {
+            self.delta.add(row, col, additive)?;
+            self.overlay_dirty = true;
+        }
+        if self.needs_refresh() {
+            if self.auto_refresh {
+                self.refresh()?;
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Compacts the pending delta into the base and rebinds the engine:
+    /// merged matrix, new fingerprint, fresh decomposition (through the
+    /// cache, write-through), full planner re-ranking, version +1.
+    /// Returns `false` when the delta is empty (no-op).
+    pub fn refresh(&mut self) -> SparseResult<bool> {
+        if self.delta.is_empty() {
+            return Ok(false);
+        }
+        let merged = ops::apply_delta(&self.base, &self.delta.to_csr())?;
+        self.id = self.engine.refresh(self.id, &merged)?;
+        self.base = merged;
+        self.delta.clear();
+        // The old binding carried the overlay away with it; the fresh
+        // binding serves the compacted base directly.
+        self.overlay_dirty = false;
+        Ok(true)
+    }
+
+    /// Pushes the pending delta into the engine as an overlay (no-op when
+    /// already in sync). Called internally before anything runs.
+    fn sync_overlay(&mut self) -> SparseResult<()> {
+        if !self.overlay_dirty {
+            return Ok(());
+        }
+        self.engine.set_delta(self.id, self.delta.to_csr())?;
+        self.overlay_dirty = false;
+        Ok(())
+    }
+
+    /// Enqueues a multiply query against the served matrix; answers
+    /// arrive from [`flush`](Self::flush).
+    pub fn submit(
+        &mut self,
+        x: Vec<f64>,
+        iters: u32,
+        sigma: Option<Sigma>,
+    ) -> SparseResult<QueryId> {
+        self.engine.submit(MultiplyQuery {
+            matrix: self.id,
+            x,
+            iters,
+            sigma,
+        })
+    }
+
+    /// Answers every pending query against the served operator
+    /// `A₀ + ΔA` as of now (see the consistency model in the
+    /// [module docs](self)).
+    pub fn flush(&mut self) -> SparseResult<Vec<QueryResponse>> {
+        self.sync_overlay()?;
+        self.engine.flush()
+    }
+
+    /// Runs one query immediately, bypassing the batcher.
+    pub fn run_single(
+        &mut self,
+        x: Vec<f64>,
+        iters: u32,
+        sigma: Option<Sigma>,
+    ) -> SparseResult<QueryResponse> {
+        self.sync_overlay()?;
+        self.engine.run_single(MultiplyQuery {
+            matrix: self.id,
+            x,
+            iters,
+            sigma,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amd_graph::generators::basic;
+    use amd_sparse::DenseMatrix;
+    use amd_spmm::reference::iterated_spmm;
+
+    fn ring(n: u32) -> CsrMatrix<f64> {
+        basic::cycle(n).to_adjacency()
+    }
+
+    fn config(cap: usize) -> StreamingConfig {
+        StreamingConfig {
+            engine: EngineConfig {
+                arrow_width: 8,
+                target_ranks: 4,
+                ..EngineConfig::default()
+            },
+            budget: StalenessBudget::nnz_cap(cap),
+            auto_refresh: true,
+        }
+    }
+
+    #[test]
+    fn corrected_serving_matches_merged_reference() {
+        let n = 40;
+        let mut s = StreamingEngine::new(ring(n), config(100)).unwrap();
+        for u in (Update::Add {
+            row: 0,
+            col: 20,
+            delta: 2.0,
+        })
+        .sym_pair()
+        {
+            s.update(u).unwrap();
+        }
+        let x: Vec<f64> = (0..n).map(|r| ((r % 9) as f64) - 4.0).collect();
+        s.submit(x.clone(), 2, None).unwrap();
+        let resp = s.flush().unwrap();
+        let merged = ops::apply_delta(s.base(), &s.delta().to_csr()).unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = iterated_spmm(&merged, &xm, 2).unwrap();
+        assert_eq!(resp[0].y, want.data());
+        assert_eq!(s.engine_stats().corrected_runs, 1);
+        assert_eq!(s.cache_stats().decompositions, 1, "no cold decompose");
+    }
+
+    #[test]
+    fn auto_refresh_trips_on_budget_and_rebinds() {
+        let n = 36;
+        let mut s = StreamingEngine::new(ring(n), config(4)).unwrap();
+        let id0 = s.id();
+        assert_eq!(s.version(), 0);
+        let mut refreshed = false;
+        for i in 0..6u32 {
+            refreshed = s
+                .update(Update::Add {
+                    row: i,
+                    col: i + 10,
+                    delta: 1.0,
+                })
+                .unwrap();
+            if refreshed {
+                break;
+            }
+        }
+        assert!(refreshed, "cap 4 must trip within 6 inserts");
+        assert_ne!(s.id(), id0);
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.delta_nnz(), 0);
+        assert_eq!(s.engine_stats().refreshes, 1);
+        assert_eq!(s.cache_stats().decompositions, 2, "cold + refresh");
+        // Post-refresh serving is the plain base path.
+        let x: Vec<f64> = vec![1.0; n as usize];
+        s.run_single(x, 1, None).unwrap();
+        assert_eq!(s.engine_stats().corrected_runs, 0);
+    }
+
+    #[test]
+    fn manual_refresh_mode_reports_pressure() {
+        let n = 24;
+        let mut cfg = config(2);
+        cfg.auto_refresh = false;
+        let mut s = StreamingEngine::new(ring(n), cfg).unwrap();
+        for i in 0..3u32 {
+            s.update(Update::Add {
+                row: i,
+                col: i + 7,
+                delta: 1.0,
+            })
+            .unwrap();
+        }
+        assert!(s.needs_refresh());
+        assert_eq!(s.engine_stats().refreshes, 0, "no auto refresh");
+        assert!(s.refresh().unwrap());
+        assert!(!s.needs_refresh());
+        assert_eq!(s.version(), 1);
+        // Refreshing again with no pending delta is a no-op.
+        assert!(!s.refresh().unwrap());
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    fn set_and_remove_edges_through_the_stream() {
+        let n = 30;
+        let mut s = StreamingEngine::new(ring(n), config(100)).unwrap();
+        // Remove the (0,1)/(1,0) edge and re-weight (2,3).
+        for u in (Update::Set {
+            row: 0,
+            col: 1,
+            value: 0.0,
+        })
+        .sym_pair()
+        {
+            s.update(u).unwrap();
+        }
+        for u in (Update::Set {
+            row: 2,
+            col: 3,
+            value: 4.0,
+        })
+        .sym_pair()
+        {
+            s.update(u).unwrap();
+        }
+        let x: Vec<f64> = (0..n).map(|r| (r % 3) as f64).collect();
+        let resp = s.run_single(x.clone(), 1, None).unwrap();
+        let mut want_m = ring(n);
+        *want_m.get_mut(0, 1).unwrap() = 0.0;
+        *want_m.get_mut(1, 0).unwrap() = 0.0;
+        *want_m.get_mut(2, 3).unwrap() = 4.0;
+        *want_m.get_mut(3, 2).unwrap() = 4.0;
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = iterated_spmm(&want_m, &xm, 1).unwrap();
+        assert_eq!(resp.y, want.data());
+        // After refresh the removed edge leaves the structure entirely.
+        s.refresh().unwrap();
+        assert_eq!(s.base().get(0, 1), 0.0);
+        assert_eq!(s.base().nnz(), ring(n).nnz() - 2);
+    }
+
+    #[test]
+    fn updates_out_of_bounds_rejected() {
+        let n = 16;
+        let mut s = StreamingEngine::new(ring(n), config(8)).unwrap();
+        assert!(s
+            .update(Update::Add {
+                row: n,
+                col: 0,
+                delta: 1.0
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! The update vocabulary of the streaming layer.
+
+/// One mutation of a served matrix entry.
+///
+/// Updates address single entries; symmetric edge mutations (the common
+/// case for adjacency matrices) are two updates — see
+/// [`Update::sym_pair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Update {
+    /// Adds `delta` to the entry at `(row, col)` (which may be a
+    /// structural zero — the entry is created).
+    Add {
+        /// Row of the target entry.
+        row: u32,
+        /// Column of the target entry.
+        col: u32,
+        /// Additive change.
+        delta: f64,
+    },
+    /// Sets the entry at `(row, col)` to `value` (use `0.0` to remove an
+    /// edge; the structure shrinks at the next refresh).
+    Set {
+        /// Row of the target entry.
+        row: u32,
+        /// Column of the target entry.
+        col: u32,
+        /// New absolute value.
+        value: f64,
+    },
+}
+
+impl Update {
+    /// The target position of the update.
+    pub fn position(&self) -> (u32, u32) {
+        match *self {
+            Update::Add { row, col, .. } | Update::Set { row, col, .. } => (row, col),
+        }
+    }
+
+    /// The additive change this update makes given the currently served
+    /// value at its position (base plus pending delta). This is the single
+    /// definition of `Set` semantics shared by every streaming holder:
+    /// `Set` becomes the difference to the served value, `Add` is itself.
+    pub fn additive(&self, current: f64) -> f64 {
+        match *self {
+            Update::Add { delta, .. } => delta,
+            Update::Set { value, .. } => value - current,
+        }
+    }
+
+    /// The symmetric pair `{(u, v), (v, u)}` for an undirected edge
+    /// mutation. For `u == v`, both elements address the same diagonal
+    /// entry — apply only one of them.
+    pub fn sym_pair(self) -> [Update; 2] {
+        match self {
+            Update::Add { row, col, delta } => [
+                Update::Add { row, col, delta },
+                Update::Add {
+                    row: col,
+                    col: row,
+                    delta,
+                },
+            ],
+            Update::Set { row, col, value } => [
+                Update::Set { row, col, value },
+                Update::Set {
+                    row: col,
+                    col: row,
+                    value,
+                },
+            ],
+        }
+    }
+}

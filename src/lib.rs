@@ -27,6 +27,13 @@
 //!   and a cost-model planner that binds the cheapest algorithm per
 //!   matrix. See `examples/serving.rs` for a throughput demonstration
 //!   and `arrow-matrix-cli serve` for the command-line front end.
+//! * [`stream`] — the **streaming-update subsystem**: a served matrix
+//!   becomes `A₀ + ΔA` (decomposed base + sparse delta), multiplies are
+//!   answered through a per-iteration delta correction without
+//!   re-decomposing, and a staleness budget triggers background-style
+//!   compaction (refresh: new fingerprint, fresh plan, persist
+//!   write-through). `arrow-matrix-cli stream` drives a synthetic
+//!   mutation stream end to end.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 //!
@@ -59,6 +66,7 @@ pub use amd_linarr as linarr;
 pub use amd_partition as partition;
 pub use amd_sparse as sparse;
 pub use amd_spmm as spmm;
+pub use amd_stream as stream;
 pub use arrow_core as core;
 
 pub use amd_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation};

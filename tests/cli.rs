@@ -77,10 +77,71 @@ fn full_workflow() {
 }
 
 #[test]
+fn stream_workflow() {
+    let mtx = tmp("stream.mtx");
+    let out = cli()
+        .args(["generate", "osm", "800", mtx.to_str().unwrap(), "5"])
+        .output()
+        .expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Drive a mutation stream with a tight budget so at least one
+    // compacting refresh happens, and every answer verifies exactly.
+    let out = cli()
+        .args([
+            "stream",
+            mtx.to_str().unwrap(),
+            "32",
+            "40",
+            "10",
+            "0.02",
+            "9",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("verified 10/10 answers exactly"),
+        "stream output: {text}"
+    );
+    assert!(text.contains("corrected runs"), "stream output: {text}");
+    assert!(text.contains("refreshes = "), "stream output: {text}");
+    let _ = std::fs::remove_file(&mtx);
+}
+
+#[test]
+fn stream_rejects_bad_budget() {
+    let mtx = tmp("stream-bad.mtx");
+    cli()
+        .args(["generate", "osm", "400", mtx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args(["stream", mtx.to_str().unwrap(), "32", "8", "4", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad budget-frac"));
+    let _ = std::fs::remove_file(&mtx);
+}
+
+#[test]
 fn usage_on_no_args() {
     let out = cli().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("stream"),
+        "usage must document the streaming subcommand"
+    );
 }
 
 #[test]

@@ -1,0 +1,333 @@
+//! Acceptance tests of the streaming-update subsystem: the corrected
+//! multiply bit-matches a cold decompose-and-multiply of the merged
+//! matrix, a warm engine absorbs a mutation stream with zero cold
+//! decomposes until the staleness budget trips, and random update
+//! streams stay exact end to end.
+//!
+//! All streams here are **integer-valued** (adjacency weights, deltas,
+//! and operands), so every floating-point reduction is exact and "equal"
+//! means bit-for-bit — the strongest form of the subsystem's
+//! fixed-reduction-order guarantee.
+
+use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
+use arrow_matrix::graph::generators::datasets::DatasetKind;
+use arrow_matrix::sparse::{ops, CooMatrix, CsrMatrix, DenseMatrix};
+use arrow_matrix::spmm::reference::iterated_spmm;
+use arrow_matrix::stream::{
+    DynamicConfig, DynamicMatrix, StalenessBudget, StreamingConfig, StreamingEngine, Update,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dataset(n: u32) -> CsrMatrix<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    DatasetKind::WebBase.generate(n, &mut rng).to_adjacency()
+}
+
+/// An integer-valued structural delta: chords added across the matrix,
+/// one existing entry (if any) re-weighted.
+fn chord_delta(a: &CsrMatrix<f64>, chords: u32) -> CsrMatrix<f64> {
+    let n = a.rows();
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..chords {
+        let u = (7 * i + 1) % n;
+        let v = (u + n / 2 + i) % n;
+        if u != v && a.get(u, v) == 0.0 {
+            coo.push_sym(u, v, 1.0 + (i % 3) as f64).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+#[test]
+fn corrected_multiply_bit_matches_cold_decompose_and_multiply() {
+    // Acceptance criterion 1: a warm engine serving A₀ + ΔA through the
+    // corrected path must answer bit-identically to a *cold* engine that
+    // decomposes and multiplies the merged matrix from scratch.
+    let n = 700;
+    let a = dataset(n);
+    let delta = chord_delta(&a, 24);
+    assert!(delta.nnz() > 0);
+    let merged = ops::apply_delta(&a, &delta).unwrap();
+    let config = EngineConfig {
+        arrow_width: 64,
+        target_ranks: 8,
+        ..EngineConfig::default()
+    };
+
+    // Warm path: base registered, delta overlaid, no re-decompose.
+    let mut warm = Engine::new(config.clone()).unwrap();
+    let warm_id = warm.register(&a).unwrap();
+    warm.set_delta(warm_id, delta).unwrap();
+
+    // Cold path: merged matrix decomposed and planned from scratch.
+    let mut cold = Engine::new(config).unwrap();
+    let cold_id = cold.register(&merged).unwrap();
+
+    for (q, iters) in [(0u32, 1u32), (1, 2), (2, 3)] {
+        let x: Vec<f64> = (0..n).map(|r| (((q + 5 * r) % 13) as f64) - 6.0).collect();
+        let got = warm
+            .run_single(MultiplyQuery {
+                matrix: warm_id,
+                x: x.clone(),
+                iters,
+                sigma: None,
+            })
+            .unwrap();
+        let want = cold
+            .run_single(MultiplyQuery {
+                matrix: cold_id,
+                x,
+                iters,
+                sigma: None,
+            })
+            .unwrap();
+        assert_eq!(
+            got.y, want.y,
+            "corrected path must bit-match the cold rebuild at iters = {iters}"
+        );
+    }
+    assert_eq!(warm.cache_stats().decompositions, 1, "warm stayed warm");
+    assert!(warm.stats().corrected_runs >= 3);
+    assert_eq!(cold.stats().corrected_runs, 0);
+}
+
+#[test]
+fn warm_engine_absorbs_stream_with_zero_cold_decomposes_until_budget_trips() {
+    // Acceptance criterion 2, asserted via cache/refresh counters: below
+    // the staleness budget every query is served warm (decompositions
+    // stays at the single cold registration, refreshes at 0); the first
+    // update that crosses the budget triggers exactly one compacting
+    // refresh (one more decomposition).
+    let n = 600;
+    let a = dataset(n);
+    let cap = 12;
+    let mut s = StreamingEngine::new(
+        a.clone(),
+        StreamingConfig {
+            engine: EngineConfig {
+                arrow_width: 64,
+                target_ranks: 8,
+                ..EngineConfig::default()
+            },
+            budget: StalenessBudget::nnz_cap(cap),
+            auto_refresh: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(s.cache_stats().decompositions, 1, "one cold decompose");
+
+    let mut truth = a;
+    let mut tripped = false;
+    for i in 0..40u32 {
+        let u = (11 * i + 3) % n;
+        let v = (u + n / 3 + i) % n;
+        if u == v || truth.get(u, v) != 0.0 {
+            continue;
+        }
+        let w = 1.0 + (i % 2) as f64;
+        let mut patch = CooMatrix::new(n, n);
+        patch.push_sym(u, v, w).unwrap();
+        truth = ops::apply_delta(&truth, &patch.to_csr()).unwrap();
+        for part in (Update::Add {
+            row: u,
+            col: v,
+            delta: w,
+        })
+        .sym_pair()
+        {
+            tripped |= s.update(part).unwrap();
+        }
+        // Serve (and verify) between mutations.
+        let x: Vec<f64> = (0..n).map(|r| (((i + r) % 7) as f64) - 3.0).collect();
+        let resp = s.run_single(x.clone(), 2, None).unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = iterated_spmm(&truth, &xm, 2).unwrap();
+        assert_eq!(resp.y, want.data(), "answer after mutation {i}");
+
+        if !tripped {
+            assert_eq!(
+                s.cache_stats().decompositions,
+                1,
+                "below budget the warm engine must not decompose (mutation {i})"
+            );
+            assert_eq!(s.engine_stats().refreshes, 0);
+            assert!(s.delta_nnz() <= cap);
+        } else {
+            break;
+        }
+    }
+    assert!(tripped, "the budget must trip within the stream");
+    assert_eq!(s.engine_stats().refreshes, 1, "exactly one refresh");
+    assert_eq!(
+        s.cache_stats().decompositions,
+        2,
+        "refresh pays exactly one re-decomposition"
+    );
+    assert_eq!(s.version(), 1);
+    // The budget can trip on the first half of a symmetric pair, leaving
+    // the mirror entry pending — but never more than that.
+    assert!(
+        s.delta_nnz() <= 1,
+        "compaction must drain the delta (left {})",
+        s.delta_nnz()
+    );
+    assert_eq!(
+        ops::apply_delta(s.base(), &s.delta().to_csr()).unwrap(),
+        truth,
+        "base + pending delta equals the mutated truth"
+    );
+
+    // The stream keeps serving correctly after the refresh, warm again.
+    let x: Vec<f64> = (0..n).map(|r| ((r % 5) as f64) - 2.0).collect();
+    let resp = s.run_single(x.clone(), 1, None).unwrap();
+    let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+    assert_eq!(resp.y, iterated_spmm(&truth, &xm, 1).unwrap().data());
+    assert_eq!(s.cache_stats().decompositions, 2);
+}
+
+#[test]
+fn planner_reranks_after_refresh() {
+    // The refresh re-plans against the merged structure: the plan report
+    // of the new binding is freshly computed (4 candidates, sorted), and
+    // the bound algorithm is the cheapest of them.
+    let n = 500;
+    let a = dataset(n);
+    let mut s = StreamingEngine::new(
+        a,
+        StreamingConfig {
+            engine: EngineConfig {
+                arrow_width: 64,
+                target_ranks: 8,
+                ..EngineConfig::default()
+            },
+            budget: StalenessBudget::nnz_cap(4),
+            auto_refresh: true,
+        },
+    )
+    .unwrap();
+    let report_before: Vec<(String, f64)> = s
+        .plan_report()
+        .iter()
+        .map(|p| (p.name.clone(), p.seconds))
+        .collect();
+    let mut done = false;
+    for i in 0..20u32 {
+        for part in (Update::Add {
+            row: i,
+            col: (i + n / 2) % n,
+            delta: 2.0,
+        })
+        .sym_pair()
+        {
+            done |= s.update(part).unwrap();
+        }
+        if done {
+            break;
+        }
+    }
+    assert!(done);
+    let report_after: Vec<(String, f64)> = s
+        .plan_report()
+        .iter()
+        .map(|p| (p.name.clone(), p.seconds))
+        .collect();
+    assert_eq!(report_after.len(), 4);
+    assert!(
+        report_after.windows(2).all(|w| w[0].1 <= w[1].1),
+        "re-ranked report must be sorted: {report_after:?}"
+    );
+    assert_ne!(
+        report_before, report_after,
+        "the merged structure must re-score the candidates"
+    );
+    assert_eq!(s.chosen_algorithm(), report_after[0].0);
+}
+
+/// A compact encoding of a random update: target coordinates (reduced
+/// modulo n), an integer payload, and which variant to apply.
+type RawUpdate = (u32, u32, i8, bool);
+
+fn updates_strategy() -> impl Strategy<Value = (u32, Vec<RawUpdate>)> {
+    (16u32..48).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, -3i8..4, any::<bool>()), 1..40),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_update_streams_stay_exact((n, raw) in updates_strategy()) {
+        // Property: for any random update stream, the corrected path
+        // equals SpMM over the rebuilt matrix — exactly (integer data).
+        let a: CsrMatrix<f64> =
+            arrow_matrix::graph::generators::basic::cycle(n).to_adjacency();
+        let mut dm = DynamicMatrix::new(a, DynamicConfig {
+            decompose: arrow_matrix::core::DecomposeConfig::with_width(8),
+            ..DynamicConfig::default()
+        }).unwrap();
+        for &(r, c, mag, is_set) in &raw {
+            let update = if is_set {
+                Update::Set { row: r, col: c, value: mag as f64 }
+            } else {
+                Update::Add { row: r, col: c, delta: mag as f64 }
+            };
+            dm.apply(update).unwrap();
+        }
+        let merged = dm.merged().unwrap();
+        let x = DenseMatrix::from_fn(n, 2, |r, c| (((r + 2 * c) % 9) as f64) - 4.0);
+        for iters in [1u32, 2] {
+            let got = dm.multiply(&x, iters, None).unwrap();
+            let want = iterated_spmm(&merged, &x, iters).unwrap();
+            prop_assert_eq!(&got, &want, "iters = {}", iters);
+        }
+        // And with a non-linear σ in the loop.
+        let relu: fn(f64) -> f64 = |v| v.max(0.0);
+        let got = dm.multiply(&x, 2, Some(relu)).unwrap();
+        let mut want = x.clone();
+        for _ in 0..2 {
+            want = arrow_matrix::sparse::spmm::spmm(&merged, &want).unwrap();
+            want.map_inplace(relu);
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delta_compaction_is_idempotent((n, raw) in updates_strategy()) {
+        // Property: refreshing compacts the delta exactly once — the
+        // compacted base reproduces the merged matrix, and a second
+        // refresh (no pending delta) changes nothing.
+        let a: CsrMatrix<f64> =
+            arrow_matrix::graph::generators::basic::cycle(n).to_adjacency();
+        let mut dm = DynamicMatrix::new(a, DynamicConfig {
+            decompose: arrow_matrix::core::DecomposeConfig::with_width(8),
+            ..DynamicConfig::default()
+        }).unwrap();
+        for &(r, c, mag, is_set) in &raw {
+            let update = if is_set {
+                Update::Set { row: r, col: c, value: mag as f64 }
+            } else {
+                Update::Add { row: r, col: c, delta: mag as f64 }
+            };
+            dm.apply(update).unwrap();
+        }
+        let merged = dm.merged().unwrap();
+        let had_delta = dm.delta_nnz() > 0;
+        prop_assert_eq!(dm.refresh().unwrap(), had_delta);
+        prop_assert_eq!(dm.base(), &merged);
+        prop_assert_eq!(dm.delta_nnz(), 0);
+        prop_assert_eq!(dm.decomposition().validate(&merged).unwrap(), 0.0);
+        let version = dm.version();
+        let fingerprint = dm.fingerprint();
+        // Second compaction: structurally a no-op.
+        prop_assert!(!dm.refresh().unwrap());
+        prop_assert_eq!(dm.version(), version);
+        prop_assert_eq!(dm.fingerprint(), fingerprint);
+        prop_assert_eq!(dm.base(), &merged);
+    }
+}

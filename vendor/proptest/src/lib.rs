@@ -1,6 +1,6 @@
 //! Offline stand-in for `proptest`: randomized property testing without
 //! shrinking. Covers the API surface this workspace uses — the
-//! [`proptest!`] macro with per-block `ProptestConfig`, [`Strategy`]
+//! [`proptest!`] macro with per-block `ProptestConfig`, [`strategy::Strategy`]
 //! with `prop_map`/`prop_flat_map`/`prop_perturb`, range and tuple
 //! strategies, [`collection::vec`], [`arbitrary::any`], `Just`, and the
 //! `prop_assert*` macros.
