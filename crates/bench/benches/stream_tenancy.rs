@@ -1,0 +1,135 @@
+//! E-TENANCY — multi-tenant streaming throughput under refresh pressure.
+//!
+//! The question the hub's double-buffering answers empirically: what
+//! does a mixed update+query stream sustain, aggregated across tenants,
+//! when staleness refreshes run (a) synchronously inside the stream and
+//! (b) on the background worker? Swept at 1 / 4 / 16 tenants so the
+//! shared-engine overheads (batcher, per-tenant overlays, fairness
+//! queue) are visible, with a budget tight enough that refreshes
+//! actually happen during the measured window.
+
+use amd_bench::{Table, BENCH_SEED};
+use amd_sparse::CsrMatrix;
+use amd_stream::{HubConfig, StalenessBudget, StreamHub, TenantId, Update};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Tenant counts swept.
+const TENANTS: [usize; 3] = [1, 4, 16];
+/// Update/query events per tenant per measured pass.
+const EVENTS_PER_TENANT: usize = 48;
+/// Queries interleaved every this many updates.
+const QUERY_EVERY: usize = 8;
+const ITERS: u32 = 2;
+
+fn base_matrix() -> CsrMatrix<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    amd_graph::generators::rmat::rmat(
+        8,
+        8,
+        amd_graph::generators::rmat::RmatParams::graph500(),
+        &mut rng,
+    )
+    .to_adjacency()
+}
+
+fn hub_for(a: &CsrMatrix<f64>, tenants: usize, async_refresh: bool) -> (StreamHub, Vec<TenantId>) {
+    let mut hub = StreamHub::new(HubConfig {
+        engine: amd_engine::EngineConfig {
+            arrow_width: 32,
+            target_ranks: 8,
+            ..amd_engine::EngineConfig::default()
+        },
+        // Tight enough that the measured window contains refreshes.
+        budget: StalenessBudget::nnz_fraction(0.02),
+        async_refresh,
+        ..HubConfig::default()
+    })
+    .expect("hub stands up");
+    let ids = (0..tenants)
+        .map(|_| hub.admit(a.clone()).expect("admission succeeds"))
+        .collect();
+    (hub, ids)
+}
+
+/// One measured pass: round-robin updates with interleaved query+flush
+/// over every tenant; returns events driven.
+fn drive(hub: &mut StreamHub, ids: &[TenantId], n: u32, rng: &mut ChaCha8Rng) -> usize {
+    let mut events = 0;
+    for step in 0..EVENTS_PER_TENANT {
+        for &id in ids {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            hub.update(
+                id,
+                Update::Add {
+                    row: u,
+                    col: v,
+                    delta: 1.0,
+                },
+            )
+            .expect("update in bounds");
+            events += 1;
+        }
+        if step % QUERY_EVERY == 0 {
+            for &id in ids {
+                let x: Vec<f64> = (0..n)
+                    .map(|r| (((step as u32 + r) % 7) as f64) - 3.0)
+                    .collect();
+                hub.submit(id, x, ITERS, None).expect("submit succeeds");
+                events += 1;
+            }
+            hub.flush().expect("flush succeeds");
+        }
+    }
+    hub.wait_refreshes().expect("refreshes settle");
+    events
+}
+
+fn bench_tenancy(c: &mut Criterion) {
+    let a = base_matrix();
+    let n = a.rows();
+    let mut group = c.benchmark_group("stream_tenancy");
+    group.sample_size(10);
+
+    let mut rows = Vec::new();
+    for &tenants in &TENANTS {
+        for async_refresh in [false, true] {
+            let label = if async_refresh { "async" } else { "sync" };
+            let (mut hub, ids) = hub_for(&a, tenants, async_refresh);
+            let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED ^ tenants as u64);
+            let events = (EVENTS_PER_TENANT + EVENTS_PER_TENANT.div_ceil(QUERY_EVERY)) * tenants;
+            group.throughput(Throughput::Elements(events as u64));
+            let mut secs = f64::INFINITY;
+            group.bench_with_input(BenchmarkId::new(label, tenants), &tenants, |b, _| {
+                b.iter(|| {
+                    let t0 = std::time::Instant::now();
+                    let driven = drive(&mut hub, &ids, n, &mut rng);
+                    secs = secs.min(t0.elapsed().as_secs_f64());
+                    driven
+                })
+            });
+            let refreshes = hub.stats().refreshes_completed;
+            rows.push((tenants, label, events as f64 / secs, refreshes));
+        }
+    }
+    group.finish();
+
+    let mut table = Table::new(vec!["tenants", "refresh", "events/s", "refreshes"]);
+    for (tenants, label, rate, refreshes) in rows {
+        table.row(vec![
+            tenants.to_string(),
+            label.to_string(),
+            format!("{rate:.0}"),
+            refreshes.to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "E-TENANCY — aggregate update+query throughput (R-MAT scale 8, n = {n}, \
+         budget 2% of base nnz, {EVENTS_PER_TENANT} updates/tenant/pass)"
+    ));
+}
+
+criterion_group!(stream_tenancy, bench_tenancy);
+criterion_main!(stream_tenancy);

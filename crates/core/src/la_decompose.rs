@@ -57,6 +57,22 @@ impl DecomposeConfig {
     }
 }
 
+/// Decomposes a snapshot with the default random-forest arrangement.
+///
+/// This is the self-contained entry point background workers use: unlike
+/// [`la_decompose`], it does not borrow a caller-held
+/// [`ArrangementStrategy`], so a thread that owns only the matrix
+/// snapshot, the config, and a seed can produce the decomposition —
+/// deterministically equal to what the synchronous path builds with
+/// [`RandomForestLa::new(seed)`](crate::strategy::RandomForestLa).
+pub fn decompose_snapshot(
+    a: &CsrMatrix<f64>,
+    cfg: &DecomposeConfig,
+    seed: u64,
+) -> SparseResult<ArrowDecomposition> {
+    la_decompose(a, cfg, &mut crate::strategy::RandomForestLa::new(seed))
+}
+
 /// Runs LA-Decompose on a square matrix.
 ///
 /// The sparsity structure is symmetrised for the graph view (an entry at

@@ -38,6 +38,6 @@ pub mod strategy;
 
 pub use arrow_matrix::ArrowMatrix;
 pub use decomposition::{ArrowDecomposition, ArrowLevel};
-pub use la_decompose::{la_decompose, DecomposeConfig};
+pub use la_decompose::{decompose_snapshot, la_decompose, DecomposeConfig};
 pub use persist::PersistMeta;
 pub use strategy::{ArrangementStrategy, IdentityLa, RandomForestLa, RcmLa, SeparatorLaStrategy};

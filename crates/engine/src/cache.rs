@@ -39,6 +39,10 @@ pub struct CacheStats {
     pub load_failures: u64,
     /// LA-Decompose invocations (the expensive path).
     pub decompositions: u64,
+    /// Decompositions computed elsewhere (e.g. on a background refresh
+    /// worker) and handed to the cache via
+    /// [`DecompositionCache::admit`].
+    pub admitted: u64,
     /// Decompositions written through to the spill directory.
     pub spills: u64,
     /// Write-through attempts that failed (disk full, directory gone);
@@ -202,6 +206,42 @@ impl DecompositionCache {
         }
         self.insert(key, d.clone());
         Ok(d)
+    }
+
+    /// Adopts a decomposition computed outside the cache (a background
+    /// refresh worker decomposing a snapshot off-thread). If the key is
+    /// already resident the existing entry wins — the caller's copy is
+    /// discarded and the resident [`Arc`] returned, so pointer identity
+    /// stays stable for concurrent holders. Otherwise the decomposition
+    /// is inserted and written through to the spill directory exactly
+    /// like a cache-computed one (best-effort, counted on failure).
+    pub fn admit(
+        &mut self,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+        d: Arc<ArrowDecomposition>,
+    ) -> Arc<ArrowDecomposition> {
+        let key = Self::cache_key(fingerprint, config, seed);
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.stats.hits += 1;
+            return entry.d.clone();
+        }
+        self.stats.admitted += 1;
+        if let Some(dir) = self.spill_dir.clone() {
+            let path = Self::spill_path(&dir, key);
+            match Self::try_save(&path, &d) {
+                Ok(()) => self.stats.spills += 1,
+                Err(_) => {
+                    self.stats.spill_failures += 1;
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        self.insert(key, d.clone());
+        d
     }
 
     fn try_save(path: &Path, d: &ArrowDecomposition) -> SparseResult<()> {

@@ -21,13 +21,35 @@ use amd_comm::CostModel;
 use amd_sparse::{CsrMatrix, DenseMatrix, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
 use amd_spmm::{DeltaSpmm, DistSpmm};
-use arrow_core::DecomposeConfig;
+use arrow_core::{ArrowDecomposition, DecomposeConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-/// Handle to a registered matrix (its content fingerprint).
+/// Handle to a registered matrix: its content fingerprint folded with
+/// the caller-supplied registration salt (zero for plain
+/// [`Engine::register`], so the id *is* the fingerprint there). Distinct
+/// salts keep bindings of identical content separate — a multi-tenant
+/// holder can give every tenant its own binding (own overlay, own
+/// version lineage) while the decomposition cache still shares the
+/// expensive LA-Decompose by content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatrixId(pub u128);
+
+/// Folds a registration salt into a content fingerprint (FNV-1a over the
+/// salt bytes, seeded by the fingerprint). Salt zero is the identity.
+fn salted_id(fingerprint: u128, salt: u128) -> u128 {
+    if salt == 0 {
+        return fingerprint;
+    }
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = fingerprint;
+    for byte in salt.to_le_bytes() {
+        h ^= byte as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
 
 /// Handle to a submitted query; responses carry it back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +140,27 @@ struct BoundMatrix {
     /// Pending sparse correction `ΔA`; runs go through
     /// [`DeltaSpmm`] while this is non-empty.
     overlay: Option<CsrMatrix<f64>>,
+    /// Registration salt of this binding (see [`MatrixId`]); a refresh
+    /// keeps its successor under the same salt.
+    salt: u128,
+}
+
+/// The immutable half of a refresh, produced by
+/// [`Engine::prepare_refresh`]: everything a worker needs to decompose
+/// the merged snapshot *off-thread* — while the engine keeps serving the
+/// old binding — plus the identity needed to
+/// [`commit`](Engine::commit_refresh) the swap afterwards. The ticket
+/// borrows nothing, so it can move to another thread with the snapshot.
+#[derive(Debug, Clone)]
+pub struct RefreshTicket {
+    /// The binding to replace.
+    pub old: MatrixId,
+    /// Content fingerprint of the merged snapshot.
+    pub fingerprint: u128,
+    /// Decomposition parameters the engine would use (arrow width etc.).
+    pub config: DecomposeConfig,
+    /// Arrangement seed the engine would use.
+    pub seed: u64,
 }
 
 struct Pending {
@@ -154,13 +197,30 @@ impl Engine {
     /// and bind the cheapest algorithm. Registering the same content
     /// twice is a no-op returning the same id.
     pub fn register(&mut self, a: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
-        self.register_versioned(a, 0)
+        self.register_versioned(a, 0, 0, None)
     }
 
-    fn register_versioned(&mut self, a: &CsrMatrix<f64>, version: u64) -> SparseResult<MatrixId> {
+    /// [`register`](Self::register) under a caller-chosen salt: identical
+    /// content registered under distinct salts gets distinct bindings
+    /// (own overlay, own version lineage, own refresh history) while the
+    /// decomposition cache still dedups the LA-Decompose by content. A
+    /// multi-tenant holder passes its tenant id here. Salt zero is plain
+    /// registration.
+    pub fn register_salted(&mut self, a: &CsrMatrix<f64>, salt: u128) -> SparseResult<MatrixId> {
+        self.register_versioned(a, 0, salt, None)
+    }
+
+    fn register_versioned(
+        &mut self,
+        a: &CsrMatrix<f64>,
+        version: u64,
+        salt: u128,
+        precomputed: Option<Arc<ArrowDecomposition>>,
+    ) -> SparseResult<MatrixId> {
         let fingerprint = a.fingerprint();
-        if self.bound.contains_key(&fingerprint) {
-            return Ok(MatrixId(fingerprint));
+        let id = salted_id(fingerprint, salt);
+        if self.bound.contains_key(&id) {
+            return Ok(MatrixId(id));
         }
         if a.rows() != a.cols() {
             return Err(SparseError::ShapeMismatch {
@@ -168,12 +228,35 @@ impl Engine {
                 right: (a.cols(), a.rows()),
             });
         }
-        let d = self.cache.get_or_decompose_keyed(
-            a,
-            fingerprint,
-            &DecomposeConfig::with_width(self.config.arrow_width),
-            self.config.decompose_seed,
-        )?;
+        let decompose_config = DecomposeConfig::with_width(self.config.arrow_width);
+        let d = match precomputed {
+            // A worker already decomposed this snapshot off-thread; the
+            // cache adopts it (write-through) instead of re-deriving it.
+            Some(d) => {
+                if d.n() != a.rows() || d.b() != self.config.arrow_width {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "precomputed decomposition (n = {}, b = {}) does not fit \
+                         matrix (n = {}) at width {}",
+                        d.n(),
+                        d.b(),
+                        a.rows(),
+                        self.config.arrow_width
+                    )));
+                }
+                self.cache.admit(
+                    fingerprint,
+                    &decompose_config,
+                    self.config.decompose_seed,
+                    d,
+                )
+            }
+            None => self.cache.get_or_decompose_keyed(
+                a,
+                fingerprint,
+                &decompose_config,
+                self.config.decompose_seed,
+            )?,
+        };
         let planner_config = PlannerConfig {
             cost: self.config.cost,
             target_ranks: self.config.target_ranks,
@@ -186,7 +269,7 @@ impl Engine {
             predictions,
         } = plan(a, &d, &planner_config)?;
         self.bound.insert(
-            fingerprint,
+            id,
             BoundMatrix {
                 n: a.rows(),
                 algo,
@@ -194,9 +277,10 @@ impl Engine {
                 predictions,
                 version,
                 overlay: None,
+                salt,
             },
         );
-        Ok(MatrixId(fingerprint))
+        Ok(MatrixId(id))
     }
 
     /// Replaces the binding of `old` with a re-decomposed, re-planned
@@ -211,7 +295,57 @@ impl Engine {
     /// binding at the next flush — their [`MatrixId`] is remapped, which
     /// is sound because a refresh changes the representation, not the
     /// served operator (`A₀ + ΔA` before, merged `A₀` after).
+    ///
+    /// Equivalent to [`prepare_refresh`](Self::prepare_refresh) followed
+    /// immediately by [`commit_refresh`](Self::commit_refresh) with no
+    /// precomputed decomposition — the synchronous path. A double-buffered
+    /// holder splits the two around a background decompose instead.
     pub fn refresh(&mut self, old: MatrixId, merged: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
+        let ticket = self.prepare_refresh(old, merged)?;
+        self.commit_refresh(&ticket, merged, None)
+    }
+
+    /// The read-only first half of a refresh: validates that `old` is
+    /// bound and `merged` has its shape, and returns the
+    /// [`RefreshTicket`] describing the decompose work. Does **not**
+    /// mutate the engine — the old binding (and its delta overlay) keeps
+    /// serving until [`commit_refresh`](Self::commit_refresh).
+    pub fn prepare_refresh(
+        &self,
+        old: MatrixId,
+        merged: &CsrMatrix<f64>,
+    ) -> SparseResult<RefreshTicket> {
+        let old_bound = self.bound.get(&old.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!("matrix {:032x} is not registered", old.0))
+        })?;
+        if merged.rows() != old_bound.n || merged.cols() != old_bound.n {
+            return Err(SparseError::ShapeMismatch {
+                left: (old_bound.n, old_bound.n),
+                right: (merged.rows(), merged.cols()),
+            });
+        }
+        Ok(RefreshTicket {
+            old,
+            fingerprint: merged.fingerprint(),
+            config: DecomposeConfig::with_width(self.config.arrow_width),
+            seed: self.config.decompose_seed,
+        })
+    }
+
+    /// The second half of a refresh: swaps the binding of `ticket.old`
+    /// to a fresh binding of `merged`, using `decomposition` when a
+    /// worker already computed it from the snapshot (admitted into the
+    /// cache, write-through) or decomposing through the cache otherwise.
+    /// Pending queries are remapped and the version lineage carried
+    /// forward exactly as in [`refresh`](Self::refresh); on error the old
+    /// binding keeps serving.
+    pub fn commit_refresh(
+        &mut self,
+        ticket: &RefreshTicket,
+        merged: &CsrMatrix<f64>,
+        decomposition: Option<Arc<ArrowDecomposition>>,
+    ) -> SparseResult<MatrixId> {
+        let old = ticket.old;
         let old_bound = self.bound.remove(&old.0).ok_or_else(|| {
             SparseError::InvalidCsr(format!("matrix {:032x} is not registered", old.0))
         })?;
@@ -224,7 +358,8 @@ impl Engine {
             });
         }
         let version = old_bound.version + 1;
-        let new_id = match self.register_versioned(merged, version) {
+        let salt = old_bound.salt;
+        let new_id = match self.register_versioned(merged, version, salt, decomposition) {
             Ok(id) => id,
             Err(e) => {
                 // Leave the engine serving the old binding on failure.
@@ -298,6 +433,32 @@ impl Engine {
     /// The planner's full ranking for `id` (cheapest first).
     pub fn plan_report(&self, id: MatrixId) -> Option<&[Prediction]> {
         self.bound.get(&id.0).map(|b| b.predictions.as_slice())
+    }
+
+    /// Predicted per-iteration seconds of serving `id` through the
+    /// delta-corrected path with the given pending `delta`, under the
+    /// engine's cost model and oversubscription rule — i.e. what the
+    /// *current* binding costs while the overlay is live, via
+    /// [`DeltaSpmm::predict_volume`]. Compare against
+    /// [`plan_report`](Self::plan_report)`[0].seconds` (what a rebind
+    /// would restore) to decide whether a delta-heavy stream should
+    /// rebind early instead of waiting for its staleness budget.
+    pub fn predict_corrected_seconds(
+        &self,
+        id: MatrixId,
+        delta: &CsrMatrix<f64>,
+    ) -> SparseResult<f64> {
+        let bound = self.bound.get(&id.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!("matrix {:032x} is not registered", id.0))
+        })?;
+        let k = (self.config.max_batch as u32).clamp(1, 64);
+        let corrected = DeltaSpmm::new(&*bound.algo, delta)?.with_cost(self.config.cost);
+        let oversubscription =
+            (bound.algo.ranks() as f64 / self.config.target_ranks.max(1) as f64).max(1.0);
+        Ok(corrected
+            .predict_volume(k)
+            .predicted_seconds(&self.config.cost)
+            * oversubscription)
     }
 
     /// Cache counters (the decompose-count probe lives here).

@@ -50,5 +50,6 @@ pub mod planner;
 pub use cache::{CacheStats, DecompositionCache};
 pub use engine::{
     Engine, EngineConfig, EngineStats, MatrixId, MultiplyQuery, QueryId, QueryResponse,
+    RefreshTicket,
 };
 pub use planner::{plan, Plan, PlannerConfig, Prediction};

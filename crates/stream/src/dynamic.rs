@@ -31,9 +31,7 @@
 use crate::budget::StalenessBudget;
 use crate::update::Update;
 use amd_sparse::{ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, SparseError, SparseResult};
-use arrow_core::{
-    la_decompose, persist, ArrowDecomposition, DecomposeConfig, PersistMeta, RandomForestLa,
-};
+use arrow_core::{decompose_snapshot, persist, ArrowDecomposition, DecomposeConfig, PersistMeta};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
@@ -137,7 +135,7 @@ impl DynamicMatrix {
         let fresh = loaded.is_none();
         let decomposition = match loaded {
             Some(d) => d,
-            None => la_decompose(&a, &config.decompose, &mut RandomForestLa::new(config.seed))?,
+            None => decompose_snapshot(&a, &config.decompose, config.seed)?,
         };
         let n = a.rows();
         let mut dm = Self {
@@ -304,11 +302,7 @@ impl DynamicMatrix {
             return Ok(false);
         }
         let merged = self.merged()?;
-        self.decomposition = la_decompose(
-            &merged,
-            &self.config.decompose,
-            &mut RandomForestLa::new(self.config.seed),
-        )?;
+        self.decomposition = decompose_snapshot(&merged, &self.config.decompose, self.config.seed)?;
         self.base = merged;
         self.delta.clear();
         self.delta_csr = None;

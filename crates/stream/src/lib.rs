@@ -21,14 +21,21 @@
 //!   compacts `ΔA` into `A₀`, re-runs LA-Decompose, bumps the version,
 //!   re-ranks the planner, and writes through to the persist layer.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * [`DynamicMatrix`] — the self-contained kernel object (base +
 //!   decomposition + delta), sequential corrected multiply, versioned
 //!   persistence. Use it for library/batch workloads.
-//! * [`StreamingEngine`] — the serving wrapper around
-//!   [`amd_engine::Engine`]: batched queries, delta overlay on the bound
-//!   distributed algorithm, cache-aware refresh. Use it to serve traffic.
+//! * [`StreamHub`] — the multi-tenant serving hub around
+//!   [`amd_engine::Engine`]: many mutating matrices behind one engine,
+//!   per-tenant budgets and [`Session`] handles, **double-buffered
+//!   background refresh** (a worker thread decomposes the merged
+//!   snapshot while the old binding + delta overlay keeps serving; the
+//!   swap commits at the next poll point), FIFO fairness under a shared
+//!   refresh budget, and delta-aware early rebinds. Use it to serve
+//!   traffic.
+//! * [`StreamingEngine`] — the original single-tenant API, kept as a
+//!   thin wrapper over a one-tenant hub with synchronous refresh.
 //!
 //! ```
 //! use amd_graph::generators::basic;
@@ -54,10 +61,15 @@
 
 pub mod budget;
 pub mod dynamic;
+pub mod hub;
 pub mod session;
 pub mod update;
+mod worker;
 
 pub use budget::StalenessBudget;
 pub use dynamic::{DynamicConfig, DynamicMatrix, StreamStats};
+pub use hub::{
+    FairnessPolicy, HubConfig, HubStats, ReRankPolicy, Session, StreamHub, TenantId, TenantStats,
+};
 pub use session::{StreamingConfig, StreamingEngine};
 pub use update::Update;

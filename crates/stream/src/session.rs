@@ -1,29 +1,27 @@
-//! The serving side of the streaming subsystem: an
-//! [`Engine`] wrapper that absorbs a mutation stream.
+//! Back-compat serving wrapper: one tenant, synchronous refresh.
 //!
-//! A [`StreamingEngine`] serves **one** matrix that changes between
-//! queries (multi-matrix tenancy is a roadmap item). Updates accumulate
-//! in a [`DeltaBuilder`]; before every flush the pending delta is synced
-//! to the engine as an overlay, so queries are answered as `A₀ + ΔA`
-//! through the corrected path — the warm decomposition keeps serving,
-//! and the decomposition cache sees **zero** LA-Decompose calls. Once
-//! the staleness budget trips, the wrapper triggers the
-//! background-style refresh: the delta is compacted into the base, the
-//! engine rebinds the merged matrix (new fingerprint, cache write-
-//! through, full planner re-ranking) and the stream continues against
-//! the fresh binding.
+//! [`StreamingEngine`] predates the multi-tenant [`StreamHub`] and is
+//! now a thin wrapper over a hub holding exactly one tenant, with
+//! `async_refresh` off so every counter and blocking behaviour matches
+//! the original: a budget trip compacts inline (the caller pays the
+//! LA-Decompose latency) and queries are answered as `A₀ + ΔA` through
+//! the corrected path between refreshes. New code that wants many
+//! mutating matrices, background rebuilds, or fairness control should
+//! use [`StreamHub`] directly.
 //!
-//! Consistency model: the **flush is the consistency point**. A query is
-//! answered against the served operator as of the flush that answers it
-//! — i.e. including every update applied before that flush, whether the
-//! update arrived before or after the query was submitted.
+//! Consistency model (unchanged): the **flush is the consistency
+//! point**. A query is answered against the served operator as of the
+//! flush that answers it — i.e. including every update applied before
+//! that flush, whether the update arrived before or after the query was
+//! submitted.
+//!
+//! [`StreamHub`]: crate::StreamHub
 
 use crate::budget::StalenessBudget;
+use crate::hub::{HubConfig, StreamHub, TenantId};
 use crate::update::Update;
-use amd_engine::{
-    CacheStats, Engine, EngineConfig, EngineStats, MatrixId, MultiplyQuery, QueryId, QueryResponse,
-};
-use amd_sparse::{ops, CsrMatrix, DeltaBuilder, SparseError, SparseResult};
+use amd_engine::{CacheStats, EngineConfig, EngineStats, MatrixId, QueryId, QueryResponse};
+use amd_sparse::{CsrMatrix, DeltaBuilder, SparseResult};
 use amd_spmm::traits::Sigma;
 
 /// Configuration of a [`StreamingEngine`].
@@ -52,124 +50,105 @@ impl StreamingConfig {
 
 /// A serving engine for one mutating matrix. See the [module docs](self).
 pub struct StreamingEngine {
-    engine: Engine,
-    budget: StalenessBudget,
-    auto_refresh: bool,
-    /// The registered base `A₀` (truth as of the last refresh).
-    base: CsrMatrix<f64>,
-    delta: DeltaBuilder<f64>,
-    /// The engine's overlay no longer matches `delta`.
-    overlay_dirty: bool,
-    id: MatrixId,
+    hub: StreamHub,
+    tenant: TenantId,
 }
 
 impl StreamingEngine {
     /// Stands up an engine and registers `a` (one cold decompose, or a
     /// disk load if the engine's spill directory already holds it).
     pub fn new(a: CsrMatrix<f64>, config: StreamingConfig) -> SparseResult<Self> {
-        let mut engine = Engine::new(config.engine)?;
-        let id = engine.register(&a)?;
-        let n = a.rows();
-        Ok(Self {
-            engine,
+        let mut hub = StreamHub::new(HubConfig {
+            engine: config.engine,
             budget: config.budget,
             auto_refresh: config.auto_refresh,
-            base: a,
-            delta: DeltaBuilder::new(n, n),
-            overlay_dirty: false,
-            id,
-        })
+            // Synchronous semantics: the original API compacts inline.
+            async_refresh: false,
+            ..HubConfig::default()
+        })?;
+        let tenant = hub.admit(a)?;
+        Ok(Self { hub, tenant })
     }
 
     /// Handle of the current binding (changes at every refresh — the
     /// merged matrix has a new fingerprint).
     pub fn id(&self) -> MatrixId {
-        self.id
+        self.hub
+            .matrix_id(self.tenant)
+            .expect("the stream's tenant is always admitted")
     }
 
     /// Streaming revision of the binding (0 cold, +1 per refresh).
     pub fn version(&self) -> u64 {
-        self.engine
-            .matrix_version(self.id)
+        self.hub
+            .version(self.tenant)
             .expect("the stream's matrix is always bound")
     }
 
     /// The registered base `A₀` (excludes the pending delta).
     pub fn base(&self) -> &CsrMatrix<f64> {
-        &self.base
+        self.hub
+            .base(self.tenant)
+            .expect("the stream's tenant is always admitted")
     }
 
     /// The pending delta accumulator `ΔA`.
     pub fn delta(&self) -> &DeltaBuilder<f64> {
-        &self.delta
+        self.hub
+            .delta(self.tenant)
+            .expect("the stream's tenant is always admitted")
     }
 
     /// Distinct positions pending in the delta.
     pub fn delta_nnz(&self) -> usize {
-        self.delta.len()
+        self.hub
+            .delta_nnz(self.tenant)
+            .expect("the stream's tenant is always admitted")
     }
 
     /// Absolute mass `Σ |δ|` of the pending delta.
     pub fn delta_mass(&self) -> f64 {
-        self.delta.mass()
+        self.hub
+            .delta_mass(self.tenant)
+            .expect("the stream's tenant is always admitted")
     }
 
     /// `true` once the pending delta exceeds the staleness budget.
     pub fn needs_refresh(&self) -> bool {
-        self.budget
-            .exceeded(self.delta.len(), self.delta.mass(), self.base.nnz())
+        self.hub
+            .needs_refresh(self.tenant)
+            .expect("the stream's tenant is always admitted")
     }
 
     /// The wrapped engine's serving counters.
     pub fn engine_stats(&self) -> &EngineStats {
-        self.engine.stats()
+        self.hub.engine_stats()
     }
 
     /// The wrapped engine's decomposition-cache counters (the
     /// cold-decompose probe).
     pub fn cache_stats(&self) -> &CacheStats {
-        self.engine.cache_stats()
+        self.hub.cache_stats()
     }
 
     /// The algorithm bound for the current binding.
     pub fn chosen_algorithm(&self) -> &str {
-        self.engine
-            .chosen_algorithm(self.id)
+        self.hub
+            .chosen_algorithm(self.tenant)
             .expect("the stream's matrix is always bound")
     }
 
     /// The planner's current ranking (re-computed at every refresh).
     pub fn plan_report(&self) -> &[amd_engine::Prediction] {
-        self.engine
-            .plan_report(self.id)
+        self.hub
+            .plan_report(self.tenant)
             .expect("the stream's matrix is always bound")
     }
 
     /// Applies one update to the served matrix; returns `true` when the
     /// update triggered (auto-refresh on) or requires (off) a refresh.
     pub fn update(&mut self, update: Update) -> SparseResult<bool> {
-        let (row, col) = update.position();
-        let n = self.base.rows();
-        if row >= n || col >= n {
-            return Err(SparseError::IndexOutOfBounds {
-                row,
-                col,
-                rows: n,
-                cols: n,
-            });
-        }
-        let additive = update.additive(self.base.get(row, col) + self.delta.get(row, col));
-        if additive != 0.0 {
-            self.delta.add(row, col, additive)?;
-            self.overlay_dirty = true;
-        }
-        if self.needs_refresh() {
-            if self.auto_refresh {
-                self.refresh()?;
-            }
-            return Ok(true);
-        }
-        Ok(false)
+        self.hub.update(self.tenant, update)
     }
 
     /// Compacts the pending delta into the base and rebinds the engine:
@@ -177,28 +156,7 @@ impl StreamingEngine {
     /// cache, write-through), full planner re-ranking, version +1.
     /// Returns `false` when the delta is empty (no-op).
     pub fn refresh(&mut self) -> SparseResult<bool> {
-        if self.delta.is_empty() {
-            return Ok(false);
-        }
-        let merged = ops::apply_delta(&self.base, &self.delta.to_csr())?;
-        self.id = self.engine.refresh(self.id, &merged)?;
-        self.base = merged;
-        self.delta.clear();
-        // The old binding carried the overlay away with it; the fresh
-        // binding serves the compacted base directly.
-        self.overlay_dirty = false;
-        Ok(true)
-    }
-
-    /// Pushes the pending delta into the engine as an overlay (no-op when
-    /// already in sync). Called internally before anything runs.
-    fn sync_overlay(&mut self) -> SparseResult<()> {
-        if !self.overlay_dirty {
-            return Ok(());
-        }
-        self.engine.set_delta(self.id, self.delta.to_csr())?;
-        self.overlay_dirty = false;
-        Ok(())
+        self.hub.refresh(self.tenant)
     }
 
     /// Enqueues a multiply query against the served matrix; answers
@@ -209,20 +167,14 @@ impl StreamingEngine {
         iters: u32,
         sigma: Option<Sigma>,
     ) -> SparseResult<QueryId> {
-        self.engine.submit(MultiplyQuery {
-            matrix: self.id,
-            x,
-            iters,
-            sigma,
-        })
+        self.hub.submit(self.tenant, x, iters, sigma)
     }
 
     /// Answers every pending query against the served operator
     /// `A₀ + ΔA` as of now (see the consistency model in the
     /// [module docs](self)).
     pub fn flush(&mut self) -> SparseResult<Vec<QueryResponse>> {
-        self.sync_overlay()?;
-        self.engine.flush()
+        self.hub.flush()
     }
 
     /// Runs one query immediately, bypassing the batcher.
@@ -232,13 +184,7 @@ impl StreamingEngine {
         iters: u32,
         sigma: Option<Sigma>,
     ) -> SparseResult<QueryResponse> {
-        self.sync_overlay()?;
-        self.engine.run_single(MultiplyQuery {
-            matrix: self.id,
-            x,
-            iters,
-            sigma,
-        })
+        self.hub.run_single(self.tenant, x, iters, sigma)
     }
 }
 
@@ -246,7 +192,7 @@ impl StreamingEngine {
 mod tests {
     use super::*;
     use amd_graph::generators::basic;
-    use amd_sparse::DenseMatrix;
+    use amd_sparse::{ops, DenseMatrix};
     use amd_spmm::reference::iterated_spmm;
 
     fn ring(n: u32) -> CsrMatrix<f64> {

@@ -1,0 +1,117 @@
+//! The background refresh worker pool of the [`StreamHub`].
+//!
+//! A refresh is double-buffered: the hub snapshots the merged matrix
+//! `A₀ + ΔA`, ships it here with the [`RefreshTicket`] from
+//! [`Engine::prepare_refresh`], and keeps serving the *old* binding plus
+//! the delta overlay while a worker thread runs LA-Decompose on the
+//! snapshot ([`arrow_core::decompose_snapshot`]). The finished
+//! decomposition travels back over a channel; the hub commits the swap
+//! at its next poll point via [`Engine::commit_refresh`].
+//!
+//! Workers are plain `std::thread`s talking over `crossbeam-channel`
+//! MPMC endpoints: one shared job queue (so the pool size is exactly the
+//! hub's shared refresh budget) and one shared completion queue the hub
+//! drains without blocking.
+//!
+//! [`StreamHub`]: crate::StreamHub
+//! [`Engine::prepare_refresh`]: amd_engine::Engine::prepare_refresh
+//! [`Engine::commit_refresh`]: amd_engine::Engine::commit_refresh
+
+use crate::hub::TenantId;
+use amd_engine::RefreshTicket;
+use amd_sparse::{CsrMatrix, SparseResult};
+use arrow_core::{decompose_snapshot, ArrowDecomposition};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One decompose job: everything a worker needs, nothing borrowed.
+pub(crate) struct RefreshJob {
+    pub tenant: TenantId,
+    /// The merged snapshot `A₀ + ΔA` captured at launch.
+    pub merged: CsrMatrix<f64>,
+    /// Engine-issued identity + decompose parameters for the commit.
+    pub ticket: RefreshTicket,
+    /// Test/bench hook: sleep before decomposing (simulates a slow
+    /// LA-Decompose so serving-during-rebuild can be asserted).
+    pub delay: Option<Duration>,
+}
+
+/// A finished job: the snapshot and ticket ride along so the hub can
+/// commit without having kept its own copy.
+pub(crate) struct RefreshDone {
+    pub tenant: TenantId,
+    pub merged: CsrMatrix<f64>,
+    pub ticket: RefreshTicket,
+    pub result: SparseResult<ArrowDecomposition>,
+}
+
+/// A pool of decompose threads behind a shared job queue.
+pub(crate) struct RefreshWorker {
+    jobs: Option<Sender<RefreshJob>>,
+    done: Receiver<RefreshDone>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RefreshWorker {
+    /// Spawns `threads` decompose workers (at least one).
+    pub fn spawn(threads: usize) -> Self {
+        let (jobs_tx, jobs_rx) = unbounded::<RefreshJob>();
+        let (done_tx, done_rx) = unbounded::<RefreshDone>();
+        let threads = (0..threads.max(1))
+            .map(|_| {
+                let rx = jobs_rx.clone();
+                let tx = done_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        if let Some(delay) = job.delay {
+                            std::thread::sleep(delay);
+                        }
+                        let result =
+                            decompose_snapshot(&job.merged, &job.ticket.config, job.ticket.seed);
+                        let _ = tx.send(RefreshDone {
+                            tenant: job.tenant,
+                            merged: job.merged,
+                            ticket: job.ticket,
+                            result,
+                        });
+                    }
+                })
+            })
+            .collect();
+        Self {
+            jobs: Some(jobs_tx),
+            done: done_rx,
+            threads,
+        }
+    }
+
+    /// Enqueues a job (never blocks — the queue is unbounded; the hub's
+    /// fairness policy bounds how many are outstanding).
+    pub fn submit(&self, job: RefreshJob) {
+        if let Some(jobs) = &self.jobs {
+            let _ = jobs.send(job);
+        }
+    }
+
+    /// A completed job, if one is ready (non-blocking).
+    pub fn try_done(&self) -> Option<RefreshDone> {
+        self.done.try_recv()
+    }
+
+    /// Blocks until a job completes. `None` only if every worker thread
+    /// is gone (a worker panicked — a bug, not a load condition).
+    pub fn wait_done(&self) -> Option<RefreshDone> {
+        self.done.recv().ok()
+    }
+}
+
+impl Drop for RefreshWorker {
+    fn drop(&mut self) {
+        // Closing the job queue lets every worker drain and exit.
+        self.jobs = None;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]
 //! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]
 //! arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]
+//!                         [--tenants N] [--async-refresh]
 //! ```
 //!
 //! Mirrors the paper's artifact workflow: generate (or download) a
@@ -20,7 +21,11 @@
 //! re-weightings) with multiply queries, serving every answer from the
 //! warm decomposition plus a delta correction, and lets the staleness
 //! budget trigger compacting refreshes — each answer is verified against
-//! a serial reference of the mutated matrix.
+//! a serial reference of the mutated matrix. With `--tenants N` the
+//! stream drives `N` mutating tenants through one `StreamHub`, and
+//! `--async-refresh` moves compactions onto the hub's background worker
+//! (double-buffered: the old binding plus delta overlay keeps serving
+//! while the merged snapshot decomposes off-thread).
 
 use arrow_matrix::core::stats::DecompositionStats;
 use arrow_matrix::core::{la_decompose, persist, DecomposeConfig, RandomForestLa};
@@ -31,7 +36,7 @@ use arrow_matrix::graph::Graph;
 use arrow_matrix::sparse::io::{read_matrix_market, write_matrix_market};
 use arrow_matrix::sparse::{bandwidth, CooMatrix, CsrMatrix, DenseMatrix};
 use arrow_matrix::spmm::{ArrowSpmm, DistSpmm};
-use arrow_matrix::stream::{StalenessBudget, StreamingConfig, StreamingEngine, Update};
+use arrow_matrix::stream::{HubConfig, StalenessBudget, StreamHub, TenantId, Update};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fs::File;
@@ -54,7 +59,8 @@ fn main() -> ExitCode {
                  arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]\n  \
                  arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]\n  \
                  arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]\n  \
-                 arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]\n\
+                 arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]\n  \
+                 \u{20}                       [--tenants N] [--async-refresh]\n\
                  datasets: mawi genbank webbase osm gap-twitter sk-2005"
             );
             return ExitCode::from(2);
@@ -220,9 +226,32 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stream(args: &[String]) -> Result<(), String> {
-    let [input, b, rest @ ..] = args else {
+    // Flags first (`--tenants N`, `--async-refresh`), positionals after.
+    let mut tenants_flag = 1usize;
+    let mut async_refresh = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tenants" => {
+                let v = it.next().ok_or("--tenants needs a value")?;
+                tenants_flag = v.parse().map_err(|e| format!("bad --tenants: {e}"))?;
+                if tenants_flag == 0 {
+                    return Err("bad --tenants: must be at least 1".into());
+                }
+            }
+            "--async-refresh" => async_refresh = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
-            "stream needs <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]".into(),
+            "stream needs <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed] \
+             [--tenants N] [--async-refresh]"
+                .into(),
         );
     };
     let a = load_matrix(input)?;
@@ -255,46 +284,59 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bad seed: {e}"))?;
 
     let n = a.rows();
-    let mut truth = a.clone();
+    let base_nnz = a.nnz();
     let t0 = std::time::Instant::now();
-    let mut stream = StreamingEngine::new(
-        a,
-        StreamingConfig {
-            engine: EngineConfig {
-                arrow_width: b,
-                ..EngineConfig::default()
-            },
-            budget: StalenessBudget::nnz_fraction(budget_frac),
-            auto_refresh: true,
+    let mut hub = StreamHub::new(HubConfig {
+        engine: EngineConfig {
+            arrow_width: b,
+            ..EngineConfig::default()
         },
-    )
+        budget: StalenessBudget::nnz_fraction(budget_frac),
+        async_refresh,
+        ..HubConfig::default()
+    })
     .map_err(|e| e.to_string())?;
+    let ids: Vec<TenantId> = (0..tenants_flag)
+        .map(|_| hub.admit(a.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let mut truth: Vec<CsrMatrix<f64>> = vec![a.clone(); tenants_flag];
     println!(
-        "registered {input} in {:.2?} (n = {n}, nnz = {}, staleness budget = {:.0}% of base nnz)",
+        "registered {input} × {tenants_flag} tenant(s) in {:.2?} (n = {n}, nnz = {base_nnz}, \
+         staleness budget = {:.1}% of base nnz, refresh = {})",
         t0.elapsed(),
-        truth.nnz(),
-        budget_frac * 100.0
+        budget_frac * 100.0,
+        if async_refresh {
+            "background"
+        } else {
+            "synchronous"
+        }
     );
-    println!("planner : bound {}", stream.chosen_algorithm());
+    println!(
+        "planner : bound {}",
+        hub.chosen_algorithm(ids[0]).map_err(|e| e.to_string())?
+    );
 
     // The corrected path is bit-exact vs the rebuilt reference only when
     // every reduction is exact; the synthetic updates and operands are
     // integer-valued, so that holds iff the input matrix is too.
     // Float-weighted matrices verify to rounding instead.
-    let exact = truth.values().iter().all(|v| v.fract() == 0.0);
+    let exact = a.values().iter().all(|v| v.fract() == 0.0);
     let tolerance = if exact { 0.0 } else { 1e-9 };
 
     // Deterministic synthetic mutation stream: rotate over inserts,
-    // re-weightings, and removals. Only the subsystem calls (update /
-    // submit / flush) are timed — truth mirroring and reference
-    // verification stay outside the clock.
+    // re-weightings, and removals, round-robin across tenants. Only the
+    // subsystem calls (update / submit / flush) are timed — truth
+    // mirroring and reference verification stay outside the clock.
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut max_abs_err = 0.0f64;
     let mut verified = 0usize;
+    let expected = queries * tenants_flag;
     let mut stream_secs = 0.0f64;
     for step in 0..updates.max(queries) {
         if step < updates {
             use rand::Rng;
+            let tenant_idx = step % tenants_flag;
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             let update = match step % 3 {
@@ -316,19 +358,23 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             };
             for part in update.sym_pair() {
                 let (r, c) = part.position();
-                // Mirror onto the truth matrix through a one-entry delta.
+                // Mirror onto the tenant's truth matrix through a
+                // one-entry delta.
+                let old_value = truth[tenant_idx].get(r, c);
                 let new_value = match part {
-                    Update::Add { delta, .. } => truth.get(r, c) + delta,
+                    Update::Add { delta, .. } => old_value + delta,
                     Update::Set { value, .. } => value,
                 };
                 let mut patch = CooMatrix::new(n, n);
                 patch
-                    .push(r, c, new_value - truth.get(r, c))
+                    .push(r, c, new_value - old_value)
                     .map_err(|e| e.to_string())?;
-                truth = arrow_matrix::sparse::ops::apply_delta(&truth, &patch.to_csr())
-                    .map_err(|e| e.to_string())?;
+                truth[tenant_idx] =
+                    arrow_matrix::sparse::ops::apply_delta(&truth[tenant_idx], &patch.to_csr())
+                        .map_err(|e| e.to_string())?;
                 let t0 = std::time::Instant::now();
-                stream.update(part).map_err(|e| e.to_string())?;
+                hub.update(ids[tenant_idx], part)
+                    .map_err(|e| e.to_string())?;
                 stream_secs += t0.elapsed().as_secs_f64();
                 if r == c {
                     break; // diagonal: the pair addresses one entry
@@ -340,35 +386,46 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                 .map(|r| (((step as u32 + 3 * r) % 11) as f64) - 5.0)
                 .collect();
             let t0 = std::time::Instant::now();
-            stream.submit(x, 2, None).map_err(|e| e.to_string())?;
-            let responses = stream.flush().map_err(|e| e.to_string())?;
-            stream_secs += t0.elapsed().as_secs_f64();
-            for resp in responses {
-                let x =
-                    DenseMatrix::from_fn(n, 1, |r, _| (((step as u32 + 3 * r) % 11) as f64) - 5.0);
-                let want = arrow_matrix::spmm::reference::iterated_spmm(&truth, &x, 2)
+            // One query per tenant per query step; the flush answers the
+            // whole hub (same-tenant queries coalesce into shared runs)
+            // in submission order, i.e. tenant j answers at index j.
+            for &id in &ids {
+                hub.submit(id, x.clone(), 2, None)
                     .map_err(|e| e.to_string())?;
-                let got = DenseMatrix::from_vec(n, 1, resp.y).map_err(|e| e.to_string())?;
+            }
+            let responses = hub.flush().map_err(|e| e.to_string())?;
+            stream_secs += t0.elapsed().as_secs_f64();
+            for (j, resp) in responses.iter().enumerate() {
+                let xm =
+                    DenseMatrix::from_fn(n, 1, |r, _| (((step as u32 + 3 * r) % 11) as f64) - 5.0);
+                let want = arrow_matrix::spmm::reference::iterated_spmm(&truth[j], &xm, 2)
+                    .map_err(|e| e.to_string())?;
+                let got = DenseMatrix::from_vec(n, 1, resp.y.clone()).map_err(|e| e.to_string())?;
                 max_abs_err = max_abs_err.max(got.max_abs_diff(&want).map_err(|e| e.to_string())?);
                 verified += 1;
             }
         }
     }
+    // Settle in-flight background rebuilds before the final report.
+    let t0 = std::time::Instant::now();
+    hub.wait_refreshes().map_err(|e| e.to_string())?;
+    stream_secs += t0.elapsed().as_secs_f64();
     if max_abs_err > tolerance {
         return Err(format!(
             "corrected serving diverged from the rebuilt reference: \
              max |Δ| = {max_abs_err:.3e} (tolerance {tolerance:.0e})"
         ));
     }
-    let engine = stream.engine_stats();
-    let cache = stream.cache_stats();
+    let engine = hub.engine_stats().clone();
+    let cache = hub.cache_stats().clone();
+    let hstats = hub.stats().clone();
     println!(
-        "stream  : {updates} updates + {queries} queries × 2 iters in {:.1} ms ({:.0} events/s)",
+        "stream  : {updates} updates + {expected} queries × 2 iters in {:.1} ms ({:.0} events/s)",
         stream_secs * 1e3,
-        (updates + queries) as f64 / stream_secs
+        (updates + expected) as f64 / stream_secs
     );
     println!(
-        "serving : runs = {}, corrected runs = {}, verified {verified}/{queries} answers {}",
+        "serving : runs = {}, corrected runs = {}, verified {verified}/{expected} answers {}",
         engine.runs,
         engine.corrected_runs,
         if exact {
@@ -377,17 +434,24 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             format!("within {tolerance:.0e}")
         }
     );
+    let versions: Vec<u64> = ids
+        .iter()
+        .map(|&id| hub.version(id).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let pending: usize = ids.iter().map(|&id| hub.delta_nnz(id).unwrap_or(0)).sum();
     println!(
-        "refresh : refreshes = {}, version = {}, pending delta nnz = {}",
-        engine.refreshes,
-        stream.version(),
-        stream.delta_nnz()
+        "refresh : refreshes = {} ({} suppressed mid-flight), versions = {versions:?}, \
+         pending delta nnz = {pending}",
+        hstats.refreshes_completed, hstats.suppressed_triggers
     );
     println!(
-        "cache   : decompositions = {} (1 cold + {} refresh), disk loads = {}",
-        cache.decompositions, engine.refreshes, cache.disk_loads
+        "cache   : decompositions = {}, admitted from workers = {}, disk loads = {}",
+        cache.decompositions, cache.admitted, cache.disk_loads
     );
-    println!("planner : now bound {}", stream.chosen_algorithm());
+    println!(
+        "planner : now bound {}",
+        hub.chosen_algorithm(ids[0]).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 

@@ -30,10 +30,13 @@
 //! * [`stream`] — the **streaming-update subsystem**: a served matrix
 //!   becomes `A₀ + ΔA` (decomposed base + sparse delta), multiplies are
 //!   answered through a per-iteration delta correction without
-//!   re-decomposing, and a staleness budget triggers background-style
-//!   compaction (refresh: new fingerprint, fresh plan, persist
-//!   write-through). `arrow-matrix-cli stream` drives a synthetic
-//!   mutation stream end to end.
+//!   re-decomposing. The multi-tenant `StreamHub` serves many mutating
+//!   matrices behind one engine with per-tenant staleness budgets,
+//!   **double-buffered background refresh** (a worker thread decomposes
+//!   the merged snapshot while the old binding + overlay keeps serving),
+//!   FIFO fairness under a shared refresh budget, and delta-aware early
+//!   rebinds. `arrow-matrix-cli stream [--tenants N] [--async-refresh]`
+//!   drives a synthetic mutation stream end to end.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 //!

@@ -195,3 +195,78 @@ fn mismatched_decomposition_rejected() {
         let _ = std::fs::remove_file(f);
     }
 }
+
+#[test]
+fn stream_multi_tenant_async_workflow() {
+    let mtx = tmp("stream-hub.mtx");
+    cli()
+        .args(["generate", "osm", "600", mtx.to_str().unwrap(), "7"])
+        .output()
+        .unwrap();
+    // 4 tenants behind one hub, refreshes on the background worker.
+    let out = cli()
+        .args([
+            "stream",
+            mtx.to_str().unwrap(),
+            "32",
+            "30",
+            "8",
+            "0.02",
+            "7",
+            "--tenants",
+            "4",
+            "--async-refresh",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "multi-tenant stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("4 tenant(s)"), "must report tenancy: {text}");
+    assert!(
+        text.contains("refresh = background"),
+        "must report async refresh mode: {text}"
+    );
+    assert!(
+        text.contains("verified 32/32 answers exactly"),
+        "8 queries × 4 tenants, all exact: {text}"
+    );
+    assert!(text.contains("refreshes = "), "stream output: {text}");
+    let _ = std::fs::remove_file(&mtx);
+}
+
+#[test]
+fn stream_rejects_bad_tenant_flag() {
+    let mtx = tmp("stream-bad-tenants.mtx");
+    cli()
+        .args(["generate", "osm", "400", mtx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "stream",
+            mtx.to_str().unwrap(),
+            "32",
+            "8",
+            "4",
+            "0.05",
+            "42",
+            "--tenants",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tenants"));
+    // Unknown flags fail cleanly too.
+    let out = cli()
+        .args(["stream", mtx.to_str().unwrap(), "32", "--frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+    let _ = std::fs::remove_file(&mtx);
+}

@@ -331,3 +331,274 @@ proptest! {
         prop_assert_eq!(dm.base(), &merged);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenant hub: double-buffered refresh, fairness, exact swaps.
+// ---------------------------------------------------------------------------
+
+use arrow_matrix::stream::{HubConfig, StreamHub, TenantId};
+use std::time::{Duration, Instant};
+
+fn hub_engine_config() -> EngineConfig {
+    EngineConfig {
+        arrow_width: 64,
+        target_ranks: 8,
+        ..EngineConfig::default()
+    }
+}
+
+/// Mirrors `update` (a symmetric integer add) onto a truth matrix.
+fn apply_sym(
+    hub: &mut StreamHub,
+    tenant: TenantId,
+    truth: &mut CsrMatrix<f64>,
+    u: u32,
+    v: u32,
+    w: f64,
+) {
+    let n = truth.rows();
+    let mut patch = CooMatrix::new(n, n);
+    patch.push_sym(u, v, w).unwrap();
+    *truth = ops::apply_delta(truth, &patch.to_csr()).unwrap();
+    for part in (Update::Add {
+        row: u,
+        col: v,
+        delta: w,
+    })
+    .sym_pair()
+    {
+        hub.update(tenant, part).unwrap();
+    }
+}
+
+#[test]
+fn four_tenant_hub_keeps_serving_during_background_refresh() {
+    // Acceptance criterion: a 4-tenant mutation stream keeps serving
+    // queries while one tenant's refresh decomposes in the background
+    // (injected slow-decompose hook), every answer bit-matches a cold
+    // decompose-and-multiply reference, and the swap commits afterwards.
+    let n = 400;
+    let a = dataset(n);
+    let delay = Duration::from_millis(600);
+    let mut hub = StreamHub::new(HubConfig {
+        engine: hub_engine_config(),
+        budget: StalenessBudget::nnz_cap(6),
+        decompose_delay: Some(delay),
+        ..HubConfig::default()
+    })
+    .unwrap();
+    // All four tenants share content: bindings are isolated by salt,
+    // the expensive decompose is shared by the cache.
+    let tenants: Vec<TenantId> = (0..4).map(|_| hub.admit(a.clone()).unwrap()).collect();
+    assert_eq!(hub.cache_stats().decompositions, 1);
+    let mut truth: Vec<CsrMatrix<f64>> = vec![a.clone(); 4];
+
+    // Trip tenant 0's budget: the rebuild launches and goes to sleep.
+    for i in 0..4u32 {
+        let (u, v) = ((13 * i + 1) % n, (13 * i + 1 + n / 2) % n);
+        apply_sym(&mut hub, tenants[0], &mut truth[0], u, v, 1.0);
+    }
+    assert!(hub.refresh_pending(tenants[0]).unwrap());
+    assert!(hub.tenant_stats(tenants[0]).unwrap().refreshing);
+
+    // Serve a mutation + query burst on every tenant while the worker
+    // sleeps: nothing may block on the decompose.
+    let burst_start = Instant::now();
+    let mut expected: Vec<(usize, Vec<f64>)> = Vec::new();
+    for round in 0..2u32 {
+        for (j, &t) in tenants.iter().enumerate() {
+            if j > 0 {
+                // Light mutations on the other tenants (below budget).
+                let (u, v) = ((7 * round + j as u32) % n, (11 + round + j as u32) % n);
+                apply_sym(&mut hub, t, &mut truth[j], u, v, 2.0);
+            }
+            let x: Vec<f64> = (0..n)
+                .map(|r| (((round + j as u32 + 2 * r) % 9) as f64) - 4.0)
+                .collect();
+            hub.submit(t, x.clone(), 2, None).unwrap();
+            expected.push((j, x));
+        }
+    }
+    let responses = hub.flush().unwrap();
+    let served = burst_start.elapsed();
+    assert!(
+        served < delay,
+        "the burst must not block on the background decompose \
+         (took {served:?} against a {delay:?} rebuild)"
+    );
+    assert_eq!(responses.len(), expected.len());
+    for (resp, (j, x)) in responses.iter().zip(&expected) {
+        let xm = DenseMatrix::from_vec(n, 1, x.clone()).unwrap();
+        let want = iterated_spmm(&truth[*j], &xm, 2).unwrap();
+        assert_eq!(
+            resp.y,
+            want.data(),
+            "tenant {j} answer during rebuild must bit-match the reference"
+        );
+    }
+
+    // Commit the swap and verify the spliced state keeps serving exactly.
+    hub.wait_refreshes().unwrap();
+    assert_eq!(hub.version(tenants[0]).unwrap(), 1);
+    assert_eq!(hub.stats().refreshes_completed, 1);
+    assert_eq!(
+        hub.cache_stats().decompositions,
+        1,
+        "the rebuild ran on the worker, not through the cache"
+    );
+    assert_eq!(hub.cache_stats().admitted, 1);
+    for (j, &t) in tenants.iter().enumerate() {
+        let x: Vec<f64> = (0..n).map(|r| ((r % 7) as f64) - 3.0).collect();
+        let resp = hub.run_single(t, x.clone(), 1, None).unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = iterated_spmm(&truth[j], &xm, 1).unwrap();
+        assert_eq!(resp.y, want.data(), "tenant {j} answer after the swap");
+    }
+}
+
+#[test]
+fn mutations_during_rebuild_are_spliced_and_exact_after_swap() {
+    // Acceptance criterion for the async swap: updates applied *during*
+    // a background rebuild — including a second budget trip — are
+    // answered exactly after the swap, and the re-trip is honoured at
+    // commit instead of double-triggering mid-flight.
+    let n = 300;
+    let a = dataset(n);
+    let mut hub = StreamHub::new(HubConfig {
+        engine: hub_engine_config(),
+        budget: StalenessBudget::nnz_cap(6),
+        decompose_delay: Some(Duration::from_millis(150)),
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let t = hub.admit(a.clone()).unwrap();
+    let mut truth = a;
+
+    // First trip: rebuild launches with the captured snapshot.
+    for i in 0..4u32 {
+        let (u, v) = ((5 * i + 2) % n, (5 * i + 2 + n / 3) % n);
+        apply_sym(&mut hub, t, &mut truth, u, v, 1.0);
+    }
+    assert!(hub.tenant_stats(t).unwrap().refreshing);
+    // Mid-rebuild: trip the budget again.
+    for i in 0..5u32 {
+        let (u, v) = ((9 * i + 4) % n, (9 * i + 4 + n / 4) % n);
+        apply_sym(&mut hub, t, &mut truth, u, v, 3.0);
+    }
+    assert!(
+        hub.tenant_stats(t).unwrap().suppressed_triggers >= 1,
+        "the in-flight refresh must guard the second trip"
+    );
+    assert_eq!(hub.stats().refreshes_started, 1, "no double-launch");
+    // Serving mid-rebuild covers base + captured + live layers.
+    let x: Vec<f64> = (0..n).map(|r| (((3 * r) % 11) as f64) - 5.0).collect();
+    let resp = hub.run_single(t, x.clone(), 2, None).unwrap();
+    let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+    assert_eq!(resp.y, iterated_spmm(&truth, &xm, 2).unwrap().data());
+
+    // Both swaps commit (the second launched at the first's commit).
+    hub.wait_refreshes().unwrap();
+    assert_eq!(hub.stats().refreshes_completed, 2);
+    assert_eq!(hub.version(t).unwrap(), 2);
+    assert_eq!(hub.delta_nnz(t).unwrap(), 0, "everything compacted");
+    assert_eq!(
+        ops::apply_delta(hub.base(t).unwrap(), &hub.delta(t).unwrap().to_csr()).unwrap(),
+        truth,
+        "the compacted base equals the mutated truth"
+    );
+    let x: Vec<f64> = (0..n).map(|r| ((r % 5) as f64) - 2.0).collect();
+    let resp = hub.run_single(t, x.clone(), 2, None).unwrap();
+    let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+    assert_eq!(resp.y, iterated_spmm(&truth, &xm, 2).unwrap().data());
+}
+
+#[test]
+fn shared_refresh_budget_is_starvation_free() {
+    // Tenancy fairness: under a shared refresh budget (one rebuild at a
+    // time), a tenant that keeps re-tripping cannot starve the others —
+    // every tenant with a tripped budget is granted within K = #tenants
+    // slots, and per-tenant counters sum to the hub counters.
+    let n = 64;
+    let ring: CsrMatrix<f64> = arrow_matrix::graph::generators::basic::cycle(n).to_adjacency();
+    let mut hub = StreamHub::new(HubConfig {
+        engine: EngineConfig {
+            arrow_width: 16,
+            target_ranks: 4,
+            ..EngineConfig::default()
+        },
+        budget: StalenessBudget::nnz_cap(2),
+        // Keep the first rebuild in flight while everything else queues,
+        // so the grant order is deterministic.
+        decompose_delay: Some(Duration::from_millis(100)),
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let tenants: Vec<TenantId> = (0..6).map(|_| hub.admit(ring.clone()).unwrap()).collect();
+    // Tenant 0 trips first (grant slot 1, rebuild in flight)…
+    for i in 0..3u32 {
+        hub.update(
+            tenants[0],
+            Update::Add {
+                row: i,
+                col: (i + 17) % n,
+                delta: 1.0,
+            },
+        )
+        .unwrap();
+    }
+    // …then re-trips immediately (guarded mid-flight, requeued at
+    // commit), while every other tenant trips once.
+    for i in 0..3u32 {
+        hub.update(
+            tenants[0],
+            Update::Add {
+                row: i + 30,
+                col: (i + 47) % n,
+                delta: 1.0,
+            },
+        )
+        .unwrap();
+    }
+    for &t in &tenants[1..] {
+        for i in 0..3u32 {
+            hub.update(
+                t,
+                Update::Add {
+                    row: i + 5,
+                    col: (i + 23) % n,
+                    delta: 1.0,
+                },
+            )
+            .unwrap();
+        }
+    }
+    while hub.wait_next_refresh().unwrap().is_some() {}
+    // Tenant 0 refreshed twice: slots 1 and 7 (behind every waiter).
+    let t0 = hub.tenant_stats(tenants[0]).unwrap();
+    assert_eq!(t0.refreshes, 2);
+    assert_eq!(t0.last_granted_slot, 7, "re-trip goes to the back");
+    assert!(t0.suppressed_triggers >= 1);
+    for (j, &t) in tenants.iter().enumerate().skip(1) {
+        let s = hub.tenant_stats(t).unwrap();
+        assert_eq!(s.refreshes, 1, "tenant {j} must not starve");
+        assert!(
+            (2..=6).contains(&s.last_granted_slot),
+            "tenant {j} granted at slot {} — outside the K-slot bound",
+            s.last_granted_slot
+        );
+    }
+    // Per-tenant counters sum to hub counters.
+    let hs = hub.stats().clone();
+    let sum = |f: &dyn Fn(&arrow_matrix::stream::TenantStats) -> u64| -> u64 {
+        tenants
+            .iter()
+            .map(|&t| f(hub.tenant_stats(t).unwrap()))
+            .sum()
+    };
+    assert_eq!(sum(&|s| s.updates), hs.updates);
+    assert_eq!(sum(&|s| s.queries), hs.queries);
+    assert_eq!(sum(&|s| s.refreshes), hs.refreshes_completed);
+    assert_eq!(sum(&|s| s.suppressed_triggers), hs.suppressed_triggers);
+    assert_eq!(sum(&|s| s.early_rebinds), hs.early_rebinds);
+    assert_eq!(hs.refreshes_completed, 7);
+}
