@@ -1,0 +1,189 @@
+//! Refresh latency: cold LA-Decompose vs delta-localized incremental
+//! re-decomposition, swept over delta locality (fraction of vertices
+//! touched) and matrix size.
+//!
+//! This is the perf trajectory of the streaming hot path: a refresh
+//! blocks (sync) or occupies a worker slot (async) for exactly this
+//! long, so the staleness budget a serving layer can afford is a direct
+//! function of these numbers. Besides the plain-text table, the sweep is
+//! written to `BENCH_refresh.json` at the workspace root so future
+//! changes can diff refresh latency machine-readably.
+
+use amd_bench::Table;
+use amd_sparse::{ops, CooMatrix, CsrMatrix, DeltaBuilder};
+use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
+use arrow_core::{decompose_snapshot, DecomposeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::io::Write;
+
+const SEED: u64 = 21;
+const ARROW_WIDTH: u32 = 64;
+const SIZES: [u32; 2] = [10_000, 50_000];
+/// Fraction of the vertices touched by the delta (window-confined).
+const LOCALITIES: [f64; 3] = [0.001, 0.01, 0.10];
+
+/// Ring plus short chords: banded, several levels, localized structure.
+fn banded(n: u32) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for v in 0..n {
+        coo.push_sym(v, (v + 1) % n, 1.0).unwrap();
+        coo.push_sym(v, (v + 4) % n, 1.0).unwrap();
+    }
+    coo.to_csr()
+}
+
+/// Chord inserts confined to a window of ~`locality · n` vertices.
+fn window_delta(n: u32, locality: f64) -> DeltaBuilder<f64> {
+    let window = ((locality * n as f64) as u32).max(4);
+    let start = n / 3;
+    let mut delta = DeltaBuilder::new(n, n);
+    let mut v = start;
+    while v + 2 < start + window {
+        delta.add_sym(v, v + 2, 1.0).unwrap();
+        v += 3;
+    }
+    delta
+}
+
+struct Case {
+    n: u32,
+    locality: f64,
+    touched: usize,
+    affected: u32,
+    incremental_used: bool,
+    cold_secs: f64,
+    incr_secs: f64,
+}
+
+fn bench_refresh_latency(c: &mut Criterion) {
+    let cfg = DecomposeConfig::with_width(ARROW_WIDTH);
+    let policy = IncrementalPolicy::default();
+    let mut group = c.benchmark_group("refresh_latency");
+    group.sample_size(3);
+    let mut cases: Vec<Case> = Vec::new();
+
+    for &n in &SIZES {
+        let base = banded(n);
+        let prior = decompose_snapshot(&base, &cfg, SEED).expect("base decomposes");
+        for &locality in &LOCALITIES {
+            let delta = window_delta(n, locality);
+            let touched = delta.touched_vertices();
+            let merged = ops::apply_delta(&base, &delta.to_csr()).expect("delta applies");
+
+            let mut cold_secs = f64::INFINITY;
+            group.bench_with_input(
+                BenchmarkId::new(format!("cold/n={n}"), locality),
+                &locality,
+                |b, _| {
+                    b.iter(|| {
+                        let t0 = std::time::Instant::now();
+                        let d = decompose_snapshot(&merged, &cfg, SEED).expect("decomposes");
+                        cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
+                        d
+                    })
+                },
+            );
+
+            let mut incr_secs = f64::INFINITY;
+            let mut outcome = None;
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental/n={n}"), locality),
+                &locality,
+                |b, _| {
+                    b.iter(|| {
+                        let t0 = std::time::Instant::now();
+                        let (d, o) = decompose_snapshot_incremental(
+                            &merged,
+                            &cfg,
+                            SEED,
+                            Some(&prior),
+                            Some(&touched),
+                            &policy,
+                        )
+                        .expect("refresh decomposes");
+                        incr_secs = incr_secs.min(t0.elapsed().as_secs_f64());
+                        outcome = Some(o);
+                        d
+                    })
+                },
+            );
+            let outcome = outcome.expect("bench ran at least once");
+            cases.push(Case {
+                n,
+                locality,
+                touched: touched.len(),
+                affected: outcome.affected_vertices,
+                incremental_used: outcome.incremental,
+                cold_secs,
+                incr_secs,
+            });
+        }
+    }
+    group.finish();
+
+    let mut table = Table::new(vec![
+        "n",
+        "locality",
+        "touched",
+        "affected",
+        "path",
+        "cold ms",
+        "incremental ms",
+        "speedup",
+    ]);
+    for c in &cases {
+        table.row(vec![
+            c.n.to_string(),
+            format!("{:.1}%", c.locality * 100.0),
+            c.touched.to_string(),
+            c.affected.to_string(),
+            if c.incremental_used {
+                "splice".to_string()
+            } else {
+                "fallback".to_string()
+            },
+            format!("{:.2}", c.cold_secs * 1e3),
+            format!("{:.2}", c.incr_secs * 1e3),
+            format!("{:.1}x", c.cold_secs / c.incr_secs),
+        ]);
+    }
+    table.print(&format!(
+        "Refresh latency — cold vs incremental decompose (b = {ARROW_WIDTH})"
+    ));
+
+    write_json(&cases);
+}
+
+/// Machine-readable summary for the perf trajectory of future PRs.
+/// Hand-formatted (no serde in the offline workspace).
+fn write_json(cases: &[Case]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_refresh.json");
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"refresh_latency\",\n");
+    body.push_str(&format!("  \"arrow_width\": {ARROW_WIDTH},\n"));
+    body.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"n\": {}, \"locality\": {}, \"touched\": {}, \"affected\": {}, \
+             \"incremental_used\": {}, \"cold_ms\": {:.3}, \"incremental_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            c.n,
+            c.locality,
+            c.touched,
+            c.affected,
+            c.incremental_used,
+            c.cold_secs * 1e3,
+            c.incr_secs * 1e3,
+            c.cold_secs / c.incr_secs,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(refresh_latency, bench_refresh_latency);
+criterion_main!(refresh_latency);

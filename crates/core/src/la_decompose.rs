@@ -104,11 +104,17 @@ pub fn la_decompose(
     while !edges.is_empty() {
         let level = perms.len() as u32;
         if level >= cfg.max_levels {
+            // Report the per-level active-prefix sizes alongside the edge
+            // count: an adversarial arrangement shows up as a stalled (or
+            // growing) prefix sequence, which is the first thing needed to
+            // diagnose why the peeling is not converging.
             return Err(SparseError::InvalidCsr(format!(
                 "LA-Decompose did not converge within {} levels ({} edges left); \
-                 the arrangement strategy is not reducing edge lengths",
+                 the arrangement strategy is not reducing edge lengths \
+                 (per-level active-prefix sizes: {:?})",
                 cfg.max_levels,
-                edges.len()
+                edges.len(),
+                active_ns
             )));
         }
         let g = Graph::from_edges(n, &edges);
@@ -326,6 +332,34 @@ mod tests {
         assert_eq!(d.reconstruct().unwrap().nnz(), 0);
         let x = DenseMatrix::from_fn(5, 2, |r, c| (r + c) as f64);
         assert_eq!(d.multiply(&x).unwrap().frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn max_levels_error_reports_active_prefix_sizes() {
+        // A cycle under the identity arrangement needs more than one
+        // level at width 4 (edges like (7, 8) cross blocks outside the
+        // arm); capping max_levels at 1 must fail with a diagnosable
+        // error naming the level sizes seen so far.
+        let a: CsrMatrix<f64> = basic::cycle(64).to_adjacency();
+        let err = la_decompose(
+            &a,
+            &DecomposeConfig {
+                arrow_width: 4,
+                prune: false,
+                max_levels: 1,
+            },
+            &mut IdentityLa,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("active-prefix sizes"),
+            "error must name the per-level active-prefix sizes: {msg}"
+        );
+        assert!(
+            msg.contains("[64]"),
+            "the one completed level (all 64 vertices active) must be listed: {msg}"
+        );
     }
 
     #[test]

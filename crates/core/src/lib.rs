@@ -12,6 +12,10 @@
 //! * [`la_decompose()`] — the LA-Decompose framework (§5.1): prune the `b`
 //!   highest-degree vertices, lay out the remainder with a pluggable
 //!   [`ArrangementStrategy`], peel off the arrow-shaped part, recurse,
+//! * [`incremental`] — delta-localized re-decomposition: refresh a
+//!   streamed matrix by re-arranging only the affected region of the
+//!   prior decomposition and splicing, with policy-driven fallback to a
+//!   cold rebuild,
 //! * [`pruning`] — the power-law pruning analysis of §5.6 (Theorem 1,
 //!   Lemma 5, Corollary 2),
 //! * [`stats`] — compaction factors (Lemma 1) and the nonzero-block
@@ -30,6 +34,7 @@
 
 pub mod arrow_matrix;
 pub mod decomposition;
+pub mod incremental;
 pub mod la_decompose;
 pub mod persist;
 pub mod pruning;
@@ -38,6 +43,9 @@ pub mod strategy;
 
 pub use arrow_matrix::ArrowMatrix;
 pub use decomposition::{ArrowDecomposition, ArrowLevel};
+pub use incremental::{
+    decompose_snapshot_incremental, FallbackReason, IncrementalPolicy, RefreshOutcome,
+};
 pub use la_decompose::{decompose_snapshot, la_decompose, DecomposeConfig};
 pub use persist::PersistMeta;
 pub use strategy::{ArrangementStrategy, IdentityLa, RandomForestLa, RcmLa, SeparatorLaStrategy};

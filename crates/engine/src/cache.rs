@@ -208,6 +208,26 @@ impl DecompositionCache {
         Ok(d)
     }
 
+    /// The resident decomposition for a content/config/seed identity,
+    /// if any — no disk fallback, no decompose, no hit/miss accounting
+    /// (recency is still bumped). This is the *prior* lookup of an
+    /// incremental refresh: a miss just means the splice base is gone
+    /// (evicted, or never computed here) and the refresh goes cold.
+    pub fn peek(
+        &mut self,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+    ) -> Option<Arc<ArrowDecomposition>> {
+        let key = Self::cache_key(fingerprint, config, seed);
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            e.d.clone()
+        })
+    }
+
     /// Adopts a decomposition computed outside the cache (a background
     /// refresh worker decomposing a snapshot off-thread). If the key is
     /// already resident the existing entry wins — the caller's copy is

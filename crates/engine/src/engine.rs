@@ -21,6 +21,7 @@ use amd_comm::CostModel;
 use amd_sparse::{CsrMatrix, DenseMatrix, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
 use amd_spmm::{DeltaSpmm, DistSpmm};
+use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy, RefreshOutcome};
 use arrow_core::{ArrowDecomposition, DecomposeConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -72,6 +73,10 @@ pub struct EngineConfig {
     pub target_ranks: u32,
     /// Largest number of queries coalesced into one run.
     pub max_batch: usize,
+    /// When a refresh may splice the prior decomposition instead of
+    /// re-running LA-Decompose from scratch (see
+    /// [`arrow_core::incremental`]).
+    pub incremental: IncrementalPolicy,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +89,7 @@ impl Default for EngineConfig {
             cost: CostModel::default(),
             target_ranks: 16,
             max_batch: 64,
+            incremental: IncrementalPolicy::default(),
         }
     }
 }
@@ -131,6 +137,9 @@ pub struct EngineStats {
 
 struct BoundMatrix {
     n: u32,
+    /// Content fingerprint of the registered matrix (unsalted) — the
+    /// key under which the cache holds this binding's decomposition.
+    fingerprint: u128,
     algo: Box<dyn DistSpmm + Send + Sync>,
     chosen: String,
     predictions: Vec<Prediction>,
@@ -161,6 +170,18 @@ pub struct RefreshTicket {
     pub config: DecomposeConfig,
     /// Arrangement seed the engine would use.
     pub seed: u64,
+    /// The old binding's decomposition, when it was still resident in
+    /// the cache at [`prepare_refresh_localized`](Engine::prepare_refresh_localized)
+    /// time — the splice base of an incremental re-decomposition.
+    pub prior: Option<Arc<ArrowDecomposition>>,
+    /// Every vertex incident to a difference between the old binding's
+    /// content and the merged snapshot; `None` when unknown (forces a
+    /// cold decompose).
+    pub touched: Option<Vec<u32>>,
+    /// The engine's incremental-refresh policy, carried along so a
+    /// worker thread decides incremental-vs-cold exactly as the engine
+    /// would.
+    pub incremental: IncrementalPolicy,
 }
 
 struct Pending {
@@ -272,6 +293,7 @@ impl Engine {
             id,
             BoundMatrix {
                 n: a.rows(),
+                fingerprint,
                 algo,
                 chosen,
                 predictions,
@@ -329,7 +351,83 @@ impl Engine {
             fingerprint: merged.fingerprint(),
             config: DecomposeConfig::with_width(self.config.arrow_width),
             seed: self.config.decompose_seed,
+            prior: None,
+            touched: None,
+            incremental: self.config.incremental,
         })
+    }
+
+    /// [`prepare_refresh`](Self::prepare_refresh) with the localization
+    /// inputs of an incremental re-decomposition: the ticket additionally
+    /// carries the old binding's decomposition (when still resident in
+    /// the cache) and the caller-supplied touched set, so whoever runs
+    /// the decompose — a background worker or
+    /// [`refresh_localized`](Self::refresh_localized) — can splice
+    /// instead of rebuilding.
+    ///
+    /// `touched` must cover **every** vertex incident to a difference
+    /// between the old binding's content and `merged`; an incomplete set
+    /// makes the spliced decomposition serve the wrong operator. Holders
+    /// that track their delta in a
+    /// [`DeltaBuilder`](amd_sparse::DeltaBuilder) get it from
+    /// `touched_vertices()`.
+    pub fn prepare_refresh_localized(
+        &mut self,
+        old: MatrixId,
+        merged: &CsrMatrix<f64>,
+        touched: Vec<u32>,
+    ) -> SparseResult<RefreshTicket> {
+        let mut ticket = self.prepare_refresh(old, merged)?;
+        if self.config.incremental.enabled {
+            // Fast path: the merged content itself may already be
+            // decomposed (an update stream returning a matrix to a
+            // previously served state, or another tenant ahead of this
+            // one). Its decomposition with an empty touched set is an
+            // exact prior — the decompose step degenerates to a reuse.
+            if let Some(d) = self.cache.peek(
+                ticket.fingerprint,
+                &ticket.config,
+                self.config.decompose_seed,
+            ) {
+                ticket.prior = Some(d);
+                ticket.touched = Some(Vec::new());
+                return Ok(ticket);
+            }
+            let prior_fp = self
+                .bound
+                .get(&old.0)
+                .map(|b| b.fingerprint)
+                .expect("prepare_refresh validated the binding");
+            ticket.prior = self
+                .cache
+                .peek(prior_fp, &ticket.config, self.config.decompose_seed);
+        }
+        ticket.touched = Some(touched);
+        Ok(ticket)
+    }
+
+    /// The synchronous incremental refresh:
+    /// [`prepare_refresh_localized`](Self::prepare_refresh_localized),
+    /// decompose (splicing the prior where the policy permits, cold
+    /// otherwise), then [`commit_refresh`](Self::commit_refresh).
+    /// Returns the new binding and what the decompose actually did.
+    pub fn refresh_localized(
+        &mut self,
+        old: MatrixId,
+        merged: &CsrMatrix<f64>,
+        touched: &[u32],
+    ) -> SparseResult<(MatrixId, RefreshOutcome)> {
+        let ticket = self.prepare_refresh_localized(old, merged, touched.to_vec())?;
+        let (d, outcome) = decompose_snapshot_incremental(
+            merged,
+            &ticket.config,
+            ticket.seed,
+            ticket.prior.as_deref(),
+            ticket.touched.as_deref(),
+            &ticket.incremental,
+        )?;
+        let id = self.commit_refresh(&ticket, merged, Some(Arc::new(d)))?;
+        Ok((id, outcome))
     }
 
     /// The second half of a refresh: swaps the binding of `ticket.old`
@@ -865,6 +963,102 @@ mod tests {
         );
         assert_eq!(e.matrix_version(id_b), None, "B's binding is gone");
         assert_eq!(e.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn refresh_localized_splices_from_the_cached_prior() {
+        let mut e = Engine::new(EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let n = 128;
+        let a = ring(n);
+        let id = e.register(&a).unwrap();
+        assert_eq!(e.cache_stats().decompositions, 1);
+        // One localized chord.
+        let mut coo = amd_sparse::CooMatrix::new(n, n);
+        coo.push_sym(10, 13, 2.0).unwrap();
+        let delta = coo.to_csr();
+        let merged = amd_sparse::ops::apply_delta(&a, &delta).unwrap();
+        let (new_id, outcome) = e.refresh_localized(id, &merged, &[10, 13]).unwrap();
+        assert!(outcome.incremental, "fallback: {:?}", outcome.fallback);
+        assert!(outcome.reused_fraction() > 0.5);
+        assert_eq!(
+            e.cache_stats().decompositions,
+            1,
+            "the refresh must not run a cold LA-Decompose"
+        );
+        assert_eq!(e.cache_stats().admitted, 1, "splice admitted write-through");
+        assert_eq!(e.matrix_version(new_id), Some(1));
+        // Served answers on the spliced binding are exact.
+        let x: Vec<f64> = (0..n).map(|r| ((r % 7) as f64) - 3.0).collect();
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: new_id,
+                x: x.clone(),
+                iters: 2,
+                sigma: None,
+            })
+            .unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = amd_spmm::reference::iterated_spmm(&merged, &xm, 2).unwrap();
+        assert_eq!(resp.y, want.data());
+    }
+
+    #[test]
+    fn refresh_localized_reuses_cached_merged_content() {
+        // An update stream that returns a matrix to previously served
+        // content must not decompose at all: the merged fingerprint hits
+        // the cache and the refresh degenerates to a full reuse.
+        let mut e = Engine::new(EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let n = 64;
+        let a = ring(n);
+        let mut coo = amd_sparse::CooMatrix::new(n, n);
+        coo.push_sym(5, 9, 1.0).unwrap();
+        let b = amd_sparse::ops::apply_delta(&a, &coo.to_csr()).unwrap();
+        let id_a = e.register(&a).unwrap();
+        let id_b = e.register(&b).unwrap();
+        assert_eq!(e.cache_stats().decompositions, 2);
+        // Mutate B back into A's exact content.
+        let (new_id, outcome) = e.refresh_localized(id_b, &a, &[5, 9]).unwrap();
+        assert_eq!(new_id, id_a, "collides with A's binding");
+        assert!(outcome.incremental);
+        assert_eq!(outcome.affected_vertices, 0);
+        assert_eq!(outcome.reused_fraction(), 1.0);
+        assert_eq!(e.cache_stats().decompositions, 2, "no third decompose");
+    }
+
+    #[test]
+    fn refresh_localized_falls_back_when_prior_is_evicted() {
+        let mut e = Engine::new(EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            cache_capacity: 1,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let n = 64;
+        let a = ring(n);
+        let id = e.register(&a).unwrap();
+        // Evict a's decomposition from the one-slot cache.
+        e.register(&basic::star(n).to_adjacency()).unwrap();
+        let mut coo = amd_sparse::CooMatrix::new(n, n);
+        coo.push_sym(3, 6, 1.0).unwrap();
+        let merged = amd_sparse::ops::apply_delta(&a, &coo.to_csr()).unwrap();
+        let (new_id, outcome) = e.refresh_localized(id, &merged, &[3, 6]).unwrap();
+        assert!(!outcome.incremental);
+        assert_eq!(
+            outcome.fallback,
+            Some(arrow_core::incremental::FallbackReason::NoPrior)
+        );
+        assert_eq!(e.matrix_version(new_id), Some(1), "fallback still commits");
     }
 
     #[test]

@@ -53,3 +53,8 @@ pub use engine::{
     RefreshTicket,
 };
 pub use planner::{plan, Plan, PlannerConfig, Prediction};
+
+// Incremental-refresh vocabulary, re-exported so serving layers can
+// configure the policy and read outcomes without a direct
+// `arrow_core` dependency.
+pub use arrow_core::incremental::{FallbackReason, IncrementalPolicy, RefreshOutcome};

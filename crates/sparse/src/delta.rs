@@ -124,6 +124,16 @@ impl<T: Scalar> DeltaBuilder<T> {
         self.entries.iter().map(|(&(r, c), &v)| (r, c, v))
     }
 
+    /// The sorted, deduplicated vertices incident to a pending change —
+    /// the *touched set* an incremental re-decomposition localizes on.
+    /// `O(len · log len)`.
+    pub fn touched_vertices(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.entries.keys().flat_map(|&(r, c)| [r, c]).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
     /// The pending delta as a COO staging matrix.
     pub fn to_coo(&self) -> CooMatrix<T> {
         let mut coo = CooMatrix::with_capacity(self.rows, self.cols, self.len());
@@ -189,6 +199,19 @@ mod tests {
         assert_eq!(d.get(3, 1), 2.0);
         assert_eq!(d.get(2, 2), 5.0);
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn touched_vertices_are_sorted_and_deduped() {
+        let mut d = DeltaBuilder::<f64>::new(8, 8);
+        d.add_sym(5, 2, 1.0).unwrap();
+        d.add(2, 7, -1.0).unwrap();
+        d.add(2, 2, 3.0).unwrap();
+        assert_eq!(d.touched_vertices(), vec![2, 5, 7]);
+        // Cancelled entries stop being touched.
+        d.add(2, 7, 1.0).unwrap();
+        assert_eq!(d.touched_vertices(), vec![2, 5]);
+        assert!(DeltaBuilder::<f64>::new(3, 3).touched_vertices().is_empty());
     }
 
     #[test]

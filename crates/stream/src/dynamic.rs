@@ -29,8 +29,10 @@
 //! representable data.
 
 use crate::budget::StalenessBudget;
+use crate::splice::SpliceStats;
 use crate::update::Update;
 use amd_sparse::{ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, SparseError, SparseResult};
+use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
 use arrow_core::{decompose_snapshot, persist, ArrowDecomposition, DecomposeConfig, PersistMeta};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -54,6 +56,10 @@ pub struct DynamicConfig {
     /// construction and after every refresh, and reloaded on
     /// construction when the header matches the matrix.
     pub persist_path: Option<PathBuf>,
+    /// When a refresh may splice the prior decomposition instead of
+    /// re-running LA-Decompose on the whole merged matrix (see
+    /// [`arrow_core::incremental`]).
+    pub incremental: IncrementalPolicy,
 }
 
 impl Default for DynamicConfig {
@@ -64,6 +70,7 @@ impl Default for DynamicConfig {
             budget: StalenessBudget::default(),
             patch_in_place: true,
             persist_path: None,
+            incremental: IncrementalPolicy::default(),
         }
     }
 }
@@ -77,8 +84,12 @@ pub struct StreamStats {
     pub patched_in_place: u64,
     /// Updates accumulated into the delta.
     pub deferred_to_delta: u64,
-    /// Compactions performed (LA-Decompose re-runs).
+    /// Compactions performed (decomposition rebuilt or spliced).
     pub refreshes: u64,
+    /// Incremental-vs-fallback split of the refreshes
+    /// (`splice.incremental_refreshes + splice.fallback_refreshes =
+    /// refreshes`).
+    pub splice: SpliceStats,
     /// Multiplies answered through the corrected path.
     pub corrected_multiplies: u64,
     /// Multiplies answered with an empty delta (pure base path).
@@ -292,9 +303,12 @@ impl DynamicMatrix {
     }
 
     /// Compacts the pending delta into the base: materialises `A₀ + ΔA`,
-    /// re-runs LA-Decompose, bumps the version, and writes through to the
-    /// persist path. Returns `false` (and does **not** re-decompose) when
-    /// the delta is empty — compaction is idempotent.
+    /// re-decomposes — incrementally, splicing the prior decomposition
+    /// around the delta's affected region, with automatic fallback to a
+    /// full LA-Decompose per the configured [`IncrementalPolicy`] — bumps
+    /// the version, and writes through to the persist path. Returns
+    /// `false` (and does **not** re-decompose) when the delta is empty —
+    /// compaction is idempotent.
     pub fn refresh(&mut self) -> SparseResult<bool> {
         if self.delta.is_empty() {
             // Nothing to compact; still flush deferred in-place patches.
@@ -302,7 +316,17 @@ impl DynamicMatrix {
             return Ok(false);
         }
         let merged = self.merged()?;
-        self.decomposition = decompose_snapshot(&merged, &self.config.decompose, self.config.seed)?;
+        let touched = self.delta.touched_vertices();
+        let (d, outcome) = decompose_snapshot_incremental(
+            &merged,
+            &self.config.decompose,
+            self.config.seed,
+            Some(&self.decomposition),
+            Some(&touched),
+            &self.config.incremental,
+        )?;
+        self.stats.splice.record(&outcome);
+        self.decomposition = d;
         self.base = merged;
         self.delta.clear();
         self.delta_csr = None;

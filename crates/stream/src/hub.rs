@@ -43,7 +43,8 @@
 //! ([`TenantStats::suppressed_triggers`]) instead of double-triggering,
 //! and re-checked at commit.
 
-use crate::budget::StalenessBudget;
+use crate::budget::{AdaptiveBudget, StalenessBudget};
+use crate::splice::SpliceStats;
 use crate::update::Update;
 use crate::worker::{RefreshJob, RefreshWorker};
 use amd_engine::{
@@ -53,7 +54,7 @@ use amd_sparse::{ops, CsrMatrix, DeltaBuilder, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Handle to a tenant admitted to a [`StreamHub`]. Stable across
 /// refreshes (unlike the engine's [`MatrixId`], which changes whenever
@@ -139,6 +140,13 @@ pub struct HubConfig {
     pub fairness: FairnessPolicy,
     /// Delta-aware early-rebind policy (disabled by default).
     pub rerank: ReRankPolicy,
+    /// Adaptive staleness budget: after every refresh, re-derive the
+    /// tenant's `max_delta_nnz` from the measured refresh latency vs the
+    /// predicted per-entry correction overhead
+    /// ([`AdaptiveBudget::derive_nnz`]). Cheap (incremental) refreshes
+    /// tighten the budget automatically; expensive cold rebuilds relax
+    /// it. `None` (default) keeps budgets fixed.
+    pub adaptive: Option<AdaptiveBudget>,
     /// Test/bench hook: background workers sleep this long before
     /// decomposing, simulating a slow LA-Decompose so tests can assert
     /// that serving does not block on the rebuild.
@@ -154,6 +162,7 @@ impl Default for HubConfig {
             async_refresh: true,
             fairness: FairnessPolicy::default(),
             rerank: ReRankPolicy::default(),
+            adaptive: None,
             decompose_delay: None,
         }
     }
@@ -198,6 +207,13 @@ pub struct TenantStats {
     /// consecutive grants of the same tenant are at least `T` slots
     /// apart, so no queued tenant waits more than `T` slots.
     pub last_granted_slot: u64,
+    /// Incremental-vs-fallback split of this tenant's completed
+    /// refreshes (`splice.incremental_refreshes +
+    /// splice.fallback_refreshes = refreshes`).
+    pub splice: SpliceStats,
+    /// The tenant's current adaptively derived `max_delta_nnz` budget
+    /// (0 until the first refresh under an [`AdaptiveBudget`] policy).
+    pub adaptive_budget_nnz: u64,
 }
 
 /// Hub-wide counters. Each counter is the sum of the corresponding
@@ -222,6 +238,11 @@ pub struct HubStats {
     pub early_rebinds: u64,
     /// Budget trips suppressed because a refresh was already pending.
     pub suppressed_triggers: u64,
+    /// Incremental-vs-fallback split of completed refreshes hub-wide
+    /// (`splice.incremental_refreshes + splice.fallback_refreshes =
+    /// refreshes_completed`); sum of the per-tenant
+    /// [`TenantStats::splice`] counters.
+    pub splice: SpliceStats,
 }
 
 /// A background rebuild in flight for one tenant.
@@ -230,6 +251,10 @@ struct InFlight {
     /// captured`). Still being *served* (merged into the overlay) until
     /// the swap commits.
     captured: DeltaBuilder<f64>,
+    /// Predicted corrected-path seconds per pending delta entry at
+    /// launch time — the adaptive budget's overhead signal, combined at
+    /// commit with the worker's measured decompose latency.
+    per_entry_seconds: f64,
 }
 
 struct Tenant {
@@ -501,19 +526,50 @@ impl StreamHub {
         Ok(true)
     }
 
-    /// The synchronous path: compact in place, exactly like the original
-    /// single-tenant engine (blocks for the LA-Decompose).
-    fn sync_refresh(&mut self, tenant: TenantId) -> SparseResult<()> {
-        let (old, merged) = {
-            let t = self.tenant(tenant)?;
-            let merged = ops::apply_delta(&t.base, &t.delta.to_csr())?;
-            (t.matrix, merged)
+    /// Predicted corrected-path seconds per pending delta entry on a
+    /// tenant's current binding: (corrected − plan-best) / nnz(ΔA). The
+    /// adaptive budget's per-entry overhead signal; 0 when prediction is
+    /// unavailable (which relaxes the derived budget to its ceiling).
+    fn per_entry_overhead(&self, matrix: MatrixId, delta: &CsrMatrix<f64>) -> f64 {
+        let entries = delta.nnz().max(1) as f64;
+        let Ok(corrected) = self.engine.predict_corrected_seconds(matrix, delta) else {
+            return 0.0;
         };
-        let new_id = self.engine.refresh(old, &merged)?;
+        let best = self
+            .engine
+            .plan_report(matrix)
+            .and_then(|p| p.first())
+            .map(|p| p.seconds)
+            .unwrap_or(corrected);
+        ((corrected - best) / entries).max(0.0)
+    }
+
+    /// The synchronous path: compact in place, exactly like the original
+    /// single-tenant engine (blocks for the decompose — incremental when
+    /// the prior and the touched set allow it).
+    fn sync_refresh(&mut self, tenant: TenantId) -> SparseResult<()> {
+        let (old, merged, touched, delta_csr) = {
+            let t = self.tenant(tenant)?;
+            let delta_csr = t.delta.to_csr();
+            let merged = ops::apply_delta(&t.base, &delta_csr)?;
+            (t.matrix, merged, t.delta.touched_vertices(), delta_csr)
+        };
+        let per_entry_seconds = if self.config.adaptive.is_some() {
+            self.per_entry_overhead(old, &delta_csr)
+        } else {
+            0.0
+        };
+        let t0 = Instant::now();
+        let (new_id, outcome) = self.engine.refresh_localized(old, &merged, &touched)?;
+        let refresh_seconds = t0.elapsed().as_secs_f64();
         self.stats.refreshes_started += 1;
         self.stats.refreshes_completed += 1;
         let slot = self.stats.refreshes_started;
-        let t = self.tenant_mut(tenant)?;
+        let adaptive = self.config.adaptive;
+        let t = self
+            .tenants
+            .get_mut(&tenant.0)
+            .expect("tenant validated above");
         t.matrix = new_id;
         t.base = merged;
         t.delta.clear();
@@ -523,6 +579,12 @@ impl StreamHub {
         t.stats.refreshes += 1;
         t.stats.last_granted_slot = slot;
         t.rerank_mark = 0;
+        t.stats.splice.record(&outcome);
+        self.stats.splice.record(&outcome);
+        if let Some(policy) = adaptive {
+            let nnz = policy.retune(&mut t.budget, refresh_seconds, per_entry_seconds);
+            t.stats.adaptive_budget_nnz = nnz as u64;
+        }
         Ok(())
     }
 
@@ -542,19 +604,32 @@ impl StreamHub {
                 }
                 t.matrix
             };
-            // Snapshot outside the borrow: merged = base + delta.
-            let merged = {
+            // Snapshot outside the borrow: merged = base + delta, plus
+            // the touched set that localizes the re-decomposition.
+            let (merged, touched, delta_csr) = {
                 let t = self.tenant(tenant)?;
-                ops::apply_delta(&t.base, &t.delta.to_csr())?
+                let delta_csr = t.delta.to_csr();
+                let merged = ops::apply_delta(&t.base, &delta_csr)?;
+                (merged, t.delta.touched_vertices(), delta_csr)
             };
-            let ticket = self.engine.prepare_refresh(old, &merged)?;
+            let per_entry_seconds = if self.config.adaptive.is_some() {
+                self.per_entry_overhead(old, &delta_csr)
+            } else {
+                0.0
+            };
+            let ticket = self
+                .engine
+                .prepare_refresh_localized(old, &merged, touched)?;
             self.stats.refreshes_started += 1;
             let slot = self.stats.refreshes_started;
             {
                 let t = self.tenant_mut(tenant)?;
                 let n = t.base.rows();
                 let captured = std::mem::replace(&mut t.delta, DeltaBuilder::new(n, n));
-                t.inflight = Some(InFlight { captured });
+                t.inflight = Some(InFlight {
+                    captured,
+                    per_entry_seconds,
+                });
                 t.stats.refreshing = true;
                 t.stats.last_granted_slot = slot;
                 t.rerank_mark = 0;
@@ -654,10 +729,14 @@ impl StreamHub {
         };
         match swapped {
             Some(new_id) => {
-                let t = self.tenant_mut(tenant)?;
+                let adaptive = self.config.adaptive;
+                let t = self
+                    .tenants
+                    .get_mut(&tenant.0)
+                    .ok_or_else(|| SparseError::InvalidCsr(format!("{tenant} is not admitted")))?;
                 t.matrix = new_id;
                 t.base = done.merged;
-                t.inflight = None;
+                let finished = t.inflight.take();
                 t.stats.refreshing = false;
                 t.stats.refreshes += 1;
                 t.rerank_mark = 0;
@@ -665,6 +744,15 @@ impl StreamHub {
                 // exactly the live delta; they become the new overlay.
                 t.overlay_dirty = true;
                 self.stats.refreshes_completed += 1;
+                if let Some(outcome) = &done.outcome {
+                    t.stats.splice.record(outcome);
+                    self.stats.splice.record(outcome);
+                }
+                if let (Some(policy), Some(f)) = (adaptive, finished) {
+                    let nnz =
+                        policy.retune(&mut t.budget, done.decompose_seconds, f.per_entry_seconds);
+                    t.stats.adaptive_budget_nnz = nnz as u64;
+                }
                 // The budget may have tripped again mid-rebuild; honour
                 // it now that the slot is free.
                 let needs = {
@@ -807,6 +895,12 @@ impl StreamHub {
     /// `true` once the tenant's live delta exceeds its budget.
     pub fn needs_refresh(&self, tenant: TenantId) -> SparseResult<bool> {
         Ok(self.tenant(tenant)?.needs_refresh())
+    }
+
+    /// The tenant's current staleness budget (as admitted, or as last
+    /// re-derived by the [`AdaptiveBudget`] policy).
+    pub fn budget(&self, tenant: TenantId) -> SparseResult<StalenessBudget> {
+        Ok(self.tenant(tenant)?.budget)
     }
 
     /// `true` while a rebuild for this tenant is queued or in flight.

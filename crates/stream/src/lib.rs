@@ -63,13 +63,20 @@ pub mod budget;
 pub mod dynamic;
 pub mod hub;
 pub mod session;
+pub mod splice;
 pub mod update;
 mod worker;
 
-pub use budget::StalenessBudget;
+pub use budget::{AdaptiveBudget, StalenessBudget};
 pub use dynamic::{DynamicConfig, DynamicMatrix, StreamStats};
 pub use hub::{
     FairnessPolicy, HubConfig, HubStats, ReRankPolicy, Session, StreamHub, TenantId, TenantStats,
 };
 pub use session::{StreamingConfig, StreamingEngine};
+pub use splice::SpliceStats;
 pub use update::Update;
+
+// Incremental-refresh vocabulary (policy + outcome), re-exported so
+// holders can configure fallback thresholds without a direct
+// `arrow_core` dependency.
+pub use arrow_core::incremental::{FallbackReason, IncrementalPolicy, RefreshOutcome};

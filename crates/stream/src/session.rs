@@ -259,7 +259,11 @@ mod tests {
         assert_eq!(s.version(), 1);
         assert_eq!(s.delta_nnz(), 0);
         assert_eq!(s.engine_stats().refreshes, 1);
-        assert_eq!(s.cache_stats().decompositions, 2, "cold + refresh");
+        // The refresh no longer pays a second cold LA-Decompose: the
+        // decomposition is spliced (or rebuilt) outside the cache and
+        // admitted, so `decompositions` stays at the admission's one.
+        assert_eq!(s.cache_stats().decompositions, 1, "cold admission only");
+        assert_eq!(s.cache_stats().admitted, 1, "refresh admitted its result");
         // Post-refresh serving is the plain base path.
         let x: Vec<f64> = vec![1.0; n as usize];
         s.run_single(x, 1, None).unwrap();

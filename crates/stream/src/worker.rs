@@ -3,10 +3,15 @@
 //! A refresh is double-buffered: the hub snapshots the merged matrix
 //! `A₀ + ΔA`, ships it here with the [`RefreshTicket`] from
 //! [`Engine::prepare_refresh`], and keeps serving the *old* binding plus
-//! the delta overlay while a worker thread runs LA-Decompose on the
-//! snapshot ([`arrow_core::decompose_snapshot`]). The finished
-//! decomposition travels back over a channel; the hub commits the swap
-//! at its next poll point via [`Engine::commit_refresh`].
+//! the delta overlay while a worker thread decomposes the snapshot.
+//! When the ticket carries the prior decomposition and the touched set
+//! ([`Engine::prepare_refresh_localized`]), the worker splices via
+//! [`arrow_core::incremental::decompose_snapshot_incremental`] —
+//! re-arranging only the delta's affected region — and falls back to a
+//! cold LA-Decompose per the ticket's policy. The finished decomposition
+//! (plus the incremental-vs-fallback outcome and the measured decompose
+//! latency) travels back over a channel; the hub commits the swap at its
+//! next poll point via [`Engine::commit_refresh`].
 //!
 //! Workers are plain `std::thread`s talking over `crossbeam-channel`
 //! MPMC endpoints: one shared job queue (so the pool size is exactly the
@@ -15,15 +20,17 @@
 //!
 //! [`StreamHub`]: crate::StreamHub
 //! [`Engine::prepare_refresh`]: amd_engine::Engine::prepare_refresh
+//! [`Engine::prepare_refresh_localized`]: amd_engine::Engine::prepare_refresh_localized
 //! [`Engine::commit_refresh`]: amd_engine::Engine::commit_refresh
 
 use crate::hub::TenantId;
 use amd_engine::RefreshTicket;
 use amd_sparse::{CsrMatrix, SparseResult};
-use arrow_core::{decompose_snapshot, ArrowDecomposition};
+use arrow_core::incremental::{decompose_snapshot_incremental, RefreshOutcome};
+use arrow_core::ArrowDecomposition;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One decompose job: everything a worker needs, nothing borrowed.
 pub(crate) struct RefreshJob {
@@ -44,6 +51,12 @@ pub(crate) struct RefreshDone {
     pub merged: CsrMatrix<f64>,
     pub ticket: RefreshTicket,
     pub result: SparseResult<ArrowDecomposition>,
+    /// What the decompose did (incremental vs fallback, region size);
+    /// `None` when it errored out.
+    pub outcome: Option<RefreshOutcome>,
+    /// Wall-clock seconds of the decompose itself (excluding the
+    /// test-hook delay) — the adaptive budget's latency signal.
+    pub decompose_seconds: f64,
 }
 
 /// A pool of decompose threads behind a shared job queue.
@@ -67,13 +80,26 @@ impl RefreshWorker {
                         if let Some(delay) = job.delay {
                             std::thread::sleep(delay);
                         }
-                        let result =
-                            decompose_snapshot(&job.merged, &job.ticket.config, job.ticket.seed);
+                        let t0 = Instant::now();
+                        let (result, outcome) = match decompose_snapshot_incremental(
+                            &job.merged,
+                            &job.ticket.config,
+                            job.ticket.seed,
+                            job.ticket.prior.as_deref(),
+                            job.ticket.touched.as_deref(),
+                            &job.ticket.incremental,
+                        ) {
+                            Ok((d, o)) => (Ok(d), Some(o)),
+                            Err(e) => (Err(e), None),
+                        };
+                        let decompose_seconds = t0.elapsed().as_secs_f64();
                         let _ = tx.send(RefreshDone {
                             tenant: job.tenant,
                             merged: job.merged,
                             ticket: job.ticket,
                             result,
+                            outcome,
+                            decompose_seconds,
                         });
                     }
                 })

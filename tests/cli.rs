@@ -114,6 +114,10 @@ fn stream_workflow() {
     );
     assert!(text.contains("corrected runs"), "stream output: {text}");
     assert!(text.contains("refreshes = "), "stream output: {text}");
+    assert!(
+        text.contains("incremental = ") && text.contains("cold fallbacks = "),
+        "stream output must report the incremental/fallback split: {text}"
+    );
     let _ = std::fs::remove_file(&mtx);
 }
 

@@ -162,8 +162,14 @@ fn warm_engine_absorbs_stream_with_zero_cold_decomposes_until_budget_trips() {
     assert_eq!(s.engine_stats().refreshes, 1, "exactly one refresh");
     assert_eq!(
         s.cache_stats().decompositions,
-        2,
-        "refresh pays exactly one re-decomposition"
+        1,
+        "the refresh decomposes outside the cache (incrementally where \
+         the delta allows) and admits the result — no second cold run"
+    );
+    assert_eq!(
+        s.cache_stats().admitted,
+        1,
+        "refresh admits exactly one decomposition"
     );
     assert_eq!(s.version(), 1);
     // The budget can trip on the first half of a symmetric pair, leaving
@@ -184,7 +190,7 @@ fn warm_engine_absorbs_stream_with_zero_cold_decomposes_until_budget_trips() {
     let resp = s.run_single(x.clone(), 1, None).unwrap();
     let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
     assert_eq!(resp.y, iterated_spmm(&truth, &xm, 1).unwrap().data());
-    assert_eq!(s.cache_stats().decompositions, 2);
+    assert_eq!(s.cache_stats().decompositions, 1, "still no cold decompose");
 }
 
 #[test]
@@ -600,5 +606,200 @@ fn shared_refresh_budget_is_starvation_free() {
     assert_eq!(sum(&|s| s.refreshes), hs.refreshes_completed);
     assert_eq!(sum(&|s| s.suppressed_triggers), hs.suppressed_triggers);
     assert_eq!(sum(&|s| s.early_rebinds), hs.early_rebinds);
+    assert_eq!(
+        sum(&|s| s.splice.incremental_refreshes),
+        hs.splice.incremental_refreshes
+    );
+    assert_eq!(
+        sum(&|s| s.splice.fallback_refreshes),
+        hs.splice.fallback_refreshes
+    );
+    assert_eq!(
+        sum(&|s| s.splice.reused_vertices),
+        hs.splice.reused_vertices
+    );
+    assert_eq!(
+        sum(&|s| s.splice.refresh_total_vertices),
+        hs.splice.refresh_total_vertices
+    );
+    assert_eq!(
+        hs.splice.incremental_refreshes + hs.splice.fallback_refreshes,
+        hs.refreshes_completed,
+        "every completed refresh is incremental or a counted fallback"
+    );
     assert_eq!(hs.refreshes_completed, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-decomposition through the serving stack.
+// ---------------------------------------------------------------------------
+
+use arrow_matrix::stream::{AdaptiveBudget, IncrementalPolicy};
+
+/// A ring with short chords: localized structure, several levels, and
+/// predictable small affected regions for window-confined deltas.
+fn banded(n: u32) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for v in 0..n {
+        coo.push_sym(v, (v + 1) % n, 1.0).unwrap();
+        coo.push_sym(v, (v + 4) % n, 1.0).unwrap();
+    }
+    coo.to_csr()
+}
+
+#[test]
+fn hub_refresh_is_incremental_and_exact_including_mid_rebuild_mutations() {
+    // The background worker splices instead of rebuilding: after the
+    // swap the tenant's counters show an incremental refresh with a high
+    // reused-vertex fraction, and every answer — before, during (i.e.
+    // against base + captured + live delta layers), and after the swap —
+    // bit-matches the mutated truth.
+    let n = 600;
+    let a = banded(n);
+    let mut hub = StreamHub::new(HubConfig {
+        engine: EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            ..EngineConfig::default()
+        },
+        budget: StalenessBudget::nnz_cap(6),
+        decompose_delay: Some(Duration::from_millis(120)),
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let t = hub.admit(a.clone()).unwrap();
+    let mut truth = a;
+
+    // Localized mutations inside one window trip the budget.
+    for i in 0..4u32 {
+        apply_sym(&mut hub, t, &mut truth, 100 + 3 * i, 102 + 3 * i, 1.0);
+    }
+    assert!(hub.tenant_stats(t).unwrap().refreshing, "rebuild in flight");
+    // Mid-rebuild mutations land in the live delta (same window).
+    for i in 0..2u32 {
+        apply_sym(&mut hub, t, &mut truth, 120 + 3 * i, 122 + 3 * i, 2.0);
+    }
+    // Serving mid-rebuild is exact.
+    let x: Vec<f64> = (0..n).map(|r| (((2 * r) % 9) as f64) - 4.0).collect();
+    let resp = hub.run_single(t, x.clone(), 2, None).unwrap();
+    let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+    assert_eq!(
+        resp.y,
+        iterated_spmm(&truth, &xm, 2).unwrap().data(),
+        "mid-rebuild answer"
+    );
+
+    hub.wait_refreshes().unwrap();
+    let stats = hub.tenant_stats(t).unwrap().clone();
+    assert!(
+        stats.splice.incremental_refreshes >= 1,
+        "localized delta must splice: {stats:?}"
+    );
+    assert_eq!(
+        stats.splice.incremental_refreshes + stats.splice.fallback_refreshes,
+        stats.refreshes
+    );
+    assert!(
+        stats.splice.reused_vertex_fraction() > 0.5,
+        "window-confined deltas must reuse most of the arrangement \
+         (got {:.3})",
+        stats.splice.reused_vertex_fraction()
+    );
+    // Post-swap serving is exact on the spliced binding.
+    let x: Vec<f64> = (0..n).map(|r| ((r % 7) as f64) - 3.0).collect();
+    let resp = hub.run_single(t, x.clone(), 2, None).unwrap();
+    let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+    assert_eq!(resp.y, iterated_spmm(&truth, &xm, 2).unwrap().data());
+}
+
+#[test]
+fn oversized_region_falls_back_cold_counted_and_exact() {
+    // Acceptance criterion: affected region above the policy threshold →
+    // automatic cold fallback, `fallback_refreshes` increments, results
+    // stay exact.
+    let n = 200;
+    let a = banded(n);
+    let mut hub = StreamHub::new(HubConfig {
+        engine: EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            // Any non-empty region exceeds a zero fraction: every
+            // refresh attempts the incremental path and falls back.
+            incremental: IncrementalPolicy {
+                max_affected_fraction: 0.0,
+                ..IncrementalPolicy::default()
+            },
+            ..EngineConfig::default()
+        },
+        budget: StalenessBudget::nnz_cap(3),
+        async_refresh: false,
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let t = hub.admit(a.clone()).unwrap();
+    let mut truth = a;
+    for i in 0..2u32 {
+        apply_sym(&mut hub, t, &mut truth, 10 + i, 40 + i, 1.0);
+    }
+    let stats = hub.tenant_stats(t).unwrap();
+    assert_eq!(stats.refreshes, 1);
+    assert_eq!(
+        stats.splice.fallback_refreshes, 1,
+        "fallback must be counted"
+    );
+    assert_eq!(stats.splice.incremental_refreshes, 0);
+    assert_eq!(hub.stats().splice.fallback_refreshes, 1);
+    assert_eq!(stats.splice.reused_vertex_fraction(), 0.0);
+    let x: Vec<f64> = (0..n).map(|r| ((r % 5) as f64) - 2.0).collect();
+    let resp = hub.run_single(t, x.clone(), 2, None).unwrap();
+    let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+    assert_eq!(resp.y, iterated_spmm(&truth, &xm, 2).unwrap().data());
+}
+
+#[test]
+fn adaptive_budget_retunes_from_measured_refresh_latency() {
+    // With an AdaptiveBudget policy, a completed refresh re-derives the
+    // tenant's max_delta_nnz from measured refresh seconds vs the
+    // predicted per-entry correction overhead — replacing the admitted
+    // fixed cap.
+    let n = 400;
+    let policy = AdaptiveBudget::default();
+    let mut hub = StreamHub::new(HubConfig {
+        engine: EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            ..EngineConfig::default()
+        },
+        budget: StalenessBudget::nnz_cap(4),
+        adaptive: Some(policy),
+        async_refresh: false,
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let t = hub.admit(banded(n)).unwrap();
+    assert_eq!(hub.budget(t).unwrap().max_delta_nnz, 4, "admitted cap");
+    for i in 0..5u32 {
+        hub.update(
+            t,
+            Update::Add {
+                row: 50 + 2 * i,
+                col: 53 + 2 * i,
+                delta: 1.0,
+            },
+        )
+        .unwrap();
+    }
+    let stats = hub.tenant_stats(t).unwrap().clone();
+    assert_eq!(stats.refreshes, 1);
+    let tuned = hub.budget(t).unwrap().max_delta_nnz;
+    assert!(
+        (policy.min_nnz..=policy.max_nnz).contains(&tuned),
+        "derived budget {tuned} outside the clamp"
+    );
+    assert_eq!(
+        stats.adaptive_budget_nnz, tuned as u64,
+        "stats must mirror the derived budget"
+    );
+    // The other budget limits survive the retune untouched.
+    assert!(hub.budget(t).unwrap().max_delta_fraction.is_infinite());
 }
