@@ -1,0 +1,188 @@
+//! Catalog restart latency: cold start (every tenant pays LA-Decompose)
+//! vs warm restart (every decomposition reloads from the persistence
+//! catalog) at 1, 4, and 16 tenants.
+//!
+//! This is the serving stack's recovery story: a hub that crashes or
+//! redeploys over a populated catalog must come back without repeating
+//! the expensive arrangement work. Besides the plain-text table, the
+//! sweep is written to `BENCH_catalog.json` at the workspace root so
+//! future changes can diff restart latency machine-readably.
+
+use amd_bench::Table;
+use amd_engine::EngineConfig;
+use amd_sparse::CsrMatrix;
+use amd_stream::{HubConfig, StreamHub};
+use arrow_core::catalog::Catalog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::io::Write;
+use std::path::Path;
+
+const SEED: u64 = 33;
+const ARROW_WIDTH: u32 = 64;
+const N: u32 = 4000;
+const TENANTS: [usize; 3] = [1, 4, 16];
+
+/// Distinct content per tenant (deduplicated content would let the
+/// in-memory cache hide the cost being measured).
+fn tenant_matrix(i: usize) -> CsrMatrix<f64> {
+    use amd_sparse::CooMatrix;
+    let mut coo = CooMatrix::new(N, N);
+    for v in 0..N {
+        coo.push_sym(v, (v + 1) % N, 1.0).unwrap();
+        coo.push_sym(v, (v + 3 + i as u32) % N, 1.0).unwrap();
+    }
+    coo.to_csr()
+}
+
+fn hub_config(dir: &Path) -> HubConfig {
+    HubConfig {
+        engine: EngineConfig {
+            arrow_width: ARROW_WIDTH,
+            decompose_seed: SEED,
+            cache_capacity: 32,
+            spill_dir: Some(dir.to_path_buf()),
+            ..EngineConfig::default()
+        },
+        async_refresh: false,
+        ..HubConfig::default()
+    }
+}
+
+struct Case {
+    tenants: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    warm_decompositions: u64,
+    warm_reloads: u64,
+}
+
+fn admit_all(dir: &Path, tenants: usize) -> StreamHub {
+    let mut hub = StreamHub::new(hub_config(dir)).expect("hub stands up");
+    for i in 0..tenants {
+        hub.admit(tenant_matrix(i)).expect("tenant admits");
+    }
+    hub
+}
+
+fn bench_catalog_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_restart");
+    group.sample_size(3);
+    let mut cases = Vec::new();
+
+    for &tenants in &TENANTS {
+        let dir = std::env::temp_dir().join(format!(
+            "amd-bench-catalog-{}-{tenants}",
+            std::process::id()
+        ));
+
+        // Cold start: empty catalog, every admission decomposes.
+        let mut cold_secs = f64::INFINITY;
+        group.bench_with_input(
+            BenchmarkId::new("cold", tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter(|| {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let t0 = std::time::Instant::now();
+                    let hub = admit_all(&dir, tenants);
+                    cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
+                    hub
+                })
+            },
+        );
+
+        // Populate once, then measure restarts over the warm catalog.
+        let _ = std::fs::remove_dir_all(&dir);
+        drop(admit_all(&dir, tenants));
+        let mut warm_secs = f64::INFINITY;
+        let mut warm_stats = None;
+        group.bench_with_input(
+            BenchmarkId::new("warm", tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter(|| {
+                    let t0 = std::time::Instant::now();
+                    let hub = admit_all(&dir, tenants);
+                    warm_secs = warm_secs.min(t0.elapsed().as_secs_f64());
+                    warm_stats = Some(hub.cache_stats().clone());
+                    hub
+                })
+            },
+        );
+        let stats = warm_stats.expect("bench ran at least once");
+        assert_eq!(
+            stats.decompositions, 0,
+            "a warm restart must not run LA-Decompose"
+        );
+        cases.push(Case {
+            tenants,
+            cold_secs,
+            warm_secs,
+            warm_decompositions: stats.decompositions,
+            warm_reloads: stats.disk_loads,
+        });
+
+        // Leave the directory clean for the next run.
+        let catalog = Catalog::open(&dir).expect("catalog reopens");
+        drop(catalog);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+
+    let mut table = Table::new(vec![
+        "tenants",
+        "cold ms",
+        "warm ms",
+        "speedup",
+        "warm decomposes",
+        "warm reloads",
+    ]);
+    for case in &cases {
+        table.row(vec![
+            case.tenants.to_string(),
+            format!("{:.2}", case.cold_secs * 1e3),
+            format!("{:.2}", case.warm_secs * 1e3),
+            format!("{:.1}x", case.cold_secs / case.warm_secs),
+            case.warm_decompositions.to_string(),
+            case.warm_reloads.to_string(),
+        ]);
+    }
+    table.print(&format!(
+        "Catalog restart — cold start vs warm restart (n = {N}, b = {ARROW_WIDTH})"
+    ));
+
+    write_json(&cases);
+}
+
+/// Machine-readable summary for the perf trajectory of future PRs.
+/// Hand-formatted (no serde in the offline workspace).
+fn write_json(cases: &[Case]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_catalog.json");
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"catalog_restart\",\n");
+    body.push_str(&format!(
+        "  \"n\": {N},\n  \"arrow_width\": {ARROW_WIDTH},\n"
+    ));
+    body.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"tenants\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"warm_decompositions\": {}, \"warm_reloads\": {}}}{}\n",
+            c.tenants,
+            c.cold_secs * 1e3,
+            c.warm_secs * 1e3,
+            c.cold_secs / c.warm_secs,
+            c.warm_decompositions,
+            c.warm_reloads,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(catalog_restart, bench_catalog_restart);
+criterion_main!(catalog_restart);

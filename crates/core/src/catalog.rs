@@ -1,0 +1,1046 @@
+//! The versioned persistence catalog: one on-disk home for every
+//! decomposition the serving stack keeps.
+//!
+//! Before this module each layer persisted its own way — the engine
+//! cache spilled loose per-key files, the streaming holder overwrote a
+//! single versioned file, and one-shot tools wrote bare payloads. A
+//! [`Catalog`] unifies them: one directory, one manifest mapping
+//! **content fingerprint → version chain**, shared by every consumer.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   manifest.amdm            record list (rewritten last, atomically)
+//!   amd3-<fp>-<id>.amd       one payload per version (AMD3: full
+//!                            provenance header + decomposition)
+//! ```
+//!
+//! Each [`VersionRecord`] carries the decompose identity (params +
+//! seed), the **parent fingerprint** linking a refresh to the revision
+//! it was spliced from (delta lineage), a catalog-wide **created-at**
+//! counter, and the payload file name. Chains are keyed by fingerprint;
+//! lineage edges connect chains across fingerprints, so a mutating
+//! matrix's history is a parent-linked walk through the manifest.
+//!
+//! ## Crash safety
+//!
+//! Every write is temp-file + atomic rename, and the manifest is always
+//! rewritten **last**: a crash between a payload landing and the
+//! manifest rename leaves an orphan payload whose AMD3 header carries
+//! its complete manifest record — [`Catalog::open`] adopts it. A
+//! missing or corrupt manifest is rebuilt the same way, by scanning
+//! payload headers (header-only reads; the level data is never parsed).
+//!
+//! ## Lifecycle
+//!
+//! [`Catalog::gc`] applies a [`RetainPolicy`]: keep the newest `last_k`
+//! versions of every lineage, never dropping a fingerprint named live
+//! (a serving binding still references it).
+//! [`Catalog::remove_chain`] walks one lineage from its head and
+//! deletes every version not shared with a live chain — the tenant
+//! eviction path. [`Catalog::import_legacy_dir`] migrates pre-catalog
+//! spill files (v1 per-key cache spills, v2 single-file streaming
+//! persists) into proper chains, one-shot.
+
+use crate::decomposition::ArrowDecomposition;
+use crate::la_decompose::DecomposeConfig;
+use crate::persist::{self, io_err, put_u64, CatalogMeta};
+use amd_sparse::{SparseError, SparseResult};
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "manifest.amdm";
+const MANIFEST_MAGIC: &[u8; 4] = b"AMDM";
+const PAYLOAD_EXT: &str = "amd";
+
+/// One persisted decomposition version: a row of the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionRecord {
+    /// Content fingerprint of the decomposed matrix — the chain key.
+    pub fingerprint: u128,
+    /// Lineage revision (0 cold, +1 per refresh along the chain).
+    /// Not necessarily unique within a lineage: an in-place patch
+    /// flush persists a child under a new fingerprint at the *same*
+    /// version; version lookups resolve to the newest match.
+    pub version: u64,
+    /// Fingerprint of the revision this one was refreshed from (0 =
+    /// chain root). Lineage edges cross chains: a refresh produces a
+    /// *new* fingerprint whose record points back at the old one.
+    pub parent: u128,
+    /// Catalog-wide monotonic creation counter.
+    pub created_at: u64,
+    /// Arrangement seed the decomposition was computed with.
+    pub seed: u64,
+    /// Decomposition parameters (arrow width, pruning, level cap).
+    pub config: DecomposeConfig,
+    /// Payload file name under the catalog root.
+    pub payload: String,
+}
+
+impl VersionRecord {
+    fn from_meta(meta: &CatalogMeta, payload: String) -> Self {
+        Self {
+            fingerprint: meta.fingerprint,
+            version: meta.version,
+            parent: meta.parent,
+            created_at: meta.created_at,
+            seed: meta.seed,
+            config: meta.config,
+            payload,
+        }
+    }
+
+    /// `true` when this record answers a lookup for the given identity.
+    fn matches(&self, fingerprint: u128, config: &DecomposeConfig, seed: u64) -> bool {
+        self.fingerprint == fingerprint && self.config == *config && self.seed == seed
+    }
+}
+
+/// What [`Catalog::gc`] keeps.
+#[derive(Debug, Clone, Default)]
+pub struct RetainPolicy {
+    /// Newest versions kept per lineage (a lineage is the set of chains
+    /// connected by parent edges). 0 keeps only live fingerprints.
+    pub last_k: usize,
+    /// Fingerprints that must survive regardless of age — the serving
+    /// layer's currently bound revisions. Overrides `last_k`. Pins the
+    /// named revisions only: ancestors beyond `last_k` are still
+    /// collected (bounding history is the point of a GC sweep), so
+    /// point-in-time restore reaches only retained versions afterwards.
+    /// Eviction-driven removal ([`Catalog::remove_chain`]) is the
+    /// opposite: it protects the full ancestor closure of live heads.
+    pub live: Vec<u128>,
+}
+
+impl RetainPolicy {
+    /// Keep the newest `last_k` versions per lineage (no live pins).
+    pub fn last(last_k: usize) -> Self {
+        Self {
+            last_k,
+            live: Vec::new(),
+        }
+    }
+}
+
+/// What a [`Catalog::gc`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Versions removed (records and payload files).
+    pub removed: usize,
+    /// Versions kept.
+    pub kept: usize,
+}
+
+/// Catalog counters (monotonic over the handle's lifetime).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Versions written ([`Catalog::put`] that landed a payload).
+    pub puts: u64,
+    /// Payloads loaded successfully ([`Catalog::get`] /
+    /// [`Catalog::restore_at`] hits).
+    pub loads: u64,
+    /// Payloads that failed to load (corrupt/truncated/mismatched); the
+    /// offending record is dropped so the caller's re-put heals it.
+    pub load_failures: u64,
+    /// Versions removed by [`Catalog::gc`] or [`Catalog::remove_chain`].
+    pub removed: u64,
+    /// Manifest records recovered by scanning payload headers (orphans
+    /// from a crash window, or a full rebuild after manifest loss).
+    pub recovered_records: u64,
+    /// Legacy (v1/v2) files migrated by [`Catalog::import_legacy_dir`].
+    pub imported: u64,
+    /// Legacy files that could not be migrated (unreadable content or a
+    /// failed catalog write); each is skipped and left in place —
+    /// migration never takes the caller down.
+    pub import_failures: u64,
+}
+
+/// A versioned on-disk decomposition catalog. See the
+/// [module docs](self).
+pub struct Catalog {
+    root: PathBuf,
+    /// Manifest rows, ordered by `created_at` (ascending).
+    records: Vec<VersionRecord>,
+    next_created: u64,
+    stats: CatalogStats,
+}
+
+impl Catalog {
+    /// Opens (creating if needed) the catalog rooted at `root`. Reads
+    /// the manifest, then reconciles it against the directory: records
+    /// whose payload vanished are dropped, and payload files the
+    /// manifest does not know (a crash between payload rename and
+    /// manifest rewrite, or a lost manifest) are adopted from their
+    /// AMD3 headers.
+    pub fn open<P: Into<PathBuf>>(root: P) -> SparseResult<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| {
+            SparseError::InvalidCsr(format!("create catalog dir {}: {e}", root.display()))
+        })?;
+        let mut catalog = Self {
+            root,
+            records: Vec::new(),
+            next_created: 1,
+            stats: CatalogStats::default(),
+        };
+        let manifest_records = catalog.read_manifest().unwrap_or_default();
+        let known: HashSet<&str> = manifest_records
+            .iter()
+            .map(|r| r.payload.as_str())
+            .collect();
+        let mut recovered = Vec::new();
+        for name in catalog.payload_files()? {
+            if known.contains(name.as_str()) {
+                continue;
+            }
+            // Orphan payload: adopt it if (and only if) it carries a
+            // full v3 header. Legacy files waiting for import and
+            // unreadable debris are both left alone.
+            let path = catalog.root.join(&name);
+            if let Ok(file) = File::open(&path) {
+                if let Ok(Some(meta)) = persist::peek_catalog_header(BufReader::new(file)) {
+                    recovered.push(VersionRecord::from_meta(&meta, name));
+                }
+            }
+        }
+        catalog.stats.recovered_records = recovered.len() as u64;
+        let mut records = manifest_records;
+        records.extend(recovered);
+        records.retain(|r| catalog.root.join(&r.payload).exists());
+        records.sort_by_key(|r| r.created_at);
+        records.dedup_by(|a, b| a.payload == b.payload);
+        catalog.next_created = records.iter().map(|r| r.created_at).max().unwrap_or(0) + 1;
+        catalog.records = records;
+        if catalog.stats.recovered_records > 0 {
+            catalog.write_manifest()?;
+        }
+        Ok(catalog)
+    }
+
+    /// The catalog's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &CatalogStats {
+        &self.stats
+    }
+
+    /// Number of versions in the manifest.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the catalog holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Every record, ordered by creation.
+    pub fn records(&self) -> &[VersionRecord] {
+        &self.records
+    }
+
+    /// Absolute path of a record's payload file.
+    pub fn payload_path(&self, record: &VersionRecord) -> PathBuf {
+        self.root.join(&record.payload)
+    }
+
+    /// The version chain of one fingerprint, ordered by creation.
+    /// Usually a single record; multiple appear when the same content
+    /// was decomposed under different params or seeds.
+    pub fn versions(&self, fingerprint: u128) -> Vec<&VersionRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.fingerprint == fingerprint)
+            .collect()
+    }
+
+    /// The record answering a full identity lookup, if present.
+    pub fn record(
+        &self,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+    ) -> Option<&VersionRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.matches(fingerprint, config, seed))
+    }
+
+    /// Persists one decomposition version. `version` is the lineage
+    /// counter and `parent` the fingerprint it was refreshed from (0
+    /// for a root). Crash-safe: the payload lands via temp file +
+    /// atomic rename before the manifest is rewritten; a crash between
+    /// the two is healed by the next [`open`](Self::open). Putting an
+    /// identity that is already catalogued is a no-op returning the
+    /// existing record (first write wins, mirroring the in-memory
+    /// cache's admit semantics).
+    pub fn put(
+        &mut self,
+        d: &ArrowDecomposition,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+        version: u64,
+        parent: u128,
+    ) -> SparseResult<VersionRecord> {
+        if let Some(existing) = self.record(fingerprint, config, seed) {
+            return Ok(existing.clone());
+        }
+        let meta = CatalogMeta {
+            fingerprint,
+            version,
+            parent,
+            created_at: self.next_created,
+            seed,
+            config: *config,
+        };
+        let payload = Self::payload_name(fingerprint, config, seed);
+        let path = self.root.join(&payload);
+        self.atomic_write(&path, |w| persist::save_catalog(d, &meta, w))?;
+        self.next_created += 1;
+        let record = VersionRecord::from_meta(&meta, payload);
+        self.records.push(record.clone());
+        self.write_manifest()?;
+        self.stats.puts += 1;
+        Ok(record)
+    }
+
+    /// Loads the decomposition for an exact identity. `Ok(None)` covers
+    /// both "never catalogued" and "payload unreadable" — the latter
+    /// drops the bad record (counted) so the caller's fresh decompose
+    /// re-puts over it.
+    pub fn get(
+        &mut self,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+    ) -> SparseResult<Option<(ArrowDecomposition, VersionRecord)>> {
+        let Some(record) = self.record(fingerprint, config, seed).cloned() else {
+            return Ok(None);
+        };
+        match self.load_record(&record) {
+            Some(d) => Ok(Some((d, record))),
+            None => {
+                self.drop_records(|r| r.payload == record.payload)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Point-in-time restore: walks the lineage backwards from `head`
+    /// (following parent fingerprints, same config + seed) until it
+    /// finds the requested `version`, and loads it. `Ok(None)` when the
+    /// lineage does not reach that version.
+    pub fn restore_at(
+        &mut self,
+        head: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+        version: u64,
+    ) -> SparseResult<Option<(ArrowDecomposition, VersionRecord)>> {
+        let mut cursor = head;
+        let mut seen = HashSet::new();
+        while cursor != 0 && seen.insert(cursor) {
+            let Some(record) = self.record(cursor, config, seed).cloned() else {
+                return Ok(None);
+            };
+            if record.version == version {
+                return match self.load_record(&record) {
+                    Some(d) => Ok(Some((d, record))),
+                    None => {
+                        self.drop_records(|r| r.payload == record.payload)?;
+                        Ok(None)
+                    }
+                };
+            }
+            cursor = record.parent;
+        }
+        Ok(None)
+    }
+
+    /// [`restore_at`](Self::restore_at) without a known decompose
+    /// identity: adopts the config + seed of the head's newest record —
+    /// the CLI path, where only the fingerprint is in hand.
+    pub fn restore_head_at(
+        &mut self,
+        head: u128,
+        version: u64,
+    ) -> SparseResult<Option<(ArrowDecomposition, VersionRecord)>> {
+        let Some((config, seed)) = self.versions(head).last().map(|r| (r.config, r.seed)) else {
+            return Ok(None);
+        };
+        self.restore_at(head, &config, seed, version)
+    }
+
+    /// Garbage collection: groups versions into lineages (chains
+    /// connected by parent edges), keeps the newest
+    /// [`last_k`](RetainPolicy::last_k) of each, and never drops a
+    /// record whose fingerprint the policy names [`live`]
+    /// (RetainPolicy::live). Removed payload files are deleted.
+    ///
+    /// [`live`]: RetainPolicy::live
+    pub fn gc(&mut self, policy: &RetainPolicy) -> SparseResult<GcReport> {
+        let live: HashSet<u128> = policy.live.iter().copied().collect();
+        // Union-find over fingerprints: parent edges glue chains into
+        // lineages.
+        let mut component: HashMap<u128, u128> = HashMap::new();
+        fn find(component: &mut HashMap<u128, u128>, x: u128) -> u128 {
+            let parent = *component.entry(x).or_insert(x);
+            if parent == x {
+                return x;
+            }
+            let root = find(component, parent);
+            component.insert(x, root);
+            root
+        }
+        for r in &self.records {
+            let a = find(&mut component, r.fingerprint);
+            if r.parent != 0 {
+                let b = find(&mut component, r.parent);
+                component.insert(a, b);
+            }
+        }
+        // Newest-first within each lineage; keep the first `last_k`.
+        let mut by_lineage: HashMap<u128, Vec<usize>> = HashMap::new();
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.records[i].created_at));
+        for i in order {
+            let root = find(&mut component, self.records[i].fingerprint);
+            by_lineage.entry(root).or_default().push(i);
+        }
+        let mut keep = vec![false; self.records.len()];
+        for indices in by_lineage.values() {
+            for (rank, &i) in indices.iter().enumerate() {
+                if rank < policy.last_k || live.contains(&self.records[i].fingerprint) {
+                    keep[i] = true;
+                }
+            }
+        }
+        let removed = keep.iter().filter(|k| !**k).count();
+        let kept = self.records.len() - removed;
+        let mut idx = 0;
+        self.drop_records(|_| {
+            let dropped = !keep[idx];
+            idx += 1;
+            dropped
+        })?;
+        Ok(GcReport { removed, kept })
+    }
+
+    /// Removes one lineage, walking parent edges from `head`: every
+    /// version of every fingerprint reached is deleted (records and
+    /// payload files) — sparing any revision a `live` fingerprint still
+    /// **depends on**: the live set is first expanded to its ancestor
+    /// closure, so a shared root stays even when only a fork of it is
+    /// still bound. The tenant-eviction path. Returns the number of
+    /// versions removed.
+    pub fn remove_chain(&mut self, head: u128, live: &[u128]) -> SparseResult<usize> {
+        // Ancestor closure of the live heads: a binding's restore path
+        // runs through every parent behind it, so all of them are live
+        // too.
+        let mut protected: HashSet<u128> = HashSet::new();
+        let mut frontier: Vec<u128> = live.to_vec();
+        while let Some(fp) = frontier.pop() {
+            if fp == 0 || !protected.insert(fp) {
+                continue;
+            }
+            for r in self.records.iter().filter(|r| r.fingerprint == fp) {
+                frontier.push(r.parent);
+            }
+        }
+        let mut doomed: HashSet<u128> = HashSet::new();
+        let mut frontier = vec![head];
+        while let Some(fp) = frontier.pop() {
+            if fp == 0 || protected.contains(&fp) || !doomed.insert(fp) {
+                continue;
+            }
+            for r in self.records.iter().filter(|r| r.fingerprint == fp) {
+                frontier.push(r.parent);
+            }
+        }
+        let before = self.records.len();
+        self.drop_records(|r| doomed.contains(&r.fingerprint))?;
+        Ok(before - self.records.len())
+    }
+
+    /// One-shot migration of a pre-catalog spill directory: every
+    /// readable `*.amd` file that is **not** already a v3 catalog
+    /// payload is loaded, re-identified, written into the catalog as a
+    /// root version (v2 streaming persists keep their recorded version
+    /// and fingerprint; v1 per-key cache spills recover their
+    /// fingerprint by reconstructing the matrix), and the legacy file is
+    /// deleted. `config`/`seed` supply the decompose identity the
+    /// legacy formats never recorded — pass what the writing engine was
+    /// configured with. Returns the number of files migrated.
+    pub fn import_legacy_dir<P: AsRef<Path>>(
+        &mut self,
+        dir: P,
+        config: &DecomposeConfig,
+        seed: u64,
+    ) -> SparseResult<usize> {
+        let dir = dir.as_ref();
+        if !dir.exists() {
+            return Ok(0);
+        }
+        let entries = fs::read_dir(dir)
+            .map_err(|e| SparseError::InvalidCsr(format!("read {}: {e}", dir.display())))?;
+        let mut imported = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(PAYLOAD_EXT) {
+                continue;
+            }
+            // Skip files already in the catalog format (including this
+            // catalog's own payloads when dir == root).
+            let Ok(file) = File::open(&path) else {
+                continue;
+            };
+            match persist::peek_catalog_header(BufReader::new(file)) {
+                Ok(None) => {}
+                _ => continue,
+            }
+            let Ok(file) = File::open(&path) else {
+                continue;
+            };
+            let Ok((d, meta)) = persist::load_versioned(BufReader::new(file)) else {
+                self.stats.import_failures += 1;
+                continue;
+            };
+            // v1 files carry no fingerprint; recover it from the
+            // content (the decomposition reconstructs its matrix).
+            let fingerprint = if meta.fingerprint != 0 {
+                meta.fingerprint
+            } else {
+                match d.reconstruct() {
+                    Ok(m) => m.fingerprint(),
+                    Err(_) => {
+                        self.stats.import_failures += 1;
+                        continue;
+                    }
+                }
+            };
+            let width_config = DecomposeConfig {
+                arrow_width: d.b(),
+                ..*config
+            };
+            // Migration is best-effort per file: one unwritable payload
+            // (disk full, permissions) must not take the caller's
+            // engine construction down — the legacy file stays behind
+            // for a later attempt, counted.
+            if self
+                .put(&d, fingerprint, &width_config, seed, meta.version, 0)
+                .is_err()
+            {
+                self.stats.import_failures += 1;
+                continue;
+            }
+            let _ = fs::remove_file(&path);
+            self.stats.imported += 1;
+            imported += 1;
+        }
+        Ok(imported)
+    }
+
+    /// Writes a decomposition as a standalone one-shot file (outside
+    /// the catalog; versioned v2 header so a later
+    /// [`import_legacy_dir`](Self::import_legacy_dir) re-identifies
+    /// it). The CLI `decompose` path.
+    pub fn save_file<P: AsRef<Path>>(
+        path: P,
+        d: &ArrowDecomposition,
+        fingerprint: u128,
+        version: u64,
+    ) -> SparseResult<()> {
+        let path = path.as_ref();
+        let file = File::create(path)
+            .map_err(|e| SparseError::InvalidCsr(format!("create {}: {e}", path.display())))?;
+        persist::save_versioned(
+            d,
+            &persist::PersistMeta {
+                version,
+                fingerprint,
+            },
+            BufWriter::new(file),
+        )
+    }
+
+    /// Reads a standalone decomposition file of any format version.
+    /// The CLI `multiply` path.
+    pub fn load_file<P: AsRef<Path>>(
+        path: P,
+    ) -> SparseResult<(ArrowDecomposition, persist::PersistMeta)> {
+        let path = path.as_ref();
+        let file = File::open(path)
+            .map_err(|e| SparseError::InvalidCsr(format!("open {}: {e}", path.display())))?;
+        persist::load_versioned(BufReader::new(file))
+    }
+
+    fn payload_name(fingerprint: u128, config: &DecomposeConfig, seed: u64) -> String {
+        // Distinct params/seeds of the same content must not collide:
+        // fold them into a short discriminator (FNV-1a).
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in config
+            .arrow_width
+            .to_le_bytes()
+            .into_iter()
+            .chain([config.prune as u8])
+            .chain(config.max_levels.to_le_bytes())
+            .chain(seed.to_le_bytes())
+        {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        format!("amd3-{fingerprint:032x}-{h:016x}.{PAYLOAD_EXT}")
+    }
+
+    fn payload_files(&self) -> SparseResult<Vec<String>> {
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| SparseError::InvalidCsr(format!("read {}: {e}", self.root.display())))?;
+        let mut names = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(&format!(".{PAYLOAD_EXT}")) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn load_record(&mut self, record: &VersionRecord) -> Option<ArrowDecomposition> {
+        let path = self.root.join(&record.payload);
+        let loaded = File::open(&path)
+            .ok()
+            .and_then(|f| persist::load_catalog(BufReader::new(f)).ok());
+        match loaded {
+            // Header/record mismatch means the file was tampered with or
+            // mis-adopted; treat it as corrupt.
+            Some((d, meta, _)) if meta.fingerprint == record.fingerprint => {
+                self.stats.loads += 1;
+                Some(d)
+            }
+            _ => {
+                self.stats.load_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes every record matching the predicate (payload files too)
+    /// and rewrites the manifest once. The predicate sees records in
+    /// manifest order.
+    fn drop_records<F: FnMut(&VersionRecord) -> bool>(&mut self, mut f: F) -> SparseResult<()> {
+        let mut dropped = Vec::new();
+        self.records.retain(|r| {
+            if f(r) {
+                dropped.push(r.payload.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if dropped.is_empty() {
+            return Ok(());
+        }
+        for payload in &dropped {
+            let _ = fs::remove_file(self.root.join(payload));
+        }
+        self.stats.removed += dropped.len() as u64;
+        self.write_manifest()
+    }
+
+    fn atomic_write<F>(&self, path: &Path, write: F) -> SparseResult<()>
+    where
+        F: FnOnce(&mut BufWriter<File>) -> SparseResult<()>,
+    {
+        let tmp = path.with_extension("tmp");
+        let result = (|| {
+            let file = File::create(&tmp)
+                .map_err(|e| SparseError::InvalidCsr(format!("create {}: {e}", tmp.display())))?;
+            let mut w = BufWriter::new(file);
+            write(&mut w)?;
+            w.flush().map_err(io_err)?;
+            w.get_ref().sync_all().map_err(io_err)?;
+            fs::rename(&tmp, path).map_err(|e| {
+                SparseError::InvalidCsr(format!(
+                    "rename {} -> {}: {e}",
+                    tmp.display(),
+                    path.display()
+                ))
+            })
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    fn write_manifest(&self) -> SparseResult<()> {
+        let path = self.root.join(MANIFEST);
+        self.atomic_write(&path, |w| {
+            w.write_all(MANIFEST_MAGIC).map_err(io_err)?;
+            put_u64(w, self.records.len() as u64)?;
+            for r in &self.records {
+                w.write_all(&r.fingerprint.to_le_bytes()).map_err(io_err)?;
+                put_u64(w, r.version)?;
+                w.write_all(&r.parent.to_le_bytes()).map_err(io_err)?;
+                put_u64(w, r.created_at)?;
+                put_u64(w, r.seed)?;
+                put_u64(w, r.config.arrow_width as u64)?;
+                put_u64(w, r.config.prune as u64)?;
+                put_u64(w, r.config.max_levels as u64)?;
+                let name = r.payload.as_bytes();
+                put_u64(w, name.len() as u64)?;
+                w.write_all(name).map_err(io_err)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// `None` on any structural problem — the caller falls back to a
+    /// payload-header rebuild.
+    fn read_manifest(&self) -> Option<Vec<VersionRecord>> {
+        let file = File::open(self.root.join(MANIFEST)).ok()?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).ok()?;
+        if &magic != MANIFEST_MAGIC {
+            return None;
+        }
+        let count = get_u64_opt(&mut r)? as usize;
+        if count > 10_000_000 {
+            return None;
+        }
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut fp = [0u8; 16];
+            r.read_exact(&mut fp).ok()?;
+            let fingerprint = u128::from_le_bytes(fp);
+            let version = get_u64_opt(&mut r)?;
+            let mut parent_bytes = [0u8; 16];
+            r.read_exact(&mut parent_bytes).ok()?;
+            let parent = u128::from_le_bytes(parent_bytes);
+            let created_at = get_u64_opt(&mut r)?;
+            let seed = get_u64_opt(&mut r)?;
+            let arrow_width = get_u64_opt(&mut r)? as u32;
+            let prune = get_u64_opt(&mut r)? != 0;
+            let max_levels = get_u64_opt(&mut r)? as u32;
+            let name_len = get_u64_opt(&mut r)? as usize;
+            if name_len > 4096 {
+                return None;
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name).ok()?;
+            records.push(VersionRecord {
+                fingerprint,
+                version,
+                parent,
+                created_at,
+                seed,
+                config: DecomposeConfig {
+                    arrow_width,
+                    prune,
+                    max_levels,
+                },
+                payload: String::from_utf8(name).ok()?,
+            });
+        }
+        Some(records)
+    }
+}
+
+fn get_u64_opt<R: Read>(r: &mut R) -> Option<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).ok()?;
+    Some(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::la_decompose::decompose_snapshot;
+    use amd_graph::generators::basic;
+    use amd_sparse::CsrMatrix;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("amd-catalog-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(n: u32) -> (CsrMatrix<f64>, ArrowDecomposition) {
+        let a: CsrMatrix<f64> = basic::cycle(n).to_adjacency();
+        let d = decompose_snapshot(&a, &cfg(), 1).unwrap();
+        (a, d)
+    }
+
+    fn cfg() -> DecomposeConfig {
+        DecomposeConfig::with_width(8)
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let dir = tmpdir("roundtrip");
+        let (a, d) = sample(40);
+        let fp = a.fingerprint();
+        {
+            let mut c = Catalog::open(&dir).unwrap();
+            let rec = c.put(&d, fp, &cfg(), 1, 0, 0).unwrap();
+            assert_eq!(rec.fingerprint, fp);
+            assert_eq!(rec.version, 0);
+            // Idempotent: a second put of the same identity no-ops.
+            let again = c.put(&d, fp, &cfg(), 1, 5, 0).unwrap();
+            assert_eq!(again, rec);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.stats().puts, 1);
+        }
+        let mut c = Catalog::open(&dir).unwrap();
+        assert_eq!(c.stats().recovered_records, 0, "manifest was intact");
+        let (loaded, rec) = c.get(fp, &cfg(), 1).unwrap().unwrap();
+        assert_eq!(loaded, d);
+        assert_eq!(rec.fingerprint, fp);
+        // Unknown identities miss cleanly.
+        assert!(c.get(fp ^ 1, &cfg(), 1).unwrap().is_none());
+        assert!(c.get(fp, &cfg(), 2).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lineage_chain_restores_point_in_time() {
+        let dir = tmpdir("lineage");
+        let mut c = Catalog::open(&dir).unwrap();
+        let (a0, d0) = sample(30);
+        let (a1, d1) = sample(30 + 2); // stand-ins for refreshed content
+        let (a2, d2) = sample(30 + 4);
+        let (f0, f1, f2) = (a0.fingerprint(), a1.fingerprint(), a2.fingerprint());
+        c.put(&d0, f0, &cfg(), 1, 0, 0).unwrap();
+        c.put(&d1, f1, &cfg(), 1, 1, f0).unwrap();
+        c.put(&d2, f2, &cfg(), 1, 2, f1).unwrap();
+        assert_eq!(c.versions(f1).len(), 1);
+        // Walk the lineage from the head back to every version.
+        for (want_v, want_d) in [(0u64, &d0), (1, &d1), (2, &d2)] {
+            let (got, rec) = c.restore_at(f2, &cfg(), 1, want_v).unwrap().unwrap();
+            assert_eq!(&got, want_d, "version {want_v}");
+            assert_eq!(rec.version, want_v);
+        }
+        assert!(c.restore_at(f2, &cfg(), 1, 9).unwrap().is_none());
+        // Head-only restore adopts the head's identity.
+        let (got, _) = c.restore_head_at(f2, 0).unwrap().unwrap();
+        assert_eq!(got, d0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_between_payload_and_manifest_recovers() {
+        let dir = tmpdir("crash");
+        let (a0, d0) = sample(24);
+        let (a1, d1) = sample(28);
+        let mut c = Catalog::open(&dir).unwrap();
+        c.put(&d0, a0.fingerprint(), &cfg(), 1, 0, 0).unwrap();
+        let manifest_before = fs::read(dir.join(MANIFEST)).unwrap();
+        c.put(&d1, a1.fingerprint(), &cfg(), 1, 0, 0).unwrap();
+        drop(c);
+        // Simulate the crash window: the second payload landed but the
+        // manifest rewrite never happened.
+        fs::write(dir.join(MANIFEST), &manifest_before).unwrap();
+        let mut c = Catalog::open(&dir).unwrap();
+        assert_eq!(c.stats().recovered_records, 1, "orphan payload adopted");
+        assert_eq!(c.len(), 2);
+        let (loaded, _) = c.get(a1.fingerprint(), &cfg(), 1).unwrap().unwrap();
+        assert_eq!(loaded, d1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lost_or_corrupt_manifest_rebuilds_from_headers() {
+        let dir = tmpdir("rebuild");
+        let (a0, d0) = sample(24);
+        let (a1, d1) = sample(32);
+        {
+            let mut c = Catalog::open(&dir).unwrap();
+            c.put(&d0, a0.fingerprint(), &cfg(), 1, 0, 0).unwrap();
+            c.put(&d1, a1.fingerprint(), &cfg(), 1, 1, a0.fingerprint())
+                .unwrap();
+        }
+        for corruption in ["missing", "garbage"] {
+            match corruption {
+                "missing" => fs::remove_file(dir.join(MANIFEST)).unwrap(),
+                _ => fs::write(dir.join(MANIFEST), b"NOT A MANIFEST").unwrap(),
+            }
+            let mut c = Catalog::open(&dir).unwrap();
+            assert_eq!(c.stats().recovered_records, 2, "{corruption}: full rebuild");
+            assert_eq!(c.len(), 2);
+            // Lineage survives the rebuild: parent edges live in the
+            // payload headers.
+            let (got, rec) = c
+                .restore_at(a1.fingerprint(), &cfg(), 1, 0)
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, d0);
+            assert_eq!(rec.parent, 0);
+            let (got, _) = c.get(a1.fingerprint(), &cfg(), 1).unwrap().unwrap();
+            assert_eq!(got, d1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_drops_record_and_heals_on_reput() {
+        let dir = tmpdir("corrupt");
+        let (a, d) = sample(36);
+        let fp = a.fingerprint();
+        let mut c = Catalog::open(&dir).unwrap();
+        let rec = c.put(&d, fp, &cfg(), 1, 0, 0).unwrap();
+        let path = c.payload_path(&rec);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(c.get(fp, &cfg(), 1).unwrap().is_none());
+        assert_eq!(c.stats().load_failures, 1);
+        assert_eq!(c.len(), 0, "bad record dropped");
+        // The caller re-decomposes and re-puts; the chain is whole again.
+        c.put(&d, fp, &cfg(), 1, 0, 0).unwrap();
+        assert!(c.get(fp, &cfg(), 1).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_chain_stops_at_live_fingerprints() {
+        let dir = tmpdir("chain");
+        let mut c = Catalog::open(&dir).unwrap();
+        let (a0, d0) = sample(24);
+        let (a1, d1) = sample(26);
+        let (a2, d2) = sample(28);
+        let (f0, f1, f2) = (a0.fingerprint(), a1.fingerprint(), a2.fingerprint());
+        // Shared root f0; two heads f1 and f2 branch from it.
+        c.put(&d0, f0, &cfg(), 1, 0, 0).unwrap();
+        c.put(&d1, f1, &cfg(), 1, 1, f0).unwrap();
+        c.put(&d2, f2, &cfg(), 1, 1, f0).unwrap();
+        // Evicting the f1 head while only the f2 *head* is live: f0 is
+        // not itself bound, but it is an ancestor the live f2 chain
+        // still depends on (restore path, splice prior) — the ancestor
+        // closure must protect it.
+        let removed = c.remove_chain(f1, &[f2]).unwrap();
+        assert_eq!(removed, 1, "only f1's own version goes");
+        assert!(c.get(f0, &cfg(), 1).unwrap().is_some(), "shared root kept");
+        assert!(c.get(f2, &cfg(), 1).unwrap().is_some());
+        assert!(c.get(f1, &cfg(), 1).unwrap().is_none());
+        // Evicting f2 with nothing live takes the whole lineage.
+        let removed = c.remove_chain(f2, &[]).unwrap();
+        assert_eq!(removed, 2);
+        assert!(c.is_empty());
+        // Zero orphans: no payload files survive their records.
+        assert_eq!(c.payload_files().unwrap().len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_retains_last_k_and_pins_live() {
+        let dir = tmpdir("gc");
+        let mut c = Catalog::open(&dir).unwrap();
+        let mats: Vec<_> = (0..5).map(|i| sample(20 + 2 * i)).collect();
+        let fps: Vec<u128> = mats.iter().map(|(a, _)| a.fingerprint()).collect();
+        // One lineage: f0 <- f1 <- f2 <- f3 <- f4.
+        for (i, (a, d)) in mats.iter().enumerate() {
+            let parent = if i == 0 { 0 } else { fps[i - 1] };
+            c.put(d, a.fingerprint(), &cfg(), 1, i as u64, parent)
+                .unwrap();
+        }
+        // Keep the newest 2, but pin the oldest as live.
+        let report = c
+            .gc(&RetainPolicy {
+                last_k: 2,
+                live: vec![fps[0]],
+            })
+            .unwrap();
+        assert_eq!(report.kept, 3);
+        assert_eq!(report.removed, 2);
+        assert!(c.get(fps[0], &cfg(), 1).unwrap().is_some(), "live pinned");
+        assert!(c.get(fps[3], &cfg(), 1).unwrap().is_some());
+        assert!(c.get(fps[4], &cfg(), 1).unwrap().is_some());
+        assert!(c.get(fps[1], &cfg(), 1).unwrap().is_none());
+        assert!(c.get(fps[2], &cfg(), 1).unwrap().is_none());
+        assert_eq!(c.payload_files().unwrap().len(), 3, "files follow records");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_legacy_dir_migrates_v1_and_v2() {
+        use std::io::BufWriter;
+        let legacy = tmpdir("legacy-src");
+        fs::create_dir_all(&legacy).unwrap();
+        let (a0, d0) = sample(30);
+        let (a1, d1) = sample(34);
+        // A v1 per-key cache spill (no provenance at all) and a v2
+        // streaming persist (fingerprint + version header) — the two
+        // pre-catalog formats. This block is the legacy-import fixture:
+        // the only place outside the persistence module that writes the
+        // old formats.
+        {
+            let f = File::create(legacy.join("arrow-00ff.amd")).unwrap();
+            persist::save(&d0, BufWriter::new(f)).unwrap();
+            let f = File::create(legacy.join("dyn.amd")).unwrap();
+            persist::save_versioned(
+                &d1,
+                &persist::PersistMeta {
+                    version: 4,
+                    fingerprint: a1.fingerprint(),
+                },
+                BufWriter::new(f),
+            )
+            .unwrap();
+            // Debris that must survive untouched.
+            fs::write(legacy.join("notes.txt"), b"hello").unwrap();
+        }
+        let dir = tmpdir("legacy-dst");
+        let mut c = Catalog::open(&dir).unwrap();
+        let imported = c.import_legacy_dir(&legacy, &cfg(), 1).unwrap();
+        assert_eq!(imported, 2);
+        assert_eq!(c.stats().imported, 2);
+        // The v1 file's fingerprint was recovered by reconstruction.
+        let (got, rec) = c.get(a0.fingerprint(), &cfg(), 1).unwrap().unwrap();
+        assert_eq!(got, d0);
+        assert_eq!(rec.version, 0);
+        // The v2 file kept its recorded version.
+        let (got, rec) = c.get(a1.fingerprint(), &cfg(), 1).unwrap().unwrap();
+        assert_eq!(got, d1);
+        assert_eq!(rec.version, 4);
+        // Legacy payloads are gone; debris is not.
+        assert!(!legacy.join("arrow-00ff.amd").exists());
+        assert!(!legacy.join("dyn.amd").exists());
+        assert!(legacy.join("notes.txt").exists());
+        // Importing again is a no-op (one-shot).
+        assert_eq!(c.import_legacy_dir(&legacy, &cfg(), 1).unwrap(), 0);
+        let _ = fs::remove_dir_all(&legacy);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_in_place_converts_the_spill_dir_itself() {
+        use std::io::BufWriter;
+        let dir = tmpdir("inplace");
+        fs::create_dir_all(&dir).unwrap();
+        let (a, d) = sample(26);
+        {
+            let f = File::create(dir.join("arrow-0123.amd")).unwrap();
+            persist::save(&d, BufWriter::new(f)).unwrap();
+        }
+        // Open the catalog *at* the legacy spill dir and migrate in
+        // place: the loose file becomes a catalog payload.
+        let mut c = Catalog::open(&dir).unwrap();
+        assert_eq!(c.len(), 0, "legacy files are not adopted blindly");
+        assert_eq!(c.import_legacy_dir(&dir, &cfg(), 1).unwrap(), 1);
+        assert!(!dir.join("arrow-0123.amd").exists());
+        let (got, _) = c.get(a.fingerprint(), &cfg(), 1).unwrap().unwrap();
+        assert_eq!(got, d);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

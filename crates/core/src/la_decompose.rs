@@ -25,7 +25,7 @@ use amd_sparse::{CooMatrix, CsrMatrix, Permutation, SparseError, SparseResult};
 use std::collections::HashMap;
 
 /// Parameters of LA-Decompose.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecomposeConfig {
     /// Target arrow width `b` (tile size of the distributed algorithm).
     pub arrow_width: u32,

@@ -16,6 +16,10 @@
 //!   streamed matrix by re-arranging only the affected region of the
 //!   prior decomposition and splicing, with policy-driven fallback to a
 //!   cold rebuild,
+//! * [`catalog`] — the versioned persistence catalog: one on-disk
+//!   directory (manifest of fingerprint → version chains, crash-safe
+//!   atomic writes, point-in-time restore, GC) shared by every serving
+//!   layer that keeps decompositions warm across restarts,
 //! * [`pruning`] — the power-law pruning analysis of §5.6 (Theorem 1,
 //!   Lemma 5, Corollary 2),
 //! * [`stats`] — compaction factors (Lemma 1) and the nonzero-block
@@ -33,6 +37,7 @@
 //! in-block fraction of an edge of length `d ≤ b` is `1 − d/b`).
 
 pub mod arrow_matrix;
+pub mod catalog;
 pub mod decomposition;
 pub mod incremental;
 pub mod la_decompose;
@@ -42,6 +47,7 @@ pub mod stats;
 pub mod strategy;
 
 pub use arrow_matrix::ArrowMatrix;
+pub use catalog::{Catalog, CatalogStats, GcReport, RetainPolicy, VersionRecord};
 pub use decomposition::{ArrowDecomposition, ArrowLevel};
 pub use incremental::{
     decompose_snapshot_incremental, FallbackReason, IncrementalPolicy, RefreshOutcome,

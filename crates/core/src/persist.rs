@@ -16,13 +16,29 @@
 //! payload as version 1. The streaming layer writes v2 on every refresh
 //! so a restart can tell *which* revision of a mutating matrix a spill
 //! file describes; [`load`] accepts both formats.
+//!
+//! Format (version 3): magic `AMD3`, then a [`CatalogMeta`] header — the
+//! v2 provenance plus the **parent fingerprint** (delta lineage), the
+//! catalog **created-at** counter, and the full decompose identity
+//! (arrow width, pruning flag, level cap, arrangement seed) — followed
+//! by the same payload. The [`catalog`](crate::catalog) writes v3
+//! exclusively, so a lost or corrupt manifest can be rebuilt by reading
+//! nothing but payload headers. [`load`] and [`load_versioned`] accept
+//! all three formats.
+//!
+//! Every function here is an implementation detail of
+//! [`crate::catalog`]; serving layers persist through a
+//! [`Catalog`](crate::catalog::Catalog), never through this module
+//! directly.
 
 use crate::decomposition::{ArrowDecomposition, ArrowLevel};
+use crate::la_decompose::DecomposeConfig;
 use amd_sparse::{CsrMatrix, Permutation, SparseError, SparseResult};
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"AMD1";
 const MAGIC_V2: &[u8; 4] = b"AMD2";
+const MAGIC_V3: &[u8; 4] = b"AMD3";
 
 /// Provenance header of a version-2 persisted decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,10 +50,109 @@ pub struct PersistMeta {
     pub fingerprint: u128,
 }
 
+/// Full provenance header of a version-3 (catalog) payload: everything
+/// the [`catalog`](crate::catalog) needs to reconstruct a manifest
+/// record from the payload file alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogMeta {
+    /// [`CsrMatrix::fingerprint`] of the exact matrix that was decomposed.
+    pub fingerprint: u128,
+    /// Lineage revision counter (0 for a cold decomposition, +1 per
+    /// streaming refresh along the chain).
+    pub version: u64,
+    /// Content fingerprint of the lineage predecessor this revision was
+    /// refreshed from; 0 marks a chain root.
+    pub parent: u128,
+    /// Catalog-wide monotonic creation counter (orders versions within
+    /// and across chains without wall clocks).
+    pub created_at: u64,
+    /// Seed of the random-forest arrangement strategy.
+    pub seed: u64,
+    /// Decomposition parameters (arrow width, pruning, level cap).
+    pub config: DecomposeConfig,
+}
+
+impl CatalogMeta {
+    /// The v2 view of this header (fingerprint + version).
+    pub fn persist_meta(&self) -> PersistMeta {
+        PersistMeta {
+            version: self.version,
+            fingerprint: self.fingerprint,
+        }
+    }
+}
+
 /// Writes the decomposition to `w` (version-1 stream, no provenance).
 pub fn save<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> {
     w.write_all(MAGIC).map_err(io_err)?;
     save_payload(d, &mut w)
+}
+
+/// Writes a version-3 stream: [`CatalogMeta`] provenance header followed
+/// by the decomposition payload.
+pub fn save_catalog<W: Write>(
+    d: &ArrowDecomposition,
+    meta: &CatalogMeta,
+    mut w: W,
+) -> SparseResult<()> {
+    w.write_all(MAGIC_V3).map_err(io_err)?;
+    write_catalog_header(&mut w, meta)?;
+    save_payload(d, &mut w)
+}
+
+fn write_catalog_header<W: Write>(w: &mut W, meta: &CatalogMeta) -> SparseResult<()> {
+    w.write_all(&meta.fingerprint.to_le_bytes())
+        .map_err(io_err)?;
+    put_u64(w, meta.version)?;
+    w.write_all(&meta.parent.to_le_bytes()).map_err(io_err)?;
+    put_u64(w, meta.created_at)?;
+    put_u64(w, meta.seed)?;
+    put_u64(w, meta.config.arrow_width as u64)?;
+    put_u64(w, meta.config.prune as u64)?;
+    put_u64(w, meta.config.max_levels as u64)
+}
+
+fn read_catalog_header<R: Read>(r: &mut R) -> SparseResult<CatalogMeta> {
+    let mut fp = [0u8; 16];
+    r.read_exact(&mut fp).map_err(io_err)?;
+    let fingerprint = u128::from_le_bytes(fp);
+    let version = get_u64(r)?;
+    let mut parent_bytes = [0u8; 16];
+    r.read_exact(&mut parent_bytes).map_err(io_err)?;
+    let parent = u128::from_le_bytes(parent_bytes);
+    let created_at = get_u64(r)?;
+    let seed = get_u64(r)?;
+    let arrow_width = get_u64(r)? as u32;
+    let prune = get_u64(r)? != 0;
+    let max_levels = get_u64(r)? as u32;
+    Ok(CatalogMeta {
+        fingerprint,
+        version,
+        parent,
+        created_at,
+        seed,
+        config: DecomposeConfig {
+            arrow_width,
+            prune,
+            max_levels,
+        },
+    })
+}
+
+/// Reads **only** the header of a stream: the magic plus, for a
+/// version-3 payload, the full [`CatalogMeta`]. Version-1/2 streams
+/// report `None` — they predate catalog provenance. This is the cheap
+/// probe manifest rebuilds use: it never touches the level payload.
+pub fn peek_catalog_header<R: Read>(mut r: R) -> SparseResult<Option<CatalogMeta>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    match &magic {
+        m if m == MAGIC_V3 => Ok(Some(read_catalog_header(&mut r)?)),
+        m if m == MAGIC || m == MAGIC_V2 => Ok(None),
+        _ => Err(SparseError::InvalidCsr(format!(
+            "bad magic {magic:?}: not an arrow decomposition file"
+        ))),
+    }
 }
 
 /// Writes a version-2 stream: [`PersistMeta`] provenance header followed
@@ -80,18 +195,29 @@ fn save_payload<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> 
     Ok(())
 }
 
-/// Reads a decomposition from `r`, validating structure. Accepts both
-/// version-1 and version-2 streams, discarding the v2 provenance header;
-/// use [`load_versioned`] to keep it.
+/// Reads a decomposition from `r`, validating structure. Accepts
+/// version-1, -2, and -3 streams, discarding the provenance headers;
+/// use [`load_versioned`] or [`load_catalog`] to keep them.
 pub fn load<R: Read>(r: R) -> SparseResult<ArrowDecomposition> {
-    load_versioned(r).map(|(d, _)| d)
+    load_catalog(r).map(|(d, _, _)| d)
 }
 
-/// Reads a decomposition plus its provenance. Version-1 streams (which
-/// predate the header) report the default meta: version 0, fingerprint 0.
-pub fn load_versioned<R: Read>(mut r: R) -> SparseResult<(ArrowDecomposition, PersistMeta)> {
+/// Reads a decomposition plus its v2 provenance. Version-1 streams
+/// (which predate the header) report the default meta: version 0,
+/// fingerprint 0; version-3 streams report the v2 view of their header.
+pub fn load_versioned<R: Read>(r: R) -> SparseResult<(ArrowDecomposition, PersistMeta)> {
+    load_catalog(r).map(|(d, meta, _)| (d, meta))
+}
+
+/// Reads a decomposition plus every header it carries: the v2 meta
+/// (defaulted for v1 streams) and, for a version-3 payload, the full
+/// [`CatalogMeta`].
+pub fn load_catalog<R: Read>(
+    mut r: R,
+) -> SparseResult<(ArrowDecomposition, PersistMeta, Option<CatalogMeta>)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic).map_err(io_err)?;
+    let mut catalog = None;
     let meta = match &magic {
         m if m == MAGIC => PersistMeta::default(),
         m if m == MAGIC_V2 => {
@@ -102,6 +228,11 @@ pub fn load_versioned<R: Read>(mut r: R) -> SparseResult<(ArrowDecomposition, Pe
                 version,
                 fingerprint: u128::from_le_bytes(fp),
             }
+        }
+        m if m == MAGIC_V3 => {
+            let full = read_catalog_header(&mut r)?;
+            catalog = Some(full);
+            full.persist_meta()
         }
         _ => {
             return Err(SparseError::InvalidCsr(format!(
@@ -155,10 +286,10 @@ pub fn load_versioned<R: Read>(mut r: R) -> SparseResult<(ArrowDecomposition, Pe
             active_n,
         });
     }
-    Ok((ArrowDecomposition::new(n, b, levels), meta))
+    Ok((ArrowDecomposition::new(n, b, levels), meta, catalog))
 }
 
-fn put_u64<W: Write>(w: &mut W, v: u64) -> SparseResult<()> {
+pub(crate) fn put_u64<W: Write>(w: &mut W, v: u64) -> SparseResult<()> {
     w.write_all(&v.to_le_bytes()).map_err(io_err)
 }
 
@@ -168,7 +299,7 @@ fn get_u64<R: Read>(r: &mut R) -> SparseResult<u64> {
     Ok(u64::from_le_bytes(buf))
 }
 
-fn io_err(e: std::io::Error) -> SparseError {
+pub(crate) fn io_err(e: std::io::Error) -> SparseError {
     SparseError::InvalidCsr(format!("I/O error: {e}"))
 }
 
@@ -285,6 +416,74 @@ mod tests {
         .unwrap();
         for cut in [4usize, 10, 20, 27] {
             assert!(load(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn catalog_roundtrip_preserves_full_meta() {
+        let (a, d) = sample();
+        let meta = CatalogMeta {
+            fingerprint: a.fingerprint(),
+            version: 3,
+            parent: 0xdead_beef,
+            created_at: 17,
+            seed: 9,
+            config: DecomposeConfig::with_width(64),
+        };
+        let mut buf = Vec::new();
+        save_catalog(&d, &meta, &mut buf).unwrap();
+        let (loaded, basic, full) = load_catalog(buf.as_slice()).unwrap();
+        assert_eq!(loaded, d);
+        assert_eq!(full, Some(meta));
+        assert_eq!(basic, meta.persist_meta());
+        // The header is readable without touching the payload, and the
+        // older loaders still accept the stream.
+        assert_eq!(peek_catalog_header(buf.as_slice()).unwrap(), Some(meta));
+        assert_eq!(load(buf.as_slice()).unwrap(), d);
+        let (_, v2) = load_versioned(buf.as_slice()).unwrap();
+        assert_eq!(v2.version, 3);
+        assert_eq!(v2.fingerprint, a.fingerprint());
+    }
+
+    #[test]
+    fn peek_header_reports_none_for_legacy_streams() {
+        let (a, d) = sample();
+        let mut v1 = Vec::new();
+        save(&d, &mut v1).unwrap();
+        assert_eq!(peek_catalog_header(v1.as_slice()).unwrap(), None);
+        let mut v2 = Vec::new();
+        save_versioned(
+            &d,
+            &PersistMeta {
+                version: 1,
+                fingerprint: a.fingerprint(),
+            },
+            &mut v2,
+        )
+        .unwrap();
+        assert_eq!(peek_catalog_header(v2.as_slice()).unwrap(), None);
+        assert!(peek_catalog_header(&b"NOPE"[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_v3_header_rejected() {
+        let (a, d) = sample();
+        let meta = CatalogMeta {
+            fingerprint: a.fingerprint(),
+            version: 1,
+            parent: 0,
+            created_at: 1,
+            seed: 1,
+            config: DecomposeConfig::default(),
+        };
+        let mut buf = Vec::new();
+        save_catalog(&d, &meta, &mut buf).unwrap();
+        for cut in [4usize, 12, 30, 50, 83] {
+            assert!(load(&buf[..cut]).is_err(), "cut at {cut} accepted");
+            assert!(
+                peek_catalog_header(&buf[..cut.min(20)]).is_err(),
+                "header cut accepted"
+            );
         }
     }
 

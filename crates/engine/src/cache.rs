@@ -1,5 +1,5 @@
 //! The decomposition cache: an LRU over content fingerprints with
-//! write-through disk persistence.
+//! write-through persistence into a versioned [`Catalog`].
 //!
 //! LA-Decompose is the expensive, once-per-matrix step of the paper's
 //! workflow (§5); everything after it is cheap per-iteration SpMM. The
@@ -7,22 +7,27 @@
 //!
 //! * **memory hits** return the resident [`ArrowDecomposition`] without
 //!   touching the arrangement pipeline,
-//! * **disk hits** (after a restart, or after an LRU eviction) reload a
-//!   previously persisted decomposition via [`arrow_core::persist`] —
-//!   still no LA-Decompose,
-//! * only true misses pay for a decomposition, and with a spill
-//!   directory configured the result is written through immediately, so
-//!   a warm restart never repeats the work.
+//! * **catalog hits** (after a restart, or after an LRU eviction)
+//!   reload a previously persisted decomposition from the
+//!   [`arrow_core::catalog`] — still no LA-Decompose,
+//! * only true misses pay for a decomposition, and with a catalog
+//!   directory configured the result is written through immediately as
+//!   a catalog version, so a warm restart never repeats the work.
+//!
+//! Write-throughs carry **lineage**: a decomposition admitted by a
+//! streaming refresh records the fingerprint it was refreshed from as
+//! its parent version, so the catalog accumulates per-matrix version
+//! chains (point-in-time restore, GC, tenant eviction) instead of loose
+//! per-key files.
 //!
 //! [`CacheStats::decompositions`] is the probe tests use to assert the
 //! warm path performs zero LA-Decompose calls.
 
-use amd_sparse::{CsrMatrix, SparseError, SparseResult};
-use arrow_core::{la_decompose, persist, ArrowDecomposition, DecomposeConfig, RandomForestLa};
+use amd_sparse::{CsrMatrix, SparseResult};
+use arrow_core::catalog::Catalog;
+use arrow_core::{la_decompose, ArrowDecomposition, DecomposeConfig, RandomForestLa};
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Counters exposed by the cache (monotonic over its lifetime).
@@ -30,12 +35,12 @@ use std::sync::Arc;
 pub struct CacheStats {
     /// Requests answered from memory.
     pub hits: u64,
-    /// Requests not answered from memory (disk loads included).
+    /// Requests not answered from memory (catalog loads included).
     pub misses: u64,
-    /// Requests answered by reloading a persisted decomposition.
+    /// Requests answered by reloading a catalogued decomposition.
     pub disk_loads: u64,
-    /// Spill files that failed to load (corrupt/truncated/mismatched);
-    /// each falls back to a fresh decomposition that overwrites the file.
+    /// Catalog payloads that failed to load (corrupt/truncated); each
+    /// falls back to a fresh decomposition that re-puts the version.
     pub load_failures: u64,
     /// LA-Decompose invocations (the expensive path).
     pub decompositions: u64,
@@ -43,13 +48,17 @@ pub struct CacheStats {
     /// worker) and handed to the cache via
     /// [`DecompositionCache::admit`].
     pub admitted: u64,
-    /// Decompositions written through to the spill directory.
+    /// Decompositions written through to the catalog.
     pub spills: u64,
     /// Write-through attempts that failed (disk full, directory gone);
     /// the decomposition stays usable in memory.
     pub spill_failures: u64,
     /// Entries dropped from memory by the LRU policy.
     pub evictions: u64,
+    /// Entries dropped from memory by [`DecompositionCache::release`]
+    /// (a binding was deregistered; the catalog copy, if any, remains
+    /// until garbage-collected).
+    pub released: u64,
 }
 
 struct Entry {
@@ -60,10 +69,10 @@ struct Entry {
 /// LRU cache of arrow decompositions keyed by
 /// [`cache_key`](Self::cache_key) — the [`CsrMatrix::fingerprint`]
 /// folded with the decompose configuration and seed — with optional
-/// disk spill.
+/// write-through into an on-disk [`Catalog`].
 pub struct DecompositionCache {
     capacity: usize,
-    spill_dir: Option<PathBuf>,
+    catalog: Option<Catalog>,
     entries: HashMap<u128, Entry>,
     clock: u64,
     stats: CacheStats,
@@ -71,19 +80,19 @@ pub struct DecompositionCache {
 
 impl DecompositionCache {
     /// A cache holding at most `capacity` decompositions in memory.
-    /// With `spill_dir` set, every decomposition is also persisted there
-    /// (write-through), and lookups fall back to disk before
-    /// decomposing; pass `None` for a memory-only cache.
-    pub fn new(capacity: usize, spill_dir: Option<PathBuf>) -> SparseResult<Self> {
+    /// With `catalog_dir` set, every decomposition is also persisted
+    /// there as a catalog version (write-through), and lookups fall
+    /// back to the catalog before decomposing; pass `None` for a
+    /// memory-only cache.
+    pub fn new(capacity: usize, catalog_dir: Option<PathBuf>) -> SparseResult<Self> {
         assert!(capacity >= 1, "cache capacity must be at least 1");
-        if let Some(dir) = &spill_dir {
-            std::fs::create_dir_all(dir).map_err(|e| {
-                SparseError::InvalidCsr(format!("create spill dir {}: {e}", dir.display()))
-            })?;
-        }
+        let catalog = match catalog_dir {
+            Some(dir) => Some(Catalog::open(dir)?),
+            None => None,
+        };
         Ok(Self {
             capacity,
-            spill_dir,
+            catalog,
             entries: HashMap::new(),
             clock: 0,
             stats: CacheStats::default(),
@@ -93,6 +102,30 @@ impl DecompositionCache {
     /// Counter snapshot.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// The write-through catalog, when one is configured.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog.as_ref()
+    }
+
+    /// Mutable access to the write-through catalog (GC, chain removal).
+    pub fn catalog_mut(&mut self) -> Option<&mut Catalog> {
+        self.catalog.as_mut()
+    }
+
+    /// One-shot migration of pre-catalog spill files sitting in the
+    /// catalog directory itself (loose `arrow-<key>.amd` files written
+    /// by earlier engines): imports them as catalog root versions under
+    /// the given identity. No-op without a catalog.
+    pub fn import_legacy(&mut self, config: &DecomposeConfig, seed: u64) -> SparseResult<usize> {
+        match &mut self.catalog {
+            Some(c) => {
+                let root = c.root().to_path_buf();
+                c.import_legacy_dir(root, config, seed)
+            }
+            None => Ok(0),
+        }
     }
 
     /// Number of decompositions resident in memory.
@@ -111,15 +144,11 @@ impl DecompositionCache {
         self.entries.contains_key(&key)
     }
 
-    fn spill_path(dir: &Path, key: u128) -> PathBuf {
-        dir.join(format!("arrow-{key:032x}.amd"))
-    }
-
     /// The cache identity of a request: the matrix content fingerprint
     /// folded with every input that shapes the decomposition — arrow
     /// width, pruning flag, level cap, and the arrangement seed. Two
-    /// requests share an entry (or a spill file) only when they would
-    /// produce the same decomposition.
+    /// requests share an entry (or a catalog version) only when they
+    /// would produce the same decomposition.
     pub fn cache_key(fingerprint: u128, config: &DecomposeConfig, seed: u64) -> u128 {
         const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
         let mut h = fingerprint;
@@ -137,9 +166,9 @@ impl DecompositionCache {
         h
     }
 
-    /// The decomposition for `a`, from memory, disk, or (last resort) a
-    /// fresh LA-Decompose with `config` and the random-forest strategy
-    /// seeded by `seed`.
+    /// The decomposition for `a`, from memory, the catalog, or (last
+    /// resort) a fresh LA-Decompose with `config` and the random-forest
+    /// strategy seeded by `seed`.
     pub fn get_or_decompose(
         &mut self,
         a: &CsrMatrix<f64>,
@@ -160,6 +189,23 @@ impl DecompositionCache {
         config: &DecomposeConfig,
         seed: u64,
     ) -> SparseResult<Arc<ArrowDecomposition>> {
+        self.get_or_decompose_lineage(a, fingerprint, config, seed, 0, 0)
+    }
+
+    /// [`get_or_decompose_keyed`](Self::get_or_decompose_keyed) with
+    /// catalog lineage: should a fresh decomposition be computed, its
+    /// write-through records `version` and `parent` (the fingerprint it
+    /// was refreshed from) instead of a root version — the synchronous
+    /// refresh path of a serving engine.
+    pub fn get_or_decompose_lineage(
+        &mut self,
+        a: &CsrMatrix<f64>,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+        version: u64,
+        parent: u128,
+    ) -> SparseResult<Arc<ArrowDecomposition>> {
         let key = Self::cache_key(fingerprint, config, seed);
         self.clock += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
@@ -168,22 +214,26 @@ impl DecompositionCache {
             return Ok(entry.d.clone());
         }
         self.stats.misses += 1;
-        // Disk fallback: a previous run (or an evicted entry) may have
-        // persisted this decomposition already. A file that fails to
-        // load — corrupt, truncated, or holding the wrong matrix — must
-        // never take registration down: it falls through to a fresh
-        // decomposition, which overwrites it.
-        if let Some(dir) = self.spill_dir.clone() {
-            let path = Self::spill_path(&dir, key);
-            if path.exists() {
-                match Self::try_load(&path, a.rows()) {
-                    Ok(d) => {
-                        self.stats.disk_loads += 1;
-                        self.insert(key, d.clone());
-                        return Ok(d);
-                    }
-                    Err(_) => self.stats.load_failures += 1,
+        // Catalog fallback: a previous run (or an evicted entry) may
+        // have persisted this decomposition already. A payload that
+        // fails to load — corrupt, truncated, or holding the wrong
+        // matrix — must never take registration down: the catalog drops
+        // the bad record, we fall through to a fresh decomposition, and
+        // the re-put heals the chain.
+        if let Some(catalog) = &mut self.catalog {
+            let failures_before = catalog.stats().load_failures;
+            match catalog.get(fingerprint, config, seed) {
+                Ok(Some((d, _))) if d.n() == a.rows() => {
+                    let d = Arc::new(d);
+                    self.stats.disk_loads += 1;
+                    self.insert(key, d.clone());
+                    return Ok(d);
                 }
+                Ok(Some(_)) => self.stats.load_failures += 1, // wrong shape
+                Ok(None) => {
+                    self.stats.load_failures += catalog.stats().load_failures - failures_before;
+                }
+                Err(_) => self.stats.load_failures += 1,
             }
         }
         // True miss: decompose (the only expensive path) and write
@@ -193,17 +243,7 @@ impl DecompositionCache {
         // counts the failure.
         self.stats.decompositions += 1;
         let d = Arc::new(la_decompose(a, config, &mut RandomForestLa::new(seed))?);
-        if let Some(dir) = self.spill_dir.clone() {
-            let path = Self::spill_path(&dir, key);
-            match Self::try_save(&path, &d) {
-                Ok(()) => self.stats.spills += 1,
-                Err(_) => {
-                    self.stats.spill_failures += 1;
-                    // Don't leave a partial file behind to poison reloads.
-                    let _ = std::fs::remove_file(&path);
-                }
-            }
-        }
+        self.write_through(&d, fingerprint, config, seed, version, parent);
         self.insert(key, d.clone());
         Ok(d)
     }
@@ -233,14 +273,20 @@ impl DecompositionCache {
     /// already resident the existing entry wins — the caller's copy is
     /// discarded and the resident [`Arc`] returned, so pointer identity
     /// stays stable for concurrent holders. Otherwise the decomposition
-    /// is inserted and written through to the spill directory exactly
-    /// like a cache-computed one (best-effort, counted on failure).
+    /// is inserted and written through to the catalog exactly like a
+    /// cache-computed one (best-effort, counted on failure), recording
+    /// the given lineage: `version` is the revision counter and
+    /// `parent` the fingerprint this decomposition was refreshed from
+    /// (0 for a root) — an incremental refresh's spliced result thus
+    /// persists as a child version of its prior.
     pub fn admit(
         &mut self,
         fingerprint: u128,
         config: &DecomposeConfig,
         seed: u64,
         d: Arc<ArrowDecomposition>,
+        version: u64,
+        parent: u128,
     ) -> Arc<ArrowDecomposition> {
         let key = Self::cache_key(fingerprint, config, seed);
         self.clock += 1;
@@ -250,45 +296,47 @@ impl DecompositionCache {
             return entry.d.clone();
         }
         self.stats.admitted += 1;
-        if let Some(dir) = self.spill_dir.clone() {
-            let path = Self::spill_path(&dir, key);
-            match Self::try_save(&path, &d) {
-                Ok(()) => self.stats.spills += 1,
-                Err(_) => {
-                    self.stats.spill_failures += 1;
-                    let _ = std::fs::remove_file(&path);
-                }
-            }
-        }
+        self.write_through(&d, fingerprint, config, seed, version, parent);
         self.insert(key, d.clone());
         d
     }
 
-    fn try_save(path: &Path, d: &ArrowDecomposition) -> SparseResult<()> {
-        let file = File::create(path)
-            .map_err(|e| SparseError::InvalidCsr(format!("create {}: {e}", path.display())))?;
-        persist::save(d, BufWriter::new(file))
+    /// Drops the resident entry for an identity, if present — the
+    /// deregistration path: the binding that pinned this decomposition
+    /// is gone, so the memory can go too. The catalog version (if any)
+    /// survives until GC'd or its chain is removed. Returns whether an
+    /// entry was dropped.
+    pub fn release(&mut self, fingerprint: u128, config: &DecomposeConfig, seed: u64) -> bool {
+        let key = Self::cache_key(fingerprint, config, seed);
+        let dropped = self.entries.remove(&key).is_some();
+        if dropped {
+            self.stats.released += 1;
+        }
+        dropped
     }
 
-    fn try_load(path: &Path, n: u32) -> SparseResult<Arc<ArrowDecomposition>> {
-        let file = File::open(path)
-            .map_err(|e| SparseError::InvalidCsr(format!("open {}: {e}", path.display())))?;
-        let d = Arc::new(persist::load(BufReader::new(file))?);
-        if d.n() != n {
-            return Err(SparseError::InvalidCsr(format!(
-                "spill file {} holds n = {}, matrix has n = {n}",
-                path.display(),
-                d.n()
-            )));
+    fn write_through(
+        &mut self,
+        d: &ArrowDecomposition,
+        fingerprint: u128,
+        config: &DecomposeConfig,
+        seed: u64,
+        version: u64,
+        parent: u128,
+    ) {
+        if let Some(catalog) = &mut self.catalog {
+            match catalog.put(d, fingerprint, config, seed, version, parent) {
+                Ok(_) => self.stats.spills += 1,
+                Err(_) => self.stats.spill_failures += 1,
+            }
         }
-        Ok(d)
     }
 
     fn insert(&mut self, key: u128, d: Arc<ArrowDecomposition>) {
         while self.entries.len() >= self.capacity {
             // Evict the least recently used entry. Decompositions are
-            // write-through, so eviction never loses work when a spill
-            // directory is configured.
+            // write-through, so eviction never loses work when a
+            // catalog is configured.
             let lru = self
                 .entries
                 .iter()
@@ -380,6 +428,12 @@ mod tests {
             cache.get_or_decompose(&a, &cfg(), 1).unwrap();
             assert_eq!(cache.stats().decompositions, 1);
             assert_eq!(cache.stats().spills, 1);
+            // The write-through is a catalog root version.
+            let catalog = cache.catalog().unwrap();
+            assert_eq!(catalog.len(), 1);
+            let rec = catalog.record(a.fingerprint(), &cfg(), 1).unwrap();
+            assert_eq!(rec.version, 0);
+            assert_eq!(rec.parent, 0);
         }
         // Fresh cache, same directory: warm restart, zero LA-Decompose.
         let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
@@ -391,27 +445,25 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_spill_file_falls_back_to_decompose() {
+    fn corrupt_catalog_payload_falls_back_to_decompose() {
         let dir = std::env::temp_dir().join(format!("amd-cache-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let a = matrix(50);
-        {
+        let payload = {
             let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
             cache.get_or_decompose(&a, &cfg(), 1).unwrap();
-        }
-        // Truncate the spill file: the warm path must survive it.
-        let spill = DecompositionCache::spill_path(
-            &dir,
-            DecompositionCache::cache_key(a.fingerprint(), &cfg(), 1),
-        );
-        let bytes = std::fs::read(&spill).unwrap();
-        std::fs::write(&spill, &bytes[..20]).unwrap();
+            let catalog = cache.catalog().unwrap();
+            catalog.payload_path(catalog.record(a.fingerprint(), &cfg(), 1).unwrap())
+        };
+        // Truncate the payload: the warm path must survive it.
+        let bytes = std::fs::read(&payload).unwrap();
+        std::fs::write(&payload, &bytes[..20]).unwrap();
         let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
         let d = cache.get_or_decompose(&a, &cfg(), 1).unwrap();
         assert_eq!(cache.stats().load_failures, 1);
         assert_eq!(cache.stats().decompositions, 1, "fell back to decompose");
         assert_eq!(d.validate(&a).unwrap(), 0.0);
-        // The bad file was overwritten: a third cache loads it cleanly.
+        // The bad version was replaced: a third cache loads it cleanly.
         let mut cache = DecompositionCache::new(2, Some(dir.clone())).unwrap();
         cache.get_or_decompose(&a, &cfg(), 1).unwrap();
         assert_eq!(cache.stats().decompositions, 0);
@@ -430,6 +482,47 @@ mod tests {
         cache.get_or_decompose(&a, &cfg(), 1).unwrap(); // disk, not decompose
         assert_eq!(cache.stats().decompositions, 2);
         assert_eq!(cache.stats().disk_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admit_records_lineage_in_the_catalog() {
+        let dir = std::env::temp_dir().join(format!("amd-cache-lineage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = DecompositionCache::new(4, Some(dir.clone())).unwrap();
+        let a = matrix(30);
+        let b = matrix(32);
+        let da = cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        // Simulate a refresh: b's decomposition admitted as version 1
+        // with a as its parent.
+        let db = Arc::new(arrow_core::decompose_snapshot(&b, &cfg(), 1).unwrap());
+        cache.admit(b.fingerprint(), &cfg(), 1, db, 1, a.fingerprint());
+        assert_eq!(cache.stats().admitted, 1);
+        let catalog = cache.catalog().unwrap();
+        let rec = catalog.record(b.fingerprint(), &cfg(), 1).unwrap();
+        assert_eq!(rec.version, 1);
+        assert_eq!(rec.parent, a.fingerprint());
+        // Admitting a resident identity returns the resident Arc.
+        let da2 = cache.admit(a.fingerprint(), &cfg(), 1, da.clone(), 7, 0);
+        assert!(Arc::ptr_eq(&da, &da2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn release_drops_memory_but_not_the_catalog() {
+        let dir = std::env::temp_dir().join(format!("amd-cache-release-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = DecompositionCache::new(4, Some(dir.clone())).unwrap();
+        let a = matrix(30);
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        assert!(cache.release(a.fingerprint(), &cfg(), 1));
+        assert!(!cache.release(a.fingerprint(), &cfg(), 1), "already gone");
+        assert_eq!(cache.stats().released, 1);
+        assert!(cache.is_empty());
+        // The catalog copy still answers the next request.
+        cache.get_or_decompose(&a, &cfg(), 1).unwrap();
+        assert_eq!(cache.stats().disk_loads, 1);
+        assert_eq!(cache.stats().decompositions, 1, "no second decompose");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -133,6 +133,9 @@ pub struct EngineStats {
     /// Streaming refreshes absorbed: an updated matrix replaced its
     /// predecessor via [`Engine::refresh`].
     pub refreshes: u64,
+    /// Bindings dropped via [`Engine::deregister`] (overlay and cache
+    /// reference released with them).
+    pub deregistered: u64,
 }
 
 struct BoundMatrix {
@@ -201,9 +204,17 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine; creates the spill directory if configured.
+    /// Builds an engine; opens (creating if needed) the persistence
+    /// catalog when a spill directory is configured, migrating any
+    /// pre-catalog loose spill files it finds there.
     pub fn new(config: EngineConfig) -> SparseResult<Self> {
-        let cache = DecompositionCache::new(config.cache_capacity, config.spill_dir.clone())?;
+        let mut cache = DecompositionCache::new(config.cache_capacity, config.spill_dir.clone())?;
+        // One-shot legacy migration: spill dirs written before the
+        // catalog existed keep their warm-restart value.
+        cache.import_legacy(
+            &DecomposeConfig::with_width(config.arrow_width),
+            config.decompose_seed,
+        )?;
         Ok(Self {
             config,
             cache,
@@ -218,7 +229,7 @@ impl Engine {
     /// and bind the cheapest algorithm. Registering the same content
     /// twice is a no-op returning the same id.
     pub fn register(&mut self, a: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
-        self.register_versioned(a, 0, 0, None)
+        self.register_versioned(a, 0, 0, None, 0)
     }
 
     /// [`register`](Self::register) under a caller-chosen salt: identical
@@ -228,15 +239,19 @@ impl Engine {
     /// multi-tenant holder passes its tenant id here. Salt zero is plain
     /// registration.
     pub fn register_salted(&mut self, a: &CsrMatrix<f64>, salt: u128) -> SparseResult<MatrixId> {
-        self.register_versioned(a, 0, salt, None)
+        self.register_versioned(a, 0, salt, None, 0)
     }
 
+    /// `parent` is the content fingerprint this registration was
+    /// refreshed from (0 for a cold registration) — recorded in the
+    /// persistence catalog so version chains track delta lineage.
     fn register_versioned(
         &mut self,
         a: &CsrMatrix<f64>,
         version: u64,
         salt: u128,
         precomputed: Option<Arc<ArrowDecomposition>>,
+        parent: u128,
     ) -> SparseResult<MatrixId> {
         let fingerprint = a.fingerprint();
         let id = salted_id(fingerprint, salt);
@@ -269,13 +284,17 @@ impl Engine {
                     &decompose_config,
                     self.config.decompose_seed,
                     d,
+                    version,
+                    parent,
                 )
             }
-            None => self.cache.get_or_decompose_keyed(
+            None => self.cache.get_or_decompose_lineage(
                 a,
                 fingerprint,
                 &decompose_config,
                 self.config.decompose_seed,
+                version,
+                parent,
             )?,
         };
         let planner_config = PlannerConfig {
@@ -457,7 +476,8 @@ impl Engine {
         }
         let version = old_bound.version + 1;
         let salt = old_bound.salt;
-        let new_id = match self.register_versioned(merged, version, salt, decomposition) {
+        let parent = old_bound.fingerprint;
+        let new_id = match self.register_versioned(merged, version, salt, decomposition, parent) {
             Ok(id) => id,
             Err(e) => {
                 // Leave the engine serving the old binding on failure.
@@ -481,6 +501,80 @@ impl Engine {
         }
         self.stats.refreshes += 1;
         Ok(new_id)
+    }
+
+    /// Drops the binding of `id`: its overlay goes with it, its cache
+    /// reference is released (the resident decomposition is dropped
+    /// unless another binding of the same content still pins it — the
+    /// catalog version, if any, stays until garbage-collected), and the
+    /// drop is counted in [`EngineStats::deregistered`].
+    ///
+    /// The **pending-query ownership check**: deregistration refuses
+    /// while queries against `id` sit in the queue — answering them
+    /// later would need the binding this call destroys. Flush (or the
+    /// owner's per-tenant flush) first.
+    pub fn deregister(&mut self, id: MatrixId) -> SparseResult<()> {
+        let bound = self.bound.get(&id.0).ok_or_else(|| {
+            SparseError::InvalidCsr(format!("matrix {:032x} is not registered", id.0))
+        })?;
+        let pending = self.pending_for(id);
+        if pending > 0 {
+            return Err(SparseError::InvalidCsr(format!(
+                "matrix {:032x} still owns {pending} pending quer{}; flush before deregistering",
+                id.0,
+                if pending == 1 { "y" } else { "ies" }
+            )));
+        }
+        let fingerprint = bound.fingerprint;
+        self.bound.remove(&id.0);
+        // Release the cached decomposition only when no other binding
+        // (another tenant's salted registration of identical content)
+        // still serves from it.
+        let shared = self.bound.values().any(|b| b.fingerprint == fingerprint);
+        if !shared {
+            self.cache.release(
+                fingerprint,
+                &DecomposeConfig::with_width(self.config.arrow_width),
+                self.config.decompose_seed,
+            );
+        }
+        self.stats.deregistered += 1;
+        Ok(())
+    }
+
+    /// Queries queued against one binding.
+    pub fn pending_for(&self, id: MatrixId) -> usize {
+        self.pending.iter().filter(|p| p.query.matrix == id).count()
+    }
+
+    /// Content fingerprints of every live binding — the "still
+    /// referenced" set a catalog sweep must not collect.
+    pub fn bound_fingerprints(&self) -> Vec<u128> {
+        self.bound.values().map(|b| b.fingerprint).collect()
+    }
+
+    /// Registration salt of a binding (the tenant id of a salted
+    /// registration; 0 for plain ones).
+    pub fn binding_salt(&self, id: MatrixId) -> Option<u128> {
+        self.bound.get(&id.0).map(|b| b.salt)
+    }
+
+    /// Content fingerprint of a binding (the head of its catalog
+    /// version chain).
+    pub fn binding_fingerprint(&self, id: MatrixId) -> Option<u128> {
+        self.bound.get(&id.0).map(|b| b.fingerprint)
+    }
+
+    /// The persistence catalog behind the decomposition cache, when the
+    /// engine was configured with a spill directory (GC, chain removal,
+    /// restore tooling).
+    pub fn catalog(&self) -> Option<&arrow_core::Catalog> {
+        self.cache.catalog()
+    }
+
+    /// Mutable access to the persistence catalog.
+    pub fn catalog_mut(&mut self) -> Option<&mut arrow_core::Catalog> {
+        self.cache.catalog_mut()
     }
 
     /// Sets (or replaces) the sparse correction `ΔA` pending on `id`.
@@ -596,6 +690,30 @@ impl Engine {
     /// `max_batch` columns; responses are returned in submission order.
     pub fn flush(&mut self) -> SparseResult<Vec<QueryResponse>> {
         let pending = std::mem::take(&mut self.pending);
+        self.flush_set(pending)
+    }
+
+    /// Answers only the pending queries **owned** by `salt` — i.e.
+    /// those addressing a binding registered under that salt — leaving
+    /// everyone else's queries queued. This is the per-tenant flush: a
+    /// multi-tenant holder salts bindings by tenant id, so one tenant
+    /// can drain its own queue without forcing runs for the whole hub.
+    /// Batching within the drained set is identical to [`flush`].
+    ///
+    /// [`flush`]: Self::flush
+    pub fn flush_owned(&mut self, salt: u128) -> SparseResult<Vec<QueryResponse>> {
+        let pending = std::mem::take(&mut self.pending);
+        let (mine, others): (Vec<Pending>, Vec<Pending>) = pending.into_iter().partition(|p| {
+            self.bound
+                .get(&p.query.matrix.0)
+                .map(|b| b.salt == salt)
+                .unwrap_or(false)
+        });
+        self.pending = others;
+        self.flush_set(mine)
+    }
+
+    fn flush_set(&mut self, pending: Vec<Pending>) -> SparseResult<Vec<QueryResponse>> {
         if pending.is_empty() {
             return Ok(Vec::new());
         }
@@ -1073,6 +1191,109 @@ mod tests {
         assert!(e.refresh(id, &ring(16)).is_err());
         assert_eq!(e.matrix_version(id), Some(0));
         assert!(e.chosen_algorithm(id).is_some());
+    }
+
+    #[test]
+    fn deregister_drops_binding_and_releases_cache() {
+        let mut e = engine();
+        let a = ring(40);
+        let id = e.register(&a).unwrap();
+        e.deregister(id).unwrap();
+        assert_eq!(e.stats().deregistered, 1);
+        assert_eq!(e.matrix_version(id), None, "binding gone");
+        assert!(e.deregister(id).is_err(), "double deregister rejected");
+        // The decomposition was released from memory: re-registering
+        // without a catalog decomposes again.
+        let id2 = e.register(&a).unwrap();
+        assert_eq!(id2, id, "same content, same unsalted id");
+        assert_eq!(e.cache_stats().decompositions, 2);
+        assert_eq!(e.cache_stats().released, 1);
+    }
+
+    #[test]
+    fn deregister_keeps_cache_entry_shared_by_another_salt() {
+        let mut e = engine();
+        let a = ring(36);
+        let id1 = e.register_salted(&a, 1).unwrap();
+        let id2 = e.register_salted(&a, 2).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(e.cache_stats().decompositions, 1, "content shared");
+        e.deregister(id1).unwrap();
+        // Tenant 2 still serves; its decomposition must not have been
+        // released.
+        assert_eq!(e.cache_stats().released, 0);
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: id2,
+                x: vec![1.0; 36],
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        assert_eq!(resp.y.len(), 36);
+        // Now the last reference goes, and the memory with it.
+        e.deregister(id2).unwrap();
+        assert_eq!(e.cache_stats().released, 1);
+    }
+
+    #[test]
+    fn deregister_refuses_while_queries_pend() {
+        let mut e = engine();
+        let id = e.register(&ring(32)).unwrap();
+        e.submit(MultiplyQuery {
+            matrix: id,
+            x: vec![1.0; 32],
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        let err = e.deregister(id).unwrap_err();
+        assert!(
+            err.to_string().contains("pending"),
+            "ownership check names the cause: {err}"
+        );
+        assert_eq!(e.pending_for(id), 1);
+        e.flush().unwrap();
+        e.deregister(id).unwrap();
+    }
+
+    #[test]
+    fn flush_owned_drains_only_one_salt() {
+        let mut e = engine();
+        let n = 32;
+        let a = ring(n);
+        let id1 = e.register_salted(&a, 1).unwrap();
+        let id2 = e.register_salted(&a, 2).unwrap();
+        let x = vec![1.0; n as usize];
+        let q1 = e
+            .submit(MultiplyQuery {
+                matrix: id1,
+                x: x.clone(),
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        e.submit(MultiplyQuery {
+            matrix: id2,
+            x: x.clone(),
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        e.submit(MultiplyQuery {
+            matrix: id1,
+            x,
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        let mine = e.flush_owned(1).unwrap();
+        assert_eq!(mine.len(), 2, "only salt-1 queries drained");
+        assert!(mine.iter().any(|r| r.id == q1));
+        assert_eq!(mine[0].batch_size, 2, "owned queries still batch");
+        assert_eq!(e.pending_queries(), 1, "salt-2 query still queued");
+        let rest = e.flush().unwrap();
+        assert_eq!(rest.len(), 1);
     }
 
     #[test]

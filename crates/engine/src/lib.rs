@@ -6,8 +6,9 @@
 //!
 //! * [`DecompositionCache`] — an LRU keyed by
 //!   [`CsrMatrix::fingerprint`](amd_sparse::CsrMatrix::fingerprint),
-//!   write-through persisted via `arrow_core::persist` so warm restarts
-//!   skip LA-Decompose entirely,
+//!   write-through persisted into the versioned
+//!   [`arrow_core::catalog`] (lineage-tracked version chains) so warm
+//!   restarts skip LA-Decompose entirely,
 //! * [`planner`] — predicts per-iteration cost for every distributed
 //!   algorithm from its planned distribution
 //!   ([`DistSpmm::predict_volume`](amd_spmm::DistSpmm::predict_volume))
@@ -25,6 +26,12 @@
 //! compacted successor (new fingerprint, fresh decomposition through the
 //! cache, full planner re-ranking, version carried forward). The
 //! `amd-stream` crate drives both from a budgeted update stream.
+//!
+//! Bindings have a full lifecycle: [`Engine::deregister`] drops one
+//! (refusing while it still owns pending queries, releasing its cache
+//! reference once no other binding shares the content), and
+//! [`Engine::flush_owned`] drains just the queries registered under one
+//! salt — the per-tenant flush of a multi-tenant holder.
 //!
 //! ```
 //! use amd_engine::{Engine, EngineConfig, MultiplyQuery};

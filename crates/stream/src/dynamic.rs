@@ -28,15 +28,19 @@
 //! [`amd_spmm::DeltaSpmm`], and bit-equal to a rebuild for exactly
 //! representable data.
 
-use crate::budget::StalenessBudget;
+use crate::budget::{AdaptiveBudget, StalenessBudget};
 use crate::splice::SpliceStats;
 use crate::update::Update;
 use amd_sparse::{ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, SparseError, SparseResult};
+use arrow_core::catalog::Catalog;
 use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
-use arrow_core::{decompose_snapshot, persist, ArrowDecomposition, DecomposeConfig, PersistMeta};
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use arrow_core::{decompose_snapshot, ArrowDecomposition, DecomposeConfig};
 use std::path::PathBuf;
+use std::time::Instant;
+
+/// Smoothing factor of the measured corrected-multiply EWMA (the
+/// adaptive budget's per-entry overhead signal).
+const EWMA_ALPHA: f64 = 0.3;
 
 /// Configuration of a [`DynamicMatrix`].
 #[derive(Debug, Clone)]
@@ -51,15 +55,24 @@ pub struct DynamicConfig {
     /// growing the delta. Disable to force every update through the
     /// delta (the E-STREAM ablation).
     pub patch_in_place: bool,
-    /// Versioned persist write-through: the current decomposition is
-    /// saved here (magic `AMD2`, version + fingerprint header) at
-    /// construction and after every refresh, and reloaded on
-    /// construction when the header matches the matrix.
-    pub persist_path: Option<PathBuf>,
+    /// Catalog write-through: the current decomposition is persisted
+    /// into the versioned [`Catalog`] rooted here at construction and
+    /// after every refresh, forming a **version chain** (each refresh a
+    /// child of its predecessor). Construction reloads a matching
+    /// version when one exists, and
+    /// [`restore_at`](DynamicMatrix::restore_at) walks the chain for
+    /// point-in-time reloads.
+    pub catalog_dir: Option<PathBuf>,
     /// When a refresh may splice the prior decomposition instead of
     /// re-running LA-Decompose on the whole merged matrix (see
     /// [`arrow_core::incremental`]).
     pub incremental: IncrementalPolicy,
+    /// Adaptive staleness budget: re-derive `max_delta_nnz` after every
+    /// refresh from the **measured** refresh latency vs the measured
+    /// per-entry corrected-multiply overhead (an EWMA over the delta
+    /// correction's wall time — the kernel level has no cost-model
+    /// prediction to lean on). `None` (default) keeps the budget fixed.
+    pub adaptive: Option<AdaptiveBudget>,
 }
 
 impl Default for DynamicConfig {
@@ -69,8 +82,9 @@ impl Default for DynamicConfig {
             seed: 42,
             budget: StalenessBudget::default(),
             patch_in_place: true,
-            persist_path: None,
+            catalog_dir: None,
             incremental: IncrementalPolicy::default(),
+            adaptive: None,
         }
     }
 }
@@ -94,6 +108,12 @@ pub struct StreamStats {
     pub corrected_multiplies: u64,
     /// Multiplies answered with an empty delta (pure base path).
     pub exact_multiplies: u64,
+    /// Point-in-time reloads from the catalog chain
+    /// ([`DynamicMatrix::restore_at`]).
+    pub restores: u64,
+    /// The current adaptively derived `max_delta_nnz` budget (0 until
+    /// the first refresh under an [`AdaptiveBudget`] policy).
+    pub adaptive_budget_nnz: u64,
 }
 
 /// A served matrix `A₀ + ΔA` with incremental decomposition maintenance.
@@ -105,15 +125,31 @@ pub struct DynamicMatrix {
     /// Canonical CSR view of `delta`, rebuilt lazily after updates.
     delta_csr: Option<CsrMatrix<f64>>,
     version: u64,
-    /// The persisted file no longer reflects `base` (in-place patches).
+    /// The catalogued state no longer reflects `base` (in-place patches).
     persist_dirty: bool,
+    /// The write-through catalog, when one is configured.
+    catalog: Option<Catalog>,
+    /// Fingerprint of the last catalogued revision — the parent of the
+    /// next write-through. 0 until something has been persisted. Moves
+    /// backwards on [`restore_at`](Self::restore_at) (new refreshes
+    /// fork from the restored revision).
+    persisted_fp: u128,
+    /// Newest revision ever persisted — where a point-in-time restore
+    /// starts walking. Unlike `persisted_fp` it does **not** move
+    /// backwards on a restore, so restoring to an old version and then
+    /// forward again both work.
+    chain_head: u128,
+    /// Measured corrected-multiply overhead, seconds per delta entry
+    /// per iteration (EWMA; 0 = no corrected multiply measured yet).
+    corrected_entry_ewma: f64,
     config: DynamicConfig,
     stats: StreamStats,
 }
 
 impl DynamicMatrix {
-    /// Wraps `a`, decomposing it (or reloading a matching versioned
-    /// persist file — same fingerprint — when one is configured).
+    /// Wraps `a`, decomposing it (or reloading the matching catalog
+    /// version — same fingerprint, same decompose identity — when a
+    /// catalog is configured).
     pub fn new(a: CsrMatrix<f64>, config: DynamicConfig) -> SparseResult<Self> {
         if a.rows() != a.cols() {
             return Err(SparseError::ShapeMismatch {
@@ -122,32 +158,38 @@ impl DynamicMatrix {
             });
         }
         let fingerprint = a.fingerprint();
+        let mut catalog = match &config.catalog_dir {
+            Some(dir) => {
+                let mut c = Catalog::open(dir.clone())?;
+                // Pre-catalog single-file persists in the same
+                // directory keep working: migrate them in place.
+                let root = c.root().to_path_buf();
+                c.import_legacy_dir(root, &config.decompose, config.seed)?;
+                Some(c)
+            }
+            None => None,
+        };
         let mut version = 0;
+        let mut persisted_fp = 0;
         let mut loaded = None;
-        if let Some(path) = &config.persist_path {
-            if let Ok(file) = File::open(path) {
-                if let Ok((d, meta)) = persist::load_versioned(BufReader::new(file)) {
-                    // Adopt only a decomposition of this exact matrix at
-                    // this configuration's arrow width — a file written
-                    // under a different width must not silently override
-                    // the requested one. (Other config knobs — seed,
-                    // pruning — are not recorded in the header; use one
-                    // persist path per configuration.)
-                    if meta.fingerprint == fingerprint
-                        && d.n() == a.rows()
-                        && d.b() == config.decompose.arrow_width
-                    {
-                        version = meta.version;
-                        loaded = Some(d);
-                    }
+        if let Some(c) = &mut catalog {
+            // Adopt only a decomposition of this exact matrix at this
+            // exact decompose identity (width, pruning, level cap,
+            // seed) — the catalog records all of it, so a stale or
+            // differently configured version is simply a miss.
+            if let Some((d, record)) = c.get(fingerprint, &config.decompose, config.seed)? {
+                if d.n() == a.rows() {
+                    version = record.version;
+                    persisted_fp = fingerprint;
+                    loaded = Some(d);
                 }
             }
         }
-        let fresh = loaded.is_none();
         let decomposition = match loaded {
             Some(d) => d,
             None => decompose_snapshot(&a, &config.decompose, config.seed)?,
         };
+        let fresh = persisted_fp == 0;
         let n = a.rows();
         let mut dm = Self {
             base: a,
@@ -156,6 +198,10 @@ impl DynamicMatrix {
             delta_csr: None,
             version,
             persist_dirty: fresh,
+            catalog,
+            persisted_fp,
+            chain_head: persisted_fp,
+            corrected_entry_ewma: 0.0,
             config,
             stats: StreamStats::default(),
         };
@@ -288,16 +334,31 @@ impl DynamicMatrix {
             self.stats.exact_multiplies += 1;
         }
         let mut cur = x.clone();
+        let mut correction_secs = 0.0f64;
         for _ in 0..iters {
             let mut y = self.decomposition.multiply(&cur)?;
             if corrected {
+                let t0 = Instant::now();
                 let dy = spmm::spmm(self.delta_csr(), &cur)?;
                 y.add_assign(&dy)?;
+                correction_secs += t0.elapsed().as_secs_f64();
             }
             if let Some(f) = sigma {
                 y.map_inplace(f);
             }
             cur = y;
+        }
+        // Fold the measured per-entry correction overhead into the EWMA
+        // — the adaptive budget's signal (the kernel level has no cost
+        // model to predict it from).
+        if corrected && self.config.adaptive.is_some() && iters > 0 {
+            let entries = (self.delta.len().max(1) as u64 * iters as u64) as f64;
+            let sample = correction_secs / entries;
+            self.corrected_entry_ewma = if self.corrected_entry_ewma == 0.0 {
+                sample
+            } else {
+                EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * self.corrected_entry_ewma
+            };
         }
         Ok(cur)
     }
@@ -317,6 +378,7 @@ impl DynamicMatrix {
         }
         let merged = self.merged()?;
         let touched = self.delta.touched_vertices();
+        let t0 = Instant::now();
         let (d, outcome) = decompose_snapshot_incremental(
             &merged,
             &self.config.decompose,
@@ -325,6 +387,7 @@ impl DynamicMatrix {
             Some(&touched),
             &self.config.incremental,
         )?;
+        let refresh_seconds = t0.elapsed().as_secs_f64();
         self.stats.splice.record(&outcome);
         self.decomposition = d;
         self.base = merged;
@@ -333,31 +396,95 @@ impl DynamicMatrix {
         self.version += 1;
         self.persist_dirty = true;
         self.stats.refreshes += 1;
+        // Adaptive retune: measured refresh seconds vs the measured
+        // per-entry corrected-multiply EWMA. Cheap (incremental)
+        // refreshes tighten the budget; expensive cold rebuilds (or an
+        // unmeasured overhead) relax it.
+        if let Some(policy) = self.config.adaptive {
+            let nnz = policy.retune(
+                &mut self.config.budget,
+                refresh_seconds,
+                self.corrected_entry_ewma,
+            );
+            self.stats.adaptive_budget_nnz = nnz as u64;
+        }
         self.persist_now()?;
         Ok(true)
     }
 
-    /// Writes the current decomposition to the configured persist path
-    /// (versioned header: current version + base fingerprint). No-op
-    /// without a path or when the file is already up to date. In-place
-    /// patches mark the file stale; they are flushed here and at the
-    /// next [`refresh`](Self::refresh).
-    pub fn persist_now(&mut self) -> SparseResult<()> {
-        let Some(path) = self.config.persist_path.clone() else {
-            return Ok(());
+    /// Point-in-time restore: walks this matrix's catalog version chain
+    /// backwards from the latest persisted revision and reloads the
+    /// decomposition recorded at `version`. The base matrix is
+    /// reconstructed from the decomposition (they are the same
+    /// operator), the pending delta is discarded, and the stream
+    /// continues from the restored revision. Returns `false` — with
+    /// nothing changed — when no catalog is configured or the chain
+    /// does not reach that version.
+    pub fn restore_at(&mut self, version: u64) -> SparseResult<bool> {
+        let head = self.chain_head;
+        let (config, seed) = (self.config.decompose, self.config.seed);
+        let Some(catalog) = &mut self.catalog else {
+            return Ok(false);
         };
-        if !self.persist_dirty {
+        let Some((d, record)) = catalog.restore_at(head, &config, seed, version)? else {
+            return Ok(false);
+        };
+        self.base = d.reconstruct()?;
+        self.decomposition = d;
+        self.delta.clear();
+        self.delta_csr = None;
+        self.version = record.version;
+        self.persisted_fp = record.fingerprint;
+        self.persist_dirty = false;
+        self.stats.restores += 1;
+        Ok(true)
+    }
+
+    /// Writes the current decomposition into the configured catalog as
+    /// a child version of the previously persisted revision (the
+    /// version chain). No-op without a catalog or when the chain is
+    /// already current. In-place patches mark the state stale; they are
+    /// flushed here and at the next [`refresh`](Self::refresh) as a
+    /// **patch revision**: a child record under a new fingerprint that
+    /// keeps the current version number (patches do not bump
+    /// [`version`](Self::version)). [`restore_at`](Self::restore_at)
+    /// resolves a version to the *newest* record carrying it along the
+    /// walk, i.e. the last patched state of that revision — the chain
+    /// analogue of the old single-file format overwriting in place,
+    /// except the earlier state stays reachable through the lineage.
+    pub fn persist_now(&mut self) -> SparseResult<()> {
+        if self.catalog.is_none() || !self.persist_dirty {
             return Ok(());
         }
-        let meta = PersistMeta {
-            version: self.version,
-            fingerprint: self.base.fingerprint(),
+        let fingerprint = self.base.fingerprint();
+        let parent = if self.persisted_fp == fingerprint {
+            // Content unchanged (e.g. patches that cancelled out):
+            // nothing new to chain.
+            self.persist_dirty = false;
+            return Ok(());
+        } else {
+            self.persisted_fp
         };
-        let file = File::create(&path)
-            .map_err(|e| SparseError::InvalidCsr(format!("create {}: {e}", path.display())))?;
-        persist::save_versioned(&self.decomposition, &meta, BufWriter::new(file))?;
+        let (config, seed, version) = (self.config.decompose, self.config.seed, self.version);
+        let catalog = self.catalog.as_mut().expect("checked above");
+        catalog.put(
+            &self.decomposition,
+            fingerprint,
+            &config,
+            seed,
+            version,
+            parent,
+        )?;
+        self.persisted_fp = fingerprint;
+        self.chain_head = fingerprint;
         self.persist_dirty = false;
         Ok(())
+    }
+
+    /// The write-through catalog, when one is configured (inspection,
+    /// GC between streams).
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog.as_ref()
     }
 }
 
@@ -533,11 +660,9 @@ mod tests {
     fn persist_roundtrip_skips_decompose_and_tracks_version() {
         let dir = std::env::temp_dir().join(format!("amd-stream-dyn-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("dyn.amd");
         let n = 36;
         let mut cfg = config(8);
-        cfg.persist_path = Some(path.clone());
+        cfg.catalog_dir = Some(dir.clone());
         let mut dm = DynamicMatrix::new(ring(n), cfg.clone()).unwrap();
         dm.apply(Update::Add {
             row: 0,
@@ -548,24 +673,113 @@ mod tests {
         dm.refresh().unwrap();
         let merged = dm.base().clone();
         assert_eq!(dm.version(), 1);
+        // The refresh chained a child version onto the root.
+        {
+            let catalog = dm.catalog().unwrap();
+            let rec = catalog
+                .record(merged.fingerprint(), &cfg.decompose, cfg.seed)
+                .unwrap();
+            assert_eq!(rec.version, 1);
+            assert_eq!(rec.parent, ring(n).fingerprint());
+        }
         drop(dm);
         // Reload under the merged matrix: fingerprint matches, so the
-        // persisted decomposition (version 1) is adopted as-is.
+        // catalogued decomposition (version 1) is adopted as-is.
         let dm2 = DynamicMatrix::new(merged.clone(), cfg.clone()).unwrap();
         assert_eq!(dm2.version(), 1);
         assert_eq!(dm2.decomposition().validate(&merged).unwrap(), 0.0);
-        // The same matrix at a *different* arrow width must not adopt the
-        // file either (it was written at width 8).
+        // The same matrix at a *different* arrow width must not adopt
+        // the chain (it was written at width 8) — the catalog records
+        // the full decompose identity.
         let mut narrow = cfg.clone();
         narrow.decompose = DecomposeConfig::with_width(4);
         let redone = DynamicMatrix::new(merged.clone(), narrow).unwrap();
         assert_eq!(redone.version(), 0, "stale width must not be adopted");
         assert_eq!(redone.decomposition().b(), 4);
-        // And a *different* matrix must not adopt the stale file.
+        // A *different* matrix gets its own chain, not this one.
         let other = DynamicMatrix::new(ring(n), cfg).unwrap();
         assert_eq!(other.version(), 0);
         assert_eq!(other.decomposition().validate(&ring(n)).unwrap(), 0.0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_at_walks_the_version_chain() {
+        let dir = std::env::temp_dir().join(format!("amd-stream-restore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let n = 32;
+        let mut cfg = config(8);
+        cfg.catalog_dir = Some(dir.clone());
+        let mut dm = DynamicMatrix::new(ring(n), cfg).unwrap();
+        let base_v0 = dm.base().clone();
+        // Two refreshes → versions 1 and 2 chained behind the root.
+        for (r, c) in [(0u32, 12u32), (3, 17)] {
+            dm.apply(Update::Add {
+                row: r,
+                col: c,
+                delta: 2.0,
+            })
+            .unwrap();
+            dm.refresh().unwrap();
+        }
+        let base_v2 = dm.base().clone();
+        assert_eq!(dm.version(), 2);
+        // Point-in-time restore to version 0: the base is reconstructed
+        // from the catalogued decomposition, bit-exactly.
+        assert!(dm.restore_at(0).unwrap());
+        assert_eq!(dm.version(), 0);
+        assert_eq!(dm.base(), &base_v0);
+        assert_eq!(dm.delta_nnz(), 0, "pending delta discarded");
+        assert_eq!(dm.stats().restores, 1);
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + c) % 5) as f64 - 2.0);
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(&base_v0, &x, 2).unwrap());
+        // Forward again to the head.
+        assert!(dm.restore_at(2).unwrap());
+        assert_eq!(dm.base(), &base_v2);
+        // Unreachable versions change nothing.
+        assert!(!dm.restore_at(9).unwrap());
+        assert_eq!(dm.version(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_without_catalog_is_a_clean_no_op() {
+        let mut dm = DynamicMatrix::new(ring(24), config(8)).unwrap();
+        assert!(!dm.restore_at(0).unwrap());
+        assert_eq!(dm.stats().restores, 0);
+    }
+
+    #[test]
+    fn adaptive_budget_retunes_from_measured_signals() {
+        let n = 40;
+        let mut cfg = config(8);
+        cfg.budget = StalenessBudget::nnz_cap(4);
+        cfg.adaptive = Some(AdaptiveBudget::default());
+        let mut dm = DynamicMatrix::new(ring(n), cfg).unwrap();
+        // Corrected multiplies feed the per-entry EWMA…
+        for i in 0..3u32 {
+            dm.apply(Update::Add {
+                row: i,
+                col: i + 15,
+                delta: 1.0,
+            })
+            .unwrap();
+        }
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + c) % 3) as f64);
+        dm.multiply(&x, 2, None).unwrap();
+        // …and the refresh retunes max_delta_nnz from measurements.
+        dm.refresh().unwrap();
+        let derived = dm.stats().adaptive_budget_nnz;
+        assert!(derived > 0, "budget must be re-derived after the refresh");
+        assert!(
+            derived >= AdaptiveBudget::default().min_nnz as u64
+                && derived <= AdaptiveBudget::default().max_nnz as u64,
+            "derived budget {derived} within clamps"
+        );
+        // Serving is still exact after the retune.
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(dm.base(), &x, 2).unwrap());
     }
 
     #[test]

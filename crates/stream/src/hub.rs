@@ -5,8 +5,23 @@
 //! mutating matrix with its own base `A₀`, pending delta `ΔA`, staleness
 //! budget, and version lineage. Updates and queries address tenants by
 //! [`TenantId`] (or through a borrowed [`Session`] handle); queries from
-//! *all* tenants share the engine's batcher, so one
-//! [`flush`](StreamHub::flush) answers the whole hub.
+//! *all* tenants share the engine's batcher. Query ownership is tracked
+//! through the salted binding, so a tenant can drain just its own queue
+//! ([`flush_tenant`](StreamHub::flush_tenant), what [`Session::flush`]
+//! does) while one hub-wide [`flush`](StreamHub::flush) still answers
+//! everything.
+//!
+//! ## Lifecycle
+//!
+//! Tenants are not forever: [`evict`](StreamHub::evict) tears one down
+//! completely — any in-flight refresh grant is drained, the salted
+//! binding is deregistered from the engine (overlay and cache reference
+//! released), and the tenant's version chain is removed from the
+//! persistence catalog, sparing only revisions another live binding
+//! still references — so a long-lived hub serving a churning tenant set
+//! leaks neither memory nor spill files. An idle-eviction policy
+//! ([`HubConfig::max_idle_polls`]) automates this for tenants that stop
+//! sending updates and queries.
 //!
 //! ## Double-buffered refresh
 //!
@@ -147,6 +162,13 @@ pub struct HubConfig {
     /// tighten the budget automatically; expensive cold rebuilds relax
     /// it. `None` (default) keeps budgets fixed.
     pub adaptive: Option<AdaptiveBudget>,
+    /// Idle-eviction policy: a tenant that stays inactive (no updates,
+    /// no queries) for more than this many hub [`poll`](StreamHub::poll)
+    /// points is evicted automatically — binding deregistered, catalog
+    /// chain garbage-collected, final stats retired to
+    /// [`StreamHub::retired`]. `None` (default) keeps tenants forever;
+    /// long-lived hubs serving churning tenant sets should set it.
+    pub max_idle_polls: Option<u64>,
     /// Test/bench hook: background workers sleep this long before
     /// decomposing, simulating a slow LA-Decompose so tests can assert
     /// that serving does not block on the rebuild.
@@ -163,6 +185,7 @@ impl Default for HubConfig {
             fairness: FairnessPolicy::default(),
             rerank: ReRankPolicy::default(),
             adaptive: None,
+            max_idle_polls: None,
             decompose_delay: None,
         }
     }
@@ -243,6 +266,11 @@ pub struct HubStats {
     /// refreshes_completed`); sum of the per-tenant
     /// [`TenantStats::splice`] counters.
     pub splice: SpliceStats,
+    /// Tenants evicted ([`StreamHub::evict`] plus idle evictions).
+    pub evictions: u64,
+    /// The subset of `evictions` triggered by the
+    /// [`max_idle_polls`](HubConfig::max_idle_polls) policy.
+    pub idle_evictions: u64,
 }
 
 /// A background rebuild in flight for one tenant.
@@ -270,6 +298,9 @@ struct Tenant {
     /// last compaction, [`usize::MAX`] = a positive verdict latched
     /// (don't re-evaluate until the delta compacts).
     rerank_mark: usize,
+    /// Hub poll points since this tenant's last update or query — the
+    /// idle-eviction clock.
+    idle_polls: u64,
     stats: TenantStats,
 }
 
@@ -314,6 +345,9 @@ pub struct StreamHub {
     worker: Option<RefreshWorker>,
     inflight: usize,
     next_tenant: u64,
+    /// Final stats of tenants evicted by the idle policy, in eviction
+    /// order (explicit [`evict`](Self::evict) returns them instead).
+    retired: Vec<(TenantId, TenantStats)>,
     stats: HubStats,
 }
 
@@ -334,6 +368,7 @@ impl StreamHub {
             worker,
             inflight: 0,
             next_tenant: 1,
+            retired: Vec::new(),
             stats: HubStats::default(),
         })
     }
@@ -373,6 +408,7 @@ impl StreamHub {
                 overlay_dirty: false,
                 inflight: None,
                 rerank_mark: 0,
+                idle_polls: 0,
                 stats: TenantStats::default(),
             },
         );
@@ -408,6 +444,7 @@ impl StreamHub {
     /// budget — i.e. a refresh was triggered, queued, or (manual mode)
     /// is now required.
     pub fn update(&mut self, tenant: TenantId, update: Update) -> SparseResult<bool> {
+        self.touch(tenant);
         self.poll()?;
         let (row, col) = update.position();
         let (needs, pending) = {
@@ -502,8 +539,16 @@ impl StreamHub {
     /// there is nothing to do — empty delta, or a refresh already
     /// pending.
     pub fn refresh(&mut self, tenant: TenantId) -> SparseResult<bool> {
+        self.touch(tenant);
         self.poll()?;
         self.request_refresh(tenant)
+    }
+
+    /// Resets a tenant's idle clock (any sign of life counts).
+    fn touch(&mut self, tenant: TenantId) {
+        if let Some(t) = self.tenants.get_mut(&tenant.0) {
+            t.idle_polls = 0;
+        }
     }
 
     fn request_refresh(&mut self, tenant: TenantId) -> SparseResult<bool> {
@@ -657,19 +702,129 @@ impl StreamHub {
     /// Returns the number of swaps committed.
     pub fn poll(&mut self) -> SparseResult<usize> {
         let mut committed = 0;
-        loop {
-            let Some(worker) = &self.worker else {
-                return Ok(committed);
-            };
-            let Some(done) = worker.try_done() else {
+        if self.worker.is_some() {
+            while let Some(done) = self.worker.as_ref().and_then(|w| w.try_done()) {
+                if self.commit(done)? {
+                    committed += 1;
+                }
+            }
+            self.launch_ready()?;
+        }
+        self.sweep_idle()?;
+        Ok(committed)
+    }
+
+    /// The idle-eviction pass of [`poll`](Self::poll): advance every
+    /// tenant's idle clock and evict those past
+    /// [`max_idle_polls`](HubConfig::max_idle_polls). A tenant with a
+    /// rebuild queued/in flight, queries pending, or a **non-empty
+    /// delta** is skipped (its clock keeps running; it goes at a later
+    /// poll once quiescent) — idle eviction must never discard
+    /// acknowledged updates that were never compacted, unlike an
+    /// explicit [`evict`](Self::evict), where dropping the pending
+    /// delta is the caller's stated intent.
+    fn sweep_idle(&mut self) -> SparseResult<()> {
+        let Some(max) = self.config.max_idle_polls else {
+            return Ok(());
+        };
+        let mut victims = Vec::new();
+        for (&id, t) in self.tenants.iter_mut() {
+            t.idle_polls += 1;
+            if t.idle_polls > max
+                && t.inflight.is_none()
+                && !t.stats.queued
+                && t.delta.is_empty()
+                && self.engine.pending_for(t.matrix) == 0
+            {
+                victims.push(TenantId(id));
+            }
+        }
+        victims.sort();
+        for v in victims {
+            let stats = self.evict_now(v)?;
+            self.stats.idle_evictions += 1;
+            self.retired.push((v, stats));
+        }
+        Ok(())
+    }
+
+    /// Evicts a tenant: its pending queries must be flushed first (the
+    /// engine's ownership check refuses otherwise), any queued or
+    /// in-flight background rebuild is **drained** — the grant is given
+    /// up without committing, other tenants' completions commit
+    /// normally — the salted binding is deregistered (overlay and cache
+    /// reference released), and the tenant's catalog version chain is
+    /// removed, sparing only revisions another live binding still
+    /// depends on. Returns the tenant's final [`TenantStats`]; the hub
+    /// no longer knows the id afterwards. Any pending (un-compacted)
+    /// delta is discarded with the tenant — eviction is a teardown, not
+    /// a checkpoint; refresh first if the mutations must survive.
+    pub fn evict(&mut self, tenant: TenantId) -> SparseResult<TenantStats> {
+        self.poll()?;
+        let matrix = self.tenant(tenant)?.matrix;
+        let pending = self.engine.pending_for(matrix);
+        if pending > 0 {
+            return Err(SparseError::InvalidCsr(format!(
+                "{tenant} still owns {pending} pending quer{}; \
+                 flush_tenant before evicting",
+                if pending == 1 { "y" } else { "ies" }
+            )));
+        }
+        // Give back a queued (not yet launched) grant.
+        if let Some(pos) = self.queue.iter().position(|&t| t == tenant) {
+            self.queue.remove(pos);
+            self.tenant_mut(tenant)?.stats.queued = false;
+        }
+        // Drain an in-flight rebuild: wait for the worker, discard the
+        // result (the binding it would swap is being torn down), and
+        // commit everyone else's completions as usual.
+        while self.tenant(tenant)?.inflight.is_some() {
+            let Some(worker) = &self.worker else { break };
+            let Some(done) = worker.wait_done() else {
                 break;
             };
-            if self.commit(done)? {
-                committed += 1;
+            if done.tenant == tenant {
+                self.inflight = self.inflight.saturating_sub(1);
+                let t = self.tenant_mut(tenant)?;
+                t.inflight = None;
+                t.stats.refreshing = false;
+            } else {
+                self.commit(done)?;
             }
         }
         self.launch_ready()?;
-        Ok(committed)
+        self.evict_now(tenant)
+    }
+
+    /// The teardown half of an eviction; assumes the tenant is
+    /// quiescent (no queue slot, no in-flight rebuild, no pending
+    /// queries).
+    fn evict_now(&mut self, tenant: TenantId) -> SparseResult<TenantStats> {
+        let matrix = self.tenant(tenant)?.matrix;
+        let head = self.engine.binding_fingerprint(matrix);
+        self.engine.deregister(matrix)?;
+        // Catalog sweep: drop the tenant's version chain, sparing
+        // revisions other live bindings still reach.
+        if let Some(head) = head {
+            let live = self.engine.bound_fingerprints();
+            if let Some(catalog) = self.engine.catalog_mut() {
+                catalog.remove_chain(head, &live)?;
+            }
+        }
+        let t = self
+            .tenants
+            .remove(&tenant.0)
+            .expect("tenant validated above");
+        self.order.retain(|&x| x != tenant);
+        self.stats.evictions += 1;
+        Ok(t.stats)
+    }
+
+    /// Final stats of tenants the idle policy evicted, in eviction
+    /// order (an explicit [`evict`](Self::evict) returns them to the
+    /// caller instead of retiring them here).
+    pub fn retired(&self) -> &[(TenantId, TenantStats)] {
+        &self.retired
     }
 
     /// Blocks until every queued and in-flight rebuild has committed.
@@ -727,6 +882,11 @@ impl StreamHub {
                 .ok(),
             Err(_) => None,
         };
+        // A completion can outlive its tenant (evicted mid-drain in a
+        // degraded worker state); dropping it is the only sound move.
+        if !self.tenants.contains_key(&tenant.0) {
+            return Ok(false);
+        }
         match swapped {
             Some(new_id) => {
                 let adaptive = self.config.adaptive;
@@ -807,6 +967,7 @@ impl StreamHub {
         iters: u32,
         sigma: Option<Sigma>,
     ) -> SparseResult<QueryId> {
+        self.touch(tenant);
         self.poll()?;
         let matrix = self.tenant(tenant)?.matrix;
         let id = self.engine.submit(MultiplyQuery {
@@ -832,6 +993,25 @@ impl StreamHub {
         self.engine.flush()
     }
 
+    /// [`flush`](Self::flush), by its explicit hub-wide name.
+    pub fn flush_all(&mut self) -> SparseResult<Vec<QueryResponse>> {
+        self.flush()
+    }
+
+    /// Answers only **one tenant's** pending queries, leaving every
+    /// other tenant's queue untouched: query ownership is tracked
+    /// through the salted binding, so a session can drain itself
+    /// without forcing runs (or paying flush latency) for the whole
+    /// hub. Batching within the tenant is identical to a hub-wide
+    /// flush.
+    pub fn flush_tenant(&mut self, tenant: TenantId) -> SparseResult<Vec<QueryResponse>> {
+        self.touch(tenant);
+        self.poll()?;
+        self.tenant(tenant)?;
+        self.sync_overlay(tenant)?;
+        self.engine.flush_owned(tenant.0 as u128)
+    }
+
     /// Runs one query immediately, bypassing the batcher.
     pub fn run_single(
         &mut self,
@@ -840,6 +1020,7 @@ impl StreamHub {
         iters: u32,
         sigma: Option<Sigma>,
     ) -> SparseResult<QueryResponse> {
+        self.touch(tenant);
         self.poll()?;
         self.sync_overlay(tenant)?;
         let matrix = self.tenant(tenant)?.matrix;
@@ -946,6 +1127,18 @@ impl StreamHub {
     pub fn cache_stats(&self) -> &CacheStats {
         self.engine.cache_stats()
     }
+
+    /// The persistence catalog behind the engine's cache, when the hub
+    /// was configured with a spill directory.
+    pub fn catalog(&self) -> Option<&arrow_core::Catalog> {
+        self.engine.catalog()
+    }
+
+    /// Mutable access to the persistence catalog (GC sweeps between
+    /// serving bursts).
+    pub fn catalog_mut(&mut self) -> Option<&mut arrow_core::Catalog> {
+        self.engine.catalog_mut()
+    }
 }
 
 /// A lightweight per-tenant handle borrowing the hub: the same
@@ -978,10 +1171,17 @@ impl Session<'_> {
         self.hub.submit(self.tenant, x, iters, sigma)
     }
 
-    /// See [`StreamHub::flush`] (hub-wide: answers may include other
-    /// tenants' pending queries).
+    /// See [`StreamHub::flush_tenant`]: drains **this tenant's**
+    /// pending queries only. Other tenants' queries stay queued for
+    /// their own flush (or a hub-wide [`flush_all`](Self::flush_all)).
     pub fn flush(&mut self) -> SparseResult<Vec<QueryResponse>> {
-        self.hub.flush()
+        self.hub.flush_tenant(self.tenant)
+    }
+
+    /// See [`StreamHub::flush_all`] (hub-wide: answers include other
+    /// tenants' pending queries).
+    pub fn flush_all(&mut self) -> SparseResult<Vec<QueryResponse>> {
+        self.hub.flush_all()
     }
 
     /// See [`StreamHub::run_single`].
@@ -1374,5 +1574,164 @@ mod tests {
     fn non_square_admission_rejected() {
         let mut hub = StreamHub::new(config(4)).unwrap();
         assert!(hub.admit(CsrMatrix::zeros(3, 4)).is_err());
+    }
+
+    #[test]
+    fn per_tenant_flush_leaves_other_queues_untouched() {
+        let n = 30;
+        let mut hub = StreamHub::new(config(100)).unwrap();
+        let a = hub.admit(ring(n)).unwrap();
+        let b = hub.admit(basic::star(n).to_adjacency()).unwrap();
+        hub.submit(a, column(n, 0), 1, None).unwrap();
+        hub.submit(b, column(n, 1), 1, None).unwrap();
+        hub.submit(a, column(n, 2), 1, None).unwrap();
+        // Session flush drains only its own tenant.
+        let mine = hub.session(a).unwrap().flush().unwrap();
+        assert_eq!(mine.len(), 2, "tenant a's two queries");
+        assert_eq!(hub.engine_stats().runs, 1, "a's queries share one run");
+        // Tenant b's query is still queued and still answerable.
+        let rest = hub.flush_all().unwrap();
+        assert_eq!(rest.len(), 1);
+        let xm = DenseMatrix::from_vec(n, 1, column(n, 1)).unwrap();
+        let want = iterated_spmm(&basic::star(n).to_adjacency(), &xm, 1).unwrap();
+        assert_eq!(rest[0].y, want.data());
+    }
+
+    #[test]
+    fn evict_removes_tenant_and_reports_final_stats() {
+        let n = 30;
+        let mut hub = StreamHub::new(config(100)).unwrap();
+        let a = hub.admit(ring(n)).unwrap();
+        let b = hub.admit(ring(n)).unwrap();
+        hub.update(
+            a,
+            Update::Add {
+                row: 0,
+                col: 9,
+                delta: 1.0,
+            },
+        )
+        .unwrap();
+        let stats = hub.evict(a).unwrap();
+        assert_eq!(stats.updates, 1, "final counters returned");
+        assert_eq!(hub.stats().evictions, 1);
+        assert_eq!(hub.tenants(), &[b], "admission order keeps only b");
+        assert!(hub
+            .update(
+                a,
+                Update::Add {
+                    row: 0,
+                    col: 1,
+                    delta: 1.0
+                }
+            )
+            .is_err());
+        assert!(hub.evict(a).is_err(), "double eviction rejected");
+        // The surviving tenant (identical content!) still serves.
+        let x = column(n, 3);
+        let xm = DenseMatrix::from_vec(n, 1, x.clone()).unwrap();
+        let got = hub.run_single(b, x, 2, None).unwrap();
+        assert_eq!(got.y, iterated_spmm(&ring(n), &xm, 2).unwrap().data());
+    }
+
+    #[test]
+    fn evict_refuses_while_queries_pend() {
+        let n = 24;
+        let mut hub = StreamHub::new(config(100)).unwrap();
+        let t = hub.admit(ring(n)).unwrap();
+        hub.submit(t, column(n, 0), 1, None).unwrap();
+        let err = hub.evict(t).unwrap_err();
+        assert!(err.to_string().contains("pending"), "{err}");
+        hub.flush_tenant(t).unwrap();
+        hub.evict(t).unwrap();
+    }
+
+    #[test]
+    fn evict_drains_an_inflight_refresh_grant() {
+        let n = 36;
+        let mut cfg = config(2);
+        cfg.decompose_delay = Some(Duration::from_millis(60));
+        let mut hub = StreamHub::new(cfg).unwrap();
+        let t = hub.admit(ring(n)).unwrap();
+        let u = hub.admit(basic::star(n).to_adjacency()).unwrap();
+        for i in 0..3u32 {
+            hub.update(
+                t,
+                Update::Add {
+                    row: i,
+                    col: i + 10,
+                    delta: 1.0,
+                },
+            )
+            .unwrap();
+        }
+        assert!(hub.tenant_stats(t).unwrap().refreshing, "rebuild in flight");
+        let stats = hub.evict(t).unwrap();
+        assert!(!stats.refreshing, "grant drained, not committed");
+        assert_eq!(stats.refreshes, 0, "the drained rebuild never swapped");
+        assert_eq!(
+            hub.stats().refreshes_completed,
+            0,
+            "no swap landed for the evicted tenant"
+        );
+        // The freed slot still serves the survivor.
+        for i in 0..3u32 {
+            hub.update(
+                u,
+                Update::Add {
+                    row: i,
+                    col: i + 7,
+                    delta: 1.0,
+                },
+            )
+            .unwrap();
+        }
+        hub.wait_refreshes().unwrap();
+        assert_eq!(hub.version(u).unwrap(), 1);
+    }
+
+    #[test]
+    fn idle_policy_evicts_quiet_tenants() {
+        let n = 24;
+        let mut cfg = config(100);
+        cfg.max_idle_polls = Some(3);
+        let mut hub = StreamHub::new(cfg).unwrap();
+        let quiet = hub.admit(ring(n)).unwrap();
+        let dirty = hub.admit(ring(n)).unwrap();
+        let busy = hub.admit(basic::star(n).to_adjacency()).unwrap();
+        // One tenant holds un-compacted updates below its budget, then
+        // goes quiet too: it must NOT be idle-evicted (that would
+        // silently discard acknowledged mutations).
+        hub.update(
+            dirty,
+            Update::Add {
+                row: 0,
+                col: 9,
+                delta: 2.0,
+            },
+        )
+        .unwrap();
+        // Keep one tenant busy; the others go quiet.
+        for i in 0..8u32 {
+            hub.update(
+                busy,
+                Update::Add {
+                    row: i,
+                    col: i + 5,
+                    delta: 1.0,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(hub.stats().idle_evictions, 1);
+        assert_eq!(hub.stats().evictions, 1);
+        let retired = hub.retired();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].0, quiet);
+        assert_eq!(hub.tenants(), &[dirty, busy]);
+        // The dirty tenant's pending delta survived in full.
+        assert_eq!(hub.delta_nnz(dirty).unwrap(), 1);
+        // The busy tenant was touched every round and survives.
+        assert!(hub.version(busy).is_ok());
     }
 }

@@ -24,15 +24,19 @@
 //! Three entry points:
 //!
 //! * [`DynamicMatrix`] — the self-contained kernel object (base +
-//!   decomposition + delta), sequential corrected multiply, versioned
-//!   persistence. Use it for library/batch workloads.
+//!   decomposition + delta), sequential corrected multiply, catalog
+//!   version-chain persistence with point-in-time
+//!   [`restore_at`](DynamicMatrix::restore_at), and a measured-signal
+//!   adaptive budget. Use it for library/batch workloads.
 //! * [`StreamHub`] — the multi-tenant serving hub around
 //!   [`amd_engine::Engine`]: many mutating matrices behind one engine,
 //!   per-tenant budgets and [`Session`] handles, **double-buffered
 //!   background refresh** (a worker thread decomposes the merged
 //!   snapshot while the old binding + delta overlay keeps serving; the
 //!   swap commits at the next poll point), FIFO fairness under a shared
-//!   refresh budget, and delta-aware early rebinds. Use it to serve
+//!   refresh budget, delta-aware early rebinds, and the full tenant
+//!   **lifecycle**: per-tenant flush, [`evict`](StreamHub::evict) with
+//!   catalog garbage collection, and idle eviction. Use it to serve
 //!   traffic.
 //! * [`StreamingEngine`] — the original single-tenant API, kept as a
 //!   thin wrapper over a one-tenant hub with synchronous refresh.

@@ -5,9 +5,12 @@
 //! arrow-matrix-cli info <matrix.mtx>
 //! arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]
 //! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]
-//! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]
+//! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]
 //! arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]
-//!                         [--tenants N] [--async-refresh]
+//!                         [--tenants N] [--async-refresh] [--catalog DIR]
+//! arrow-matrix-cli catalog ls <dir>
+//! arrow-matrix-cli catalog gc <dir> <retain-last-k>
+//! arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>
 //! ```
 //!
 //! Mirrors the paper's artifact workflow: generate (or download) a
@@ -26,9 +29,16 @@
 //! `--async-refresh` moves compactions onto the hub's background worker
 //! (double-buffered: the old binding plus delta overlay keeps serving
 //! while the merged snapshot decomposes off-thread).
+//!
+//! Persistence goes through the versioned **catalog** (`arrow_core::
+//! catalog`): `serve`/`stream` take `--catalog DIR` to write every
+//! decomposition through to disk — a restarted server reloads instead
+//! of re-decomposing — and the `catalog` subcommand inspects (`ls`),
+//! prunes (`gc`), and point-in-time-restores (`restore`) the chains.
 
+use arrow_matrix::core::catalog::RetainPolicy;
 use arrow_matrix::core::stats::DecompositionStats;
-use arrow_matrix::core::{la_decompose, persist, DecomposeConfig, RandomForestLa};
+use arrow_matrix::core::{la_decompose, Catalog, DecomposeConfig, RandomForestLa};
 use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
 use arrow_matrix::graph::degree::DegreeStats;
 use arrow_matrix::graph::generators::datasets::DatasetKind;
@@ -52,15 +62,19 @@ fn main() -> ExitCode {
         Some("multiply") => cmd_multiply(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("catalog") => cmd_catalog(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]\n  \
                  arrow-matrix-cli info <matrix.mtx>\n  \
                  arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]\n  \
                  arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]\n  \
-                 arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]\n  \
+                 arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]\n  \
                  arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]\n  \
-                 \u{20}                       [--tenants N] [--async-refresh]\n\
+                 \u{20}                       [--tenants N] [--async-refresh] [--catalog DIR]\n  \
+                 arrow-matrix-cli catalog ls <dir>\n  \
+                 arrow-matrix-cli catalog gc <dir> <retain-last-k>\n  \
+                 arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>\n\
                  datasets: mawi genbank webbase osm gap-twitter sk-2005"
             );
             return ExitCode::from(2);
@@ -169,8 +183,10 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
         return Err(format!("reconstruction error {err} — refusing to save"));
     }
     let stats = DecompositionStats::of(&d);
-    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    persist::save(&d, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    // One-shot files go through the catalog's file helpers (versioned
+    // header), so a later `Catalog::import_legacy_dir` re-identifies
+    // them without reconstruction.
+    Catalog::save_file(out, &d, a.fingerprint(), 0).map_err(|e| e.to_string())?;
     println!(
         "decomposed {input} in {:.2?}: order = {}, b = {b}, per-level nnz = {:?}",
         elapsed,
@@ -186,8 +202,7 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
         return Err("multiply needs <matrix.mtx> <decomp.amd> [k] [iters]".into());
     };
     let a = load_matrix(input)?;
-    let file = File::open(damd).map_err(|e| format!("open {damd}: {e}"))?;
-    let d = persist::load(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let (d, _) = Catalog::load_file(damd).map_err(|e| e.to_string())?;
     if d.n() != a.rows() {
         return Err(format!(
             "decomposition is for n = {}, matrix has n = {}",
@@ -226,9 +241,11 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stream(args: &[String]) -> Result<(), String> {
-    // Flags first (`--tenants N`, `--async-refresh`), positionals after.
+    // Flags first (`--tenants N`, `--async-refresh`, `--catalog DIR`),
+    // positionals after.
     let mut tenants_flag = 1usize;
     let mut async_refresh = false;
+    let mut catalog_dir: Option<std::path::PathBuf> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -241,6 +258,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                 }
             }
             "--async-refresh" => async_refresh = true,
+            "--catalog" => {
+                let v = it.next().ok_or("--catalog needs a directory")?;
+                catalog_dir = Some(std::path::PathBuf::from(v));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -250,7 +271,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
             "stream needs <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed] \
-             [--tenants N] [--async-refresh]"
+             [--tenants N] [--async-refresh] [--catalog DIR]"
                 .into(),
         );
     };
@@ -289,6 +310,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut hub = StreamHub::new(HubConfig {
         engine: EngineConfig {
             arrow_width: b,
+            spill_dir: catalog_dir,
             ..EngineConfig::default()
         },
         budget: StalenessBudget::nnz_fraction(budget_frac),
@@ -467,9 +489,106 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_catalog(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("ls") => {
+            let [_, dir] = args else {
+                return Err("catalog ls needs <dir>".into());
+            };
+            let catalog = Catalog::open(dir.as_str()).map_err(|e| e.to_string())?;
+            let stats = catalog.stats();
+            if stats.recovered_records > 0 {
+                println!(
+                    "recovered {} record(s) from payload headers (manifest was stale or lost)",
+                    stats.recovered_records
+                );
+            }
+            println!("catalog {dir}: {} version(s)", catalog.len());
+            for r in catalog.records() {
+                let size = std::fs::metadata(catalog.payload_path(r))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                println!(
+                    "  {:032x} v{} parent={:032x} created={} b={} seed={} {:>9} B  {}",
+                    r.fingerprint,
+                    r.version,
+                    r.parent,
+                    r.created_at,
+                    r.config.arrow_width,
+                    r.seed,
+                    size,
+                    r.payload
+                );
+            }
+            Ok(())
+        }
+        Some("gc") => {
+            let [_, dir, keep] = args else {
+                return Err("catalog gc needs <dir> <retain-last-k>".into());
+            };
+            let keep: usize = keep
+                .parse()
+                .map_err(|e| format!("bad retain-last-k: {e}"))?;
+            let mut catalog = Catalog::open(dir.as_str()).map_err(|e| e.to_string())?;
+            let report = catalog
+                .gc(&RetainPolicy::last(keep))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "gc {dir}: removed {} version(s), kept {} (newest {keep} per lineage)",
+                report.removed, report.kept
+            );
+            Ok(())
+        }
+        Some("restore") => {
+            let [_, dir, fp, version, out] = args else {
+                return Err(
+                    "catalog restore needs <dir> <fingerprint-hex> <version> <out.amd>".into(),
+                );
+            };
+            let fp = u128::from_str_radix(fp.trim_start_matches("0x"), 16)
+                .map_err(|e| format!("bad fingerprint: {e}"))?;
+            let version: u64 = version.parse().map_err(|e| format!("bad version: {e}"))?;
+            let mut catalog = Catalog::open(dir.as_str()).map_err(|e| e.to_string())?;
+            let Some((d, record)) = catalog
+                .restore_head_at(fp, version)
+                .map_err(|e| e.to_string())?
+            else {
+                return Err(format!(
+                    "no version {version} reachable from {fp:032x} in {dir}"
+                ));
+            };
+            Catalog::save_file(out, &d, record.fingerprint, record.version)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "restored {:032x} v{} (b = {}, created = {}) -> {out}",
+                record.fingerprint, record.version, record.config.arrow_width, record.created_at
+            );
+            Ok(())
+        }
+        _ => Err("catalog needs ls|gc|restore".into()),
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let [input, b, rest @ ..] = args else {
-        return Err("serve needs <matrix.mtx> <b> [queries] [batch] [iters] [spill-dir]".into());
+    let mut catalog_dir: Option<std::path::PathBuf> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--catalog" => {
+                let v = it.next().ok_or("--catalog needs a directory")?;
+                catalog_dir = Some(std::path::PathBuf::from(v));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [input, b, rest @ ..] = positional.as_slice() else {
+        return Err(
+            "serve needs <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]".into(),
+        );
     };
     let a = load_matrix(input)?;
     if a.rows() != a.cols() {
@@ -492,12 +611,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .get(2)
         .map_or(Ok(2), |s| s.parse())
         .map_err(|e| format!("bad iters: {e}"))?;
-    let spill_dir = rest.get(3).map(std::path::PathBuf::from);
 
     let mut engine = Engine::new(EngineConfig {
         arrow_width: b,
         max_batch: batch.max(1),
-        spill_dir,
+        spill_dir: catalog_dir,
         ..EngineConfig::default()
     })
     .map_err(|e| e.to_string())?;

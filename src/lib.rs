@@ -13,7 +13,11 @@
 //! * [`linarr`] — linear arrangement algorithms (Separator-LA,
 //!   smallest-first tree layout, random spanning forest LA, RCM).
 //! * [`core`] — the arrow matrix decomposition itself (LA-Decompose with
-//!   high-degree pruning, arrow matrices, decomposition statistics).
+//!   high-degree pruning, arrow matrices, decomposition statistics) and
+//!   the **versioned persistence catalog** (`core::catalog`): one
+//!   crash-safe on-disk directory of `fingerprint → version chain`
+//!   manifests shared by every serving layer, with point-in-time
+//!   restore, garbage collection, and legacy spill migration.
 //! * [`comm`] — the message-passing machine with α-β cost accounting.
 //! * [`partition`] — partitioning baselines (HYPE-style neighborhood
 //!   expansion).
@@ -34,9 +38,12 @@
 //!   matrices behind one engine with per-tenant staleness budgets,
 //!   **double-buffered background refresh** (a worker thread decomposes
 //!   the merged snapshot while the old binding + overlay keeps serving),
-//!   FIFO fairness under a shared refresh budget, and delta-aware early
-//!   rebinds. `arrow-matrix-cli stream [--tenants N] [--async-refresh]`
-//!   drives a synthetic mutation stream end to end.
+//!   FIFO fairness under a shared refresh budget, delta-aware early
+//!   rebinds, and a full **tenant lifecycle**: per-tenant flush, explicit
+//!   `evict` (binding deregistered, catalog chain garbage-collected),
+//!   and idle-eviction policy. `arrow-matrix-cli stream [--tenants N]
+//!   [--async-refresh] [--catalog DIR]` drives a synthetic mutation
+//!   stream end to end, with warm restarts across runs.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 //!

@@ -138,6 +138,187 @@ fn stream_rejects_bad_budget() {
 }
 
 #[test]
+fn serve_catalog_warm_restart_decomposes_zero() {
+    let mtx = tmp("warm.mtx");
+    let cat = tmp("warm-cat");
+    let _ = std::fs::remove_dir_all(&cat);
+    cli()
+        .args(["generate", "osm", "1200", mtx.to_str().unwrap(), "3"])
+        .output()
+        .unwrap();
+    // Cold run: one decomposition, written through to the catalog.
+    let out = cli()
+        .args([
+            "serve",
+            mtx.to_str().unwrap(),
+            "64",
+            "8",
+            "8",
+            "1",
+            "--catalog",
+            cat.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "cold serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("decompositions = 1") && text.contains("spills = 1"),
+        "cold run writes through: {text}"
+    );
+    // Warm restart on identical traffic: reloads > 0, zero cold
+    // decomposes.
+    let out = cli()
+        .args([
+            "serve",
+            mtx.to_str().unwrap(),
+            "64",
+            "8",
+            "8",
+            "1",
+            "--catalog",
+            cat.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("decompositions = 0"),
+        "warm restart must not decompose: {text}"
+    );
+    assert!(
+        text.contains("disk loads = 1"),
+        "warm restart must reload from the catalog: {text}"
+    );
+    let _ = std::fs::remove_file(&mtx);
+    let _ = std::fs::remove_dir_all(&cat);
+}
+
+#[test]
+fn catalog_ls_gc_restore_workflow() {
+    let mtx = tmp("catwf.mtx");
+    let cat = tmp("catwf-cat");
+    let restored = tmp("catwf-restored.amd");
+    let _ = std::fs::remove_dir_all(&cat);
+    cli()
+        .args(["generate", "osm", "900", mtx.to_str().unwrap(), "5"])
+        .output()
+        .unwrap();
+    // A tight-budget stream produces refreshes → a multi-version chain.
+    let out = cli()
+        .args([
+            "stream",
+            mtx.to_str().unwrap(),
+            "32",
+            "60",
+            "6",
+            "0.02",
+            "9",
+            "--catalog",
+            cat.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stream --catalog failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ls shows a chain whose later versions carry parent lineage.
+    let out = cli()
+        .args(["catalog", "ls", cat.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let versions: usize = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(2))
+        .and_then(|v| v.parse().ok())
+        .expect("ls header");
+    assert!(versions >= 2, "stream must have chained versions: {text}");
+    assert!(text.contains(" v1 "), "chain has a version 1: {text}");
+    // Restore version 0 from the head of the chain and multiply with it.
+    let head_fp = text
+        .lines()
+        .last()
+        .and_then(|l| l.split_whitespace().next())
+        .expect("ls last record");
+    let out = cli()
+        .args([
+            "catalog",
+            "restore",
+            cat.to_str().unwrap(),
+            head_fp,
+            "0",
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "restore failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("restored"));
+    let out = cli()
+        .args([
+            "multiply",
+            mtx.to_str().unwrap(),
+            restored.to_str().unwrap(),
+            "4",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "multiply on restored decomposition failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified"));
+    // GC down to the newest version per lineage.
+    let out = cli()
+        .args(["catalog", "gc", cat.to_str().unwrap(), "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("removed"), "gc reports its sweep: {text}");
+    let out = cli()
+        .args(["catalog", "ls", cat.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains(": 1 version(s)"),
+        "one survivor after gc: {text}"
+    );
+    // Unknown fingerprints fail cleanly.
+    let out = cli()
+        .args([
+            "catalog",
+            "restore",
+            cat.to_str().unwrap(),
+            "00000000000000000000000000000042",
+            "0",
+            restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_file(&mtx);
+    let _ = std::fs::remove_file(&restored);
+    let _ = std::fs::remove_dir_all(&cat);
+}
+
+#[test]
 fn usage_on_no_args() {
     let out = cli().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

@@ -803,3 +803,159 @@ fn adaptive_budget_retunes_from_measured_refresh_latency() {
     // The other budget limits survive the retune untouched.
     assert!(hub.budget(t).unwrap().max_delta_fraction.is_infinite());
 }
+
+// ---------------------------------------------------------------------------
+// Persistence catalog + tenant lifecycle: warm restarts, eviction GC.
+// ---------------------------------------------------------------------------
+
+fn catalog_payloads(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == "amd"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn warm_restart_from_catalog_bit_matches_cold_with_zero_decomposes() {
+    // Acceptance criterion: a hub restarted over a populated catalog
+    // serves identical answers on identical traffic with
+    // `decompositions == 0`.
+    let dir = std::env::temp_dir().join(format!("amd-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 500;
+    let config = || HubConfig {
+        engine: EngineConfig {
+            spill_dir: Some(dir.clone()),
+            ..hub_engine_config()
+        },
+        budget: StalenessBudget::nnz_cap(8),
+        async_refresh: false,
+        ..HubConfig::default()
+    };
+    let queries: Vec<Vec<f64>> = (0..4)
+        .map(|q| (0..n).map(|r| (((q * 5 + r) % 9) as f64) - 4.0).collect())
+        .collect();
+    let drive = |hub: &mut StreamHub| -> Vec<Vec<f64>> {
+        let t = hub.admit(dataset(n)).unwrap();
+        let mut answers = Vec::new();
+        for (i, x) in queries.iter().enumerate() {
+            // Mutate between queries; the tight budget forces refreshes
+            // that extend the tenant's catalog chain.
+            let mut truth_unused = hub.base(t).unwrap().clone();
+            apply_sym(hub, t, &mut truth_unused, i as u32, (i as u32) + n / 2, 1.0);
+            answers.push(hub.run_single(t, x.clone(), 2, None).unwrap().y);
+        }
+        answers
+    };
+    // Cold: every decomposition computed, all written through.
+    let cold_answers;
+    {
+        let mut hub = StreamHub::new(config()).unwrap();
+        cold_answers = drive(&mut hub);
+        assert!(hub.cache_stats().decompositions >= 1);
+        assert!(!hub.catalog().unwrap().is_empty());
+    }
+    // Warm: a fresh hub over the same catalog replays identical
+    // traffic — every decomposition reloads, zero are computed.
+    let mut hub = StreamHub::new(config()).unwrap();
+    let warm_answers = drive(&mut hub);
+    assert_eq!(
+        hub.cache_stats().decompositions,
+        0,
+        "warm restart must not run LA-Decompose"
+    );
+    assert!(hub.cache_stats().disk_loads >= 1);
+    assert_eq!(warm_answers, cold_answers, "bit-identical serving");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evict_leaves_zero_orphaned_spill_files() {
+    // Acceptance criterion: `StreamHub::evict` leaves zero orphaned
+    // spill files — every payload in the catalog dir belongs to a
+    // surviving tenant's chain, and evicting everyone empties it.
+    let dir = std::env::temp_dir().join(format!("amd-evict-orphans-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 400;
+    let mut hub = StreamHub::new(HubConfig {
+        engine: EngineConfig {
+            spill_dir: Some(dir.clone()),
+            ..hub_engine_config()
+        },
+        budget: StalenessBudget::nnz_cap(4),
+        async_refresh: false,
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let a = hub.admit(dataset(n)).unwrap();
+    let b = hub.admit(banded(n)).unwrap();
+    // Grow both tenants' chains past their roots.
+    let mut ta = hub.base(a).unwrap().clone();
+    let mut tb = hub.base(b).unwrap().clone();
+    for i in 0..6u32 {
+        apply_sym(&mut hub, a, &mut ta, i, i + n / 3, 1.0);
+        apply_sym(&mut hub, b, &mut tb, i, i + n / 4, 2.0);
+    }
+    hub.wait_refreshes().unwrap();
+    let before = catalog_payloads(&dir);
+    assert!(before >= 2, "both tenants persisted ({before} payloads)");
+    assert_eq!(
+        before,
+        hub.catalog().unwrap().len(),
+        "payloads and records agree before the evict"
+    );
+    // Evict tenant a: exactly its chain's payloads disappear.
+    hub.evict(a).unwrap();
+    let after = catalog_payloads(&dir);
+    assert!(after < before, "evict must delete a's chain");
+    assert_eq!(
+        after,
+        hub.catalog().unwrap().len(),
+        "no payload without a record"
+    );
+    // Tenant b still serves — warm — and exactly.
+    let x: Vec<f64> = (0..n).map(|r| ((r % 7) as f64) - 3.0).collect();
+    let xm = DenseMatrix::from_vec(n, 1, x.clone()).unwrap();
+    let got = hub.run_single(b, x, 2, None).unwrap();
+    assert_eq!(got.y, iterated_spmm(&tb, &xm, 2).unwrap().data());
+    // Evicting the last tenant empties the catalog entirely.
+    hub.evict(b).unwrap();
+    assert_eq!(catalog_payloads(&dir), 0, "zero orphaned spill files");
+    assert_eq!(hub.catalog().unwrap().len(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evict_then_readmit_is_exact() {
+    // Acceptance criterion: evicting a tenant and re-admitting the same
+    // content serves bit-identical answers to an untouched tenant.
+    let n = 400;
+    let a = dataset(n);
+    let mut hub = StreamHub::new(HubConfig {
+        engine: hub_engine_config(),
+        budget: StalenessBudget::nnz_cap(6),
+        async_refresh: false,
+        ..HubConfig::default()
+    })
+    .unwrap();
+    let t1 = hub.admit(a.clone()).unwrap();
+    let mut truth = a.clone();
+    for i in 0..8u32 {
+        apply_sym(&mut hub, t1, &mut truth, i, i + n / 2, 1.0);
+    }
+    let x: Vec<f64> = (0..n).map(|r| (((3 * r) % 11) as f64) - 5.0).collect();
+    let xm = DenseMatrix::from_vec(n, 1, x.clone()).unwrap();
+    let before = hub.run_single(t1, x.clone(), 2, None).unwrap().y;
+    assert_eq!(before, iterated_spmm(&truth, &xm, 2).unwrap().data());
+    // Evict, re-admit the *mutated* content, replay the query.
+    let final_stats = hub.evict(t1).unwrap();
+    assert_eq!(final_stats.updates, 16, "8 symmetric pairs");
+    let t2 = hub.admit(truth.clone()).unwrap();
+    assert_ne!(t1, t2, "tenant ids are never recycled");
+    let after = hub.run_single(t2, x, 2, None).unwrap().y;
+    assert_eq!(after, before, "evict-then-readmit must be exact");
+}
