@@ -83,9 +83,9 @@ fn bench_catalog_restart(c: &mut Criterion) {
             |b, &tenants| {
                 b.iter(|| {
                     let _ = std::fs::remove_dir_all(&dir);
-                    let t0 = std::time::Instant::now();
+                    let t0 = amd_obs::Stopwatch::start();
                     let hub = admit_all(&dir, tenants);
-                    cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
+                    cold_secs = cold_secs.min(t0.elapsed_seconds());
                     hub
                 })
             },
@@ -101,9 +101,9 @@ fn bench_catalog_restart(c: &mut Criterion) {
             &tenants,
             |b, &tenants| {
                 b.iter(|| {
-                    let t0 = std::time::Instant::now();
+                    let t0 = amd_obs::Stopwatch::start();
                     let hub = admit_all(&dir, tenants);
-                    warm_secs = warm_secs.min(t0.elapsed().as_secs_f64());
+                    warm_secs = warm_secs.min(t0.elapsed_seconds());
                     warm_stats = Some(hub.cache_stats().clone());
                     hub
                 })

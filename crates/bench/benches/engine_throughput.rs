@@ -34,7 +34,7 @@ fn stream(n: u32) -> Vec<Vec<f64>> {
 
 /// Serves the whole stream at one batch size, returning elapsed seconds.
 fn serve(engine: &mut Engine, id: MatrixId, stream: &[Vec<f64>], batch: usize) -> f64 {
-    let t0 = std::time::Instant::now();
+    let t0 = amd_obs::Stopwatch::start();
     if batch > 1 {
         for group in stream.chunks(batch) {
             for x in group {
@@ -61,7 +61,7 @@ fn serve(engine: &mut Engine, id: MatrixId, stream: &[Vec<f64>], batch: usize) -
                 .expect("single run succeeds");
         }
     }
-    t0.elapsed().as_secs_f64()
+    t0.elapsed_seconds()
 }
 
 fn bench_engine_throughput(c: &mut Criterion) {

@@ -1,0 +1,183 @@
+//! Telemetry overhead: the same serving workload through an engine
+//! with live telemetry (counters, histograms, tracer) vs one with
+//! `Telemetry::disabled()` (every handle a no-op).
+//!
+//! The instrumentation budget of the `amd-obs` layer is a relaxed
+//! atomic add per counter hit and a leading-zeros bucket index per
+//! histogram record, all far off the multiply hot loop — the measured
+//! regression must stay under 3%. The sweep is written to
+//! `BENCH_obs.json` at the workspace root and the bound is asserted
+//! here, so a future PR that drags telemetry into the inner loop fails
+//! this bench instead of shipping the slowdown.
+
+use amd_bench::{Table, BENCH_SEED};
+use amd_engine::{Engine, EngineConfig, MatrixId, MultiplyQuery};
+use amd_graph::generators::rmat;
+use amd_obs::{Stopwatch, Telemetry};
+use amd_sparse::CsrMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Write;
+
+const QUERIES: usize = 48;
+const ITERS: u32 = 2;
+const BATCH: usize = 8;
+/// Measured instrumented-vs-uninstrumented regression bound.
+const MAX_OVERHEAD: f64 = 0.03;
+/// Paired measurement rounds (min-of-rounds on both sides). The
+/// per-pass wall time jitters by double-digit percent (the distributed
+/// multiply spawns rank threads every run), so both minima need many
+/// rounds to converge onto their true floors before the ratio means
+/// anything.
+const ROUNDS: usize = 60;
+
+fn rmat_matrix() -> CsrMatrix<f64> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    use rand::SeedableRng as _;
+    rmat::rmat(10, 8, rmat::RmatParams::graph500(), &mut rng).to_adjacency()
+}
+
+fn queries(n: u32) -> Vec<Vec<f64>> {
+    (0..QUERIES)
+        .map(|q| {
+            (0..n)
+                .map(|r| (((q as u32 + 3 * r) % 13) as f64) / 13.0 - 0.5)
+                .collect()
+        })
+        .collect()
+}
+
+fn engine_with(telemetry: Telemetry, a: &CsrMatrix<f64>) -> (Engine, MatrixId) {
+    let mut engine = Engine::with_telemetry(
+        EngineConfig {
+            arrow_width: 64,
+            max_batch: BATCH,
+            ..EngineConfig::default()
+        },
+        telemetry,
+    )
+    .expect("engine stands up");
+    let id = engine.register(a).expect("register succeeds");
+    (engine, id)
+}
+
+/// One full pass of the query stream through the batcher; returns
+/// elapsed seconds.
+fn serve(engine: &mut Engine, id: MatrixId, stream: &[Vec<f64>]) -> f64 {
+    let t0 = Stopwatch::start();
+    for group in stream.chunks(BATCH) {
+        for x in group {
+            engine
+                .submit(MultiplyQuery {
+                    matrix: id,
+                    x: x.clone(),
+                    iters: ITERS,
+                    sigma: None,
+                })
+                .expect("submit succeeds");
+        }
+        engine.flush().expect("flush succeeds");
+    }
+    t0.elapsed_seconds()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let a = rmat_matrix();
+    let stream = queries(a.rows());
+    let (mut instrumented, instr_id) = engine_with(Telemetry::new(), &a);
+    let (mut bare, bare_id) = engine_with(Telemetry::disabled(), &a);
+
+    // Warm both paths (decompose cached, planner bound, allocators hot).
+    serve(&mut instrumented, instr_id, &stream);
+    serve(&mut bare, bare_id, &stream);
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    let mut instr_secs = f64::INFINITY;
+    let mut bare_secs = f64::INFINITY;
+    group.bench_function("telemetry_enabled", |b| {
+        b.iter(|| {
+            let s = serve(&mut instrumented, instr_id, &stream);
+            instr_secs = instr_secs.min(s);
+            s
+        })
+    });
+    group.bench_function("telemetry_disabled", |b| {
+        b.iter(|| {
+            let s = serve(&mut bare, bare_id, &stream);
+            bare_secs = bare_secs.min(s);
+            s
+        })
+    });
+    group.finish();
+
+    // Paired interleaved rounds: min-of-rounds on both sides squeezes
+    // out scheduler noise before the ratio is taken.
+    for _ in 0..ROUNDS {
+        instr_secs = instr_secs.min(serve(&mut instrumented, instr_id, &stream));
+        bare_secs = bare_secs.min(serve(&mut bare, bare_id, &stream));
+    }
+    let overhead = instr_secs / bare_secs - 1.0;
+
+    let snapshot = instrumented.telemetry().registry.snapshot();
+    let runs = snapshot.counter("engine.runs").unwrap_or(0);
+    let multiply = snapshot
+        .histogram("multiply.seconds")
+        .map(|h| h.count)
+        .unwrap_or(0);
+
+    let mut table = Table::new(vec!["path", "best ms", "runs", "multiply samples"]);
+    table.row(vec![
+        "telemetry enabled".to_string(),
+        format!("{:.2}", instr_secs * 1e3),
+        runs.to_string(),
+        multiply.to_string(),
+    ]);
+    table.row(vec![
+        "telemetry disabled".to_string(),
+        format!("{:.2}", bare_secs * 1e3),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.print(&format!(
+        "OBS — instrumentation overhead {:.2}% (bound {:.0}%), {QUERIES} queries × {ITERS} iters, batch {BATCH}",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    ));
+
+    write_json(instr_secs, bare_secs, overhead);
+    assert!(
+        multiply >= runs && runs > 0,
+        "instrumented engine must have recorded its runs (runs = {runs}, samples = {multiply})"
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "telemetry overhead {:.2}% exceeds the {:.0}% budget \
+         (instrumented {:.3} ms vs bare {:.3} ms)",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0,
+        instr_secs * 1e3,
+        bare_secs * 1e3
+    );
+}
+
+/// Machine-readable summary for the perf trajectory of future PRs.
+/// Hand-formatted (no serde in the offline workspace).
+fn write_json(instr_secs: f64, bare_secs: f64, overhead: f64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let body = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"queries\": {QUERIES},\n  \
+         \"iters\": {ITERS},\n  \"batch\": {BATCH},\n  \
+         \"instrumented_ms\": {:.3},\n  \"uninstrumented_ms\": {:.3},\n  \
+         \"overhead_fraction\": {:.4},\n  \"bound_fraction\": {MAX_OVERHEAD}\n}}\n",
+        instr_secs * 1e3,
+        bare_secs * 1e3,
+        overhead
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(obs_overhead, bench_obs_overhead);
+criterion_main!(obs_overhead);

@@ -76,9 +76,9 @@ fn bench_refresh_latency(c: &mut Criterion) {
                 &locality,
                 |b, _| {
                     b.iter(|| {
-                        let t0 = std::time::Instant::now();
+                        let t0 = amd_obs::Stopwatch::start();
                         let d = decompose_snapshot(&merged, &cfg, SEED).expect("decomposes");
-                        cold_secs = cold_secs.min(t0.elapsed().as_secs_f64());
+                        cold_secs = cold_secs.min(t0.elapsed_seconds());
                         d
                     })
                 },
@@ -91,7 +91,7 @@ fn bench_refresh_latency(c: &mut Criterion) {
                 &locality,
                 |b, _| {
                     b.iter(|| {
-                        let t0 = std::time::Instant::now();
+                        let t0 = amd_obs::Stopwatch::start();
                         let (d, o) = decompose_snapshot_incremental(
                             &merged,
                             &cfg,
@@ -101,7 +101,7 @@ fn bench_refresh_latency(c: &mut Criterion) {
                             &policy,
                         )
                         .expect("refresh decomposes");
-                        incr_secs = incr_secs.min(t0.elapsed().as_secs_f64());
+                        incr_secs = incr_secs.min(t0.elapsed_seconds());
                         outcome = Some(o);
                         d
                     })

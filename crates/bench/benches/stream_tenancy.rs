@@ -104,9 +104,9 @@ fn bench_tenancy(c: &mut Criterion) {
             let mut secs = f64::INFINITY;
             group.bench_with_input(BenchmarkId::new(label, tenants), &tenants, |b, _| {
                 b.iter(|| {
-                    let t0 = std::time::Instant::now();
+                    let t0 = amd_obs::Stopwatch::start();
                     let driven = drive(&mut hub, &ids, n, &mut rng);
-                    secs = secs.min(t0.elapsed().as_secs_f64());
+                    secs = secs.min(t0.elapsed_seconds());
                     driven
                 })
             });

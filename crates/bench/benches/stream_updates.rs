@@ -76,7 +76,7 @@ fn bench_update_apply(c: &mut Criterion) {
     let mut structural_secs = f64::INFINITY;
     group.bench_function("structural_insert", |b| {
         b.iter(|| {
-            let t0 = std::time::Instant::now();
+            let t0 = amd_obs::Stopwatch::start();
             for _ in 0..BATCH {
                 let u = rng.gen_range(0..n);
                 let v = rng.gen_range(0..n);
@@ -87,7 +87,7 @@ fn bench_update_apply(c: &mut Criterion) {
                 })
                 .expect("in bounds");
             }
-            structural_secs = structural_secs.min(t0.elapsed().as_secs_f64());
+            structural_secs = structural_secs.min(t0.elapsed_seconds());
         })
     });
 
@@ -98,7 +98,7 @@ fn bench_update_apply(c: &mut Criterion) {
     let mut patch_secs = f64::INFINITY;
     group.bench_function("in_place_patch", |b| {
         b.iter(|| {
-            let t0 = std::time::Instant::now();
+            let t0 = amd_obs::Stopwatch::start();
             for _ in 0..BATCH {
                 let (r, c) = edges[idx % edges.len()];
                 idx += 1;
@@ -109,7 +109,7 @@ fn bench_update_apply(c: &mut Criterion) {
                 })
                 .expect("in bounds");
             }
-            patch_secs = patch_secs.min(t0.elapsed().as_secs_f64());
+            patch_secs = patch_secs.min(t0.elapsed_seconds());
         })
     });
     group.finish();
@@ -151,9 +151,9 @@ fn bench_corrected_multiply(c: &mut Criterion) {
             &density,
             |b, _| {
                 b.iter(|| {
-                    let t0 = std::time::Instant::now();
+                    let t0 = amd_obs::Stopwatch::start();
                     let y = dm.multiply(&x, ITERS, None).expect("multiply succeeds");
-                    secs = secs.min(t0.elapsed().as_secs_f64());
+                    secs = secs.min(t0.elapsed_seconds());
                     y
                 })
             },

@@ -4,9 +4,9 @@ use crate::cost::CostModel;
 use crate::message::Packet;
 use crate::rank::RankCtx;
 use crate::stats::MachineStats;
+use amd_obs::Stopwatch;
 use crossbeam_channel::unbounded;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A `p`-rank message-passing machine.
 #[derive(Debug, Clone)]
@@ -63,7 +63,7 @@ impl Machine {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let program = &program;
         let outcomes: Vec<(T, crate::stats::RankStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = receivers
@@ -92,7 +92,7 @@ impl Machine {
                 })
                 .collect()
         });
-        let wall_seconds = start.elapsed().as_secs_f64();
+        let wall_seconds = start.elapsed_seconds();
         let mut results = Vec::with_capacity(p);
         let mut ranks = Vec::with_capacity(p);
         for (out, stats) in outcomes {

@@ -46,6 +46,7 @@
 use crate::decomposition::ArrowDecomposition;
 use crate::la_decompose::DecomposeConfig;
 use crate::persist::{self, io_err, put_u64, CatalogMeta};
+use amd_obs::{Counter, Histogram, Registry, Stopwatch};
 use amd_sparse::{SparseError, SparseResult};
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File};
@@ -134,7 +135,10 @@ pub struct GcReport {
     pub kept: usize,
 }
 
-/// Catalog counters (monotonic over the handle's lifetime).
+/// A point-in-time view of the catalog's registry counters (see
+/// [`Catalog::stats`]). Monotonic over the backing registry's
+/// lifetime: a catalog opened with [`Catalog::open_with_registry`]
+/// folds into the caller's `catalog.*` namespace.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Versions written ([`Catalog::put`] that landed a payload).
@@ -158,6 +162,45 @@ pub struct CatalogStats {
     pub import_failures: u64,
 }
 
+/// The catalog's registry handles — one `catalog.*` namespace of
+/// counters plus the I/O histograms. Every mutation path records here;
+/// [`Catalog::stats`] is a fold over these cells.
+struct CatalogMetrics {
+    puts: Counter,
+    loads: Counter,
+    load_failures: Counter,
+    removed: Counter,
+    recovered_records: Counter,
+    imported: Counter,
+    import_failures: Counter,
+    /// Payload bytes written by [`Catalog::put`].
+    put_bytes: Counter,
+    /// Payload bytes read back by loads (hits only).
+    get_bytes: Counter,
+    /// Payload bytes reclaimed by GC / chain removal.
+    gc_bytes: Counter,
+    /// Latency of each durable write's `fsync` (nanoseconds).
+    fsync_seconds: Histogram,
+}
+
+impl CatalogMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            puts: registry.counter("catalog.puts"),
+            loads: registry.counter("catalog.loads"),
+            load_failures: registry.counter("catalog.load_failures"),
+            removed: registry.counter("catalog.removed"),
+            recovered_records: registry.counter("catalog.recovered_records"),
+            imported: registry.counter("catalog.imported"),
+            import_failures: registry.counter("catalog.import_failures"),
+            put_bytes: registry.counter("catalog.put.bytes"),
+            get_bytes: registry.counter("catalog.get.bytes"),
+            gc_bytes: registry.counter("catalog.gc.bytes"),
+            fsync_seconds: registry.histogram("catalog.fsync.seconds"),
+        }
+    }
+}
+
 /// A versioned on-disk decomposition catalog. See the
 /// [module docs](self).
 pub struct Catalog {
@@ -165,17 +208,27 @@ pub struct Catalog {
     /// Manifest rows, ordered by `created_at` (ascending).
     records: Vec<VersionRecord>,
     next_created: u64,
-    stats: CatalogStats,
+    metrics: CatalogMetrics,
 }
 
 impl Catalog {
-    /// Opens (creating if needed) the catalog rooted at `root`. Reads
-    /// the manifest, then reconciles it against the directory: records
-    /// whose payload vanished are dropped, and payload files the
-    /// manifest does not know (a crash between payload rename and
-    /// manifest rewrite, or a lost manifest) are adopted from their
-    /// AMD3 headers.
+    /// Opens (creating if needed) the catalog rooted at `root`, with a
+    /// private metrics registry. Reads the manifest, then reconciles it
+    /// against the directory: records whose payload vanished are
+    /// dropped, and payload files the manifest does not know (a crash
+    /// between payload rename and manifest rewrite, or a lost manifest)
+    /// are adopted from their AMD3 headers.
     pub fn open<P: Into<PathBuf>>(root: P) -> SparseResult<Self> {
+        Self::open_with_registry(root, &Registry::new())
+    }
+
+    /// [`open`](Self::open), recording into the caller's `registry`
+    /// under the `catalog.*` namespace — how the engine folds catalog
+    /// I/O into its own telemetry.
+    pub fn open_with_registry<P: Into<PathBuf>>(
+        root: P,
+        registry: &Registry,
+    ) -> SparseResult<Self> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| {
             SparseError::InvalidCsr(format!("create catalog dir {}: {e}", root.display()))
@@ -184,7 +237,7 @@ impl Catalog {
             root,
             records: Vec::new(),
             next_created: 1,
-            stats: CatalogStats::default(),
+            metrics: CatalogMetrics::new(registry),
         };
         let manifest_records = catalog.read_manifest().unwrap_or_default();
         let known: HashSet<&str> = manifest_records
@@ -206,7 +259,11 @@ impl Catalog {
                 }
             }
         }
-        catalog.stats.recovered_records = recovered.len() as u64;
+        catalog
+            .metrics
+            .recovered_records
+            .add(recovered.len() as u64);
+        let recovered_any = !recovered.is_empty();
         let mut records = manifest_records;
         records.extend(recovered);
         records.retain(|r| catalog.root.join(&r.payload).exists());
@@ -214,7 +271,7 @@ impl Catalog {
         records.dedup_by(|a, b| a.payload == b.payload);
         catalog.next_created = records.iter().map(|r| r.created_at).max().unwrap_or(0) + 1;
         catalog.records = records;
-        if catalog.stats.recovered_records > 0 {
+        if recovered_any {
             catalog.write_manifest()?;
         }
         Ok(catalog)
@@ -225,9 +282,27 @@ impl Catalog {
         &self.root
     }
 
-    /// Counter snapshot.
-    pub fn stats(&self) -> &CatalogStats {
-        &self.stats
+    /// A point-in-time fold of the catalog's registry counters.
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            puts: self.metrics.puts.get(),
+            loads: self.metrics.loads.get(),
+            load_failures: self.metrics.load_failures.get(),
+            removed: self.metrics.removed.get(),
+            recovered_records: self.metrics.recovered_records.get(),
+            imported: self.metrics.imported.get(),
+            import_failures: self.metrics.import_failures.get(),
+        }
+    }
+
+    /// Total on-disk payload bytes of the versions currently
+    /// catalogued (manifest excluded) — the CLI `catalog ls` summary.
+    pub fn payload_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| fs::metadata(self.root.join(&r.payload)).ok())
+            .map(|m| m.len())
+            .sum()
     }
 
     /// Number of versions in the manifest.
@@ -304,11 +379,14 @@ impl Catalog {
         let payload = Self::payload_name(fingerprint, config, seed);
         let path = self.root.join(&payload);
         self.atomic_write(&path, |w| persist::save_catalog(d, &meta, w))?;
+        if let Ok(m) = fs::metadata(&path) {
+            self.metrics.put_bytes.add(m.len());
+        }
         self.next_created += 1;
         let record = VersionRecord::from_meta(&meta, payload);
         self.records.push(record.clone());
         self.write_manifest()?;
-        self.stats.puts += 1;
+        self.metrics.puts.inc();
         Ok(record)
     }
 
@@ -510,7 +588,7 @@ impl Catalog {
                 continue;
             };
             let Ok((d, meta)) = persist::load_versioned(BufReader::new(file)) else {
-                self.stats.import_failures += 1;
+                self.metrics.import_failures.inc();
                 continue;
             };
             // v1 files carry no fingerprint; recover it from the
@@ -521,7 +599,7 @@ impl Catalog {
                 match d.reconstruct() {
                     Ok(m) => m.fingerprint(),
                     Err(_) => {
-                        self.stats.import_failures += 1;
+                        self.metrics.import_failures.inc();
                         continue;
                     }
                 }
@@ -538,11 +616,11 @@ impl Catalog {
                 .put(&d, fingerprint, &width_config, seed, meta.version, 0)
                 .is_err()
             {
-                self.stats.import_failures += 1;
+                self.metrics.import_failures.inc();
                 continue;
             }
             let _ = fs::remove_file(&path);
-            self.stats.imported += 1;
+            self.metrics.imported.inc();
             imported += 1;
         }
         Ok(imported)
@@ -625,11 +703,14 @@ impl Catalog {
             // Header/record mismatch means the file was tampered with or
             // mis-adopted; treat it as corrupt.
             Some((d, meta, _)) if meta.fingerprint == record.fingerprint => {
-                self.stats.loads += 1;
+                self.metrics.loads.inc();
+                if let Ok(m) = fs::metadata(&path) {
+                    self.metrics.get_bytes.add(m.len());
+                }
                 Some(d)
             }
             _ => {
-                self.stats.load_failures += 1;
+                self.metrics.load_failures.inc();
                 None
             }
         }
@@ -652,9 +733,13 @@ impl Catalog {
             return Ok(());
         }
         for payload in &dropped {
-            let _ = fs::remove_file(self.root.join(payload));
+            let path = self.root.join(payload);
+            if let Ok(m) = fs::metadata(&path) {
+                self.metrics.gc_bytes.add(m.len());
+            }
+            let _ = fs::remove_file(path);
         }
-        self.stats.removed += dropped.len() as u64;
+        self.metrics.removed.add(dropped.len() as u64);
         self.write_manifest()
     }
 
@@ -669,7 +754,9 @@ impl Catalog {
             let mut w = BufWriter::new(file);
             write(&mut w)?;
             w.flush().map_err(io_err)?;
+            let sw = Stopwatch::start();
             w.get_ref().sync_all().map_err(io_err)?;
+            self.metrics.fsync_seconds.record(sw.elapsed_nanos());
             fs::rename(&tmp, path).map_err(|e| {
                 SparseError::InvalidCsr(format!(
                     "rename {} -> {}: {e}",

@@ -50,6 +50,7 @@ use crate::la_decompose::{decompose_snapshot, la_decompose, DecomposeConfig};
 use crate::strategy::RandomForestLa;
 use amd_graph::traversal::grow_region;
 use amd_graph::Graph;
+use amd_obs::Stopwatch;
 use amd_sparse::{CooMatrix, CsrMatrix, Permutation, SparseError, SparseResult};
 
 /// When to attempt — and when to abandon — the delta-localized path.
@@ -112,6 +113,24 @@ pub enum FallbackReason {
     SubDecompose,
 }
 
+/// Wall-clock breakdown of one refresh decomposition, measured inside
+/// [`decompose_snapshot_incremental`] with a single
+/// [`amd_obs::Stopwatch`] per phase. Serving layers fold these into
+/// their `refresh.*.seconds` histograms; the kernel itself keeps no
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Seconds spent computing the affected region and extracting the
+    /// induced subgraph (0 on the cold path — there is no region).
+    pub extract_seconds: f64,
+    /// Seconds spent decomposing: the localized LA-Decompose on the
+    /// incremental path, the full one on the cold path.
+    pub decompose_seconds: f64,
+    /// Seconds spent stripping the prior and lifting the localized
+    /// levels back to `n` vertices (0 on the cold path).
+    pub splice_seconds: f64,
+}
+
 /// What a refresh decomposition actually did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefreshOutcome {
@@ -125,6 +144,8 @@ pub struct RefreshOutcome {
     pub total_vertices: u32,
     /// Order of the produced decomposition.
     pub order: u32,
+    /// Where the wall-clock time of this refresh went.
+    pub timings: PhaseTimings,
 }
 
 impl RefreshOutcome {
@@ -285,8 +306,10 @@ pub fn decompose_snapshot_incremental(
     }
     let n = merged.rows();
     let cold = |reason: FallbackReason,
-                affected: u32|
+                affected: u32,
+                extract_seconds: f64|
      -> SparseResult<(ArrowDecomposition, RefreshOutcome)> {
+        let sw = Stopwatch::start();
         let d = decompose_snapshot(merged, cfg, seed)?;
         let order = d.order() as u32;
         Ok((
@@ -297,29 +320,39 @@ pub fn decompose_snapshot_incremental(
                 affected_vertices: affected,
                 total_vertices: n,
                 order,
+                timings: PhaseTimings {
+                    extract_seconds,
+                    decompose_seconds: sw.elapsed_seconds(),
+                    splice_seconds: 0.0,
+                },
             },
         ))
     };
     if !policy.enabled {
-        return cold(FallbackReason::Disabled, 0);
+        return cold(FallbackReason::Disabled, 0, 0.0);
     }
     let Some(prior) = prior else {
-        return cold(FallbackReason::NoPrior, 0);
+        return cold(FallbackReason::NoPrior, 0, 0.0);
     };
     let Some(touched) = touched else {
-        return cold(FallbackReason::NoTouched, 0);
+        return cold(FallbackReason::NoTouched, 0, 0.0);
     };
     if prior.n() != n {
-        return cold(FallbackReason::ShapeMismatch, 0);
+        return cold(FallbackReason::ShapeMismatch, 0, 0.0);
     }
     if prior.b() != cfg.arrow_width.max(1) {
-        return cold(FallbackReason::WidthMismatch, 0);
+        return cold(FallbackReason::WidthMismatch, 0, 0.0);
     }
 
+    let extract_sw = Stopwatch::start();
     let region = affected_region(prior, touched)?;
     let affected = region.iter().filter(|&&m| m).count() as u32;
     if affected as f64 > policy.max_affected_fraction * n as f64 {
-        return cold(FallbackReason::RegionTooLarge, affected);
+        return cold(
+            FallbackReason::RegionTooLarge,
+            affected,
+            extract_sw.elapsed_seconds(),
+        );
     }
 
     // Localized LA-Decompose on the induced subgraph, compacted so its
@@ -339,14 +372,20 @@ pub fn decompose_snapshot_incremental(
             }
         }
     }
-    let sub = match la_decompose(&coo.to_csr(), cfg, &mut RandomForestLa::new(seed)) {
-        Ok(d) => d,
-        Err(_) => return cold(FallbackReason::SubDecompose, affected),
-    };
+    let sub_csr = coo.to_csr();
+    let extract_seconds = extract_sw.elapsed_seconds();
 
+    let decompose_sw = Stopwatch::start();
+    let sub = match la_decompose(&sub_csr, cfg, &mut RandomForestLa::new(seed)) {
+        Ok(d) => d,
+        Err(_) => return cold(FallbackReason::SubDecompose, affected, extract_seconds),
+    };
+    let decompose_seconds = decompose_sw.elapsed_seconds();
+
+    let splice_sw = Stopwatch::start();
     let mut levels = strip_region(prior, &region);
     if (levels.len() + sub.order()) as u32 > policy.max_order {
-        return cold(FallbackReason::OrderTooDeep, affected);
+        return cold(FallbackReason::OrderTooDeep, affected, extract_seconds);
     }
 
     // Lift the localized levels back to n vertices: region vertices keep
@@ -389,6 +428,11 @@ pub fn decompose_snapshot_incremental(
         affected_vertices: affected,
         total_vertices: n,
         order: d.order() as u32,
+        timings: PhaseTimings {
+            extract_seconds,
+            decompose_seconds,
+            splice_seconds: splice_sw.elapsed_seconds(),
+        },
     };
     Ok((d, outcome))
 }

@@ -296,11 +296,11 @@ fn perf_smoke_incremental_beats_cold() {
     let touched = delta.touched_vertices();
     assert!(touched.len() as u32 <= window);
 
-    let t0 = std::time::Instant::now();
+    let t0 = amd_obs::Stopwatch::start();
     let cold = decompose_snapshot(&merged, &cfg, 21).unwrap();
-    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_secs = t0.elapsed_seconds();
 
-    let t1 = std::time::Instant::now();
+    let t1 = amd_obs::Stopwatch::start();
     let (incr, outcome) = decompose_snapshot_incremental(
         &merged,
         &cfg,
@@ -310,7 +310,7 @@ fn perf_smoke_incremental_beats_cold() {
         &IncrementalPolicy::default(),
     )
     .unwrap();
-    let incr_secs = t1.elapsed().as_secs_f64();
+    let incr_secs = t1.elapsed_seconds();
 
     assert!(outcome.incremental, "fallback: {:?}", outcome.fallback);
     assert!(

@@ -23,6 +23,7 @@
 //! [`CacheStats::decompositions`] is the probe tests use to assert the
 //! warm path performs zero LA-Decompose calls.
 
+use amd_obs::{Counter, Histogram, Registry, Stopwatch};
 use amd_sparse::{CsrMatrix, SparseResult};
 use arrow_core::catalog::Catalog;
 use arrow_core::{la_decompose, ArrowDecomposition, DecomposeConfig, RandomForestLa};
@@ -31,6 +32,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Counters exposed by the cache (monotonic over its lifetime).
+///
+/// This is a point-in-time view folded from the cache's registry
+/// counters (`cache.*` in a metrics snapshot) — see
+/// [`DecompositionCache::stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from memory.
@@ -61,6 +66,40 @@ pub struct CacheStats {
     pub released: u64,
 }
 
+/// Registry handles behind [`CacheStats`] — the counters are the
+/// single source of truth; the stats struct is a fold over them.
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    disk_loads: Counter,
+    load_failures: Counter,
+    decompositions: Counter,
+    admitted: Counter,
+    spills: Counter,
+    spill_failures: Counter,
+    evictions: Counter,
+    released: Counter,
+    decompose_seconds: Histogram,
+}
+
+impl CacheMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            disk_loads: registry.counter("cache.disk_loads"),
+            load_failures: registry.counter("cache.load_failures"),
+            decompositions: registry.counter("cache.decompositions"),
+            admitted: registry.counter("cache.admitted"),
+            spills: registry.counter("cache.spills"),
+            spill_failures: registry.counter("cache.spill_failures"),
+            evictions: registry.counter("cache.evictions"),
+            released: registry.counter("cache.released"),
+            decompose_seconds: registry.histogram("decompose.seconds"),
+        }
+    }
+}
+
 struct Entry {
     d: Arc<ArrowDecomposition>,
     last_used: u64,
@@ -75,7 +114,7 @@ pub struct DecompositionCache {
     catalog: Option<Catalog>,
     entries: HashMap<u128, Entry>,
     clock: u64,
-    stats: CacheStats,
+    metrics: CacheMetrics,
 }
 
 impl DecompositionCache {
@@ -85,9 +124,22 @@ impl DecompositionCache {
     /// back to the catalog before decomposing; pass `None` for a
     /// memory-only cache.
     pub fn new(capacity: usize, catalog_dir: Option<PathBuf>) -> SparseResult<Self> {
+        Self::with_registry(capacity, catalog_dir, &Registry::new())
+    }
+
+    /// [`new`](Self::new), publishing the cache's counters (`cache.*`,
+    /// `decompose.seconds`) and the catalog's (`catalog.*`) into the
+    /// caller's metrics registry instead of a private one — the hookup
+    /// used by [`Engine`](crate::Engine) so one snapshot covers the
+    /// whole serving stack.
+    pub fn with_registry(
+        capacity: usize,
+        catalog_dir: Option<PathBuf>,
+        registry: &Registry,
+    ) -> SparseResult<Self> {
         assert!(capacity >= 1, "cache capacity must be at least 1");
         let catalog = match catalog_dir {
-            Some(dir) => Some(Catalog::open(dir)?),
+            Some(dir) => Some(Catalog::open_with_registry(dir, registry)?),
             None => None,
         };
         Ok(Self {
@@ -95,13 +147,24 @@ impl DecompositionCache {
             catalog,
             entries: HashMap::new(),
             clock: 0,
-            stats: CacheStats::default(),
+            metrics: CacheMetrics::new(registry),
         })
     }
 
-    /// Counter snapshot.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    /// Counter snapshot, folded from the registry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            disk_loads: self.metrics.disk_loads.get(),
+            load_failures: self.metrics.load_failures.get(),
+            decompositions: self.metrics.decompositions.get(),
+            admitted: self.metrics.admitted.get(),
+            spills: self.metrics.spills.get(),
+            spill_failures: self.metrics.spill_failures.get(),
+            evictions: self.metrics.evictions.get(),
+            released: self.metrics.released.get(),
+        }
     }
 
     /// The write-through catalog, when one is configured.
@@ -210,10 +273,10 @@ impl DecompositionCache {
         self.clock += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.clock;
-            self.stats.hits += 1;
+            self.metrics.hits.inc();
             return Ok(entry.d.clone());
         }
-        self.stats.misses += 1;
+        self.metrics.misses.inc();
         // Catalog fallback: a previous run (or an evicted entry) may
         // have persisted this decomposition already. A payload that
         // fails to load — corrupt, truncated, or holding the wrong
@@ -225,15 +288,17 @@ impl DecompositionCache {
             match catalog.get(fingerprint, config, seed) {
                 Ok(Some((d, _))) if d.n() == a.rows() => {
                     let d = Arc::new(d);
-                    self.stats.disk_loads += 1;
+                    self.metrics.disk_loads.inc();
                     self.insert(key, d.clone());
                     return Ok(d);
                 }
-                Ok(Some(_)) => self.stats.load_failures += 1, // wrong shape
+                Ok(Some(_)) => self.metrics.load_failures.inc(), // wrong shape
                 Ok(None) => {
-                    self.stats.load_failures += catalog.stats().load_failures - failures_before;
+                    self.metrics
+                        .load_failures
+                        .add(catalog.stats().load_failures - failures_before);
                 }
-                Err(_) => self.stats.load_failures += 1,
+                Err(_) => self.metrics.load_failures.inc(),
             }
         }
         // True miss: decompose (the only expensive path) and write
@@ -241,8 +306,12 @@ impl DecompositionCache {
         // full disk or vanished directory must not discard the freshly
         // computed decomposition — the cache degrades to memory-only and
         // counts the failure.
-        self.stats.decompositions += 1;
+        self.metrics.decompositions.inc();
+        let sw = Stopwatch::start();
         let d = Arc::new(la_decompose(a, config, &mut RandomForestLa::new(seed))?);
+        self.metrics
+            .decompose_seconds
+            .record_seconds(sw.elapsed_seconds());
         self.write_through(&d, fingerprint, config, seed, version, parent);
         self.insert(key, d.clone());
         Ok(d)
@@ -292,10 +361,10 @@ impl DecompositionCache {
         self.clock += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.clock;
-            self.stats.hits += 1;
+            self.metrics.hits.inc();
             return entry.d.clone();
         }
-        self.stats.admitted += 1;
+        self.metrics.admitted.inc();
         self.write_through(&d, fingerprint, config, seed, version, parent);
         self.insert(key, d.clone());
         d
@@ -310,7 +379,7 @@ impl DecompositionCache {
         let key = Self::cache_key(fingerprint, config, seed);
         let dropped = self.entries.remove(&key).is_some();
         if dropped {
-            self.stats.released += 1;
+            self.metrics.released.inc();
         }
         dropped
     }
@@ -326,8 +395,8 @@ impl DecompositionCache {
     ) {
         if let Some(catalog) = &mut self.catalog {
             match catalog.put(d, fingerprint, config, seed, version, parent) {
-                Ok(_) => self.stats.spills += 1,
-                Err(_) => self.stats.spill_failures += 1,
+                Ok(_) => self.metrics.spills.inc(),
+                Err(_) => self.metrics.spill_failures.inc(),
             }
         }
     }
@@ -344,7 +413,7 @@ impl DecompositionCache {
                 .map(|(&fp, _)| fp)
                 .expect("entries non-empty while over capacity");
             self.entries.remove(&lru);
-            self.stats.evictions += 1;
+            self.metrics.evictions.inc();
         }
         self.entries.insert(
             key,

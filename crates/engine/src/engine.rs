@@ -18,6 +18,7 @@
 use crate::cache::{CacheStats, DecompositionCache};
 use crate::planner::{plan, Plan, PlannerConfig, Prediction};
 use amd_comm::CostModel;
+use amd_obs::{Counter, Gauge, Histogram, SpanId, Stopwatch, Telemetry};
 use amd_sparse::{CsrMatrix, DenseMatrix, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
 use amd_spmm::{DeltaSpmm, DistSpmm};
@@ -119,6 +120,9 @@ pub struct QueryResponse {
 }
 
 /// Serving counters.
+///
+/// A point-in-time view folded from the engine's registry counters
+/// (`engine.*` in a metrics snapshot) — see [`Engine::stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Queries answered.
@@ -187,6 +191,38 @@ pub struct RefreshTicket {
     pub incremental: IncrementalPolicy,
 }
 
+/// Registry handles behind [`EngineStats`] plus the engine's latency
+/// histograms — the counters are the single source of truth; the stats
+/// struct is a fold over them.
+struct EngineMetrics {
+    queries: Counter,
+    runs: Counter,
+    corrected_runs: Counter,
+    refreshes: Counter,
+    deregistered: Counter,
+    largest_batch: Gauge,
+    batch_size: Histogram,
+    multiply_seconds: Histogram,
+    refresh_seconds: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let registry = &telemetry.registry;
+        Self {
+            queries: registry.counter("engine.queries"),
+            runs: registry.counter("engine.runs"),
+            corrected_runs: registry.counter("engine.corrected_runs"),
+            refreshes: registry.counter("engine.refreshes"),
+            deregistered: registry.counter("engine.deregistered"),
+            largest_batch: registry.gauge("engine.largest_batch"),
+            batch_size: registry.histogram("engine.batch_size"),
+            multiply_seconds: registry.histogram("multiply.seconds"),
+            refresh_seconds: registry.histogram("refresh.seconds"),
+        }
+    }
+}
+
 struct Pending {
     id: QueryId,
     query: MultiplyQuery,
@@ -200,29 +236,55 @@ pub struct Engine {
     bound: HashMap<u128, BoundMatrix>,
     pending: Vec<Pending>,
     next_query: u64,
-    stats: EngineStats,
+    telemetry: Telemetry,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
     /// Builds an engine; opens (creating if needed) the persistence
     /// catalog when a spill directory is configured, migrating any
-    /// pre-catalog loose spill files it finds there.
+    /// pre-catalog loose spill files it finds there. Telemetry is
+    /// enabled with a fresh registry and tracer — use
+    /// [`with_telemetry`](Self::with_telemetry) to share or disable it.
     pub fn new(config: EngineConfig) -> SparseResult<Self> {
-        let mut cache = DecompositionCache::new(config.cache_capacity, config.spill_dir.clone())?;
+        Self::with_telemetry(config, Telemetry::new())
+    }
+
+    /// [`new`](Self::new) observing into caller-supplied telemetry: the
+    /// engine's counters and histograms (`engine.*`, `cache.*`,
+    /// `catalog.*`, `decompose.seconds`, `multiply.seconds`,
+    /// `refresh.seconds`) register there, and request-path trace events
+    /// go to its tracer. Pass [`Telemetry::disabled`] for a zero-cost
+    /// uninstrumented engine.
+    pub fn with_telemetry(config: EngineConfig, telemetry: Telemetry) -> SparseResult<Self> {
+        let mut cache = DecompositionCache::with_registry(
+            config.cache_capacity,
+            config.spill_dir.clone(),
+            &telemetry.registry,
+        )?;
         // One-shot legacy migration: spill dirs written before the
         // catalog existed keep their warm-restart value.
         cache.import_legacy(
             &DecomposeConfig::with_width(config.arrow_width),
             config.decompose_seed,
         )?;
+        let metrics = EngineMetrics::new(&telemetry);
         Ok(Self {
             config,
             cache,
             bound: HashMap::new(),
             pending: Vec::new(),
             next_query: 0,
-            stats: EngineStats::default(),
+            telemetry,
+            metrics,
         })
+    }
+
+    /// The engine's telemetry: metrics registry plus trace ring. Clone
+    /// it (handles are `Arc`-shared) to snapshot metrics or read traces
+    /// while the engine keeps serving.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Registers `a`: fingerprint, decompose (through the cache), plan,
@@ -265,6 +327,7 @@ impl Engine {
             });
         }
         let decompose_config = DecomposeConfig::with_width(self.config.arrow_width);
+        let cache_before = self.cache.stats();
         let d = match precomputed {
             // A worker already decomposed this snapshot off-thread; the
             // cache adopts it (write-through) instead of re-deriving it.
@@ -308,6 +371,27 @@ impl Engine {
             chosen,
             predictions,
         } = plan(a, &d, &planner_config)?;
+        if self.telemetry.tracer.is_enabled() {
+            let cache_after = self.cache.stats();
+            let source = if cache_after.decompositions > cache_before.decompositions {
+                "decompose"
+            } else if cache_after.disk_loads > cache_before.disk_loads {
+                "disk"
+            } else if cache_after.admitted > cache_before.admitted {
+                "admitted"
+            } else {
+                "hit"
+            };
+            self.telemetry.tracer.event(
+                "plan",
+                SpanId::NONE,
+                None,
+                format!(
+                    "algo={} predicted_seconds={:.3e} cache={source}",
+                    chosen, predictions[0].seconds
+                ),
+            );
+        }
         self.bound.insert(
             id,
             BoundMatrix {
@@ -462,6 +546,7 @@ impl Engine {
         merged: &CsrMatrix<f64>,
         decomposition: Option<Arc<ArrowDecomposition>>,
     ) -> SparseResult<MatrixId> {
+        let sw = Stopwatch::start();
         let old = ticket.old;
         let old_bound = self.bound.remove(&old.0).ok_or_else(|| {
             SparseError::InvalidCsr(format!("matrix {:032x} is not registered", old.0))
@@ -499,7 +584,10 @@ impl Engine {
                 }
             }
         }
-        self.stats.refreshes += 1;
+        self.metrics.refreshes.inc();
+        self.metrics
+            .refresh_seconds
+            .record_seconds(sw.elapsed_seconds());
         Ok(new_id)
     }
 
@@ -538,7 +626,7 @@ impl Engine {
                 self.config.decompose_seed,
             );
         }
-        self.stats.deregistered += 1;
+        self.metrics.deregistered.inc();
         Ok(())
     }
 
@@ -653,14 +741,22 @@ impl Engine {
             * oversubscription)
     }
 
-    /// Cache counters (the decompose-count probe lives here).
-    pub fn cache_stats(&self) -> &CacheStats {
+    /// Cache counters (the decompose-count probe lives here), folded
+    /// from the registry.
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Serving counters.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Serving counters, folded from the registry.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.metrics.queries.get(),
+            runs: self.metrics.runs.get(),
+            largest_batch: self.metrics.largest_batch.get() as usize,
+            corrected_runs: self.metrics.corrected_runs.get(),
+            refreshes: self.metrics.refreshes.get(),
+            deregistered: self.metrics.deregistered.get(),
+        }
     }
 
     /// Queries waiting for the next [`flush`](Engine::flush).
@@ -753,19 +849,48 @@ impl Engine {
         let k = chunk.len() as u32;
         // Columns side by side: query j is column j.
         let x = DenseMatrix::from_fn(n, k, |r, c| chunk[c as usize].query.x[r as usize]);
+        let sw = Stopwatch::start();
         let run = match &bound.overlay {
             // Pending updates: serve A₀ + ΔA through the corrected path.
             Some(delta) => {
                 let corrected = DeltaSpmm::new(&*bound.algo, delta)?.with_cost(self.config.cost);
                 let run = corrected.run_sigma(&x, first.iters, first.sigma)?;
-                self.stats.corrected_runs += 1;
+                self.metrics.corrected_runs.inc();
                 run
             }
             None => bound.algo.run_sigma(&x, first.iters, first.sigma)?,
         };
-        self.stats.runs += 1;
-        self.stats.queries += chunk.len() as u64;
-        self.stats.largest_batch = self.stats.largest_batch.max(chunk.len());
+        let multiply_seconds = sw.elapsed_seconds();
+        self.metrics
+            .multiply_seconds
+            .record_seconds(multiply_seconds);
+        self.metrics.runs.inc();
+        self.metrics.queries.add(chunk.len() as u64);
+        self.metrics.batch_size.record(chunk.len() as u64);
+        self.metrics.largest_batch.record_max(chunk.len() as u64);
+        if self.telemetry.tracer.is_enabled() {
+            // Predicted cost is per iteration per the planner contract.
+            let predicted = bound
+                .predictions
+                .first()
+                .map(|p| p.seconds * first.iters as f64)
+                .unwrap_or(0.0);
+            self.telemetry.tracer.event(
+                "multiply",
+                SpanId::NONE,
+                None,
+                format!(
+                    "algo={} batch={} iters={} corrected={} predicted_seconds={:.3e} \
+                     actual_seconds={:.3e}",
+                    bound.chosen,
+                    chunk.len(),
+                    first.iters,
+                    bound.overlay.is_some(),
+                    predicted,
+                    multiply_seconds
+                ),
+            );
+        }
         Ok(chunk
             .iter()
             .enumerate()

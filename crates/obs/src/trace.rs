@@ -1,0 +1,270 @@
+//! Span-based structured tracing into a bounded ring buffer.
+//!
+//! A [`Tracer`] records [`TraceEvent`]s: spans (start/end pairs with a
+//! measured duration) and instantaneous events, each with an optional
+//! parent span, so a background refresh leaves a retrievable tree —
+//! `refresh` → (`trip`, `queued`, `grant`, `decompose`, `splice`,
+//! `commit`) — across the hub thread and the worker pool. The ring
+//! holds the most recent completed events; when it overflows, the
+//! oldest are dropped and counted.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identifier of an open or completed span. `SpanId::NONE` (0) means
+/// "no parent"; real ids start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent parent.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// `true` for a real span id (anything but [`NONE`](Self::NONE)).
+    pub fn is_some(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One completed span or instantaneous event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// This event's id (unique within the tracer; 0 never appears).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Static event name (`"refresh"`, `"decompose"`, `"grant"`, …).
+    pub name: &'static str,
+    /// The tenant this event belongs to, if any.
+    pub tenant: Option<u64>,
+    /// Nanoseconds since the tracer was created.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds; 0 for instantaneous events.
+    pub duration_nanos: u64,
+    /// Free-form detail (`"incremental"`, `"algo=arrow"`, …).
+    pub detail: String,
+}
+
+struct OpenSpan {
+    parent: u64,
+    name: &'static str,
+    tenant: Option<u64>,
+    start: Instant,
+    start_nanos: u64,
+}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: u64,
+    open: HashMap<u64, OpenSpan>,
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TracerInner {
+    fn push(&mut self, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+}
+
+/// A cheap-to-clone handle onto one bounded event ring. Disabled
+/// tracers ([`Tracer::disabled`]) accept every call and record
+/// nothing.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TracerInner>>>,
+}
+
+impl Tracer {
+    /// A live tracer retaining the most recent `capacity` completed
+    /// events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: 1,
+                open: HashMap::new(),
+                ring: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// A no-op tracer.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// `false` for a [`disabled`](Self::disabled) tracer.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, TracerInner>> {
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().expect("obs tracer poisoned"))
+    }
+
+    /// Opens a span. The returned id stays valid across threads (the
+    /// hub opens `decompose`, the worker ends it). Returns
+    /// [`SpanId::NONE`] on a disabled tracer.
+    pub fn start(&self, name: &'static str, parent: SpanId, tenant: Option<u64>) -> SpanId {
+        let Some(mut t) = self.lock() else {
+            return SpanId::NONE;
+        };
+        let id = t.next_id;
+        t.next_id += 1;
+        let start = Instant::now();
+        let start_nanos =
+            u64::try_from(start.duration_since(t.epoch).as_nanos()).unwrap_or(u64::MAX);
+        t.open.insert(
+            id,
+            OpenSpan {
+                parent: parent.0,
+                name,
+                tenant,
+                start,
+                start_nanos,
+            },
+        );
+        SpanId(id)
+    }
+
+    /// Closes a span with empty detail. Unknown or `NONE` ids are
+    /// ignored (the span may predate a ring wrap or a disabled phase).
+    pub fn end(&self, id: SpanId) {
+        self.end_with(id, String::new());
+    }
+
+    /// Closes a span, attaching `detail`, and moves it to the ring.
+    pub fn end_with(&self, id: SpanId, detail: String) {
+        if !id.is_some() {
+            return;
+        }
+        let Some(mut t) = self.lock() else { return };
+        let Some(open) = t.open.remove(&id.0) else {
+            return;
+        };
+        let duration_nanos = u64::try_from(open.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        t.push(TraceEvent {
+            id: id.0,
+            parent: open.parent,
+            name: open.name,
+            tenant: open.tenant,
+            start_nanos: open.start_nanos,
+            duration_nanos,
+            detail,
+        });
+    }
+
+    /// Records an instantaneous event under `parent`.
+    pub fn event(&self, name: &'static str, parent: SpanId, tenant: Option<u64>, detail: String) {
+        let Some(mut t) = self.lock() else { return };
+        let id = t.next_id;
+        t.next_id += 1;
+        let start_nanos = u64::try_from(t.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        t.push(TraceEvent {
+            id,
+            parent: parent.0,
+            name,
+            tenant,
+            start_nanos,
+            duration_nanos: 0,
+            detail,
+        });
+    }
+
+    /// The completed events, oldest first. Spans appear when they
+    /// *end*, so a parent span usually follows its children; consumers
+    /// reconstruct the tree through `parent` ids.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.lock()
+            .map(|t| t.ring.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// How many completed events the ring has discarded.
+    pub fn dropped(&self) -> u64 {
+        self.lock().map(|t| t.dropped).unwrap_or(0)
+    }
+
+    /// Number of spans currently open (started, not yet ended).
+    pub fn open_spans(&self) -> usize {
+        self.lock().map(|t| t.open.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_is_reconstructible() {
+        let t = Tracer::new(16);
+        let root = t.start("refresh", SpanId::NONE, Some(3));
+        t.event("trip", root, Some(3), "nnz=10".to_string());
+        let child = t.start("decompose", root, Some(3));
+        t.end_with(child, "incremental".to_string());
+        t.end(root);
+
+        let events = t.snapshot();
+        assert_eq!(events.len(), 3);
+        let trip = &events[0];
+        assert_eq!(trip.name, "trip");
+        assert_eq!(trip.parent, root.0);
+        assert_eq!(trip.duration_nanos, 0);
+        let dec = &events[1];
+        assert_eq!(dec.name, "decompose");
+        assert_eq!(dec.parent, root.0);
+        assert_eq!(dec.detail, "incremental");
+        let r = &events[2];
+        assert_eq!(r.name, "refresh");
+        assert_eq!(r.parent, 0);
+        assert_eq!(r.tenant, Some(3));
+        assert!(r.duration_nanos >= dec.duration_nanos);
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::new(2);
+        for _ in 0..4 {
+            t.event("e", SpanId::NONE, None, String::new());
+        }
+        assert_eq!(t.snapshot().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        // The survivors are the two newest.
+        let ids: Vec<u64> = t.snapshot().iter().map(|e| e.id).collect();
+        assert_eq!(ids, [3, 4]);
+    }
+
+    #[test]
+    fn ending_twice_or_unknown_is_harmless() {
+        let t = Tracer::new(4);
+        let s = t.start("x", SpanId::NONE, None);
+        t.end(s);
+        t.end(s);
+        t.end(SpanId(999));
+        t.end(SpanId::NONE);
+        assert_eq!(t.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn cross_clone_span_lifecycle() {
+        let t = Tracer::new(4);
+        let s = t.start("decompose", SpanId::NONE, Some(1));
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.end(s)).join().unwrap();
+        assert_eq!(t.snapshot().len(), 1);
+        assert_eq!(t.snapshot()[0].name, "decompose");
+    }
+}

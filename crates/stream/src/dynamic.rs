@@ -29,14 +29,14 @@
 //! representable data.
 
 use crate::budget::{AdaptiveBudget, StalenessBudget};
-use crate::splice::SpliceStats;
+use crate::splice::{SpliceCounters, SpliceStats};
 use crate::update::Update;
+use amd_obs::{Counter, Gauge, Histogram, SpanId, Stopwatch, Telemetry};
 use amd_sparse::{ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, SparseError, SparseResult};
 use arrow_core::catalog::Catalog;
 use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
 use arrow_core::{decompose_snapshot, ArrowDecomposition, DecomposeConfig};
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// Smoothing factor of the measured corrected-multiply EWMA (the
 /// adaptive budget's per-entry overhead signal).
@@ -116,6 +116,46 @@ pub struct StreamStats {
     pub adaptive_budget_nnz: u64,
 }
 
+/// Registry handles behind [`StreamStats`]: every counter lives in the
+/// matrix's [`Telemetry`] registry under `stream.*`, and [`StreamStats`]
+/// is folded on demand — one set of books.
+struct StreamMetrics {
+    updates: Counter,
+    patched_in_place: Counter,
+    deferred_to_delta: Counter,
+    refreshes: Counter,
+    splice: SpliceCounters,
+    corrected_multiplies: Counter,
+    exact_multiplies: Counter,
+    restores: Counter,
+    adaptive_budget_nnz: Gauge,
+    /// Wall time of one [`DynamicMatrix::multiply`] call (all
+    /// iterations, base + correction + σ).
+    multiply_seconds: Histogram,
+    /// Wall time of one compaction ([`DynamicMatrix::refresh`] with a
+    /// non-empty delta), decompose only.
+    refresh_seconds: Histogram,
+}
+
+impl StreamMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let r = &telemetry.registry;
+        Self {
+            updates: r.counter("stream.updates"),
+            patched_in_place: r.counter("stream.patched_in_place"),
+            deferred_to_delta: r.counter("stream.deferred_to_delta"),
+            refreshes: r.counter("stream.refreshes"),
+            splice: SpliceCounters::new(r, "stream."),
+            corrected_multiplies: r.counter("stream.corrected_multiplies"),
+            exact_multiplies: r.counter("stream.exact_multiplies"),
+            restores: r.counter("stream.restores"),
+            adaptive_budget_nnz: r.gauge("stream.adaptive_budget_nnz"),
+            multiply_seconds: r.histogram("stream.multiply.seconds"),
+            refresh_seconds: r.histogram("stream.refresh.seconds"),
+        }
+    }
+}
+
 /// A served matrix `A₀ + ΔA` with incremental decomposition maintenance.
 /// See the [module docs](self).
 pub struct DynamicMatrix {
@@ -143,7 +183,8 @@ pub struct DynamicMatrix {
     /// per iteration (EWMA; 0 = no corrected multiply measured yet).
     corrected_entry_ewma: f64,
     config: DynamicConfig,
-    stats: StreamStats,
+    telemetry: Telemetry,
+    metrics: StreamMetrics,
 }
 
 impl DynamicMatrix {
@@ -151,6 +192,19 @@ impl DynamicMatrix {
     /// version — same fingerprint, same decompose identity — when a
     /// catalog is configured).
     pub fn new(a: CsrMatrix<f64>, config: DynamicConfig) -> SparseResult<Self> {
+        Self::with_telemetry(a, config, Telemetry::new())
+    }
+
+    /// [`new`](Self::new) with a caller-supplied telemetry backend —
+    /// share a registry with other components, or pass
+    /// [`Telemetry::disabled`] to turn every counter, histogram, and
+    /// trace event into a no-op (with disabled telemetry
+    /// [`stats`](Self::stats) folds all-zero views).
+    pub fn with_telemetry(
+        a: CsrMatrix<f64>,
+        config: DynamicConfig,
+        telemetry: Telemetry,
+    ) -> SparseResult<Self> {
         if a.rows() != a.cols() {
             return Err(SparseError::ShapeMismatch {
                 left: (a.rows(), a.cols()),
@@ -203,7 +257,8 @@ impl DynamicMatrix {
             chain_head: persisted_fp,
             corrected_entry_ewma: 0.0,
             config,
-            stats: StreamStats::default(),
+            metrics: StreamMetrics::new(&telemetry),
+            telemetry,
         };
         dm.persist_now()?;
         Ok(dm)
@@ -244,9 +299,26 @@ impl DynamicMatrix {
         self.delta.mass()
     }
 
-    /// Streaming counters.
-    pub fn stats(&self) -> &StreamStats {
-        &self.stats
+    /// Streaming counters, folded from the telemetry registry.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            updates: self.metrics.updates.get(),
+            patched_in_place: self.metrics.patched_in_place.get(),
+            deferred_to_delta: self.metrics.deferred_to_delta.get(),
+            refreshes: self.metrics.refreshes.get(),
+            splice: self.metrics.splice.stats(),
+            corrected_multiplies: self.metrics.corrected_multiplies.get(),
+            exact_multiplies: self.metrics.exact_multiplies.get(),
+            restores: self.metrics.restores.get(),
+            adaptive_budget_nnz: self.metrics.adaptive_budget_nnz.get(),
+        }
+    }
+
+    /// The metrics registry and tracer behind this matrix
+    /// (`stream.*` counters, `stream.multiply.seconds` /
+    /// `stream.refresh.seconds` histograms, refresh trace spans).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// `true` once the pending delta exceeds the staleness budget (the
@@ -281,7 +353,7 @@ impl DynamicMatrix {
             });
         }
         let additive = update.additive(self.base.get(row, col) + self.delta.get(row, col));
-        self.stats.updates += 1;
+        self.metrics.updates.inc();
         if additive == 0.0 {
             return Ok(self.needs_refresh());
         }
@@ -295,11 +367,11 @@ impl DynamicMatrix {
                 .get_mut(row, col)
                 .expect("patchable checked the entry exists") += additive;
             self.persist_dirty = true;
-            self.stats.patched_in_place += 1;
+            self.metrics.patched_in_place.inc();
         } else {
             self.delta.add(row, col, additive)?;
             self.delta_csr = None;
-            self.stats.deferred_to_delta += 1;
+            self.metrics.deferred_to_delta.inc();
         }
         Ok(self.needs_refresh())
     }
@@ -329,25 +401,29 @@ impl DynamicMatrix {
         }
         let corrected = !self.delta.is_empty();
         if corrected {
-            self.stats.corrected_multiplies += 1;
+            self.metrics.corrected_multiplies.inc();
         } else {
-            self.stats.exact_multiplies += 1;
+            self.metrics.exact_multiplies.inc();
         }
+        let sw = Stopwatch::start();
         let mut cur = x.clone();
         let mut correction_secs = 0.0f64;
         for _ in 0..iters {
             let mut y = self.decomposition.multiply(&cur)?;
             if corrected {
-                let t0 = Instant::now();
+                let csw = Stopwatch::start();
                 let dy = spmm::spmm(self.delta_csr(), &cur)?;
                 y.add_assign(&dy)?;
-                correction_secs += t0.elapsed().as_secs_f64();
+                correction_secs += csw.elapsed_seconds();
             }
             if let Some(f) = sigma {
                 y.map_inplace(f);
             }
             cur = y;
         }
+        self.metrics
+            .multiply_seconds
+            .record_seconds(sw.elapsed_seconds());
         // Fold the measured per-entry correction overhead into the EWMA
         // — the adaptive budget's signal (the kernel level has no cost
         // model to predict it from).
@@ -378,7 +454,8 @@ impl DynamicMatrix {
         }
         let merged = self.merged()?;
         let touched = self.delta.touched_vertices();
-        let t0 = Instant::now();
+        let span = self.telemetry.tracer.start("refresh", SpanId::NONE, None);
+        let sw = Stopwatch::start();
         let (d, outcome) = decompose_snapshot_incremental(
             &merged,
             &self.config.decompose,
@@ -387,15 +464,24 @@ impl DynamicMatrix {
             Some(&touched),
             &self.config.incremental,
         )?;
-        let refresh_seconds = t0.elapsed().as_secs_f64();
-        self.stats.splice.record(&outcome);
+        let refresh_seconds = sw.elapsed_seconds();
+        self.metrics.refresh_seconds.record_seconds(refresh_seconds);
+        self.telemetry.tracer.end_with(
+            span,
+            if outcome.incremental {
+                format!("incremental affected={}", outcome.affected_vertices)
+            } else {
+                "cold fallback".to_string()
+            },
+        );
+        self.metrics.splice.record(&outcome);
         self.decomposition = d;
         self.base = merged;
         self.delta.clear();
         self.delta_csr = None;
         self.version += 1;
         self.persist_dirty = true;
-        self.stats.refreshes += 1;
+        self.metrics.refreshes.inc();
         // Adaptive retune: measured refresh seconds vs the measured
         // per-entry corrected-multiply EWMA. Cheap (incremental)
         // refreshes tighten the budget; expensive cold rebuilds (or an
@@ -406,7 +492,7 @@ impl DynamicMatrix {
                 refresh_seconds,
                 self.corrected_entry_ewma,
             );
-            self.stats.adaptive_budget_nnz = nnz as u64;
+            self.metrics.adaptive_budget_nnz.set(nnz as u64);
         }
         self.persist_now()?;
         Ok(true)
@@ -436,7 +522,7 @@ impl DynamicMatrix {
         self.version = record.version;
         self.persisted_fp = record.fingerprint;
         self.persist_dirty = false;
-        self.stats.restores += 1;
+        self.metrics.restores.inc();
         Ok(true)
     }
 

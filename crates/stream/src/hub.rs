@@ -59,17 +59,18 @@
 //! and re-checked at commit.
 
 use crate::budget::{AdaptiveBudget, StalenessBudget};
-use crate::splice::SpliceStats;
+use crate::splice::{SpliceCounters, SpliceStats};
 use crate::update::Update;
 use crate::worker::{RefreshJob, RefreshWorker};
 use amd_engine::{
     CacheStats, Engine, EngineConfig, EngineStats, MatrixId, MultiplyQuery, QueryId, QueryResponse,
 };
+use amd_obs::{Counter, Histogram, Registry, SpanId, Stopwatch, Telemetry};
 use amd_sparse::{ops, CsrMatrix, DeltaBuilder, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Handle to a tenant admitted to a [`StreamHub`]. Stable across
 /// refreshes (unlike the engine's [`MatrixId`], which changes whenever
@@ -202,6 +203,10 @@ impl HubConfig {
 }
 
 /// Per-tenant counters (see [`HubStats`] for the hub-wide sums).
+///
+/// A point-in-time view folded from the tenant's registry counters
+/// (`hub.tenant.<id>.*` in a metrics snapshot) plus the tenant's
+/// refresh state — see [`StreamHub::tenant_stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Updates accepted (including no-op updates).
@@ -240,7 +245,11 @@ pub struct TenantStats {
 }
 
 /// Hub-wide counters. Each counter is the sum of the corresponding
-/// [`TenantStats`] counter over all tenants.
+/// [`TenantStats`] counter over all tenants (including tenants since
+/// evicted — their contributions stay in the hub totals).
+///
+/// A point-in-time view folded from the hub's registry counters
+/// (`hub.*` in a metrics snapshot) — see [`StreamHub::stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HubStats {
     /// Updates accepted across all tenants.
@@ -273,6 +282,76 @@ pub struct HubStats {
     pub idle_evictions: u64,
 }
 
+/// Registry handles behind [`HubStats`] plus the hub's refresh-phase
+/// latency histograms — the counters are the single source of truth;
+/// the stats struct is a fold over them.
+struct HubMetrics {
+    updates: Counter,
+    queries: Counter,
+    refreshes_started: Counter,
+    refreshes_completed: Counter,
+    refresh_failures: Counter,
+    early_rebinds: Counter,
+    suppressed_triggers: Counter,
+    evictions: Counter,
+    idle_evictions: Counter,
+    splice: SpliceCounters,
+    /// Worker-measured decompose seconds of committed refreshes
+    /// (excluding the test-hook delay) — the same single measurement
+    /// that feeds the adaptive budget.
+    decompose_seconds: Histogram,
+    extract_seconds: Histogram,
+    splice_seconds: Histogram,
+}
+
+impl HubMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            updates: registry.counter("hub.updates"),
+            queries: registry.counter("hub.queries"),
+            refreshes_started: registry.counter("hub.refreshes_started"),
+            refreshes_completed: registry.counter("hub.refreshes_completed"),
+            refresh_failures: registry.counter("hub.refresh_failures"),
+            early_rebinds: registry.counter("hub.early_rebinds"),
+            suppressed_triggers: registry.counter("hub.suppressed_triggers"),
+            evictions: registry.counter("hub.evictions"),
+            idle_evictions: registry.counter("hub.idle_evictions"),
+            splice: SpliceCounters::new(registry, "hub."),
+            decompose_seconds: registry.histogram("refresh.decompose.seconds"),
+            extract_seconds: registry.histogram("refresh.extract.seconds"),
+            splice_seconds: registry.histogram("refresh.splice.seconds"),
+        }
+    }
+}
+
+/// Registry handles behind one tenant's [`TenantStats`] counters,
+/// named `hub.tenant.<id>.*`; removed from the registry when the
+/// tenant is evicted (the hub-wide sums keep its contributions).
+struct TenantMetrics {
+    updates: Counter,
+    queries: Counter,
+    refreshes: Counter,
+    early_rebinds: Counter,
+    suppressed_triggers: Counter,
+    refresh_failures: Counter,
+    splice: SpliceCounters,
+}
+
+impl TenantMetrics {
+    fn new(registry: &Registry, id: TenantId) -> Self {
+        let prefix = format!("hub.tenant.{}.", id.0);
+        Self {
+            updates: registry.counter(&format!("{prefix}updates")),
+            queries: registry.counter(&format!("{prefix}queries")),
+            refreshes: registry.counter(&format!("{prefix}refreshes")),
+            early_rebinds: registry.counter(&format!("{prefix}early_rebinds")),
+            suppressed_triggers: registry.counter(&format!("{prefix}suppressed_triggers")),
+            refresh_failures: registry.counter(&format!("{prefix}refresh_failures")),
+            splice: SpliceCounters::new(registry, &prefix),
+        }
+    }
+}
+
 /// A background rebuild in flight for one tenant.
 struct InFlight {
     /// The delta snapshot compacted into the rebuild (`merged = base +
@@ -301,7 +380,20 @@ struct Tenant {
     /// Hub poll points since this tenant's last update or query — the
     /// idle-eviction clock.
     idle_polls: u64,
-    stats: TenantStats,
+    metrics: TenantMetrics,
+    /// A background rebuild is in flight right now.
+    refreshing: bool,
+    /// Waiting in the FIFO refresh queue.
+    queued: bool,
+    /// Hub-wide slot of the latest refresh grant (see
+    /// [`TenantStats::last_granted_slot`]).
+    last_granted_slot: u64,
+    /// Current adaptively derived budget (see
+    /// [`TenantStats::adaptive_budget_nnz`]).
+    adaptive_budget_nnz: u64,
+    /// Root span of the refresh lifecycle in progress (trip → grant →
+    /// decompose → commit); [`SpanId::NONE`] when none is pending.
+    refresh_span: SpanId,
 }
 
 impl Tenant {
@@ -329,7 +421,25 @@ impl Tenant {
     }
 
     fn refresh_pending(&self) -> bool {
-        self.stats.queued || self.inflight.is_some()
+        self.queued || self.inflight.is_some()
+    }
+
+    /// The tenant's counters and refresh state as a [`TenantStats`]
+    /// view.
+    fn stats_view(&self) -> TenantStats {
+        TenantStats {
+            updates: self.metrics.updates.get(),
+            queries: self.metrics.queries.get(),
+            refreshes: self.metrics.refreshes.get(),
+            early_rebinds: self.metrics.early_rebinds.get(),
+            suppressed_triggers: self.metrics.suppressed_triggers.get(),
+            refresh_failures: self.metrics.refresh_failures.get(),
+            refreshing: self.refreshing,
+            queued: self.queued,
+            last_granted_slot: self.last_granted_slot,
+            splice: self.metrics.splice.stats(),
+            adaptive_budget_nnz: self.adaptive_budget_nnz,
+        }
     }
 }
 
@@ -348,17 +458,34 @@ pub struct StreamHub {
     /// Final stats of tenants evicted by the idle policy, in eviction
     /// order (explicit [`evict`](Self::evict) returns them instead).
     retired: Vec<(TenantId, TenantStats)>,
-    stats: HubStats,
+    metrics: HubMetrics,
 }
 
 impl StreamHub {
     /// Stands up the engine (and, with `async_refresh`, the worker
-    /// pool). No tenants yet — [`admit`](Self::admit) them.
+    /// pool). No tenants yet — [`admit`](Self::admit) them. Telemetry
+    /// is enabled with a fresh registry and tracer — use
+    /// [`with_telemetry`](Self::with_telemetry) to share or disable it.
     pub fn new(config: HubConfig) -> SparseResult<Self> {
-        let engine = Engine::new(config.engine.clone())?;
-        let worker = config
-            .async_refresh
-            .then(|| RefreshWorker::spawn(config.fairness.max_inflight));
+        Self::with_telemetry(config, Telemetry::new())
+    }
+
+    /// [`new`](Self::new) observing into caller-supplied telemetry:
+    /// hub, engine, cache, and catalog counters all register there, and
+    /// the refresh lifecycle is traced into its tracer. With
+    /// [`Telemetry::disabled`] the hub runs uninstrumented — counters
+    /// are no-ops, so [`stats`](Self::stats) and the per-tenant views
+    /// (including `last_granted_slot`, which is derived from a
+    /// counter) read zero.
+    pub fn with_telemetry(config: HubConfig, telemetry: Telemetry) -> SparseResult<Self> {
+        let engine = Engine::with_telemetry(config.engine.clone(), telemetry)?;
+        let worker = config.async_refresh.then(|| {
+            RefreshWorker::spawn(
+                config.fairness.max_inflight,
+                engine.telemetry().tracer.clone(),
+            )
+        });
+        let metrics = HubMetrics::new(&engine.telemetry().registry);
         Ok(Self {
             engine,
             config,
@@ -369,8 +496,14 @@ impl StreamHub {
             inflight: 0,
             next_tenant: 1,
             retired: Vec::new(),
-            stats: HubStats::default(),
+            metrics,
         })
+    }
+
+    /// The hub's telemetry (shared with the wrapped engine): metrics
+    /// registry plus the trace ring holding refresh lifecycle spans.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.engine.telemetry()
     }
 
     /// Admits a mutating matrix under the hub's default budget. One cold
@@ -398,6 +531,7 @@ impl StreamHub {
         let matrix = self.engine.register_salted(&a, id.0 as u128)?;
         self.next_tenant += 1;
         let n = a.rows();
+        let metrics = TenantMetrics::new(&self.engine.telemetry().registry, id);
         self.tenants.insert(
             id.0,
             Tenant {
@@ -409,7 +543,12 @@ impl StreamHub {
                 inflight: None,
                 rerank_mark: 0,
                 idle_polls: 0,
-                stats: TenantStats::default(),
+                metrics,
+                refreshing: false,
+                queued: false,
+                last_granted_slot: 0,
+                adaptive_budget_nnz: 0,
+                refresh_span: SpanId::NONE,
             },
         );
         self.order.push(id);
@@ -463,18 +602,18 @@ impl StreamHub {
                 t.delta.add(row, col, additive)?;
                 t.overlay_dirty = true;
             }
-            t.stats.updates += 1;
+            t.metrics.updates.inc();
             (t.needs_refresh(), t.refresh_pending())
         };
-        self.stats.updates += 1;
+        self.metrics.updates.inc();
         if needs {
             if pending {
                 // Satellite guard: a refresh is already queued or in
                 // flight — count the trip, don't double-trigger. The
                 // residual budget is re-checked when the swap commits.
                 let t = self.tenant_mut(tenant)?;
-                t.stats.suppressed_triggers += 1;
-                self.stats.suppressed_triggers += 1;
+                t.metrics.suppressed_triggers.inc();
+                self.metrics.suppressed_triggers.inc();
             } else if self.config.auto_refresh {
                 self.request_refresh(tenant)?;
             }
@@ -484,8 +623,8 @@ impl StreamHub {
         // the corrected path is predicted slower than a rebind would be.
         if !pending && self.rerank_wants_rebind(tenant)? {
             let t = self.tenant_mut(tenant)?;
-            t.stats.early_rebinds += 1;
-            self.stats.early_rebinds += 1;
+            t.metrics.early_rebinds.inc();
+            self.metrics.early_rebinds.inc();
             if self.config.auto_refresh {
                 self.request_refresh(tenant)?;
             }
@@ -553,13 +692,17 @@ impl StreamHub {
 
     fn request_refresh(&mut self, tenant: TenantId) -> SparseResult<bool> {
         let background = self.worker.is_some();
+        let tracer = self.engine.telemetry().tracer.clone();
         {
             let t = self.tenant_mut(tenant)?;
             if t.refresh_pending() || t.delta.is_empty() {
                 return Ok(false);
             }
+            // Root span of the refresh lifecycle: opened at the trip,
+            // closed at commit (or failure, or eviction drain).
+            t.refresh_span = tracer.start("refresh", SpanId::NONE, Some(tenant.0));
             if background {
-                t.stats.queued = true;
+                t.queued = true;
             }
         }
         if background {
@@ -604,12 +747,14 @@ impl StreamHub {
         } else {
             0.0
         };
-        let t0 = Instant::now();
+        let tracer = self.engine.telemetry().tracer.clone();
+        let sw = Stopwatch::start();
         let (new_id, outcome) = self.engine.refresh_localized(old, &merged, &touched)?;
-        let refresh_seconds = t0.elapsed().as_secs_f64();
-        self.stats.refreshes_started += 1;
-        self.stats.refreshes_completed += 1;
-        let slot = self.stats.refreshes_started;
+        let refresh_seconds = sw.elapsed_seconds();
+        self.metrics.refreshes_started.inc();
+        self.metrics.refreshes_completed.inc();
+        self.record_refresh_phases(&outcome);
+        let slot = self.metrics.refreshes_started.get();
         let adaptive = self.config.adaptive;
         let t = self
             .tenants
@@ -621,20 +766,50 @@ impl StreamHub {
         // The old binding carried the overlay away with it; the fresh
         // binding serves the compacted base directly.
         t.overlay_dirty = false;
-        t.stats.refreshes += 1;
-        t.stats.last_granted_slot = slot;
+        t.metrics.refreshes.inc();
+        t.last_granted_slot = slot;
         t.rerank_mark = 0;
-        t.stats.splice.record(&outcome);
-        self.stats.splice.record(&outcome);
+        t.metrics.splice.record(&outcome);
+        self.metrics.splice.record(&outcome);
+        let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
+        tracer.event(
+            if outcome.incremental {
+                "splice"
+            } else {
+                "fallback"
+            },
+            span,
+            Some(tenant.0),
+            format!(
+                "affected={} total={}",
+                outcome.affected_vertices, outcome.total_vertices
+            ),
+        );
+        tracer.end_with(span, format!("sync committed in {refresh_seconds:.3e}s"));
         if let Some(policy) = adaptive {
             let nnz = policy.retune(&mut t.budget, refresh_seconds, per_entry_seconds);
-            t.stats.adaptive_budget_nnz = nnz as u64;
+            t.adaptive_budget_nnz = nnz as u64;
         }
         Ok(())
     }
 
+    /// Records a committed refresh's phase timings into the hub's
+    /// latency histograms (one sample per phase per refresh).
+    fn record_refresh_phases(&self, outcome: &arrow_core::incremental::RefreshOutcome) {
+        self.metrics
+            .extract_seconds
+            .record_seconds(outcome.timings.extract_seconds);
+        self.metrics
+            .decompose_seconds
+            .record_seconds(outcome.timings.decompose_seconds);
+        self.metrics
+            .splice_seconds
+            .record_seconds(outcome.timings.splice_seconds);
+    }
+
     /// Launches queued rebuilds while the shared budget has room.
     fn launch_ready(&mut self) -> SparseResult<()> {
+        let tracer = self.engine.telemetry().tracer.clone();
         while self.inflight < self.config.fairness.max_inflight.max(1) {
             let Some(tenant) = self.queue.pop_front() else {
                 return Ok(());
@@ -642,9 +817,11 @@ impl StreamHub {
             let delay = self.config.decompose_delay;
             let old = {
                 let t = self.tenant_mut(tenant)?;
-                t.stats.queued = false;
+                t.queued = false;
                 // Drained meanwhile (e.g. by a manual sync refresh).
                 if t.delta.is_empty() {
+                    let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
+                    tracer.end_with(span, "drained before launch".to_string());
                     continue;
                 }
                 t.matrix
@@ -665,9 +842,9 @@ impl StreamHub {
             let ticket = self
                 .engine
                 .prepare_refresh_localized(old, &merged, touched)?;
-            self.stats.refreshes_started += 1;
-            let slot = self.stats.refreshes_started;
-            {
+            self.metrics.refreshes_started.inc();
+            let slot = self.metrics.refreshes_started.get();
+            let span = {
                 let t = self.tenant_mut(tenant)?;
                 let n = t.base.rows();
                 let captured = std::mem::replace(&mut t.delta, DeltaBuilder::new(n, n));
@@ -675,13 +852,22 @@ impl StreamHub {
                     captured,
                     per_entry_seconds,
                 });
-                t.stats.refreshing = true;
-                t.stats.last_granted_slot = slot;
+                t.refreshing = true;
+                t.last_granted_slot = slot;
                 t.rerank_mark = 0;
                 // Serving switches to the captured overlay (the live
                 // delta just emptied); resync before the next run.
                 t.overlay_dirty = true;
-            }
+                tracer.event(
+                    "grant",
+                    t.refresh_span,
+                    Some(tenant.0),
+                    format!("slot={slot}"),
+                );
+                // The decompose span travels with the job; the worker
+                // thread closes it when the decompose finishes.
+                tracer.start("decompose", t.refresh_span, Some(tenant.0))
+            };
             self.inflight += 1;
             self.worker
                 .as_ref()
@@ -691,6 +877,7 @@ impl StreamHub {
                     merged,
                     ticket,
                     delay,
+                    span,
                 });
         }
         Ok(())
@@ -732,7 +919,7 @@ impl StreamHub {
             t.idle_polls += 1;
             if t.idle_polls > max
                 && t.inflight.is_none()
-                && !t.stats.queued
+                && !t.queued
                 && t.delta.is_empty()
                 && self.engine.pending_for(t.matrix) == 0
             {
@@ -742,7 +929,7 @@ impl StreamHub {
         victims.sort();
         for v in victims {
             let stats = self.evict_now(v)?;
-            self.stats.idle_evictions += 1;
+            self.metrics.idle_evictions.inc();
             self.retired.push((v, stats));
         }
         Ok(())
@@ -770,10 +957,14 @@ impl StreamHub {
                 if pending == 1 { "y" } else { "ies" }
             )));
         }
+        let tracer = self.engine.telemetry().tracer.clone();
         // Give back a queued (not yet launched) grant.
         if let Some(pos) = self.queue.iter().position(|&t| t == tenant) {
             self.queue.remove(pos);
-            self.tenant_mut(tenant)?.stats.queued = false;
+            let t = self.tenant_mut(tenant)?;
+            t.queued = false;
+            let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
+            tracer.end_with(span, "evicted while queued".to_string());
         }
         // Drain an in-flight rebuild: wait for the worker, discard the
         // result (the binding it would swap is being torn down), and
@@ -787,7 +978,10 @@ impl StreamHub {
                 self.inflight = self.inflight.saturating_sub(1);
                 let t = self.tenant_mut(tenant)?;
                 t.inflight = None;
-                t.stats.refreshing = false;
+                t.refreshing = false;
+                let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
+                tracer.event("evict-drain", span, Some(tenant.0), String::new());
+                tracer.end_with(span, "grant drained by eviction".to_string());
             } else {
                 self.commit(done)?;
             }
@@ -816,8 +1010,16 @@ impl StreamHub {
             .remove(&tenant.0)
             .expect("tenant validated above");
         self.order.retain(|&x| x != tenant);
-        self.stats.evictions += 1;
-        Ok(t.stats)
+        self.metrics.evictions.inc();
+        let stats = t.stats_view();
+        // The tenant's metric names leave the registry with it; the
+        // hub-wide sums keep its contributions. (The handles in
+        // `stats` above already folded their final values.)
+        self.engine
+            .telemetry()
+            .registry
+            .remove_prefix(&format!("hub.tenant.{}.", tenant.0));
+        Ok(stats)
     }
 
     /// Final stats of tenants the idle policy evicted, in eviction
@@ -875,6 +1077,7 @@ impl StreamHub {
     fn commit(&mut self, done: crate::worker::RefreshDone) -> SparseResult<bool> {
         self.inflight = self.inflight.saturating_sub(1);
         let tenant = done.tenant;
+        let tracer = self.engine.telemetry().tracer.clone();
         let swapped = match done.result {
             Ok(d) => self
                 .engine
@@ -890,6 +1093,11 @@ impl StreamHub {
         match swapped {
             Some(new_id) => {
                 let adaptive = self.config.adaptive;
+                if let Some(outcome) = &done.outcome {
+                    self.metrics.splice.record(outcome);
+                    self.record_refresh_phases(outcome);
+                }
+                self.metrics.refreshes_completed.inc();
                 let t = self
                     .tenants
                     .get_mut(&tenant.0)
@@ -897,21 +1105,37 @@ impl StreamHub {
                 t.matrix = new_id;
                 t.base = done.merged;
                 let finished = t.inflight.take();
-                t.stats.refreshing = false;
-                t.stats.refreshes += 1;
+                t.refreshing = false;
+                t.metrics.refreshes.inc();
                 t.rerank_mark = 0;
                 // Splice: the updates that arrived during the rebuild are
                 // exactly the live delta; they become the new overlay.
                 t.overlay_dirty = true;
-                self.stats.refreshes_completed += 1;
                 if let Some(outcome) = &done.outcome {
-                    t.stats.splice.record(outcome);
-                    self.stats.splice.record(outcome);
+                    t.metrics.splice.record(outcome);
+                    tracer.event(
+                        if outcome.incremental {
+                            "splice"
+                        } else {
+                            "fallback"
+                        },
+                        t.refresh_span,
+                        Some(tenant.0),
+                        format!(
+                            "affected={} total={}",
+                            outcome.affected_vertices, outcome.total_vertices
+                        ),
+                    );
                 }
+                let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
+                tracer.end_with(
+                    span,
+                    format!("committed, decompose took {:.3e}s", done.decompose_seconds),
+                );
                 if let (Some(policy), Some(f)) = (adaptive, finished) {
                     let nnz =
                         policy.retune(&mut t.budget, done.decompose_seconds, f.per_entry_seconds);
-                    t.stats.adaptive_budget_nnz = nnz as u64;
+                    t.adaptive_budget_nnz = nnz as u64;
                 }
                 // The budget may have tripped again mid-rebuild; honour
                 // it now that the slot is free.
@@ -933,11 +1157,13 @@ impl StreamHub {
                         t.delta.add(r, c, v)?;
                     }
                 }
-                t.stats.refreshing = false;
-                t.stats.refresh_failures += 1;
+                t.refreshing = false;
+                t.metrics.refresh_failures.inc();
                 t.rerank_mark = 0;
                 t.overlay_dirty = true;
-                self.stats.refresh_failures += 1;
+                let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
+                tracer.end_with(span, "failed, captured delta restored".to_string());
+                self.metrics.refresh_failures.inc();
                 Ok(false)
             }
         }
@@ -976,8 +1202,8 @@ impl StreamHub {
             iters,
             sigma,
         })?;
-        self.tenant_mut(tenant)?.stats.queries += 1;
-        self.stats.queries += 1;
+        self.tenant(tenant)?.metrics.queries.inc();
+        self.metrics.queries.inc();
         Ok(id)
     }
 
@@ -1024,8 +1250,8 @@ impl StreamHub {
         self.poll()?;
         self.sync_overlay(tenant)?;
         let matrix = self.tenant(tenant)?.matrix;
-        self.tenant_mut(tenant)?.stats.queries += 1;
-        self.stats.queries += 1;
+        self.tenant(tenant)?.metrics.queries.inc();
+        self.metrics.queries.inc();
         self.engine.run_single(MultiplyQuery {
             matrix,
             x,
@@ -1108,23 +1334,36 @@ impl StreamHub {
             .expect("a tenant's matrix is always bound"))
     }
 
-    /// Per-tenant counters.
-    pub fn tenant_stats(&self, tenant: TenantId) -> SparseResult<&TenantStats> {
-        Ok(&self.tenant(tenant)?.stats)
+    /// Per-tenant counters, folded from the registry (plus the
+    /// tenant's live refresh state).
+    pub fn tenant_stats(&self, tenant: TenantId) -> SparseResult<TenantStats> {
+        Ok(self.tenant(tenant)?.stats_view())
     }
 
-    /// Hub-wide counters (sums of the per-tenant ones).
-    pub fn stats(&self) -> &HubStats {
-        &self.stats
+    /// Hub-wide counters (sums of the per-tenant ones), folded from
+    /// the registry.
+    pub fn stats(&self) -> HubStats {
+        HubStats {
+            updates: self.metrics.updates.get(),
+            queries: self.metrics.queries.get(),
+            refreshes_started: self.metrics.refreshes_started.get(),
+            refreshes_completed: self.metrics.refreshes_completed.get(),
+            refresh_failures: self.metrics.refresh_failures.get(),
+            early_rebinds: self.metrics.early_rebinds.get(),
+            suppressed_triggers: self.metrics.suppressed_triggers.get(),
+            splice: self.metrics.splice.stats(),
+            evictions: self.metrics.evictions.get(),
+            idle_evictions: self.metrics.idle_evictions.get(),
+        }
     }
 
     /// The wrapped engine's serving counters.
-    pub fn engine_stats(&self) -> &EngineStats {
+    pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
     }
 
     /// The wrapped engine's decomposition-cache counters.
-    pub fn cache_stats(&self) -> &CacheStats {
+    pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
     }
 
@@ -1221,7 +1460,7 @@ impl Session<'_> {
     }
 
     /// See [`StreamHub::tenant_stats`].
-    pub fn stats(&self) -> &TenantStats {
+    pub fn stats(&self) -> TenantStats {
         self.hub
             .tenant_stats(self.tenant)
             .expect("session tenant is admitted")

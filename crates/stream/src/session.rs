@@ -121,13 +121,13 @@ impl StreamingEngine {
     }
 
     /// The wrapped engine's serving counters.
-    pub fn engine_stats(&self) -> &EngineStats {
+    pub fn engine_stats(&self) -> EngineStats {
         self.hub.engine_stats()
     }
 
     /// The wrapped engine's decomposition-cache counters (the
     /// cold-decompose probe).
-    pub fn cache_stats(&self) -> &CacheStats {
+    pub fn cache_stats(&self) -> CacheStats {
         self.hub.cache_stats()
     }
 

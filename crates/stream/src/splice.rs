@@ -8,6 +8,7 @@
 //! [`DynamicMatrix`]: crate::DynamicMatrix
 //! [`StreamHub`]: crate::StreamHub
 
+use amd_obs::{Counter, Registry};
 use arrow_core::incremental::RefreshOutcome;
 
 /// Counters of the delta-localized refresh path.
@@ -51,6 +52,56 @@ impl SpliceStats {
     }
 }
 
+/// Registry-backed splice counters: the metric handles behind a
+/// [`SpliceStats`] view. Recording goes through
+/// [`SpliceStats::record`] — the one fold definition — and the deltas
+/// land in the registry, so the serving layers publish their
+/// incremental-vs-fallback split without keeping a second set of books.
+#[derive(Clone)]
+pub struct SpliceCounters {
+    incremental_refreshes: Counter,
+    fallback_refreshes: Counter,
+    reused_vertices: Counter,
+    refresh_total_vertices: Counter,
+}
+
+impl SpliceCounters {
+    /// Handles named `<prefix>splice.*` in `registry` (e.g. prefix
+    /// `"hub."` publishes `hub.splice.incremental_refreshes`, …).
+    pub fn new(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            incremental_refreshes: registry
+                .counter(&format!("{prefix}splice.incremental_refreshes")),
+            fallback_refreshes: registry.counter(&format!("{prefix}splice.fallback_refreshes")),
+            reused_vertices: registry.counter(&format!("{prefix}splice.reused_vertices")),
+            refresh_total_vertices: registry
+                .counter(&format!("{prefix}splice.refresh_total_vertices")),
+        }
+    }
+
+    /// Folds one refresh outcome into the counters (same fold as
+    /// [`SpliceStats::record`]).
+    pub fn record(&self, outcome: &RefreshOutcome) {
+        let mut delta = SpliceStats::default();
+        delta.record(outcome);
+        self.incremental_refreshes.add(delta.incremental_refreshes);
+        self.fallback_refreshes.add(delta.fallback_refreshes);
+        self.reused_vertices.add(delta.reused_vertices);
+        self.refresh_total_vertices
+            .add(delta.refresh_total_vertices);
+    }
+
+    /// The counters as a [`SpliceStats`] view.
+    pub fn stats(&self) -> SpliceStats {
+        SpliceStats {
+            incremental_refreshes: self.incremental_refreshes.get(),
+            fallback_refreshes: self.fallback_refreshes.get(),
+            reused_vertices: self.reused_vertices.get(),
+            refresh_total_vertices: self.refresh_total_vertices.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +113,7 @@ mod tests {
             affected_vertices: affected,
             total_vertices: total,
             order: 1,
+            timings: Default::default(),
         }
     }
 

@@ -25,12 +25,13 @@
 
 use crate::hub::TenantId;
 use amd_engine::RefreshTicket;
+use amd_obs::{SpanId, Stopwatch, Tracer};
 use amd_sparse::{CsrMatrix, SparseResult};
 use arrow_core::incremental::{decompose_snapshot_incremental, RefreshOutcome};
 use arrow_core::ArrowDecomposition;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One decompose job: everything a worker needs, nothing borrowed.
 pub(crate) struct RefreshJob {
@@ -42,6 +43,9 @@ pub(crate) struct RefreshJob {
     /// Test/bench hook: sleep before decomposing (simulates a slow
     /// LA-Decompose so serving-during-rebuild can be asserted).
     pub delay: Option<Duration>,
+    /// The hub-opened "decompose" trace span; the worker thread closes
+    /// it when the decompose finishes.
+    pub span: SpanId,
 }
 
 /// A finished job: the snapshot and ticket ride along so the hub can
@@ -67,20 +71,26 @@ pub(crate) struct RefreshWorker {
 }
 
 impl RefreshWorker {
-    /// Spawns `threads` decompose workers (at least one).
-    pub fn spawn(threads: usize) -> Self {
+    /// Spawns `threads` decompose workers (at least one). Each closes
+    /// the hub-opened "decompose" span of the jobs it runs via
+    /// `tracer`, so the refresh span tree records the off-thread work.
+    pub fn spawn(threads: usize, tracer: Tracer) -> Self {
         let (jobs_tx, jobs_rx) = unbounded::<RefreshJob>();
         let (done_tx, done_rx) = unbounded::<RefreshDone>();
         let threads = (0..threads.max(1))
             .map(|_| {
                 let rx = jobs_rx.clone();
                 let tx = done_tx.clone();
+                let tracer = tracer.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         if let Some(delay) = job.delay {
                             std::thread::sleep(delay);
                         }
-                        let t0 = Instant::now();
+                        // The single decompose measurement: both the
+                        // adaptive budget and the latency histograms
+                        // read this value off RefreshDone.
+                        let sw = Stopwatch::start();
                         let (result, outcome) = match decompose_snapshot_incremental(
                             &job.merged,
                             &job.ticket.config,
@@ -92,7 +102,17 @@ impl RefreshWorker {
                             Ok((d, o)) => (Ok(d), Some(o)),
                             Err(e) => (Err(e), None),
                         };
-                        let decompose_seconds = t0.elapsed().as_secs_f64();
+                        let decompose_seconds = sw.elapsed_seconds();
+                        tracer.end_with(
+                            job.span,
+                            match &outcome {
+                                Some(o) if o.incremental => {
+                                    format!("incremental affected={}", o.affected_vertices)
+                                }
+                                Some(_) => "cold fallback".to_string(),
+                                None => "decompose error".to_string(),
+                            },
+                        );
                         let _ = tx.send(RefreshDone {
                             tenant: job.tenant,
                             merged: job.merged,

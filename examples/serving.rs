@@ -27,7 +27,7 @@ fn drive(
     iters: u32,
     batch: usize,
 ) -> (f64, Vec<Vec<f64>>) {
-    let t0 = std::time::Instant::now();
+    let t0 = arrow_matrix::obs::Stopwatch::start();
     let mut answers = Vec::with_capacity(stream.len());
     if batch > 1 {
         for group in stream.chunks(batch) {
@@ -57,7 +57,7 @@ fn drive(
             answers.push(r.y);
         }
     }
-    (t0.elapsed().as_secs_f64(), answers)
+    (t0.elapsed_seconds(), answers)
 }
 
 fn main() {

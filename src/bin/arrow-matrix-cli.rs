@@ -6,8 +6,11 @@
 //! arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]
 //! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]
 //! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]
+//!                        [--metrics-json PATH]
 //! arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]
 //!                         [--tenants N] [--async-refresh] [--catalog DIR]
+//!                         [--metrics-json PATH]
+//! arrow-matrix-cli stats <metrics.json>
 //! arrow-matrix-cli catalog ls <dir>
 //! arrow-matrix-cli catalog gc <dir> <retain-last-k>
 //! arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>
@@ -35,6 +38,12 @@
 //! decomposition through to disk — a restarted server reloads instead
 //! of re-decomposing — and the `catalog` subcommand inspects (`ls`),
 //! prunes (`gc`), and point-in-time-restores (`restore`) the chains.
+//!
+//! Telemetry: `serve`/`stream` take `--metrics-json PATH` to dump the
+//! engine's metrics registry (counters, gauges, and latency
+//! histograms) as JSON — rewritten periodically while the run is in
+//! flight and once more on exit — and `stats` pretty-prints such a
+//! snapshot back.
 
 use arrow_matrix::core::catalog::RetainPolicy;
 use arrow_matrix::core::stats::DecompositionStats;
@@ -43,6 +52,7 @@ use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
 use arrow_matrix::graph::degree::DegreeStats;
 use arrow_matrix::graph::generators::datasets::DatasetKind;
 use arrow_matrix::graph::Graph;
+use arrow_matrix::obs::{parse_json, JsonValue, Stopwatch, Telemetry};
 use arrow_matrix::sparse::io::{read_matrix_market, write_matrix_market};
 use arrow_matrix::sparse::{bandwidth, CooMatrix, CsrMatrix, DenseMatrix};
 use arrow_matrix::spmm::{ArrowSpmm, DistSpmm};
@@ -62,6 +72,7 @@ fn main() -> ExitCode {
         Some("multiply") => cmd_multiply(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         _ => {
             eprintln!(
@@ -70,8 +81,11 @@ fn main() -> ExitCode {
                  arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]\n  \
                  arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]\n  \
                  arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]\n  \
+                 \u{20}                      [--metrics-json PATH]\n  \
                  arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]\n  \
                  \u{20}                       [--tenants N] [--async-refresh] [--catalog DIR]\n  \
+                 \u{20}                       [--metrics-json PATH]\n  \
+                 arrow-matrix-cli stats <metrics.json>\n  \
                  arrow-matrix-cli catalog ls <dir>\n  \
                  arrow-matrix-cli catalog gc <dir> <retain-last-k>\n  \
                  arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>\n\
@@ -105,6 +119,66 @@ fn load_matrix(path: &str) -> Result<CsrMatrix<f64>, String> {
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let coo = read_matrix_market(BufReader::new(file)).map_err(|e| e.to_string())?;
     Ok(coo.to_csr())
+}
+
+/// Dumps the registry behind `telemetry` as metrics JSON. Called at
+/// periodic checkpoints while `serve`/`stream` run and once more on
+/// exit, so the file always holds a consistent (if slightly stale)
+/// snapshot.
+fn write_metrics_json(path: &str, telemetry: &Telemetry) -> Result<(), String> {
+    std::fs::write(path, telemetry.registry.snapshot().to_json())
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("stats needs <metrics.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Some(members) = doc.members() else {
+        return Err(format!("{path}: metrics snapshot must be a JSON object"));
+    };
+    // Duration histograms record nanoseconds (the `.seconds` naming
+    // convention); everything else prints raw.
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    for (name, value) in members {
+        match value {
+            JsonValue::Num(_) => {
+                let v = value
+                    .as_u64()
+                    .map(|u| u.to_string())
+                    .unwrap_or_else(|| format!("{}", value.as_f64().unwrap_or(f64::NAN)));
+                println!("{name:<44} {v}");
+            }
+            JsonValue::Obj(_) => {
+                let field = |k: &str| value.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                if name.ends_with(".seconds") {
+                    println!(
+                        "{name:<44} count = {}, p50 = {:.3} ms, p90 = {:.3} ms, \
+                         p99 = {:.3} ms, max = {:.3} ms",
+                        field("count"),
+                        ms(field("p50")),
+                        ms(field("p90")),
+                        ms(field("p99")),
+                        ms(field("max")),
+                    );
+                } else {
+                    println!(
+                        "{name:<44} count = {}, p50 = {}, p90 = {}, p99 = {}, max = {}",
+                        field("count"),
+                        field("p50"),
+                        field("p90"),
+                        field("p99"),
+                        field("max"),
+                    );
+                }
+            }
+            JsonValue::Str(s) => println!("{name:<44} {s}"),
+            other => println!("{name:<44} {other:?}"),
+        }
+    }
+    Ok(())
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -170,14 +244,14 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
         .first()
         .map_or(Ok(42), |s| s.parse())
         .map_err(|e| format!("bad seed: {e}"))?;
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let d = la_decompose(
         &a,
         &DecomposeConfig::with_width(b),
         &mut RandomForestLa::new(seed),
     )
     .map_err(|e| e.to_string())?;
-    let elapsed = t0.elapsed();
+    let elapsed = t0.elapsed_seconds();
     let err = d.validate(&a).map_err(|e| e.to_string())?;
     if err != 0.0 {
         return Err(format!("reconstruction error {err} — refusing to save"));
@@ -188,11 +262,19 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     // them without reconstruction.
     Catalog::save_file(out, &d, a.fingerprint(), 0).map_err(|e| e.to_string())?;
     println!(
-        "decomposed {input} in {:.2?}: order = {}, b = {b}, per-level nnz = {:?}",
-        elapsed,
+        "decomposed {input} in {:.1} ms: order = {}, b = {b}, \
+         compaction factor = {:.2}, second-level nonzero rows = {:.2}% of n",
+        elapsed * 1e3,
         stats.order,
-        stats.levels.iter().map(|l| l.nnz).collect::<Vec<_>>()
+        stats.compaction_factor,
+        stats.second_level_row_fraction * 100.0,
     );
+    for l in &stats.levels {
+        println!(
+            "  level {}: nnz = {}, nonzero rows = {}, active n = {}, arrow tiles = {}",
+            l.level, l.nnz, l.nonzero_rows, l.active_n, l.nonzero_tiles
+        );
+    }
     println!("saved {out} (validated: exact reconstruction)");
     Ok(())
 }
@@ -246,6 +328,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut tenants_flag = 1usize;
     let mut async_refresh = false;
     let mut catalog_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_json: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -262,6 +345,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--catalog needs a directory")?;
                 catalog_dir = Some(std::path::PathBuf::from(v));
             }
+            "--metrics-json" => {
+                let v = it.next().ok_or("--metrics-json needs a path")?;
+                metrics_json = Some(v.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -271,7 +358,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
             "stream needs <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed] \
-             [--tenants N] [--async-refresh] [--catalog DIR]"
+             [--tenants N] [--async-refresh] [--catalog DIR] [--metrics-json PATH]"
                 .into(),
         );
     };
@@ -306,7 +393,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
 
     let n = a.rows();
     let base_nnz = a.nnz();
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let mut hub = StreamHub::new(HubConfig {
         engine: EngineConfig {
             arrow_width: b,
@@ -324,9 +411,9 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut truth: Vec<CsrMatrix<f64>> = vec![a.clone(); tenants_flag];
     println!(
-        "registered {input} × {tenants_flag} tenant(s) in {:.2?} (n = {n}, nnz = {base_nnz}, \
+        "registered {input} × {tenants_flag} tenant(s) in {:.1} ms (n = {n}, nnz = {base_nnz}, \
          staleness budget = {:.1}% of base nnz, refresh = {})",
-        t0.elapsed(),
+        t0.elapsed_seconds() * 1e3,
         budget_frac * 100.0,
         if async_refresh {
             "background"
@@ -361,6 +448,13 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let expected = queries * tenants_flag;
     let mut stream_secs = 0.0f64;
     for step in 0..updates.max(queries) {
+        // Periodic metrics checkpoint: a tailing `stats` sees the run
+        // progress without waiting for the final snapshot.
+        if let Some(path) = &metrics_json {
+            if step % 32 == 0 {
+                write_metrics_json(path, hub.telemetry())?;
+            }
+        }
         if step < updates {
             use rand::Rng;
             let tenant_idx = step % tenants_flag;
@@ -400,10 +494,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                 truth[tenant_idx] =
                     arrow_matrix::sparse::ops::apply_delta(&truth[tenant_idx], &patch.to_csr())
                         .map_err(|e| e.to_string())?;
-                let t0 = std::time::Instant::now();
+                let t0 = Stopwatch::start();
                 hub.update(ids[tenant_idx], part)
                     .map_err(|e| e.to_string())?;
-                stream_secs += t0.elapsed().as_secs_f64();
+                stream_secs += t0.elapsed_seconds();
                 if r == c {
                     break; // diagonal: the pair addresses one entry
                 }
@@ -413,7 +507,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             let x: Vec<f64> = (0..n)
                 .map(|r| (((step as u32 + 3 * r) % 11) as f64) - 5.0)
                 .collect();
-            let t0 = std::time::Instant::now();
+            let t0 = Stopwatch::start();
             // One query per tenant per query step; the flush answers the
             // whole hub (same-tenant queries coalesce into shared runs)
             // in submission order, i.e. tenant j answers at index j.
@@ -422,7 +516,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
             }
             let responses = hub.flush().map_err(|e| e.to_string())?;
-            stream_secs += t0.elapsed().as_secs_f64();
+            stream_secs += t0.elapsed_seconds();
             for (j, resp) in responses.iter().enumerate() {
                 let xm =
                     DenseMatrix::from_fn(n, 1, |r, _| (((step as u32 + 3 * r) % 11) as f64) - 5.0);
@@ -435,18 +529,18 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
     }
     // Settle in-flight background rebuilds before the final report.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     hub.wait_refreshes().map_err(|e| e.to_string())?;
-    stream_secs += t0.elapsed().as_secs_f64();
+    stream_secs += t0.elapsed_seconds();
     if max_abs_err > tolerance {
         return Err(format!(
             "corrected serving diverged from the rebuilt reference: \
              max |Δ| = {max_abs_err:.3e} (tolerance {tolerance:.0e})"
         ));
     }
-    let engine = hub.engine_stats().clone();
-    let cache = hub.cache_stats().clone();
-    let hstats = hub.stats().clone();
+    let engine = hub.engine_stats();
+    let cache = hub.cache_stats();
+    let hstats = hub.stats();
     println!(
         "stream  : {updates} updates + {expected} queries × 2 iters in {:.1} ms ({:.0} events/s)",
         stream_secs * 1e3,
@@ -486,6 +580,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         "planner : now bound {}",
         hub.chosen_algorithm(ids[0]).map_err(|e| e.to_string())?
     );
+    if let Some(path) = &metrics_json {
+        write_metrics_json(path, hub.telemetry())?;
+        println!("metrics : wrote {path}");
+    }
     Ok(())
 }
 
@@ -520,6 +618,31 @@ fn cmd_catalog(args: &[String]) -> Result<(), String> {
                     r.payload
                 );
             }
+            // Chain shape: roots start lineages, everything else extends
+            // one (parent edges within the catalog).
+            let fps: std::collections::HashSet<u128> =
+                catalog.records().iter().map(|r| r.fingerprint).collect();
+            let roots = catalog
+                .records()
+                .iter()
+                .filter(|r| r.parent == 0 || !fps.contains(&r.parent))
+                .count();
+            println!(
+                "totals : {} version(s) in {} chain(s), payload bytes = {}",
+                catalog.len(),
+                roots,
+                catalog.payload_bytes()
+            );
+            println!(
+                "io     : puts = {}, loads = {}, load failures = {}, gc-removed = {}, \
+                 imported = {}, recovered = {}",
+                stats.puts,
+                stats.loads,
+                stats.load_failures,
+                stats.removed,
+                stats.imported,
+                stats.recovered_records
+            );
             Ok(())
         }
         Some("gc") => {
@@ -534,8 +657,11 @@ fn cmd_catalog(args: &[String]) -> Result<(), String> {
                 .gc(&RetainPolicy::last(keep))
                 .map_err(|e| e.to_string())?;
             println!(
-                "gc {dir}: removed {} version(s), kept {} (newest {keep} per lineage)",
-                report.removed, report.kept
+                "gc {dir}: removed {} version(s), kept {} (newest {keep} per lineage), \
+                 remaining payload bytes = {}",
+                report.removed,
+                report.kept,
+                catalog.payload_bytes()
             );
             Ok(())
         }
@@ -571,6 +697,7 @@ fn cmd_catalog(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut catalog_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_json: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -578,6 +705,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--catalog" => {
                 let v = it.next().ok_or("--catalog needs a directory")?;
                 catalog_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--metrics-json" => {
+                let v = it.next().ok_or("--metrics-json needs a path")?;
+                metrics_json = Some(v.clone());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
@@ -587,7 +718,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
-            "serve needs <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]".into(),
+            "serve needs <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR] \
+             [--metrics-json PATH]"
+                .into(),
         );
     };
     let a = load_matrix(input)?;
@@ -621,13 +754,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let n = a.rows();
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let id = engine.register(&a).map_err(|e| e.to_string())?;
     println!(
-        "registered {input} in {:.2?} (n = {n}, nnz = {})",
-        t0.elapsed(),
+        "registered {input} in {:.1} ms (n = {n}, nnz = {})",
+        t0.elapsed_seconds() * 1e3,
         a.nnz()
     );
+    if let Some(path) = &metrics_json {
+        // First checkpoint: registration (decompose or disk load) done.
+        write_metrics_json(path, engine.telemetry())?;
+    }
     let cache = engine.cache_stats();
     println!(
         "cache   : decompositions = {}, disk loads = {}, spills = {}",
@@ -658,7 +795,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .collect();
 
     // Unbatched baseline: every query pays a full run.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     for x in &stream {
         engine
             .run_single(MultiplyQuery {
@@ -669,10 +806,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             })
             .map_err(|e| e.to_string())?;
     }
-    let single = t0.elapsed().as_secs_f64();
+    let single = t0.elapsed_seconds();
+    if let Some(path) = &metrics_json {
+        // Second checkpoint: the unbatched half of the run.
+        write_metrics_json(path, engine.telemetry())?;
+    }
 
     // Batched: the same stream through the coalescing queue.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     for x in &stream {
         engine
             .submit(MultiplyQuery {
@@ -684,7 +825,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     let responses = engine.flush().map_err(|e| e.to_string())?;
-    let batched = t0.elapsed().as_secs_f64();
+    let batched = t0.elapsed_seconds();
     assert_eq!(responses.len(), queries);
 
     println!(
@@ -697,5 +838,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queries as f64 / batched,
         single / batched
     );
+    if let Some(path) = &metrics_json {
+        write_metrics_json(path, engine.telemetry())?;
+        println!("metrics : wrote {path}");
+    }
     Ok(())
 }

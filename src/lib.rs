@@ -73,6 +73,7 @@ pub use amd_comm as comm;
 pub use amd_engine as engine;
 pub use amd_graph as graph;
 pub use amd_linarr as linarr;
+pub use amd_obs as obs;
 pub use amd_partition as partition;
 pub use amd_sparse as sparse;
 pub use amd_spmm as spmm;

@@ -244,10 +244,12 @@ fn catalog_ls_gc_restore_workflow() {
         .expect("ls header");
     assert!(versions >= 2, "stream must have chained versions: {text}");
     assert!(text.contains(" v1 "), "chain has a version 1: {text}");
-    // Restore version 0 from the head of the chain and multiply with it.
+    // Restore version 0 from the head of the chain and multiply with
+    // it. Record lines are the indented ones; the totals/io summary
+    // follows them.
     let head_fp = text
         .lines()
-        .last()
+        .rfind(|l| l.starts_with("  "))
         .and_then(|l| l.split_whitespace().next())
         .expect("ls last record");
     let out = cli()
@@ -316,6 +318,90 @@ fn catalog_ls_gc_restore_workflow() {
     let _ = std::fs::remove_file(&mtx);
     let _ = std::fs::remove_file(&restored);
     let _ = std::fs::remove_dir_all(&cat);
+}
+
+#[test]
+fn serve_writes_metrics_json_snapshot() {
+    let mtx = tmp("metrics.mtx");
+    let json = tmp("metrics.json");
+    cli()
+        .args(["generate", "osm", "1000", mtx.to_str().unwrap(), "3"])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "serve",
+            mtx.to_str().unwrap(),
+            "64",
+            "8",
+            "8",
+            "1",
+            "--metrics-json",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "serve --metrics-json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("metrics"),
+        "serve reports the metrics file"
+    );
+    // The snapshot parses with the workspace's own JSON reader and
+    // carries the schema marker, the serving counters, and the latency
+    // histograms with consistent counts.
+    let body = std::fs::read_to_string(&json).expect("metrics file written");
+    let v = arrow_matrix::obs::parse_json(&body).expect("metrics JSON parses");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("amd-metrics/1")
+    );
+    let counter = |name: &str| v.get(name).and_then(|c| c.as_u64()).unwrap_or(0);
+    let hist_count = |name: &str| {
+        v.get(name)
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_u64())
+            .unwrap_or(0)
+    };
+    assert!(
+        counter("engine.runs") > 0,
+        "serve recorded its runs: {body}"
+    );
+    // 8 queries through the unbatched baseline + the same 8 batched.
+    assert_eq!(counter("engine.queries"), 16, "16 queries served: {body}");
+    assert_eq!(
+        counter("cache.decompositions"),
+        1,
+        "one cold decompose: {body}"
+    );
+    assert_eq!(
+        hist_count("multiply.seconds"),
+        counter("engine.runs"),
+        "one latency sample per run: {body}"
+    );
+    assert_eq!(
+        hist_count("decompose.seconds"),
+        counter("cache.decompositions"),
+        "one decompose duration per decomposition: {body}"
+    );
+    // The stats subcommand renders the same file.
+    let out = cli()
+        .args(["stats", json.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("engine.runs"), "stats output: {text}");
+    assert!(text.contains("multiply.seconds"), "stats output: {text}");
+    let _ = std::fs::remove_file(&mtx);
+    let _ = std::fs::remove_file(&json);
 }
 
 #[test]

@@ -343,7 +343,7 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 use arrow_matrix::stream::{HubConfig, StreamHub, TenantId};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn hub_engine_config() -> EngineConfig {
     EngineConfig {
@@ -409,7 +409,7 @@ fn four_tenant_hub_keeps_serving_during_background_refresh() {
 
     // Serve a mutation + query burst on every tenant while the worker
     // sleeps: nothing may block on the decompose.
-    let burst_start = Instant::now();
+    let burst_start = arrow_matrix::obs::Stopwatch::start();
     let mut expected: Vec<(usize, Vec<f64>)> = Vec::new();
     for round in 0..2u32 {
         for (j, &t) in tenants.iter().enumerate() {
@@ -426,7 +426,7 @@ fn four_tenant_hub_keeps_serving_during_background_refresh() {
         }
     }
     let responses = hub.flush().unwrap();
-    let served = burst_start.elapsed();
+    let served = Duration::from_nanos(burst_start.elapsed_nanos());
     assert!(
         served < delay,
         "the burst must not block on the background decompose \
@@ -598,7 +598,7 @@ fn shared_refresh_budget_is_starvation_free() {
     let sum = |f: &dyn Fn(&arrow_matrix::stream::TenantStats) -> u64| -> u64 {
         tenants
             .iter()
-            .map(|&t| f(hub.tenant_stats(t).unwrap()))
+            .map(|&t| f(&hub.tenant_stats(t).unwrap()))
             .sum()
     };
     assert_eq!(sum(&|s| s.updates), hs.updates);
@@ -628,6 +628,99 @@ fn shared_refresh_budget_is_starvation_free() {
         "every completed refresh is incremental or a counted fallback"
     );
     assert_eq!(hs.refreshes_completed, 7);
+}
+
+#[test]
+fn per_tenant_registry_sums_to_hub_registry() {
+    // The same invariant as above, one layer down: in a metrics
+    // snapshot the `hub.tenant.<id>.*` counters must sum to their
+    // `hub.*` totals under multi-tenant async-refresh traffic — the
+    // per-tenant handles and the hub handles are incremented at the
+    // same sites, never independently.
+    let n = 64;
+    let ring: CsrMatrix<f64> = arrow_matrix::graph::generators::basic::cycle(n).to_adjacency();
+    let mut hub = StreamHub::with_telemetry(
+        HubConfig {
+            engine: EngineConfig {
+                arrow_width: 16,
+                target_ranks: 4,
+                ..EngineConfig::default()
+            },
+            budget: StalenessBudget::nnz_cap(2),
+            ..HubConfig::default()
+        },
+        arrow_matrix::obs::Telemetry::new(),
+    )
+    .unwrap();
+    let tenants: Vec<TenantId> = (0..4).map(|_| hub.admit(ring.clone()).unwrap()).collect();
+    // Every tenant trips its budget twice and serves a few queries
+    // while rebuilds run on the background worker.
+    for round in 0..2u32 {
+        for (j, &t) in tenants.iter().enumerate() {
+            for i in 0..3u32 {
+                hub.update(
+                    t,
+                    Update::Add {
+                        row: (11 * round + 3 * j as u32 + i) % n,
+                        col: (11 * round + 3 * j as u32 + i + 17) % n,
+                        delta: 1.0,
+                    },
+                )
+                .unwrap();
+            }
+            let x: Vec<f64> = (0..n).map(|r| ((r + j as u32) % 5) as f64).collect();
+            hub.run_single(t, x, 1, None).unwrap();
+        }
+        hub.wait_refreshes().unwrap();
+    }
+    assert!(hub.stats().refreshes_completed >= tenants.len() as u64);
+
+    let snap = hub.telemetry().registry.snapshot();
+    let tenant_sum = |field: &str| -> u64 {
+        tenants
+            .iter()
+            .map(|t| {
+                snap.counter(&format!("hub.tenant.{}.{field}", t.0))
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    let hub_total = |name: &str| snap.counter(name).expect("hub counter registered");
+    assert_eq!(tenant_sum("updates"), hub_total("hub.updates"));
+    assert_eq!(tenant_sum("queries"), hub_total("hub.queries"));
+    assert_eq!(
+        tenant_sum("refreshes"),
+        hub_total("hub.refreshes_completed")
+    );
+    assert_eq!(
+        tenant_sum("suppressed_triggers"),
+        hub_total("hub.suppressed_triggers")
+    );
+    assert_eq!(tenant_sum("early_rebinds"), hub_total("hub.early_rebinds"));
+    assert_eq!(
+        tenant_sum("splice.incremental_refreshes"),
+        hub_total("hub.splice.incremental_refreshes")
+    );
+    assert_eq!(
+        tenant_sum("splice.fallback_refreshes"),
+        hub_total("hub.splice.fallback_refreshes")
+    );
+    assert_eq!(
+        tenant_sum("splice.reused_vertices"),
+        hub_total("hub.splice.reused_vertices")
+    );
+    // The folded per-tenant views read the very same counters.
+    for &t in &tenants {
+        let s = hub.tenant_stats(t).unwrap();
+        assert_eq!(
+            snap.counter(&format!("hub.tenant.{}.updates", t.0)),
+            Some(s.updates)
+        );
+        assert_eq!(
+            snap.counter(&format!("hub.tenant.{}.refreshes", t.0)),
+            Some(s.refreshes)
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
