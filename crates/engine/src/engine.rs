@@ -15,6 +15,7 @@
 //! costs — rank spin-up, per-message latency α, tile traversals — once
 //! per batch instead of once per query.
 
+use crate::attribution::{AttributionMetrics, QueryCost, RunAttribution};
 use crate::cache::{CacheStats, DecompositionCache};
 use crate::planner::{plan, Plan, PlannerConfig, Prediction};
 use amd_comm::CostModel;
@@ -25,6 +26,7 @@ use amd_spmm::{DeltaSpmm, DistSpmm};
 use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy, RefreshOutcome};
 use arrow_core::{ArrowDecomposition, DecomposeConfig};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -117,6 +119,10 @@ pub struct QueryResponse {
     pub y: Vec<f64>,
     /// How many queries shared the run that produced this answer.
     pub batch_size: usize,
+    /// Attributed cost of the run that answered this query (shared by
+    /// the whole batch — divide by `batch_size` for a per-query
+    /// share). `None` when the engine's telemetry is disabled.
+    pub cost: Option<QueryCost>,
 }
 
 /// Serving counters.
@@ -140,6 +146,10 @@ pub struct EngineStats {
     /// Bindings dropped via [`Engine::deregister`] (overlay and cache
     /// reference released with them).
     pub deregistered: u64,
+    /// Rank-agreement checks where the accounted volumes, substituted
+    /// back into the cost model, would have ranked a different
+    /// algorithm first (see [`attribution`](crate::attribution)).
+    pub mispredictions: u64,
 }
 
 struct BoundMatrix {
@@ -204,6 +214,8 @@ struct EngineMetrics {
     batch_size: Histogram,
     multiply_seconds: Histogram,
     refresh_seconds: Histogram,
+    /// Cost-attribution handles (`engine.plan.*`, `engine.algo.*`).
+    attribution: AttributionMetrics,
 }
 
 impl EngineMetrics {
@@ -219,6 +231,7 @@ impl EngineMetrics {
             batch_size: registry.histogram("engine.batch_size"),
             multiply_seconds: registry.histogram("multiply.seconds"),
             refresh_seconds: registry.histogram("refresh.seconds"),
+            attribution: AttributionMetrics::new(registry),
         }
     }
 }
@@ -756,6 +769,7 @@ impl Engine {
             corrected_runs: self.metrics.corrected_runs.get(),
             refreshes: self.metrics.refreshes.get(),
             deregistered: self.metrics.deregistered.get(),
+            mispredictions: self.metrics.attribution.mispredictions(),
         }
     }
 
@@ -849,11 +863,27 @@ impl Engine {
         let k = chunk.len() as u32;
         // Columns side by side: query j is column j.
         let x = DenseMatrix::from_fn(n, k, |r, c| chunk[c as usize].query.x[r as usize]);
+        // Pending updates: serve A₀ + ΔA through the corrected path.
+        let overlay_algo = match &bound.overlay {
+            Some(delta) => Some(DeltaSpmm::new(&*bound.algo, delta)?.with_cost(self.config.cost)),
+            None => None,
+        };
+        // Attribution prices this run's envelope at the *served* column
+        // count (the planner ranked at its k hint), through the
+        // corrected path when an overlay is live, outside the timed
+        // section. Skipped entirely when telemetry is off so the
+        // uninstrumented engine stays the zero-cost baseline.
+        let estimate = self
+            .telemetry
+            .registry
+            .is_enabled()
+            .then(|| match &overlay_algo {
+                Some(corrected) => corrected.predict_volume(k),
+                None => bound.algo.predict_volume(k),
+            });
         let sw = Stopwatch::start();
-        let run = match &bound.overlay {
-            // Pending updates: serve A₀ + ΔA through the corrected path.
-            Some(delta) => {
-                let corrected = DeltaSpmm::new(&*bound.algo, delta)?.with_cost(self.config.cost);
+        let run = match &overlay_algo {
+            Some(corrected) => {
                 let run = corrected.run_sigma(&x, first.iters, first.sigma)?;
                 self.metrics.corrected_runs.inc();
                 run
@@ -868,6 +898,20 @@ impl Engine {
         self.metrics.queries.add(chunk.len() as u64);
         self.metrics.batch_size.record(chunk.len() as u64);
         self.metrics.largest_batch.record_max(chunk.len() as u64);
+        let cost = estimate.map(|estimate| {
+            self.metrics.attribution.record(
+                &RunAttribution {
+                    algo: &bound.chosen,
+                    predictions: &bound.predictions,
+                    estimate,
+                    corrected: bound.overlay.is_some(),
+                    iters: first.iters,
+                    cost: self.config.cost,
+                    target_ranks: self.config.target_ranks,
+                },
+                &run.stats,
+            )
+        });
         if self.telemetry.tracer.is_enabled() {
             // Predicted cost is per iteration per the planner contract.
             let predicted = bound
@@ -875,21 +919,28 @@ impl Engine {
                 .first()
                 .map(|p| p.seconds * first.iters as f64)
                 .unwrap_or(0.0);
-            self.telemetry.tracer.event(
-                "multiply",
-                SpanId::NONE,
-                None,
-                format!(
-                    "algo={} batch={} iters={} corrected={} predicted_seconds={:.3e} \
-                     actual_seconds={:.3e}",
-                    bound.chosen,
-                    chunk.len(),
-                    first.iters,
-                    bound.overlay.is_some(),
-                    predicted,
-                    multiply_seconds
-                ),
+            let mut detail = format!(
+                "algo={} batch={} queries={}..={} iters={} corrected={} \
+                 predicted_seconds={:.3e} actual_seconds={:.3e}",
+                bound.chosen,
+                chunk.len(),
+                chunk[0].id.0,
+                chunk[chunk.len() - 1].id.0,
+                first.iters,
+                bound.overlay.is_some(),
+                predicted,
+                multiply_seconds
             );
+            if let Some(c) = &cost {
+                let _ = write!(
+                    detail,
+                    " predicted_rank_bytes={:.0} accounted_rank_bytes={:.0}",
+                    c.predicted_rank_bytes, c.accounted_rank_bytes
+                );
+            }
+            self.telemetry
+                .tracer
+                .event("multiply", SpanId::NONE, None, detail);
         }
         Ok(chunk
             .iter()
@@ -900,6 +951,7 @@ impl Engine {
                     id: p.id,
                     y,
                     batch_size: chunk.len(),
+                    cost: cost.clone(),
                 }
             })
             .collect())
@@ -1458,5 +1510,96 @@ mod tests {
                 "batched σ run must bit-match the single run"
             );
         }
+    }
+
+    #[test]
+    fn responses_carry_attributed_costs() {
+        let mut e = engine();
+        // Large enough that the Arrow winner spans several ranks and
+        // actually communicates (tiny graphs fit one rank: volume 0).
+        let a = basic::star(256).to_adjacency();
+        let id = e.register(&a).unwrap();
+        for q in 0..6 {
+            e.submit(MultiplyQuery {
+                matrix: id,
+                x: (0..256).map(|r| ((q + r) % 5) as f64).collect(),
+                iters: 2,
+                sigma: None,
+            })
+            .unwrap();
+        }
+        let responses = e.flush().unwrap();
+        assert_eq!(responses.len(), 6);
+        for r in &responses {
+            let cost = r.cost.as_ref().expect("telemetry is enabled");
+            assert_eq!(cost.algo, e.chosen_algorithm(id).unwrap());
+            assert!(!cost.corrected);
+            assert_eq!(cost.iters, 2);
+            assert!(cost.accounted_rank_bytes > 0.0);
+            assert!(cost.predicted_rank_bytes > 0.0);
+            assert!(cost.sim_seconds > 0.0);
+            // The planner ranked 4 candidates, so the check ran — and
+            // on the star graph the accounted volumes confirm the
+            // planner's (Arrow-first) ranking.
+            assert_eq!(cost.rank_agreement, Some(true));
+        }
+        let snap = e.telemetry().registry.snapshot();
+        assert_eq!(snap.counter("engine.plan.rank_checks"), Some(1));
+        assert_eq!(snap.counter("engine.plan.mispredictions"), Some(0));
+        assert!(snap.counter("engine.plan.predicted_bytes").unwrap_or(0) > 0);
+        assert!(snap.counter("engine.plan.accounted_bytes").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("engine.algo.arrow.runs"), Some(1));
+        assert!(
+            snap.histogram("engine.rank_volume.bytes").unwrap().count > 0,
+            "per-rank volumes sampled"
+        );
+        assert_eq!(e.stats().mispredictions, 0);
+    }
+
+    #[test]
+    fn corrected_runs_attribute_without_a_rank_check() {
+        let mut e = engine();
+        let n = 256;
+        let id = e.register(&ring(n)).unwrap();
+        e.set_delta(id, ring_delta(n)).unwrap();
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: id,
+                x: (0..n).map(|r| (r % 3) as f64).collect(),
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        let cost = resp.cost.expect("telemetry is enabled");
+        assert!(cost.corrected);
+        assert_eq!(
+            cost.rank_agreement, None,
+            "the planner never ranked the correction traffic"
+        );
+        let snap = e.telemetry().registry.snapshot();
+        assert_eq!(snap.counter("engine.plan.rank_checks"), Some(0));
+        assert!(snap.counter("engine.plan.accounted_bytes").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_skips_attribution() {
+        let mut e = Engine::with_telemetry(
+            EngineConfig {
+                target_ranks: 4,
+                ..EngineConfig::default()
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let id = e.register(&ring(32)).unwrap();
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: id,
+                x: vec![1.0; 32],
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        assert_eq!(resp.cost, None, "no attribution without a registry");
     }
 }

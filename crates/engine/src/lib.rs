@@ -17,7 +17,16 @@
 //! * [`Engine`] — registration plus a request batcher that coalesces
 //!   compatible multiply queries into one multi-RHS run; batching is
 //!   exact (bit-identical to per-query runs) because every algorithm
-//!   computes output columns independently.
+//!   computes output columns independently,
+//! * [`attribution`] — per-query cost attribution closing the loop on
+//!   the planner: every run's accounted [`MachineStats`]
+//!   (`amd_comm::MachineStats`) is folded against its prediction
+//!   (`engine.plan.*`, `engine.algo.<slug>.*` calibration counters, a
+//!   per-rank volume histogram, and a rank-agreement check), and every
+//!   [`QueryResponse`] carries the [`QueryCost`] of the run that
+//!   answered it.
+//!
+//! [`MachineStats`]: amd_comm::MachineStats
 //!
 //! For **mutating** matrices the engine additionally supports a sparse
 //! delta overlay ([`Engine::set_delta`]) — runs are answered as
@@ -50,10 +59,12 @@
 //! assert_eq!(engine.stats().runs, 1);
 //! ```
 
+pub mod attribution;
 pub mod cache;
 pub mod engine;
 pub mod planner;
 
+pub use attribution::{algo_slug, AttributionMetrics, QueryCost, RunAttribution};
 pub use cache::{CacheStats, DecompositionCache};
 pub use engine::{
     Engine, EngineConfig, EngineStats, MatrixId, MultiplyQuery, QueryId, QueryResponse,

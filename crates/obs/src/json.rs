@@ -8,19 +8,32 @@ use std::fmt::Write as _;
 
 /// An incremental writer for one JSON object (optionally nested one
 /// level deep — all the snapshot schema needs). Keys are escaped;
-/// values are unsigned integers or strings.
+/// values are unsigned integers, floats, raw fragments, or strings.
 pub struct JsonWriter {
     buf: String,
     /// Pending-comma state per open scope (outer object, inner object).
     first: Vec<bool>,
+    /// Compact mode emits no newlines or indentation — one line per
+    /// document, the JSONL convention of the time-series log.
+    compact: bool,
 }
 
 impl JsonWriter {
-    /// Starts a top-level object.
+    /// Starts a top-level object (pretty-printed).
     pub fn object() -> Self {
         Self {
             buf: String::from("{"),
             first: vec![true],
+            compact: false,
+        }
+    }
+
+    /// Starts a top-level object emitted on a single line (JSONL).
+    pub fn compact_object() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: vec![true],
+            compact: true,
         }
     }
 
@@ -31,9 +44,11 @@ impl JsonWriter {
         } else {
             self.buf.push(',');
         }
-        self.buf.push('\n');
-        for _ in 0..self.first.len() {
-            self.buf.push_str("  ");
+        if !self.compact {
+            self.buf.push('\n');
+            for _ in 0..self.first.len() {
+                self.buf.push_str("  ");
+            }
         }
         self.buf.push('"');
         escape_into(&mut self.buf, name);
@@ -46,12 +61,35 @@ impl JsonWriter {
         let _ = write!(self.buf, "{value}");
     }
 
+    /// Writes `"name": value` for a float. Non-finite values (which
+    /// JSON cannot represent) are written as `null`.
+    pub fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            // Rust's `Display` for f64 never uses exponent notation and
+            // round-trips, so the output is always a valid JSON number.
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
     /// Writes `"name": "value"`.
     pub fn field_str(&mut self, name: &str, value: &str) {
         self.key(name);
         self.buf.push('"');
         escape_into(&mut self.buf, value);
         self.buf.push('"');
+    }
+
+    /// Writes `"name": <raw>` where `raw` is a pre-serialized JSON
+    /// fragment (an array, a nested document). The caller guarantees
+    /// validity; this is the escape hatch for the few schema corners —
+    /// histogram bucket lists, trace event arrays — that outgrow the
+    /// writer's one-level object model.
+    pub fn field_raw(&mut self, name: &str, raw: &str) {
+        self.key(name);
+        self.buf.push_str(raw);
     }
 
     /// Opens a nested object under `name`.
@@ -65,7 +103,7 @@ impl JsonWriter {
     pub fn end_object(&mut self) {
         assert!(self.first.len() > 1, "no nested object open");
         let empty = self.first.pop() == Some(true);
-        if !empty {
+        if !empty && !self.compact {
             self.buf.push('\n');
             for _ in 0..self.first.len() {
                 self.buf.push_str("  ");
@@ -77,12 +115,14 @@ impl JsonWriter {
     /// Closes the top-level object and returns the document.
     pub fn finish(mut self) -> String {
         assert_eq!(self.first.len(), 1, "nested object left open");
-        if self.first[0] {
+        if self.first[0] || self.compact {
             self.buf.push('}');
         } else {
             self.buf.push_str("\n}");
         }
-        self.buf.push('\n');
+        if !self.compact {
+            self.buf.push('\n');
+        }
         self.buf
     }
 }
@@ -373,6 +413,34 @@ mod tests {
             Some(2)
         );
         assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("x\"y"));
+    }
+
+    #[test]
+    fn compact_writer_emits_one_line() {
+        let mut w = JsonWriter::compact_object();
+        w.field_u64("a", 1);
+        w.field_f64("rate", 2.5);
+        w.field_f64("bad", f64::NAN);
+        w.field_raw("pairs", "[[1, 2], [3, 4]]");
+        w.begin_object("inner");
+        w.field_str("k", "v");
+        w.end_object();
+        let doc = w.finish();
+        assert!(!doc.contains('\n'), "compact doc has a newline: {doc:?}");
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("rate").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(v.get("bad"), Some(&JsonValue::Null));
+        match v.get("pairs") {
+            Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(
+            v.get("inner")
+                .and_then(|i| i.get("k"))
+                .and_then(JsonValue::as_str),
+            Some("v")
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   timing site in the workspace reads one stopwatch and feeds the
 //!   result to *both* its consumer (adaptive budgets, bench reports)
 //!   and the matching histogram, so no duration is measured twice.
+//! * [`timeseries`] — a JSONL recorder of periodic snapshot deltas
+//!   (`"schema": "amd-metrics-ts/1"`) with windowed rates and windowed
+//!   latency quantiles derived from counter/histogram-bucket deltas.
+//! * [`chrome`] — a Chrome Trace Event Format exporter over the tracer
+//!   ring (tenant lanes, parent nesting, orphan re-rooting after ring
+//!   eviction), loadable in Perfetto / `chrome://tracing`.
 //!
 //! [`Telemetry`] bundles one registry and one tracer; layers share it
 //! by cloning (`Engine::telemetry()`, `StreamHub::telemetry()`).
@@ -51,12 +57,16 @@
 //! assert_eq!(t.tracer.snapshot().len(), 2);
 //! ```
 
+pub mod chrome;
 mod json;
 mod registry;
+pub mod timeseries;
 mod trace;
 
-pub use json::{parse_json, JsonValue};
+pub use chrome::{chrome_trace_json, format_span_tree};
+pub use json::{parse_json, JsonValue, JsonWriter};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot};
+pub use timeseries::{parse_ts_line, TimeSeriesRecorder, TsPoint, TS_SCHEMA};
 pub use trace::{SpanId, TraceEvent, Tracer};
 
 use std::time::Instant;

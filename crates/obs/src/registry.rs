@@ -9,6 +9,7 @@
 
 use crate::json::JsonWriter;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -218,8 +219,21 @@ impl Histogram {
         self.max()
     }
 
-    /// A point-in-time summary (count, sum, max, p50/p90/p99).
+    /// A point-in-time summary (count, sum, max, p50/p90/p99/p999, and
+    /// the populated buckets).
     pub fn summarize(&self) -> HistogramSnapshot {
+        let buckets = match &self.cell {
+            None => Vec::new(),
+            Some(c) => c
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_upper(i), n))
+                })
+                .collect(),
+        };
         HistogramSnapshot {
             count: self.count(),
             sum: self.sum(),
@@ -227,13 +241,15 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            buckets,
         }
     }
 }
 
 /// A point-in-time histogram summary. All fields share the unit of the
 /// recorded values (nanoseconds for duration histograms).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
@@ -247,6 +263,69 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th percentile (bucket upper bound).
     pub p99: u64,
+    /// 99.9th percentile (bucket upper bound).
+    pub p999: u64,
+    /// The populated buckets as `(upper_bound, count)` pairs, ascending
+    /// by bound (empty buckets omitted). This is the full distribution:
+    /// windowed quantiles are derived from the *difference* of two
+    /// snapshots' bucket counts (see [`delta`](Self::delta)).
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` recomputed from the snapshot's
+    /// buckets: the upper bound of the first bucket whose cumulative
+    /// count reaches `ceil(q · total)`, clamped to `max`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The windowed view `self − earlier`: what was recorded between
+    /// the two snapshots. Counts subtract saturating per bucket (a
+    /// counter that moved backwards — e.g. a metric namespace removed
+    /// and re-created — clamps to an empty window rather than
+    /// underflowing). `max` and the quantiles are recomputed from the
+    /// bucket deltas, so `max` is the window's *bucket upper bound*,
+    /// exact only to within a factor of two.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u64, u64)> = Vec::new();
+        for &(upper, n) in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|&&(u, _)| u == upper)
+                .map_or(0, |&(_, n0)| n0);
+            let d = n.saturating_sub(before);
+            if d > 0 {
+                buckets.push((upper, d));
+            }
+        }
+        let mut out = HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+            ..HistogramSnapshot::default()
+        };
+        out.max = out.quantile(1.0);
+        out.p50 = out.quantile(0.50);
+        out.p90 = out.quantile(0.90);
+        out.p99 = out.quantile(0.99);
+        out.p999 = out.quantile(0.999);
+        out
+    }
 }
 
 enum Metric {
@@ -308,7 +387,7 @@ impl Snapshot {
     /// A histogram's summary, if `name` is a histogram.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
         match self.get(name)? {
-            MetricValue::Histogram(h) => Some(*h),
+            MetricValue::Histogram(h) => Some(h.clone()),
             _ => None,
         }
     }
@@ -331,6 +410,20 @@ impl Snapshot {
                     w.field_u64("p50", h.p50);
                     w.field_u64("p90", h.p90);
                     w.field_u64("p99", h.p99);
+                    w.field_u64("p999", h.p999);
+                    // Explicit bucket bounds: `[[upper, count], …]`,
+                    // empty buckets omitted. Readers that predate this
+                    // field ignore it (the schema stays amd-metrics/1 —
+                    // additive fields only).
+                    let mut pairs = String::from("[");
+                    for (i, (upper, n)) in h.buckets.iter().enumerate() {
+                        if i > 0 {
+                            pairs.push_str(", ");
+                        }
+                        let _ = write!(pairs, "[{upper}, {n}]");
+                    }
+                    pairs.push(']');
+                    w.field_raw("buckets", &pairs);
                     w.end_object();
                 }
             }
@@ -523,6 +616,52 @@ mod tests {
         assert_eq!(bucket_upper(62), (1u64 << 62) - 1);
         assert_eq!(bucket_upper(63), u64::MAX);
         assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_exposes_p999_and_buckets() {
+        let h = Histogram::live();
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summarize();
+        assert_eq!(s.p999, s.max, "p999 clamps to the exact max");
+        // Buckets: 1 → [1,1]; 2,3 → [3,2]; 4 → [7,1]; 100 → [127,1];
+        // 1000 → [1023,1].
+        assert_eq!(s.buckets, vec![(1, 1), (3, 2), (7, 1), (127, 1), (1023, 1)]);
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), s.count);
+        // Quantiles recomputed from the bucket list match the cell's.
+        assert_eq!(s.quantile(0.5), h.quantile(0.5));
+        assert_eq!(s.quantile(0.99), h.quantile(0.99));
+    }
+
+    #[test]
+    fn snapshot_delta_yields_windowed_quantiles() {
+        let h = Histogram::live();
+        h.record(1);
+        h.record(1_000_000);
+        let before = h.summarize();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(5_000);
+        let after = h.summarize();
+        let window = after.delta(&before);
+        assert_eq!(window.count, 100);
+        assert_eq!(window.sum, 99 * 10 + 5_000);
+        // The window never saw the old 1 ms outlier: its p99 reflects
+        // only the new samples.
+        assert!(window.p99 <= 8191, "windowed p99 = {}", window.p99);
+        assert!(window.max <= 8191, "windowed max = {}", window.max);
+        assert_eq!(window.p50, 15, "10 lands in bucket [8,16)");
+        // Degenerate windows: identical snapshots → empty.
+        let empty = after.delta(&after);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.quantile(0.99), 0);
+        // Backwards movement (snapshot order swapped) clamps, not wraps.
+        let clamped = before.delta(&after);
+        assert_eq!(clamped.count, 0);
+        assert!(clamped.buckets.is_empty());
     }
 
     #[test]

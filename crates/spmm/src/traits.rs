@@ -26,6 +26,15 @@ impl SpmmRun {
     pub fn sim_time_per_iter(&self) -> f64 {
         self.stats.sim_time() / self.iters.max(1) as f64
     }
+
+    /// Per-iteration maximum per-rank message count — the accounted
+    /// counterpart of [`CommEstimate::max_rank_messages`], normalised
+    /// per multiply so a cost-attribution layer can compare the
+    /// machine's accounting against the planner's prediction
+    /// term-by-term.
+    pub fn messages_per_iter(&self) -> f64 {
+        self.stats.max_messages() as f64 / self.iters.max(1) as f64
+    }
 }
 
 /// Element-wise activation `σ` applied between iterations (§2 of the

@@ -3,14 +3,16 @@
 //! ```text
 //! arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]
 //! arrow-matrix-cli info <matrix.mtx>
-//! arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]
-//! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]
+//! arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed] [--metrics-json PATH]
+//! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters] [--metrics-json PATH]
 //! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]
-//!                        [--metrics-json PATH]
+//!                        [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]
 //! arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]
 //!                         [--tenants N] [--async-refresh] [--catalog DIR]
-//!                         [--metrics-json PATH]
+//!                         [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]
 //! arrow-matrix-cli stats <metrics.json>
+//! arrow-matrix-cli report <metrics.json>
+//! arrow-matrix-cli top <timeseries.jsonl>
 //! arrow-matrix-cli catalog ls <dir>
 //! arrow-matrix-cli catalog gc <dir> <retain-last-k>
 //! arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>
@@ -43,16 +45,35 @@
 //! engine's metrics registry (counters, gauges, and latency
 //! histograms) as JSON — rewritten periodically while the run is in
 //! flight and once more on exit — and `stats` pretty-prints such a
-//! snapshot back.
+//! snapshot back. `decompose`/`multiply` accept the same flag for
+//! their one-shot runs. Three more observability surfaces close the
+//! loop on the planner's cost model:
+//!
+//! * `report <metrics.json>` folds the engine's per-algorithm cost
+//!   attribution (`engine.algo.<slug>.*`) into a calibration table —
+//!   predicted vs accounted communication volume, mean/max prediction
+//!   error, and the rank-agreement rate of the planner's choices.
+//! * `--timeseries PATH` appends one `amd-metrics-ts/1` JSONL line per
+//!   checkpoint (windowed QPS, refresh rates, windowed multiply
+//!   latency quantiles); `top <timeseries.jsonl>` renders the latest
+//!   window as a terminal dashboard.
+//! * `--trace-json PATH` exports the tracer ring as a Chrome Trace
+//!   Event Format file, loadable in Perfetto / `chrome://tracing`
+//!   (spans nest under their parents; tenants get their own lanes).
 
+use arrow_matrix::comm::CostModel;
 use arrow_matrix::core::catalog::RetainPolicy;
 use arrow_matrix::core::stats::DecompositionStats;
 use arrow_matrix::core::{la_decompose, Catalog, DecomposeConfig, RandomForestLa};
+use arrow_matrix::engine::{AttributionMetrics, RunAttribution};
 use arrow_matrix::engine::{Engine, EngineConfig, MultiplyQuery};
 use arrow_matrix::graph::degree::DegreeStats;
 use arrow_matrix::graph::generators::datasets::DatasetKind;
 use arrow_matrix::graph::Graph;
-use arrow_matrix::obs::{parse_json, JsonValue, Stopwatch, Telemetry};
+use arrow_matrix::obs::{
+    chrome_trace_json, parse_json, parse_ts_line, JsonValue, Stopwatch, Telemetry,
+    TimeSeriesRecorder, TsPoint,
+};
 use arrow_matrix::sparse::io::{read_matrix_market, write_matrix_market};
 use arrow_matrix::sparse::{bandwidth, CooMatrix, CsrMatrix, DenseMatrix};
 use arrow_matrix::spmm::{ArrowSpmm, DistSpmm};
@@ -73,19 +94,23 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]\n  \
                  arrow-matrix-cli info <matrix.mtx>\n  \
-                 arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed]\n  \
-                 arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters]\n  \
+                 arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed] [--metrics-json PATH]\n  \
+                 arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters] [--metrics-json PATH]\n  \
                  arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]\n  \
-                 \u{20}                      [--metrics-json PATH]\n  \
+                 \u{20}                      [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]\n  \
                  arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]\n  \
                  \u{20}                       [--tenants N] [--async-refresh] [--catalog DIR]\n  \
-                 \u{20}                       [--metrics-json PATH]\n  \
+                 \u{20}                       [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]\n  \
                  arrow-matrix-cli stats <metrics.json>\n  \
+                 arrow-matrix-cli report <metrics.json>\n  \
+                 arrow-matrix-cli top <timeseries.jsonl>\n  \
                  arrow-matrix-cli catalog ls <dir>\n  \
                  arrow-matrix-cli catalog gc <dir> <retain-last-k>\n  \
                  arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>\n\
@@ -130,6 +155,38 @@ fn write_metrics_json(path: &str, telemetry: &Telemetry) -> Result<(), String> {
         .map_err(|e| format!("write {path}: {e}"))
 }
 
+/// Exports the tracer ring as a Chrome Trace Event Format file
+/// (Perfetto / `chrome://tracing`). Written once, at exit, so the file
+/// holds the final ring contents.
+fn write_trace_json(path: &str, telemetry: &Telemetry) -> Result<(), String> {
+    std::fs::write(path, chrome_trace_json(&telemetry.tracer.snapshot()))
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+/// The `--timeseries PATH` sink: appends one `amd-metrics-ts/1` line
+/// per checkpoint to a JSONL log created fresh at startup. `top` and
+/// the smoke tests read it back with `parse_ts_line`.
+struct TsLog {
+    recorder: TimeSeriesRecorder,
+    file: File,
+}
+
+impl TsLog {
+    fn create(path: &str, telemetry: &Telemetry) -> Result<Self, String> {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        Ok(Self {
+            recorder: TimeSeriesRecorder::new(&telemetry.registry),
+            file,
+        })
+    }
+
+    fn sample(&mut self) -> Result<(), String> {
+        use std::io::Write as _;
+        let line = self.recorder.sample();
+        writeln!(self.file, "{line}").map_err(|e| format!("append timeseries: {e}"))
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("stats needs <metrics.json>".into());
@@ -156,26 +213,241 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
                 if name.ends_with(".seconds") {
                     println!(
                         "{name:<44} count = {}, p50 = {:.3} ms, p90 = {:.3} ms, \
-                         p99 = {:.3} ms, max = {:.3} ms",
+                         p99 = {:.3} ms, p999 = {:.3} ms, max = {:.3} ms",
                         field("count"),
                         ms(field("p50")),
                         ms(field("p90")),
                         ms(field("p99")),
+                        ms(field("p999")),
                         ms(field("max")),
                     );
                 } else {
                     println!(
-                        "{name:<44} count = {}, p50 = {}, p90 = {}, p99 = {}, max = {}",
+                        "{name:<44} count = {}, p50 = {}, p90 = {}, p99 = {}, \
+                         p999 = {}, max = {}",
                         field("count"),
                         field("p50"),
                         field("p90"),
                         field("p99"),
+                        field("p999"),
                         field("max"),
                     );
                 }
             }
             JsonValue::Str(s) => println!("{name:<44} {s}"),
             other => println!("{name:<44} {other:?}"),
+        }
+    }
+    Ok(())
+}
+
+/// Folds the engine's cost-attribution counters
+/// (`engine.algo.<slug>.*`, written by `serve`/`stream`/`multiply`
+/// with `--metrics-json`) into a per-algorithm calibration table:
+/// predicted vs accounted communication volume, mean/max volume
+/// prediction error, and the rank-agreement rate of the planner's
+/// choices.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("report needs <metrics.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let Some(members) = doc.members() else {
+        return Err(format!("{path}: metrics snapshot must be a JSON object"));
+    };
+    let mut slugs: Vec<&str> = members
+        .iter()
+        .filter_map(|(name, _)| {
+            name.strip_prefix("engine.algo.")
+                .and_then(|rest| rest.strip_suffix(".runs"))
+        })
+        .collect();
+    slugs.sort_unstable();
+    if slugs.is_empty() {
+        return Err(format!(
+            "{path}: no cost-attribution data (engine.algo.* counters absent — \
+             was the run made with an instrumented engine?)"
+        ));
+    }
+    let num = |key: &str| doc.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    let hist = |key: &str, field: &str| {
+        doc.get(key)
+            .and_then(|h| h.get(field))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "{:<8} {:>6} {:>14} {:>14} {:>10} {:>9} {:>9} {:>15}",
+        "algo",
+        "runs",
+        "predicted MiB",
+        "accounted MiB",
+        "mean err",
+        "max err",
+        "checks",
+        "rank-agreement"
+    );
+    for slug in &slugs {
+        let name = |leaf: &str| format!("engine.algo.{slug}.{leaf}");
+        let runs = num(&name("runs"));
+        let err_count = hist(&name("error_permille"), "count");
+        let mean_err = if err_count > 0 {
+            hist(&name("error_permille"), "sum") as f64 / err_count as f64 / 10.0
+        } else {
+            0.0
+        };
+        let max_err = hist(&name("error_permille"), "max") as f64 / 10.0;
+        let checks = num(&name("rank_checks"));
+        let agreement = if checks > 0 {
+            let ok = checks.saturating_sub(num(&name("mispredictions")));
+            format!("{:.1}%", 100.0 * ok as f64 / checks as f64)
+        } else {
+            "n/a".to_string()
+        };
+        println!(
+            "{:<8} {:>6} {:>14.3} {:>14.3} {:>9.1}% {:>8.1}% {:>9} {:>15}",
+            slug,
+            runs,
+            mib(num(&name("predicted_bytes"))),
+            mib(num(&name("accounted_bytes"))),
+            mean_err,
+            max_err,
+            checks,
+            agreement
+        );
+    }
+    let predicted = num("engine.plan.predicted_bytes");
+    let accounted = num("engine.plan.accounted_bytes");
+    let checks = num("engine.plan.rank_checks");
+    let mispredictions = num("engine.plan.mispredictions");
+    println!(
+        "total   : predicted = {:.3} MiB, accounted = {:.3} MiB ({})",
+        mib(predicted),
+        mib(accounted),
+        if accounted > 0 {
+            format!(
+                "predicted/accounted = {:.3}",
+                predicted as f64 / accounted as f64
+            )
+        } else {
+            "no accounted volume".to_string()
+        }
+    );
+    println!(
+        "ranking : {checks} check(s), {mispredictions} misprediction(s){}",
+        if checks > 0 {
+            format!(
+                " — the planner's choice held up in {:.1}% of checked runs",
+                100.0 * checks.saturating_sub(mispredictions) as f64 / checks as f64
+            )
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// Renders the tail of a `--timeseries` JSONL log as a one-shot
+/// terminal dashboard: the latest window's rates and multiply
+/// latency, plus cumulative splice/cache efficiency and the busiest
+/// tenants.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("top needs <timeseries.jsonl>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let points: Vec<TsPoint> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_ts_line)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{path}: {e}"))?;
+    let Some(last) = points.last() else {
+        return Err(format!("{path}: no time-series lines"));
+    };
+    println!(
+        "arrow-matrix top — sample {} of {}, t = {:.1} s, window = {:.1} s",
+        last.seq + 1,
+        points.len(),
+        last.t_seconds,
+        last.window_seconds
+    );
+    println!(
+        "rates   : {:>8.1} queries/s, {:>6.1} runs/s, {:>6.1} updates/s, {:>5.2} refreshes/s",
+        last.qps, last.runs_per_s, last.updates_per_s, last.refreshes_per_s
+    );
+    println!(
+        "multiply: {:>8} in window, p50 = {:.3} ms, p99 = {:.3} ms",
+        last.multiply_window_count, last.multiply_p50_ms, last.multiply_p99_ms
+    );
+    let c = |name: &str| last.counter(name);
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+        }
+    };
+    let incremental = c("hub.splice.incremental_refreshes");
+    let fallback = c("hub.splice.fallback_refreshes");
+    println!(
+        "splice  : {} incremental / {} cold — incremental ratio {}",
+        incremental,
+        fallback,
+        pct(incremental, incremental + fallback)
+    );
+    let hits = c("cache.hits");
+    let misses = c("cache.misses");
+    println!(
+        "cache   : {} hit(s) / {} miss(es) — hit rate {}",
+        hits,
+        misses,
+        pct(hits, hits + misses)
+    );
+    let checks = c("engine.plan.rank_checks");
+    println!(
+        "planner : {} rank check(s), {} misprediction(s) — agreement {}",
+        checks,
+        c("engine.plan.mispredictions"),
+        pct(
+            checks.saturating_sub(c("engine.plan.mispredictions")),
+            checks
+        )
+    );
+    // Busiest tenants by cumulative queries + updates.
+    let mut tenants: Vec<(u64, u64, u64)> = Vec::new(); // (id, queries, updates)
+    for (name, value) in &last.counters {
+        let Some(rest) = name.strip_prefix("hub.tenant.") else {
+            continue;
+        };
+        let Some((id, leaf)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(id) = id.parse::<u64>() else { continue };
+        let entry = match tenants.iter_mut().find(|t| t.0 == id) {
+            Some(entry) => entry,
+            None => {
+                tenants.push((id, 0, 0));
+                tenants.last_mut().expect("just pushed")
+            }
+        };
+        match leaf {
+            "queries" => entry.1 += *value,
+            "updates" => entry.2 += *value,
+            _ => {}
+        }
+    }
+    tenants.sort_by_key(|&(id, q, u)| (std::cmp::Reverse(q + u), id));
+    if !tenants.is_empty() {
+        println!(
+            "tenants : top {} of {}",
+            tenants.len().min(5),
+            tenants.len()
+        );
+        for &(id, queries, updates) in tenants.iter().take(5) {
+            println!("  tenant {id:<4} {queries:>8} queries, {updates:>8} updates");
         }
     }
     Ok(())
@@ -235,8 +507,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_decompose(args: &[String]) -> Result<(), String> {
-    let [input, b, out, rest @ ..] = args else {
-        return Err("decompose needs <matrix.mtx> <b> <out.amd> [seed]".into());
+    let (positional, metrics_json) = split_metrics_flag(args)?;
+    let [input, b, out, rest @ ..] = positional.as_slice() else {
+        return Err(
+            "decompose needs <matrix.mtx> <b> <out.amd> [seed] [--metrics-json PATH]".into(),
+        );
     };
     let a = load_matrix(input)?;
     let b: u32 = b.parse().map_err(|e| format!("bad b: {e}"))?;
@@ -276,12 +551,52 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
         );
     }
     println!("saved {out} (validated: exact reconstruction)");
+    if let Some(path) = &metrics_json {
+        let telemetry = Telemetry::new();
+        telemetry
+            .registry
+            .histogram("decompose.seconds")
+            .record_seconds(elapsed);
+        telemetry.registry.gauge("matrix.n").set(a.rows() as u64);
+        telemetry.registry.gauge("matrix.nnz").set(a.nnz() as u64);
+        telemetry
+            .registry
+            .gauge("decompose.levels")
+            .set(stats.levels.len() as u64);
+        write_metrics_json(path, &telemetry)?;
+        println!("metrics : wrote {path}");
+    }
     Ok(())
 }
 
+/// Parses a trailing/interleaved `--metrics-json PATH` out of a
+/// positional argument list (the one flag `decompose`/`multiply`
+/// accept).
+fn split_metrics_flag(args: &[String]) -> Result<(Vec<&String>, Option<String>), String> {
+    let mut positional = Vec::new();
+    let mut metrics_json = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-json" => {
+                let v = it.next().ok_or("--metrics-json needs a path")?;
+                metrics_json = Some(v.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Ok((positional, metrics_json))
+}
+
 fn cmd_multiply(args: &[String]) -> Result<(), String> {
-    let [input, damd, rest @ ..] = args else {
-        return Err("multiply needs <matrix.mtx> <decomp.amd> [k] [iters]".into());
+    let (positional, metrics_json) = split_metrics_flag(args)?;
+    let [input, damd, rest @ ..] = positional.as_slice() else {
+        return Err(
+            "multiply needs <matrix.mtx> <decomp.amd> [k] [iters] [--metrics-json PATH]".into(),
+        );
     };
     let a = load_matrix(input)?;
     let (d, _) = Catalog::load_file(damd).map_err(|e| e.to_string())?;
@@ -307,7 +622,9 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
         alg.name(),
         alg.ranks()
     );
+    let sw = Stopwatch::start();
     let run = alg.run(&x, iters).map_err(|e| e.to_string())?;
+    let wall = sw.elapsed_seconds();
     let reference =
         arrow_matrix::spmm::reference::iterated_spmm(&a, &x, iters).map_err(|e| e.to_string())?;
     let err = run.y.max_abs_diff(&reference).map_err(|e| e.to_string())?;
@@ -319,6 +636,38 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
         run.volume_per_iter() / 1024.0,
         run.stats.wall_seconds * 1e3,
     );
+    if let Some(path) = &metrics_json {
+        // One-shot cost attribution: the same calibration counters the
+        // engine writes, so `report` works on a direct multiply too.
+        // There is no planner ranking here (single algorithm), so the
+        // rank-agreement check stays unchecked.
+        let telemetry = Telemetry::new();
+        telemetry
+            .registry
+            .histogram("multiply.seconds")
+            .record_seconds(wall);
+        let mut attribution = AttributionMetrics::new(&telemetry.registry);
+        let name = alg.name();
+        let cost = attribution.record(
+            &RunAttribution {
+                algo: &name,
+                predictions: &[],
+                estimate: alg.predict_volume(k),
+                corrected: false,
+                iters,
+                cost: CostModel::default(),
+                target_ranks: alg.ranks(),
+            },
+            &run.stats,
+        );
+        println!(
+            "cost    : predicted {:.1} KiB/iter vs accounted {:.1} KiB/iter per rank",
+            cost.predicted_rank_bytes / 1024.0,
+            cost.accounted_rank_bytes / 1024.0
+        );
+        write_metrics_json(path, &telemetry)?;
+        println!("metrics : wrote {path}");
+    }
     Ok(())
 }
 
@@ -329,6 +678,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut async_refresh = false;
     let mut catalog_dir: Option<std::path::PathBuf> = None;
     let mut metrics_json: Option<String> = None;
+    let mut timeseries: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -349,6 +700,14 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--metrics-json needs a path")?;
                 metrics_json = Some(v.clone());
             }
+            "--timeseries" => {
+                let v = it.next().ok_or("--timeseries needs a path")?;
+                timeseries = Some(v.clone());
+            }
+            "--trace-json" => {
+                let v = it.next().ok_or("--trace-json needs a path")?;
+                trace_json = Some(v.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -358,7 +717,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
             "stream needs <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed] \
-             [--tenants N] [--async-refresh] [--catalog DIR] [--metrics-json PATH]"
+             [--tenants N] [--async-refresh] [--catalog DIR] [--metrics-json PATH] \
+             [--timeseries PATH] [--trace-json PATH]"
                 .into(),
         );
     };
@@ -405,6 +765,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         ..HubConfig::default()
     })
     .map_err(|e| e.to_string())?;
+    let mut ts_log = timeseries
+        .as_deref()
+        .map(|path| TsLog::create(path, hub.telemetry()))
+        .transpose()?;
     let ids: Vec<TenantId> = (0..tenants_flag)
         .map(|_| hub.admit(a.clone()))
         .collect::<Result<_, _>>()
@@ -448,11 +812,14 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let expected = queries * tenants_flag;
     let mut stream_secs = 0.0f64;
     for step in 0..updates.max(queries) {
-        // Periodic metrics checkpoint: a tailing `stats` sees the run
+        // Periodic checkpoints: a tailing `stats`/`top` sees the run
         // progress without waiting for the final snapshot.
-        if let Some(path) = &metrics_json {
-            if step % 32 == 0 {
+        if step % 32 == 0 {
+            if let Some(path) = &metrics_json {
                 write_metrics_json(path, hub.telemetry())?;
+            }
+            if let Some(log) = &mut ts_log {
+                log.sample()?;
             }
         }
         if step < updates {
@@ -584,6 +951,14 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         write_metrics_json(path, hub.telemetry())?;
         println!("metrics : wrote {path}");
     }
+    if let Some(log) = &mut ts_log {
+        log.sample()?;
+        println!("timeseries : wrote {}", timeseries.as_deref().unwrap_or(""));
+    }
+    if let Some(path) = &trace_json {
+        write_trace_json(path, hub.telemetry())?;
+        println!("trace   : wrote {path} (Chrome Trace Event Format)");
+    }
     Ok(())
 }
 
@@ -698,6 +1073,8 @@ fn cmd_catalog(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut catalog_dir: Option<std::path::PathBuf> = None;
     let mut metrics_json: Option<String> = None;
+    let mut timeseries: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -710,6 +1087,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--metrics-json needs a path")?;
                 metrics_json = Some(v.clone());
             }
+            "--timeseries" => {
+                let v = it.next().ok_or("--timeseries needs a path")?;
+                timeseries = Some(v.clone());
+            }
+            "--trace-json" => {
+                let v = it.next().ok_or("--trace-json needs a path")?;
+                trace_json = Some(v.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -719,7 +1104,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
             "serve needs <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR] \
-             [--metrics-json PATH]"
+             [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]"
                 .into(),
         );
     };
@@ -753,6 +1138,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
 
+    let mut ts_log = timeseries
+        .as_deref()
+        .map(|path| TsLog::create(path, engine.telemetry()))
+        .transpose()?;
+
     let n = a.rows();
     let t0 = Stopwatch::start();
     let id = engine.register(&a).map_err(|e| e.to_string())?;
@@ -764,6 +1154,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(path) = &metrics_json {
         // First checkpoint: registration (decompose or disk load) done.
         write_metrics_json(path, engine.telemetry())?;
+    }
+    if let Some(log) = &mut ts_log {
+        log.sample()?;
     }
     let cache = engine.cache_stats();
     println!(
@@ -811,6 +1204,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // Second checkpoint: the unbatched half of the run.
         write_metrics_json(path, engine.telemetry())?;
     }
+    if let Some(log) = &mut ts_log {
+        log.sample()?;
+    }
 
     // Batched: the same stream through the coalescing queue.
     let t0 = Stopwatch::start();
@@ -841,6 +1237,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(path) = &metrics_json {
         write_metrics_json(path, engine.telemetry())?;
         println!("metrics : wrote {path}");
+    }
+    if let Some(log) = &mut ts_log {
+        log.sample()?;
+        println!("timeseries : wrote {}", timeseries.as_deref().unwrap_or(""));
+    }
+    if let Some(path) = &trace_json {
+        write_trace_json(path, engine.telemetry())?;
+        println!("trace   : wrote {path} (Chrome Trace Event Format)");
     }
     Ok(())
 }

@@ -510,6 +510,313 @@ fn stream_multi_tenant_async_workflow() {
 }
 
 #[test]
+fn report_renders_the_calibration_table() {
+    let mtx = tmp("report.mtx");
+    let json = tmp("report.json");
+    cli()
+        .args(["generate", "mawi", "512", mtx.to_str().unwrap(), "7"])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "serve",
+            mtx.to_str().unwrap(),
+            "64",
+            "48",
+            "8",
+            "2",
+            "--metrics-json",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args(["report", json.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("rank-agreement"), "table header: {text}");
+    assert!(
+        text.lines().any(|l| l.starts_with("arrow")),
+        "per-algorithm row for the bound Arrow algorithm: {text}"
+    );
+    // The cost model's volume prediction is derived from the planned
+    // distribution, so on an uncorrected serve run the accounted
+    // volumes must confirm the planner's ranking in every check.
+    assert!(
+        text.contains("held up in 100.0% of checked runs"),
+        "rank agreement on a static serve workload: {text}"
+    );
+    assert!(
+        text.contains("predicted/accounted = 1.000"),
+        "volume prediction calibrated: {text}"
+    );
+    // A metrics file without attribution data fails cleanly.
+    let empty = tmp("report-empty.json");
+    std::fs::write(&empty, "{\"schema\": \"amd-metrics/1\"}").unwrap();
+    let out = cli()
+        .args(["report", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no cost-attribution data"));
+    for f in [mtx, json, empty] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn timeseries_log_feeds_the_top_dashboard() {
+    let mtx = tmp("ts.mtx");
+    let ts = tmp("ts.jsonl");
+    cli()
+        .args(["generate", "osm", "800", mtx.to_str().unwrap(), "5"])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "stream",
+            mtx.to_str().unwrap(),
+            "32",
+            "40",
+            "10",
+            "0.02",
+            "9",
+            "--tenants",
+            "2",
+            "--timeseries",
+            ts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stream --timeseries failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Every line parses with the workspace's own reader; sequence
+    // numbers are contiguous and the final cumulative counters match
+    // the whole run.
+    let body = std::fs::read_to_string(&ts).expect("timeseries written");
+    let points: Vec<_> = body
+        .lines()
+        .map(|l| arrow_matrix::obs::parse_ts_line(l).expect("ts line parses"))
+        .collect();
+    assert!(points.len() >= 2, "at least startup + exit samples: {body}");
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.seq, i as u64, "contiguous sequence");
+    }
+    let last = points.last().unwrap();
+    assert_eq!(last.counter("hub.queries"), 20, "10 queries × 2 tenants");
+    assert!(last.counter("hub.updates") > 0);
+    assert!(
+        last.counter("engine.plan.accounted_bytes") > 0,
+        "attribution flowed into the time series: {body}"
+    );
+    // `top` renders the same log.
+    let out = cli().args(["top", ts.to_str().unwrap()]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "top failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("queries/s"), "rates line: {text}");
+    assert!(text.contains("splice"), "splice ratio line: {text}");
+    assert!(text.contains("hit rate"), "cache line: {text}");
+    assert!(
+        text.contains("tenant 1") && text.contains("tenant 2"),
+        "per-tenant rows: {text}"
+    );
+    let _ = std::fs::remove_file(&mtx);
+    let _ = std::fs::remove_file(&ts);
+}
+
+#[test]
+fn stream_exports_a_complete_chrome_trace() {
+    let mtx = tmp("trace.mtx");
+    let trace = tmp("trace.json");
+    cli()
+        .args(["generate", "osm", "800", mtx.to_str().unwrap(), "5"])
+        .output()
+        .unwrap();
+    // Tight budget forces refreshes; the background worker path is the
+    // one that traces a decompose child span under each refresh root.
+    let out = cli()
+        .args([
+            "stream",
+            mtx.to_str().unwrap(),
+            "32",
+            "40",
+            "10",
+            "0.02",
+            "9",
+            "--async-refresh",
+            "--trace-json",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stream --trace-json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&trace).expect("trace written");
+    let doc = arrow_matrix::obs::parse_json(&body).expect("Chrome trace JSON parses");
+    let events = match doc.get("traceEvents") {
+        Some(arrow_matrix::obs::JsonValue::Arr(items)) => items,
+        other => panic!("traceEvents missing: {other:?}"),
+    };
+    let arg_u64 = |e: &arrow_matrix::obs::JsonValue, k: &str| {
+        e.get("args")
+            .and_then(|a| a.get(k))
+            .and_then(|v| v.as_u64())
+    };
+    fn name_of(e: &arrow_matrix::obs::JsonValue) -> &str {
+        e.get("name").and_then(|n| n.as_str()).unwrap_or_default()
+    }
+    // No event references a parent outside the export.
+    let ids: Vec<u64> = events.iter().filter_map(|e| arg_u64(e, "id")).collect();
+    for e in events {
+        if let Some(parent) = arg_u64(e, "parent") {
+            assert!(
+                parent == 0 || ids.contains(&parent),
+                "dangling parent {parent} in {body}"
+            );
+        }
+    }
+    // The refresh span tree exports complete: a "refresh" complete
+    // span with a "decompose" child nested under it.
+    let refresh = events
+        .iter()
+        .find(|e| name_of(e) == "refresh")
+        .expect("a refresh span was traced");
+    assert_eq!(refresh.get("ph").and_then(|p| p.as_str()), Some("X"));
+    let refresh_id = arg_u64(refresh, "id").unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| name_of(e) == "decompose" && arg_u64(e, "parent") == Some(refresh_id)),
+        "decompose nests under refresh: {body}"
+    );
+    // Multiply events carry the attribution detail.
+    assert!(
+        events.iter().any(|e| {
+            name_of(e) == "multiply"
+                && e.get("args")
+                    .and_then(|a| a.get("detail"))
+                    .and_then(|d| d.as_str())
+                    .is_some_and(|d| d.contains("accounted_rank_bytes="))
+        }),
+        "multiply events carry accounted volumes: {body}"
+    );
+    // Lane metadata names the process.
+    assert!(
+        events.iter().any(|e| name_of(e) == "process_name"),
+        "process metadata present: {body}"
+    );
+    let _ = std::fs::remove_file(&mtx);
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn decompose_and_multiply_write_metrics_snapshots() {
+    let mtx = tmp("oneshot.mtx");
+    let amd = tmp("oneshot.amd");
+    let djson = tmp("oneshot-d.json");
+    let mjson = tmp("oneshot-m.json");
+    cli()
+        .args(["generate", "osm", "600", mtx.to_str().unwrap(), "3"])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "decompose",
+            mtx.to_str().unwrap(),
+            "64",
+            amd.to_str().unwrap(),
+            "42",
+            "--metrics-json",
+            djson.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "decompose --metrics-json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&djson).expect("decompose metrics written");
+    let v = arrow_matrix::obs::parse_json(&body).expect("metrics JSON parses");
+    assert_eq!(
+        v.get("decompose.seconds")
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_u64()),
+        Some(1),
+        "one decompose duration sample: {body}"
+    );
+    assert_eq!(
+        v.get("matrix.n").and_then(|n| n.as_u64()),
+        Some(600),
+        "matrix size recorded: {body}"
+    );
+    let out = cli()
+        .args([
+            "multiply",
+            mtx.to_str().unwrap(),
+            amd.to_str().unwrap(),
+            "8",
+            "2",
+            "--metrics-json",
+            mjson.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "multiply --metrics-json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("cost    : predicted"),
+        "multiply prints the predicted-vs-accounted line"
+    );
+    // The one-shot attribution feeds the same calibration table.
+    let out = cli()
+        .args(["report", mjson.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "report on multiply metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.lines().any(|l| l.starts_with("arrow")),
+        "arrow calibration row: {text}"
+    );
+    assert!(
+        text.contains("n/a"),
+        "single-algorithm run has no ranking to check: {text}"
+    );
+    for f in [mtx, amd, djson, mjson] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
 fn stream_rejects_bad_tenant_flag() {
     let mtx = tmp("stream-bad-tenants.mtx");
     cli()
