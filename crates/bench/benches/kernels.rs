@@ -1,20 +1,30 @@
-//! K1–K5 — criterion microbenchmarks of the computational kernels.
+//! K1–K8 — criterion microbenchmarks of the computational kernels.
 //!
 //! These cover the building blocks whose constants determine the end-to-
 //! end numbers: local SpMM (serial vs rayon), LA-Decompose construction,
 //! random spanning forests, the smallest-first layout, and the binomial
-//! broadcast of the comm substrate.
+//! broadcast of the comm substrate — plus the serving-path kernels: the
+//! fused active-prefix level multiply vs the naive three-pass reference,
+//! `f32` vs `f64` compiled serving, and a splice-depth sweep showing the
+//! fusion's advantage grow as incremental refreshes stack shallow
+//! levels. The serving-kernel sweeps are written to `BENCH_kernels.json`
+//! at the workspace root so future changes can diff them machine-
+//! readably.
 
 use amd_bench::{bench_graph, BENCH_SEED};
 use amd_comm::{Group, Machine};
 use amd_graph::generators::datasets::DatasetKind;
 use amd_graph::mst::random_spanning_forest;
 use amd_linarr::tree_layout::{root_tree, smallest_first_order};
-use amd_sparse::{spmm, CsrMatrix, DenseMatrix};
-use arrow_core::{la_decompose, DecomposeConfig, RandomForestLa};
+use amd_sparse::{ops, spmm, CooMatrix, CsrMatrix, DeltaBuilder, DenseMatrix};
+use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
+use arrow_core::{
+    decompose_snapshot, la_decompose, ArrowDecomposition, DecomposeConfig, RandomForestLa,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::io::Write;
 
 fn bench_local_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_spmm");
@@ -95,12 +105,225 @@ fn bench_broadcast(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ring plus short chords: banded, several levels.
+fn banded(n: u32) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for v in 0..n {
+        coo.push_sym(v, (v + 1) % n, 1.0).unwrap();
+        coo.push_sym(v, (v + 4) % n, 1.0).unwrap();
+    }
+    coo.to_csr()
+}
+
+/// Splices `rounds` localized deltas onto `d`, deepening the level stack
+/// with small-active-prefix levels. Returns the spliced decomposition and
+/// the merged matrix.
+fn splice_rounds(
+    base: &CsrMatrix<f64>,
+    d: &ArrowDecomposition,
+    cfg: &DecomposeConfig,
+    rounds: u32,
+) -> (ArrowDecomposition, CsrMatrix<f64>) {
+    let n = base.rows();
+    let policy = IncrementalPolicy {
+        max_affected_fraction: 1.0,
+        max_order: 256,
+        ..Default::default()
+    };
+    let mut cur = base.clone();
+    let mut dec = d.clone();
+    for round in 0..rounds {
+        let start = 1000 + round * 50;
+        let mut delta = DeltaBuilder::<f64>::new(n, n);
+        for i in 0..12u32 {
+            let u = (start + 3 * i) % n;
+            delta.add_sym(u, (u + 2) % n, 1.0).unwrap();
+        }
+        let merged = ops::apply_delta(&cur, &delta.to_csr()).expect("delta applies");
+        let (next, outcome) = decompose_snapshot_incremental(
+            &merged,
+            cfg,
+            BENCH_SEED,
+            Some(&dec),
+            Some(&delta.touched_vertices()),
+            &policy,
+        )
+        .expect("refresh decomposes");
+        assert!(
+            outcome.incremental,
+            "splice fell back: {:?}",
+            outcome.fallback
+        );
+        cur = merged;
+        dec = next;
+    }
+    (dec, cur)
+}
+
+struct FusedCase {
+    n: u32,
+    k: u32,
+    splice_rounds: u32,
+    levels: u32,
+    active_prefix: f64,
+    naive_ms: f64,
+    fused_ms: f64,
+}
+
+struct DtypeCase {
+    n: u32,
+    k: u32,
+    f64_ms: f64,
+    f32_ms: f64,
+}
+
+/// K6/K8 — fused active-prefix multiply vs the naive three-pass
+/// reference, over RHS widths and splice depths. The spliced levels have
+/// tiny active prefixes, so the naive path's full-`n` permute passes
+/// dominate and the fused advantage grows with depth.
+fn bench_fused_vs_naive(c: &mut Criterion, cases: &mut Vec<FusedCase>) {
+    let mut group = c.benchmark_group("fused_vs_naive");
+    group.sample_size(10);
+    let n = 20_000u32;
+    let base = banded(n);
+    let cfg = DecomposeConfig::with_width(64);
+    let cold = decompose_snapshot(&base, &cfg, BENCH_SEED).expect("decomposes");
+    for rounds in [0u32, 4, 8] {
+        let (d, _) = splice_rounds(&base, &cold, &cfg, rounds);
+        for k in [8u32, 64] {
+            let x = DenseMatrix::from_fn(n, k, |r, cc| (((r + cc) % 9) as f64) - 4.0);
+            let label = format!("n={n}/splices={rounds}");
+            let mut naive_secs = f64::INFINITY;
+            group.bench_with_input(BenchmarkId::new(format!("naive/{label}"), k), &k, |b, _| {
+                b.iter(|| {
+                    let t = amd_obs::Stopwatch::start();
+                    let y = d.multiply_unfused(&x).unwrap();
+                    naive_secs = naive_secs.min(t.elapsed_seconds());
+                    y
+                })
+            });
+            let mut fused_secs = f64::INFINITY;
+            group.bench_with_input(BenchmarkId::new(format!("fused/{label}"), k), &k, |b, _| {
+                b.iter(|| {
+                    let t = amd_obs::Stopwatch::start();
+                    let y = d.multiply(&x).unwrap();
+                    fused_secs = fused_secs.min(t.elapsed_seconds());
+                    y
+                })
+            });
+            cases.push(FusedCase {
+                n,
+                k,
+                splice_rounds: rounds,
+                levels: d.order() as u32,
+                active_prefix: d.active_prefix_fraction(),
+                naive_ms: naive_secs * 1e3,
+                fused_ms: fused_secs * 1e3,
+            });
+        }
+    }
+    group.finish();
+}
+
+/// K7 — compiled `f32` vs `f64` serving multiply (same fused kernel,
+/// half the bytes per value).
+fn bench_dtype(c: &mut Criterion, cases: &mut Vec<DtypeCase>) {
+    let mut group = c.benchmark_group("dtype");
+    group.sample_size(10);
+    let n = 20_000u32;
+    let base = banded(n);
+    let d = decompose_snapshot(&base, &DecomposeConfig::with_width(64), BENCH_SEED)
+        .expect("decomposes");
+    let c64 = d.compile::<f64>();
+    let c32 = d.compile::<f32>();
+    for k in [8u32, 64] {
+        let x64 = DenseMatrix::from_fn(n, k, |r, cc| (((r + cc) % 9) as f64) - 4.0);
+        let x32 = DenseMatrix::from_fn(n, k, |r, cc| (((r + cc) % 9) as f32) - 4.0);
+        let mut f64_secs = f64::INFINITY;
+        group.bench_with_input(BenchmarkId::new("f64", k), &k, |b, _| {
+            b.iter(|| {
+                let t = amd_obs::Stopwatch::start();
+                let y = c64.multiply(&x64).unwrap();
+                f64_secs = f64_secs.min(t.elapsed_seconds());
+                y
+            })
+        });
+        let mut f32_secs = f64::INFINITY;
+        group.bench_with_input(BenchmarkId::new("f32", k), &k, |b, _| {
+            b.iter(|| {
+                let t = amd_obs::Stopwatch::start();
+                let y = c32.multiply(&x32).unwrap();
+                f32_secs = f32_secs.min(t.elapsed_seconds());
+                y
+            })
+        });
+        cases.push(DtypeCase {
+            n,
+            k,
+            f64_ms: f64_secs * 1e3,
+            f32_ms: f32_secs * 1e3,
+        });
+    }
+    group.finish();
+}
+
+fn bench_serving_kernels(c: &mut Criterion) {
+    let mut fused = Vec::new();
+    let mut dtype = Vec::new();
+    bench_fused_vs_naive(c, &mut fused);
+    bench_dtype(c, &mut dtype);
+    write_json(&fused, &dtype);
+}
+
+/// Machine-readable summary for the perf trajectory of future PRs.
+/// Hand-formatted (no serde in the offline workspace).
+fn write_json(fused: &[FusedCase], dtype: &[DtypeCase]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"kernels\",\n  \"fused_vs_naive\": [\n");
+    for (i, c) in fused.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"n\": {}, \"k\": {}, \"splice_rounds\": {}, \"levels\": {}, \
+             \"active_prefix\": {:.4}, \"naive_ms\": {:.3}, \"fused_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            c.n,
+            c.k,
+            c.splice_rounds,
+            c.levels,
+            c.active_prefix,
+            c.naive_ms,
+            c.fused_ms,
+            c.naive_ms / c.fused_ms,
+            if i + 1 < fused.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n  \"dtype\": [\n");
+    for (i, c) in dtype.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"n\": {}, \"k\": {}, \"f64_ms\": {:.3}, \"f32_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            c.n,
+            c.k,
+            c.f64_ms,
+            c.f32_ms,
+            c.f64_ms / c.f32_ms,
+            if i + 1 < dtype.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     kernels,
     bench_local_spmm,
     bench_decomposition,
     bench_spanning_forest,
     bench_tree_layout,
-    bench_broadcast
+    bench_broadcast,
+    bench_serving_kernels
 );
 criterion_main!(kernels);

@@ -1,7 +1,9 @@
 //! The arrow matrix decomposition `A = Σᵢ P_πᵢ Bᵢ Pᵀ_πᵢ` (§4).
 
 use crate::arrow_matrix::ArrowMatrix;
-use amd_sparse::{ops, spmm, CsrMatrix, DenseMatrix, Permutation, SparseError, SparseResult};
+use amd_sparse::{
+    kernel, ops, spmm, CsrMatrix, DenseMatrix, Permutation, SparseError, SparseResult,
+};
 
 /// One level of the decomposition: a permutation `πᵢ` and the arrow matrix
 /// `Bᵢ` expressed in permuted coordinates (positions).
@@ -141,17 +143,52 @@ impl ArrowDecomposition {
         self.reconstruct()?.max_abs_diff(a)
     }
 
-    /// Sequential `Y = A · X` through the decomposition (Eq. 1):
+    /// Fraction of positions that are active, averaged over levels
+    /// (`Σᵢ active_nᵢ / (l · n)`). Spliced levels produced by incremental
+    /// refresh have tiny active prefixes, so a low fraction means the
+    /// fused multiply skips most of the permutation work a naive
+    /// level-by-level multiply would pay. `1.0` for an empty decomposition
+    /// (nothing is skippable).
+    pub fn active_prefix_fraction(&self) -> f64 {
+        if self.levels.is_empty() || self.n == 0 {
+            return 1.0;
+        }
+        let active: u64 = self.levels.iter().map(|l| l.active_n as u64).sum();
+        active as f64 / (self.levels.len() as u64 * self.n as u64) as f64
+    }
+
+    /// `Y = A · X` through the decomposition (Eq. 1):
     /// `AX = Σᵢ P_πᵢ (Bᵢ (Pᵀ_πᵢ X))`.
     ///
-    /// This is the reference the distributed algorithm is tested against;
-    /// it exercises the same permute-multiply-aggregate structure.
+    /// Each level runs the fused active-prefix kernel
+    /// ([`kernel::fused_level_acc`]): one cache-blocked pass that gathers
+    /// `x` through the arrangement, multiplies the banded level matrix and
+    /// accumulates straight into `y`, touching only the level's active
+    /// prefix. Bit-identical to [`multiply_unfused`](Self::multiply_unfused)
+    /// for all non-NaN inputs (see the kernel module docs for why).
     pub fn multiply(&self, x: &DenseMatrix<f64>) -> SparseResult<DenseMatrix<f64>> {
         let mut y = DenseMatrix::zeros(self.n, x.cols());
         for level in &self.levels {
+            kernel::fused_level_acc(
+                &level.matrix,
+                level.perm.order(),
+                level.active_n,
+                x,
+                &mut y,
+                kernel::DEFAULT_K_BLOCK,
+            )?;
+        }
+        Ok(y)
+    }
+
+    /// The historical three-pass multiply: materialise `Pᵀ_πᵢ X`, run the
+    /// level SpMM over all `n` rows, permute back, add. Kept as the naive
+    /// comparator for the fused kernel's exactness tests and the
+    /// `kernels` benchmark — not a serving path.
+    pub fn multiply_unfused(&self, x: &DenseMatrix<f64>) -> SparseResult<DenseMatrix<f64>> {
+        let mut y = DenseMatrix::zeros(self.n, x.cols());
+        for level in &self.levels {
             let px = level.perm.apply_rows(x)?;
-            // Only the active prefix can produce nonzero output rows, but
-            // the multiply is cheap either way at reference scale.
             let yi = spmm::spmm(&level.matrix, &px)?;
             let back = level.perm.unapply_rows(&yi)?;
             y.add_assign(&back)?;
@@ -274,6 +311,26 @@ mod tests {
         // Out-of-bounds targets are rejected too.
         assert!(d.patch_values(&[(40, 0, 1.0)]).is_err());
         assert_eq!(d.validate(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fused_multiply_bit_matches_unfused() {
+        let (_, d) = decompose_star(60, 4);
+        let x = DenseMatrix::from_fn(60, 7, |r, c| ((r * 7 + c) % 23) as f64 / 4.0 - 2.5);
+        assert_eq!(d.multiply(&x).unwrap(), d.multiply_unfused(&x).unwrap());
+    }
+
+    #[test]
+    fn active_prefix_fraction_bounds() {
+        let (_, d) = decompose_star(40, 4);
+        let f = d.active_prefix_fraction();
+        assert!(f > 0.0 && f <= 1.0, "fraction {f} out of range");
+        let total: u64 = d.levels().iter().map(|l| l.active_n as u64).sum();
+        assert_eq!(f, total as f64 / (d.order() as u64 * 40) as f64);
+        assert_eq!(
+            ArrowDecomposition::new(5, 2, Vec::new()).active_prefix_fraction(),
+            1.0
+        );
     }
 
     #[test]

@@ -111,6 +111,13 @@ pub enum FallbackReason {
     /// LA-Decompose failed on the induced subgraph (e.g. its own
     /// `max_levels` cap); the cold path gets to try the full matrix.
     SubDecompose,
+    /// A serving-cost guard predicted the spliced decomposition would
+    /// serve slower than its budget over the cold baseline, so the
+    /// holder re-compacted (rebuilt cold) instead of keeping the
+    /// splice. Never produced by
+    /// [`decompose_snapshot_incremental`] itself — stamped by
+    /// cost-aware callers (e.g. the engine's splice guard).
+    CostGuard,
 }
 
 /// Wall-clock breakdown of one refresh decomposition, measured inside

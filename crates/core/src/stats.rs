@@ -16,6 +16,11 @@ pub struct LevelStats {
     pub nonzero_rows: u32,
     /// The dense active prefix length (positions that may host entries).
     pub active_n: u32,
+    /// `active_n / n`: the share of positions the fused multiply kernel
+    /// actually touches at this level. Spliced levels from incremental
+    /// refresh sit near `0`, which is what makes serving deep splices
+    /// cheap.
+    pub active_fraction: f64,
     /// Nonzero `b × b` tiles in the arrow layout.
     pub nonzero_tiles: usize,
 }
@@ -36,6 +41,10 @@ pub struct DecompositionStats {
     /// Fraction of rows of the *second* matrix that are nonzero, the
     /// quantity §7.2 reports as 0.1%–13%. `0.0` for order-1 decompositions.
     pub second_level_row_fraction: f64,
+    /// Level-averaged active-prefix share
+    /// ([`ArrowDecomposition::active_prefix_fraction`]): the fraction of
+    /// per-level positions the fused serving kernel reads/writes.
+    pub active_prefix_fraction: f64,
 }
 
 impl DecompositionStats {
@@ -50,6 +59,11 @@ impl DecompositionStats {
                 nnz: l.nnz(),
                 nonzero_rows: l.matrix.nonzero_row_count(),
                 active_n: l.active_n,
+                active_fraction: if d.n() > 0 {
+                    l.active_n as f64 / d.n() as f64
+                } else {
+                    1.0
+                },
                 nonzero_tiles: l.to_arrow(d.b()).map(|a| a.nonzero_tiles()).unwrap_or(0),
             })
             .collect();
@@ -74,6 +88,7 @@ impl DecompositionStats {
             levels,
             compaction_factor,
             second_level_row_fraction,
+            active_prefix_fraction: d.active_prefix_fraction(),
         }
     }
 
@@ -165,6 +180,13 @@ mod tests {
         assert!(s.compaction_factor > 1.0, "factor {}", s.compaction_factor);
         assert!(s.is_x_compacting(1.5));
         assert!(s.second_level_row_fraction < 0.5);
+        assert_eq!(s.active_prefix_fraction, d.active_prefix_fraction());
+        for l in &s.levels {
+            assert_eq!(l.active_fraction, l.active_n as f64 / d.n() as f64);
+        }
+        // Later levels of a compacting decomposition have shrinking
+        // active prefixes.
+        assert!(s.levels.last().unwrap().active_fraction < s.levels[0].active_fraction);
     }
 
     #[test]

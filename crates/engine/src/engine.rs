@@ -20,10 +20,12 @@ use crate::cache::{CacheStats, DecompositionCache};
 use crate::planner::{plan, Plan, PlannerConfig, Prediction};
 use amd_comm::CostModel;
 use amd_obs::{Counter, Gauge, Histogram, SpanId, Stopwatch, Telemetry};
-use amd_sparse::{CsrMatrix, DenseMatrix, SparseError, SparseResult};
+use amd_sparse::{CsrMatrix, DenseMatrix, Dtype, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
-use amd_spmm::{DeltaSpmm, DistSpmm};
-use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy, RefreshOutcome};
+use amd_spmm::{DeltaSpmm, DistSpmm, ServingCostGuard, DEFAULT_MAX_SLICE_SLOWDOWN};
+use arrow_core::incremental::{
+    decompose_snapshot_incremental, FallbackReason, IncrementalPolicy, RefreshOutcome,
+};
 use arrow_core::{ArrowDecomposition, DecomposeConfig};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -80,6 +82,17 @@ pub struct EngineConfig {
     /// re-running LA-Decompose from scratch (see
     /// [`arrow_core::incremental`]).
     pub incremental: IncrementalPolicy,
+    /// Serving precision: every candidate algorithm is planned and run
+    /// at this dtype. `f32` halves the bytes the cost model charges per
+    /// value moved and runs local tile multiplies at emulated f32
+    /// precision (f64 accumulation); `f64` is the exact default.
+    pub dtype: Dtype,
+    /// Tolerated slowdown of a spliced decomposition's predicted serving
+    /// time over its binding's last cold baseline before
+    /// [`refresh_localized`](Engine::refresh_localized) re-compacts
+    /// (rebuilds cold) instead of serving the splice. See
+    /// [`ServingCostGuard`].
+    pub max_splice_slowdown: f64,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +106,8 @@ impl Default for EngineConfig {
             target_ranks: 16,
             max_batch: 64,
             incremental: IncrementalPolicy::default(),
+            dtype: Dtype::default(),
+            max_splice_slowdown: DEFAULT_MAX_SLICE_SLOWDOWN,
         }
     }
 }
@@ -150,6 +165,10 @@ pub struct EngineStats {
     /// back into the cost model, would have ranked a different
     /// algorithm first (see [`attribution`](crate::attribution)).
     pub mispredictions: u64,
+    /// Localized refreshes where the splice guard predicted the spliced
+    /// decomposition would serve slower than `max_splice_slowdown ×` the
+    /// cold baseline, so the engine re-compacted (rebuilt cold) instead.
+    pub recompactions: u64,
 }
 
 struct BoundMatrix {
@@ -169,6 +188,14 @@ struct BoundMatrix {
     /// Registration salt of this binding (see [`MatrixId`]); a refresh
     /// keeps its successor under the same salt.
     salt: u128,
+    /// Mean active-prefix fraction of the bound decomposition's levels
+    /// (Σ activeᵢ / (levels · n)) — the share of permuted rows the fused
+    /// kernel actually touches; carried into trace events.
+    active_prefix: f64,
+    /// Predicted per-iteration arrow serving seconds recorded at this
+    /// binding's last *cold* decomposition — the splice guard's
+    /// baseline, carried forward across spliced refreshes.
+    splice_baseline: f64,
 }
 
 /// The immutable half of a refresh, produced by
@@ -210,10 +237,17 @@ struct EngineMetrics {
     corrected_runs: Counter,
     refreshes: Counter,
     deregistered: Counter,
+    recompactions: Counter,
     largest_batch: Gauge,
     batch_size: Histogram,
     multiply_seconds: Histogram,
     refresh_seconds: Histogram,
+    /// Serving precision in bytes per value (4 = f32, 8 = f64) — a
+    /// config echo so a metrics snapshot identifies the serving mode.
+    dtype_bytes: Gauge,
+    /// Mean active-prefix fraction of the most recently planned
+    /// binding, in permille (gauges are integers).
+    active_prefix_permille: Gauge,
     /// Cost-attribution handles (`engine.plan.*`, `engine.algo.*`).
     attribution: AttributionMetrics,
 }
@@ -227,10 +261,13 @@ impl EngineMetrics {
             corrected_runs: registry.counter("engine.corrected_runs"),
             refreshes: registry.counter("engine.refreshes"),
             deregistered: registry.counter("engine.deregistered"),
+            recompactions: registry.counter("engine.recompactions"),
             largest_batch: registry.gauge("engine.largest_batch"),
             batch_size: registry.histogram("engine.batch_size"),
             multiply_seconds: registry.histogram("multiply.seconds"),
             refresh_seconds: registry.histogram("refresh.seconds"),
+            dtype_bytes: registry.gauge("engine.dtype_bytes"),
+            active_prefix_permille: registry.gauge("engine.active_prefix_permille"),
             attribution: AttributionMetrics::new(registry),
         }
     }
@@ -304,7 +341,7 @@ impl Engine {
     /// and bind the cheapest algorithm. Registering the same content
     /// twice is a no-op returning the same id.
     pub fn register(&mut self, a: &CsrMatrix<f64>) -> SparseResult<MatrixId> {
-        self.register_versioned(a, 0, 0, None, 0)
+        self.register_versioned(a, 0, 0, None, 0, None)
     }
 
     /// [`register`](Self::register) under a caller-chosen salt: identical
@@ -314,12 +351,15 @@ impl Engine {
     /// multi-tenant holder passes its tenant id here. Salt zero is plain
     /// registration.
     pub fn register_salted(&mut self, a: &CsrMatrix<f64>, salt: u128) -> SparseResult<MatrixId> {
-        self.register_versioned(a, 0, salt, None, 0)
+        self.register_versioned(a, 0, salt, None, 0, None)
     }
 
     /// `parent` is the content fingerprint this registration was
     /// refreshed from (0 for a cold registration) — recorded in the
     /// persistence catalog so version chains track delta lineage.
+    /// `carried_baseline` is the splice guard's cold-serving baseline to
+    /// carry forward from a refreshed predecessor; `None` treats this
+    /// binding's own decomposition as cold and records its prediction.
     fn register_versioned(
         &mut self,
         a: &CsrMatrix<f64>,
@@ -327,6 +367,7 @@ impl Engine {
         salt: u128,
         precomputed: Option<Arc<ArrowDecomposition>>,
         parent: u128,
+        carried_baseline: Option<f64>,
     ) -> SparseResult<MatrixId> {
         let fingerprint = a.fingerprint();
         let id = salted_id(fingerprint, salt);
@@ -377,6 +418,7 @@ impl Engine {
             cost: self.config.cost,
             target_ranks: self.config.target_ranks,
             k_hint: (self.config.max_batch as u32).clamp(1, 64),
+            dtype: self.config.dtype,
             ..PlannerConfig::default()
         };
         let Plan {
@@ -384,6 +426,17 @@ impl Engine {
             chosen,
             predictions,
         } = plan(a, &d, &planner_config)?;
+        let active_prefix = d.active_prefix_fraction();
+        self.metrics
+            .dtype_bytes
+            .set(self.config.dtype.bytes() as u64);
+        self.metrics
+            .active_prefix_permille
+            .set((active_prefix * 1000.0).round() as u64);
+        let splice_baseline = match carried_baseline {
+            Some(b) => b,
+            None => self.splice_guard().predicted_seconds(&d)?,
+        };
         if self.telemetry.tracer.is_enabled() {
             let cache_after = self.cache.stats();
             let source = if cache_after.decompositions > cache_before.decompositions {
@@ -400,8 +453,9 @@ impl Engine {
                 SpanId::NONE,
                 None,
                 format!(
-                    "algo={} predicted_seconds={:.3e} cache={source}",
-                    chosen, predictions[0].seconds
+                    "algo={} predicted_seconds={:.3e} cache={source} dtype={} \
+                     active_prefix={:.3}",
+                    chosen, predictions[0].seconds, self.config.dtype, active_prefix
                 ),
             );
         }
@@ -416,9 +470,22 @@ impl Engine {
                 version,
                 overlay: None,
                 salt,
+                active_prefix,
+                splice_baseline,
             },
         );
         Ok(MatrixId(id))
+    }
+
+    /// The engine's splice guard, configured from its cost model, batch
+    /// width, and slowdown budget. Stateless per call — per-binding
+    /// baselines live on [`BoundMatrix`].
+    fn splice_guard(&self) -> ServingCostGuard {
+        ServingCostGuard::new(
+            self.config.cost,
+            (self.config.max_batch as u32).clamp(1, 64),
+            self.config.max_splice_slowdown,
+        )
     }
 
     /// Replaces the binding of `old` with a re-decomposed, re-planned
@@ -527,6 +594,15 @@ impl Engine {
     /// decompose (splicing the prior where the policy permits, cold
     /// otherwise), then [`commit_refresh`](Self::commit_refresh).
     /// Returns the new binding and what the decompose actually did.
+    ///
+    /// **Splice guard**: after a spliced decompose, the predicted arrow
+    /// serving cost of the spliced level structure is checked against
+    /// the binding's last cold baseline. When it exceeds
+    /// `max_splice_slowdown ×` the baseline — the splice stack has grown
+    /// deep enough that serving it beats the point of splicing — the
+    /// engine re-compacts: the splice is discarded, the snapshot is
+    /// decomposed cold, and the outcome reports a non-incremental
+    /// rebuild. Counted in [`EngineStats::recompactions`].
     pub fn refresh_localized(
         &mut self,
         old: MatrixId,
@@ -534,7 +610,7 @@ impl Engine {
         touched: &[u32],
     ) -> SparseResult<(MatrixId, RefreshOutcome)> {
         let ticket = self.prepare_refresh_localized(old, merged, touched.to_vec())?;
-        let (d, outcome) = decompose_snapshot_incremental(
+        let (mut d, mut outcome) = decompose_snapshot_incremental(
             merged,
             &ticket.config,
             ticket.seed,
@@ -542,7 +618,52 @@ impl Engine {
             ticket.touched.as_deref(),
             &ticket.incremental,
         )?;
+        if outcome.incremental {
+            let mut guard = self.splice_guard();
+            if let Some(b) = self.bound.get(&old.0).map(|b| b.splice_baseline) {
+                guard = guard.with_baseline(b);
+            }
+            let verdict = guard.splice_verdict(&d)?;
+            if verdict.recompact {
+                let (cold, cold_outcome) = decompose_snapshot_incremental(
+                    merged,
+                    &ticket.config,
+                    ticket.seed,
+                    None,
+                    None,
+                    &ticket.incremental,
+                )?;
+                d = cold;
+                outcome = cold_outcome;
+                outcome.fallback = Some(FallbackReason::CostGuard);
+                self.metrics.recompactions.inc();
+                if self.telemetry.tracer.is_enabled() {
+                    self.telemetry.tracer.event(
+                        "splice_guard",
+                        SpanId::NONE,
+                        None,
+                        format!(
+                            "recompact=true predicted_seconds={:.3e} \
+                             baseline_seconds={:.3e} max_slowdown={:.2}",
+                            verdict.predicted_seconds,
+                            verdict.baseline_seconds,
+                            self.config.max_splice_slowdown
+                        ),
+                    );
+                }
+            }
+        }
+        // A cold rebuild (policy fallback or guard re-compaction) resets
+        // the binding's splice baseline to its own prediction.
+        let fresh_baseline = if outcome.incremental {
+            None
+        } else {
+            Some(self.splice_guard().predicted_seconds(&d)?)
+        };
         let id = self.commit_refresh(&ticket, merged, Some(Arc::new(d)))?;
+        if let (Some(fresh), Some(bound)) = (fresh_baseline, self.bound.get_mut(&id.0)) {
+            bound.splice_baseline = fresh;
+        }
         Ok((id, outcome))
     }
 
@@ -575,14 +696,23 @@ impl Engine {
         let version = old_bound.version + 1;
         let salt = old_bound.salt;
         let parent = old_bound.fingerprint;
-        let new_id = match self.register_versioned(merged, version, salt, decomposition, parent) {
-            Ok(id) => id,
-            Err(e) => {
-                // Leave the engine serving the old binding on failure.
-                self.bound.insert(old.0, old_bound);
-                return Err(e);
-            }
-        };
+        // Carry the splice guard's cold baseline across the refresh when
+        // the ticket carries a splice prior — a spliced successor is
+        // judged against its lineage's last cold build, not against
+        // itself. A priorless refresh decomposes cold, so the new
+        // binding records its own baseline. (refresh_localized resets
+        // the carried value after commit when the policy fell back to a
+        // cold decompose anyway.)
+        let carried = ticket.prior.is_some().then_some(old_bound.splice_baseline);
+        let new_id =
+            match self.register_versioned(merged, version, salt, decomposition, parent, carried) {
+                Ok(id) => id,
+                Err(e) => {
+                    // Leave the engine serving the old binding on failure.
+                    self.bound.insert(old.0, old_bound);
+                    return Err(e);
+                }
+            };
         // The merged content may already be bound (an update stream that
         // returned the matrix to a previously served state): registration
         // then reuses the existing binding, whose version must still move
@@ -770,6 +900,7 @@ impl Engine {
             refreshes: self.metrics.refreshes.get(),
             deregistered: self.metrics.deregistered.get(),
             mispredictions: self.metrics.attribution.mispredictions(),
+            recompactions: self.metrics.recompactions.get(),
         }
     }
 
@@ -921,13 +1052,16 @@ impl Engine {
                 .unwrap_or(0.0);
             let mut detail = format!(
                 "algo={} batch={} queries={}..={} iters={} corrected={} \
-                 predicted_seconds={:.3e} actual_seconds={:.3e}",
+                 dtype={} active_prefix={:.3} predicted_seconds={:.3e} \
+                 actual_seconds={:.3e}",
                 bound.chosen,
                 chunk.len(),
                 chunk[0].id.0,
                 chunk[chunk.len() - 1].id.0,
                 first.iters,
                 bound.overlay.is_some(),
+                self.config.dtype,
+                bound.active_prefix,
                 predicted,
                 multiply_seconds
             );
@@ -1601,5 +1735,123 @@ mod tests {
             })
             .unwrap();
         assert_eq!(resp.cost, None, "no attribution without a registry");
+    }
+
+    #[test]
+    fn f32_engine_serves_integer_data_exactly() {
+        // Small-integer values and operands round-trip f32 without
+        // rounding, so the half-bandwidth engine must answer bit-
+        // identically to the exact one.
+        let n = 96;
+        let a = ring(n);
+        let x: Vec<f64> = (0..n).map(|r| ((r % 9) as f64) - 4.0).collect();
+        let mut answers = Vec::new();
+        for dtype in [Dtype::F64, Dtype::F32] {
+            let mut e = Engine::new(EngineConfig {
+                target_ranks: 4,
+                dtype,
+                ..EngineConfig::default()
+            })
+            .unwrap();
+            let id = e.register(&a).unwrap();
+            let resp = e
+                .run_single(MultiplyQuery {
+                    matrix: id,
+                    x: x.clone(),
+                    iters: 2,
+                    sigma: None,
+                })
+                .unwrap();
+            answers.push(resp.y);
+        }
+        assert_eq!(answers[0], answers[1], "f32 must be exact on integers");
+    }
+
+    #[test]
+    fn trace_events_carry_dtype_and_active_prefix() {
+        let mut e = Engine::new(EngineConfig {
+            target_ranks: 4,
+            dtype: Dtype::F32,
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let id = e.register(&ring(48)).unwrap();
+        e.run_single(MultiplyQuery {
+            matrix: id,
+            x: vec![1.0; 48],
+            iters: 1,
+            sigma: None,
+        })
+        .unwrap();
+        let events = e.telemetry().tracer.snapshot();
+        let plan = events
+            .iter()
+            .find(|ev| ev.name == "plan")
+            .expect("plan event traced");
+        assert!(plan.detail.contains("dtype=f32"), "{}", plan.detail);
+        assert!(plan.detail.contains("active_prefix="), "{}", plan.detail);
+        let mul = events
+            .iter()
+            .find(|ev| ev.name == "multiply")
+            .expect("multiply event traced");
+        assert!(mul.detail.contains("dtype=f32"), "{}", mul.detail);
+        assert!(mul.detail.contains("active_prefix="), "{}", mul.detail);
+    }
+
+    #[test]
+    fn splice_guard_recompacts_deep_splices() {
+        // With a slowdown budget of exactly 1.0 every splice that deepens
+        // the level stack must trip the guard: the engine rebuilds cold
+        // and reports a non-incremental outcome.
+        let mut e = Engine::new(EngineConfig {
+            arrow_width: 8,
+            target_ranks: 4,
+            max_splice_slowdown: 1.0,
+            incremental: IncrementalPolicy {
+                max_affected_fraction: 1.0,
+                max_order: 64,
+                ..IncrementalPolicy::default()
+            },
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let n = 128;
+        let mut a = ring(n);
+        let mut id = e.register(&a).unwrap();
+        let mut recompacted = false;
+        for round in 0..6u32 {
+            let (u, v) = (round, round + n / 2);
+            let mut coo = amd_sparse::CooMatrix::new(n, n);
+            coo.push_sym(u, v, 1.0).unwrap();
+            let merged = amd_sparse::ops::apply_delta(&a, &coo.to_csr()).unwrap();
+            let (new_id, outcome) = e.refresh_localized(id, &merged, &[u, v]).unwrap();
+            a = merged;
+            id = new_id;
+            if outcome.fallback == Some(FallbackReason::CostGuard) {
+                assert!(!outcome.incremental);
+                recompacted = true;
+                break;
+            }
+        }
+        assert!(recompacted, "deep splices never tripped a 1.0× budget");
+        assert!(e.stats().recompactions > 0);
+        let events = e.telemetry().tracer.snapshot();
+        assert!(
+            events.iter().any(|ev| ev.name == "splice_guard"),
+            "guard decision traced"
+        );
+        // The recompacted binding still serves the right operator.
+        let x: Vec<f64> = (0..n).map(|r| ((r % 5) as f64) - 2.0).collect();
+        let resp = e
+            .run_single(MultiplyQuery {
+                matrix: id,
+                x: x.clone(),
+                iters: 1,
+                sigma: None,
+            })
+            .unwrap();
+        let xm = DenseMatrix::from_vec(n, 1, x).unwrap();
+        let want = amd_spmm::reference::iterated_spmm(&a, &xm, 1).unwrap();
+        assert_eq!(resp.y, want.data());
     }
 }

@@ -14,7 +14,7 @@
 use amd_comm::CostModel;
 use amd_graph::Graph;
 use amd_partition::{hype_partition, HypeConfig};
-use amd_sparse::{CsrMatrix, SparseResult};
+use amd_sparse::{CsrMatrix, Dtype, SparseResult};
 use amd_spmm::{best_c, A15dSpmm, A2dSpmm, ArrowSpmm, CommEstimate, DistSpmm, Hp1dSpmm};
 use arrow_core::ArrowDecomposition;
 use rand::SeedableRng;
@@ -33,6 +33,11 @@ pub struct PlannerConfig {
     pub k_hint: u32,
     /// Seed for the HYPE partition of the HP-1D candidate.
     pub partition_seed: u64,
+    /// Serving precision every candidate is constructed with: `f32`
+    /// halves the bytes each candidate's estimate charges per value
+    /// moved, and the bound winner runs its local multiplies at that
+    /// precision.
+    pub dtype: Dtype,
 }
 
 impl Default for PlannerConfig {
@@ -42,6 +47,7 @@ impl Default for PlannerConfig {
             target_ranks: 16,
             k_hint: 8,
             partition_seed: 0x9a27,
+            dtype: Dtype::default(),
         }
     }
 }
@@ -90,23 +96,31 @@ pub fn plan(
     let p = config.target_ranks.max(1);
     let mut candidates: Vec<(Box<dyn DistSpmm + Send + Sync>, CommEstimate)> = Vec::new();
 
-    let arrow = ArrowSpmm::new(d)?.with_cost(config.cost);
+    let arrow = ArrowSpmm::new(d)?
+        .with_cost(config.cost)
+        .with_dtype(config.dtype);
     let est = arrow.predict_volume(k);
     candidates.push((Box::new(arrow), est));
 
-    let a15 = A15dSpmm::new(a, p, best_c(p))?.with_cost(config.cost);
+    let a15 = A15dSpmm::new(a, p, best_c(p))?
+        .with_cost(config.cost)
+        .with_dtype(config.dtype);
     let est = a15.predict_volume(k);
     candidates.push((Box::new(a15), est));
 
     let q = (p as f64).sqrt().round().max(1.0) as u32;
-    let a2 = A2dSpmm::new(a, q * q)?.with_cost(config.cost);
+    let a2 = A2dSpmm::new(a, q * q)?
+        .with_cost(config.cost)
+        .with_dtype(config.dtype);
     let est = a2.predict_volume(k);
     candidates.push((Box::new(a2), est));
 
     let g = Graph::from_matrix_structure(a);
     let mut rng = ChaCha8Rng::seed_from_u64(config.partition_seed);
     let part = hype_partition(&g, p, &HypeConfig::default(), &mut rng);
-    let hp = Hp1dSpmm::new(a, &part)?.with_cost(config.cost);
+    let hp = Hp1dSpmm::new(a, &part)?
+        .with_cost(config.cost)
+        .with_dtype(config.dtype);
     let est = hp.predict_volume(k);
     candidates.push((Box::new(hp), est));
 

@@ -12,6 +12,10 @@
 //!   reorderings `PᵀAP` used throughout the decomposition,
 //! * [`DeltaBuilder`] — the coalescing `ΔA` accumulator of the streaming
 //!   update layer, with [`ops::apply_delta`] folding a delta into a base,
+//! * fused active-prefix level kernels ([`kernel`]) — the serving hot path
+//!   that permutes, band-multiplies and accumulates in one cache-blocked
+//!   pass, generic over [`Scalar`] with a [`Dtype`] selector for f32
+//!   half-bandwidth serving,
 //! * bandwidth and arrow-width measures ([`band`]).
 //!
 //! Conventions follow the paper (Gianinazzi et al., PPoPP'24): matrices are
@@ -26,6 +30,7 @@ pub mod delta;
 pub mod dense;
 pub mod error;
 pub mod io;
+pub mod kernel;
 pub mod ops;
 pub mod permutation;
 pub mod scalar;
@@ -38,4 +43,4 @@ pub use delta::DeltaBuilder;
 pub use dense::DenseMatrix;
 pub use error::{SparseError, SparseResult};
 pub use permutation::Permutation;
-pub use scalar::Scalar;
+pub use scalar::{Dtype, Scalar};

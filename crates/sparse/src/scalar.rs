@@ -4,9 +4,66 @@
 //! but the containers are generic so the library is usable with `f32` (for
 //! example to halve the memory footprint of a feature matrix).
 
-use std::fmt::Debug;
+use std::fmt::{self, Debug};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Serving-precision selector: which [`Scalar`] type a multiply runs in.
+///
+/// `F64` is the exact default used everywhere the paper's algorithms are
+/// verified bit-for-bit. `F32` halves the bandwidth of every multiply (and
+/// the bytes moved by the distributed algorithms' cost model) at the price
+/// of a bounded rounding error — see the f32 error-bound helpers in
+/// `arrow-core` for the derived bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dtype {
+    /// 32-bit floats: half the bytes per value, unit roundoff `2⁻²⁴`.
+    F32,
+    /// 64-bit floats: the exact reference precision.
+    #[default]
+    F64,
+}
+
+impl Dtype {
+    /// Bytes per matrix value at this precision.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F64 => 8,
+        }
+    }
+
+    /// Unit roundoff `u` (half the machine epsilon) of this precision.
+    pub const fn unit_roundoff(self) -> f64 {
+        match self {
+            Dtype::F32 => 5.960_464_477_539_063e-8,    // 2⁻²⁴
+            Dtype::F64 => 1.110_223_024_625_156_5e-16, // 2⁻⁵³
+        }
+    }
+
+    /// Canonical lowercase name (`"f32"` / `"f64"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+
+    /// Parses the canonical names, e.g. from a `--dtype` CLI flag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(Dtype::F32),
+            "f64" => Some(Dtype::F64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Numeric element type of sparse and dense matrices.
 ///
@@ -114,5 +171,19 @@ mod tests {
     fn abs_behaviour() {
         assert_eq!((-2.0f64).abs(), 2.0);
         assert_eq!((-2.0f32).abs(), 2.0);
+    }
+
+    #[test]
+    fn dtype_properties() {
+        assert_eq!(Dtype::default(), Dtype::F64);
+        assert_eq!(Dtype::F32.bytes(), 4);
+        assert_eq!(Dtype::F64.bytes(), 8);
+        assert_eq!(Dtype::F32.unit_roundoff(), (f32::EPSILON / 2.0) as f64);
+        assert_eq!(Dtype::F64.unit_roundoff(), f64::EPSILON / 2.0);
+        assert_eq!(Dtype::parse("f32"), Some(Dtype::F32));
+        assert_eq!(Dtype::parse("f64"), Some(Dtype::F64));
+        assert_eq!(Dtype::parse("f16"), None);
+        assert_eq!(Dtype::F32.to_string(), "f32");
+        assert_eq!(format!("{}", Dtype::F64), "f64");
     }
 }

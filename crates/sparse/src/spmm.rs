@@ -8,7 +8,7 @@
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{SparseError, SparseResult};
-use crate::scalar::Scalar;
+use crate::scalar::{Dtype, Scalar};
 use rayon::prelude::*;
 
 /// Serial `Y = A · X` for CSR `A` and dense `X`.
@@ -68,6 +68,59 @@ pub fn spmm_parallel<T: Scalar>(
         }
     });
     DenseMatrix::from_vec(a.rows(), x.cols(), data)
+}
+
+/// Serial `Y += A · X` at a selectable serving precision, over `f64`
+/// containers.
+///
+/// `Dtype::F64` is exactly [`spmm_acc`]. `Dtype::F32` emulates the
+/// half-bandwidth kernel of an f32 serving rank: matrix values and gathered
+/// `x` entries are narrowed to `f32` and multiplied in `f32`, while the
+/// running sums stay `f64` — which is the wire format the simulated machine
+/// transports between ranks, so cross-rank reduction order and precision
+/// are unchanged. Each emulated product therefore carries relative error at
+/// most `(1 + u)³ − 1` with `u = 2⁻²⁴` (narrow `a`, narrow `x`, round the
+/// product); see the error-bound helpers in `arrow-core` for the summed
+/// per-entry bound.
+pub fn spmm_acc_dtype(
+    a: &CsrMatrix<f64>,
+    x: &DenseMatrix<f64>,
+    y: &mut DenseMatrix<f64>,
+    dtype: Dtype,
+) -> SparseResult<()> {
+    if dtype == Dtype::F64 {
+        return spmm_acc(a, x, y);
+    }
+    check_shapes(a, x)?;
+    if y.rows() != a.rows() || y.cols() != x.cols() {
+        return Err(SparseError::ShapeMismatch {
+            left: (a.rows(), x.cols()),
+            right: (y.rows(), y.cols()),
+        });
+    }
+    let k = x.cols() as usize;
+    for r in 0..a.rows() {
+        let out = y.row_mut(r);
+        for (&c, &v) in a.row_indices(r).iter().zip(a.row_values(r)) {
+            let v32 = v as f32;
+            let xr = x.row(c);
+            for j in 0..k {
+                out[j] += (v32 * xr[j] as f32) as f64;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Allocating variant of [`spmm_acc_dtype`]: `Y = A · X` at `dtype`.
+pub fn spmm_dtype(
+    a: &CsrMatrix<f64>,
+    x: &DenseMatrix<f64>,
+    dtype: Dtype,
+) -> SparseResult<DenseMatrix<f64>> {
+    let mut y = DenseMatrix::zeros(a.rows(), x.cols());
+    spmm_acc_dtype(a, x, &mut y, dtype)?;
+    Ok(y)
 }
 
 /// Flop count of `A · X`: 2 · nnz(A) · k, the quantity charged to the
@@ -186,5 +239,47 @@ mod tests {
     fn flop_count() {
         let (a, _) = small();
         assert_eq!(spmm_flops(&a, 2), 2.0 * 3.0 * 2.0);
+    }
+
+    #[test]
+    fn dtype_f64_is_exact_spmm() {
+        let (a, x) = small();
+        assert_eq!(
+            spmm_dtype(&a, &x, Dtype::F64).unwrap(),
+            spmm(&a, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn dtype_f32_exact_on_small_integers() {
+        // Integer data well inside f32's 24-bit mantissa is exact.
+        let (a, x) = small();
+        assert_eq!(
+            spmm_dtype(&a, &x, Dtype::F32).unwrap(),
+            spmm(&a, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn dtype_f32_narrows_products() {
+        // 0.1 is not representable in f32, so the emulated product must
+        // differ from the f64 one — and match the hand-narrowed value.
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 0.1).unwrap();
+        let a = coo.to_csr();
+        let x = DenseMatrix::from_vec(1, 1, vec![0.3]).unwrap();
+        let y = spmm_dtype(&a, &x, Dtype::F32).unwrap();
+        assert_eq!(y.get(0, 0), (0.1f32 * 0.3f32) as f64);
+        assert_ne!(y.get(0, 0), 0.1 * 0.3);
+    }
+
+    #[test]
+    fn dtype_shape_mismatch_rejected() {
+        let (a, _) = small();
+        let bad = DenseMatrix::<f64>::zeros(3, 2);
+        assert!(spmm_dtype(&a, &bad, Dtype::F32).is_err());
+        let x = DenseMatrix::<f64>::zeros(2, 2);
+        let mut y = DenseMatrix::<f64>::zeros(3, 2);
+        assert!(spmm_acc_dtype(&a, &x, &mut y, Dtype::F32).is_err());
     }
 }

@@ -14,7 +14,7 @@
 use crate::layout::block_range;
 use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Group, Machine};
-use amd_sparse::{spmm, CsrMatrix, DenseMatrix, SparseError, SparseResult};
+use amd_sparse::{spmm, CsrMatrix, DenseMatrix, Dtype, SparseError, SparseResult};
 
 /// The paper's replication choice for the 1.5D baseline: the largest
 /// divisor of `p` that is at most `⌊√p⌋` ("we use c = ⌊√p⌋ in our
@@ -42,6 +42,7 @@ pub struct A15dSpmm {
     /// `tiles[rank]` = per-round submatrices `(tile index t, A(i, cols of t))`.
     tiles: Vec<Vec<(u32, CsrMatrix<f64>)>>,
     cost: CostModel,
+    dtype: Dtype,
 }
 
 impl A15dSpmm {
@@ -85,12 +86,28 @@ impl A15dSpmm {
             tiles_per_col,
             tiles,
             cost: CostModel::default(),
+            dtype: Dtype::default(),
         })
     }
 
     /// Overrides the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Selects the serving precision: local tile multiplies run at
+    /// `dtype` ([`spmm::spmm_acc_dtype`]) and [`predict_volume`] charges
+    /// `dtype` bytes per value moved.
+    ///
+    /// The simulated machine still ships `f64` buffers (the narrowing is
+    /// emulated value-wise), so at [`Dtype::F32`] the *accounted* volume
+    /// reads ~2× the prediction — the prediction reflects what a real
+    /// narrowed wire costs.
+    ///
+    /// [`predict_volume`]: DistSpmm::predict_volume
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = dtype;
         self
     }
 
@@ -155,7 +172,7 @@ impl DistSpmm for A15dSpmm {
                                 .expect("broadcast tile has block shape");
                             let mut pd = DenseMatrix::from_vec(r1 - r0, k, partial)
                                 .expect("partial buffer sized to block");
-                            spmm::spmm_acc(sub, &xd, &mut pd)
+                            spmm::spmm_acc_dtype(sub, &xd, &mut pd, self.dtype)
                                 .expect("stationary tile shapes align");
                             ctx.compute_flops(spmm::spmm_flops(sub, k));
                             partial = pd.into_vec();
@@ -192,7 +209,7 @@ impl DistSpmm for A15dSpmm {
     }
 
     fn predict_volume(&self, k: u32) -> CommEstimate {
-        let kb = 8.0 * k as f64;
+        let kb = self.dtype.bytes() as f64 * k as f64;
         let g = self.grid_rows as usize;
         let mut est = CommEstimate::default();
         for rank in 0..self.p {

@@ -23,7 +23,7 @@
 use crate::layout::{block_range, even_ranges};
 use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Group, Machine};
-use amd_sparse::{spmm, CsrMatrix, DenseMatrix, SparseError, SparseResult};
+use amd_sparse::{spmm, CsrMatrix, DenseMatrix, Dtype, SparseError, SparseResult};
 
 /// 2D A-stationary SpMM bound to a matrix.
 pub struct A2dSpmm {
@@ -36,6 +36,7 @@ pub struct A2dSpmm {
     /// `tiles[rank]` = the stationary tile `A(r, c)` of rank `r·q + c`.
     tiles: Vec<CsrMatrix<f64>>,
     cost: CostModel,
+    dtype: Dtype,
 }
 
 impl A2dSpmm {
@@ -69,12 +70,28 @@ impl A2dSpmm {
             rb,
             tiles,
             cost: CostModel::default(),
+            dtype: Dtype::default(),
         })
     }
 
     /// Overrides the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Selects the serving precision: local tile multiplies run at
+    /// `dtype` ([`spmm::spmm_acc_dtype`]) and [`predict_volume`] charges
+    /// `dtype` bytes per value moved.
+    ///
+    /// The simulated machine still ships `f64` buffers (the narrowing is
+    /// emulated value-wise), so at [`Dtype::F32`] the *accounted* volume
+    /// reads ~2× the prediction — the prediction reflects what a real
+    /// narrowed wire costs.
+    ///
+    /// [`predict_volume`]: DistSpmm::predict_volume
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = dtype;
         self
     }
 }
@@ -152,7 +169,7 @@ impl DistSpmm for A2dSpmm {
                         let xd = DenseMatrix::from_vec(ac1 - ac0, fk, xt)
                             .expect("broadcast tile has block shape");
                         ctx.compute_flops(spmm::spmm_flops(a_tile, fk));
-                        spmm::spmm(a_tile, &xd)
+                        spmm::spmm_dtype(a_tile, &xd, self.dtype)
                             .expect("2D tile shapes align")
                             .into_vec()
                     } else {
@@ -206,7 +223,7 @@ impl DistSpmm for A2dSpmm {
             let mut flops = 0.0;
             for f in 0..q {
                 let (f0, f1) = col_ranges[f as usize];
-                let fkb = 8.0 * (f1 - f0) as f64;
+                let fkb = self.dtype.bytes() as f64 * (f1 - f0) as f64;
                 // 1. Route X(r, f) to the diagonal of grid column r.
                 if c == f && r != c {
                     bytes += my_rows * fkb;

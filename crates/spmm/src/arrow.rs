@@ -20,7 +20,7 @@
 use crate::layout::{block_count, block_range};
 use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Group, Machine, RankCtx};
-use amd_sparse::{spmm, DenseMatrix, SparseError, SparseResult};
+use amd_sparse::{spmm, DenseMatrix, Dtype, SparseError, SparseResult};
 use arrow_core::{ArrowDecomposition, ArrowMatrix};
 
 /// Route table entry: rows this rank ships to (or accepts from) one peer.
@@ -71,6 +71,7 @@ pub struct ArrowSpmm {
     /// Vertex at position `p` of level 0 (`π₀⁻¹`), for X scatter/Y gather.
     level0_vertices: Vec<u32>,
     cost: CostModel,
+    dtype: Dtype,
 }
 
 impl ArrowSpmm {
@@ -166,12 +167,28 @@ impl ArrowSpmm {
             levels,
             level0_vertices,
             cost: CostModel::default(),
+            dtype: Dtype::default(),
         })
     }
 
     /// Overrides the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Selects the serving precision: local tile multiplies run at
+    /// `dtype` ([`spmm::spmm_acc_dtype`]) and [`predict_volume`] charges
+    /// `dtype` bytes per value moved.
+    ///
+    /// The simulated machine still ships `f64` buffers (the narrowing is
+    /// emulated value-wise), so at [`Dtype::F32`] the *accounted* volume
+    /// reads ~2× the prediction — the prediction reflects what a real
+    /// narrowed wire costs.
+    ///
+    /// [`predict_volume`]: DistSpmm::predict_volume
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = dtype;
         self
     }
 
@@ -199,6 +216,7 @@ fn arrow_multiply(
     my_i: u32,
     d_block: &[f64],
     k: u32,
+    dtype: Dtype,
 ) -> Vec<f64> {
     let group = Group::new(ctx, (level.offset..level.offset + level.nb).collect());
     let (r0, r1) = block_range(level.active_n, level.arrow.b(), my_i);
@@ -224,7 +242,7 @@ fn arrow_multiply(
     let partial0 = if my_rows > 0 {
         let d_mat = DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
         ctx.compute_flops(spmm::spmm_flops(row_tile, k));
-        spmm::spmm(row_tile, &d_mat)
+        spmm::spmm_dtype(row_tile, &d_mat, dtype)
             .expect("row tile shapes align")
             .into_vec()
     } else {
@@ -239,11 +257,11 @@ fn arrow_multiply(
         let mut c = DenseMatrix::zeros(r1 - r0, k);
         let col_tile = level.arrow.col_tile(my_i);
         ctx.compute_flops(spmm::spmm_flops(col_tile, k));
-        spmm::spmm_acc(col_tile, &d0_mat, &mut c).expect("column tile shapes align");
+        spmm::spmm_acc_dtype(col_tile, &d0_mat, &mut c, dtype).expect("column tile shapes align");
         let diag_tile = level.arrow.diag_tile(my_i);
         let d_mat = DenseMatrix::from_vec(r1 - r0, k, d_block.to_vec()).expect("block shape");
         ctx.compute_flops(spmm::spmm_flops(diag_tile, k));
-        spmm::spmm_acc(diag_tile, &d_mat, &mut c).expect("diagonal tile shapes align");
+        spmm::spmm_acc_dtype(diag_tile, &d_mat, &mut c, dtype).expect("diagonal tile shapes align");
         c.into_vec()
     }
 }
@@ -315,7 +333,7 @@ impl DistSpmm for ArrowSpmm {
                     }
                 }
                 // 2. Per-level arrow multiply (Algorithm 1).
-                let mut y_block = arrow_multiply(ctx, level, my_i, &x_block, k);
+                let mut y_block = arrow_multiply(ctx, level, my_i, &x_block, k, self.dtype);
                 // 3. Backward aggregation j+1 → j (Algorithm 2, lines 7–12).
                 if j + 1 < l {
                     for route in &plan.bwd_recvs {
@@ -373,7 +391,7 @@ impl DistSpmm for ArrowSpmm {
     }
 
     fn predict_volume(&self, k: u32) -> CommEstimate {
-        let kb = 8.0 * k as f64;
+        let kb = self.dtype.bytes() as f64 * k as f64;
         let mut est = CommEstimate::default();
         for level in &self.levels {
             let nb = level.nb as usize;
@@ -514,6 +532,27 @@ mod tests {
     fn k1_vector_case() {
         let a: CsrMatrix<f64> = basic::cycle(40).to_adjacency();
         check(&a, 8, 1, 2);
+    }
+
+    #[test]
+    fn f32_dtype_halves_predicted_bytes_and_stays_exact_on_integers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let a: CsrMatrix<f64> = random::random_tree(300, &mut rng).to_adjacency();
+        let d = decompose(&a, 16, 42);
+        let alg64 = ArrowSpmm::new(&d).unwrap();
+        let alg32 = ArrowSpmm::new(&d)
+            .unwrap()
+            .with_dtype(amd_sparse::Dtype::F32);
+        let est64 = alg64.predict_volume(4);
+        let est32 = alg32.predict_volume(4);
+        assert_eq!(est32.max_rank_bytes, est64.max_rank_bytes / 2.0);
+        assert_eq!(est32.max_rank_messages, est64.max_rank_messages);
+        // Integer data inside the f32 mantissa: the emulated f32 local
+        // multiplies are exact, so both precisions agree bit-for-bit.
+        let x = DenseMatrix::from_fn(300, 4, |r, c| (((r * 5 + c * 3) % 9) as f64) - 4.0);
+        let y64 = alg64.run(&x, 2).unwrap().y;
+        let y32 = alg32.run(&x, 2).unwrap().y;
+        assert_eq!(y64, y32);
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //! the base algorithm's row ownership; it makes the predicted cost grow
 //! linearly with delta density, which is exactly the signal the staleness
 //! budget and the planner need.
+//!
+//! The correction always runs in `f64`, even when the wrapped base serves
+//! at `f32` half bandwidth: the delta product is the exactness-critical
+//! path (its fixed reduction order is what makes corrected answers
+//! bit-identical to a cold rebuild on integer data), and a delta is tiny
+//! relative to the base, so narrowing it would save nothing measurable.
 
 use crate::traits::{apply_sigma, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::CostModel;

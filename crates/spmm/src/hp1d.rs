@@ -16,7 +16,9 @@
 use crate::traits::{apply_sigma, CommEstimate, DistSpmm, Sigma, SpmmRun};
 use amd_comm::{CostModel, Machine};
 use amd_partition::Partition;
-use amd_sparse::{spmm, CooMatrix, CsrMatrix, DenseMatrix, Permutation, SparseError, SparseResult};
+use amd_sparse::{
+    spmm, CooMatrix, CsrMatrix, DenseMatrix, Dtype, Permutation, SparseError, SparseResult,
+};
 
 /// HP-1D SpMM bound to a matrix and a partition.
 pub struct Hp1dSpmm {
@@ -36,6 +38,7 @@ pub struct Hp1dSpmm {
     /// Per rank: `(requester, rows)` to send, mirror of `fetches`.
     serves: Vec<Vec<(u32, Vec<u32>)>>,
     cost: CostModel,
+    dtype: Dtype,
 }
 
 impl Hp1dSpmm {
@@ -124,12 +127,28 @@ impl Hp1dSpmm {
             fetches,
             serves,
             cost: CostModel::default(),
+            dtype: Dtype::default(),
         })
     }
 
     /// Overrides the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Selects the serving precision: local tile multiplies run at
+    /// `dtype` ([`spmm::spmm_acc_dtype`]) and [`predict_volume`] charges
+    /// `dtype` bytes per value moved.
+    ///
+    /// The simulated machine still ships `f64` buffers (the narrowing is
+    /// emulated value-wise), so at [`Dtype::F32`] the *accounted* volume
+    /// reads ~2× the prediction — the prediction reflects what a real
+    /// narrowed wire costs.
+    ///
+    /// [`predict_volume`]: DistSpmm::predict_volume
+    pub fn with_dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = dtype;
         self
     }
 
@@ -189,8 +208,8 @@ impl DistSpmm for Hp1dSpmm {
                 }
                 // 2. Local SpMM overlaps with the transfers.
                 let xd = DenseMatrix::from_vec(e - s, k, x_cur.clone()).expect("own block shape");
-                let mut partial =
-                    spmm::spmm(&self.a_local[rank as usize], &xd).expect("local tile shapes align");
+                let mut partial = spmm::spmm_dtype(&self.a_local[rank as usize], &xd, self.dtype)
+                    .expect("local tile shapes align");
                 ctx.compute_flops(spmm::spmm_flops(&self.a_local[rank as usize], k));
                 // 3. Receive external rows (ascending owner = ascending
                 //    compact index) and run the non-local SpMM.
@@ -204,7 +223,8 @@ impl DistSpmm for Hp1dSpmm {
                 if !ext_x.is_empty() {
                     let ed = DenseMatrix::from_vec(a_ext.cols(), k, ext_x)
                         .expect("external block shape");
-                    spmm::spmm_acc(a_ext, &ed, &mut partial).expect("external tile shapes align");
+                    spmm::spmm_acc_dtype(a_ext, &ed, &mut partial, self.dtype)
+                        .expect("external tile shapes align");
                     ctx.compute_flops(spmm::spmm_flops(a_ext, k));
                 }
                 x_cur = partial.into_vec();
@@ -231,7 +251,7 @@ impl DistSpmm for Hp1dSpmm {
     }
 
     fn predict_volume(&self, k: u32) -> CommEstimate {
-        let kb = 8.0 * k as f64;
+        let kb = self.dtype.bytes() as f64 * k as f64;
         let mut est = CommEstimate::default();
         for rank in 0..self.p as usize {
             // Point-to-point fetch/serve lists: exact byte and message

@@ -15,7 +15,15 @@
 //!   above on a decomposed base `A₀` plus a per-iteration sparse-delta
 //!   correction, serving `A₀ + ΔA` without re-decomposing,
 //! * [`mod@reference`] — the serial reference every algorithm is verified
-//!   against.
+//!   against,
+//! * [`ServingCostGuard`] — splice-aware cost re-ranking: predicts the
+//!   serving cost of a spliced decomposition over its actual level
+//!   structure and decides when re-compaction beats serving deep splices.
+//!
+//! Every algorithm accepts a serving [`amd_sparse::Dtype`] via
+//! `with_dtype`: `f32` halves the bytes charged per value moved and runs
+//! local tile multiplies at emulated f32 precision (f64 accumulation, the
+//! machine's wire format), `f64` is the exact default.
 //!
 //! All algorithms implement [`DistSpmm`]: a `run(x, iters)` producing the
 //! final iterate (in original row order) and the machine's communication
@@ -29,6 +37,7 @@ pub mod a15d;
 pub mod a2d;
 pub mod arrow;
 pub mod corrected;
+pub mod guard;
 pub mod hp1d;
 pub mod layout;
 pub mod reference;
@@ -40,5 +49,6 @@ pub use a15d::{best_c, A15dSpmm};
 pub use a2d::A2dSpmm;
 pub use arrow::ArrowSpmm;
 pub use corrected::DeltaSpmm;
+pub use guard::{ServingCostGuard, SpliceVerdict, DEFAULT_MAX_SLICE_SLOWDOWN};
 pub use hp1d::Hp1dSpmm;
 pub use traits::{CommEstimate, DistSpmm, SpmmRun};

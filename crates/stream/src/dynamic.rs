@@ -31,11 +31,15 @@
 use crate::budget::{AdaptiveBudget, StalenessBudget};
 use crate::splice::{SpliceCounters, SpliceStats};
 use crate::update::Update;
+use amd_comm::CostModel;
 use amd_obs::{Counter, Gauge, Histogram, SpanId, Stopwatch, Telemetry};
-use amd_sparse::{ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, SparseError, SparseResult};
+use amd_sparse::{
+    ops, spmm, CsrMatrix, DeltaBuilder, DenseMatrix, Dtype, SparseError, SparseResult,
+};
+use amd_spmm::ServingCostGuard;
 use arrow_core::catalog::Catalog;
-use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
-use arrow_core::{decompose_snapshot, ArrowDecomposition, DecomposeConfig};
+use arrow_core::incremental::{decompose_snapshot_incremental, FallbackReason, IncrementalPolicy};
+use arrow_core::{decompose_snapshot, ArrowDecomposition, CompiledDecomposition, DecomposeConfig};
 use std::path::PathBuf;
 
 /// Smoothing factor of the measured corrected-multiply EWMA (the
@@ -73,6 +77,19 @@ pub struct DynamicConfig {
     /// correction's wall time — the kernel level has no cost-model
     /// prediction to lean on). `None` (default) keeps the budget fixed.
     pub adaptive: Option<AdaptiveBudget>,
+    /// Serving precision of [`DynamicMatrix::multiply`]. `f32` serves
+    /// the base contribution through a compiled half-bandwidth
+    /// decomposition ([`CompiledDecomposition`]) and narrows delta-
+    /// correction products to f32; `f64` (default) is exact. The f32
+    /// error is bounded by [`arrow_core::f32_multiply_error_bound`], and
+    /// exactly-representable data (small integers) is served exactly.
+    pub dtype: Dtype,
+    /// Splice guard: when set, a refresh whose spliced decomposition is
+    /// predicted (via [`ServingCostGuard`]) to serve more than this
+    /// factor slower than the last cold build re-compacts — discards
+    /// the splice and rebuilds cold. `None` (default) serves every
+    /// splice the [`IncrementalPolicy`] permits.
+    pub recompact_slowdown: Option<f64>,
 }
 
 impl Default for DynamicConfig {
@@ -85,6 +102,8 @@ impl Default for DynamicConfig {
             catalog_dir: None,
             incremental: IncrementalPolicy::default(),
             adaptive: None,
+            dtype: Dtype::default(),
+            recompact_slowdown: None,
         }
     }
 }
@@ -111,6 +130,10 @@ pub struct StreamStats {
     /// Point-in-time reloads from the catalog chain
     /// ([`DynamicMatrix::restore_at`]).
     pub restores: u64,
+    /// Refreshes where the splice guard discarded a permitted splice and
+    /// rebuilt cold (see [`DynamicConfig::recompact_slowdown`]). Always
+    /// counted inside `splice.fallback_refreshes` too.
+    pub recompactions: u64,
     /// The current adaptively derived `max_delta_nnz` budget (0 until
     /// the first refresh under an [`AdaptiveBudget`] policy).
     pub adaptive_budget_nnz: u64,
@@ -128,6 +151,7 @@ struct StreamMetrics {
     corrected_multiplies: Counter,
     exact_multiplies: Counter,
     restores: Counter,
+    recompactions: Counter,
     adaptive_budget_nnz: Gauge,
     /// Wall time of one [`DynamicMatrix::multiply`] call (all
     /// iterations, base + correction + σ).
@@ -149,6 +173,7 @@ impl StreamMetrics {
             corrected_multiplies: r.counter("stream.corrected_multiplies"),
             exact_multiplies: r.counter("stream.exact_multiplies"),
             restores: r.counter("stream.restores"),
+            recompactions: r.counter("stream.recompactions"),
             adaptive_budget_nnz: r.gauge("stream.adaptive_budget_nnz"),
             multiply_seconds: r.histogram("stream.multiply.seconds"),
             refresh_seconds: r.histogram("stream.refresh.seconds"),
@@ -182,6 +207,14 @@ pub struct DynamicMatrix {
     /// Measured corrected-multiply overhead, seconds per delta entry
     /// per iteration (EWMA; 0 = no corrected multiply measured yet).
     corrected_entry_ewma: f64,
+    /// Half-bandwidth serving cache: the current decomposition compiled
+    /// to f32, built lazily on the first `dtype = f32` multiply and
+    /// invalidated whenever the decomposition changes (patch, refresh,
+    /// restore).
+    compiled_f32: Option<CompiledDecomposition<f32>>,
+    /// Splice guard, when [`DynamicConfig::recompact_slowdown`] is set;
+    /// holds the cold-build serving baseline across spliced refreshes.
+    guard: Option<ServingCostGuard>,
     config: DynamicConfig,
     telemetry: Telemetry,
     metrics: StreamMetrics,
@@ -245,6 +278,14 @@ impl DynamicMatrix {
         };
         let fresh = persisted_fp == 0;
         let n = a.rows();
+        let guard = match config.recompact_slowdown {
+            Some(slowdown) => {
+                let mut g = ServingCostGuard::new(CostModel::default(), 8, slowdown);
+                g.observe_cold(&decomposition)?;
+                Some(g)
+            }
+            None => None,
+        };
         let mut dm = Self {
             base: a,
             decomposition,
@@ -256,6 +297,8 @@ impl DynamicMatrix {
             persisted_fp,
             chain_head: persisted_fp,
             corrected_entry_ewma: 0.0,
+            compiled_f32: None,
+            guard,
             config,
             metrics: StreamMetrics::new(&telemetry),
             telemetry,
@@ -310,6 +353,7 @@ impl DynamicMatrix {
             corrected_multiplies: self.metrics.corrected_multiplies.get(),
             exact_multiplies: self.metrics.exact_multiplies.get(),
             restores: self.metrics.restores.get(),
+            recompactions: self.metrics.recompactions.get(),
             adaptive_budget_nnz: self.metrics.adaptive_budget_nnz.get(),
         }
     }
@@ -362,6 +406,7 @@ impl DynamicMatrix {
             && self.base.get_mut(row, col).is_some();
         if patchable {
             self.decomposition.patch_values(&[(row, col, additive)])?;
+            self.compiled_f32 = None;
             *self
                 .base
                 .get_mut(row, col)
@@ -387,6 +432,11 @@ impl DynamicMatrix {
     /// without re-decomposing. Fixed reduction order: base contribution
     /// (levels in peeling order), then the delta product (row-major,
     /// ascending columns), then σ — per iteration.
+    ///
+    /// Under [`DynamicConfig::dtype`]` = f32` the base contribution runs
+    /// through a cached [`CompiledDecomposition<f32>`] (values and
+    /// operands at half bandwidth) and delta products narrow to f32;
+    /// exactly representable data is still served exactly.
     pub fn multiply(
         &mut self,
         x: &DenseMatrix<f64>,
@@ -402,17 +452,39 @@ impl DynamicMatrix {
         let corrected = !self.delta.is_empty();
         if corrected {
             self.metrics.corrected_multiplies.inc();
+            self.delta_csr();
         } else {
             self.metrics.exact_multiplies.inc();
+        }
+        let f32_serving = self.config.dtype == Dtype::F32;
+        if f32_serving && self.compiled_f32.is_none() {
+            self.compiled_f32 = Some(self.decomposition.compile::<f32>());
         }
         let sw = Stopwatch::start();
         let mut cur = x.clone();
         let mut correction_secs = 0.0f64;
         for _ in 0..iters {
-            let mut y = self.decomposition.multiply(&cur)?;
+            let mut y = if f32_serving {
+                // Half-bandwidth base: the compiled f32 decomposition
+                // streams 4-byte values and operands through the fused
+                // kernel; the result widens back to the f64 iterate.
+                let x32 = DenseMatrix::from_fn(cur.rows(), cur.cols(), |r, c| cur.get(r, c) as f32);
+                let y32 = self
+                    .compiled_f32
+                    .as_ref()
+                    .expect("compiled above")
+                    .multiply(&x32)?;
+                DenseMatrix::from_fn(cur.rows(), cur.cols(), |r, c| y32.get(r, c) as f64)
+            } else {
+                self.decomposition.multiply(&cur)?
+            };
             if corrected {
                 let csw = Stopwatch::start();
-                let dy = spmm::spmm(self.delta_csr(), &cur)?;
+                let dy = spmm::spmm_dtype(
+                    self.delta_csr.as_ref().expect("materialised above"),
+                    &cur,
+                    self.config.dtype,
+                )?;
                 y.add_assign(&dy)?;
                 correction_secs += csw.elapsed_seconds();
             }
@@ -456,7 +528,7 @@ impl DynamicMatrix {
         let touched = self.delta.touched_vertices();
         let span = self.telemetry.tracer.start("refresh", SpanId::NONE, None);
         let sw = Stopwatch::start();
-        let (d, outcome) = decompose_snapshot_incremental(
+        let (mut d, mut outcome) = decompose_snapshot_incremental(
             &merged,
             &self.config.decompose,
             self.config.seed,
@@ -464,18 +536,40 @@ impl DynamicMatrix {
             Some(&touched),
             &self.config.incremental,
         )?;
+        // Splice guard: a permitted splice predicted to serve slower
+        // than the budget over the last cold build is discarded for a
+        // cold re-compaction.
+        if outcome.incremental {
+            if let Some(g) = &mut self.guard {
+                if g.splice_verdict(&d)?.recompact {
+                    d = decompose_snapshot(&merged, &self.config.decompose, self.config.seed)?;
+                    outcome.incremental = false;
+                    outcome.fallback = Some(FallbackReason::CostGuard);
+                    outcome.order = d.order() as u32;
+                    self.metrics.recompactions.inc();
+                }
+            }
+        }
+        if !outcome.incremental {
+            if let Some(g) = &mut self.guard {
+                g.observe_cold(&d)?;
+            }
+        }
         let refresh_seconds = sw.elapsed_seconds();
         self.metrics.refresh_seconds.record_seconds(refresh_seconds);
         self.telemetry.tracer.end_with(
             span,
             if outcome.incremental {
                 format!("incremental affected={}", outcome.affected_vertices)
+            } else if outcome.fallback == Some(FallbackReason::CostGuard) {
+                "recompacted (splice guard)".to_string()
             } else {
                 "cold fallback".to_string()
             },
         );
         self.metrics.splice.record(&outcome);
         self.decomposition = d;
+        self.compiled_f32 = None;
         self.base = merged;
         self.delta.clear();
         self.delta_csr = None;
@@ -517,9 +611,13 @@ impl DynamicMatrix {
         };
         self.base = d.reconstruct()?;
         self.decomposition = d;
+        self.compiled_f32 = None;
         self.delta.clear();
         self.delta_csr = None;
         self.version = record.version;
+        if let Some(g) = &mut self.guard {
+            g.observe_cold(&self.decomposition)?;
+        }
         self.persisted_fp = record.fingerprint;
         self.persist_dirty = false;
         self.metrics.restores.inc();
@@ -901,5 +999,112 @@ mod tests {
         let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + 2 * c) % 5) as f64);
         let got = dm.multiply(&x, 2, None).unwrap();
         assert_eq!(got, iterated_spmm(&dm.merged().unwrap(), &x, 2).unwrap());
+    }
+
+    #[test]
+    fn f32_serving_is_exact_on_integer_data() {
+        // Small-integer values and operands round-trip f32 exactly, so
+        // the half-bandwidth stream must serve bit-identical answers —
+        // through base-only, corrected, patched, and refreshed states.
+        let n = 48;
+        let mut cfg = config(8);
+        cfg.dtype = Dtype::F32;
+        let mut dm = DynamicMatrix::new(ring(n), cfg).unwrap();
+        let x = DenseMatrix::from_fn(n, 3, |r, c| ((r + 2 * c) % 7) as f64 - 3.0);
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(&ring(n), &x, 2).unwrap());
+        // Corrected path (structural delta) and in-place patch.
+        dm.apply(Update::Add {
+            row: 0,
+            col: 5,
+            delta: 3.0,
+        })
+        .unwrap();
+        dm.apply(Update::Add {
+            row: 1,
+            col: 2,
+            delta: 2.0,
+        })
+        .unwrap();
+        let merged = dm.merged().unwrap();
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(&merged, &x, 2).unwrap());
+        // Refresh invalidates the compiled cache; answers stay exact.
+        assert!(dm.refresh().unwrap());
+        let got = dm.multiply(&x, 2, None).unwrap();
+        assert_eq!(got, iterated_spmm(&merged, &x, 2).unwrap());
+    }
+
+    #[test]
+    fn f32_serving_stays_within_the_derived_error_bound() {
+        let n = 64;
+        let mut cfg = config(8);
+        cfg.dtype = Dtype::F32;
+        let mut dm = DynamicMatrix::new(ring(n), cfg).unwrap();
+        // Non-representable values through the in-place patch path.
+        for i in 0..8u32 {
+            dm.apply(Update::Add {
+                row: i,
+                col: i + 1,
+                delta: 0.1 + i as f64 * 0.01,
+            })
+            .unwrap();
+        }
+        let x = DenseMatrix::from_fn(n, 2, |r, c| 0.3 + ((r + c) % 5) as f64 * 0.7);
+        let got = dm.multiply(&x, 1, None).unwrap();
+        let exact = iterated_spmm(&dm.merged().unwrap(), &x, 1).unwrap();
+        let bound = arrow_core::f32_multiply_error_bound(dm.decomposition(), &x).unwrap();
+        for r in 0..n {
+            for c in 0..2 {
+                let err = (got.get(r, c) - exact.get(r, c)).abs();
+                assert!(
+                    err <= bound.get(r, c),
+                    "({r},{c}): err {err:e} exceeds bound {:e}",
+                    bound.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splice_guard_recompacts_deep_splices() {
+        // A zero-tolerance guard turns every deepening splice into a
+        // cold re-compaction; the stream keeps serving exactly.
+        let n = 64;
+        let mut cfg = config(8);
+        cfg.budget = StalenessBudget::nnz_cap(1);
+        cfg.incremental = IncrementalPolicy {
+            max_affected_fraction: 1.0,
+            max_order: 64,
+            ..IncrementalPolicy::default()
+        };
+        cfg.recompact_slowdown = Some(1.0);
+        let mut dm = DynamicMatrix::new(ring(n), cfg).unwrap();
+        let x = DenseMatrix::from_fn(n, 2, |r, c| ((r + c) % 5) as f64 - 2.0);
+        let mut recompacted = false;
+        for round in 0..6u32 {
+            let (u, v) = (round, round + n / 2);
+            if dm
+                .apply(Update::Add {
+                    row: u,
+                    col: v,
+                    delta: 1.0,
+                })
+                .unwrap()
+            {
+                dm.refresh().unwrap();
+            }
+            let got = dm.multiply(&x, 1, None).unwrap();
+            assert_eq!(got, iterated_spmm(&dm.merged().unwrap(), &x, 1).unwrap());
+            if dm.stats().recompactions > 0 {
+                recompacted = true;
+                break;
+            }
+        }
+        assert!(recompacted, "deep splices never tripped a 1.0× budget");
+        assert!(
+            dm.stats().splice.fallback_refreshes >= dm.stats().recompactions,
+            "guard rebuilds are recorded as fallback refreshes"
+        );
     }
 }

@@ -4,11 +4,14 @@
 //! arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]
 //! arrow-matrix-cli info <matrix.mtx>
 //! arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed] [--metrics-json PATH]
-//! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters] [--metrics-json PATH]
+//! arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters] [--dtype f32|f64]
+//!                           [--metrics-json PATH]
 //! arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]
+//!                        [--dtype f32|f64]
 //!                        [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]
 //! arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]
 //!                         [--tenants N] [--async-refresh] [--catalog DIR]
+//!                         [--dtype f32|f64]
 //!                         [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]
 //! arrow-matrix-cli stats <metrics.json>
 //! arrow-matrix-cli report <metrics.json>
@@ -60,6 +63,15 @@
 //! * `--trace-json PATH` exports the tracer ring as a Chrome Trace
 //!   Event Format file, loadable in Perfetto / `chrome://tracing`
 //!   (spans nest under their parents; tenants get their own lanes).
+//!
+//! Serving precision: `multiply`, `serve`, and `stream` take `--dtype
+//! f32|f64` (default `f64`). `f32` halves the communication volume by
+//! narrowing matrix values and operand entries to single precision
+//! (products accumulate in `f64`); answers stay exact on integer-valued
+//! data and within the documented error bound
+//! (`arrow_core::f32_multiply_error_bound`) otherwise. The `report`
+//! calibration table echoes the serving dtype and the decomposition's
+//! active-prefix fraction when present in the metrics snapshot.
 
 use arrow_matrix::comm::CostModel;
 use arrow_matrix::core::catalog::RetainPolicy;
@@ -75,7 +87,7 @@ use arrow_matrix::obs::{
     TimeSeriesRecorder, TsPoint,
 };
 use arrow_matrix::sparse::io::{read_matrix_market, write_matrix_market};
-use arrow_matrix::sparse::{bandwidth, CooMatrix, CsrMatrix, DenseMatrix};
+use arrow_matrix::sparse::{bandwidth, CooMatrix, CsrMatrix, DenseMatrix, Dtype};
 use arrow_matrix::spmm::{ArrowSpmm, DistSpmm};
 use arrow_matrix::stream::{HubConfig, StalenessBudget, StreamHub, TenantId, Update};
 use rand::SeedableRng;
@@ -102,11 +114,14 @@ fn main() -> ExitCode {
                 "usage:\n  arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]\n  \
                  arrow-matrix-cli info <matrix.mtx>\n  \
                  arrow-matrix-cli decompose <matrix.mtx> <b> <out.amd> [seed] [--metrics-json PATH]\n  \
-                 arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters] [--metrics-json PATH]\n  \
+                 arrow-matrix-cli multiply <matrix.mtx> <decomp.amd> [k] [iters] [--dtype f32|f64]\n  \
+                 \u{20}                         [--metrics-json PATH]\n  \
                  arrow-matrix-cli serve <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR]\n  \
+                 \u{20}                      [--dtype f32|f64]\n  \
                  \u{20}                      [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]\n  \
                  arrow-matrix-cli stream <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed]\n  \
                  \u{20}                       [--tenants N] [--async-refresh] [--catalog DIR]\n  \
+                 \u{20}                       [--dtype f32|f64]\n  \
                  \u{20}                       [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]\n  \
                  arrow-matrix-cli stats <metrics.json>\n  \
                  arrow-matrix-cli report <metrics.json>\n  \
@@ -346,6 +361,21 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             String::new()
         }
     );
+    if let Some(bytes) = doc.get("engine.dtype_bytes").and_then(JsonValue::as_u64) {
+        let dtype = if bytes == 4 { "f32" } else { "f64" };
+        let prefix = doc
+            .get("engine.active_prefix_permille")
+            .and_then(JsonValue::as_u64)
+            .map(|p| format!(", active prefix = {:.1}% of positions", p as f64 / 10.0))
+            .unwrap_or_default();
+        println!("serving : dtype = {dtype} ({bytes} B/value){prefix}");
+        if bytes == 4 {
+            println!(
+                "          (the simulator ships f64 wires, so accounted volume reads \
+                 ~2x the f32 prediction)"
+            );
+        }
+    }
     Ok(())
 }
 
@@ -507,7 +537,14 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_decompose(args: &[String]) -> Result<(), String> {
-    let (positional, metrics_json) = split_metrics_flag(args)?;
+    let (positional, metrics_json, dtype) = split_metrics_flag(args)?;
+    if dtype.is_some() {
+        return Err(
+            "decompose does not take --dtype (serving precision is chosen at \
+                    multiply/serve/stream time)"
+                .into(),
+        );
+    }
     let [input, b, out, rest @ ..] = positional.as_slice() else {
         return Err(
             "decompose needs <matrix.mtx> <b> <out.amd> [seed] [--metrics-json PATH]".into(),
@@ -538,16 +575,24 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     Catalog::save_file(out, &d, a.fingerprint(), 0).map_err(|e| e.to_string())?;
     println!(
         "decomposed {input} in {:.1} ms: order = {}, b = {b}, \
-         compaction factor = {:.2}, second-level nonzero rows = {:.2}% of n",
+         compaction factor = {:.2}, second-level nonzero rows = {:.2}% of n, \
+         active prefix = {:.1}% of positions",
         elapsed * 1e3,
         stats.order,
         stats.compaction_factor,
         stats.second_level_row_fraction * 100.0,
+        stats.active_prefix_fraction * 100.0,
     );
     for l in &stats.levels {
         println!(
-            "  level {}: nnz = {}, nonzero rows = {}, active n = {}, arrow tiles = {}",
-            l.level, l.nnz, l.nonzero_rows, l.active_n, l.nonzero_tiles
+            "  level {}: nnz = {}, nonzero rows = {}, active n = {} ({:.1}% of n), \
+             arrow tiles = {}",
+            l.level,
+            l.nnz,
+            l.nonzero_rows,
+            l.active_n,
+            l.active_fraction * 100.0,
+            l.nonzero_tiles
         );
     }
     println!("saved {out} (validated: exact reconstruction)");
@@ -569,12 +614,17 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses a trailing/interleaved `--metrics-json PATH` out of a
-/// positional argument list (the one flag `decompose`/`multiply`
-/// accept).
-fn split_metrics_flag(args: &[String]) -> Result<(Vec<&String>, Option<String>), String> {
+/// Parses trailing/interleaved `--metrics-json PATH` and
+/// `--dtype f32|f64` flags out of a positional argument list (the
+/// flags `decompose`/`multiply` accept — `decompose` rejects a dtype
+/// itself, decompositions are precision-agnostic).
+#[allow(clippy::type_complexity)]
+fn split_metrics_flag(
+    args: &[String],
+) -> Result<(Vec<&String>, Option<String>, Option<Dtype>), String> {
     let mut positional = Vec::new();
     let mut metrics_json = None;
+    let mut dtype = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -582,21 +632,31 @@ fn split_metrics_flag(args: &[String]) -> Result<(Vec<&String>, Option<String>),
                 let v = it.next().ok_or("--metrics-json needs a path")?;
                 metrics_json = Some(v.clone());
             }
+            "--dtype" => {
+                let v = it.next().ok_or("--dtype needs f32 or f64")?;
+                dtype = Some(parse_dtype(v)?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
             _ => positional.push(arg),
         }
     }
-    Ok((positional, metrics_json))
+    Ok((positional, metrics_json, dtype))
+}
+
+/// Parses a `--dtype` value.
+fn parse_dtype(s: &str) -> Result<Dtype, String> {
+    Dtype::parse(s).ok_or_else(|| format!("bad --dtype: {s} (expected f32 or f64)"))
 }
 
 fn cmd_multiply(args: &[String]) -> Result<(), String> {
-    let (positional, metrics_json) = split_metrics_flag(args)?;
+    let (positional, metrics_json, dtype) = split_metrics_flag(args)?;
+    let dtype = dtype.unwrap_or_default();
     let [input, damd, rest @ ..] = positional.as_slice() else {
-        return Err(
-            "multiply needs <matrix.mtx> <decomp.amd> [k] [iters] [--metrics-json PATH]".into(),
-        );
+        return Err("multiply needs <matrix.mtx> <decomp.amd> [k] [iters] \
+                    [--dtype f32|f64] [--metrics-json PATH]"
+            .into());
     };
     let a = load_matrix(input)?;
     let (d, _) = Catalog::load_file(damd).map_err(|e| e.to_string())?;
@@ -615,10 +675,12 @@ fn cmd_multiply(args: &[String]) -> Result<(), String> {
         .get(1)
         .map_or(Ok(5), |s| s.parse())
         .map_err(|e| format!("bad iters: {e}"))?;
-    let alg = ArrowSpmm::new(&d).map_err(|e| e.to_string())?;
+    let alg = ArrowSpmm::new(&d)
+        .map_err(|e| e.to_string())?
+        .with_dtype(dtype);
     let x = DenseMatrix::from_fn(a.rows(), k, |r, c| (((r * 31 + c * 7) % 17) as f64) / 17.0);
     println!(
-        "running {} on {} ranks, k = {k}, {iters} iterations…",
+        "running {} on {} ranks, k = {k}, {iters} iterations, dtype = {dtype}…",
         alg.name(),
         alg.ranks()
     );
@@ -680,6 +742,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut metrics_json: Option<String> = None;
     let mut timeseries: Option<String> = None;
     let mut trace_json: Option<String> = None;
+    let mut dtype = Dtype::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -695,6 +758,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             "--catalog" => {
                 let v = it.next().ok_or("--catalog needs a directory")?;
                 catalog_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--dtype" => {
+                let v = it.next().ok_or("--dtype needs f32 or f64")?;
+                dtype = parse_dtype(v)?;
             }
             "--metrics-json" => {
                 let v = it.next().ok_or("--metrics-json needs a path")?;
@@ -717,8 +784,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
             "stream needs <matrix.mtx> <b> [updates] [queries] [budget-frac] [seed] \
-             [--tenants N] [--async-refresh] [--catalog DIR] [--metrics-json PATH] \
-             [--timeseries PATH] [--trace-json PATH]"
+             [--tenants N] [--async-refresh] [--dtype f32|f64] [--catalog DIR] \
+             [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]"
                 .into(),
         );
     };
@@ -758,6 +825,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         engine: EngineConfig {
             arrow_width: b,
             spill_dir: catalog_dir,
+            dtype,
             ..EngineConfig::default()
         },
         budget: StalenessBudget::nnz_fraction(budget_frac),
@@ -792,10 +860,11 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
 
     // The corrected path is bit-exact vs the rebuilt reference only when
     // every reduction is exact; the synthetic updates and operands are
-    // integer-valued, so that holds iff the input matrix is too.
-    // Float-weighted matrices verify to rounding instead.
+    // integer-valued, so that holds iff the input matrix is too — at
+    // either dtype (small-integer products round-trip f32). Float-
+    // weighted matrices verify to rounding instead: f64 accumulation
+    // noise, or the f32 product error when serving at half bandwidth.
     let exact = a.values().iter().all(|v| v.fract() == 0.0);
-    let tolerance = if exact { 0.0 } else { 1e-9 };
 
     // Deterministic synthetic mutation stream: rotate over inserts,
     // re-weightings, and removals, round-robin across tenants. Mutations
@@ -808,6 +877,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let window = (n / 50).clamp(8.min(n), n);
     let mut max_abs_err = 0.0f64;
+    let mut max_abs_ref = 0.0f64;
     let mut verified = 0usize;
     let expected = queries * tenants_flag;
     let mut stream_secs = 0.0f64;
@@ -891,6 +961,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 let got = DenseMatrix::from_vec(n, 1, resp.y.clone()).map_err(|e| e.to_string())?;
                 max_abs_err = max_abs_err.max(got.max_abs_diff(&want).map_err(|e| e.to_string())?);
+                max_abs_ref = want.data().iter().fold(max_abs_ref, |m, v| m.max(v.abs()));
                 verified += 1;
             }
         }
@@ -899,6 +970,15 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let t0 = Stopwatch::start();
     hub.wait_refreshes().map_err(|e| e.to_string())?;
     stream_secs += t0.elapsed_seconds();
+    let tolerance = if exact {
+        0.0
+    } else if dtype == Dtype::F32 {
+        // f32 product error compounds over iterations; scale to the
+        // reference magnitude.
+        1e-5 * max_abs_ref.max(1.0)
+    } else {
+        1e-9
+    };
     if max_abs_err > tolerance {
         return Err(format!(
             "corrected serving diverged from the rebuilt reference: \
@@ -944,7 +1024,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         cache.decompositions, cache.admitted, cache.disk_loads
     );
     println!(
-        "planner : now bound {}",
+        "planner : now bound {} (dtype = {dtype})",
         hub.chosen_algorithm(ids[0]).map_err(|e| e.to_string())?
     );
     if let Some(path) = &metrics_json {
@@ -1075,6 +1155,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut metrics_json: Option<String> = None;
     let mut timeseries: Option<String> = None;
     let mut trace_json: Option<String> = None;
+    let mut dtype = Dtype::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1082,6 +1163,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--catalog" => {
                 let v = it.next().ok_or("--catalog needs a directory")?;
                 catalog_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--dtype" => {
+                let v = it.next().ok_or("--dtype needs f32 or f64")?;
+                dtype = parse_dtype(v)?;
             }
             "--metrics-json" => {
                 let v = it.next().ok_or("--metrics-json needs a path")?;
@@ -1103,8 +1188,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let [input, b, rest @ ..] = positional.as_slice() else {
         return Err(
-            "serve needs <matrix.mtx> <b> [queries] [batch] [iters] [--catalog DIR] \
-             [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]"
+            "serve needs <matrix.mtx> <b> [queries] [batch] [iters] [--dtype f32|f64] \
+             [--catalog DIR] [--metrics-json PATH] [--timeseries PATH] [--trace-json PATH]"
                 .into(),
         );
     };
@@ -1134,6 +1219,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         arrow_width: b,
         max_batch: batch.max(1),
         spill_dir: catalog_dir,
+        dtype,
         ..EngineConfig::default()
     })
     .map_err(|e| e.to_string())?;
@@ -1164,7 +1250,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache.decompositions, cache.disk_loads, cache.spills
     );
     println!(
-        "planner : bound {}",
+        "planner : bound {} (dtype = {dtype})",
         engine.chosen_algorithm(id).expect("just registered")
     );
     for p in engine.plan_report(id).expect("just registered") {
