@@ -46,6 +46,7 @@
 use crate::decomposition::ArrowDecomposition;
 use crate::la_decompose::DecomposeConfig;
 use crate::persist::{self, io_err, put_u64, CatalogMeta};
+use amd_chaos::failpoint;
 use amd_obs::{Counter, Histogram, Registry, Stopwatch};
 use amd_sparse::{SparseError, SparseResult};
 use std::collections::{HashMap, HashSet};
@@ -160,6 +161,11 @@ pub struct CatalogStats {
     /// failed catalog write); each is skipped and left in place —
     /// migration never takes the caller down.
     pub import_failures: u64,
+    /// Stale `*.tmp` files swept by [`Catalog::open`] — the un-renamed
+    /// half of an `atomic_write` interrupted by a crash. Never live
+    /// data, so sweeping is always safe; before the sweep existed they
+    /// leaked forever.
+    pub stale_tmp_swept: u64,
 }
 
 /// The catalog's registry handles — one `catalog.*` namespace of
@@ -179,6 +185,8 @@ struct CatalogMetrics {
     get_bytes: Counter,
     /// Payload bytes reclaimed by GC / chain removal.
     gc_bytes: Counter,
+    /// Stale tmp files swept on open.
+    stale_tmp_swept: Counter,
     /// Latency of each durable write's `fsync` (nanoseconds).
     fsync_seconds: Histogram,
 }
@@ -196,6 +204,7 @@ impl CatalogMetrics {
             put_bytes: registry.counter("catalog.put.bytes"),
             get_bytes: registry.counter("catalog.get.bytes"),
             gc_bytes: registry.counter("catalog.gc.bytes"),
+            stale_tmp_swept: registry.counter("catalog.stale_tmp_swept"),
             fsync_seconds: registry.histogram("catalog.fsync.seconds"),
         }
     }
@@ -239,6 +248,7 @@ impl Catalog {
             next_created: 1,
             metrics: CatalogMetrics::new(registry),
         };
+        catalog.sweep_stale_tmp();
         let manifest_records = catalog.read_manifest().unwrap_or_default();
         let known: HashSet<&str> = manifest_records
             .iter()
@@ -292,6 +302,7 @@ impl Catalog {
             recovered_records: self.metrics.recovered_records.get(),
             imported: self.metrics.imported.get(),
             import_failures: self.metrics.import_failures.get(),
+            stale_tmp_swept: self.metrics.stale_tmp_swept.get(),
         }
     }
 
@@ -378,7 +389,11 @@ impl Catalog {
         };
         let payload = Self::payload_name(fingerprint, config, seed);
         let path = self.root.join(&payload);
-        self.atomic_write(&path, |w| persist::save_catalog(d, &meta, w))?;
+        self.atomic_write(&path, true, |w| persist::save_catalog(d, &meta, w))?;
+        // Failpoint: crash in the window between the payload rename and
+        // the manifest rewrite — the payload is durable but unreferenced
+        // (the orphan-adoption window the next open must heal).
+        failpoint::check(failpoint::CATALOG_PAYLOAD_AFTER_RENAME)?;
         if let Ok(m) = fs::metadata(&path) {
             self.metrics.put_bytes.add(m.len());
         }
@@ -679,6 +694,27 @@ impl Catalog {
         format!("amd3-{fingerprint:032x}-{h:016x}.{PAYLOAD_EXT}")
     }
 
+    /// Removes `*.tmp` debris left by a crash mid-[`atomic_write`]
+    /// (counted in [`CatalogStats::stale_tmp_swept`]). A tmp file is
+    /// only ever the un-renamed half of an interrupted durable write —
+    /// never live data — so sweeping is always safe. Best-effort: an
+    /// unreadable directory just skips the sweep (open fails later with
+    /// a better error if the directory is truly broken).
+    ///
+    /// [`atomic_write`]: Self::atomic_write
+    fn sweep_stale_tmp(&self) {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") && fs::remove_file(entry.path()).is_ok() {
+                self.metrics.stale_tmp_swept.inc();
+            }
+        }
+    }
+
     fn payload_files(&self) -> SparseResult<Vec<String>> {
         let entries = fs::read_dir(&self.root)
             .map_err(|e| SparseError::InvalidCsr(format!("read {}: {e}", self.root.display())))?;
@@ -743,7 +779,7 @@ impl Catalog {
         self.write_manifest()
     }
 
-    fn atomic_write<F>(&self, path: &Path, write: F) -> SparseResult<()>
+    fn atomic_write<F>(&self, path: &Path, payload: bool, write: F) -> SparseResult<()>
     where
         F: FnOnce(&mut BufWriter<File>) -> SparseResult<()>,
     {
@@ -754,9 +790,31 @@ impl Catalog {
             let mut w = BufWriter::new(file);
             write(&mut w)?;
             w.flush().map_err(io_err)?;
-            let sw = Stopwatch::start();
-            w.get_ref().sync_all().map_err(io_err)?;
-            self.metrics.fsync_seconds.record(sw.elapsed_nanos());
+            // Failpoint: simulated crash after the tmp write, before
+            // anything is durable or renamed.
+            failpoint::check(if payload {
+                failpoint::CATALOG_PAYLOAD_BEFORE_FSYNC
+            } else {
+                failpoint::CATALOG_MANIFEST_BEFORE_FSYNC
+            })?;
+            // Failpoint: torn write — truncate the tmp and skip its
+            // fsync, exactly the state a power loss mid-write leaves
+            // behind. The rename still happens; the checksum footer is
+            // what must catch this on load.
+            let torn = if payload {
+                failpoint::torn(failpoint::CATALOG_PAYLOAD_TORN)
+            } else {
+                None
+            };
+            if let Some(keep) = torn {
+                let len = w.get_ref().metadata().map_err(io_err)?.len();
+                let keep_len = (len as f64 * keep) as u64;
+                w.get_ref().set_len(keep_len).map_err(io_err)?;
+            } else {
+                let sw = Stopwatch::start();
+                w.get_ref().sync_all().map_err(io_err)?;
+                self.metrics.fsync_seconds.record(sw.elapsed_nanos());
+            }
             fs::rename(&tmp, path).map_err(|e| {
                 SparseError::InvalidCsr(format!(
                     "rename {} -> {}: {e}",
@@ -765,15 +823,23 @@ impl Catalog {
                 ))
             })
         })();
-        if result.is_err() {
-            let _ = fs::remove_file(&tmp);
+        if let Err(e) = &result {
+            // An injected crash must leave the same debris a real crash
+            // would (the stale tmp feeds the reopen sweep); only real
+            // in-process errors clean up after themselves.
+            if !failpoint::is_injected(e) {
+                let _ = fs::remove_file(&tmp);
+            }
         }
         result
     }
 
     fn write_manifest(&self) -> SparseResult<()> {
+        // Failpoint: crash before the manifest rewrite begins (payload
+        // durable and renamed, manifest one generation behind).
+        failpoint::check(failpoint::CATALOG_MANIFEST_BEFORE_REWRITE)?;
         let path = self.root.join(MANIFEST);
-        self.atomic_write(&path, |w| {
+        self.atomic_write(&path, false, |w| {
             w.write_all(MANIFEST_MAGIC).map_err(io_err)?;
             put_u64(w, self.records.len() as u64)?;
             for r in &self.records {

@@ -26,6 +26,15 @@
 //! nothing but payload headers. [`load`] and [`load_versioned`] accept
 //! all three formats.
 //!
+//! Version-3 streams additionally end in an 8-byte **checksum footer**:
+//! the FNV-1a-64 digest of every preceding byte (magic, header, and
+//! payload). A torn or truncated write — simulated by the
+//! `catalog.payload.torn` failpoint, produced for real by power loss
+//! mid-write — is rejected on load with a clear [`SparseError`] instead
+//! of deserializing garbage. Unchecksummed v3 files written before the
+//! footer existed (the stream ends exactly after the payload) still
+//! load, as do v1/v2 streams.
+//!
 //! Every function here is an implementation detail of
 //! [`crate::catalog`]; serving layers persist through a
 //! [`Catalog`](crate::catalog::Catalog), never through this module
@@ -39,6 +48,64 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 4] = b"AMD1";
 const MAGIC_V2: &[u8; 4] = b"AMD2";
 const MAGIC_V3: &[u8; 4] = b"AMD3";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Write adapter folding every byte into an FNV-1a-64 digest, so the
+/// checksum costs one fused pass instead of re-reading the stream.
+struct HashingWriter<W: Write> {
+    inner: W,
+    digest: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            digest: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.digest = (self.digest ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Read adapter mirroring [`HashingWriter`] on the load path.
+struct HashingReader<R: Read> {
+    inner: R,
+    digest: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            digest: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.digest = (self.digest ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+}
 
 /// Provenance header of a version-2 persisted decomposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,15 +156,19 @@ pub fn save<W: Write>(d: &ArrowDecomposition, mut w: W) -> SparseResult<()> {
 }
 
 /// Writes a version-3 stream: [`CatalogMeta`] provenance header followed
-/// by the decomposition payload.
+/// by the decomposition payload and an FNV-1a-64 checksum footer over
+/// everything before it.
 pub fn save_catalog<W: Write>(
     d: &ArrowDecomposition,
     meta: &CatalogMeta,
-    mut w: W,
+    w: W,
 ) -> SparseResult<()> {
+    let mut w = HashingWriter::new(w);
     w.write_all(MAGIC_V3).map_err(io_err)?;
     write_catalog_header(&mut w, meta)?;
-    save_payload(d, &mut w)
+    save_payload(d, &mut w)?;
+    let digest = w.digest;
+    put_u64(&mut w, digest)
 }
 
 fn write_catalog_header<W: Write>(w: &mut W, meta: &CatalogMeta) -> SparseResult<()> {
@@ -213,8 +284,9 @@ pub fn load_versioned<R: Read>(r: R) -> SparseResult<(ArrowDecomposition, Persis
 /// (defaulted for v1 streams) and, for a version-3 payload, the full
 /// [`CatalogMeta`].
 pub fn load_catalog<R: Read>(
-    mut r: R,
+    r: R,
 ) -> SparseResult<(ArrowDecomposition, PersistMeta, Option<CatalogMeta>)> {
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic).map_err(io_err)?;
     let mut catalog = None;
@@ -286,7 +358,43 @@ pub fn load_catalog<R: Read>(
             active_n,
         });
     }
+    if catalog.is_some() {
+        // v3: verify the checksum footer. The digest is snapshotted
+        // *before* the footer bytes pass through the hashing reader.
+        let digest = r.digest;
+        let mut footer = [0u8; 8];
+        match read_up_to(&mut r, &mut footer)? {
+            0 => {} // unchecksummed v3, written before the footer existed
+            8 => {
+                let stored = u64::from_le_bytes(footer);
+                if stored != digest {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "payload checksum mismatch: stored {stored:#018x}, \
+                         computed {digest:#018x} (torn or corrupt write)"
+                    )));
+                }
+            }
+            k => {
+                return Err(SparseError::InvalidCsr(format!(
+                    "truncated checksum footer ({k} of 8 bytes)"
+                )))
+            }
+        }
+    }
     Ok((ArrowDecomposition::new(n, b, levels), meta, catalog))
+}
+
+/// Reads until `buf` is full or EOF; reports how many bytes arrived.
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8; 8]) -> SparseResult<usize> {
+    let mut total = 0;
+    while total < buf.len() {
+        let n = r.read(&mut buf[total..]).map_err(io_err)?;
+        if n == 0 {
+            break;
+        }
+        total += n;
+    }
+    Ok(total)
 }
 
 pub(crate) fn put_u64<W: Write>(w: &mut W, v: u64) -> SparseResult<()> {
@@ -485,6 +593,60 @@ mod tests {
                 "header cut accepted"
             );
         }
+    }
+
+    #[test]
+    fn checksum_rejects_silent_value_corruption() {
+        let (a, d) = sample();
+        let meta = CatalogMeta {
+            fingerprint: a.fingerprint(),
+            version: 1,
+            parent: 0,
+            created_at: 1,
+            seed: 1,
+            config: DecomposeConfig::with_width(64),
+        };
+        let mut buf = Vec::new();
+        save_catalog(&d, &meta, &mut buf).unwrap();
+        // Flip one bit in the last payload value — the length and CSR
+        // structure stay valid, so only the checksum can catch this.
+        let idx = buf.len() - 9;
+        buf[idx] ^= 0x01;
+        let err = load_catalog(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "expected checksum rejection, got: {err}"
+        );
+        buf[idx] ^= 0x01;
+        assert!(load_catalog(buf.as_slice()).is_ok(), "restored file loads");
+    }
+
+    #[test]
+    fn unchecksummed_v3_still_loads() {
+        let (a, d) = sample();
+        let meta = CatalogMeta {
+            fingerprint: a.fingerprint(),
+            version: 2,
+            parent: 1,
+            created_at: 5,
+            seed: 3,
+            config: DecomposeConfig::with_width(64),
+        };
+        let mut buf = Vec::new();
+        save_catalog(&d, &meta, &mut buf).unwrap();
+        // A legacy v3 file is byte-identical minus the 8-byte footer.
+        buf.truncate(buf.len() - 8);
+        let (loaded, _, full) = load_catalog(buf.as_slice()).unwrap();
+        assert_eq!(loaded, d);
+        assert_eq!(full, Some(meta));
+        // A *partial* footer means the tail was torn off: rejected.
+        let mut torn = buf.clone();
+        torn.extend_from_slice(&[0xAB; 3]);
+        let err = load_catalog(torn.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated checksum footer"),
+            "{err}"
+        );
     }
 
     #[test]

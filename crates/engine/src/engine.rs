@@ -18,6 +18,7 @@
 use crate::attribution::{AttributionMetrics, QueryCost, RunAttribution};
 use crate::cache::{CacheStats, DecompositionCache};
 use crate::planner::{plan, Plan, PlannerConfig, Prediction};
+use amd_chaos::failpoint;
 use amd_comm::CostModel;
 use amd_obs::{Counter, Gauge, Histogram, SpanId, Stopwatch, Telemetry};
 use amd_sparse::{CsrMatrix, DenseMatrix, Dtype, SparseError, SparseResult};
@@ -93,6 +94,11 @@ pub struct EngineConfig {
     /// (rebuilds cold) instead of serving the splice. See
     /// [`ServingCostGuard`].
     pub max_splice_slowdown: f64,
+    /// Transient multiply errors (the `engine.multiply.transient` chaos
+    /// failpoint — never real planner/kernel errors) retried in place
+    /// before the error surfaces to the caller. Each retry counts into
+    /// [`EngineStats::multiply_retries`].
+    pub max_multiply_retries: u32,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +114,7 @@ impl Default for EngineConfig {
             incremental: IncrementalPolicy::default(),
             dtype: Dtype::default(),
             max_splice_slowdown: DEFAULT_MAX_SLICE_SLOWDOWN,
+            max_multiply_retries: 2,
         }
     }
 }
@@ -169,6 +176,10 @@ pub struct EngineStats {
     /// decomposition would serve slower than `max_splice_slowdown ×` the
     /// cold baseline, so the engine re-compacted (rebuilt cold) instead.
     pub recompactions: u64,
+    /// Transient multiply errors absorbed by the in-place retry loop
+    /// (injected by the `engine.multiply.transient` failpoint; a real
+    /// serving run never errors transiently).
+    pub multiply_retries: u64,
 }
 
 struct BoundMatrix {
@@ -238,6 +249,7 @@ struct EngineMetrics {
     refreshes: Counter,
     deregistered: Counter,
     recompactions: Counter,
+    multiply_retries: Counter,
     largest_batch: Gauge,
     batch_size: Histogram,
     multiply_seconds: Histogram,
@@ -262,6 +274,7 @@ impl EngineMetrics {
             refreshes: registry.counter("engine.refreshes"),
             deregistered: registry.counter("engine.deregistered"),
             recompactions: registry.counter("engine.recompactions"),
+            multiply_retries: registry.counter("engine.multiply_retries"),
             largest_batch: registry.gauge("engine.largest_batch"),
             batch_size: registry.histogram("engine.batch_size"),
             multiply_seconds: registry.histogram("multiply.seconds"),
@@ -901,6 +914,7 @@ impl Engine {
             deregistered: self.metrics.deregistered.get(),
             mispredictions: self.metrics.attribution.mispredictions(),
             recompactions: self.metrics.recompactions.get(),
+            multiply_retries: self.metrics.multiply_retries.get(),
         }
     }
 
@@ -1013,14 +1027,33 @@ impl Engine {
                 None => bound.algo.predict_volume(k),
             });
         let sw = Stopwatch::start();
-        let run = match &overlay_algo {
-            Some(corrected) => {
-                let run = corrected.run_sigma(&x, first.iters, first.sigma)?;
-                self.metrics.corrected_runs.inc();
-                run
+        // The multiply is pure (no state mutated until it returns), so a
+        // transient failure — only ever the `engine.multiply.transient`
+        // chaos failpoint — is safely retried in place.
+        let mut attempts = 0u32;
+        let run = loop {
+            let result = match failpoint::check(failpoint::ENGINE_MULTIPLY_TRANSIENT) {
+                Err(e) => Err(e),
+                Ok(()) => match &overlay_algo {
+                    Some(corrected) => corrected.run_sigma(&x, first.iters, first.sigma),
+                    None => bound.algo.run_sigma(&x, first.iters, first.sigma),
+                },
+            };
+            match result {
+                Ok(run) => break run,
+                Err(e)
+                    if failpoint::is_injected(&e)
+                        && attempts < self.config.max_multiply_retries =>
+                {
+                    attempts += 1;
+                    self.metrics.multiply_retries.inc();
+                }
+                Err(e) => return Err(e),
             }
-            None => bound.algo.run_sigma(&x, first.iters, first.sigma)?,
         };
+        if overlay_algo.is_some() {
+            self.metrics.corrected_runs.inc();
+        }
         let multiply_seconds = sw.elapsed_seconds();
         self.metrics
             .multiply_seconds

@@ -28,6 +28,11 @@ pub enum SparseError {
     InvalidCsr(String),
     /// The slice defining a permutation is not a bijection on `0..n`.
     InvalidPermutation(String),
+    /// A fault injected by an armed `amd-chaos` failpoint (the string
+    /// is the site name). Never produced in production: retry loops
+    /// match on this variant so injected transients are retried while
+    /// real structural errors still propagate.
+    Injected(String),
 }
 
 impl fmt::Display for SparseError {
@@ -49,6 +54,7 @@ impl fmt::Display for SparseError {
             ),
             SparseError::InvalidCsr(msg) => write!(f, "invalid CSR structure: {msg}"),
             SparseError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            SparseError::Injected(site) => write!(f, "injected fault at failpoint `{site}`"),
         }
     }
 }

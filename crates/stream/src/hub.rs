@@ -174,6 +174,16 @@ pub struct HubConfig {
     /// decomposing, simulating a slow LA-Decompose so tests can assert
     /// that serving does not block on the rebuild.
     pub decompose_delay: Option<Duration>,
+    /// Supervision: how many times a refresh whose worker *panicked* is
+    /// automatically requeued (with exponential backoff) before the hub
+    /// gives up on the pool and compacts synchronously — the counted
+    /// fallback in [`HubStats::sync_fallbacks`]. Serving is bit-exact
+    /// throughout either way; this only bounds how long a dying pool is
+    /// retried.
+    pub max_refresh_retries: u32,
+    /// Base backoff before the first supervision retry, doubled per
+    /// consecutive retry of the same grant. Zero requeues immediately.
+    pub retry_backoff: Duration,
 }
 
 impl Default for HubConfig {
@@ -188,6 +198,8 @@ impl Default for HubConfig {
             adaptive: None,
             max_idle_polls: None,
             decompose_delay: None,
+            max_refresh_retries: 3,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -280,6 +292,18 @@ pub struct HubStats {
     /// The subset of `evictions` triggered by the
     /// [`max_idle_polls`](HubConfig::max_idle_polls) policy.
     pub idle_evictions: u64,
+    /// Worker threads that died (panicked mid-decompose) and were
+    /// replaced by supervision. The pool never shrinks: every death is
+    /// matched by a respawn before the dead grant is retried.
+    pub worker_restarts: u64,
+    /// Dead grants requeued by supervision (each with exponential
+    /// backoff). Resets nothing: a grant that needs three retries
+    /// contributes three.
+    pub refresh_retries: u64,
+    /// Refreshes compacted synchronously after
+    /// [`max_refresh_retries`](HubConfig::max_refresh_retries)
+    /// consecutive worker deaths — the bounded-retry escape hatch.
+    pub sync_fallbacks: u64,
 }
 
 /// Registry handles behind [`HubStats`] plus the hub's refresh-phase
@@ -295,6 +319,9 @@ struct HubMetrics {
     suppressed_triggers: Counter,
     evictions: Counter,
     idle_evictions: Counter,
+    worker_restarts: Counter,
+    refresh_retries: Counter,
+    sync_fallbacks: Counter,
     splice: SpliceCounters,
     /// Worker-measured decompose seconds of committed refreshes
     /// (excluding the test-hook delay) — the same single measurement
@@ -316,6 +343,9 @@ impl HubMetrics {
             suppressed_triggers: registry.counter("hub.suppressed_triggers"),
             evictions: registry.counter("hub.evictions"),
             idle_evictions: registry.counter("hub.idle_evictions"),
+            worker_restarts: registry.counter("hub.worker_restarts"),
+            refresh_retries: registry.counter("hub.refresh_retries"),
+            sync_fallbacks: registry.counter("hub.sync_fallbacks"),
             splice: SpliceCounters::new(registry, "hub."),
             decompose_seconds: registry.histogram("refresh.decompose.seconds"),
             extract_seconds: registry.histogram("refresh.extract.seconds"),
@@ -394,6 +424,12 @@ struct Tenant {
     /// Root span of the refresh lifecycle in progress (trip → grant →
     /// decompose → commit); [`SpanId::NONE`] when none is pending.
     refresh_span: SpanId,
+    /// Consecutive supervision retries of this tenant's refresh (worker
+    /// panics); reset to 0 by a successful commit.
+    retries: u32,
+    /// Backoff the supervisor attached to the next launch of this
+    /// tenant's refresh, consumed (taken) by `launch_ready`.
+    backoff: Option<Duration>,
 }
 
 impl Tenant {
@@ -549,6 +585,8 @@ impl StreamHub {
                 last_granted_slot: 0,
                 adaptive_budget_nnz: 0,
                 refresh_span: SpanId::NONE,
+                retries: 0,
+                backoff: None,
             },
         );
         self.order.push(id);
@@ -814,17 +852,24 @@ impl StreamHub {
             let Some(tenant) = self.queue.pop_front() else {
                 return Ok(());
             };
-            let delay = self.config.decompose_delay;
-            let old = {
+            let base_delay = self.config.decompose_delay;
+            let (delay, old) = {
                 let t = self.tenant_mut(tenant)?;
                 t.queued = false;
+                // The supervisor's retry backoff stacks on top of the
+                // test-hook delay (both are worker-side sleeps).
+                let delay = match (t.backoff.take(), base_delay) {
+                    (Some(b), Some(d)) => Some(b + d),
+                    (Some(b), None) => Some(b),
+                    (None, d) => d,
+                };
                 // Drained meanwhile (e.g. by a manual sync refresh).
                 if t.delta.is_empty() {
                     let span = std::mem::replace(&mut t.refresh_span, SpanId::NONE);
                     tracer.end_with(span, "drained before launch".to_string());
                     continue;
                 }
-                t.matrix
+                (delay, t.matrix)
             };
             // Snapshot outside the borrow: merged = base + delta, plus
             // the touched set that localizes the re-decomposition.
@@ -976,6 +1021,14 @@ impl StreamHub {
             };
             if done.tenant == tenant {
                 self.inflight = self.inflight.saturating_sub(1);
+                // Even a grant we are about to discard must leave the
+                // pool whole if its worker died producing it.
+                if done.panicked {
+                    self.metrics.worker_restarts.inc();
+                    if let Some(w) = &mut self.worker {
+                        w.respawn_one();
+                    }
+                }
                 let t = self.tenant_mut(tenant)?;
                 t.inflight = None;
                 t.refreshing = false;
@@ -1076,6 +1129,9 @@ impl StreamHub {
     /// not surface as an error from whichever unrelated call polled.
     fn commit(&mut self, done: crate::worker::RefreshDone) -> SparseResult<bool> {
         self.inflight = self.inflight.saturating_sub(1);
+        if done.panicked {
+            return self.supervise_panic(done);
+        }
         let tenant = done.tenant;
         let tracer = self.engine.telemetry().tracer.clone();
         let swapped = match done.result {
@@ -1106,6 +1162,7 @@ impl StreamHub {
                 t.base = done.merged;
                 let finished = t.inflight.take();
                 t.refreshing = false;
+                t.retries = 0;
                 t.metrics.refreshes.inc();
                 t.rerank_mark = 0;
                 // Splice: the updates that arrived during the rebuild are
@@ -1166,6 +1223,78 @@ impl StreamHub {
                 self.metrics.refresh_failures.inc();
                 Ok(false)
             }
+        }
+    }
+
+    /// Supervision: a worker thread died running this grant. Respawn a
+    /// replacement (the pool must never shrink), restore the captured
+    /// delta so serving stays bit-exact, and either requeue the grant
+    /// with exponential backoff or — past
+    /// [`max_refresh_retries`](HubConfig::max_refresh_retries) —
+    /// compact synchronously so the tenant still converges.
+    fn supervise_panic(&mut self, done: crate::worker::RefreshDone) -> SparseResult<bool> {
+        let tenant = done.tenant;
+        let tracer = self.engine.telemetry().tracer.clone();
+        // Respawn FIRST: even when the tenant is gone, the pool must be
+        // made whole before anything can wait on it again.
+        self.metrics.worker_restarts.inc();
+        if let Some(w) = &mut self.worker {
+            w.respawn_one();
+        }
+        if !self.tenants.contains_key(&tenant.0) {
+            return Ok(false);
+        }
+        let msg = match &done.result {
+            Err(e) => e.to_string(),
+            Ok(_) => "worker panicked".to_string(),
+        };
+        let retries = {
+            let t = self.tenant_mut(tenant)?;
+            if let Some(f) = t.inflight.take() {
+                for (r, c, v) in f.captured.iter() {
+                    t.delta.add(r, c, v)?;
+                }
+            }
+            t.refreshing = false;
+            t.overlay_dirty = true;
+            t.rerank_mark = 0;
+            t.retries += 1;
+            tracer.event("worker-panic", t.refresh_span, Some(tenant.0), msg);
+            t.retries
+        };
+        if retries <= self.config.max_refresh_retries {
+            self.metrics.refresh_retries.inc();
+            let backoff = self
+                .config
+                .retry_backoff
+                .saturating_mul(2u32.saturating_pow((retries - 1).min(16)));
+            let t = self.tenant_mut(tenant)?;
+            t.backoff = (!backoff.is_zero()).then_some(backoff);
+            t.queued = true;
+            tracer.event(
+                "requeue",
+                t.refresh_span,
+                Some(tenant.0),
+                format!("retry {retries} backoff={backoff:?}"),
+            );
+            self.queue.push_back(tenant);
+            Ok(false)
+        } else {
+            // The pool keeps dying on this grant; give up on async and
+            // compact inline. sync_refresh closes the refresh span.
+            self.metrics.sync_fallbacks.inc();
+            {
+                let t = self.tenant_mut(tenant)?;
+                t.retries = 0;
+                tracer.event(
+                    "sync-fallback",
+                    t.refresh_span,
+                    Some(tenant.0),
+                    format!("after {} worker deaths", retries),
+                );
+            }
+            self.sync_refresh(tenant)?;
+            Ok(true)
         }
     }
 
@@ -1354,6 +1483,9 @@ impl StreamHub {
             splice: self.metrics.splice.stats(),
             evictions: self.metrics.evictions.get(),
             idle_evictions: self.metrics.idle_evictions.get(),
+            worker_restarts: self.metrics.worker_restarts.get(),
+            refresh_retries: self.metrics.refresh_retries.get(),
+            sync_fallbacks: self.metrics.sync_fallbacks.get(),
         }
     }
 

@@ -18,18 +18,34 @@
 //! hub's shared refresh budget) and one shared completion queue the hub
 //! drains without blocking.
 //!
+//! ## Supervision
+//!
+//! Each job runs under `catch_unwind`. A panicking worker (the
+//! `worker.decompose.panic` chaos failpoint, or a real decompose bug)
+//! reports its death as a [`RefreshDone`] with `panicked = true` —
+//! carrying the snapshot and ticket back so nothing is lost — *before*
+//! its thread exits. The hub then [`respawn_one`]s a replacement and
+//! requeues the dead grant, so a worker death never loses a refresh and
+//! never shrinks the pool. The send-before-exit ordering is what makes
+//! [`wait_done`] safe: any in-flight job is observable on the
+//! completion queue even if its worker is already gone.
+//!
 //! [`StreamHub`]: crate::StreamHub
 //! [`Engine::prepare_refresh`]: amd_engine::Engine::prepare_refresh
 //! [`Engine::prepare_refresh_localized`]: amd_engine::Engine::prepare_refresh_localized
 //! [`Engine::commit_refresh`]: amd_engine::Engine::commit_refresh
+//! [`respawn_one`]: RefreshWorker::respawn_one
+//! [`wait_done`]: RefreshWorker::wait_done
 
 use crate::hub::TenantId;
+use amd_chaos::failpoint;
 use amd_engine::RefreshTicket;
 use amd_obs::{SpanId, Stopwatch, Tracer};
-use amd_sparse::{CsrMatrix, SparseResult};
+use amd_sparse::{CsrMatrix, SparseError, SparseResult};
 use arrow_core::incremental::{decompose_snapshot_incremental, RefreshOutcome};
 use arrow_core::ArrowDecomposition;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -40,8 +56,8 @@ pub(crate) struct RefreshJob {
     pub merged: CsrMatrix<f64>,
     /// Engine-issued identity + decompose parameters for the commit.
     pub ticket: RefreshTicket,
-    /// Test/bench hook: sleep before decomposing (simulates a slow
-    /// LA-Decompose so serving-during-rebuild can be asserted).
+    /// Sleep before decomposing: the test/bench hook for simulating a
+    /// slow LA-Decompose, and the supervisor's retry backoff.
     pub delay: Option<Duration>,
     /// The hub-opened "decompose" trace span; the worker thread closes
     /// it when the decompose finishes.
@@ -61,12 +77,29 @@ pub(crate) struct RefreshDone {
     /// Wall-clock seconds of the decompose itself (excluding the
     /// test-hook delay) — the adaptive budget's latency signal.
     pub decompose_seconds: f64,
+    /// The worker thread died producing this: `result` is the panic
+    /// message and the thread is gone. The hub must respawn a
+    /// replacement and requeue (or sync-fallback) the grant.
+    pub panicked: bool,
 }
 
-/// A pool of decompose threads behind a shared job queue.
+/// A pool of decompose threads behind a shared job queue, supervised by
+/// the hub: dead workers are reported (see [`RefreshDone::panicked`])
+/// and replaced via [`respawn_one`](Self::respawn_one).
 pub(crate) struct RefreshWorker {
     jobs: Option<Sender<RefreshJob>>,
+    /// Kept for respawns: replacement threads subscribe to the same
+    /// shared job queue.
+    jobs_rx: Receiver<RefreshJob>,
     done: Receiver<RefreshDone>,
+    /// Kept for respawns. Consequence: the completion channel never
+    /// closes from the sender side, so [`wait_done`](Self::wait_done)
+    /// detects a dead pool by thread liveness instead.
+    done_tx: Sender<RefreshDone>,
+    tracer: Tracer,
+    /// Configured pool size — [`respawn_one`](Self::respawn_one)
+    /// restores the thread count to exactly this.
+    size: usize,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -77,34 +110,67 @@ impl RefreshWorker {
     pub fn spawn(threads: usize, tracer: Tracer) -> Self {
         let (jobs_tx, jobs_rx) = unbounded::<RefreshJob>();
         let (done_tx, done_rx) = unbounded::<RefreshDone>();
-        let threads = (0..threads.max(1))
-            .map(|_| {
-                let rx = jobs_rx.clone();
-                let tx = done_tx.clone();
-                let tracer = tracer.clone();
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        if let Some(delay) = job.delay {
-                            std::thread::sleep(delay);
-                        }
-                        // The single decompose measurement: both the
-                        // adaptive budget and the latency histograms
-                        // read this value off RefreshDone.
-                        let sw = Stopwatch::start();
-                        let (result, outcome) = match decompose_snapshot_incremental(
-                            &job.merged,
-                            &job.ticket.config,
-                            job.ticket.seed,
-                            job.ticket.prior.as_deref(),
-                            job.ticket.touched.as_deref(),
-                            &job.ticket.incremental,
-                        ) {
+        let mut pool = Self {
+            jobs: Some(jobs_tx),
+            jobs_rx,
+            done: done_rx,
+            done_tx,
+            tracer,
+            size: threads.max(1),
+            threads: Vec::new(),
+        };
+        for _ in 0..pool.size {
+            pool.spawn_thread();
+        }
+        pool
+    }
+
+    fn spawn_thread(&mut self) {
+        let rx = self.jobs_rx.clone();
+        let tx = self.done_tx.clone();
+        let tracer = self.tracer.clone();
+        self.threads.push(std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                let RefreshJob {
+                    tenant,
+                    merged,
+                    ticket,
+                    delay,
+                    span,
+                } = job;
+                if let Some(delay) = delay {
+                    std::thread::sleep(delay);
+                }
+                // The single decompose measurement: both the adaptive
+                // budget and the latency histograms read this value off
+                // RefreshDone.
+                let sw = Stopwatch::start();
+                // `catch_unwind` so a panicking decompose (injected by
+                // the chaos failpoint, or a real bug) reports its death
+                // instead of silently shrinking the pool. The closure
+                // only borrows, so the snapshot and ticket survive the
+                // unwind and ride back to the hub for the retry.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    failpoint::check(failpoint::WORKER_DECOMPOSE_PANIC)?;
+                    failpoint::check(failpoint::WORKER_DECOMPOSE_DELAY)?;
+                    decompose_snapshot_incremental(
+                        &merged,
+                        &ticket.config,
+                        ticket.seed,
+                        ticket.prior.as_deref(),
+                        ticket.touched.as_deref(),
+                        &ticket.incremental,
+                    )
+                }));
+                let decompose_seconds = sw.elapsed_seconds();
+                match attempt {
+                    Ok(result) => {
+                        let (result, outcome) = match result {
                             Ok((d, o)) => (Ok(d), Some(o)),
                             Err(e) => (Err(e), None),
                         };
-                        let decompose_seconds = sw.elapsed_seconds();
                         tracer.end_with(
-                            job.span,
+                            span,
                             match &outcome {
                                 Some(o) if o.incremental => {
                                     format!("incremental affected={}", o.affected_vertices)
@@ -114,21 +180,47 @@ impl RefreshWorker {
                             },
                         );
                         let _ = tx.send(RefreshDone {
-                            tenant: job.tenant,
-                            merged: job.merged,
-                            ticket: job.ticket,
+                            tenant,
+                            merged,
+                            ticket,
                             result,
                             outcome,
                             decompose_seconds,
+                            panicked: false,
                         });
                     }
-                })
-            })
-            .collect();
-        Self {
-            jobs: Some(jobs_tx),
-            done: done_rx,
-            threads,
+                    Err(payload) => {
+                        // This thread is dying. Report the death FIRST
+                        // (the hub's supervision depends on the done
+                        // message preceding the exit), then leave the
+                        // unwound stack behind for good.
+                        let msg = panic_message(payload.as_ref());
+                        tracer.end_with(span, format!("worker panic: {msg}"));
+                        let _ = tx.send(RefreshDone {
+                            tenant,
+                            merged,
+                            ticket,
+                            result: Err(SparseError::InvalidCsr(format!(
+                                "refresh worker panicked: {msg}"
+                            ))),
+                            outcome: None,
+                            decompose_seconds,
+                            panicked: true,
+                        });
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    /// Replaces dead threads so the pool is back at its configured
+    /// size. Called by the hub when it observes a `panicked` done;
+    /// idempotent when everything is alive.
+    pub fn respawn_one(&mut self) {
+        self.threads.retain(|t| !t.is_finished());
+        while self.threads.len() < self.size {
+            self.spawn_thread();
         }
     }
 
@@ -145,11 +237,36 @@ impl RefreshWorker {
         self.done.try_recv()
     }
 
-    /// Blocks until a job completes. `None` only if every worker thread
-    /// is gone (a worker panicked — a bug, not a load condition).
+    /// Blocks until a job completes. `None` only when nothing can ever
+    /// complete: every worker thread is gone *and* the completion queue
+    /// is empty. That state is unreachable while the hub keeps its
+    /// supervision invariant (respawn on every `panicked` done), because
+    /// a dying worker always sends its done before exiting — the check
+    /// is the backstop that turns an invariant violation into a clean
+    /// `None` instead of a deadlock.
     pub fn wait_done(&self) -> Option<RefreshDone> {
-        self.done.recv().ok()
+        match self.done.try_recv() {
+            Some(done) => Some(done),
+            None => {
+                if self.threads.iter().all(|t| t.is_finished()) {
+                    // One final poll closes the race where the last
+                    // worker sent its done after our first try_recv.
+                    return self.done.try_recv();
+                }
+                self.done.recv().ok()
+            }
+        }
     }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// format string yields `String`; a literal yields `&str`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic payload>")
 }
 
 impl Drop for RefreshWorker {

@@ -19,6 +19,9 @@
 //! arrow-matrix-cli catalog ls <dir>
 //! arrow-matrix-cli catalog gc <dir> <retain-last-k>
 //! arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>
+//! arrow-matrix-cli chaos [all|<scenario>] [--seed N] [--out PATH]
+//! arrow-matrix-cli chaos record <scenario> <out.trace> [--seed N]
+//! arrow-matrix-cli chaos replay <in.trace> [--seed N]
 //! ```
 //!
 //! Mirrors the paper's artifact workflow: generate (or download) a
@@ -109,6 +112,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  arrow-matrix-cli generate <dataset> <n> <out.mtx> [seed]\n  \
@@ -128,7 +132,10 @@ fn main() -> ExitCode {
                  arrow-matrix-cli top <timeseries.jsonl>\n  \
                  arrow-matrix-cli catalog ls <dir>\n  \
                  arrow-matrix-cli catalog gc <dir> <retain-last-k>\n  \
-                 arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>\n\
+                 arrow-matrix-cli catalog restore <dir> <fingerprint-hex> <version> <out.amd>\n  \
+                 arrow-matrix-cli chaos [all|<scenario>] [--seed N] [--out PATH]\n  \
+                 arrow-matrix-cli chaos record <scenario> <out.trace> [--seed N]\n  \
+                 arrow-matrix-cli chaos replay <in.trace> [--seed N]\n\
                  datasets: mawi genbank webbase osm gap-twitter sk-2005"
             );
             return ExitCode::from(2);
@@ -1333,4 +1340,135 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         println!("trace   : wrote {path} (Chrome Trace Event Format)");
     }
     Ok(())
+}
+
+/// `chaos [all|<scenario>] [--seed N] [--out PATH]` — run the built-in
+/// fault-injection scenario suite (or one scenario) and optionally
+/// write the `amd-scenarios/1` JSON artifact. `chaos record` saves a
+/// scenario's trace in the `amd-trace/1` text format; `chaos replay`
+/// re-runs a saved trace fault-free and verifies it bit-exactly.
+/// Exits nonzero when any scenario fails an invariant.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use arrow_matrix::chaos::{FaultPlan, ScenarioTrace};
+    use arrow_matrix::scenario::{self, Expectation, Scenario, ScenarioReport};
+
+    let mut seed = 7u64;
+    let mut out: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                out = Some(v.clone());
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            _ => positional.push(arg),
+        }
+    }
+    fn print_report(r: &ScenarioReport) {
+        println!(
+            "{} {:32} {}",
+            if r.passed { "PASS" } else { "FAIL" },
+            r.name,
+            r.detail
+        );
+    }
+    match positional.first().map(|s| s.as_str()) {
+        Some("record") => {
+            let [_, name, path] = positional.as_slice() else {
+                return Err("chaos record <scenario> <out.trace> [--seed N]".into());
+            };
+            let scenarios = scenario::builtin_scenarios(seed);
+            let s = scenarios.iter().find(|s| &s.name == *name).ok_or_else(|| {
+                format!(
+                    "unknown scenario {name}; known: {}",
+                    scenarios
+                        .iter()
+                        .map(|s| s.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            })?;
+            s.trace
+                .save(std::path::Path::new(path.as_str()))
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "recorded {} ops of scenario `{}` to {path}",
+                s.trace.ops.len(),
+                s.name
+            );
+            Ok(())
+        }
+        Some("replay") => {
+            let [_, path] = positional.as_slice() else {
+                return Err("chaos replay <in.trace> [--seed N]".into());
+            };
+            let trace = ScenarioTrace::load(std::path::Path::new(path.as_str()))?;
+            println!(
+                "replaying {} ops over {} tenant(s) (n = {})",
+                trace.ops.len(),
+                trace.tenants,
+                trace.n
+            );
+            let report = scenario::run(&Scenario {
+                name: "replay".to_string(),
+                trace,
+                plan: FaultPlan::new(seed),
+                with_catalog: false,
+                crash_reopen: false,
+                expect: Expectation::Exact,
+            });
+            print_report(&report);
+            if report.passed {
+                Ok(())
+            } else {
+                Err("replay failed verification".into())
+            }
+        }
+        name => {
+            let scenarios = scenario::builtin_scenarios(seed);
+            let selected: Vec<Scenario> = match name {
+                None | Some("all") => scenarios,
+                Some(n) => {
+                    let known: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+                    let picked: Vec<Scenario> =
+                        scenarios.into_iter().filter(|s| s.name == n).collect();
+                    if picked.is_empty() {
+                        return Err(format!(
+                            "unknown scenario {n}; known: all {}",
+                            known.join(" ")
+                        ));
+                    }
+                    picked
+                }
+            };
+            println!(
+                "chaos   : running {} scenario(s), seed = {seed}",
+                selected.len()
+            );
+            let mut reports = Vec::new();
+            for s in &selected {
+                let report = scenario::run(s);
+                print_report(&report);
+                reports.push(report);
+            }
+            if let Some(path) = &out {
+                std::fs::write(path, scenario::reports_to_json(seed, &reports))
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            let failed = reports.iter().filter(|r| !r.passed).count();
+            if failed > 0 {
+                Err(format!("{failed}/{} scenarios failed", reports.len()))
+            } else {
+                println!("chaos   : all {} scenario(s) passed", reports.len());
+                Ok(())
+            }
+        }
+    }
 }

@@ -44,6 +44,16 @@
 //!   and idle-eviction policy. `arrow-matrix-cli stream [--tenants N]
 //!   [--async-refresh] [--catalog DIR]` drives a synthetic mutation
 //!   stream end to end, with warm restarts across runs.
+//! * [`chaos`] — the **fault-injection harness**: named, deterministic
+//!   failpoints threaded through catalog I/O, the refresh worker, and
+//!   the serving path (compiled to relaxed-atomic no-ops when
+//!   disarmed), fault plans, recorded mutation/query traces, and
+//!   adversarial delta generators. The [`scenario`] module replays
+//!   those traces against a live [`stream::StreamHub`] under a fault
+//!   plan and asserts crash-exact recovery: every answer bit-matches a
+//!   fault-free reference, and restarting after any injected crash
+//!   reloads the catalog with zero orphans. `arrow-matrix-cli chaos`
+//!   runs the built-in scenario suite.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 //!
@@ -69,6 +79,7 @@
 //! assert!(run.y.max_abs_diff(&direct).unwrap() < 1e-9);
 //! ```
 
+pub use amd_chaos as chaos;
 pub use amd_comm as comm;
 pub use amd_engine as engine;
 pub use amd_graph as graph;
@@ -79,5 +90,7 @@ pub use amd_sparse as sparse;
 pub use amd_spmm as spmm;
 pub use amd_stream as stream;
 pub use arrow_core as core;
+
+pub mod scenario;
 
 pub use amd_sparse::{CooMatrix, CsrMatrix, DenseMatrix, Permutation};

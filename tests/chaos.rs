@@ -1,0 +1,96 @@
+//! End-to-end chaos harness tests at the facade level: built-in
+//! scenarios run through `arrow_matrix::scenario`, the trace format
+//! round-trips through disk, and the `chaos` CLI subcommand emits a
+//! well-formed `BENCH_scenarios.json`. Lives in its own test binary so
+//! the process-wide failpoint table is never shared with other tests.
+
+use arrow_matrix::chaos::{failpoint, generators, ScenarioTrace};
+use arrow_matrix::scenario::{self, Expectation};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("amd-chaos-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// A representative slice of the built-in suite: one supervised worker
+/// death, one crash-window recovery, and one fault-free adversarial
+/// workload. (The full 11-scenario suite runs in CI via the CLI; this
+/// keeps the test-suite wall clock reasonable.)
+#[test]
+fn builtin_scenarios_pass_end_to_end() {
+    failpoint::quiet_injected_panics();
+    let picks = [
+        "worker-kill",
+        "crash-window-payload-rename",
+        "adversarial-region",
+    ];
+    let suite = scenario::builtin_scenarios(7);
+    for name in picks {
+        let s = suite
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("builtin scenario {name} missing"));
+        let report = scenario::run(s);
+        assert!(report.passed, "{name} failed: {}", report.detail);
+        assert!(report.verified > 0, "{name} verified no answers");
+        assert_eq!(report.max_abs_err, 0.0, "{name} served inexactly");
+    }
+}
+
+/// Record → save → load round-trips the trace bit-exactly, and the
+/// loaded trace replays fault-free with exact serving.
+#[test]
+fn trace_roundtrip_and_replay() {
+    failpoint::quiet_injected_panics();
+    let path = tmp("roundtrip.trace");
+    let trace = generators::oscillating(48, 2, 4, 99);
+    trace.save(&path).unwrap();
+    let loaded = ScenarioTrace::load(&path).unwrap();
+    assert_eq!(loaded, trace, "the trace format must round-trip exactly");
+
+    let replayed = scenario::run(&scenario::Scenario {
+        name: "roundtrip-replay".to_string(),
+        trace: loaded,
+        plan: arrow_matrix::chaos::FaultPlan::new(0),
+        with_catalog: false,
+        crash_reopen: false,
+        expect: Expectation::Exact,
+    });
+    assert!(replayed.passed, "replay failed: {}", replayed.detail);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The `chaos` CLI subcommand runs a single scenario under its fault
+/// plan and writes a well-formed scenario report artifact.
+#[test]
+fn chaos_cli_writes_scenario_report() {
+    let out_path = tmp("scenarios.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_arrow-matrix-cli"))
+        .args([
+            "chaos",
+            "worker-kill",
+            "--seed",
+            "7",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn cli");
+    assert!(
+        out.status.success(),
+        "chaos subcommand failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PASS"), "no PASS line in: {stdout}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"schema\": \"amd-scenarios/1\""));
+    assert!(json.contains("\"name\": \"worker-kill\""));
+    assert!(json.contains("\"worker_restarts\""));
+    assert!(json.contains("\"passed\": true"));
+    let _ = std::fs::remove_file(&out_path);
+}
