@@ -1,0 +1,284 @@
+//! Execution-pool calibration: pooled vs spawn-per-run machine
+//! execution on a small-query churn workload, plus a measured-β fit of
+//! the α-β cost model from real wall times.
+//!
+//! Two parts, both written to `BENCH_exec.json` at the workspace root:
+//!
+//! 1. **Churn sweep** — many tiny `Machine::run` calls (a nearest-
+//!    neighbour ring exchange) across rank counts × payload sizes,
+//!    pooled rank slots vs spawn-per-run threads, min-of-rounds on
+//!    both sides. The pooled path must beat spawn-per-run by ≥ 2× on
+//!    the small-payload sweep — the whole point of the shared pool.
+//! 2. **Calibration rows** — each SpMM algorithm runs a query-size
+//!    sweep; predicted per-run volume vs measured wall time is fitted
+//!    per algorithm (slope β, correlation r) and pooled into one
+//!    measured β that [`CostModel::with_measured_beta`] would deploy.
+
+use amd_bench::runner::arrow_with_ranks;
+use amd_bench::{hp1d_for, spmm_15d_for, Table, BENCH_SEED};
+use amd_comm::{fit_beta, CostModel, Machine};
+use amd_exec::ExecPool;
+use amd_graph::generators::rmat;
+use amd_obs::Stopwatch;
+use amd_sparse::{CsrMatrix, DenseMatrix};
+use amd_spmm::{A2dSpmm, DistSpmm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Write;
+
+/// `Machine::run` calls per churn measurement — the "millions of small
+/// queries" pattern at bench scale.
+const CHURN_RUNS: usize = 30;
+/// Paired min-of-rounds per churn cell.
+const ROUNDS: usize = 7;
+/// Required pooled-vs-spawn advantage on the small-payload sweep.
+const MIN_SPEEDUP: f64 = 2.0;
+/// Multiply iterations per calibration run.
+const CAL_ITERS: u32 = 2;
+
+/// One churn measurement: `CHURN_RUNS` ring-exchange runs; returns
+/// elapsed seconds.
+fn churn(machine: &Machine, p: u32, payload: usize) -> f64 {
+    let t0 = Stopwatch::start();
+    for _ in 0..CHURN_RUNS {
+        let report = machine.run(|ctx| {
+            let r = ctx.rank();
+            let right = (r + 1) % p;
+            let left = (r + p - 1) % p;
+            ctx.send(right, 0, vec![r as f64; payload]);
+            let v: Vec<f64> = ctx.recv(left, 0);
+            v[0]
+        });
+        assert_eq!(report.results.len(), p as usize);
+    }
+    t0.elapsed_seconds()
+}
+
+struct ChurnCell {
+    p: u32,
+    payload: usize,
+    pooled_ms: f64,
+    spawn_ms: f64,
+}
+
+impl ChurnCell {
+    fn speedup(&self) -> f64 {
+        self.spawn_ms / self.pooled_ms
+    }
+}
+
+fn churn_sweep(pool: &ExecPool) -> Vec<ChurnCell> {
+    let mut cells = Vec::new();
+    for &p in &[2u32, 4, 8, 16] {
+        for &payload in &[64usize, 2048] {
+            let pooled = Machine::new(p).with_exec(pool.clone());
+            let spawn = Machine::new(p).spawn_per_run();
+            // Warm the slot cache so the pooled side measures steady
+            // state, the deployment regime.
+            churn(&pooled, p, payload);
+            let mut pooled_secs = f64::INFINITY;
+            let mut spawn_secs = f64::INFINITY;
+            for _ in 0..ROUNDS {
+                pooled_secs = pooled_secs.min(churn(&pooled, p, payload));
+                spawn_secs = spawn_secs.min(churn(&spawn, p, payload));
+            }
+            cells.push(ChurnCell {
+                p,
+                payload,
+                pooled_ms: pooled_secs * 1e3,
+                spawn_ms: spawn_secs * 1e3,
+            });
+        }
+    }
+    cells
+}
+
+struct CalibrationRow {
+    algo: String,
+    samples: Vec<(f64, f64)>,
+    fitted_beta: f64,
+    r: f64,
+}
+
+/// Runs `alg` over a query-size sweep; returns `(predicted per-run
+/// bytes, measured wall seconds)` samples (min-of-3 walls).
+fn calibrate(alg: &dyn DistSpmm, n: u32) -> Vec<(f64, f64)> {
+    let mut samples = Vec::new();
+    for &k in &[1u32, 4, 16, 32] {
+        let x = DenseMatrix::from_fn(n, k, |r, c| (((r * 3 + c) % 5) as f64) - 2.0);
+        let predicted = alg.predict_volume(k).max_rank_bytes * f64::from(CAL_ITERS);
+        let mut wall = f64::INFINITY;
+        for _ in 0..3 {
+            let run = alg.run(&x, CAL_ITERS).expect("calibration run");
+            wall = wall.min(run.stats.wall_seconds);
+        }
+        samples.push((predicted, wall));
+    }
+    samples
+}
+
+fn calibration_rows(a: &CsrMatrix<f64>) -> Vec<CalibrationRow> {
+    let n = a.rows();
+    let g = amd_graph::Graph::from_matrix_structure(a);
+    let p = 16u32;
+    let mut algs: Vec<Box<dyn DistSpmm>> = Vec::new();
+    let (_, arrow) = arrow_with_ranks(a, p).expect("arrow setup");
+    algs.push(Box::new(arrow));
+    algs.push(Box::new(spmm_15d_for(a, p).expect("1.5D setup")));
+    algs.push(Box::new(A2dSpmm::new(a, p).expect("2D setup")));
+    algs.push(Box::new(hp1d_for(&g, a, p).expect("HP-1D setup")));
+    algs.iter()
+        .map(|alg| {
+            let samples = calibrate(alg.as_ref(), n);
+            let fit = fit_beta(&samples);
+            CalibrationRow {
+                algo: alg.name(),
+                fitted_beta: fit.map(|f| f.beta).unwrap_or(0.0),
+                r: fit.map(|f| f.r).unwrap_or(0.0),
+                samples,
+            }
+        })
+        .collect()
+}
+
+fn bench_exec_calibration(c: &mut Criterion) {
+    let pool = amd_exec::global();
+
+    // Keep criterion in the loop for the harness's timing output on the
+    // hot cell, then take the decisive paired measurement by hand.
+    let mut group = c.benchmark_group("exec_calibration");
+    group.sample_size(10);
+    let hot = Machine::new(8).with_exec(pool.clone());
+    group.bench_function("pooled_churn_p8", |b| b.iter(|| churn(&hot, 8, 64)));
+    group.finish();
+
+    let cells = churn_sweep(&pool);
+    let mut table = Table::new(vec![
+        "p",
+        "payload f64s",
+        "pooled ms",
+        "spawn ms",
+        "speedup",
+    ]);
+    for cell in &cells {
+        table.row(vec![
+            format!("{}", cell.p),
+            format!("{}", cell.payload),
+            format!("{:.3}", cell.pooled_ms),
+            format!("{:.3}", cell.spawn_ms),
+            format!("{:.2}x", cell.speedup()),
+        ]);
+    }
+    table.print(&format!(
+        "EXEC — pooled vs spawn-per-run, {CHURN_RUNS} runs/cell, min of {ROUNDS} rounds"
+    ));
+
+    // The small-query churn regime is where thread spawn dominates:
+    // gate on the best small-payload cell so a scheduler hiccup in one
+    // cell cannot flake the whole bench.
+    let best_small = cells
+        .iter()
+        .filter(|c| c.payload == 64)
+        .map(ChurnCell::speedup)
+        .fold(0.0f64, f64::max);
+
+    let a: CsrMatrix<f64> = {
+        use rand::SeedableRng as _;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(BENCH_SEED);
+        rmat::rmat(9, 8, rmat::RmatParams::graph500(), &mut rng).to_adjacency()
+    };
+    let rows = calibration_rows(&a);
+    let mut cal = Table::new(vec!["algorithm", "samples", "fitted β (s/B)", "corr r"]);
+    for row in &rows {
+        cal.row(vec![
+            row.algo.clone(),
+            format!("{}", row.samples.len()),
+            format!("{:.2e}", row.fitted_beta),
+            format!("{:.3}", row.r),
+        ]);
+    }
+    let all: Vec<(f64, f64)> = rows
+        .iter()
+        .flat_map(|r| r.samples.iter().copied())
+        .collect();
+    let pooled_fit = fit_beta(&all);
+    let measured_beta = pooled_fit.map(|f| f.beta).filter(|&b| b > 0.0);
+    let calibrated = match measured_beta {
+        Some(beta) => CostModel::default().with_measured_beta(beta),
+        None => CostModel::default(),
+    };
+    cal.print(&format!(
+        "EXEC — predicted-volume vs measured-wall calibration (pooled β = {:.2e} s/B, model default {:.2e})",
+        calibrated.beta,
+        CostModel::default().beta
+    ));
+
+    write_json(
+        &cells,
+        best_small,
+        &rows,
+        &calibrated,
+        pooled_fit.map(|f| f.r).unwrap_or(0.0),
+    );
+
+    assert!(
+        best_small >= MIN_SPEEDUP,
+        "pooled machine must beat spawn-per-run by ≥ {MIN_SPEEDUP}x on small-query churn \
+         (best observed {best_small:.2}x)"
+    );
+}
+
+/// Machine-readable summary for the perf trajectory of future PRs.
+/// Hand-formatted (no serde in the offline workspace).
+fn write_json(
+    cells: &[ChurnCell],
+    best_small: f64,
+    rows: &[CalibrationRow],
+    calibrated: &CostModel,
+    pooled_r: f64,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    let mut churn_json = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            churn_json.push_str(",\n");
+        }
+        churn_json.push_str(&format!(
+            "    {{\"p\": {}, \"payload_f64s\": {}, \"pooled_ms\": {:.4}, \
+             \"spawn_ms\": {:.4}, \"speedup\": {:.3}}}",
+            cell.p,
+            cell.payload,
+            cell.pooled_ms,
+            cell.spawn_ms,
+            cell.speedup()
+        ));
+    }
+    let mut cal_json = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            cal_json.push_str(",\n");
+        }
+        cal_json.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"samples\": {}, \"fitted_beta\": {:.6e}, \"r\": {:.4}}}",
+            row.algo,
+            row.samples.len(),
+            row.fitted_beta,
+            row.r
+        ));
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"exec_calibration\",\n  \"churn_runs_per_cell\": {CHURN_RUNS},\n  \
+         \"rounds\": {ROUNDS},\n  \"best_small_query_speedup\": {best_small:.3},\n  \
+         \"min_speedup_bound\": {MIN_SPEEDUP},\n  \"churn\": [\n{churn_json}\n  ],\n  \
+         \"calibration\": [\n{cal_json}\n  ],\n  \
+         \"measured_beta\": {:.6e},\n  \"model_beta\": {:.6e},\n  \"pooled_r\": {pooled_r:.4}\n}}\n",
+        calibrated.beta,
+        CostModel::default().beta
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(exec_calibration, bench_exec_calibration);
+criterion_main!(exec_calibration);

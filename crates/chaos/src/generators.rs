@@ -146,6 +146,62 @@ pub fn zipf_bursts(
     trace
 }
 
+/// Power-law *tenant* skew: every operation's tenant is drawn from a
+/// truncated Zipf(`alpha`) over the tenant IDs, so a handful of hot
+/// tenants absorb most of the mutation and query traffic while the
+/// long tail sits nearly idle. Unlike [`zipf_bursts`] (one tenant per
+/// round), every round interleaves several independently-drawn
+/// tenants, which is what multi-tenant serving actually looks like:
+/// hot tenants' refreshes overlap cold tenants' queries, and the
+/// per-tenant isolation (caches, refresh queues, catalogs) must keep
+/// every answer exact under the contention.
+pub fn zipf_tenant_skew(
+    n: usize,
+    tenants: usize,
+    rounds: usize,
+    ops_per_round: usize,
+    alpha: f64,
+    seed: u64,
+) -> ScenarioTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut trace = ScenarioTrace::new(n, tenants);
+    let zipf = Zipf::new(tenants, alpha);
+    for round in 0..rounds {
+        for slot in 0..ops_per_round.max(1) {
+            let tenant = zipf.sample(&mut rng);
+            let row = rng.gen_range(0..n as u32);
+            let col = (row + 1 + rng.gen_range(0..(n as u32 - 1))) % n as u32;
+            trace.ops.push(TraceOp::Add {
+                tenant,
+                row,
+                col,
+                value: 1.0,
+            });
+            trace.ops.push(TraceOp::Query {
+                tenant,
+                salt: (round * 131 + slot) as u64,
+                iters: 2,
+            });
+            // Hot tenants refresh often; the tail almost never does, so
+            // its serving stays on the corrected (delta) path.
+            if slot % 2 == 0 {
+                trace.ops.push(TraceOp::Refresh { tenant });
+            }
+        }
+        trace.ops.push(TraceOp::Settle);
+    }
+    // Verify every tenant at least once, including those the skew
+    // never picked — the cold tail must be exact too.
+    for tenant in 0..tenants {
+        trace.ops.push(TraceOp::Query {
+            tenant,
+            salt: 7777 + tenant as u64,
+            iters: 2,
+        });
+    }
+    trace
+}
+
 /// Tiny truncated-Zipf sampler over `{0, …, n-1}` (rank k+1 has weight
 /// `(k+1)^-alpha`) via an inverse-CDF table walk. Kept inline so this
 /// crate stays at the bottom of the dependency stack.
@@ -198,6 +254,44 @@ mod tests {
         let c = zipf_bursts(64, 3, 12, 1.2, 6, 11);
         assert_eq!(c, zipf_bursts(64, 3, 12, 1.2, 6, 11));
         roundtrips(&c);
+
+        let d = zipf_tenant_skew(64, 16, 4, 6, 1.3, 11);
+        assert_eq!(d, zipf_tenant_skew(64, 16, 4, 6, 1.3, 11));
+        assert_ne!(d, zipf_tenant_skew(64, 16, 4, 6, 1.3, 12));
+        roundtrips(&d);
+    }
+
+    #[test]
+    fn tenant_skew_is_power_law_but_covers_every_tenant() {
+        let tenants = 16;
+        let t = zipf_tenant_skew(64, tenants, 8, 8, 1.3, 7);
+        let mut updates = vec![0usize; tenants];
+        let mut queried = vec![false; tenants];
+        for op in &t.ops {
+            match op {
+                TraceOp::Add { tenant, .. } => updates[*tenant] += 1,
+                TraceOp::Query { tenant, .. } => queried[*tenant] = true,
+                _ => {}
+            }
+        }
+        // The head must dominate the tail: the hottest tenant sees more
+        // traffic than the coldest half combined.
+        let hottest = *updates.iter().max().unwrap();
+        let cold_half: usize = {
+            let mut sorted = updates.clone();
+            sorted.sort_unstable();
+            sorted[..tenants / 2].iter().sum()
+        };
+        assert!(
+            hottest > cold_half,
+            "hottest tenant ({hottest}) must out-traffic the cold half ({cold_half}): {updates:?}"
+        );
+        // ... but every tenant is still verified at least once.
+        assert!(
+            queried.iter().all(|&q| q),
+            "all tenants queried: {queried:?}"
+        );
+        assert_eq!(t.max_tenant().unwrap(), tenants - 1);
     }
 
     #[test]

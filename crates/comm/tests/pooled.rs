@@ -1,0 +1,142 @@
+//! Machine-level pooled execution: determinism against spawn-per-run,
+//! panic containment in the shared pool's rank slots, pool lifecycle
+//! (drop and rebuild), and the `#[ignore]`d perf gate CI runs in its
+//! `exec-smoke` job.
+
+use amd_comm::Machine;
+use amd_exec::ExecPool;
+use std::time::Instant;
+
+/// A small SPMD program with real cross-rank traffic: ring exchange
+/// plus an all-to-rank-0 gather, returning a per-rank checksum.
+fn ring_program(machine: &Machine, p: u32, payload: usize) -> Vec<(f64, f64)> {
+    let report = machine.run(|ctx| {
+        let r = ctx.rank();
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        ctx.send(right, 0, vec![r as f64 + 0.25; payload]);
+        let v: Vec<f64> = ctx.recv(left, 0);
+        let sum: f64 = v.iter().sum();
+        if r == 0 {
+            let mut acc = sum;
+            for peer in 1..p {
+                let w: Vec<f64> = ctx.recv(peer, 1);
+                acc += w[0];
+            }
+            acc
+        } else {
+            ctx.send(0, 1, vec![sum]);
+            sum
+        }
+    });
+    report
+        .results
+        .iter()
+        .zip(&report.stats.ranks)
+        .map(|(&y, s)| (y, s.sim_time))
+        .collect()
+}
+
+/// Pooled results and per-rank sim clocks bit-match spawn-per-run.
+#[test]
+fn pooled_machine_bit_matches_spawn_per_run() {
+    for p in [1u32, 2, 5, 8] {
+        let pooled = ring_program(&Machine::new(p), p, 128);
+        let spawned = ring_program(&Machine::new(p).spawn_per_run(), p, 128);
+        assert_eq!(pooled.len(), spawned.len());
+        for (r, ((py, pt), (sy, st))) in pooled.iter().zip(&spawned).enumerate() {
+            assert_eq!(py.to_bits(), sy.to_bits(), "p={p} rank {r} result");
+            assert_eq!(pt.to_bits(), st.to_bits(), "p={p} rank {r} sim clock");
+        }
+    }
+}
+
+/// A rank panic surfaces with the exact spawn-per-run message and does
+/// NOT poison the shared pool: the same pool keeps serving runs, and
+/// the surviving slots are reused rather than respawned.
+#[test]
+fn rank_panic_does_not_poison_the_pool() {
+    let pool = ExecPool::new(4);
+    let machine = Machine::new(4).with_exec(pool.clone());
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        machine.run(|ctx| {
+            if ctx.rank() == 2 {
+                panic!("injected rank failure");
+            }
+            ctx.rank()
+        })
+    }));
+    let msg = *caught
+        .expect_err("rank panic must propagate")
+        .downcast::<String>()
+        .unwrap();
+    assert!(
+        msg.contains("rank 2 panicked") && msg.contains("injected rank failure"),
+        "panic must keep the spawn-per-run format: {msg}"
+    );
+    // The pool is still whole: subsequent runs succeed and reuse the
+    // cached slots (panicked slots survive — the payload travelled out
+    // through the result, not the thread).
+    let spawned_before = pool.stats().rank_threads_spawned;
+    for round in 0..3 {
+        let report = machine.run(|ctx| ctx.rank() * 10);
+        assert_eq!(report.results, vec![0, 10, 20, 30], "round {round}");
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.rank_threads_spawned, spawned_before,
+        "post-panic runs must reuse cached slots, not respawn"
+    );
+    assert!(stats.rank_threads_reused >= 12, "3 runs × 4 ranks reused");
+}
+
+/// Dropping a pool joins its threads; a rebuilt pool serves the same
+/// machine configuration identically.
+#[test]
+fn pool_drop_and_rebuild_reproduces_results() {
+    let first = {
+        let pool = ExecPool::new(3);
+        ring_program(&Machine::new(6).with_exec(pool), 6, 64)
+        // pool dropped here: workers and rank slots join
+    };
+    let pool = ExecPool::new(3);
+    let second = ring_program(&Machine::new(6).with_exec(pool), 6, 64);
+    for ((fy, ft), (sy, st)) in first.iter().zip(&second) {
+        assert_eq!(fy.to_bits(), sy.to_bits());
+        assert_eq!(ft.to_bits(), st.to_bits());
+    }
+}
+
+/// Perf gate (CI `exec-smoke`): on small-query churn the pooled machine
+/// must beat spawn-per-run by at least 2×. `#[ignore]`d from the
+/// default suite — timing gates belong in perf lanes, not unit lanes.
+#[test]
+#[ignore = "perf gate: run explicitly (CI exec-smoke job)"]
+fn pooled_churn_beats_spawn_per_run() {
+    const RUNS: usize = 30;
+    const ROUNDS: usize = 7;
+    let p = 8u32;
+    let pool = ExecPool::new(8);
+    let pooled = Machine::new(p).with_exec(pool);
+    let spawned = Machine::new(p).spawn_per_run();
+    let churn = |machine: &Machine| {
+        let t0 = Instant::now();
+        for _ in 0..RUNS {
+            ring_program(machine, p, 64);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    churn(&pooled); // warm the slot cache
+    let mut best_pooled = f64::INFINITY;
+    let mut best_spawned = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        best_pooled = best_pooled.min(churn(&pooled));
+        best_spawned = best_spawned.min(churn(&spawned));
+    }
+    let speedup = best_spawned / best_pooled;
+    assert!(
+        speedup >= 2.0,
+        "pooled churn must be ≥ 2× spawn-per-run (got {speedup:.2}×: \
+         pooled {best_pooled:.4}s vs spawned {best_spawned:.4}s)"
+    );
+}

@@ -18,8 +18,10 @@
 //!   model, would have ranked a different algorithm first,
 //! * `engine.algo.<slug>.*` — the same quantities per algorithm
 //!   family, plus an `error_permille` histogram of
-//!   `|predicted − accounted| / accounted`, the inputs of the CLI
-//!   `report` calibration table.
+//!   `|predicted − accounted| / accounted` and a `wall_nanos` counter
+//!   of cumulative measured wall time (with `accounted_bytes` it
+//!   yields an effective measured per-byte cost), the inputs of the
+//!   CLI `report` calibration table.
 //!
 //! Each [`QueryResponse`](crate::QueryResponse) carries a [`QueryCost`]
 //! so callers can attribute the run's cost to the query that paid it.
@@ -87,6 +89,11 @@ struct AlgoMetrics {
     rank_checks: Counter,
     mispredictions: Counter,
     error_permille: Histogram,
+    /// Cumulative measured wall time of this family's runs, in
+    /// nanoseconds — with `accounted_bytes` it yields an *effective*
+    /// measured per-byte cost the `report` calibration table compares
+    /// against the model's β.
+    wall_nanos: Counter,
 }
 
 impl AlgoMetrics {
@@ -99,6 +106,7 @@ impl AlgoMetrics {
             rank_checks: registry.counter(&name("rank_checks")),
             mispredictions: registry.counter(&name("mispredictions")),
             error_permille: registry.histogram(&name("error_permille")),
+            wall_nanos: registry.counter(&name("wall_nanos")),
         }
     }
 }
@@ -190,6 +198,8 @@ impl AttributionMetrics {
         m.predicted_bytes
             .add((predicted_per_iter * iters).round() as u64);
         m.accounted_bytes.add(accounted_total);
+        m.wall_nanos
+            .add((stats.wall_seconds * 1e9).round().max(0.0) as u64);
         // Relative volume prediction error, in permille of accounted.
         let error_permille = if accounted_per_iter > 0.0 {
             ((predicted_per_iter - accounted_per_iter).abs() / accounted_per_iter * 1000.0).round()
@@ -342,6 +352,8 @@ mod tests {
         assert_eq!(s.counter("engine.plan.rank_checks"), Some(1));
         assert_eq!(s.counter("engine.plan.mispredictions"), Some(0));
         assert_eq!(s.counter("engine.algo.arrow.runs"), Some(1));
+        // wall_seconds = 1e-3 → 1_000_000 ns of measured wall time.
+        assert_eq!(s.counter("engine.algo.arrow.wall_nanos"), Some(1_000_000));
         assert_eq!(s.histogram("engine.rank_volume.bytes").unwrap().count, 2);
         // accounted/iter = 500 vs predicted 1000 → 1000‰ error recorded.
         assert_eq!(

@@ -19,7 +19,7 @@ use crate::attribution::{AttributionMetrics, QueryCost, RunAttribution};
 use crate::cache::{CacheStats, DecompositionCache};
 use crate::planner::{plan, Plan, PlannerConfig, Prediction};
 use amd_chaos::failpoint;
-use amd_comm::CostModel;
+use amd_comm::{CostModel, MachineExec};
 use amd_obs::{Counter, Gauge, Histogram, SpanId, Stopwatch, Telemetry};
 use amd_sparse::{CsrMatrix, DenseMatrix, Dtype, SparseError, SparseResult};
 use amd_spmm::traits::Sigma;
@@ -99,6 +99,12 @@ pub struct EngineConfig {
     /// before the error surfaces to the caller. Each retry counts into
     /// [`EngineStats::multiply_retries`].
     pub max_multiply_retries: u32,
+    /// How bound algorithms' machines obtain rank threads. The default
+    /// acquires cached slots from the process-global `amd-exec` pool;
+    /// [`MachineExec::SpawnPerRun`] restores thread-per-run spawning
+    /// (the determinism comparator). Results are bit-identical either
+    /// way.
+    pub exec: MachineExec,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +121,7 @@ impl Default for EngineConfig {
             dtype: Dtype::default(),
             max_splice_slowdown: DEFAULT_MAX_SLICE_SLOWDOWN,
             max_multiply_retries: 2,
+            exec: MachineExec::default(),
         }
     }
 }
@@ -180,6 +187,15 @@ pub struct EngineStats {
     /// (injected by the `engine.multiply.transient` failpoint; a real
     /// serving run never errors transiently).
     pub multiply_retries: u64,
+}
+
+impl EngineConfig {
+    /// Routes every bound algorithm's machine ranks through `exec`
+    /// (replacing the default shared-pool mode).
+    pub fn with_exec(mut self, exec: MachineExec) -> Self {
+        self.exec = exec;
+        self
+    }
 }
 
 struct BoundMatrix {
@@ -260,6 +276,10 @@ struct EngineMetrics {
     /// Mean active-prefix fraction of the most recently planned
     /// binding, in permille (gauges are integers).
     active_prefix_permille: Gauge,
+    /// The cost model's per-byte β in femtoseconds (β · 10¹⁵) — a
+    /// config echo so `report` can compare the model against the
+    /// measured effective per-byte cost.
+    cost_beta_femtos: Gauge,
     /// Cost-attribution handles (`engine.plan.*`, `engine.algo.*`).
     attribution: AttributionMetrics,
 }
@@ -281,6 +301,7 @@ impl EngineMetrics {
             refresh_seconds: registry.histogram("refresh.seconds"),
             dtype_bytes: registry.gauge("engine.dtype_bytes"),
             active_prefix_permille: registry.gauge("engine.active_prefix_permille"),
+            cost_beta_femtos: registry.gauge("engine.cost.beta_femtos"),
             attribution: AttributionMetrics::new(registry),
         }
     }
@@ -435,14 +456,18 @@ impl Engine {
             ..PlannerConfig::default()
         };
         let Plan {
-            algo,
+            mut algo,
             chosen,
             predictions,
         } = plan(a, &d, &planner_config)?;
+        algo.set_exec(self.config.exec.clone());
         let active_prefix = d.active_prefix_fraction();
         self.metrics
             .dtype_bytes
             .set(self.config.dtype.bytes() as u64);
+        self.metrics
+            .cost_beta_femtos
+            .set((self.config.cost.beta * 1e15).round().max(0.0) as u64);
         self.metrics
             .active_prefix_permille
             .set((active_prefix * 1000.0).round() as u64);

@@ -1,0 +1,632 @@
+//! The compute-worker half of the pool: per-worker LIFO deques, a
+//! global FIFO injector, random-victim stealing, condvar parking, and
+//! scoped fork-join on top.
+
+use crate::ranks::RankSlots;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A type-erased unit of work. Lifetimes are erased at the [`Scope`]
+/// boundary; soundness comes from the scope blocking until every task
+/// it spawned has finished.
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    /// `(pool identity, worker index)` when the current thread is a
+    /// compute worker — lets [`Shared::push_job`] target the worker's
+    /// own deque (LIFO locality) instead of the injector.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Shared state between the pool handle and its worker threads.
+pub(crate) struct Shared {
+    /// Global FIFO queue: jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques: owners pop LIFO from the back, thieves steal
+    /// FIFO from the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Parking lot for idle workers. `push_job` takes this lock before
+    /// notifying so a worker can never miss a wakeup between its
+    /// empty-queue check and its wait.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    jobs_executed: AtomicU64,
+}
+
+impl Shared {
+    fn new(threads: usize) -> Self {
+        Self {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs_executed: AtomicU64::new(0),
+        }
+    }
+
+    fn identity(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Enqueues a job: onto the submitting worker's own deque when the
+    /// caller is a worker of this pool, else onto the injector.
+    fn push_job(self: &Arc<Self>, job: Job) {
+        let own = WORKER
+            .with(|w| w.get())
+            .filter(|&(id, _)| id == self.identity());
+        match own {
+            Some((_, idx)) => self.deques[idx].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        // Lock-fence + notify: a parked worker is either inside `wait`
+        // (the lock acquisition below can only succeed once it is, so
+        // the notify lands) or has not checked the queues yet (it will
+        // see the job).
+        drop(self.idle.lock().unwrap());
+        self.wake.notify_one();
+    }
+
+    /// Pops the next runnable job: own deque (LIFO), injector (FIFO),
+    /// then a random-victim rotation over the other workers' deques
+    /// (stealing from the front, so thieves take the oldest work).
+    fn find_job(&self, own: Option<usize>, rng: &mut u64) -> Option<Job> {
+        if let Some(idx) = own {
+            if let Some(job) = self.deques[idx].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let start = (*rng % n as u64) as usize;
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if Some(victim) == own {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn any_queued(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+
+    fn run_job(&self, job: Job) {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        // Every job is a scope/rank wrapper that catches its own
+        // panics; this outer catch is the backstop that keeps a worker
+        // thread alive even if that invariant is ever broken.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((shared.identity(), index))));
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((index as u64 + 1) * 0xA24B_AED4_963E_E407);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(job) = shared.find_job(Some(index), &mut rng) {
+            shared.run_job(job);
+            continue;
+        }
+        let guard = shared.idle.lock().unwrap();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.any_queued() {
+            continue;
+        }
+        // The timeout is belt-and-braces only; the push_job lock-fence
+        // makes wakeups reliable.
+        let _ = shared.wake.wait_timeout(guard, Duration::from_millis(100));
+    }
+}
+
+/// Counters describing what a pool has executed — used by the
+/// determinism/supervision tests and the calibration bench to prove
+/// threads are reused, not respawned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Jobs executed by compute workers (scope tasks, kernel chunks).
+    pub compute_jobs: u64,
+    /// SPMD runs served by [`ExecPool::run_tasks`].
+    pub rank_runs: u64,
+    /// Rank-slot threads spawned over the pool's lifetime.
+    pub rank_threads_spawned: u64,
+    /// Rank-slot acquisitions satisfied by a parked (cached) thread.
+    pub rank_threads_reused: u64,
+}
+
+struct Inner {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    ranks: RankSlots,
+    threads: usize,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            drop(self.shared.idle.lock().unwrap());
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+        // Rank slots are joined by `RankSlots::drop`.
+    }
+}
+
+/// A persistent work-stealing executor. Cheap to clone (an `Arc`
+/// handle); all clones share the same worker threads and rank-slot
+/// cache. See the [crate docs](crate) for the execution model and
+/// [`crate::global`] for the process-wide instance.
+#[derive(Clone)]
+pub struct ExecPool {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("threads", &self.inner.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecPool {
+    /// A private pool with `threads` compute workers (at least one).
+    /// Rank slots are cached on demand and do not count against
+    /// `threads`.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared::new(threads));
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("amd-exec-worker-{i}"))
+                    .spawn(move || worker_main(shared, i))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                shared,
+                workers: Mutex::new(workers),
+                ranks: RankSlots::new(),
+                threads,
+            }),
+        }
+    }
+
+    /// Number of compute workers.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Lifetime execution counters.
+    pub fn stats(&self) -> ExecStats {
+        let (rank_runs, rank_threads_spawned, rank_threads_reused) = self.inner.ranks.stats();
+        ExecStats {
+            compute_jobs: self.inner.shared.jobs_executed.load(Ordering::Relaxed),
+            rank_runs,
+            rank_threads_spawned,
+            rank_threads_reused,
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks borrowing non-`'static`
+    /// data can be spawned. Blocks until every spawned task has
+    /// finished — helping with queued work while it waits — then
+    /// re-throws the first task panic (or `f`'s own panic).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState::default());
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait even when `f` panicked: tasks borrow `'env` data that
+        // must outlive them.
+        self.wait_scope(&state);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = state.panic.lock().unwrap().take() {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    fn wait_scope(&self, state: &ScopeState) {
+        let shared = &self.inner.shared;
+        let own = WORKER
+            .with(|w| w.get())
+            .filter(|&(id, _)| id == shared.identity())
+            .map(|(_, idx)| idx);
+        let mut rng = (state as *const ScopeState as u64) | 1;
+        loop {
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Help: run queued jobs (possibly from other scopes) so a
+            // scope waiting inside a worker can never deadlock the
+            // pool.
+            if let Some(job) = shared.find_job(own, &mut rng) {
+                shared.run_job(job);
+                continue;
+            }
+            let guard = state.done.lock().unwrap();
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Short timeout: a new *helpable* job does not signal
+            // `done_cv`, so re-poll the queues at a modest cadence.
+            let _ = state
+                .done_cv
+                .wait_timeout(guard, Duration::from_micros(200));
+        }
+    }
+
+    /// Data-parallel loop over `0..count`, dynamically load-balanced:
+    /// up to `threads()` runner tasks (the caller is one of them) pull
+    /// indices from a shared atomic counter. Serial fallthrough when
+    /// `count <= 1` or the pool has a single worker — no task is
+    /// spawned and no allocation happens.
+    pub fn for_each_index<F>(&self, count: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if count == 0 {
+            return;
+        }
+        if count == 1 || self.threads() <= 1 {
+            for i in 0..count {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let runners = self.threads().min(count);
+        let f = &f;
+        let next_ref = &next;
+        self.scope(|s| {
+            for _ in 1..runners {
+                s.spawn(move || run_indices(next_ref, count, f));
+            }
+            run_indices(next_ref, count, f);
+        });
+    }
+
+    /// Like [`for_each_index`](Self::for_each_index) but moves each
+    /// element of `items` into `f` exactly once (the vendored rayon
+    /// facade's chunk dispatch). Serial fallthrough when `items.len()
+    /// <= 1` or the pool has a single worker.
+    ///
+    /// If `f` panics, elements not yet claimed may be leaked (never
+    /// dropped) — acceptable for the facade's `&mut` chunk items, which
+    /// have no drop glue; the panic itself propagates to the caller.
+    pub fn for_each_take<I, F>(&self, mut items: Vec<I>, f: F)
+    where
+        I: Send,
+        F: Fn(usize, I) + Sync,
+    {
+        let count = items.len();
+        if count == 0 {
+            return;
+        }
+        if count == 1 || self.threads() <= 1 {
+            for (i, item) in items.into_iter().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let base = SendPtr(items.as_mut_ptr());
+        // Claimed elements are moved out by `ptr::read`; emptying the
+        // vec *first* means a panic can never double-drop them.
+        // SAFETY: capacity is untouched and len 0 is always valid.
+        unsafe { items.set_len(0) };
+        let next = AtomicUsize::new(0);
+        let runners = self.threads().min(count);
+        let f = &f;
+        let next_ref = &next;
+        let base_ref = &base;
+        self.scope(|s| {
+            let run = move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                // SAFETY: `i` was claimed exactly once by the atomic
+                // counter, is in-bounds, and the allocation outlives
+                // the scope (the caller still owns `items`).
+                let item = unsafe { std::ptr::read(base_ref.0.add(i)) };
+                f(i, item);
+            };
+            for _ in 1..runners {
+                s.spawn(run);
+            }
+            run();
+        });
+    }
+
+    /// Runs `tasks` — one blocking SPMD rank program each — on cached
+    /// rank-slot threads, reusing parked threads from earlier runs and
+    /// spawning only when the cache is short. Blocks until all have
+    /// finished and returns their results in order; a panicking task
+    /// comes back as `Err(payload)` and its slot thread survives.
+    pub fn run_tasks<'env, T: Send + 'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<std::thread::Result<T>> {
+        self.inner.ranks.run_tasks(tasks)
+    }
+
+    /// Convenience SPMD entry point: runs `f(0..p)` on `p` rank slots.
+    pub fn run_ranks<T, F>(&self, p: usize, f: F) -> Vec<std::thread::Result<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() -> T + Send + '_>> = (0..p)
+            .map(|r| Box::new(move || f(r)) as Box<dyn FnOnce() -> T + Send + '_>)
+            .collect();
+        self.run_tasks(tasks)
+    }
+
+    pub(crate) fn push_erased(&self, job: Job) {
+        self.inner.shared.push_job(job);
+    }
+}
+
+fn run_indices(next: &AtomicUsize, count: usize, f: &(impl Fn(usize) + Sync)) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= count {
+            return;
+        }
+        f(i);
+    }
+}
+
+/// Raw pointer wrapper so runner closures capturing it stay `Send`;
+/// disjoint-index access is guaranteed by the claiming counter.
+struct SendPtr<I>(*mut I);
+unsafe impl<I: Send> Send for SendPtr<I> {}
+unsafe impl<I: Send> Sync for SendPtr<I> {}
+
+#[derive(Default)]
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// A fork-join scope: tasks spawned on it may borrow anything that
+/// outlives the [`ExecPool::scope`] call. The first task panic is
+/// re-thrown when the scope ends.
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ExecPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawns `task` onto the pool. Panics inside `task` are caught,
+    /// stored, and re-thrown by the enclosing `scope` call.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let state = Arc::clone(&self.state);
+        state.pending.fetch_add(1, Ordering::AcqRel);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = state.done.lock().unwrap();
+                state.done_cv.notify_all();
+            }
+        });
+        // SAFETY: the transmute only erases the `'env` lifetime bound.
+        // `ExecPool::scope` blocks until `pending` returns to zero —
+        // i.e. until this wrapper has run to completion — before any
+        // `'env` borrow can end, so the job never outlives its data.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                wrapped,
+            )
+        };
+        self.pool.push_erased(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_borrowing_tasks() {
+        let pool = ExecPool::new(4);
+        let mut data = vec![0u64; 64];
+        {
+            let slots: Vec<&mut u64> = data.iter_mut().collect();
+            pool.scope(|s| {
+                for (i, slot) in slots.into_iter().enumerate() {
+                    s.spawn(move || *slot = i as u64 + 1);
+                }
+            });
+        }
+        assert_eq!(data, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_index_covers_every_index_once() {
+        let pool = ExecPool::new(3);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.for_each_index(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_take_moves_every_item_once() {
+        let pool = ExecPool::new(4);
+        let items: Vec<(usize, String)> = (0..257).map(|i| (i, format!("v{i}"))).collect();
+        let seen: Vec<Mutex<Option<String>>> = (0..257).map(|_| Mutex::new(None)).collect();
+        pool.for_each_take(items, |_, (i, v)| {
+            let prev = seen[i].lock().unwrap().replace(v);
+            assert!(prev.is_none(), "item {i} dispatched twice");
+        });
+        for (i, slot) in seen.iter().enumerate() {
+            assert_eq!(
+                slot.lock().unwrap().as_deref(),
+                Some(format!("v{i}").as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn scope_panic_propagates_but_pool_survives() {
+        let pool = ExecPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task exploded"));
+                s.spawn(|| ());
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool still executes work afterwards.
+        let counter = AtomicU64::new(0);
+        pool.for_each_index(100, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ExecPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let total = &total;
+                let pool2 = pool.clone();
+                s.spawn(move || {
+                    pool2.for_each_index(16, |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn run_ranks_returns_in_order_and_reuses_threads() {
+        let pool = ExecPool::new(1);
+        let out: Vec<u32> = pool
+            .run_ranks(8, |r| r as u32 * 10)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(out, (0..8).map(|r| r * 10).collect::<Vec<u32>>());
+        let first = pool.stats();
+        assert_eq!(first.rank_threads_spawned, 8);
+        // Second run reuses every parked slot.
+        pool.run_ranks(8, |r| r).into_iter().for_each(|r| {
+            r.unwrap();
+        });
+        let second = pool.stats();
+        assert_eq!(second.rank_threads_spawned, 8);
+        assert_eq!(second.rank_threads_reused, 8);
+        assert_eq!(second.rank_runs, 2);
+    }
+
+    #[test]
+    fn rank_panic_comes_back_as_err_and_slot_survives() {
+        let pool = ExecPool::new(1);
+        let results = pool.run_ranks(4, |r| {
+            if r == 2 {
+                panic!("rank 2 down");
+            }
+            r
+        });
+        assert!(results[2].is_err());
+        assert_eq!(*results[0].as_ref().unwrap(), 0);
+        // The pool is not poisoned: the same slots serve the next run.
+        let ok = pool.run_ranks(4, |r| r + 100);
+        assert!(ok.iter().all(|r| r.is_ok()));
+        let stats = pool.stats();
+        assert_eq!(stats.rank_threads_spawned, 4, "panicked slot was respawned");
+    }
+
+    #[test]
+    fn pool_drop_joins_all_threads() {
+        let pool = ExecPool::new(3);
+        pool.run_ranks(5, |r| r).into_iter().for_each(|r| {
+            r.unwrap();
+        });
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn serial_fallthrough_paths() {
+        let pool = ExecPool::new(4);
+        pool.for_each_index(0, |_| panic!("must not run"));
+        let one = AtomicU64::new(0);
+        pool.for_each_index(1, |i| {
+            assert_eq!(i, 0);
+            one.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(one.load(Ordering::Relaxed), 1);
+        pool.for_each_take(Vec::<u8>::new(), |_, _| panic!("must not run"));
+        let single = Mutex::new(0u8);
+        pool.for_each_take(vec![7u8], |i, v| {
+            assert_eq!(i, 0);
+            *single.lock().unwrap() = v;
+        });
+        assert_eq!(*single.lock().unwrap(), 7);
+    }
+}

@@ -19,7 +19,7 @@
 
 use crate::layout::{block_count, block_range};
 use crate::traits::{apply_sigma, binomial_children, CommEstimate, DistSpmm, Sigma, SpmmRun};
-use amd_comm::{CostModel, Group, Machine, RankCtx};
+use amd_comm::{CostModel, Group, Machine, MachineExec, RankCtx};
 use amd_sparse::{spmm, DenseMatrix, Dtype, SparseError, SparseResult};
 use arrow_core::{ArrowDecomposition, ArrowMatrix};
 
@@ -72,6 +72,7 @@ pub struct ArrowSpmm {
     level0_vertices: Vec<u32>,
     cost: CostModel,
     dtype: Dtype,
+    exec: MachineExec,
 }
 
 impl ArrowSpmm {
@@ -101,57 +102,74 @@ impl ArrowSpmm {
         }
         let total_ranks = offset;
 
-        // Routing tables between consecutive levels: position p (level j)
-        // of vertex v maps to position q = π_{j+1}(v) (level j+1) when
-        // q < active_{j+1}.
-        for j in 0..d.order() - 1 {
-            let pi_j = &d.levels()[j].perm;
-            let pi_n = &d.levels()[j + 1].perm;
-            let (active_j, active_n1) = (levels[j].active_n, levels[j + 1].active_n);
-            let (off_j, off_n) = (levels[j].offset, levels[j + 1].offset);
-            // Collect (src_rank, dst_rank) → row lists.
-            let mut pairs: Vec<(u32, u32, u32, u32)> = Vec::new(); // (src, dst, src_row, dst_row)
-            for p in 0..active_j {
-                let v = pi_j.vertex_at(p);
-                let q = pi_n.position(v);
-                if q < active_n1 {
-                    let src = off_j + p / b;
-                    let dst = off_n + q / b;
-                    pairs.push((src, dst, p % b, q % b));
-                }
+        // Routing tables: active position q of level t (vertex v) draws
+        // its X from — and returns its Y through — the *deepest earlier
+        // level where v is still active*. In a nested decomposition
+        // (LA-Decompose output, whose active sets shrink monotonically)
+        // that is always level t-1, the chained §6.1 layout. A spliced
+        // decomposition ([`decompose_snapshot_incremental`]) is not
+        // nested: the re-decomposed region is lifted to the deepest
+        // levels, so a vertex can re-enter the active prefix after
+        // leaving it, and its X must be routed from further up the
+        // chain. Route content, not level adjacency, drives the
+        // send/recv loops, so the cross-level hops need no special
+        // casing there.
+        //
+        // [`decompose_snapshot_incremental`]: arrow_core::incremental::decompose_snapshot_incremental
+        for t in 1..d.order() {
+            let pi_t = &d.levels()[t].perm;
+            let (active_t, off_t) = (levels[t].active_n, levels[t].offset);
+            // (src_level, src_rank, dst_rank, src_row, dst_row).
+            let mut pairs: Vec<(usize, u32, u32, u32, u32)> = Vec::new();
+            for q in 0..active_t {
+                let v = pi_t.vertex_at(q);
+                let Some(s) = (0..t)
+                    .rev()
+                    .find(|&lv| d.levels()[lv].perm.position(v) < levels[lv].active_n)
+                else {
+                    return Err(SparseError::InvalidCsr(format!(
+                        "vertex {v} is active at level {t} but at no earlier \
+                         level; the decomposition cannot be distributed"
+                    )));
+                };
+                let p = d.levels()[s].perm.position(v);
+                let src = levels[s].offset + p / b;
+                let dst = off_t + q / b;
+                pairs.push((s, src, dst, p % b, q % b));
             }
-            pairs.sort_unstable();
+            pairs.sort_unstable_by_key(|&(_, src, dst, sr, dr)| (src, dst, sr, dr));
             let mut idx = 0;
             while idx < pairs.len() {
-                let (src, dst, _, _) = pairs[idx];
+                let (s, src, dst, _, _) = pairs[idx];
+                let off_s = levels[s].offset;
                 let mut local_rows = Vec::new();
                 let mut peer_rows = Vec::new();
-                while idx < pairs.len() && pairs[idx].0 == src && pairs[idx].1 == dst {
-                    local_rows.push(pairs[idx].2);
-                    peer_rows.push(pairs[idx].3);
+                while idx < pairs.len() && pairs[idx].1 == src && pairs[idx].2 == dst {
+                    local_rows.push(pairs[idx].3);
+                    peer_rows.push(pairs[idx].4);
                     idx += 1;
                 }
-                // Forward: src (level j) sends to dst (level j+1).
-                levels[j].rank_plans[(src - off_j) as usize]
+                // Forward: src (level s) sends to dst (level t).
+                levels[s].rank_plans[(src - off_s) as usize]
                     .fwd_sends
                     .push(Route {
                         peer: dst,
                         local_rows: local_rows.clone(),
                     });
-                levels[j + 1].rank_plans[(dst - off_n) as usize]
+                levels[t].rank_plans[(dst - off_t) as usize]
                     .fwd_recvs
                     .push(Route {
                         peer: src,
                         local_rows: peer_rows.clone(),
                     });
-                // Backward: dst (level j+1) sends Y back to src (level j).
-                levels[j + 1].rank_plans[(dst - off_n) as usize]
+                // Backward: dst (level t) sends Y back to src (level s).
+                levels[t].rank_plans[(dst - off_t) as usize]
                     .bwd_sends
                     .push(Route {
                         peer: src,
                         local_rows: peer_rows,
                     });
-                levels[j].rank_plans[(src - off_j) as usize]
+                levels[s].rank_plans[(src - off_s) as usize]
                     .bwd_recvs
                     .push(Route {
                         peer: dst,
@@ -168,12 +186,19 @@ impl ArrowSpmm {
             level0_vertices,
             cost: CostModel::default(),
             dtype: Dtype::default(),
+            exec: MachineExec::default(),
         })
     }
 
     /// Overrides the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Selects how machine ranks obtain threads (shared pool default).
+    pub fn with_exec(mut self, exec: MachineExec) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -267,6 +292,10 @@ fn arrow_multiply(
 }
 
 impl DistSpmm for ArrowSpmm {
+    fn set_exec(&mut self, exec: MachineExec) {
+        self.exec = exec;
+    }
+
     fn name(&self) -> String {
         format!("Arrow b={} l={}", self.b, self.levels.len())
     }
@@ -290,7 +319,9 @@ impl DistSpmm for ArrowSpmm {
         let k = x.cols();
         let kk = k as usize;
         let l = self.levels.len();
-        let machine = Machine::new(self.total_ranks).with_cost(self.cost);
+        let machine = Machine::new(self.total_ranks)
+            .with_cost(self.cost)
+            .with_exec_mode(self.exec.clone());
         let report = machine.run(|ctx| {
             let rank = ctx.rank();
             let (j, my_i) = self.locate(rank);
@@ -472,6 +503,71 @@ mod tests {
         let err = run.y.max_abs_diff(&expected).unwrap();
         assert!(err < 1e-6, "b={b} k={k} iters={iters}: err {err}");
         run
+    }
+
+    /// Regression: a *spliced* decomposition (incremental refresh) is
+    /// not nested — the lifted region levels sit below prior levels
+    /// whose active prefix already dropped the region's vertices, so
+    /// their X must route from further up the chain than level t-1.
+    /// The old adjacent-level-only routing silently served wrong
+    /// answers here (the operator sum validates exactly either way).
+    #[test]
+    fn spliced_non_nested_decomposition_stays_exact() {
+        use arrow_core::decompose_snapshot;
+        use arrow_core::incremental::{decompose_snapshot_incremental, IncrementalPolicy};
+        let n = 64u32;
+        let mut coo = amd_sparse::CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            coo.push(i, (i + 1) % n, 1.0).unwrap();
+            coo.push((i + 1) % n, i, 1.0).unwrap();
+        }
+        for (r, c) in [
+            (62u32, 16u32),
+            (31, 23),
+            (4, 20),
+            (8, 53),
+            (1, 33),
+            (13, 25),
+        ] {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let cfg = DecomposeConfig::with_width(16);
+        let prior = decompose_snapshot(&a, &cfg, 42).unwrap();
+        let mut patch = amd_sparse::CooMatrix::new(n, n);
+        patch.push(4, 13, 1.0).unwrap();
+        let merged = amd_sparse::ops::apply_delta(&a, &patch.to_csr()).unwrap();
+        let (d, outcome) = decompose_snapshot_incremental(
+            &merged,
+            &cfg,
+            42,
+            Some(&prior),
+            Some(&[4, 13]),
+            &IncrementalPolicy::default(),
+        )
+        .unwrap();
+        assert!(outcome.incremental, "delta must take the splice path");
+        assert_eq!(d.validate(&merged).unwrap(), 0.0);
+        // The spliced chain must genuinely be non-nested, or this test
+        // no longer regression-covers the cross-level routes.
+        let non_nested = (1..d.order()).any(|t| {
+            let lvl = &d.levels()[t];
+            let prev = &d.levels()[t - 1];
+            (0..lvl.active_n)
+                .map(|q| lvl.perm.vertex_at(q))
+                .any(|v| prev.perm.position(v) >= prev.active_n)
+        });
+        assert!(non_nested, "splice produced a nested chain; repro decayed");
+        let alg = ArrowSpmm::new(&d).unwrap();
+        let x = DenseMatrix::from_fn(n, 1, |r, _| (((3 * r) % 11) as f64) - 5.0);
+        let run = alg.run(&x, 2).unwrap();
+        let want = iterated_spmm(&merged, &x, 2).unwrap();
+        assert_eq!(
+            run.y.max_abs_diff(&want).unwrap(),
+            0.0,
+            "distributed multiply on the spliced decomposition must be exact"
+        );
     }
 
     #[test]

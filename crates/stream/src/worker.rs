@@ -44,7 +44,7 @@ use amd_obs::{SpanId, Stopwatch, Tracer};
 use amd_sparse::{CsrMatrix, SparseError, SparseResult};
 use arrow_core::incremental::{decompose_snapshot_incremental, RefreshOutcome};
 use arrow_core::ArrowDecomposition;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -215,10 +215,16 @@ impl RefreshWorker {
     }
 
     /// Replaces dead threads so the pool is back at its configured
-    /// size. Called by the hub when it observes a `panicked` done;
-    /// idempotent when everything is alive.
+    /// size. Called by the hub when it observes a `panicked` done.
     pub fn respawn_one(&mut self) {
         self.threads.retain(|t| !t.is_finished());
+        // The worker that reported this death sends its done *before*
+        // it exits, so `is_finished` can still say alive here; counting
+        // it would skip the replacement and leave the requeued grant in
+        // a queue nobody drains. One death reported, one thread spawned
+        // — unconditionally. (A momentary surplus just parks on the job
+        // queue and is reaped by the next retain.)
+        self.spawn_thread();
         while self.threads.len() < self.size {
             self.spawn_thread();
         }
@@ -245,15 +251,23 @@ impl RefreshWorker {
     /// is the backstop that turns an invariant violation into a clean
     /// `None` instead of a deadlock.
     pub fn wait_done(&self) -> Option<RefreshDone> {
-        match self.done.try_recv() {
-            Some(done) => Some(done),
-            None => {
-                if self.threads.iter().all(|t| t.is_finished()) {
-                    // One final poll closes the race where the last
-                    // worker sent its done after our first try_recv.
-                    return self.done.try_recv();
-                }
-                self.done.recv().ok()
+        loop {
+            if let Some(done) = self.done.try_recv() {
+                return Some(done);
+            }
+            if self.threads.iter().all(|t| t.is_finished()) {
+                // One final poll closes the race where the last
+                // worker sent its done after the try_recv above.
+                return self.done.try_recv();
+            }
+            // Bounded wait, then re-check liveness: a thread observed
+            // alive above may have been mid-exit (it sends its done
+            // before dying), and a one-shot check followed by a plain
+            // blocking recv would sleep forever on that window.
+            match self.done.recv_timeout(Duration::from_millis(50)) {
+                Ok(done) => return Some(done),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return None,
             }
         }
     }

@@ -100,7 +100,21 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flag, accepted by every subcommand: strip `--threads N`
+    // and size the shared execution pool before anything touches it.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let parsed = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let Some(n) = parsed else {
+            eprintln!("error: --threads needs a positive integer");
+            return ExitCode::from(2);
+        };
+        arrow_matrix::exec::configure_global_threads(n);
+        args.drain(i..=i + 1);
+    }
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -136,6 +150,7 @@ fn main() -> ExitCode {
                  arrow-matrix-cli chaos [all|<scenario>] [--seed N] [--out PATH]\n  \
                  arrow-matrix-cli chaos record <scenario> <out.trace> [--seed N]\n  \
                  arrow-matrix-cli chaos replay <in.trace> [--seed N]\n\
+                 global: [--threads N] sizes the shared execution pool (default: all cores)\n\
                  datasets: mawi genbank webbase osm gap-twitter sk-2005"
             );
             return ExitCode::from(2);
@@ -301,7 +316,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     };
     let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
     println!(
-        "{:<8} {:>6} {:>14} {:>14} {:>10} {:>9} {:>9} {:>15}",
+        "{:<8} {:>6} {:>14} {:>14} {:>10} {:>9} {:>9} {:>15} {:>11} {:>9}",
         "algo",
         "runs",
         "predicted MiB",
@@ -309,7 +324,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         "mean err",
         "max err",
         "checks",
-        "rank-agreement"
+        "rank-agreement",
+        "wall ms/run",
+        "meas β"
     );
     for slug in &slugs {
         let name = |leaf: &str| format!("engine.algo.{slug}.{leaf}");
@@ -328,8 +345,23 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         } else {
             "n/a".to_string()
         };
+        // Calibration: measured wall per run, and the effective
+        // measured per-byte cost (wall seconds over accounted bytes)
+        // that a host-calibrated cost model would use as β.
+        let wall_nanos = num(&name("wall_nanos"));
+        let wall_ms_per_run = if runs > 0 {
+            wall_nanos as f64 / runs as f64 / 1e6
+        } else {
+            0.0
+        };
+        let accounted = num(&name("accounted_bytes"));
+        let measured_beta = if wall_nanos > 0 && accounted > 0 {
+            format!("{:.1e}", wall_nanos as f64 / 1e9 / accounted as f64)
+        } else {
+            "n/a".to_string()
+        };
         println!(
-            "{:<8} {:>6} {:>14.3} {:>14.3} {:>9.1}% {:>8.1}% {:>9} {:>15}",
+            "{:<8} {:>6} {:>14.3} {:>14.3} {:>9.1}% {:>8.1}% {:>9} {:>15} {:>11.3} {:>9}",
             slug,
             runs,
             mib(num(&name("predicted_bytes"))),
@@ -337,7 +369,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             mean_err,
             max_err,
             checks,
-            agreement
+            agreement,
+            wall_ms_per_run,
+            measured_beta
         );
     }
     let predicted = num("engine.plan.predicted_bytes");
@@ -368,6 +402,38 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             String::new()
         }
     );
+    // Calibration summary: the model's configured β against the
+    // measured effective per-byte cost over all runs.
+    let total_wall_nanos: u64 = slugs
+        .iter()
+        .map(|slug| num(&format!("engine.algo.{slug}.wall_nanos")))
+        .sum();
+    if total_wall_nanos > 0 && accounted > 0 {
+        let measured_beta = total_wall_nanos as f64 / 1e9 / accounted as f64;
+        let model = doc
+            .get("engine.cost.beta_femtos")
+            .and_then(JsonValue::as_u64)
+            .map(|f| {
+                let model_beta = f as f64 / 1e15;
+                if model_beta > 0.0 {
+                    format!(
+                        ", model β = {:.1e} s/B (measured/model = {:.2})",
+                        model_beta,
+                        measured_beta / model_beta
+                    )
+                } else {
+                    String::new()
+                }
+            })
+            .unwrap_or_default();
+        println!(
+            "calib   : measured wall = {:.3} ms over {:.3} MiB accounted → effective β = {:.1e} s/B{}",
+            total_wall_nanos as f64 / 1e6,
+            mib(accounted),
+            measured_beta,
+            model
+        );
+    }
     if let Some(bytes) = doc.get("engine.dtype_bytes").and_then(JsonValue::as_u64) {
         let dtype = if bytes == 4 { "f32" } else { "f64" };
         let prefix = doc

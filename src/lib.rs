@@ -19,6 +19,12 @@
 //!   manifests shared by every serving layer, with point-in-time
 //!   restore, garbage collection, and legacy spill migration.
 //! * [`comm`] — the message-passing machine with α-β cost accounting.
+//! * [`exec`] — the persistent work-stealing executor: one shared
+//!   thread pool for machine ranks (cached blocking rank slots),
+//!   data-parallel kernel chunks (via the vendored `rayon` facade), and
+//!   the refresh worker's decompose. Sized once per process
+//!   (`--threads N` / `AMD_EXEC_THREADS` / `available_parallelism`);
+//!   results never depend on the pool size.
 //! * [`partition`] — partitioning baselines (HYPE-style neighborhood
 //!   expansion).
 //! * [`spmm`] — distributed SpMM algorithms (arrow, 1.5D/1D/2D
@@ -82,6 +88,7 @@
 pub use amd_chaos as chaos;
 pub use amd_comm as comm;
 pub use amd_engine as engine;
+pub use amd_exec as exec;
 pub use amd_graph as graph;
 pub use amd_linarr as linarr;
 pub use amd_obs as obs;

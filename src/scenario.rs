@@ -114,6 +114,15 @@ pub struct ScenarioReport {
     pub stale_tmp_swept: u64,
     /// Per-site failpoint activity: `(site, hits, fired)`.
     pub fired: Vec<(String, u64, u64)>,
+    /// Median per-query serving latency (wall-clock around
+    /// `run_single`), milliseconds. `0.0` when no queries ran.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile per-query serving latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// 99.9th-percentile per-query serving latency, milliseconds —
+    /// the tail a fault injection (retry, restart, sync fallback)
+    /// shows up in even when the median stays flat.
+    pub latency_p999_ms: f64,
 }
 
 impl ScenarioReport {
@@ -212,6 +221,14 @@ pub fn builtin_scenarios(seed: u64) -> Vec<Scenario> {
             crash_reopen: false,
             expect: Expectation::FaultFree,
         },
+        Scenario {
+            name: "tenant-skew".to_string(),
+            trace: generators::zipf_tenant_skew(64, 16, 4, 6, 1.3, seed.wrapping_add(7)),
+            plan: FaultPlan::new(seed),
+            with_catalog: false,
+            crash_reopen: false,
+            expect: Expectation::FaultFree,
+        },
     ]
 }
 
@@ -278,6 +295,7 @@ fn replay(
         .map(|_| hub.admit(base.clone()))
         .collect::<SparseResult<_>>()?;
     let mut truth = vec![base.clone(); scenario.trace.tenants];
+    let mut latencies_ms: Vec<f64> = Vec::new();
     for op in &scenario.trace.ops {
         match *op {
             TraceOp::Add {
@@ -311,7 +329,9 @@ fn replay(
                 iters,
             } => {
                 let x = operand(n, salt);
+                let sw = amd_obs::Stopwatch::start();
                 let resp = hub.run_single(ids[tenant], x.clone(), iters as u32, None)?;
+                latencies_ms.push(sw.elapsed_seconds() * 1e3);
                 let xm = DenseMatrix::from_vec(n, 1, x)?;
                 let want = iterated_spmm(&truth[tenant], &xm, iters as u32)?;
                 let got = DenseMatrix::from_vec(n, 1, resp.y)?;
@@ -327,6 +347,9 @@ fn replay(
         }
     }
     hub.wait_refreshes()?;
+    report.latency_p50_ms = percentile_ms(&mut latencies_ms, 50.0);
+    report.latency_p99_ms = percentile_ms(&mut latencies_ms, 99.0);
+    report.latency_p999_ms = percentile_ms(&mut latencies_ms, 99.9);
     let hstats = hub.stats();
     report.worker_restarts = hstats.worker_restarts;
     report.refresh_retries = hstats.refresh_retries;
@@ -517,6 +540,9 @@ pub fn reports_to_json(seed: u64, reports: &[ScenarioReport]) -> String {
         let _ = writeln!(out, "      \"load_failures\": {},", r.load_failures);
         let _ = writeln!(out, "      \"recovered_records\": {},", r.recovered_records);
         let _ = writeln!(out, "      \"stale_tmp_swept\": {},", r.stale_tmp_swept);
+        let _ = writeln!(out, "      \"latency_p50_ms\": {:.4},", r.latency_p50_ms);
+        let _ = writeln!(out, "      \"latency_p99_ms\": {:.4},", r.latency_p99_ms);
+        let _ = writeln!(out, "      \"latency_p999_ms\": {:.4},", r.latency_p999_ms);
         let _ = writeln!(out, "      \"fired\": [");
         for (j, (site, hits, fired)) in r.fired.iter().enumerate() {
             let _ = writeln!(
@@ -537,6 +563,18 @@ pub fn reports_to_json(seed: u64, reports: &[ScenarioReport]) -> String {
     out.push('}');
     out.push('\n');
     out
+}
+
+/// Nearest-rank percentile over per-query latencies, sorting in place.
+/// `0.0` for an empty sample (a trace with no queries fails the
+/// `verified == 0` invariant anyway).
+fn percentile_ms(samples: &mut [f64], pct: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((pct / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
 }
 
 /// Deterministic integer-valued base: a symmetric ring with a heavy

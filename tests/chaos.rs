@@ -4,8 +4,12 @@
 //! well-formed `BENCH_scenarios.json`. Lives in its own test binary so
 //! the process-wide failpoint table is never shared with other tests.
 
-use arrow_matrix::chaos::{failpoint, generators, ScenarioTrace};
+use arrow_matrix::chaos::{failpoint, generators, ScenarioTrace, TraceOp};
+use arrow_matrix::comm::MachineExec;
+use arrow_matrix::engine::EngineConfig;
 use arrow_matrix::scenario::{self, Expectation};
+use arrow_matrix::sparse::{CooMatrix, CsrMatrix};
+use arrow_matrix::stream::{HubConfig, StalenessBudget, StreamHub, Update};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -16,9 +20,10 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 /// A representative slice of the built-in suite: one supervised worker
-/// death, one crash-window recovery, and one fault-free adversarial
-/// workload. (The full 11-scenario suite runs in CI via the CLI; this
-/// keeps the test-suite wall clock reasonable.)
+/// death, one crash-window recovery, one fault-free adversarial
+/// workload, and the 16-tenant power-law skew. (The full 12-scenario
+/// suite runs in CI via the CLI; this keeps the test-suite wall clock
+/// reasonable.)
 #[test]
 fn builtin_scenarios_pass_end_to_end() {
     failpoint::quiet_injected_panics();
@@ -26,6 +31,7 @@ fn builtin_scenarios_pass_end_to_end() {
         "worker-kill",
         "crash-window-payload-rename",
         "adversarial-region",
+        "tenant-skew",
     ];
     let suite = scenario::builtin_scenarios(7);
     for name in picks {
@@ -37,6 +43,103 @@ fn builtin_scenarios_pass_end_to_end() {
         assert!(report.passed, "{name} failed: {}", report.detail);
         assert!(report.verified > 0, "{name} verified no answers");
         assert_eq!(report.max_abs_err, 0.0, "{name} served inexactly");
+        // Queries ran, so the latency tails must be populated and
+        // ordered (nearest-rank percentiles of the same sample).
+        assert!(report.latency_p50_ms > 0.0, "{name} has no p50");
+        assert!(report.latency_p99_ms >= report.latency_p50_ms);
+        assert!(report.latency_p999_ms >= report.latency_p99_ms);
+    }
+}
+
+/// End-to-end execution determinism: the same chaos trace served by a
+/// hub on the shared `amd-exec` pool bit-matches a hub that spawns a
+/// fresh thread per machine rank. The simulated clocks are purely
+/// logical, so pooled execution must be invisible in every answer.
+#[test]
+fn chaos_trace_is_bit_identical_pooled_vs_spawn_per_run() {
+    failpoint::quiet_injected_panics();
+    let trace = generators::zipf_tenant_skew(48, 4, 3, 4, 1.3, 23);
+    let replay = |exec: MachineExec| -> Vec<Vec<f64>> {
+        let n = trace.n as u32;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            coo.push(i, (i + 1) % n, 1.0).unwrap();
+            coo.push((i + 1) % n, i, 1.0).unwrap();
+        }
+        let base: CsrMatrix<f64> = coo.to_csr();
+        let mut hub = StreamHub::new(HubConfig {
+            engine: EngineConfig {
+                arrow_width: 16,
+                ..EngineConfig::default()
+            }
+            .with_exec(exec),
+            budget: StalenessBudget::nnz_fraction(1e9),
+            auto_refresh: false,
+            async_refresh: true,
+            ..HubConfig::default()
+        })
+        .unwrap();
+        let ids: Vec<_> = (0..trace.tenants)
+            .map(|_| hub.admit(base.clone()).unwrap())
+            .collect();
+        let mut answers = Vec::new();
+        for op in &trace.ops {
+            match *op {
+                TraceOp::Add {
+                    tenant,
+                    row,
+                    col,
+                    value,
+                } => {
+                    hub.update(
+                        ids[tenant],
+                        Update::Add {
+                            row,
+                            col,
+                            delta: value,
+                        },
+                    )
+                    .unwrap();
+                }
+                TraceOp::Set {
+                    tenant,
+                    row,
+                    col,
+                    value,
+                } => {
+                    hub.update(ids[tenant], Update::Set { row, col, value })
+                        .unwrap();
+                }
+                TraceOp::Query {
+                    tenant,
+                    salt,
+                    iters,
+                } => {
+                    let x: Vec<f64> = (0..n)
+                        .map(|r| (((salt as u32).wrapping_add(3 * r) % 11) as f64) - 5.0)
+                        .collect();
+                    let resp = hub.run_single(ids[tenant], x, iters as u32, None).unwrap();
+                    answers.push(resp.y);
+                }
+                TraceOp::Refresh { tenant } => {
+                    hub.refresh(ids[tenant]).unwrap();
+                }
+                TraceOp::Settle => {
+                    hub.wait_refreshes().unwrap();
+                }
+            }
+        }
+        hub.wait_refreshes().unwrap();
+        answers
+    };
+    let pooled = replay(MachineExec::Global);
+    let spawned = replay(MachineExec::SpawnPerRun);
+    assert_eq!(pooled.len(), spawned.len());
+    for (q, (p, s)) in pooled.iter().zip(&spawned).enumerate() {
+        let pb: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u64> = s.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, sb, "query {q} answers must bit-match across exec modes");
     }
 }
 
@@ -91,6 +194,9 @@ fn chaos_cli_writes_scenario_report() {
     assert!(json.contains("\"schema\": \"amd-scenarios/1\""));
     assert!(json.contains("\"name\": \"worker-kill\""));
     assert!(json.contains("\"worker_restarts\""));
+    assert!(json.contains("\"latency_p50_ms\""));
+    assert!(json.contains("\"latency_p99_ms\""));
+    assert!(json.contains("\"latency_p999_ms\""));
     assert!(json.contains("\"passed\": true"));
     let _ = std::fs::remove_file(&out_path);
 }

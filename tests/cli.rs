@@ -557,6 +557,13 @@ fn report_renders_the_calibration_table() {
         text.contains("held up in 100.0% of checked runs"),
         "rank agreement on a static serve workload: {text}"
     );
+    // Calibration columns: measured wall per run and the effective
+    // measured per-byte cost, with the model-β comparison line.
+    assert!(text.contains("wall ms/run"), "calibration header: {text}");
+    assert!(
+        text.contains("effective β"),
+        "measured-β calibration line: {text}"
+    );
     assert!(
         text.contains("predicted/accounted = 1.000"),
         "volume prediction calibrated: {text}"

@@ -7,6 +7,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct Shared<T> {
     queue: Mutex<Inner<T>>,
@@ -48,6 +49,25 @@ impl fmt::Display for RecvError {
 }
 
 impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`]: the deadline passed
+/// with the channel still empty, or every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "timed out waiting on an empty channel"),
+            Self::Disconnected => write!(f, "receiving on an empty and disconnected channel"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 /// Sending half of an unbounded channel.
 pub struct Sender<T> {
@@ -126,6 +146,33 @@ impl<T> Receiver<T> {
     /// Non-blocking receive; `None` when currently empty.
     pub fn try_recv(&self) -> Option<T> {
         self.shared.queue.lock().unwrap().items.pop_front()
+    }
+
+    /// Blocks until a message arrives, every sender is dropped, or
+    /// `timeout` elapses — whichever comes first.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(v) = inner.items.pop_front() {
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            // Spurious wakeups and early notifies loop back around;
+            // the deadline re-check above bounds the total wait.
+            inner = self
+                .shared
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .unwrap()
+                .0;
+        }
     }
 }
 

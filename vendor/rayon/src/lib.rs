@@ -1,16 +1,13 @@
 //! Offline stand-in for `rayon`, covering the `par_chunks_mut(..)
-//! .enumerate().for_each(..)` pattern the SpMM kernels use. Work is
-//! genuinely parallel: chunks are distributed round-robin over
-//! `std::thread::scope` workers, one per available core, with a serial
-//! fast path for small inputs.
+//! .enumerate().for_each(..)` pattern the SpMM kernels use. Work runs
+//! on the persistent `amd-exec` work-stealing pool (the process-global
+//! instance): chunks are pulled from a shared atomic counter by up to
+//! `threads` runners, with a serial fast path for ≤ 1 chunk that spawns
+//! nothing and allocates nothing beyond the chunk list itself.
 
-use std::num::NonZeroUsize;
-
-/// Number of worker threads to use.
+/// Number of worker threads the underlying pool has.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    amd_exec::requested_threads()
 }
 
 /// Parallel iterator over enumerated mutable chunks.
@@ -19,35 +16,20 @@ pub struct EnumeratedParChunksMut<'a, T> {
 }
 
 impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
-    /// Applies `f` to every `(index, chunk)` pair, in parallel.
+    /// Applies `f` to every `(index, chunk)` pair, in parallel on the
+    /// shared pool. Chunk counts ≤ 1 run serially on the caller with no
+    /// task dispatch at all.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &'a mut [T])) + Sync + Send,
     {
-        let threads = current_num_threads().min(self.chunks.len().max(1));
-        if threads <= 1 || self.chunks.len() <= 1 {
+        if self.chunks.len() <= 1 {
             for item in self.chunks {
                 f(item);
             }
             return;
         }
-        // Round-robin deal so neighbouring (similar-cost) chunks spread
-        // across workers.
-        let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (i, item) in self.chunks.into_iter().enumerate() {
-            buckets[i % threads].push(item);
-        }
-        let fref = &f;
-        std::thread::scope(|scope| {
-            for bucket in buckets {
-                scope.spawn(move || {
-                    for item in bucket {
-                        fref(item);
-                    }
-                });
-            }
-        });
+        amd_exec::global().for_each_take(self.chunks, |_, item| f(item));
     }
 }
 
@@ -122,5 +104,29 @@ mod tests {
             }
         });
         assert_eq!(data, vec![2; 5]);
+    }
+
+    #[test]
+    fn single_chunk_runs_on_caller_thread() {
+        // The ≤ 1 chunk fallthrough must not dispatch to the pool: the
+        // closure observes the calling thread's id.
+        let caller = std::thread::current().id();
+        let mut data = vec![0u8; 16];
+        data.as_mut_slice()
+            .par_chunks_mut(16)
+            .enumerate()
+            .for_each(|(_, chunk)| {
+                assert_eq!(std::thread::current().id(), caller);
+                chunk.fill(1);
+            });
+        assert_eq!(data, vec![1; 16]);
+    }
+
+    #[test]
+    fn empty_slice_is_a_no_op() {
+        let mut data: Vec<u32> = Vec::new();
+        data.as_mut_slice()
+            .par_chunks_mut(4)
+            .for_each(|_| panic!("must not run"));
     }
 }
